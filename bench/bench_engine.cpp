@@ -1,0 +1,49 @@
+// E11 — DES substrate performance (google-benchmark): simulated jobs
+// and events per second, per scheduler.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace pjsb;
+
+const swf::Trace& workload_trace() {
+  static const swf::Trace trace =
+      bench::make_workload(workload::ModelKind::kLublin99, 2000, 128, 0.7);
+  return trace;
+}
+
+void run_scheduler(benchmark::State& state, const char* name) {
+  std::int64_t events = 0;
+  std::int64_t jobs = 0;
+  for (auto _ : state) {
+    const auto result =
+        sim::replay(workload_trace(), sched::make_scheduler(name));
+    events += result.stats.events_processed;
+    jobs += result.stats.jobs_completed;
+    benchmark::DoNotOptimize(result.completed.size());
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      double(events), benchmark::Counter::kIsRate);
+  state.counters["jobs/s"] =
+      benchmark::Counter(double(jobs), benchmark::Counter::kIsRate);
+}
+
+void BM_ReplayFcfs(benchmark::State& state) { run_scheduler(state, "fcfs"); }
+void BM_ReplaySjf(benchmark::State& state) { run_scheduler(state, "sjf"); }
+void BM_ReplayEasy(benchmark::State& state) { run_scheduler(state, "easy"); }
+void BM_ReplayConservative(benchmark::State& state) {
+  run_scheduler(state, "conservative");
+}
+void BM_ReplayGang(benchmark::State& state) { run_scheduler(state, "gang4"); }
+
+BENCHMARK(BM_ReplayFcfs);
+BENCHMARK(BM_ReplaySjf);
+BENCHMARK(BM_ReplayEasy);
+BENCHMARK(BM_ReplayConservative);
+BENCHMARK(BM_ReplayGang);
+
+}  // namespace
+
+BENCHMARK_MAIN();

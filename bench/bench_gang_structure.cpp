@@ -1,0 +1,52 @@
+// E12 — internal-structure strawman (section 2.2, [23]) and the gang
+// scheduling claim of [22]: "if synchronization is frequent, then
+// either gang scheduling or IPS cognizant space slicing mechanisms are
+// needed, but if common IPS is coarse grained it may be unnecessary."
+//
+// Sweep barrier granularity and multiprogramming level; report the
+// slowdown of uncoordinated time slicing relative to gang scheduling.
+// Expected shape: the penalty explodes as granularity shrinks below
+// the quantum, and vanishes for coarse-grain jobs.
+#include "common.hpp"
+
+#include "util/stats.hpp"
+#include "workload/structure.hpp"
+
+int main() {
+  using namespace pjsb;
+  bench::print_header(
+      "E12: gang scheduling vs uncoordinated time slicing by "
+      "granularity",
+      "Expected: uncoordinated/gang ratio >> 1 for fine grain, ~1 for "
+      "coarse grain; ratio grows with multiprogramming level.");
+
+  const double quantum = 0.1;  // 100ms scheduling quantum
+  util::Table table({"granularity_s", "mpl", "gang_runtime_s",
+                     "uncoord_runtime_s", "penalty"});
+  for (const double granularity : {0.01, 0.05, 0.2, 1.0, 5.0, 20.0}) {
+    for (const int mpl : {2, 4}) {
+      util::Rng rng(bench::kSeed + 11);
+      workload::StructureParams params;
+      params.processors = 32;
+      params.barriers = 200;
+      params.granularity = granularity;
+      params.variance_cv = 0.25;
+
+      util::OnlineStats gang_stats, unco_stats;
+      for (int rep = 0; rep < 5; ++rep) {
+        const auto job = workload::generate_structured_job(params, rng);
+        gang_stats.add(workload::gang_runtime(job, mpl));
+        unco_stats.add(
+            workload::uncoordinated_runtime(job, mpl, quantum, rng));
+      }
+      table.row()
+          .cell(granularity, 2)
+          .cell(mpl)
+          .cell(gang_stats.mean(), 1)
+          .cell(unco_stats.mean(), 1)
+          .cell(unco_stats.mean() / gang_stats.mean(), 2);
+    }
+  }
+  std::cout << table.to_string() << '\n';
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E13 — workload-model characterization (section 2.1): "a statistical
+// analysis shows that the one proposed by Lublin is relatively
+// representative of multiple workloads."
+//
+// Without the original logs we characterize each model's marginals and
+// measure pairwise distribution distances (two-sample KS statistic) on
+// job size and runtime — the comparison machinery a [58]-style study
+// needs. Expected shape: all models share the canonical invariants
+// (power-of-two dominance, small-job dominance, heavy-tailed runtimes)
+// while remaining statistically distinguishable from each other.
+#include "common.hpp"
+
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace pjsb;
+
+struct ModelSample {
+  std::string name;
+  std::vector<double> sizes;
+  std::vector<double> runtimes;
+  swf::TraceStats stats;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pjsb;
+  bench::print_header(
+      "E13: workload model characterization and pairwise KS distances",
+      "Expected: all models show power-of-two dominance, many small "
+      "jobs, heavy-tailed runtimes (CV > 1); pairwise KS > 0 (the "
+      "models are distinguishable, hence the need for a standard).");
+
+  std::vector<ModelSample> samples;
+  for (const auto kind : workload::all_models()) {
+    util::Rng rng(bench::kSeed);
+    workload::ModelConfig config;
+    config.jobs = 5000;
+    config.machine_nodes = 128;
+    const auto trace = workload::generate(kind, config, rng);
+    ModelSample s;
+    s.name = workload::model_name(kind);
+    for (const auto& r : trace.records) {
+      s.sizes.push_back(double(r.allocated_procs));
+      s.runtimes.push_back(double(r.run_time));
+    }
+    s.stats = trace.stats();
+    samples.push_back(std::move(s));
+  }
+
+  util::Table table({"model", "mean_procs", "pow2_frac", "serial_frac",
+                     "mean_runtime_s", "runtime_CV", "mean_mem_kb"});
+  for (const auto& s : samples) {
+    // Memory marginal (field 7) from a fresh generation.
+    util::Rng rng(bench::kSeed);
+    workload::ModelConfig config;
+    config.jobs = 2000;
+    config.machine_nodes = 128;
+    const auto trace = workload::generate(
+        s.name == "feitelson96"  ? workload::ModelKind::kFeitelson96
+        : s.name == "jann97"     ? workload::ModelKind::kJann97
+        : s.name == "lublin99"   ? workload::ModelKind::kLublin99
+                                 : workload::ModelKind::kDowney97,
+        config, rng);
+    util::OnlineStats mem;
+    for (const auto& r : trace.records) {
+      if (r.used_memory_kb != swf::kUnknown) {
+        mem.add(double(r.used_memory_kb));
+      }
+    }
+    table.row()
+        .cell(s.name)
+        .cell(s.stats.mean_procs, 1)
+        .cell(s.stats.fraction_power_of_two, 3)
+        .cell(s.stats.fraction_serial, 3)
+        .cell(s.stats.mean_runtime, 0)
+        .cell(util::coefficient_of_variation(s.runtimes), 2)
+        .cell(mem.mean(), 0);
+  }
+  std::cout << table.to_string() << '\n';
+
+  util::Table ks({"model A", "model B", "KS(size)", "KS(runtime)"});
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    for (std::size_t j = i + 1; j < samples.size(); ++j) {
+      ks.row()
+          .cell(samples[i].name)
+          .cell(samples[j].name)
+          .cell(util::ks_statistic(samples[i].sizes, samples[j].sizes), 3)
+          .cell(util::ks_statistic(samples[i].runtimes,
+                                   samples[j].runtimes),
+                3);
+    }
+  }
+  std::cout << ks.to_string() << '\n';
+  return 0;
+}

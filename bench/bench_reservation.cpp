@@ -1,0 +1,64 @@
+// E8 — reservations interact with local scheduling (sections 3, 4.2):
+// "meta applications may ask for simultaneous access to resources from
+// several local schedulers. This requires local mechanisms such as
+// reservation of resources and these reservations affect the
+// performance of local scheduling algorithms."
+//
+// Sweep the advance-reservation load on one EASY-scheduled machine and
+// measure what happens to the local jobs. Expected shape: local wait /
+// slowdown degrade monotonically as reserved capacity grows, and
+// utilization drops (drained holes in front of each window).
+#include "common.hpp"
+
+int main() {
+  using namespace pjsb;
+  bench::print_header(
+      "E8: advance reservations vs local backfilling",
+      "Expected: local slowdown rises and utilization falls "
+      "monotonically with reservation load.");
+
+  const std::int64_t nodes = 128;
+  const auto trace =
+      bench::make_workload(workload::ModelKind::kLublin99, 2500, nodes, 0.7);
+  const auto horizon = trace.horizon();
+
+  util::Table table({"reservations", "accepted", "res_node_frac",
+                     "mean_wait_s", "mean_bsld", "util"});
+  for (const int count : {0, 8, 24, 48, 96}) {
+    sim::EngineConfig config;
+    config.nodes = nodes;
+    sim::Engine engine(config, sched::make_scheduler("easy"));
+    engine.load_trace(trace);
+
+    util::Rng rng(bench::kSeed + 7);
+    int accepted = 0;
+    std::int64_t reserved_node_seconds = 0;
+    for (int i = 0; i < count; ++i) {
+      sched::AdvanceReservation res;
+      res.start = rng.uniform_int(horizon / 20, horizon);
+      res.duration = rng.uniform_int(1800, 4 * 3600);
+      res.procs = rng.uniform_int(nodes / 8, nodes / 2);
+      if (engine.request_reservation(res)) {
+        ++accepted;
+        reserved_node_seconds += res.duration * res.procs;
+      }
+    }
+    engine.run();
+    const auto report =
+        metrics::compute_report(engine.completed(), engine.stats());
+    const double res_frac =
+        engine.stats().capacity_node_seconds > 0
+            ? double(reserved_node_seconds) /
+                  double(engine.stats().capacity_node_seconds)
+            : 0.0;
+    table.row()
+        .cell(count)
+        .cell(accepted)
+        .cell(res_frac, 3)
+        .cell(report.mean_wait, 0)
+        .cell(report.mean_bounded_slowdown, 2)
+        .cell(report.utilization, 3);
+  }
+  std::cout << table.to_string() << '\n';
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E2 — The paper's core use case (section 1.1): "having a
+// representative workload may ... allow the administrator of a parallel
+// machine to determine the scheduler best suited for him. Hence, those
+// administrators can be assisted by a set of benchmarks that cover most
+// workloads occurring in practice."
+//
+// Table: workload model x offered load x scheduler -> the standard
+// metric set. Expected shape: backfilling dominates FCFS, and the gap
+// widens with load.
+#include "common.hpp"
+
+int main() {
+  using namespace pjsb;
+  bench::print_header(
+      "E2: scheduler comparison across canonical workloads",
+      "Backfilling should beat FCFS everywhere, increasingly so at "
+      "high load; SJF favors slowdown over fairness.");
+
+  const std::vector<workload::ModelKind> models = {
+      workload::ModelKind::kLublin99, workload::ModelKind::kJann97,
+      workload::ModelKind::kFeitelson96};
+  const std::vector<double> loads = {0.5, 0.7, 0.9};
+  const std::vector<std::string> schedulers = {"fcfs", "sjf", "easy",
+                                               "conservative"};
+
+  util::Table table({"model", "load", "scheduler", "mean_wait_s",
+                     "mean_bsld", "p95_wait_s", "util"});
+  for (const auto model : models) {
+    for (const double load : loads) {
+      const auto trace = bench::make_workload(model, 3000, 128, load);
+      for (const auto& scheduler : schedulers) {
+        const auto report = bench::run_and_report(trace, scheduler);
+        table.row()
+            .cell(workload::model_name(model))
+            .cell(load, 2)
+            .cell(scheduler)
+            .cell(report.mean_wait, 0)
+            .cell(report.mean_bounded_slowdown, 2)
+            .cell(report.p95_wait, 0)
+            .cell(report.utilization, 3);
+      }
+    }
+  }
+  std::cout << table.to_string() << '\n';
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E1 — SWF substrate throughput (google-benchmark).
+// "The file format is easy to parse and use": parse, write, validate
+// and anonymize rates on a model-generated trace.
+#include <benchmark/benchmark.h>
+
+#include "core/swf/anonymize.hpp"
+#include "core/swf/reader.hpp"
+#include "core/swf/validator.hpp"
+#include "core/swf/writer.hpp"
+#include "workload/model.hpp"
+
+namespace {
+
+using namespace pjsb;
+
+const swf::Trace& sample_trace() {
+  static const swf::Trace trace = [] {
+    util::Rng rng(1);
+    workload::ModelConfig config;
+    config.jobs = 5000;
+    return workload::generate(workload::ModelKind::kLublin99, config, rng);
+  }();
+  return trace;
+}
+
+const std::string& sample_text() {
+  static const std::string text = swf::write_swf_string(sample_trace());
+  return text;
+}
+
+void BM_ParseSwf(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = swf::read_swf_string(sample_text());
+    benchmark::DoNotOptimize(result.trace.records.size());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 5000);
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(sample_text().size()));
+}
+BENCHMARK(BM_ParseSwf);
+
+void BM_WriteSwf(benchmark::State& state) {
+  for (auto _ : state) {
+    auto text = swf::write_swf_string(sample_trace());
+    benchmark::DoNotOptimize(text.size());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 5000);
+}
+BENCHMARK(BM_WriteSwf);
+
+void BM_ValidateSwf(benchmark::State& state) {
+  for (auto _ : state) {
+    auto report = swf::validate(sample_trace());
+    benchmark::DoNotOptimize(report.diagnostics.size());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 5000);
+}
+BENCHMARK(BM_ValidateSwf);
+
+void BM_AnonymizeSwf(benchmark::State& state) {
+  for (auto _ : state) {
+    swf::Trace copy = sample_trace();
+    auto result = swf::anonymize(copy);
+    benchmark::DoNotOptimize(result.users);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 5000);
+}
+BENCHMARK(BM_AnonymizeSwf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared helpers for the experiment harnesses (bench/). Each binary
+// regenerates one artifact from DESIGN.md's experiment index and prints
+// it as an ASCII table; EXPERIMENTS.md records the measured outputs.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "metrics/aggregate.hpp"
+#include "sched/factory.hpp"
+#include "sim/replay.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "workload/model.hpp"
+#include "workload/scale.hpp"
+
+namespace pjsb::bench {
+
+inline constexpr std::uint64_t kSeed = 20240612;
+
+/// Generate a model workload scaled to a target offered load.
+inline swf::Trace make_workload(workload::ModelKind kind, std::size_t jobs,
+                                std::int64_t nodes, double load,
+                                std::uint64_t seed = kSeed) {
+  util::Rng rng(seed);
+  workload::ModelConfig config;
+  config.jobs = jobs;
+  config.machine_nodes = nodes;
+  config.mean_interarrival = 300;
+  auto trace = workload::generate(kind, config, rng);
+  return workload::scale_to_load(trace, load, nodes);
+}
+
+/// Replay a trace under a named scheduler and aggregate metrics.
+inline metrics::MetricsReport run_and_report(
+    const swf::Trace& trace, const std::string& scheduler,
+    const sim::ReplayOptions& options = {}) {
+  const auto result =
+      sim::replay(trace, sched::make_scheduler(scheduler), options);
+  return metrics::compute_report(result.completed, result.stats);
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace pjsb::bench

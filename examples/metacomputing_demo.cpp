@@ -1,0 +1,81 @@
+// Metacomputing walkthrough (paper sections 3-4, Figure 1).
+//
+// Builds the canonical 3-site metasystem, shows the information
+// services each site exports (queue length, predicted wait, earliest
+// reservation window), then lets the co-allocating meta-scheduler place
+// a communication-intensive application across two sites with a common
+// advance-reservation window.
+#include <iostream>
+
+#include "meta/warmstones.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pjsb;
+
+  // The metasystem: heterogeneous sizes and scheduling policies.
+  auto configs = meta::canonical_metasystem(/*seed=*/17);
+  for (auto& c : configs) c.background_jobs = 800;
+  std::vector<std::unique_ptr<meta::Site>> storage;
+  std::vector<meta::Site*> sites;
+  for (const auto& c : configs) {
+    storage.push_back(std::make_unique<meta::Site>(c));
+    sites.push_back(storage.back().get());
+  }
+
+  // Let some background load accumulate.
+  for (auto* s : sites) s->engine().run_until(4 * 3600);
+
+  util::Table info({"site", "nodes", "queue", "pred_wait(16p,1h)",
+                    "earliest_res(16p,1h)"});
+  for (auto* s : sites) {
+    const auto wait = s->predicted_wait(16, 3600);
+    const auto res = s->earliest_reservation(s->engine().now(), 3600, 16);
+    info.row()
+        .cell(s->name())
+        .cell(s->nodes())
+        .cell(s->queue_length())
+        .cell(wait ? std::to_string(*wait) + "s" : "n/a")
+        .cell(res ? "t=" + std::to_string(*res) : "n/a");
+  }
+  std::cout << "site information services (Fig. 1, lower half):\n"
+            << info.to_string() << '\n';
+
+  // A coupled application needing 24+24 processors simultaneously.
+  util::Rng rng(3);
+  const auto graph = meta::make_communication_intensive(2, 24, 1800, rng);
+  const auto stages = meta::components_from_graph(graph);
+  std::cout << "application: " << graph.name << ", "
+            << graph.modules.size() << " coupled modules of 24 procs, "
+            << "critical path " << graph.critical_path() << "s\n";
+
+  auto coalloc = meta::make_coalloc_meta();
+  const auto now = sites[0]->engine().now();
+  const auto placement =
+      coalloc->place(stages[0], /*coupled=*/true, sites, now);
+  std::cout << "co-allocation "
+            << (placement.co_allocated ? "SUCCEEDED" : "fell back")
+            << "; placed " << placement.jobs.size() << " components:\n";
+  for (const auto& [site_idx, job_id] : placement.jobs) {
+    std::cout << "  component -> site " << sites[site_idx]->name()
+              << " (job " << job_id << ")\n";
+  }
+
+  // Run everything to completion and report the components' schedule.
+  util::Table done({"site", "job", "start", "end"});
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    sites[s]->set_meta_completion_observer(
+        [&, s](const sim::CompletedJob& j) {
+          done.row()
+              .cell(sites[s]->name())
+              .cell(j.id)
+              .cell(j.start)
+              .cell(j.end);
+        });
+  }
+  for (auto* s : sites) s->engine().run();
+  std::cout << '\n' << "component execution:\n" << done.to_string();
+  std::cout << "\n(co-allocated components share the same start time — "
+               "simultaneous access via reservations, section 3.1)\n";
+  return 0;
+}

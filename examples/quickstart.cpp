@@ -1,0 +1,68 @@
+// Quickstart: the five-minute tour of pjsb.
+//
+//   1. generate a standard workload (Lublin '99 model) as an SWF trace;
+//   2. check it against the standard's consistency rules;
+//   3. write it to disk in Standard Workload Format;
+//   4. simulate it under EASY backfilling;
+//   5. print the metric set.
+//
+// Build & run:  ./build/examples/quickstart [jobs] [nodes] [load]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/swf/validator.hpp"
+#include "core/swf/writer.hpp"
+#include "metrics/aggregate.hpp"
+#include "sched/factory.hpp"
+#include "sim/replay.hpp"
+#include "util/table.hpp"
+#include "workload/model.hpp"
+#include "workload/scale.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pjsb;
+  const std::size_t jobs = argc > 1 ? std::size_t(std::atoll(argv[1])) : 2000;
+  const std::int64_t nodes = argc > 2 ? std::atoll(argv[2]) : 128;
+  const double load = argc > 3 ? std::atof(argv[3]) : 0.7;
+
+  // 1. Generate.
+  util::Rng rng(42);
+  workload::ModelConfig config;
+  config.jobs = jobs;
+  config.machine_nodes = nodes;
+  auto trace = workload::generate(workload::ModelKind::kLublin99, config,
+                                  rng);
+  trace = workload::scale_to_load(trace, load, nodes);
+  std::cout << "generated " << trace.records.size()
+            << " jobs with the Lublin '99 model, offered load "
+            << workload::offered_load(trace, nodes) << "\n";
+
+  // 2. Validate ("every datum must abide to strict consistency rules").
+  const auto report = swf::validate(trace);
+  std::cout << "validator: " << report.errors() << " errors, "
+            << report.warnings() << " warnings\n";
+
+  // 3. Persist as SWF.
+  const std::string path = "quickstart.swf";
+  if (swf::write_swf_file(path, trace)) {
+    std::cout << "wrote " << path << "\n";
+  }
+
+  // 4. Simulate under EASY backfilling.
+  const auto result = sim::replay(trace, sched::make_scheduler("easy"));
+
+  // 5. Report.
+  const auto metrics_report =
+      metrics::compute_report(result.completed, result.stats);
+  util::Table table({"metric", "value"});
+  table.row().cell("jobs completed").cell(metrics_report.jobs);
+  table.row().cell("mean wait (s)").cell(metrics_report.mean_wait, 1);
+  table.row().cell("mean response (s)").cell(metrics_report.mean_response, 1);
+  table.row().cell("mean bounded slowdown")
+      .cell(metrics_report.mean_bounded_slowdown, 2);
+  table.row().cell("utilization").cell(metrics_report.utilization, 3);
+  table.row().cell("makespan").cell(
+      util::format_duration(metrics_report.makespan));
+  std::cout << '\n' << table.to_string();
+  return 0;
+}

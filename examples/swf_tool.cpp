@@ -1,0 +1,184 @@
+// swf_tool — the archive maintainer's multitool.
+//
+// Subcommands:
+//   validate <file.swf>              check the consistency rules
+//   stats <file.swf>                 print aggregate statistics
+//   anonymize <in.swf> <out.swf>     renumber identities incrementally
+//   generate <model> <jobs> <nodes> <load> <out.swf>
+//                                    synthesize a model workload
+//   convert-iacct <raw> <out.swf> <site>   convert hypercube accounting
+//   convert-nqs <raw> <out.swf> <site>     convert NQS/PBS accounting
+//   simulate <file.swf> <scheduler>  replay and print metrics
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/swf/anonymize.hpp"
+#include "core/swf/convert.hpp"
+#include "core/swf/reader.hpp"
+#include "core/swf/validator.hpp"
+#include "core/swf/writer.hpp"
+#include "metrics/aggregate.hpp"
+#include "sched/factory.hpp"
+#include "sim/replay.hpp"
+#include "util/table.hpp"
+#include "workload/model.hpp"
+#include "workload/scale.hpp"
+
+namespace {
+
+using namespace pjsb;
+
+int usage() {
+  std::cerr <<
+      "usage: swf_tool <command> ...\n"
+      "  validate <file.swf>\n"
+      "  stats <file.swf>\n"
+      "  anonymize <in.swf> <out.swf>\n"
+      "  generate <feitelson96|jann97|lublin99|downey97> <jobs> <nodes> "
+      "<load> <out.swf>\n"
+      "  convert-iacct <raw-log> <out.swf> <installation>\n"
+      "  convert-nqs <raw-log> <out.swf> <installation>\n"
+      "  simulate <file.swf> <fcfs|sjf|sjf-fit|easy|conservative|gangN>\n";
+  return 2;
+}
+
+swf::Trace load_or_die(const std::string& path) {
+  auto result = swf::read_swf_file(path);
+  if (!result.errors.empty()) {
+    for (const auto& e : result.errors) {
+      std::cerr << path << ":" << e.line << ": " << e.message << "\n";
+    }
+    if (result.trace.records.empty()) std::exit(1);
+    std::cerr << "(continuing with " << result.trace.records.size()
+              << " parsed records)\n";
+  }
+  return std::move(result.trace);
+}
+
+int cmd_validate(const std::string& path) {
+  const auto trace = load_or_die(path);
+  const auto report = swf::validate(trace);
+  std::cout << report.to_string();
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_stats(const std::string& path) {
+  const auto trace = load_or_die(path);
+  const auto s = trace.stats();
+  util::Table table({"statistic", "value"});
+  table.row().cell("jobs").cell(s.jobs);
+  table.row().cell("users").cell(s.users);
+  table.row().cell("groups").cell(s.groups);
+  table.row().cell("executables").cell(s.executables);
+  table.row().cell("span").cell(util::format_duration(s.span_seconds));
+  table.row().cell("mean procs").cell(s.mean_procs, 2);
+  table.row().cell("mean runtime (s)").cell(s.mean_runtime, 1);
+  table.row().cell("mean interarrival (s)").cell(s.mean_interarrival, 1);
+  table.row().cell("power-of-2 sizes").cell(s.fraction_power_of_two, 3);
+  table.row().cell("serial jobs").cell(s.fraction_serial, 3);
+  table.row().cell("offered load").cell(s.offered_load, 3);
+  table.row().cell("jobs with dependencies").cell(s.with_dependencies);
+  std::cout << table.to_string();
+  return 0;
+}
+
+int cmd_anonymize(const std::string& in, const std::string& out) {
+  auto trace = load_or_die(in);
+  const auto result = swf::anonymize(trace);
+  std::cout << "remapped " << result.users << " users, " << result.groups
+            << " groups, " << result.executables << " executables\n";
+  return swf::write_swf_file(out, trace) ? 0 : 1;
+}
+
+int cmd_generate(const std::string& model, std::size_t jobs,
+                 std::int64_t nodes, double load, const std::string& out) {
+  workload::ModelKind kind;
+  if (model == "feitelson96") kind = workload::ModelKind::kFeitelson96;
+  else if (model == "jann97") kind = workload::ModelKind::kJann97;
+  else if (model == "lublin99") kind = workload::ModelKind::kLublin99;
+  else if (model == "downey97") kind = workload::ModelKind::kDowney97;
+  else return usage();
+
+  util::Rng rng(12345);
+  workload::ModelConfig config;
+  config.jobs = jobs;
+  config.machine_nodes = nodes;
+  auto trace = workload::generate(kind, config, rng);
+  trace = workload::scale_to_load(trace, load, nodes);
+  if (!swf::write_swf_file(out, trace)) return 1;
+  std::cout << "wrote " << jobs << " " << model << " jobs at load " << load
+            << " to " << out << "\n";
+  return 0;
+}
+
+int cmd_convert(bool nqs, const std::string& in, const std::string& out,
+                const std::string& site) {
+  std::ifstream raw(in);
+  if (!raw) {
+    std::cerr << "cannot open " << in << "\n";
+    return 1;
+  }
+  auto result = nqs ? swf::convert_nqsacct(raw, site)
+                    : swf::convert_iacct(raw, site);
+  for (const auto& e : result.errors) {
+    std::cerr << in << ":" << e.line << ": " << e.message << "\n";
+  }
+  if (result.trace.records.empty()) {
+    std::cerr << "no convertible records\n";
+    return 1;
+  }
+  const auto report = swf::validate(result.trace);
+  std::cout << "converted " << result.trace.records.size() << " jobs ("
+            << report.errors() << " validation errors)\n";
+  return swf::write_swf_file(out, result.trace) ? 0 : 1;
+}
+
+int cmd_simulate(const std::string& path, const std::string& scheduler) {
+  const auto trace = load_or_die(path);
+  const auto result = sim::replay(trace, sched::make_scheduler(scheduler));
+  const auto report = metrics::compute_report(result.completed,
+                                              result.stats);
+  util::Table table({"metric", "value"});
+  table.row().cell("scheduler").cell(scheduler);
+  table.row().cell("jobs").cell(report.jobs);
+  table.row().cell("mean wait (s)").cell(report.mean_wait, 1);
+  table.row().cell("mean bounded slowdown")
+      .cell(report.mean_bounded_slowdown, 2);
+  table.row().cell("p95 wait (s)").cell(report.p95_wait, 1);
+  table.row().cell("utilization").cell(report.utilization, 3);
+  std::cout << table.to_string();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "validate" && argc == 3) return cmd_validate(argv[2]);
+    if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
+    if (cmd == "anonymize" && argc == 4) {
+      return cmd_anonymize(argv[2], argv[3]);
+    }
+    if (cmd == "generate" && argc == 7) {
+      return cmd_generate(argv[2], std::size_t(std::atoll(argv[3])),
+                          std::atoll(argv[4]), std::atof(argv[5]),
+                          argv[6]);
+    }
+    if (cmd == "convert-iacct" && argc == 5) {
+      return cmd_convert(false, argv[2], argv[3], argv[4]);
+    }
+    if (cmd == "convert-nqs" && argc == 5) {
+      return cmd_convert(true, argv[2], argv[3], argv[4]);
+    }
+    if (cmd == "simulate" && argc == 4) {
+      return cmd_simulate(argv[2], argv[3]);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,40 @@
+#include "core/feedback/rewrite.hpp"
+
+#include <unordered_map>
+
+namespace pjsb::feedback {
+
+std::size_t apply_dependencies(swf::Trace& trace,
+                               const std::vector<Dependency>& deps) {
+  std::unordered_map<std::int64_t, const Dependency*> by_job;
+  for (const auto& d : deps) by_job[d.job] = &d;
+  std::size_t applied = 0;
+  for (auto& r : trace.records) {
+    if (!r.is_summary()) continue;
+    const auto it = by_job.find(r.job_number);
+    if (it == by_job.end()) continue;
+    r.preceding_job = it->second->preceding;
+    r.think_time = it->second->think_time;
+    ++applied;
+  }
+  return applied;
+}
+
+std::size_t strip_dependencies(swf::Trace& trace) {
+  std::size_t stripped = 0;
+  for (auto& r : trace.records) {
+    if (r.preceding_job != swf::kUnknown || r.think_time != swf::kUnknown) {
+      r.preceding_job = swf::kUnknown;
+      r.think_time = swf::kUnknown;
+      ++stripped;
+    }
+  }
+  return stripped;
+}
+
+std::size_t annotate_trace(swf::Trace& trace,
+                           const InferenceOptions& options) {
+  return apply_dependencies(trace, infer_dependencies(trace, options));
+}
+
+}  // namespace pjsb::feedback

@@ -1,0 +1,30 @@
+// Applying / stripping feedback annotations on SWF traces.
+//
+// The paper's worked example: "for job number 123 we'll put 120 in its
+// preceding job number field, and 10 in its think time from preceding
+// job field" — rather than baking the dependency into the submit time,
+// which "wouldn't be right — changing the scheduler might change the
+// wait time of job 120 and spoil the connection."
+#pragma once
+
+#include <vector>
+
+#include "core/feedback/session.hpp"
+#include "core/swf/trace.hpp"
+
+namespace pjsb::feedback {
+
+/// Write inferred dependencies into fields 17/18 of the trace records.
+/// Returns the number of records annotated. Existing annotations on
+/// other records are left untouched.
+std::size_t apply_dependencies(swf::Trace& trace,
+                               const std::vector<Dependency>& deps);
+
+/// Remove all feedback annotations (fields 17/18 back to -1).
+std::size_t strip_dependencies(swf::Trace& trace);
+
+/// Convenience: infer + apply in one step.
+std::size_t annotate_trace(swf::Trace& trace,
+                           const InferenceOptions& options = {});
+
+}  // namespace pjsb::feedback

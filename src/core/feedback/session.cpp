@@ -1,0 +1,92 @@
+#include "core/feedback/session.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace pjsb::feedback {
+
+std::vector<Dependency> infer_dependencies(const swf::Trace& trace,
+                                           const InferenceOptions& options) {
+  // Walk summary records in submit order per user, tracking the user's
+  // most recent *terminated-before-submit* job.
+  struct LastJob {
+    std::int64_t number = swf::kUnknown;
+    std::int64_t end = swf::kUnknown;
+  };
+  std::unordered_map<std::int64_t, LastJob> last_by_user;
+  std::vector<Dependency> deps;
+
+  auto jobs = trace.summary_records();
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const swf::JobRecord& a, const swf::JobRecord& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+
+  for (const auto& r : jobs) {
+    if (r.user_id == swf::kUnknown || r.submit_time == swf::kUnknown) {
+      continue;
+    }
+    const std::int64_t end = r.end_time();
+    auto& last = last_by_user[r.user_id];
+
+    if (last.number != swf::kUnknown && last.end != swf::kUnknown) {
+      const std::int64_t gap = r.submit_time - last.end;
+      const bool finished = gap >= 0;
+      if ((finished || !options.require_predecessor_finished) &&
+          gap <= options.max_think_time && last.number < r.job_number) {
+        deps.push_back({r.job_number, last.number, std::max<std::int64_t>(
+                                                       0, gap)});
+      }
+    }
+    // This job becomes the user's latest candidate predecessor if its
+    // end time is known and not before the current latest.
+    if (end != swf::kUnknown && (last.end == swf::kUnknown || end >= last.end)) {
+      last = {r.job_number, end};
+    }
+  }
+  return deps;
+}
+
+std::vector<Session> sessions_from_dependencies(
+    const swf::Trace& trace, const std::vector<Dependency>& deps) {
+  std::unordered_map<std::int64_t, std::int64_t> user_of;
+  for (const auto& r : trace.records) {
+    if (r.is_summary()) user_of[r.job_number] = r.user_id;
+  }
+  // Chain via union of predecessor links: map each job to its chain head.
+  std::unordered_map<std::int64_t, std::int64_t> pred;
+  for (const auto& d : deps) pred[d.job] = d.preceding;
+
+  // Jobs that are someone's predecessor.
+  std::unordered_map<std::int64_t, bool> has_successor;
+  for (const auto& d : deps) has_successor[d.preceding] = true;
+
+  std::vector<Session> sessions;
+  // A session ends at a job with no successor; walk back to the head.
+  for (const auto& d : deps) {
+    if (has_successor.count(d.job)) continue;  // not a chain tail
+    Session s;
+    std::vector<std::int64_t> chain;
+    std::int64_t cur = d.job;
+    chain.push_back(cur);
+    while (true) {
+      const auto it = pred.find(cur);
+      if (it == pred.end()) break;
+      cur = it->second;
+      chain.push_back(cur);
+    }
+    std::reverse(chain.begin(), chain.end());
+    s.job_numbers = std::move(chain);
+    const auto uit = user_of.find(s.job_numbers.front());
+    s.user_id = uit != user_of.end() ? uit->second : swf::kUnknown;
+    sessions.push_back(std::move(s));
+  }
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session& a, const Session& b) {
+              return a.job_numbers.front() < b.job_numbers.front();
+            });
+  return sessions;
+}
+
+}  // namespace pjsb::feedback

@@ -1,0 +1,53 @@
+// Feedback inference (paper section 2.2, "Including feedback").
+//
+// "The methodology is straight forward: we identify sequences of
+// dependent jobs (e.g. all those submitted by the same user in rapid
+// succession), and replace the absolute arrival times of jobs in the
+// sequence with interarrival times relative to the previous job in the
+// sequence." This module implements exactly that inference, producing
+// the preceding-job / think-time pairs of SWF fields 17-18.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/swf/trace.hpp"
+
+namespace pjsb::feedback {
+
+/// One inferred dependency edge: `job` should be submitted `think_time`
+/// seconds after `preceding` terminates.
+struct Dependency {
+  std::int64_t job = 0;
+  std::int64_t preceding = 0;
+  std::int64_t think_time = 0;
+};
+
+/// A user session: a maximal chain of dependent jobs by one user.
+struct Session {
+  std::int64_t user_id = swf::kUnknown;
+  std::vector<std::int64_t> job_numbers;  ///< in dependency order
+};
+
+struct InferenceOptions {
+  /// A job depends on the user's previous job only if it was submitted
+  /// within this many seconds after that job terminated ("rapid
+  /// succession"). 20 minutes is the classic session-boundary threshold
+  /// from interactive-workload studies.
+  std::int64_t max_think_time = 20 * 60;
+  /// Jobs submitted while the candidate predecessor was still running
+  /// are treated as independent (the user did not wait for the result).
+  bool require_predecessor_finished = true;
+};
+
+/// Infer dependencies among the summary records of a trace. Records must
+/// have known submit/wait/run times to participate; preceding jobs are
+/// always earlier in job-number order, as the standard requires.
+std::vector<Dependency> infer_dependencies(
+    const swf::Trace& trace, const InferenceOptions& options = {});
+
+/// Group inferred dependencies into per-user session chains.
+std::vector<Session> sessions_from_dependencies(
+    const swf::Trace& trace, const std::vector<Dependency>& deps);
+
+}  // namespace pjsb::feedback

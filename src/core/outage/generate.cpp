@@ -1,0 +1,85 @@
+#include "core/outage/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace pjsb::outage {
+
+OutageLog generate_failures(const FailureModelParams& params,
+                            std::int64_t horizon, std::int64_t total_nodes,
+                            util::Rng& rng) {
+  OutageLog log;
+  log.comments.push_back(
+      "Synthetic failure stream: exponential interarrival, lognormal "
+      "repair");
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(1.0 / params.mtbf_seconds);
+    const auto start = std::int64_t(t);
+    if (start >= horizon) break;
+
+    OutageRecord r;
+    r.start_time = start;
+    r.announce_time = start;  // surprise failure
+    const double repair =
+        rng.lognormal(params.repair_log_mean, params.repair_log_sigma);
+    r.end_time = start + std::max<std::int64_t>(60, std::int64_t(repair));
+
+    std::int64_t affected = 1;
+    if (rng.bernoulli(params.multi_node_prob)) {
+      r.type = OutageType::kNetworkFailure;
+      affected = 1 + std::int64_t(rng.exponential(1.0 / params.multi_node_mean));
+    } else {
+      r.type = rng.bernoulli(0.8) ? OutageType::kCpuFailure
+                                  : OutageType::kDiskFailure;
+    }
+    affected = std::clamp<std::int64_t>(affected, 1, total_nodes);
+    r.nodes_affected = affected;
+
+    // Choose distinct victim nodes.
+    std::unordered_set<std::int64_t> chosen;
+    while (std::int64_t(chosen.size()) < affected) {
+      chosen.insert(rng.uniform_int(0, total_nodes - 1));
+    }
+    r.components.assign(chosen.begin(), chosen.end());
+    std::sort(r.components.begin(), r.components.end());
+    log.records.push_back(std::move(r));
+  }
+  log.sort_by_start();
+  return log;
+}
+
+OutageLog generate_maintenance(const MaintenanceParams& params,
+                               std::int64_t horizon,
+                               std::int64_t total_nodes) {
+  OutageLog log;
+  log.comments.push_back("Synthetic scheduled-maintenance stream");
+  for (std::int64_t start = params.first_start; start < horizon;
+       start += params.period) {
+    OutageRecord r;
+    r.start_time = start;
+    r.end_time = start + params.duration;
+    r.announce_time = std::max<std::int64_t>(0, start - params.announce_lead);
+    r.type = OutageType::kScheduledMaintenance;
+    r.nodes_affected = total_nodes;
+    r.components.resize(std::size_t(total_nodes));
+    std::iota(r.components.begin(), r.components.end(), std::int64_t{0});
+    log.records.push_back(std::move(r));
+  }
+  return log;
+}
+
+OutageLog merge(const OutageLog& a, const OutageLog& b) {
+  OutageLog out;
+  out.comments = a.comments;
+  out.comments.insert(out.comments.end(), b.comments.begin(),
+                      b.comments.end());
+  out.records = a.records;
+  out.records.insert(out.records.end(), b.records.begin(), b.records.end());
+  out.sort_by_start();
+  return out;
+}
+
+}  // namespace pjsb::outage

@@ -1,0 +1,55 @@
+// Outage stream generators.
+//
+// The paper distinguishes surprise failures ("the scheduler suddenly
+// detect[s] that there were fewer nodes available") from human-generated
+// outages ("all production systems are taken down for scheduled
+// maintenance") that are announced in advance. We provide one generator
+// per class; experiment E6 combines both.
+#pragma once
+
+#include <cstdint>
+
+#include "core/outage/record.hpp"
+#include "util/rng.hpp"
+
+namespace pjsb::outage {
+
+/// Random node failures: exponential time between failures (per
+/// machine), log-normal repair durations, geometric blast radius
+/// (usually one node, occasionally a network/facility event taking a
+/// group down).
+struct FailureModelParams {
+  double mtbf_seconds = 7.0 * 86400;  ///< machine-level mean time between
+                                      ///< failures
+  double repair_log_mean = std::log(4.0 * 3600);  ///< ~4h median repair
+  double repair_log_sigma = 0.8;
+  /// Probability that a failure is a multi-node (network) event.
+  double multi_node_prob = 0.15;
+  /// Mean number of nodes in a multi-node event.
+  double multi_node_mean = 8.0;
+};
+
+/// Generate a failure stream over [0, horizon) for a machine with
+/// `total_nodes` nodes. Components are chosen uniformly without
+/// replacement. announce_time == start_time (surprise failures).
+OutageLog generate_failures(const FailureModelParams& params,
+                            std::int64_t horizon, std::int64_t total_nodes,
+                            util::Rng& rng);
+
+/// Scheduled maintenance: a whole-machine window every `period` seconds,
+/// of `duration` seconds, announced `announce_lead` seconds ahead.
+struct MaintenanceParams {
+  std::int64_t period = 7 * 86400;        ///< weekly
+  std::int64_t duration = 4 * 3600;       ///< 4 hours
+  std::int64_t announce_lead = 3 * 86400; ///< 3 days notice
+  std::int64_t first_start = 5 * 86400;   ///< offset of the first window
+};
+
+OutageLog generate_maintenance(const MaintenanceParams& params,
+                               std::int64_t horizon,
+                               std::int64_t total_nodes);
+
+/// Merge two outage logs (concatenate + sort by start).
+OutageLog merge(const OutageLog& a, const OutageLog& b);
+
+}  // namespace pjsb::outage

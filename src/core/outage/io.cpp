@@ -1,0 +1,89 @@
+#include "core/outage/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace pjsb::outage {
+
+namespace {
+using pjsb::util::parse_i64;
+using pjsb::util::split_ws;
+using pjsb::util::trim;
+}  // namespace
+
+OutageReadResult read_outages(std::istream& in) {
+  OutageReadResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == ';') {
+      result.log.comments.emplace_back(trimmed.substr(1));
+      continue;
+    }
+    const auto tok = split_ws(trimmed);
+    if (tok.size() < 6) {
+      result.errors.push_back(
+          {line_no, "expected at least 6 fields, got " +
+                        std::to_string(tok.size())});
+      continue;
+    }
+    std::vector<std::int64_t> values;
+    values.reserve(tok.size());
+    bool bad = false;
+    for (const auto t : tok) {
+      const auto v = parse_i64(t);
+      if (!v) {
+        result.errors.push_back(
+            {line_no, "field is not an integer: '" + std::string(t) + "'"});
+        bad = true;
+        break;
+      }
+      values.push_back(*v);
+    }
+    if (bad) continue;
+
+    OutageRecord r;
+    r.announce_time = values[0];
+    r.start_time = values[1];
+    r.end_time = values[2];
+    r.type = outage_type_from_code(values[3]);
+    r.nodes_affected = values[4];
+    const std::int64_t k = values[5];
+    if (k < 0 || std::size_t(k) + 6 != values.size()) {
+      result.errors.push_back(
+          {line_no, "component count does not match trailing fields"});
+      continue;
+    }
+    r.components.assign(values.begin() + 6, values.end());
+    if (r.end_time < r.start_time) {
+      result.errors.push_back({line_no, "end time before start time"});
+      continue;
+    }
+    result.log.records.push_back(std::move(r));
+  }
+  return result;
+}
+
+OutageReadResult read_outages_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_outages(is);
+}
+
+void write_outages(std::ostream& out, const OutageLog& log) {
+  for (const auto& c : log.comments) out << ';' << c << '\n';
+  for (const auto& r : log.records) out << r.to_line() << '\n';
+}
+
+std::string write_outages_string(const OutageLog& log) {
+  std::ostringstream os;
+  write_outages(os, log);
+  return os.str();
+}
+
+}  // namespace pjsb::outage

@@ -1,0 +1,31 @@
+// Reader/writer for the standard outage format (see record.hpp for the
+// line layout). Mirrors the SWF reader's contract: diagnostics for
+// malformed lines, never silent coercion.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/outage/record.hpp"
+
+namespace pjsb::outage {
+
+struct OutageParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct OutageReadResult {
+  OutageLog log;
+  std::vector<OutageParseError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+OutageReadResult read_outages(std::istream& in);
+OutageReadResult read_outages_string(const std::string& text);
+
+void write_outages(std::ostream& out, const OutageLog& log);
+std::string write_outages_string(const OutageLog& log);
+
+}  // namespace pjsb::outage

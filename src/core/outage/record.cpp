@@ -1,0 +1,50 @@
+#include "core/outage/record.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pjsb::outage {
+
+std::string outage_type_name(OutageType t) {
+  switch (t) {
+    case OutageType::kUnknown: return "unknown";
+    case OutageType::kCpuFailure: return "cpu-failure";
+    case OutageType::kNetworkFailure: return "network-failure";
+    case OutageType::kDiskFailure: return "disk-failure";
+    case OutageType::kFacility: return "facility";
+    case OutageType::kScheduledMaintenance: return "scheduled-maintenance";
+    case OutageType::kDedicatedTime: return "dedicated-time";
+  }
+  return "unknown";
+}
+
+OutageType outage_type_from_code(std::int64_t code) {
+  if (code < 0 || code > 5) return OutageType::kUnknown;
+  return static_cast<OutageType>(code);
+}
+
+std::string OutageRecord::to_line() const {
+  std::ostringstream os;
+  os << announce_time << ' ' << start_time << ' ' << end_time << ' '
+     << static_cast<std::int64_t>(type) << ' ' << nodes_affected << ' '
+     << components.size();
+  for (std::int64_t c : components) os << ' ' << c;
+  return os.str();
+}
+
+void OutageLog::sort_by_start() {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const OutageRecord& a, const OutageRecord& b) {
+                     return a.start_time < b.start_time;
+                   });
+}
+
+std::int64_t OutageLog::total_node_seconds() const {
+  std::int64_t total = 0;
+  for (const auto& r : records) {
+    total += r.duration() * r.nodes_affected;
+  }
+  return total;
+}
+
+}  // namespace pjsb::outage

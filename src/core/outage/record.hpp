@@ -1,0 +1,77 @@
+// Standard outage format (paper section 2.2, "Including outage
+// information").
+//
+// The paper proposes recording, "for every outage that removes any
+// portion of a system from operation": the announced time, start time,
+// end time, type, number of nodes affected, and the specific affected
+// components. We encode each outage as one line of space-separated
+// integers (mirroring the SWF design rules: text, integers only,
+// -1 for unknown, ';' comments):
+//
+//   announce_time start_time end_time type n_nodes k node_1 ... node_k
+//
+// where `type` is the OutageType code below, `n_nodes` is the number of
+// nodes affected, and node_1..node_k (k may be 0, and may be < n_nodes
+// when the components are unknown) identify the affected nodes. Times
+// are seconds on the same clock as the companion workload trace — "the
+// two datasets should be keyed to each other".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pjsb::outage {
+
+/// Outage taxonomy from the paper: "Type of outage (CPU failure,
+/// network failure, facility)" plus disk failures and the
+/// human-generated classes (scheduled maintenance, dedicated time).
+enum class OutageType : std::int64_t {
+  kUnknown = -1,
+  kCpuFailure = 0,
+  kNetworkFailure = 1,
+  kDiskFailure = 2,
+  kFacility = 3,
+  kScheduledMaintenance = 4,
+  kDedicatedTime = 5,
+};
+
+inline constexpr std::int64_t kUnknown = -1;
+
+std::string outage_type_name(OutageType t);
+OutageType outage_type_from_code(std::int64_t code);
+
+struct OutageRecord {
+  /// When the outage became known to the scheduler. Equal to start_time
+  /// for surprise failures; earlier for announced maintenance. -1 means
+  /// "not announced" (treated as announce == start).
+  std::int64_t announce_time = kUnknown;
+  std::int64_t start_time = 0;
+  std::int64_t end_time = 0;  ///< when resources were again schedulable
+  OutageType type = OutageType::kUnknown;
+  std::int64_t nodes_affected = 0;
+  /// Specific affected node ids (0-based), possibly empty when unknown.
+  std::vector<std::int64_t> components;
+
+  bool operator==(const OutageRecord&) const = default;
+
+  std::int64_t duration() const { return end_time - start_time; }
+  /// True if the scheduler had advance notice.
+  bool announced() const {
+    return announce_time != kUnknown && announce_time < start_time;
+  }
+
+  std::string to_line() const;
+};
+
+/// An outage log: header comments plus records sorted by start time.
+struct OutageLog {
+  std::vector<std::string> comments;
+  std::vector<OutageRecord> records;
+
+  void sort_by_start();
+  /// Total node-seconds removed from service.
+  std::int64_t total_node_seconds() const;
+};
+
+}  // namespace pjsb::outage

@@ -1,0 +1,67 @@
+#include "core/swf/anonymize.hpp"
+
+#include <unordered_map>
+
+namespace pjsb::swf {
+
+std::int64_t IdAssigner::id_for(const std::string& name) {
+  auto [it, inserted] = ids_.try_emplace(name, next_);
+  if (inserted) ++next_;
+  return it->second;
+}
+
+std::map<std::int64_t, std::string> IdAssigner::reverse() const {
+  std::map<std::int64_t, std::string> out;
+  for (const auto& [name, id] : ids_) out.emplace(id, name);
+  return out;
+}
+
+namespace {
+
+/// Incremental remapper over int64 identity values, skipping kUnknown
+/// and an optional pinned value (queue 0).
+class IntRemap {
+ public:
+  explicit IntRemap(std::int64_t pinned = kUnknown) : pinned_(pinned) {}
+
+  std::int64_t remap(std::int64_t value) {
+    if (value == kUnknown || value == pinned_) return value;
+    auto [it, inserted] = map_.try_emplace(value, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+
+  std::int64_t count() const { return next_ - 1; }
+
+ private:
+  std::unordered_map<std::int64_t, std::int64_t> map_;
+  std::int64_t next_ = 1;
+  std::int64_t pinned_;
+};
+
+}  // namespace
+
+AnonymizeResult anonymize(Trace& trace, const AnonymizeOptions& options) {
+  IntRemap users, groups, apps, partitions;
+  IntRemap queues(/*pinned=*/0);
+  for (auto& r : trace.records) {
+    if (options.remap_users) r.user_id = users.remap(r.user_id);
+    if (options.remap_groups) r.group_id = groups.remap(r.group_id);
+    if (options.remap_executables) {
+      r.executable_id = apps.remap(r.executable_id);
+    }
+    if (options.remap_queues) r.queue_id = queues.remap(r.queue_id);
+    if (options.remap_partitions) {
+      r.partition_id = partitions.remap(r.partition_id);
+    }
+  }
+  AnonymizeResult result;
+  result.users = users.count();
+  result.groups = groups.count();
+  result.executables = apps.count();
+  result.queues = queues.count();
+  result.partitions = partitions.count();
+  return result;
+}
+
+}  // namespace pjsb::swf

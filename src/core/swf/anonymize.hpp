@@ -1,0 +1,58 @@
+// Anonymization: "users and executables are given by incremental
+// numbers, which makes their parsing easier ... hides administrative
+// issues, and hides sensitive information" (section 2.3).
+//
+// The anonymizer remaps user / group / executable / queue / partition
+// identifiers to natural numbers in order of first appearance. It is
+// used both when converting raw logs (string identities -> integers)
+// and when re-normalizing traces whose ids are sparse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/swf/trace.hpp"
+
+namespace pjsb::swf {
+
+/// Maps arbitrary string identities to incremental ids (1-based), in
+/// order of first appearance. One instance per identity namespace.
+class IdAssigner {
+ public:
+  /// Id for `name`, assigning the next id on first sight.
+  std::int64_t id_for(const std::string& name);
+  /// Number of distinct identities seen so far.
+  std::int64_t count() const { return next_ - 1; }
+  /// Reverse map (id -> original name) for audit output.
+  std::map<std::int64_t, std::string> reverse() const;
+
+ private:
+  std::map<std::string, std::int64_t> ids_;
+  std::int64_t next_ = 1;
+};
+
+struct AnonymizeOptions {
+  bool remap_users = true;
+  bool remap_groups = true;
+  bool remap_executables = true;
+  bool remap_partitions = true;
+  /// Queue 0 is the standard's convention for interactive jobs; keep it
+  /// fixed and remap only queues >= 1.
+  bool remap_queues = true;
+};
+
+/// Statistics of an anonymization pass.
+struct AnonymizeResult {
+  std::int64_t users = 0;
+  std::int64_t groups = 0;
+  std::int64_t executables = 0;
+  std::int64_t queues = 0;
+  std::int64_t partitions = 0;
+};
+
+/// Renumber identity fields in place to be incremental naturals in order
+/// of first appearance, preserving -1 (unknown) and queue 0.
+AnonymizeResult anonymize(Trace& trace, const AnonymizeOptions& options = {});
+
+}  // namespace pjsb::swf

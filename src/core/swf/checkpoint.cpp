@@ -1,0 +1,74 @@
+#include "core/swf/checkpoint.hpp"
+
+#include <unordered_map>
+
+namespace pjsb::swf {
+
+std::int64_t CheckpointedJob::total_run_time() const {
+  std::int64_t total = 0;
+  for (const auto& b : bursts) total += b.run_time;
+  return total;
+}
+
+std::vector<JobRecord> encode_checkpointed(const CheckpointedJob& job) {
+  std::vector<JobRecord> lines;
+  lines.reserve(job.bursts.size() + 1);
+
+  JobRecord summary = job.base;
+  summary.run_time = job.total_run_time();
+  // Summary status must be a whole-job code; default killed -> completed
+  // mapping is the caller's choice via base.status.
+  if (!is_summary_status(summary.status)) summary.status = Status::kCompleted;
+  lines.push_back(summary);
+
+  for (std::size_t i = 0; i < job.bursts.size(); ++i) {
+    JobRecord burst = job.base;
+    burst.wait_time = job.bursts[i].wait_time;
+    burst.run_time = job.bursts[i].run_time;
+    if (i == 0) {
+      burst.submit_time = job.base.submit_time;
+    } else {
+      burst.submit_time = kUnknown;  // "only have a wait time since the
+                                     // previous burst"
+    }
+    const bool last = (i + 1 == job.bursts.size());
+    if (!last) {
+      burst.status = Status::kPartial;
+    } else {
+      burst.status = (summary.status == Status::kKilled)
+                         ? Status::kPartialLastKilled
+                         : Status::kPartialLastOk;
+    }
+    lines.push_back(burst);
+  }
+  return lines;
+}
+
+std::vector<CheckpointedJob> decode_checkpointed(const Trace& trace) {
+  std::unordered_map<std::int64_t, const JobRecord*> summaries;
+  for (const auto& r : trace.records) {
+    if (r.is_summary()) summaries.emplace(r.job_number, &r);
+  }
+  // Preserve first-seen order of jobs with partial lines.
+  std::vector<std::int64_t> order;
+  std::unordered_map<std::int64_t, CheckpointedJob> building;
+  for (const auto& r : trace.records) {
+    if (!is_partial_status(r.status)) continue;
+    auto it = building.find(r.job_number);
+    if (it == building.end()) {
+      const auto sit = summaries.find(r.job_number);
+      if (sit == summaries.end()) continue;  // malformed; validator's job
+      CheckpointedJob job;
+      job.base = *sit->second;
+      it = building.emplace(r.job_number, std::move(job)).first;
+      order.push_back(r.job_number);
+    }
+    it->second.bursts.push_back({r.wait_time, r.run_time});
+  }
+  std::vector<CheckpointedJob> out;
+  out.reserve(order.size());
+  for (std::int64_t id : order) out.push_back(std::move(building.at(id)));
+  return out;
+}
+
+}  // namespace pjsb::swf

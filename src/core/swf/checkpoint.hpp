@@ -1,0 +1,44 @@
+// Multi-line (checkpointed / swapped) job encoding, section 2.3 field 11.
+//
+// "If a log contains information about checkpoints and swapping out of
+// jobs, a job can have multiple lines in the log ... the job information
+// appears twice": one summary line (status 0/1) whose run time is the
+// sum of the partial run times, plus one line per partial execution
+// (status 2 for all but the last, 3/4 for the last). This module builds
+// and expands that encoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/swf/trace.hpp"
+
+namespace pjsb::swf {
+
+/// One burst of execution between swap-outs.
+struct ExecutionBurst {
+  std::int64_t wait_time = 0;  ///< since submit (first) or previous burst
+  std::int64_t run_time = 0;
+};
+
+/// A checkpointed job in structured form.
+struct CheckpointedJob {
+  JobRecord base;  ///< template record (ids, sizes, submit time, status)
+  std::vector<ExecutionBurst> bursts;
+
+  /// Total run time over all bursts.
+  std::int64_t total_run_time() const;
+};
+
+/// Render a checkpointed job as SWF lines: the summary line first (per
+/// the standard), then one line per burst. All lines share the job
+/// number. The first burst line carries the submit time; later bursts
+/// have submit -1 and "only have a wait time since the previous burst".
+std::vector<JobRecord> encode_checkpointed(const CheckpointedJob& job);
+
+/// Reconstruct structured checkpoint jobs from a trace. Jobs without
+/// partial lines are ignored. Malformed groups (no summary line) are
+/// skipped — the validator reports them.
+std::vector<CheckpointedJob> decode_checkpointed(const Trace& trace);
+
+}  // namespace pjsb::swf

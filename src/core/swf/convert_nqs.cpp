@@ -1,0 +1,147 @@
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "core/swf/anonymize.hpp"
+#include "core/swf/convert.hpp"
+#include "util/string_util.hpp"
+
+namespace pjsb::swf {
+
+namespace {
+
+using pjsb::util::parse_i64;
+using pjsb::util::split_ws;
+using pjsb::util::trim;
+
+struct NqsJob {
+  std::int64_t qtime = 0;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::int64_t ncpus = 0;
+  std::int64_t mem_kb = kUnknown;
+  std::int64_t req_walltime = kUnknown;
+  std::int64_t req_ncpus = kUnknown;
+  std::int64_t exit_code = 0;
+  std::string user, group, queue, exe;
+};
+
+}  // namespace
+
+ConvertResult convert_nqsacct(std::istream& in,
+                              const std::string& installation,
+                              std::int64_t max_nodes) {
+  ConvertResult result;
+  std::vector<NqsJob> raw;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+
+    std::map<std::string, std::string, std::less<>> kv;
+    bool bad = false;
+    for (const auto tok : split_ws(trimmed)) {
+      const auto eq = tok.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        result.errors.push_back(
+            {line_no, "token is not key=value: '" + std::string(tok) + "'"});
+        bad = true;
+        break;
+      }
+      kv.emplace(std::string(tok.substr(0, eq)),
+                 std::string(tok.substr(eq + 1)));
+    }
+    if (bad) continue;
+
+    auto get_int = [&](const char* key) -> std::optional<std::int64_t> {
+      const auto it = kv.find(key);
+      if (it == kv.end()) return std::nullopt;
+      return parse_i64(it->second);
+    };
+    auto get_str = [&](const char* key) -> std::string {
+      const auto it = kv.find(key);
+      return it == kv.end() ? std::string() : it->second;
+    };
+
+    NqsJob job;
+    const auto qtime = get_int("qtime");
+    const auto start = get_int("start");
+    const auto end = get_int("end");
+    const auto ncpus = get_int("ncpus");
+    if (!qtime || !start || !end || !ncpus) {
+      result.errors.push_back(
+          {line_no, "missing required key (qtime/start/end/ncpus)"});
+      continue;
+    }
+    if (*start < *qtime || *end < *start) {
+      result.errors.push_back({line_no, "times not ordered qtime<=start<=end"});
+      continue;
+    }
+    job.qtime = *qtime;
+    job.start = *start;
+    job.end = *end;
+    job.ncpus = *ncpus;
+    job.mem_kb = get_int("mem_kb").value_or(kUnknown);
+    job.req_walltime = get_int("req_walltime").value_or(kUnknown);
+    job.req_ncpus = get_int("req_ncpus").value_or(kUnknown);
+    job.exit_code = get_int("exit").value_or(0);
+    job.user = get_str("user");
+    job.group = get_str("group");
+    job.queue = get_str("queue");
+    job.exe = get_str("exe");
+    raw.push_back(std::move(job));
+  }
+
+  if (raw.empty()) return result;
+
+  std::sort(raw.begin(), raw.end(),
+            [](const NqsJob& a, const NqsJob& b) { return a.qtime < b.qtime; });
+  const std::int64_t epoch = raw.front().qtime;
+
+  IdAssigner users, groups, queues, exes;
+  std::int64_t seen_max_nodes = 0;
+  auto& trace = result.trace;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const auto& j = raw[i];
+    JobRecord r;
+    r.job_number = std::int64_t(i + 1);
+    r.submit_time = j.qtime - epoch;
+    r.wait_time = j.start - j.qtime;
+    r.run_time = j.end - j.start;
+    r.allocated_procs = j.ncpus;
+    r.used_memory_kb = j.mem_kb;
+    r.requested_procs = j.req_ncpus != kUnknown ? j.req_ncpus : j.ncpus;
+    r.requested_time = j.req_walltime;
+    r.status = j.exit_code == 0 ? Status::kCompleted : Status::kKilled;
+    if (!j.user.empty()) r.user_id = users.id_for(j.user);
+    if (!j.group.empty()) r.group_id = groups.id_for(j.group);
+    if (!j.exe.empty()) r.executable_id = exes.id_for(j.exe);
+    if (!j.queue.empty()) r.queue_id = queues.id_for(j.queue);
+    seen_max_nodes = std::max(seen_max_nodes, j.ncpus);
+    trace.records.push_back(r);
+  }
+
+  trace.header.computer = "Batch cluster (nqsacct dialect)";
+  trace.header.installation = installation;
+  trace.header.conversion = "pjsb convert_nqsacct";
+  trace.header.version = 2;
+  trace.header.start_time = epoch;
+  trace.header.end_time = epoch + trace.horizon();
+  trace.header.max_nodes = max_nodes > 0 ? max_nodes : seen_max_nodes;
+  trace.header.queues =
+      "Queue ids assigned in order of first appearance in the source log; "
+      "interactive jobs are not distinguished by this dialect.";
+  return result;
+}
+
+ConvertResult convert_nqsacct_string(const std::string& text,
+                                     const std::string& installation,
+                                     std::int64_t max_nodes) {
+  std::istringstream is(text);
+  return convert_nqsacct(is, installation, max_nodes);
+}
+
+}  // namespace pjsb::swf

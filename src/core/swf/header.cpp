@@ -1,0 +1,110 @@
+#include "core/swf/header.hpp"
+
+#include "util/string_util.hpp"
+#include "util/time_util.hpp"
+
+namespace pjsb::swf {
+
+namespace {
+
+using pjsb::util::parse_i64;
+using pjsb::util::to_lower;
+using pjsb::util::trim;
+
+std::string label_line(const std::string& label, const std::string& value) {
+  return ";" + label + ": " + value;
+}
+
+}  // namespace
+
+std::vector<std::string> TraceHeader::to_comment_lines() const {
+  std::vector<std::string> lines;
+  if (computer) lines.push_back(label_line("Computer", *computer));
+  if (installation) lines.push_back(label_line("Installation", *installation));
+  if (acknowledge) lines.push_back(label_line("Acknowledge", *acknowledge));
+  if (information) lines.push_back(label_line("Information", *information));
+  if (conversion) lines.push_back(label_line("Conversion", *conversion));
+  lines.push_back(label_line("Version", std::to_string(version)));
+  if (start_time) {
+    lines.push_back(
+        label_line("StartTime", util::format_swf_time(*start_time)));
+  }
+  if (end_time) {
+    lines.push_back(label_line("EndTime", util::format_swf_time(*end_time)));
+  }
+  if (max_nodes) {
+    lines.push_back(label_line("MaxNodes", std::to_string(*max_nodes)));
+  }
+  if (max_runtime) {
+    lines.push_back(label_line("MaxRuntime", std::to_string(*max_runtime)));
+  }
+  if (max_memory_kb) {
+    lines.push_back(label_line("MaxMemory", std::to_string(*max_memory_kb)));
+  }
+  if (allow_overuse) {
+    lines.push_back(label_line("AllowOveruse", *allow_overuse ? "Yes" : "No"));
+  }
+  if (queues) lines.push_back(label_line("Queues", *queues));
+  if (partitions) lines.push_back(label_line("Partitions", *partitions));
+  for (const auto& note : notes) lines.push_back(label_line("Note", note));
+  for (const auto& extra : extra_comments) lines.push_back(";" + extra);
+  return lines;
+}
+
+bool absorb_header_line(TraceHeader& header, const std::string& comment_body) {
+  const auto colon = comment_body.find(':');
+  if (colon == std::string::npos) {
+    header.extra_comments.push_back(comment_body);
+    return false;
+  }
+  const std::string label = to_lower(trim(comment_body.substr(0, colon)));
+  const std::string value{trim(comment_body.substr(colon + 1))};
+
+  if (label == "computer") {
+    header.computer = value;
+  } else if (label == "installation") {
+    header.installation = value;
+  } else if (label == "acknowledge") {
+    header.acknowledge = value;
+  } else if (label == "information") {
+    header.information = value;
+  } else if (label == "conversion") {
+    header.conversion = value;
+  } else if (label == "version") {
+    if (auto v = parse_i64(value)) header.version = int(*v);
+  } else if (label == "starttime") {
+    if (auto t = util::parse_swf_time(value)) header.start_time = *t;
+  } else if (label == "endtime") {
+    if (auto t = util::parse_swf_time(value)) header.end_time = *t;
+  } else if (label == "maxnodes") {
+    // The standard allows "128 (4x32)" style values describing
+    // partitions in parentheses; take the leading integer.
+    const auto tokens = util::split_ws(value);
+    if (!tokens.empty()) {
+      if (auto v = parse_i64(tokens.front())) header.max_nodes = *v;
+    }
+  } else if (label == "maxruntime") {
+    if (auto v = parse_i64(value)) header.max_runtime = *v;
+  } else if (label == "maxmemory") {
+    if (auto v = parse_i64(value)) header.max_memory_kb = *v;
+  } else if (label == "allowoveruse") {
+    const std::string lv = to_lower(value);
+    if (lv == "yes" || lv == "true" || lv == "1") {
+      header.allow_overuse = true;
+    } else if (lv == "no" || lv == "false" || lv == "0") {
+      header.allow_overuse = false;
+    }
+  } else if (label == "queues") {
+    header.queues = value;
+  } else if (label == "partitions") {
+    header.partitions = value;
+  } else if (label == "note") {
+    header.notes.push_back(value);
+  } else {
+    header.extra_comments.push_back(comment_body);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pjsb::swf

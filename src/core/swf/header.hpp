@@ -1,0 +1,50 @@
+// SWF header comments ("Header Comments", paper section 2.3).
+//
+// The first lines of a trace may be `;Label: Value` comments defining
+// global aspects of the workload. All labels from the standard are
+// supported; unknown labels and free-form comments are preserved
+// verbatim so that converting a trace is lossless.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pjsb::swf {
+
+/// Parsed header block. Optional fields are absent when the trace does
+/// not carry them (every one is optional in practice; Version defaults
+/// to 2, the version this paper defines).
+struct TraceHeader {
+  std::optional<std::string> computer;      ///< Computer: brand and model
+  std::optional<std::string> installation;  ///< Installation: site name
+  std::optional<std::string> acknowledge;   ///< Acknowledge: person(s)
+  std::optional<std::string> information;   ///< Information: web/email
+  std::optional<std::string> conversion;    ///< Conversion: who converted
+  int version = 2;                          ///< Version: standard version
+  std::optional<std::int64_t> start_time;   ///< StartTime (unix seconds)
+  std::optional<std::int64_t> end_time;     ///< EndTime (unix seconds)
+  std::optional<std::int64_t> max_nodes;    ///< MaxNodes: machine size
+  std::optional<std::int64_t> max_runtime;  ///< MaxRuntime: seconds
+  std::optional<std::int64_t> max_memory_kb;  ///< MaxMemory: kilobytes
+  std::optional<bool> allow_overuse;          ///< AllowOveruse: Yes/No
+  std::optional<std::string> queues;          ///< Queues: description
+  std::optional<std::string> partitions;      ///< Partitions: description
+  std::vector<std::string> notes;             ///< Note: may repeat
+  /// Header comment lines that are not `;Label: Value` pairs, or carry
+  /// labels outside the standard; preserved in order.
+  std::vector<std::string> extra_comments;
+
+  bool operator==(const TraceHeader&) const = default;
+
+  /// Render as `;Label: Value` lines in the standard's order.
+  std::vector<std::string> to_comment_lines() const;
+};
+
+/// Consume one comment line (without the leading ';'). Returns true if
+/// the line was a recognized header label and absorbed into `header`;
+/// otherwise records it in extra_comments and returns false.
+bool absorb_header_line(TraceHeader& header, const std::string& comment_body);
+
+}  // namespace pjsb::swf

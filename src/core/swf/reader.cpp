@@ -1,0 +1,117 @@
+#include "core/swf/reader.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace pjsb::swf {
+
+namespace {
+
+using pjsb::util::parse_i64;
+using pjsb::util::split_ws;
+using pjsb::util::trim;
+
+/// Parse the 18 integer fields of a record line. Returns error message
+/// or empty string on success.
+std::string parse_record_line(std::string_view line, bool allow_extra,
+                              JobRecord& out) {
+  const auto tokens = split_ws(line);
+  if (tokens.size() < std::size_t(kFieldCount)) {
+    return "expected " + std::to_string(kFieldCount) + " fields, got " +
+           std::to_string(tokens.size());
+  }
+  if (tokens.size() > std::size_t(kFieldCount) && !allow_extra) {
+    return "expected " + std::to_string(kFieldCount) + " fields, got " +
+           std::to_string(tokens.size());
+  }
+  std::int64_t values[kFieldCount];
+  for (int i = 0; i < kFieldCount; ++i) {
+    const auto v = parse_i64(tokens[std::size_t(i)]);
+    if (!v) {
+      return "field " + std::to_string(i + 1) + " is not an integer: '" +
+             std::string(tokens[std::size_t(i)]) + "'";
+    }
+    values[i] = *v;
+  }
+  out.job_number = values[0];
+  out.submit_time = values[1];
+  out.wait_time = values[2];
+  out.run_time = values[3];
+  out.allocated_procs = values[4];
+  out.avg_cpu_time = values[5];
+  out.used_memory_kb = values[6];
+  out.requested_procs = values[7];
+  out.requested_time = values[8];
+  out.requested_memory_kb = values[9];
+  if (values[10] < -1 || values[10] > 4) {
+    return "field 11 (status) out of range: " + std::to_string(values[10]);
+  }
+  out.status = status_from_code(values[10]);
+  out.user_id = values[11];
+  out.group_id = values[12];
+  out.executable_id = values[13];
+  out.queue_id = values[14];
+  out.partition_id = values[15];
+  out.preceding_job = values[16];
+  out.think_time = values[17];
+  return {};
+}
+
+}  // namespace
+
+ReadResult read_swf(std::istream& in, const ReaderOptions& options) {
+  ReadResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_header = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == ';') {
+      const std::string body{trimmed.substr(1)};
+      if (in_header) {
+        absorb_header_line(result.trace.header, body);
+      } else {
+        // Comments after the first record are preserved but cannot be
+        // header directives per the standard ("the beginning of every
+        // file contains several such lines").
+        result.trace.header.extra_comments.push_back(body);
+      }
+      continue;
+    }
+    in_header = false;
+    JobRecord record;
+    const std::string err =
+        parse_record_line(trimmed, options.allow_extra_fields, record);
+    if (!err.empty()) {
+      result.errors.push_back({line_no, err});
+      if (options.strict) return result;
+      continue;
+    }
+    result.trace.records.push_back(record);
+  }
+  return result;
+}
+
+ReadResult read_swf_string(const std::string& text,
+                           const ReaderOptions& options) {
+  std::istringstream is(text);
+  return read_swf(is, options);
+}
+
+ReadResult read_swf_file(const std::string& path,
+                         const ReaderOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    ReadResult r;
+    r.errors.push_back({0, "cannot open file: " + path});
+    return r;
+  }
+  return read_swf(in, options);
+}
+
+}  // namespace pjsb::swf

@@ -1,0 +1,50 @@
+// SWF reader. "The file format is easy to parse and use: while it is a
+// text file ... all data is in integers" — the reader enforces exactly
+// that, producing a diagnostic (not a crash, not a silent coercion) for
+// every malformed line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/swf/trace.hpp"
+
+namespace pjsb::swf {
+
+/// A parse-level problem, attributed to a physical line.
+struct ParseError {
+  std::size_t line = 0;       ///< 1-based physical line number
+  std::string message;
+};
+
+/// Result of reading a stream: the trace, plus any lines that could not
+/// be parsed. In strict mode parsing stops at the first error.
+struct ReadResult {
+  Trace trace;
+  std::vector<ParseError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+struct ReaderOptions {
+  /// Stop at the first malformed line instead of skipping it.
+  bool strict = false;
+  /// Accept lines with more than 18 fields by ignoring the excess
+  /// (some archive tools append annotations). Lines with fewer than 18
+  /// fields are always errors.
+  bool allow_extra_fields = false;
+};
+
+/// Parse an SWF stream.
+ReadResult read_swf(std::istream& in, const ReaderOptions& options = {});
+
+/// Parse an SWF string (convenience for tests and converters).
+ReadResult read_swf_string(const std::string& text,
+                           const ReaderOptions& options = {});
+
+/// Parse a file from disk; adds a synthetic error if it cannot be opened.
+ReadResult read_swf_file(const std::string& path,
+                         const ReaderOptions& options = {});
+
+}  // namespace pjsb::swf

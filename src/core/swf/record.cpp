@@ -1,0 +1,54 @@
+#include "core/swf/record.hpp"
+
+#include <sstream>
+
+namespace pjsb::swf {
+
+bool is_summary_status(Status s) {
+  return s == Status::kUnknown || s == Status::kKilled ||
+         s == Status::kCompleted;
+}
+
+bool is_partial_status(Status s) {
+  return s == Status::kPartial || s == Status::kPartialLastOk ||
+         s == Status::kPartialLastKilled;
+}
+
+std::int64_t status_code(Status s) { return static_cast<std::int64_t>(s); }
+
+Status status_from_code(std::int64_t code) {
+  switch (code) {
+    case -1: return Status::kUnknown;
+    case 0: return Status::kKilled;
+    case 1: return Status::kCompleted;
+    case 2: return Status::kPartial;
+    case 3: return Status::kPartialLastOk;
+    case 4: return Status::kPartialLastKilled;
+    default: return Status::kUnknown;
+  }
+}
+
+std::int64_t JobRecord::start_time() const {
+  if (submit_time == kUnknown || wait_time == kUnknown) return kUnknown;
+  return submit_time + wait_time;
+}
+
+std::int64_t JobRecord::end_time() const {
+  const std::int64_t start = start_time();
+  if (start == kUnknown || run_time == kUnknown) return kUnknown;
+  return start + run_time;
+}
+
+std::string JobRecord::to_line() const {
+  std::ostringstream os;
+  os << job_number << ' ' << submit_time << ' ' << wait_time << ' '
+     << run_time << ' ' << allocated_procs << ' ' << avg_cpu_time << ' '
+     << used_memory_kb << ' ' << requested_procs << ' ' << requested_time
+     << ' ' << requested_memory_kb << ' ' << status_code(status) << ' '
+     << user_id << ' ' << group_id << ' ' << executable_id << ' '
+     << queue_id << ' ' << partition_id << ' ' << preceding_job << ' '
+     << think_time;
+  return os.str();
+}
+
+}  // namespace pjsb::swf

@@ -1,0 +1,87 @@
+// The Standard Workload Format (SWF) version 2 job record — the paper's
+// primary artifact (section 2.3, "The data fields").
+//
+// One record per line, 18 space-separated integer fields, in this order:
+//   1 job number          2 submit time         3 wait time
+//   4 run time            5 allocated procs     6 avg cpu time
+//   7 used memory (KB)    8 requested procs     9 requested time
+//  10 requested mem (KB) 11 status             12 user id
+//  13 group id           14 executable id      15 queue id
+//  16 partition id       17 preceding job      18 think time
+//
+// Missing values are -1 ("unknown values are part of the standard").
+// Times are in seconds relative to the trace start; memory is KB per
+// processor; user/group/executable/queue/partition ids are incremental
+// natural numbers assigned by the anonymizer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pjsb::swf {
+
+/// Completion/status codes (field 11). Codes 2-4 implement the standard's
+/// multi-line encoding for checkpointed/swapped jobs: a summary line
+/// (code 0/1) followed by one line per partial execution, where the last
+/// partial carries 3 (completed) or 4 (killed).
+enum class Status : std::int64_t {
+  kUnknown = -1,       ///< models, or logs without completion info
+  kKilled = 0,         ///< whole job was killed / cancelled
+  kCompleted = 1,      ///< whole job completed normally
+  kPartial = 2,        ///< partial execution, "to be continued"
+  kPartialLastOk = 3,  ///< last partial execution; job completed
+  kPartialLastKilled = 4,  ///< last partial execution; job killed
+};
+
+/// Sentinel for "field not present in this log / not meaningful".
+inline constexpr std::int64_t kUnknown = -1;
+
+/// Number of fields in an SWF v2 record line.
+inline constexpr int kFieldCount = 18;
+
+/// True for codes that summarize a whole job (what workload studies use).
+bool is_summary_status(Status s);
+/// True for the multi-line partial-execution codes (2, 3, 4).
+bool is_partial_status(Status s);
+/// Render the status as its integer code.
+std::int64_t status_code(Status s);
+/// Parse an integer code (-1..4); anything else returns kUnknown and the
+/// validator flags it.
+Status status_from_code(std::int64_t code);
+
+/// A single SWF record line. All fields are int64 seconds / counts / KB,
+/// -1 where unknown, exactly as the standard prescribes.
+struct JobRecord {
+  std::int64_t job_number = kUnknown;   ///< field 1; 1-based line counter
+  std::int64_t submit_time = kUnknown;  ///< field 2; seconds from trace start
+  std::int64_t wait_time = kUnknown;    ///< field 3; start - submit
+  std::int64_t run_time = kUnknown;     ///< field 4; wall-clock end - start
+  std::int64_t allocated_procs = kUnknown;  ///< field 5
+  std::int64_t avg_cpu_time = kUnknown;     ///< field 6; per-processor avg
+  std::int64_t used_memory_kb = kUnknown;   ///< field 7; per-processor avg
+  std::int64_t requested_procs = kUnknown;  ///< field 8
+  std::int64_t requested_time = kUnknown;   ///< field 9; wallclock or avg cpu
+  std::int64_t requested_memory_kb = kUnknown;  ///< field 10
+  Status status = Status::kUnknown;             ///< field 11
+  std::int64_t user_id = kUnknown;       ///< field 12; 1..#users
+  std::int64_t group_id = kUnknown;      ///< field 13; 1..#groups
+  std::int64_t executable_id = kUnknown; ///< field 14; 1..#apps
+  std::int64_t queue_id = kUnknown;      ///< field 15; 0 = interactive
+  std::int64_t partition_id = kUnknown;  ///< field 16
+  std::int64_t preceding_job = kUnknown; ///< field 17; feedback dependency
+  std::int64_t think_time = kUnknown;    ///< field 18; seconds after pred.
+
+  bool operator==(const JobRecord&) const = default;
+
+  /// Start time (submit + wait) or kUnknown if either part is unknown.
+  std::int64_t start_time() const;
+  /// End time (submit + wait + run) or kUnknown.
+  std::int64_t end_time() const;
+  /// Whether this line is a whole-job summary (status -1, 0 or 1).
+  bool is_summary() const { return is_summary_status(status); }
+
+  /// Serialize as one SWF line (18 space-separated integers).
+  std::string to_line() const;
+};
+
+}  // namespace pjsb::swf

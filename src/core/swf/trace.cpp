@@ -1,0 +1,148 @@
+#include "core/swf/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace pjsb::swf {
+
+namespace {
+
+bool is_power_of_two(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::vector<JobRecord> Trace::summary_records() const {
+  std::vector<JobRecord> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    if (r.is_summary()) out.push_back(r);
+  }
+  return out;
+}
+
+std::map<std::int64_t, std::vector<JobRecord>> Trace::partial_records() const {
+  std::map<std::int64_t, std::vector<JobRecord>> out;
+  for (const auto& r : records) {
+    if (is_partial_status(r.status)) out[r.job_number].push_back(r);
+  }
+  return out;
+}
+
+void Trace::sort_by_submit() {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     if (a.submit_time != b.submit_time) {
+                       // Unknown submit times (partial lines) stay put
+                       // relative to their job number ordering.
+                       if (a.submit_time == kUnknown) return false;
+                       if (b.submit_time == kUnknown) return true;
+                       return a.submit_time < b.submit_time;
+                     }
+                     return a.job_number < b.job_number;
+                   });
+}
+
+void Trace::renumber() {
+  std::unordered_map<std::int64_t, std::int64_t> remap;
+  std::int64_t next = 1;
+  for (auto& r : records) {
+    // Partial lines share the job number of their summary line; only
+    // assign a new number the first time we see each old number.
+    auto [it, inserted] = remap.try_emplace(r.job_number, next);
+    if (inserted) ++next;
+    r.job_number = it->second;
+  }
+  for (auto& r : records) {
+    if (r.preceding_job == kUnknown) continue;
+    auto it = remap.find(r.preceding_job);
+    if (it != remap.end() && it->second < r.job_number) {
+      r.preceding_job = it->second;
+    } else {
+      r.preceding_job = kUnknown;
+      r.think_time = kUnknown;
+    }
+  }
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  const auto jobs = summary_records();
+  s.jobs = jobs.size();
+  if (jobs.empty()) return s;
+
+  std::set<std::int64_t> users, groups, apps;
+  double sum_procs = 0.0, sum_runtime = 0.0;
+  std::size_t n_procs = 0, n_runtime = 0, n_pow2 = 0, n_serial = 0;
+  double area = 0.0;
+  std::int64_t first_submit = jobs.front().submit_time;
+  std::int64_t last_end = 0;
+  std::int64_t prev_submit = kUnknown;
+  double sum_inter = 0.0;
+  std::size_t n_inter = 0;
+
+  for (const auto& r : jobs) {
+    if (r.user_id != kUnknown) users.insert(r.user_id);
+    if (r.group_id != kUnknown) groups.insert(r.group_id);
+    if (r.executable_id != kUnknown) apps.insert(r.executable_id);
+    if (r.allocated_procs != kUnknown) {
+      sum_procs += double(r.allocated_procs);
+      ++n_procs;
+      if (is_power_of_two(r.allocated_procs)) ++n_pow2;
+      if (r.allocated_procs == 1) ++n_serial;
+    }
+    if (r.run_time != kUnknown) {
+      sum_runtime += double(r.run_time);
+      ++n_runtime;
+    }
+    if (r.run_time != kUnknown && r.allocated_procs != kUnknown) {
+      area += double(r.run_time) * double(r.allocated_procs);
+    }
+    if (r.submit_time != kUnknown) {
+      if (prev_submit != kUnknown) {
+        sum_inter += double(r.submit_time - prev_submit);
+        ++n_inter;
+      }
+      prev_submit = r.submit_time;
+      first_submit = std::min(first_submit, r.submit_time);
+    }
+    if (r.submit_time != kUnknown && r.run_time != kUnknown) {
+      // Unknown wait counts as zero (synthetic traces have no waits).
+      const std::int64_t wait = r.wait_time == kUnknown ? 0 : r.wait_time;
+      last_end = std::max(last_end, r.submit_time + wait + r.run_time);
+    }
+  }
+
+  s.users = users.size();
+  s.groups = groups.size();
+  s.executables = apps.size();
+  s.span_seconds = std::max<std::int64_t>(0, last_end - first_submit);
+  s.mean_procs = n_procs ? sum_procs / double(n_procs) : 0.0;
+  s.mean_runtime = n_runtime ? sum_runtime / double(n_runtime) : 0.0;
+  s.mean_interarrival = n_inter ? sum_inter / double(n_inter) : 0.0;
+  s.fraction_power_of_two = n_procs ? double(n_pow2) / double(n_procs) : 0.0;
+  s.fraction_serial = n_procs ? double(n_serial) / double(n_procs) : 0.0;
+  if (header.max_nodes && *header.max_nodes > 0 && s.span_seconds > 0) {
+    s.offered_load =
+        area / (double(*header.max_nodes) * double(s.span_seconds));
+  }
+  for (const auto& r : jobs) {
+    if (r.preceding_job != kUnknown) ++s.with_dependencies;
+  }
+  return s;
+}
+
+std::int64_t Trace::horizon() const {
+  std::int64_t h = 0;
+  for (const auto& r : records) {
+    if (!r.is_summary()) continue;
+    if (r.submit_time == kUnknown || r.run_time == kUnknown) continue;
+    // Models carry no wait times; treat unknown wait as zero so the
+    // horizon is still meaningful for synthetic traces.
+    const std::int64_t wait = r.wait_time == kUnknown ? 0 : r.wait_time;
+    h = std::max(h, r.submit_time + wait + r.run_time);
+  }
+  return h;
+}
+
+}  // namespace pjsb::swf

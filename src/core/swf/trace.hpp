@@ -1,0 +1,65 @@
+// Trace: an in-memory SWF workload (header + records) plus the
+// derived views and statistics the evaluation stack needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/swf/header.hpp"
+#include "core/swf/record.hpp"
+
+namespace pjsb::swf {
+
+/// Aggregate statistics of a trace, as used by the model-comparison
+/// experiments and the `swf_tool stats` subcommand.
+struct TraceStats {
+  std::size_t jobs = 0;          ///< summary records only
+  std::size_t users = 0;
+  std::size_t groups = 0;
+  std::size_t executables = 0;
+  std::int64_t span_seconds = 0;  ///< last end - first submit
+  double mean_procs = 0.0;
+  double mean_runtime = 0.0;
+  double mean_interarrival = 0.0;
+  double fraction_power_of_two = 0.0;  ///< jobs whose size is a power of 2
+  double fraction_serial = 0.0;        ///< jobs with one processor
+  /// Offered load: sum(procs*runtime) / (max_nodes * span). 0 when the
+  /// trace has no MaxNodes header or zero span.
+  double offered_load = 0.0;
+  std::size_t with_dependencies = 0;   ///< records with field 17 set
+};
+
+/// An SWF workload. Records are kept in file order (ascending submit
+/// time per the standard); helpers provide the summary-only view that
+/// workload studies must use (status -1/0/1) and checkpoint detail lines.
+struct Trace {
+  TraceHeader header;
+  std::vector<JobRecord> records;
+
+  /// Records that summarize whole jobs (status -1, 0 or 1). Per the
+  /// standard: "For workload studies, only the single-line summary of
+  /// the job should be used".
+  std::vector<JobRecord> summary_records() const;
+
+  /// Partial-execution lines (status 2, 3, 4) grouped by job number.
+  std::map<std::int64_t, std::vector<JobRecord>> partial_records() const;
+
+  /// Sort records by (submit, job number) — the standard requires
+  /// ascending submit order.
+  void sort_by_submit();
+
+  /// Reassign job numbers 1..N in current record order, remapping
+  /// preceding-job references accordingly. Records whose predecessor is
+  /// dropped lose their dependency (fields 17/18 reset to -1).
+  void renumber();
+
+  /// Compute aggregate statistics (summary records only).
+  TraceStats stats() const;
+
+  /// Max end time over summary records (trace-relative seconds).
+  /// Unknown wait times count as zero, so model output has a horizon.
+  std::int64_t horizon() const;
+};
+
+}  // namespace pjsb::swf

@@ -1,0 +1,35 @@
+#include "core/swf/writer.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace pjsb::swf {
+
+void write_swf(std::ostream& out, const Trace& trace,
+               const WriterOptions& options) {
+  if (options.include_header) {
+    for (const auto& line : trace.header.to_comment_lines()) {
+      out << line << '\n';
+    }
+  }
+  for (const auto& record : trace.records) {
+    out << record.to_line() << '\n';
+  }
+}
+
+std::string write_swf_string(const Trace& trace, const WriterOptions& options) {
+  std::ostringstream os;
+  write_swf(os, trace, options);
+  return os.str();
+}
+
+bool write_swf_file(const std::string& path, const Trace& trace,
+                    const WriterOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_swf(out, trace, options);
+  return bool(out);
+}
+
+}  // namespace pjsb::swf

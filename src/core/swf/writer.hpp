@@ -1,0 +1,31 @@
+// SWF writer: renders a Trace back to the standard text form, header
+// comments first, one 18-field integer line per record.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/swf/trace.hpp"
+
+namespace pjsb::swf {
+
+struct WriterOptions {
+  /// Emit the header comment block (on by default; models generated on
+  /// the fly may omit it).
+  bool include_header = true;
+};
+
+/// Write a trace to a stream.
+void write_swf(std::ostream& out, const Trace& trace,
+               const WriterOptions& options = {});
+
+/// Render a trace to a string.
+std::string write_swf_string(const Trace& trace,
+                             const WriterOptions& options = {});
+
+/// Write to a file; returns false (and writes nothing) if the file
+/// cannot be opened.
+bool write_swf_file(const std::string& path, const Trace& trace,
+                    const WriterOptions& options = {});
+
+}  // namespace pjsb::swf

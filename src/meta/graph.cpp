@@ -1,0 +1,166 @@
+#include "meta/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pjsb::meta {
+
+std::int64_t ProgramGraph::total_work() const {
+  std::int64_t w = 0;
+  for (const auto& m : modules) w += m.procs * m.runtime;
+  return w;
+}
+
+std::int64_t ProgramGraph::max_module_procs() const {
+  std::int64_t p = 0;
+  for (const auto& m : modules) p = std::max(p, m.procs);
+  return p;
+}
+
+std::int64_t ProgramGraph::total_procs() const {
+  std::int64_t p = 0;
+  for (const auto& m : modules) p += m.procs;
+  return p;
+}
+
+std::int64_t ProgramGraph::total_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& e : edges) b += e.bytes;
+  return b;
+}
+
+std::vector<std::vector<std::size_t>> ProgramGraph::stages() const {
+  if (coupled) {
+    std::vector<std::size_t> all(modules.size());
+    for (std::size_t i = 0; i < modules.size(); ++i) all[i] = i;
+    return {all};
+  }
+  // Longest-path leveling (Kahn) over the DAG.
+  const std::size_t n = modules.size();
+  std::vector<std::size_t> indeg(n, 0);
+  std::vector<std::vector<std::size_t>> succ(n);
+  for (const auto& e : edges) {
+    if (e.from >= n || e.to >= n) {
+      throw std::invalid_argument("ProgramGraph: edge index out of range");
+    }
+    ++indeg[e.to];
+    succ[e.from].push_back(e.to);
+  }
+  std::vector<std::size_t> level(n, 0);
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  std::size_t processed = 0;
+  std::size_t max_level = 0;
+  while (!ready.empty()) {
+    const std::size_t u = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (std::size_t v : succ[u]) {
+      level[v] = std::max(level[v], level[u] + 1);
+      max_level = std::max(max_level, level[v]);
+      if (--indeg[v] == 0) ready.push_back(v);
+    }
+  }
+  if (processed != n) throw std::invalid_argument("ProgramGraph: cycle");
+  std::vector<std::vector<std::size_t>> out(max_level + 1);
+  for (std::size_t i = 0; i < n; ++i) out[level[i]].push_back(i);
+  return out;
+}
+
+std::int64_t ProgramGraph::critical_path() const {
+  std::int64_t cp = 0;
+  for (const auto& stage : stages()) {
+    std::int64_t longest = 0;
+    for (std::size_t i : stage) longest = std::max(longest,
+                                                   modules[i].runtime);
+    cp += longest;
+  }
+  return cp;
+}
+
+ProgramGraph make_compute_intensive(std::int64_t total_procs,
+                                    std::int64_t runtime, util::Rng& rng) {
+  // "A compute-intensive meta-application that can use all the cycles
+  // from all the machines it can get": a bag of large independent
+  // chunks with negligible communication.
+  ProgramGraph g;
+  g.name = "compute-intensive";
+  const int chunks = int(rng.uniform_int(2, 4));
+  const std::int64_t per = std::max<std::int64_t>(1, total_procs / chunks);
+  for (int i = 0; i < chunks; ++i) {
+    g.modules.push_back({per, runtime, -1});
+  }
+  g.coupled = false;
+  return g;
+}
+
+ProgramGraph make_communication_intensive(std::size_t n_modules,
+                                          std::int64_t procs_per_module,
+                                          std::int64_t runtime,
+                                          util::Rng& rng) {
+  // "A communication-intensive meta application that requires extensive
+  // data transfers between its parts": tightly coupled, all-to-all
+  // heavy edges, must be co-allocated.
+  ProgramGraph g;
+  g.name = "communication-intensive";
+  g.coupled = true;
+  for (std::size_t i = 0; i < n_modules; ++i) {
+    g.modules.push_back({procs_per_module, runtime, -1});
+  }
+  for (std::size_t i = 0; i < n_modules; ++i) {
+    for (std::size_t j = i + 1; j < n_modules; ++j) {
+      g.edges.push_back({i, j, rng.uniform_int(1 << 20, 1 << 26)});
+    }
+  }
+  return g;
+}
+
+ProgramGraph make_parameter_sweep(std::size_t n_tasks,
+                                  std::int64_t procs_per_task,
+                                  std::int64_t mean_runtime,
+                                  util::Rng& rng) {
+  ProgramGraph g;
+  g.name = "parameter-sweep";
+  g.coupled = false;
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    const auto rt = std::max<std::int64_t>(
+        1, std::int64_t(rng.exponential(1.0 / double(mean_runtime))));
+    g.modules.push_back({procs_per_task, rt, -1});
+  }
+  return g;
+}
+
+ProgramGraph make_pipeline(std::size_t n_stages, std::int64_t procs,
+                           std::int64_t stage_runtime, util::Rng& rng) {
+  ProgramGraph g;
+  g.name = "pipeline";
+  g.coupled = false;
+  for (std::size_t i = 0; i < n_stages; ++i) {
+    g.modules.push_back({procs, stage_runtime, -1});
+    if (i > 0) {
+      g.edges.push_back({i - 1, i, rng.uniform_int(1 << 16, 1 << 22)});
+    }
+  }
+  return g;
+}
+
+ProgramGraph make_device_constrained(std::int64_t procs,
+                                     std::int64_t runtime,
+                                     std::int64_t device_site,
+                                     util::Rng& rng) {
+  // "A meta-application that requires a specific set of devices from
+  // different locations": a compute module plus a module pinned to the
+  // site hosting the device (e.g. a visualization engine).
+  ProgramGraph g;
+  g.name = "device-constrained";
+  g.coupled = false;
+  g.modules.push_back({procs, runtime, -1});
+  g.modules.push_back({1, std::max<std::int64_t>(1, runtime / 4),
+                       device_site});
+  g.edges.push_back({0, 1, rng.uniform_int(1 << 20, 1 << 24)});
+  return g;
+}
+
+}  // namespace pjsb::meta

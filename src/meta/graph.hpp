@@ -1,0 +1,76 @@
+// Annotated program graphs (section 4.3: "we will represent
+// [benchmark applications] using annotated graphs, and simulate the
+// execution by interpreting the graphs. Legion program graphs are
+// well-suited to this purpose.")
+//
+// A module is a rigid computation (procs, runtime on dedicated procs);
+// edges carry data volumes and impose precedence. `coupled` graphs are
+// single-phase tightly-coupled applications whose modules must execute
+// simultaneously (the co-allocation case); uncoupled graphs are DAGs
+// executed stage by stage.
+//
+// The micro-benchmark generators below are the paper's own list
+// (section 3.2): compute-intensive, communication-intensive, and
+// device-constrained meta-applications, plus a parameter-sweep
+// bag-of-tasks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pjsb::meta {
+
+struct Module {
+  std::int64_t procs = 1;
+  std::int64_t runtime = 1;   ///< on dedicated processors
+  std::int64_t device_id = -1;  ///< required device/site (-1 = any)
+};
+
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::int64_t bytes = 0;
+};
+
+struct ProgramGraph {
+  std::string name;
+  std::vector<Module> modules;
+  std::vector<Edge> edges;
+  /// Tightly coupled: all modules run simultaneously and communicate
+  /// throughout; placement requires co-allocation (or folding onto one
+  /// machine).
+  bool coupled = false;
+
+  std::int64_t total_work() const;      ///< sum procs * runtime
+  std::int64_t critical_path() const;   ///< longest runtime path (DAG)
+  std::int64_t max_module_procs() const;
+  std::int64_t total_procs() const;     ///< sum of module procs
+  std::int64_t total_bytes() const;
+
+  /// Topological stages: modules grouped by DAG depth. Coupled graphs
+  /// return a single stage with every module. Throws on cycles.
+  std::vector<std::vector<std::size_t>> stages() const;
+};
+
+/// Micro-benchmark generators (section 3.2).
+ProgramGraph make_compute_intensive(std::int64_t total_procs,
+                                    std::int64_t runtime, util::Rng& rng);
+ProgramGraph make_communication_intensive(std::size_t n_modules,
+                                          std::int64_t procs_per_module,
+                                          std::int64_t runtime,
+                                          util::Rng& rng);
+ProgramGraph make_parameter_sweep(std::size_t n_tasks,
+                                  std::int64_t procs_per_task,
+                                  std::int64_t mean_runtime,
+                                  util::Rng& rng);
+ProgramGraph make_pipeline(std::size_t n_stages, std::int64_t procs,
+                           std::int64_t stage_runtime, util::Rng& rng);
+ProgramGraph make_device_constrained(std::int64_t procs,
+                                     std::int64_t runtime,
+                                     std::int64_t device_site,
+                                     util::Rng& rng);
+
+}  // namespace pjsb::meta

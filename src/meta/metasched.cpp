@@ -1,0 +1,263 @@
+#include "meta/metasched.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/profile.hpp"
+#include "sched/reservation.hpp"
+#include "util/rng.hpp"
+
+namespace pjsb::meta {
+
+Component fold_coupled(std::span<const Component> components) {
+  Component folded;
+  folded.procs = 0;
+  folded.runtime = 0;
+  folded.estimate = 0;
+  for (const auto& c : components) {
+    folded.procs += c.procs;
+    folded.runtime = std::max(folded.runtime, c.runtime);
+    folded.estimate = std::max(folded.estimate, c.estimate);
+    folded.device_site = std::max(folded.device_site, c.device_site);
+  }
+  return folded;
+}
+
+std::vector<std::vector<Component>> components_from_graph(
+    const ProgramGraph& graph) {
+  std::vector<std::vector<Component>> out;
+  for (const auto& stage : graph.stages()) {
+    std::vector<Component> comps;
+    comps.reserve(stage.size());
+    for (std::size_t i : stage) {
+      const auto& m = graph.modules[i];
+      Component c;
+      c.procs = m.procs;
+      c.runtime = m.runtime;
+      c.estimate = m.runtime * 2;  // meta apps carry loose estimates too
+      c.device_site = m.device_id;
+      comps.push_back(c);
+    }
+    out.push_back(std::move(comps));
+  }
+  return out;
+}
+
+namespace {
+
+/// Sites a component may run on (device pinning + size fit).
+std::vector<std::size_t> eligible_sites(const Component& c,
+                                        std::span<Site* const> sites) {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    if (c.device_site >= 0 && std::int64_t(s) != c.device_site) continue;
+    if (c.procs > sites[s]->nodes()) continue;
+    out.push_back(s);
+  }
+  return out;
+}
+
+/// Submit every component of an (uncoupled) stage to the site chosen by
+/// `pick`; coupled stages are folded onto one site.
+template <typename PickFn>
+Placement place_by(std::span<const Component> components, bool coupled,
+                   std::span<Site* const> sites, std::int64_t now,
+                   PickFn&& pick) {
+  Placement p;
+  if (coupled && components.size() > 1) {
+    const Component folded = fold_coupled(components);
+    const auto eligible = eligible_sites(folded, sites);
+    if (!eligible.empty()) {
+      const std::size_t s = pick(folded, eligible);
+      const std::int64_t id = sites[s]->submit_meta_job(
+          now, folded.procs, folded.runtime, folded.estimate);
+      p.jobs.emplace_back(s, id);
+      return p;
+    }
+    // No single site can fold it; fall through and submit components
+    // independently (losing coupling — recorded as not co-allocated).
+  }
+  for (const auto& c : components) {
+    const auto eligible = eligible_sites(c, sites);
+    if (eligible.empty()) continue;  // unsatisfiable component
+    const std::size_t s = pick(c, eligible);
+    const std::int64_t id =
+        sites[s]->submit_meta_job(now, c.procs, c.runtime, c.estimate);
+    p.jobs.emplace_back(s, id);
+  }
+  return p;
+}
+
+class RandomMeta final : public MetaScheduler {
+ public:
+  explicit RandomMeta(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+
+  Placement place(std::span<const Component> components, bool coupled,
+                  std::span<Site* const> sites, std::int64_t now) override {
+    return place_by(components, coupled, sites, now,
+                    [this](const Component&,
+                           const std::vector<std::size_t>& eligible) {
+                      const auto i = rng_.uniform_int(
+                          0, std::int64_t(eligible.size()) - 1);
+                      return eligible[std::size_t(i)];
+                    });
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+class LeastQueuedMeta final : public MetaScheduler {
+ public:
+  std::string name() const override { return "least-queued"; }
+
+  Placement place(std::span<const Component> components, bool coupled,
+                  std::span<Site* const> sites, std::int64_t now) override {
+    return place_by(components, coupled, sites, now,
+                    [&sites](const Component&,
+                             const std::vector<std::size_t>& eligible) {
+                      std::size_t best = eligible.front();
+                      for (std::size_t s : eligible) {
+                        if (sites[s]->queue_length() <
+                            sites[best]->queue_length()) {
+                          best = s;
+                        }
+                      }
+                      return best;
+                    });
+  }
+};
+
+class MinWaitMeta final : public MetaScheduler {
+ public:
+  std::string name() const override { return "min-wait"; }
+
+  Placement place(std::span<const Component> components, bool coupled,
+                  std::span<Site* const> sites, std::int64_t now) override {
+    return place_by(
+        components, coupled, sites, now,
+        [&sites](const Component& c,
+                 const std::vector<std::size_t>& eligible) {
+          std::size_t best = eligible.front();
+          double best_wait = std::numeric_limits<double>::infinity();
+          for (std::size_t s : eligible) {
+            const auto w = sites[s]->predicted_wait(c.procs, c.estimate);
+            // Fall back to queue length scaled to seconds-ish.
+            const double wait =
+                w ? double(*w)
+                  : 600.0 * double(sites[s]->queue_length());
+            if (wait < best_wait) {
+              best_wait = wait;
+              best = s;
+            }
+          }
+          return best;
+        });
+  }
+};
+
+class CoAllocMeta final : public MetaScheduler {
+ public:
+  std::string name() const override { return "co-alloc"; }
+
+  Placement place(std::span<const Component> components, bool coupled,
+                  std::span<Site* const> sites, std::int64_t now) override {
+    if (!coupled || components.size() < 2) {
+      return MinWaitMeta{}.place(components, coupled, sites, now);
+    }
+    Placement p;
+    p.attempted_co_allocation = true;
+
+    // Assign components to distinct sites, biggest component to the
+    // biggest eligible site first.
+    std::vector<std::size_t> order(components.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return components[a].procs > components[b].procs;
+    });
+    std::vector<int> assigned(components.size(), -1);
+    std::vector<bool> site_used(sites.size(), false);
+    for (std::size_t i : order) {
+      const auto eligible = eligible_sites(components[i], sites);
+      std::int64_t best_nodes = -1;
+      for (std::size_t s : eligible) {
+        if (site_used[s]) continue;
+        if (sites[s]->nodes() > best_nodes) {
+          best_nodes = sites[s]->nodes();
+          assigned[i] = int(s);
+        }
+      }
+      if (assigned[i] >= 0) site_used[std::size_t(assigned[i])] = true;
+    }
+    const bool all_assigned =
+        std::none_of(assigned.begin(), assigned.end(),
+                     [](int s) { return s < 0; });
+
+    if (all_assigned) {
+      // Fixpoint over per-site earliest reservation queries.
+      std::vector<sched::EarliestStartFn> queries;
+      queries.reserve(components.size());
+      for (std::size_t i = 0; i < components.size(); ++i) {
+        const auto& c = components[i];
+        Site* site = sites[std::size_t(assigned[i])];
+        const std::int64_t duration = std::max(c.estimate, c.runtime);
+        queries.push_back([site, duration, procs = c.procs](
+                              std::int64_t from) -> std::int64_t {
+          const auto t = site->earliest_reservation(from, duration, procs);
+          return t ? *t : sched::kForever;
+        });
+      }
+      const auto window =
+          sched::find_common_window(queries, now + 1);
+      if (window) {
+        std::vector<std::pair<std::size_t, std::int64_t>> jobs;
+        bool ok = true;
+        for (std::size_t i = 0; i < components.size(); ++i) {
+          const auto& c = components[i];
+          const std::size_t s = std::size_t(assigned[i]);
+          const auto id = sites[s]->reserve_meta_job(*window, c.procs,
+                                                     c.runtime, c.estimate);
+          if (!id) {
+            ok = false;
+            break;
+          }
+          jobs.emplace_back(s, *id);
+        }
+        if (ok) {
+          p.jobs = std::move(jobs);
+          p.co_allocated = true;
+          return p;
+        }
+        // Partial failure: the committed components will still run;
+        // submit the rest unreserved below so the app completes.
+        p.jobs = std::move(jobs);
+      }
+    }
+
+    // Fallback: fold onto the min-wait site (or independent submission
+    // when folding is impossible).
+    auto rest = MinWaitMeta{}.place(
+        components.subspan(p.jobs.size()), coupled,
+        sites, now);
+    p.jobs.insert(p.jobs.end(), rest.jobs.begin(), rest.jobs.end());
+    return p;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<MetaScheduler> make_random_meta(std::uint64_t seed) {
+  return std::make_unique<RandomMeta>(seed);
+}
+std::unique_ptr<MetaScheduler> make_least_queued_meta() {
+  return std::make_unique<LeastQueuedMeta>();
+}
+std::unique_ptr<MetaScheduler> make_min_wait_meta() {
+  return std::make_unique<MinWaitMeta>();
+}
+std::unique_ptr<MetaScheduler> make_coalloc_meta() {
+  return std::make_unique<CoAllocMeta>();
+}
+
+}  // namespace pjsb::meta

@@ -1,0 +1,72 @@
+// Meta-schedulers (top of the paper's Figure 1): policies that pick
+// which machine scheduler(s) should serve an application, using the
+// information services the sites export.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "meta/graph.hpp"
+#include "meta/site.hpp"
+
+namespace pjsb::meta {
+
+/// One schedulable component of an application stage.
+struct Component {
+  std::int64_t procs = 1;
+  std::int64_t runtime = 1;
+  std::int64_t estimate = 1;
+  std::int64_t device_site = -1;  ///< pinned site index, or -1 = any
+};
+
+/// Placement outcome for one stage.
+struct Placement {
+  /// Submitted job ids, parallel to the component list, as
+  /// (site index, job id) pairs.
+  std::vector<std::pair<std::size_t, std::int64_t>> jobs;
+  bool co_allocated = false;
+  bool attempted_co_allocation = false;
+};
+
+class MetaScheduler {
+ public:
+  virtual ~MetaScheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Place one stage of an application at time `now`. `coupled` stages
+  /// require simultaneous execution of all components. Implementations
+  /// must submit the jobs (via the sites) and report what they did.
+  virtual Placement place(std::span<const Component> components,
+                          bool coupled, std::span<Site* const> sites,
+                          std::int64_t now) = 0;
+};
+
+/// Uniform-random site choice; coupled stages are folded onto the
+/// chosen site as one merged job. The "no information" baseline.
+std::unique_ptr<MetaScheduler> make_random_meta(std::uint64_t seed);
+
+/// Pick the site with the shortest local queue.
+std::unique_ptr<MetaScheduler> make_least_queued_meta();
+
+/// Pick the site with the smallest scheduler-predicted wait (falls back
+/// to queue length where prediction is unavailable).
+std::unique_ptr<MetaScheduler> make_min_wait_meta();
+
+/// Co-allocating policy: coupled multi-component stages are spread over
+/// sites and granted a common advance-reservation window (fixpoint over
+/// per-site earliest-start queries); falls back to single-site folding
+/// when reservations cannot be obtained. Uncoupled components go to the
+/// min-predicted-wait site.
+std::unique_ptr<MetaScheduler> make_coalloc_meta();
+
+/// Fold a coupled stage into one rigid job (sum of procs, max runtime).
+Component fold_coupled(std::span<const Component> components);
+
+/// Derive stage components from a program graph.
+std::vector<std::vector<Component>> components_from_graph(
+    const ProgramGraph& graph);
+
+}  // namespace pjsb::meta

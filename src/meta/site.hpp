@@ -1,0 +1,91 @@
+// A site in the metasystem: one machine + machine scheduler + local
+// background workload + the information services a meta-scheduler uses
+// (queue length, wait prediction, reservation queries) — the lower half
+// of the paper's Figure 1.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "sched/backfill.hpp"
+#include "sim/engine.hpp"
+#include "workload/model.hpp"
+
+namespace pjsb::meta {
+
+struct SiteConfig {
+  std::string name = "site";
+  std::int64_t nodes = 128;
+  /// Scheduler name for sched::make_scheduler ("easy", "conservative",
+  /// "fcfs", ...). Reservations need a profile-based scheduler.
+  std::string scheduler = "easy";
+  /// Background (locally submitted) workload.
+  workload::ModelKind background_model = workload::ModelKind::kLublin99;
+  std::size_t background_jobs = 2000;
+  double background_load = 0.6;
+  std::uint64_t seed = 1;
+};
+
+/// Meta job ids live in a reserved range so sites can tell them apart
+/// from background jobs.
+inline constexpr std::int64_t kMetaJobIdBase = 1'000'000;
+
+class Site {
+ public:
+  explicit Site(const SiteConfig& config);
+
+  const std::string& name() const { return config_.name; }
+  std::int64_t nodes() const { return config_.nodes; }
+  sim::Engine& engine() { return *engine_; }
+  const sim::Engine& engine() const { return *engine_; }
+
+  /// Current queue length (jobs waiting locally).
+  std::size_t queue_length() const { return engine_->queued_jobs(); }
+
+  /// Predicted wait for a (procs, estimate) request submitted now, via
+  /// the scheduler's profile if available.
+  std::optional<std::int64_t> predicted_wait(std::int64_t procs,
+                                             std::int64_t estimate) const;
+
+  /// Earliest feasible advance-reservation start >= from, if the
+  /// scheduler supports reservations.
+  std::optional<std::int64_t> earliest_reservation(std::int64_t from,
+                                                   std::int64_t duration,
+                                                   std::int64_t procs) const;
+
+  /// Submit a meta job (starts whenever the local scheduler decides).
+  /// Returns its engine job id.
+  std::int64_t submit_meta_job(std::int64_t submit_time, std::int64_t procs,
+                               std::int64_t runtime, std::int64_t estimate);
+
+  /// Reserve (procs, duration) at `start` and attach a meta job that
+  /// will run in the window. Returns the job id, or nullopt if the
+  /// reservation was rejected.
+  std::optional<std::int64_t> reserve_meta_job(std::int64_t start,
+                                               std::int64_t procs,
+                                               std::int64_t runtime,
+                                               std::int64_t estimate);
+
+  /// True if `job_id` is a meta job of this site.
+  bool is_meta_job(std::int64_t job_id) const {
+    return meta_jobs_.count(job_id) > 0;
+  }
+
+  /// Observer invoked for every completed *meta* job on this site.
+  void set_meta_completion_observer(
+      std::function<void(const sim::CompletedJob&)> fn);
+
+ private:
+  SiteConfig config_;
+  std::unique_ptr<sim::Engine> engine_;
+  /// Borrowed view of the scheduler, non-null when profile-based.
+  const sched::BackfillBase* backfill_ = nullptr;
+  std::int64_t next_meta_id_ = kMetaJobIdBase;
+  std::unordered_set<std::int64_t> meta_jobs_;
+  std::function<void(const sim::CompletedJob&)> meta_observer_;
+};
+
+}  // namespace pjsb::meta

@@ -1,0 +1,239 @@
+#include "meta/warmstones.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace pjsb::meta {
+
+std::vector<SiteConfig> canonical_metasystem(std::uint64_t seed) {
+  std::vector<SiteConfig> sites(3);
+  sites[0].name = "alpha";
+  sites[0].nodes = 256;
+  sites[0].scheduler = "easy";
+  sites[0].background_load = 0.55;
+  sites[0].seed = util::derive_seed(seed, 1);
+  sites[1].name = "beta";
+  sites[1].nodes = 128;
+  sites[1].scheduler = "conservative";
+  sites[1].background_load = 0.5;
+  sites[1].seed = util::derive_seed(seed, 2);
+  sites[2].name = "gamma";
+  sites[2].nodes = 64;
+  sites[2].scheduler = "easy";
+  sites[2].background_load = 0.45;
+  sites[2].seed = util::derive_seed(seed, 3);
+  for (auto& s : sites) s.background_jobs = 1500;
+  return sites;
+}
+
+std::vector<AppSpec> generate_suite(const WarmstonesConfig& config) {
+  util::Rng rng(util::derive_seed(config.seed, 99));
+  std::vector<AppSpec> suite;
+  suite.reserve(config.apps);
+  double t = 0.0;
+  for (std::size_t i = 0; i < config.apps; ++i) {
+    t += rng.exponential(1.0 / config.mean_interarrival);
+    AppSpec app;
+    app.arrival = std::int64_t(t);
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        app.graph = make_compute_intensive(
+            rng.uniform_int(32, 128), rng.uniform_int(600, 7200), rng);
+        break;
+      case 1:
+        app.graph = make_communication_intensive(
+            std::size_t(rng.uniform_int(2, 3)), rng.uniform_int(16, 48),
+            rng.uniform_int(600, 3600), rng);
+        break;
+      case 2:
+        app.graph = make_parameter_sweep(
+            std::size_t(rng.uniform_int(4, 10)), rng.uniform_int(1, 4),
+            rng.uniform_int(300, 1800), rng);
+        break;
+      case 3:
+        app.graph = make_pipeline(std::size_t(rng.uniform_int(2, 4)),
+                                  rng.uniform_int(8, 32),
+                                  rng.uniform_int(300, 2400), rng);
+        break;
+      default:
+        app.graph = make_device_constrained(
+            rng.uniform_int(8, 64), rng.uniform_int(600, 3600),
+            rng.uniform_int(0, std::int64_t(config.sites.size()) - 1), rng);
+        break;
+    }
+    suite.push_back(std::move(app));
+  }
+  return suite;
+}
+
+namespace {
+
+/// Per-application progress tracking inside the coordinator.
+struct AppState {
+  std::vector<std::vector<Component>> stages;
+  bool coupled = false;
+  std::size_t next_stage = 0;
+  /// Outstanding (site, job) pairs of the current stage.
+  std::set<std::pair<std::size_t, std::int64_t>> outstanding;
+  std::int64_t last_completion = 0;
+  bool failed = false;
+};
+
+struct Action {
+  std::int64_t time = 0;
+  std::int64_t seq = 0;
+  std::size_t app = 0;
+};
+struct ActionOrder {
+  bool operator()(const Action& a, const Action& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+MetaReport evaluate(const WarmstonesConfig& config, MetaScheduler& meta,
+                    const std::vector<AppSpec>& suite) {
+  // Fresh sites per evaluation so every meta-scheduler sees identical
+  // background workloads.
+  std::vector<std::unique_ptr<Site>> site_storage;
+  std::vector<Site*> sites;
+  for (const auto& sc : config.sites) {
+    site_storage.push_back(std::make_unique<Site>(sc));
+    sites.push_back(site_storage.back().get());
+  }
+
+  MetaReport report;
+  report.metascheduler = meta.name();
+  report.apps.resize(suite.size());
+  std::vector<AppState> states(suite.size());
+
+  std::priority_queue<Action, std::vector<Action>, ActionOrder> actions;
+  std::int64_t action_seq = 0;
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    auto& out = report.apps[i];
+    out.index = i;
+    out.graph_name = suite[i].graph.name;
+    out.arrival = suite[i].arrival;
+    out.coupled = suite[i].graph.coupled;
+    states[i].stages = components_from_graph(suite[i].graph);
+    states[i].coupled = suite[i].graph.coupled;
+    actions.push({suite[i].arrival, action_seq++, i});
+  }
+
+  // (site, job id) -> app index, for completion routing.
+  std::map<std::pair<std::size_t, std::int64_t>, std::size_t> job_owner;
+
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    sites[s]->set_meta_completion_observer(
+        [&, s](const sim::CompletedJob& job) {
+          const auto key = std::make_pair(s, job.id);
+          const auto it = job_owner.find(key);
+          if (it == job_owner.end()) return;
+          const std::size_t app = it->second;
+          auto& st = states[app];
+          st.outstanding.erase(key);
+          st.last_completion = std::max(st.last_completion, job.end);
+          if (st.outstanding.empty()) {
+            if (st.next_stage < st.stages.size()) {
+              actions.push({st.last_completion, action_seq++, app});
+            } else {
+              report.apps[app].completion = st.last_completion;
+            }
+          }
+        });
+  }
+
+  auto place_next_stage = [&](std::size_t app, std::int64_t when) {
+    auto& st = states[app];
+    auto& out = report.apps[app];
+    if (st.next_stage >= st.stages.size()) return;
+    const auto& comps = st.stages[st.next_stage];
+    ++st.next_stage;
+    const bool coupled_stage = st.coupled && comps.size() > 1;
+    Placement p = meta.place(comps, coupled_stage, sites, when);
+    if (st.next_stage == 1) {
+      out.attempted_co_allocation = p.attempted_co_allocation;
+      out.co_allocated = p.co_allocated;
+    }
+    if (p.jobs.empty()) {
+      st.failed = true;
+      return;
+    }
+    for (const auto& [site_idx, job_id] : p.jobs) {
+      st.outstanding.insert({site_idx, job_id});
+      job_owner[{site_idx, job_id}] = app;
+    }
+  };
+
+  auto apps_pending = [&]() {
+    return std::any_of(report.apps.begin(), report.apps.end(),
+                       [&](const AppOutcome& a) {
+                         return !a.completed() &&
+                                !states[a.index].failed;
+                       });
+  };
+
+  // Global coordination loop: interleave meta actions and site events in
+  // timestamp order.
+  while (apps_pending()) {
+    const std::int64_t ta =
+        actions.empty() ? std::numeric_limits<std::int64_t>::max()
+                        : actions.top().time;
+    std::int64_t ts = std::numeric_limits<std::int64_t>::max();
+    std::size_t next_site = 0;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      const auto t = sites[s]->engine().next_event_time();
+      if (t && *t < ts) {
+        ts = *t;
+        next_site = s;
+      }
+    }
+    if (ta == std::numeric_limits<std::int64_t>::max() &&
+        ts == std::numeric_limits<std::int64_t>::max()) {
+      break;  // deadlock safeguard: nothing can make progress
+    }
+    if (ta <= ts) {
+      const Action a = actions.top();
+      actions.pop();
+      // Bring every site up to the action time so queue lengths and
+      // predictions reflect the same instant.
+      for (auto* site : sites) site->engine().run_until(a.time);
+      place_next_stage(a.app, a.time);
+    } else {
+      sites[next_site]->engine().step();
+    }
+  }
+
+  // Summarize.
+  double turnaround_sum = 0.0, stretch_sum = 0.0;
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& out = report.apps[i];
+    if (out.attempted_co_allocation) ++report.coalloc_attempts;
+    if (out.co_allocated) ++report.coalloc_successes;
+    if (!out.completed()) continue;
+    ++completed;
+    turnaround_sum += double(out.turnaround());
+    const auto cp = std::max<std::int64_t>(1, suite[i].graph.critical_path());
+    stretch_sum += double(out.turnaround()) / double(cp);
+  }
+  report.completed_apps = completed;
+  if (completed > 0) {
+    report.mean_turnaround = turnaround_sum / double(completed);
+    report.mean_stretch = stretch_sum / double(completed);
+  }
+  for (auto* site : sites) {
+    report.site_utilization.push_back(site->engine().stats().utilization());
+  }
+  return report;
+}
+
+}  // namespace pjsb::meta

@@ -1,0 +1,78 @@
+// The WARMstones evaluation environment (paper section 4.3).
+//
+// "The primary components of WARMstones include a benchmark suite, an
+// implementation toolkit for schedulers, a canonical representation of
+// metasystems, and a simulation engine to evaluate execution of a suite
+// of applications on a metasystem using a particular scheduler."
+//
+// Mapping onto pjsb: the benchmark suite is a mix of program graphs
+// (meta/graph), the implementation toolkit is the MetaScheduler
+// interface, the canonical representation is the SiteConfig list, and
+// the simulation engine coordinates the per-site DES engines on a
+// global clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "meta/graph.hpp"
+#include "meta/metasched.hpp"
+#include "meta/site.hpp"
+
+namespace pjsb::meta {
+
+/// One benchmark application instance with its arrival time.
+struct AppSpec {
+  std::int64_t arrival = 0;
+  ProgramGraph graph;
+};
+
+/// Outcome of one application run.
+struct AppOutcome {
+  std::size_t index = 0;
+  std::string graph_name;
+  std::int64_t arrival = 0;
+  std::int64_t completion = -1;  ///< -1 = never completed (unsatisfiable)
+  bool coupled = false;
+  bool attempted_co_allocation = false;
+  bool co_allocated = false;
+
+  bool completed() const { return completion >= 0; }
+  std::int64_t turnaround() const { return completion - arrival; }
+};
+
+struct WarmstonesConfig {
+  std::vector<SiteConfig> sites;
+  std::size_t apps = 40;
+  double mean_interarrival = 1800.0;
+  std::uint64_t seed = 42;
+};
+
+struct MetaReport {
+  std::string metascheduler;
+  std::vector<AppOutcome> apps;
+  double mean_turnaround = 0.0;
+  double mean_stretch = 0.0;  ///< turnaround / graph critical path
+  std::size_t coalloc_attempts = 0;
+  std::size_t coalloc_successes = 0;
+  std::size_t completed_apps = 0;
+  std::vector<double> site_utilization;
+};
+
+/// A canonical 3-site heterogeneous metasystem (different sizes and
+/// schedulers), for the experiments and examples.
+std::vector<SiteConfig> canonical_metasystem(std::uint64_t seed = 7);
+
+/// Generate the benchmark suite: a seeded mix of the section 3.2
+/// micro-benchmarks arriving as a Poisson stream.
+std::vector<AppSpec> generate_suite(const WarmstonesConfig& config);
+
+/// Run one meta-scheduler over a suite on fresh sites built from the
+/// config. Each call reconstructs the sites (same seeds), so different
+/// meta-schedulers face identical backgrounds.
+MetaReport evaluate(const WarmstonesConfig& config, MetaScheduler& meta,
+                    const std::vector<AppSpec>& suite);
+
+}  // namespace pjsb::meta

@@ -1,0 +1,101 @@
+#include "metrics/aggregate.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace pjsb::metrics {
+
+double slowdown(const sim::CompletedJob& job) {
+  const double rt = double(std::max<std::int64_t>(1, job.runtime));
+  return double(job.response()) / rt;
+}
+
+double bounded_slowdown(const sim::CompletedJob& job, std::int64_t tau) {
+  const double rt = double(std::max(tau, job.runtime));
+  return std::max(1.0, double(job.response()) / rt);
+}
+
+MetricsReport compute_report(std::span<const sim::CompletedJob> jobs,
+                             const sim::EngineStats& stats) {
+  MetricsReport r;
+  r.jobs = jobs.size();
+  if (jobs.empty()) return r;
+
+  std::vector<double> waits, responses, slowdowns, bslowdowns;
+  waits.reserve(jobs.size());
+  responses.reserve(jobs.size());
+  slowdowns.reserve(jobs.size());
+  bslowdowns.reserve(jobs.size());
+  double restarts = 0.0;
+  for (const auto& j : jobs) {
+    waits.push_back(double(j.wait()));
+    responses.push_back(double(j.response()));
+    slowdowns.push_back(slowdown(j));
+    bslowdowns.push_back(bounded_slowdown(j));
+    restarts += double(j.restarts);
+  }
+  const auto wait_summary = util::summarize(waits);
+  const auto resp_summary = util::summarize(responses);
+  r.mean_wait = wait_summary.mean;
+  r.median_wait = wait_summary.median;
+  r.p95_wait = wait_summary.p95;
+  r.mean_response = resp_summary.mean;
+  r.median_response = resp_summary.median;
+  r.mean_slowdown = util::summarize(slowdowns).mean;
+  r.mean_bounded_slowdown = util::summarize(bslowdowns).mean;
+  r.utilization = stats.utilization();
+  r.makespan = stats.makespan;
+  r.mean_restarts = restarts / double(jobs.size());
+  if (stats.makespan > 0) {
+    r.throughput_per_hour =
+        double(jobs.size()) / (double(stats.makespan) / 3600.0);
+  }
+  if (stats.capacity_node_seconds > 0) {
+    r.wasted_fraction = double(stats.wasted_node_seconds) /
+                        double(stats.capacity_node_seconds);
+  }
+  return r;
+}
+
+const char* metric_name(MetricId id) {
+  switch (id) {
+    case MetricId::kMeanWait: return "mean-wait";
+    case MetricId::kMeanResponse: return "mean-response";
+    case MetricId::kMeanSlowdown: return "mean-slowdown";
+    case MetricId::kMeanBoundedSlowdown: return "mean-bounded-slowdown";
+    case MetricId::kP95Wait: return "p95-wait";
+    case MetricId::kUtilization: return "utilization";
+    case MetricId::kThroughput: return "throughput";
+    case MetricId::kMakespan: return "makespan";
+  }
+  return "unknown";
+}
+
+double metric_value(const MetricsReport& report, MetricId id) {
+  switch (id) {
+    case MetricId::kMeanWait: return report.mean_wait;
+    case MetricId::kMeanResponse: return report.mean_response;
+    case MetricId::kMeanSlowdown: return report.mean_slowdown;
+    case MetricId::kMeanBoundedSlowdown:
+      return report.mean_bounded_slowdown;
+    case MetricId::kP95Wait: return report.p95_wait;
+    case MetricId::kUtilization: return report.utilization;
+    case MetricId::kThroughput: return report.throughput_per_hour;
+    case MetricId::kMakespan: return double(report.makespan);
+  }
+  return 0.0;
+}
+
+double metric_cost(const MetricsReport& report, MetricId id) {
+  const double v = metric_value(report, id);
+  switch (id) {
+    case MetricId::kUtilization:
+    case MetricId::kThroughput:
+      return -v;  // maximize
+    default:
+      return v;  // minimize
+  }
+}
+
+}  // namespace pjsb::metrics

@@ -1,0 +1,70 @@
+// Aggregate performance metrics.
+//
+// "The measured performance of a system depends not only on the system
+// and workload, but also on the metrics used to gauge performance"
+// (section 1.2). We compute every metric the paper names — response
+// time, wait time, slowdown (and bounded slowdown), utilization,
+// throughput — so the conflict experiments (E3/E4) can rank schedulers
+// under each.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/job.hpp"
+
+namespace pjsb::metrics {
+
+/// Threshold for bounded slowdown: runtimes below tau are clamped so
+/// trivially short jobs do not dominate the mean (Feitelson & Rudolph's
+// recommended form).
+inline constexpr std::int64_t kBoundedSlowdownTau = 10;
+
+/// Per-job derived metrics.
+double slowdown(const sim::CompletedJob& job);
+double bounded_slowdown(const sim::CompletedJob& job,
+                        std::int64_t tau = kBoundedSlowdownTau);
+
+/// The metric set of a simulation run.
+struct MetricsReport {
+  std::size_t jobs = 0;
+  double mean_wait = 0.0;
+  double median_wait = 0.0;
+  double p95_wait = 0.0;
+  double mean_response = 0.0;
+  double median_response = 0.0;
+  double mean_slowdown = 0.0;
+  double mean_bounded_slowdown = 0.0;
+  double utilization = 0.0;     ///< work / available capacity
+  double throughput_per_hour = 0.0;
+  std::int64_t makespan = 0;
+  double mean_restarts = 0.0;   ///< outage-induced restarts per job
+  double wasted_fraction = 0.0; ///< wasted work / capacity
+};
+
+/// Compute a report from completed jobs + engine accounting.
+MetricsReport compute_report(std::span<const sim::CompletedJob> jobs,
+                             const sim::EngineStats& stats);
+
+/// Scalar metric identifiers, for ranking experiments.
+enum class MetricId {
+  kMeanWait,
+  kMeanResponse,
+  kMeanSlowdown,
+  kMeanBoundedSlowdown,
+  kP95Wait,
+  kUtilization,   ///< higher is better (negated when ranking)
+  kThroughput,    ///< higher is better (negated when ranking)
+  kMakespan,
+};
+
+const char* metric_name(MetricId id);
+/// Value of the metric in the report.
+double metric_value(const MetricsReport& report, MetricId id);
+/// Value oriented so that *smaller is better* for every metric.
+double metric_cost(const MetricsReport& report, MetricId id);
+
+}  // namespace pjsb::metrics

@@ -1,0 +1,45 @@
+#include "metrics/objective.hpp"
+
+#include "util/stats.hpp"
+
+namespace pjsb::metrics {
+
+double WeightedObjective::cost(const MetricsReport& report) const {
+  double total = 0.0;
+  for (const auto& term : terms) {
+    total += term.weight * metric_cost(report, term.metric) / term.scale;
+  }
+  return total;
+}
+
+WeightedObjective owner_user_blend(double lambda) {
+  WeightedObjective obj;
+  obj.name = "blend(lambda=" + std::to_string(lambda) + ")";
+  // Owner side: idle capacity fraction = 1 - utilization. metric_cost
+  // for utilization is -utilization, so add the constant 1 implicitly
+  // (constants do not change rankings) and weight by (1 - lambda).
+  obj.terms.push_back({MetricId::kUtilization, 1.0 - lambda, 1.0});
+  // User side: mean bounded slowdown, scaled by a nominal 10 so that
+  // both terms live on comparable magnitudes.
+  obj.terms.push_back({MetricId::kMeanBoundedSlowdown, lambda, 10.0});
+  return obj;
+}
+
+std::vector<std::size_t> rank_by_objective(
+    const WeightedObjective& objective,
+    std::span<const MetricsReport> reports) {
+  std::vector<double> costs;
+  costs.reserve(reports.size());
+  for (const auto& r : reports) costs.push_back(objective.cost(r));
+  return util::ranking_of(costs);
+}
+
+std::vector<std::size_t> rank_by_metric(
+    MetricId metric, std::span<const MetricsReport> reports) {
+  std::vector<double> costs;
+  costs.reserve(reports.size());
+  for (const auto& r : reports) costs.push_back(metric_cost(r, metric));
+  return util::ranking_of(costs);
+}
+
+}  // namespace pjsb::metrics

@@ -1,0 +1,50 @@
+// Weighted objective functions ("owner defined policy rules", [41]).
+//
+// The paper notes that [41] "showed significant differences in the
+// ranking of various scheduling algorithms if applied to objective
+// functions that only differ in the selection of a weight". We
+// implement exactly that construction: a linear blend of a user-centric
+// cost (slowdown) and an owner-centric cost (unused capacity), with a
+// sweepable weight — plus a general weighted form over all metrics.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/aggregate.hpp"
+
+namespace pjsb::metrics {
+
+/// General linear objective: cost = sum over terms of
+/// weight * metric_cost(report, metric). Smaller is better.
+struct ObjectiveTerm {
+  MetricId metric;
+  double weight = 1.0;
+  /// Normalization divisor applied to the metric before weighting, so
+  /// terms with different units can be mixed meaningfully.
+  double scale = 1.0;
+};
+
+struct WeightedObjective {
+  std::string name;
+  std::vector<ObjectiveTerm> terms;
+
+  double cost(const MetricsReport& report) const;
+};
+
+/// The two-sided family of [41]: lambda in [0,1] blends the
+/// owner-centric term (idle capacity, i.e. 1 - utilization) with the
+/// user-centric term (mean bounded slowdown, scaled).
+WeightedObjective owner_user_blend(double lambda);
+
+/// Rank schedulers (index order) by objective cost, ascending.
+std::vector<std::size_t> rank_by_objective(
+    const WeightedObjective& objective,
+    std::span<const MetricsReport> reports);
+
+/// Rank schedulers by a single metric's cost, ascending.
+std::vector<std::size_t> rank_by_metric(
+    MetricId metric, std::span<const MetricsReport> reports);
+
+}  // namespace pjsb::metrics

@@ -1,0 +1,43 @@
+// Queue-wait-time prediction (paper section 3.1).
+//
+// "In order to make reasonable decisions, the meta-scheduler needs
+// information on how the machine schedulers are going to deal with its
+// requests ... work on supercomputer queue time prediction [15,57,31]
+// could be used to provide this information." We implement the three
+// predictor families the experiments compare: a naive recent-mean, a
+// Smith/Taylor/Foster-style template predictor over job categories, and
+// a scheduler-assisted predictor that queries the scheduler's own
+// reservation profile.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pjsb::predict {
+
+/// The features of a submission a predictor may condition on.
+struct JobFeatures {
+  std::int64_t submit = 0;
+  std::int64_t procs = 1;
+  std::int64_t estimate = 1;
+  std::int64_t user_id = -1;
+  std::int64_t executable_id = -1;
+  std::int64_t queue_id = -1;
+};
+
+class WaitTimePredictor {
+ public:
+  virtual ~WaitTimePredictor() = default;
+
+  virtual std::string name() const = 0;
+  /// Learn from a completed wait observation.
+  virtual void observe(const JobFeatures& features,
+                       std::int64_t actual_wait) = 0;
+  /// Predicted wait in seconds, or nullopt if the predictor has no
+  /// basis yet (cold start).
+  virtual std::optional<std::int64_t> predict(
+      const JobFeatures& features) const = 0;
+};
+
+}  // namespace pjsb::predict

@@ -1,0 +1,30 @@
+#include "predict/recent_mean.hpp"
+
+#include <stdexcept>
+
+namespace pjsb::predict {
+
+RecentMeanPredictor::RecentMeanPredictor(std::size_t window)
+    : window_(window) {
+  if (window == 0) {
+    throw std::invalid_argument("RecentMeanPredictor: window >= 1");
+  }
+}
+
+void RecentMeanPredictor::observe(const JobFeatures& /*features*/,
+                                  std::int64_t actual_wait) {
+  waits_.push_back(actual_wait);
+  sum_ += actual_wait;
+  if (waits_.size() > window_) {
+    sum_ -= waits_.front();
+    waits_.pop_front();
+  }
+}
+
+std::optional<std::int64_t> RecentMeanPredictor::predict(
+    const JobFeatures& /*features*/) const {
+  if (waits_.empty()) return std::nullopt;
+  return sum_ / std::int64_t(waits_.size());
+}
+
+}  // namespace pjsb::predict

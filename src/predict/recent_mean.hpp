@@ -1,0 +1,27 @@
+// Baseline predictor: the mean wait of the last k completed jobs,
+// regardless of their shape. What a user watching the queue would guess.
+#pragma once
+
+#include <deque>
+
+#include "predict/predictor.hpp"
+
+namespace pjsb::predict {
+
+class RecentMeanPredictor final : public WaitTimePredictor {
+ public:
+  explicit RecentMeanPredictor(std::size_t window = 32);
+
+  std::string name() const override { return "recent-mean"; }
+  void observe(const JobFeatures& features,
+               std::int64_t actual_wait) override;
+  std::optional<std::int64_t> predict(
+      const JobFeatures& features) const override;
+
+ private:
+  std::size_t window_;
+  std::deque<std::int64_t> waits_;
+  std::int64_t sum_ = 0;
+};
+
+}  // namespace pjsb::predict

@@ -1,0 +1,22 @@
+#include "predict/scheduler_assisted.hpp"
+
+namespace pjsb::predict {
+
+SchedulerAssistedPredictor::SchedulerAssistedPredictor(
+    const sched::Scheduler& scheduler)
+    : scheduler_(scheduler) {}
+
+void SchedulerAssistedPredictor::observe(const JobFeatures& /*features*/,
+                                         std::int64_t /*actual_wait*/) {
+  // Stateless: the scheduler's live profile is the model.
+}
+
+std::optional<std::int64_t> SchedulerAssistedPredictor::predict(
+    const JobFeatures& f) const {
+  const auto start =
+      scheduler_.predict_start(f.submit, f.procs, f.estimate);
+  if (!start) return std::nullopt;
+  return *start - f.submit;
+}
+
+}  // namespace pjsb::predict

@@ -1,0 +1,27 @@
+// Scheduler-assisted predictor: queries the scheduler's own reservation
+// profile (section 3.1's wish — machine schedulers "enhanced" so meta
+// schedulers can obtain wait information directly). Exact when the
+// scheduler is conservative, an approximation for EASY.
+#pragma once
+
+#include "predict/predictor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pjsb::predict {
+
+class SchedulerAssistedPredictor final : public WaitTimePredictor {
+ public:
+  /// Does not own the scheduler; it must outlive the predictor.
+  explicit SchedulerAssistedPredictor(const sched::Scheduler& scheduler);
+
+  std::string name() const override { return "scheduler-assisted"; }
+  void observe(const JobFeatures& features,
+               std::int64_t actual_wait) override;
+  std::optional<std::int64_t> predict(
+      const JobFeatures& features) const override;
+
+ private:
+  const sched::Scheduler& scheduler_;
+};
+
+}  // namespace pjsb::predict

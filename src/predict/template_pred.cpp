@@ -1,0 +1,59 @@
+#include "predict/template_pred.hpp"
+
+#include <cmath>
+
+namespace pjsb::predict {
+
+TemplatePredictor::TemplatePredictor(std::size_t min_samples)
+    : min_samples_(std::max<std::size_t>(1, min_samples)) {}
+
+int TemplatePredictor::procs_bucket(std::int64_t procs) {
+  int b = 0;
+  while (procs > 1) {
+    procs >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+int TemplatePredictor::estimate_bucket(std::int64_t estimate) {
+  // Buckets: <1m, <10m, <1h, <4h, <12h, >=12h
+  if (estimate < 60) return 0;
+  if (estimate < 600) return 1;
+  if (estimate < 3600) return 2;
+  if (estimate < 4 * 3600) return 3;
+  if (estimate < 12 * 3600) return 4;
+  return 5;
+}
+
+void TemplatePredictor::observe(const JobFeatures& f,
+                                std::int64_t actual_wait) {
+  const int pb = procs_bucket(f.procs);
+  const int eb = estimate_bucket(f.estimate);
+  by_user_shape_[{f.user_id, pb, eb}].add(double(actual_wait));
+  by_shape_[{pb, eb}].add(double(actual_wait));
+  by_estimate_[eb].add(double(actual_wait));
+  global_.add(double(actual_wait));
+}
+
+std::optional<std::int64_t> TemplatePredictor::predict(
+    const JobFeatures& f) const {
+  const int pb = procs_bucket(f.procs);
+  const int eb = estimate_bucket(f.estimate);
+  if (const auto it = by_user_shape_.find({f.user_id, pb, eb});
+      it != by_user_shape_.end() && it->second.count() >= min_samples_) {
+    return std::int64_t(it->second.mean());
+  }
+  if (const auto it = by_shape_.find({pb, eb});
+      it != by_shape_.end() && it->second.count() >= min_samples_) {
+    return std::int64_t(it->second.mean());
+  }
+  if (const auto it = by_estimate_.find(eb);
+      it != by_estimate_.end() && it->second.count() >= min_samples_) {
+    return std::int64_t(it->second.mean());
+  }
+  if (global_.count() >= 1) return std::int64_t(global_.mean());
+  return std::nullopt;
+}
+
+}  // namespace pjsb::predict

@@ -1,0 +1,47 @@
+// Template-based predictor after Smith, Taylor & Foster [57] / Gibbons
+// [31]: categorize jobs by discretized features, keep running
+// statistics per category, and predict from the most specific category
+// with enough observations, falling back to coarser templates.
+#pragma once
+
+#include <map>
+#include <tuple>
+
+#include "predict/predictor.hpp"
+#include "util/stats.hpp"
+
+namespace pjsb::predict {
+
+class TemplatePredictor final : public WaitTimePredictor {
+ public:
+  /// `min_samples`: observations a template needs before it is trusted.
+  explicit TemplatePredictor(std::size_t min_samples = 3);
+
+  std::string name() const override { return "template"; }
+  void observe(const JobFeatures& features,
+               std::int64_t actual_wait) override;
+  std::optional<std::int64_t> predict(
+      const JobFeatures& features) const override;
+
+  /// Discretization used for the templates (exposed for tests):
+  /// log2 bucket of processor count and log10-ish bucket of estimate.
+  static int procs_bucket(std::int64_t procs);
+  static int estimate_bucket(std::int64_t estimate);
+
+ private:
+  /// Template hierarchy, most specific first:
+  ///   (user, procs bucket, estimate bucket)
+  ///   (procs bucket, estimate bucket)
+  ///   (estimate bucket)
+  ///   ()                                  — global fallback
+  using KeyFull = std::tuple<std::int64_t, int, int>;
+  using KeyShape = std::tuple<int, int>;
+
+  std::size_t min_samples_;
+  std::map<KeyFull, util::OnlineStats> by_user_shape_;
+  std::map<KeyShape, util::OnlineStats> by_shape_;
+  std::map<int, util::OnlineStats> by_estimate_;
+  util::OnlineStats global_;
+};
+
+}  // namespace pjsb::predict

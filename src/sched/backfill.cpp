@@ -1,0 +1,105 @@
+#include "sched/backfill.hpp"
+
+#include <algorithm>
+
+namespace pjsb::sched {
+
+void BackfillBase::on_attach(SchedulerContext& ctx) {
+  total_nodes_ = ctx.machine().total_nodes();
+}
+
+void BackfillBase::on_submit(SchedulerContext& ctx, std::int64_t job_id) {
+  queue_.push_back(job_id);
+  const auto& j = ctx.job(job_id);
+  queued_info_[job_id] = {j.procs, j.estimate};
+}
+
+void BackfillBase::on_job_end(SchedulerContext& /*ctx*/,
+                              std::int64_t job_id) {
+  running_.erase(job_id);
+}
+
+void BackfillBase::on_job_killed(SchedulerContext& /*ctx*/,
+                                 std::int64_t job_id) {
+  running_.erase(job_id);
+}
+
+void BackfillBase::note_outage(const outage::OutageRecord& rec) {
+  // Deduplicate: an announced outage is seen at announce AND start.
+  for (const auto& w : outages_) {
+    if (w.start == rec.start_time && w.end == rec.end_time &&
+        w.nodes == rec.nodes_affected) {
+      return;
+    }
+  }
+  outages_.push_back({rec.start_time, rec.end_time, rec.nodes_affected});
+}
+
+void BackfillBase::on_outage_announce(SchedulerContext& /*ctx*/,
+                                      const outage::OutageRecord& rec) {
+  note_outage(rec);
+}
+
+void BackfillBase::on_outage_start(SchedulerContext& /*ctx*/,
+                                   const outage::OutageRecord& rec) {
+  note_outage(rec);
+}
+
+void BackfillBase::on_outage_end(SchedulerContext& ctx,
+                                 const outage::OutageRecord& rec) {
+  // Capacity is back; drop the window (it may end early in principle).
+  std::erase_if(outages_, [&](const OutageWindow& w) {
+    return w.end <= ctx.now() ||
+           (w.start == rec.start_time && w.nodes == rec.nodes_affected);
+  });
+}
+
+CapacityProfile BackfillBase::base_profile(std::int64_t now,
+                                           std::int64_t total_nodes) const {
+  CapacityProfile profile(total_nodes);
+  for (const auto& [id, rj] : running_) {
+    const std::int64_t end = std::max(rj.expected_end, now + 1);
+    profile.add_usage(now, end, rj.procs);
+  }
+  for (const auto& res : reservations_) {
+    const std::int64_t end = res.start + res.duration;
+    if (end <= now) continue;
+    profile.add_usage(std::max(res.start, now), end, res.procs);
+  }
+  for (const auto& w : outages_) {
+    if (w.end <= now) continue;
+    profile.add_usage(std::max(w.start, now), w.end, w.nodes);
+  }
+  return profile;
+}
+
+void BackfillBase::prune_queue(SchedulerContext& ctx) {
+  std::erase_if(queue_, [&](std::int64_t id) {
+    if (ctx.job(id).state != sim::JobState::kQueued) {
+      queued_info_.erase(id);
+      return true;
+    }
+    return false;
+  });
+}
+
+std::int64_t BackfillBase::earliest_reservation_start(
+    std::int64_t now, std::int64_t from, std::int64_t duration,
+    std::int64_t procs, std::int64_t total_nodes) const {
+  const CapacityProfile profile = base_profile(now, total_nodes);
+  return profile.earliest_start(std::max(from, now), duration, procs);
+}
+
+bool BackfillBase::try_reserve(SchedulerContext& ctx,
+                               const AdvanceReservation& reservation) {
+  const CapacityProfile profile =
+      base_profile(ctx.now(), ctx.machine().total_nodes());
+  if (!profile.fits(reservation.start, reservation.duration,
+                    reservation.procs)) {
+    return false;
+  }
+  reservations_.push_back(reservation);
+  return true;
+}
+
+}  // namespace pjsb::sched

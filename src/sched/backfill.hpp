@@ -1,0 +1,84 @@
+// Shared machinery for profile-based (backfilling) schedulers.
+//
+// EASY and conservative backfilling both reason about the future with a
+// capacity profile built from: running jobs (until their *estimated*
+// ends), committed advance reservations (section 3's metacomputing
+// requirement), and known outage windows (section 2.2's drain-around-
+// maintenance behaviour). This base class owns that state; subclasses
+// implement the queueing discipline.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/profile.hpp"
+#include "sched/scheduler.hpp"
+
+namespace pjsb::sched {
+
+class BackfillBase : public Scheduler {
+ public:
+  void on_attach(SchedulerContext& ctx) override;
+  void on_submit(SchedulerContext& ctx, std::int64_t job_id) override;
+  void on_job_end(SchedulerContext& ctx, std::int64_t job_id) override;
+  void on_job_killed(SchedulerContext& ctx, std::int64_t job_id) override;
+  void on_outage_announce(SchedulerContext& ctx,
+                          const outage::OutageRecord& rec) override;
+  void on_outage_start(SchedulerContext& ctx,
+                       const outage::OutageRecord& rec) override;
+  void on_outage_end(SchedulerContext& ctx,
+                     const outage::OutageRecord& rec) override;
+  bool try_reserve(SchedulerContext& ctx,
+                   const AdvanceReservation& reservation) override;
+
+  /// Earliest feasible window start for an external reservation of
+  /// (procs, duration) not before `from`, against running jobs +
+  /// existing reservations + outages (queued jobs are not protected —
+  /// reservations have priority, which is the tension experiment E8
+  /// measures). kForever if impossible.
+  std::int64_t earliest_reservation_start(std::int64_t now,
+                                          std::int64_t from,
+                                          std::int64_t duration,
+                                          std::int64_t procs,
+                                          std::int64_t total_nodes) const;
+
+  std::size_t queue_length() const { return queue_.size(); }
+
+ protected:
+  struct RunningJob {
+    std::int64_t id = 0;
+    std::int64_t expected_end = 0;
+    std::int64_t procs = 0;
+  };
+  struct QueuedInfo {
+    std::int64_t procs = 0;
+    std::int64_t estimate = 0;
+  };
+  struct OutageWindow {
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    std::int64_t nodes = 0;
+  };
+
+  /// Base profile: running jobs + reservations + outage windows, over
+  /// `total_nodes`. `now` clamps estimated ends into the future.
+  CapacityProfile base_profile(std::int64_t now,
+                               std::int64_t total_nodes) const;
+
+  /// Drop queue entries that are no longer queued (externally started).
+  void prune_queue(SchedulerContext& ctx);
+
+  std::deque<std::int64_t> queue_;
+  std::unordered_map<std::int64_t, QueuedInfo> queued_info_;
+  std::unordered_map<std::int64_t, RunningJob> running_;
+  std::vector<AdvanceReservation> reservations_;
+  std::vector<OutageWindow> outages_;
+  /// Machine size, learned at attach time.
+  std::int64_t total_nodes_ = 0;
+
+ private:
+  void note_outage(const outage::OutageRecord& rec);
+};
+
+}  // namespace pjsb::sched

@@ -1,0 +1,48 @@
+#include "sched/conservative.hpp"
+
+namespace pjsb::sched {
+
+void ConservativeScheduler::schedule(SchedulerContext& ctx) {
+  const std::int64_t now = ctx.now();
+  total_nodes_ = ctx.machine().total_nodes();
+  prune_queue(ctx);
+
+  // Rebuild the full reservation profile from scratch on every pass:
+  // place each queued job (FIFO order) at its earliest feasible start;
+  // start those whose reservation is "now". Rebuilding keeps the
+  // profile consistent after early completions (jobs finishing before
+  // their estimate compress everyone's reservations).
+  CapacityProfile profile = base_profile(now, total_nodes_);
+
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const auto& j = ctx.job(*it);
+    const std::int64_t t = profile.earliest_start(now, j.estimate, j.procs);
+    if (t == now && ctx.start_job(*it)) {
+      profile.add_usage(now, now + j.estimate, j.procs);
+      running_[j.id] = {j.id, now + j.estimate, j.procs};
+      queued_info_.erase(j.id);
+      it = queue_.erase(it);
+    } else {
+      if (t < kForever) profile.add_usage(t, t + j.estimate, j.procs);
+      ++it;
+    }
+  }
+}
+
+std::optional<std::int64_t> ConservativeScheduler::predict_start(
+    std::int64_t now, std::int64_t procs, std::int64_t estimate) const {
+  if (total_nodes_ <= 0) return std::nullopt;
+  CapacityProfile profile = base_profile(now, total_nodes_);
+  for (const std::int64_t id : queue_) {
+    const auto it = queued_info_.find(id);
+    if (it == queued_info_.end()) continue;
+    const auto& q = it->second;
+    const std::int64_t t = profile.earliest_start(now, q.estimate, q.procs);
+    if (t < kForever) profile.add_usage(t, t + q.estimate, q.procs);
+  }
+  const std::int64_t t = profile.earliest_start(now, estimate, procs);
+  if (t >= kForever) return std::nullopt;
+  return t;
+}
+
+}  // namespace pjsb::sched

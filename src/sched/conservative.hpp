@@ -1,0 +1,21 @@
+// Conservative backfilling: every queued job holds a reservation at its
+// earliest feasible start, and backfilling may never delay *any* queued
+// job (vs. EASY, which protects only the head). The aggressiveness gap
+// between the two is a standing ablation in the literature the paper
+// standardizes (experiments E2/E8).
+#pragma once
+
+#include "sched/backfill.hpp"
+
+namespace pjsb::sched {
+
+class ConservativeScheduler final : public BackfillBase {
+ public:
+  std::string name() const override { return "conservative"; }
+  void schedule(SchedulerContext& ctx) override;
+  std::optional<std::int64_t> predict_start(
+      std::int64_t now, std::int64_t procs,
+      std::int64_t estimate) const override;
+};
+
+}  // namespace pjsb::sched

@@ -1,0 +1,70 @@
+#include "sched/easy.hpp"
+
+namespace pjsb::sched {
+
+void EasyScheduler::schedule(SchedulerContext& ctx) {
+  const std::int64_t now = ctx.now();
+  total_nodes_ = ctx.machine().total_nodes();
+  prune_queue(ctx);
+
+  CapacityProfile profile = base_profile(now, total_nodes_);
+
+  // Start jobs in FIFO order while the head fits immediately.
+  while (!queue_.empty()) {
+    const std::int64_t id = queue_.front();
+    const auto& j = ctx.job(id);
+    if (profile.fits(now, j.estimate, j.procs) && ctx.start_job(id)) {
+      profile.add_usage(now, now + j.estimate, j.procs);
+      running_[id] = {id, now + j.estimate, j.procs};
+      queued_info_.erase(id);
+      queue_.pop_front();
+      continue;
+    }
+    break;
+  }
+  if (queue_.empty()) return;
+
+  // Shadow reservation for the blocked head.
+  const auto& head = ctx.job(queue_.front());
+  const std::int64_t shadow =
+      profile.earliest_start(now, head.estimate, head.procs);
+  if (shadow < kForever) {
+    profile.add_usage(shadow, shadow + head.estimate, head.procs);
+  }
+
+  // Backfill: any later job that fits now without delaying the shadow.
+  for (auto it = std::next(queue_.begin()); it != queue_.end();) {
+    const auto& j = ctx.job(*it);
+    if (profile.fits(now, j.estimate, j.procs) && ctx.start_job(*it)) {
+      profile.add_usage(now, now + j.estimate, j.procs);
+      running_[j.id] = {j.id, now + j.estimate, j.procs};
+      queued_info_.erase(j.id);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<std::int64_t> EasyScheduler::predict_start(
+    std::int64_t now, std::int64_t procs, std::int64_t estimate) const {
+  if (total_nodes_ <= 0) return std::nullopt;
+  // Approximate the EASY queue conservatively: place every queued job
+  // at its earliest start in FIFO order, then place the hypothetical
+  // job. This is the scheduler-assisted wait-time estimate a
+  // metacomputing directory service would export (section 3.1).
+  CapacityProfile profile = base_profile(now, total_nodes_);
+  for (const std::int64_t id : queue_) {
+    const auto it = queued_info_.find(id);
+    if (it == queued_info_.end()) continue;
+    const auto& q = it->second;
+    const std::int64_t t =
+        profile.earliest_start(now, q.estimate, q.procs);
+    if (t < kForever) profile.add_usage(t, t + q.estimate, q.procs);
+  }
+  const std::int64_t t = profile.earliest_start(now, estimate, procs);
+  if (t >= kForever) return std::nullopt;
+  return t;
+}
+
+}  // namespace pjsb::sched

@@ -1,0 +1,25 @@
+// EASY backfilling (Lifka's Extensible Argonne Scheduling sYstem), the
+// de-facto production policy on the machines whose logs the paper
+// canonizes. FIFO order with one guarantee: the queue head receives a
+// shadow reservation at its earliest feasible start, and later jobs may
+// backfill only if they do not delay that reservation.
+#pragma once
+
+#include "sched/backfill.hpp"
+
+namespace pjsb::sched {
+
+class EasyScheduler final : public BackfillBase {
+ public:
+  std::string name() const override { return "easy"; }
+  void schedule(SchedulerContext& ctx) override;
+  std::optional<std::int64_t> predict_start(
+      std::int64_t now, std::int64_t procs,
+      std::int64_t estimate) const override;
+
+  /// Total nodes of the machine this scheduler is attached to (needed
+  /// by predict_start, which has no context access).
+  std::int64_t last_total_nodes() const { return total_nodes_; }
+};
+
+}  // namespace pjsb::sched

@@ -1,0 +1,73 @@
+#include "sched/factory.hpp"
+
+#include <stdexcept>
+
+#include "sched/conservative.hpp"
+#include "sched/easy.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/gang.hpp"
+#include "sched/sjf.hpp"
+#include "util/string_util.hpp"
+
+namespace pjsb::sched {
+
+std::vector<SchedulerKind> all_scheduler_kinds() {
+  return {SchedulerKind::kFcfs, SchedulerKind::kSjf, SchedulerKind::kSjfFit,
+          SchedulerKind::kEasy, SchedulerKind::kConservative,
+          SchedulerKind::kGang};
+}
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs: return "fcfs";
+    case SchedulerKind::kSjf: return "sjf";
+    case SchedulerKind::kSjfFit: return "sjf-fit";
+    case SchedulerKind::kEasy: return "easy";
+    case SchedulerKind::kConservative: return "conservative";
+    case SchedulerKind::kGang: return "gang";
+  }
+  return "unknown";
+}
+
+SchedulerKind scheduler_kind_from_name(const std::string& name) {
+  const std::string n = util::to_lower(name);
+  if (n == "fcfs") return SchedulerKind::kFcfs;
+  if (n == "sjf") return SchedulerKind::kSjf;
+  if (n == "sjf-fit" || n == "sjffit") return SchedulerKind::kSjfFit;
+  if (n == "easy") return SchedulerKind::kEasy;
+  if (n == "conservative" || n == "cons") return SchedulerKind::kConservative;
+  if (n.rfind("gang", 0) == 0) return SchedulerKind::kGang;
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const SchedulerParams& params) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::kSjf:
+      return std::make_unique<SjfScheduler>(false);
+    case SchedulerKind::kSjfFit:
+      return std::make_unique<SjfScheduler>(true);
+    case SchedulerKind::kEasy:
+      return std::make_unique<EasyScheduler>();
+    case SchedulerKind::kConservative:
+      return std::make_unique<ConservativeScheduler>();
+    case SchedulerKind::kGang:
+      return std::make_unique<GangScheduler>(params.gang_slots);
+  }
+  throw std::invalid_argument("make_scheduler: unknown kind");
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedulerParams& params) {
+  SchedulerParams p = params;
+  const std::string n = util::to_lower(name);
+  if (n.rfind("gang", 0) == 0 && n.size() > 4) {
+    const auto slots = util::parse_i64(n.substr(4));
+    if (slots && *slots >= 1) p.gang_slots = int(*slots);
+  }
+  return make_scheduler(scheduler_kind_from_name(name), p);
+}
+
+}  // namespace pjsb::sched

@@ -1,0 +1,41 @@
+// Scheduler factory: one place the experiment harnesses and examples
+// use to instantiate the policy zoo by name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace pjsb::sched {
+
+enum class SchedulerKind {
+  kFcfs,
+  kSjf,
+  kSjfFit,
+  kEasy,
+  kConservative,
+  kGang,
+};
+
+/// All kinds, in canonical presentation order.
+std::vector<SchedulerKind> all_scheduler_kinds();
+
+const char* scheduler_kind_name(SchedulerKind kind);
+
+/// Parse a scheduler name ("fcfs", "sjf", "sjf-fit", "easy",
+/// "conservative", "gang" or "gangN"); throws std::invalid_argument on
+/// unknown names.
+SchedulerKind scheduler_kind_from_name(const std::string& name);
+
+struct SchedulerParams {
+  int gang_slots = 4;
+};
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          const SchedulerParams& params = {});
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          const SchedulerParams& params = {});
+
+}  // namespace pjsb::sched

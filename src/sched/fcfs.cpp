@@ -1,0 +1,28 @@
+#include "sched/fcfs.hpp"
+
+namespace pjsb::sched {
+
+void FcfsScheduler::on_submit(SchedulerContext& /*ctx*/,
+                              std::int64_t job_id) {
+  queue_.push_back(job_id);
+}
+
+void FcfsScheduler::on_job_end(SchedulerContext& /*ctx*/,
+                               std::int64_t /*job_id*/) {}
+
+void FcfsScheduler::schedule(SchedulerContext& ctx) {
+  while (!queue_.empty()) {
+    const std::int64_t id = queue_.front();
+    const auto& j = ctx.job(id);
+    if (j.state != sim::JobState::kQueued) {
+      // Started externally (e.g. via a reservation) or killed; drop it.
+      queue_.pop_front();
+      continue;
+    }
+    if (j.procs > ctx.machine().free_nodes()) break;  // head blocks
+    if (!ctx.start_job(id)) break;
+    queue_.pop_front();
+  }
+}
+
+}  // namespace pjsb::sched

@@ -1,0 +1,116 @@
+#include "sched/profile.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pjsb::sched {
+
+CapacityProfile::CapacityProfile(std::int64_t base_capacity)
+    : base_(base_capacity) {
+  if (base_capacity < 0) {
+    throw std::invalid_argument("CapacityProfile: negative capacity");
+  }
+}
+
+void CapacityProfile::add_usage(std::int64_t start, std::int64_t end,
+                                std::int64_t procs) {
+  if (end <= start || procs <= 0) return;
+  deltas_[start] += procs;
+  if (end < kForever) deltas_[end] -= procs;
+  if (deltas_[start] == 0) deltas_.erase(start);
+  auto it = deltas_.find(end);
+  if (it != deltas_.end() && it->second == 0) deltas_.erase(it);
+}
+
+void CapacityProfile::remove_usage(std::int64_t start, std::int64_t end,
+                                   std::int64_t procs) {
+  if (end <= start || procs <= 0) return;
+  deltas_[start] -= procs;
+  if (end < kForever) deltas_[end] += procs;
+  auto it = deltas_.find(start);
+  if (it != deltas_.end() && it->second == 0) deltas_.erase(it);
+  it = deltas_.find(end);
+  if (it != deltas_.end() && it->second == 0) deltas_.erase(it);
+}
+
+void CapacityProfile::add_capacity_delta(std::int64_t at, std::int64_t delta) {
+  // A capacity increase is a usage decrease from `at` onwards.
+  if (delta == 0) return;
+  deltas_[at] -= delta;
+  auto it = deltas_.find(at);
+  if (it != deltas_.end() && it->second == 0) deltas_.erase(it);
+}
+
+std::int64_t CapacityProfile::available_at(std::int64_t t) const {
+  std::int64_t used = 0;
+  for (const auto& [time, delta] : deltas_) {
+    if (time > t) break;
+    used += delta;
+  }
+  return base_ - used;
+}
+
+std::int64_t CapacityProfile::min_available(std::int64_t start,
+                                            std::int64_t end) const {
+  // State exactly at `start`:
+  std::int64_t used = 0;
+  auto it = deltas_.begin();
+  for (; it != deltas_.end() && it->first <= start; ++it) used += it->second;
+  std::int64_t min_avail = base_ - used;
+  // Steps inside (start, end):
+  for (; it != deltas_.end() && it->first < end; ++it) {
+    used += it->second;
+    min_avail = std::min(min_avail, base_ - used);
+  }
+  return min_avail;
+}
+
+bool CapacityProfile::fits(std::int64_t start, std::int64_t duration,
+                           std::int64_t procs) const {
+  if (duration <= 0) return true;
+  return min_available(start, start + duration) >= procs;
+}
+
+std::int64_t CapacityProfile::earliest_start(std::int64_t from,
+                                             std::int64_t duration,
+                                             std::int64_t procs) const {
+  if (procs <= 0 || duration <= 0) return from;
+  std::int64_t candidate = from;
+  while (true) {
+    if (fits(candidate, duration, procs)) return candidate;
+    // Advance to the next event after `candidate` where availability can
+    // rise (a negative used-capacity delta).
+    auto it = deltas_.upper_bound(candidate);
+    while (it != deltas_.end() && it->second >= 0) ++it;
+    if (it == deltas_.end()) return kForever;
+    candidate = it->first;
+  }
+}
+
+void CapacityProfile::compact_before(std::int64_t t) {
+  std::int64_t folded = 0;
+  auto it = deltas_.begin();
+  while (it != deltas_.end() && it->first < t) {
+    folded += it->second;
+    it = deltas_.erase(it);
+  }
+  if (folded != 0) {
+    deltas_[t] += folded;
+    auto at = deltas_.find(t);
+    if (at != deltas_.end() && at->second == 0) deltas_.erase(at);
+  }
+}
+
+std::string CapacityProfile::to_string() const {
+  std::ostringstream os;
+  std::int64_t used = 0;
+  os << "t<" << (deltas_.empty() ? 0 : deltas_.begin()->first) << ": "
+     << base_ << '\n';
+  for (const auto& [time, delta] : deltas_) {
+    used += delta;
+    os << "t>=" << time << ": " << (base_ - used) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pjsb::sched

@@ -1,0 +1,68 @@
+// CapacityProfile: piecewise-constant available-processor count over
+// time. The shared substrate of backfilling (EASY's shadow reservation,
+// conservative's full reservation profile), advance reservations for
+// metacomputing co-allocation (section 3), and outage-aware scheduling
+// (draining up to announced maintenance, section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace pjsb::sched {
+
+/// Far-future sentinel for open-ended usages.
+inline constexpr std::int64_t kForever =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Piecewise-constant capacity timeline. Usages subtract capacity over
+/// [start, end); the profile answers "when can (procs, duration) first
+/// start?" queries. All mutations are exact inverses, so schedulers can
+/// tentatively place and remove usages.
+class CapacityProfile {
+ public:
+  explicit CapacityProfile(std::int64_t base_capacity);
+
+  std::int64_t base_capacity() const { return base_; }
+
+  /// Subtract `procs` over [start, end). end may be kForever.
+  void add_usage(std::int64_t start, std::int64_t end, std::int64_t procs);
+  /// Exact inverse of add_usage with identical arguments.
+  void remove_usage(std::int64_t start, std::int64_t end,
+                    std::int64_t procs);
+
+  /// Permanently change the base capacity from `start` on (outage start
+  /// = negative delta at start, positive delta at end).
+  void add_capacity_delta(std::int64_t at, std::int64_t delta);
+
+  /// Available processors at time t.
+  std::int64_t available_at(std::int64_t t) const;
+
+  /// Minimum available processors over [start, end).
+  std::int64_t min_available(std::int64_t start, std::int64_t end) const;
+
+  /// Earliest t >= from such that `procs` are available throughout
+  /// [t, t + duration). Returns kForever if no such time exists (e.g.
+  /// procs exceeds capacity everywhere).
+  std::int64_t earliest_start(std::int64_t from, std::int64_t duration,
+                              std::int64_t procs) const;
+
+  /// True if `procs` are available throughout [start, start+duration).
+  bool fits(std::int64_t start, std::int64_t duration,
+            std::int64_t procs) const;
+
+  /// Drop all events strictly before `t` (folding them into the base),
+  /// keeping the profile small in long simulations.
+  void compact_before(std::int64_t t);
+
+  /// Debug rendering of the step function.
+  std::string to_string() const;
+
+ private:
+  std::int64_t base_;
+  /// time -> delta of *used* capacity (positive = capacity consumed).
+  std::map<std::int64_t, std::int64_t> deltas_;
+};
+
+}  // namespace pjsb::sched

@@ -1,0 +1,27 @@
+#include "sched/reservation.hpp"
+
+#include <algorithm>
+
+#include "sched/profile.hpp"
+
+namespace pjsb::sched {
+
+std::optional<std::int64_t> find_common_window(
+    std::span<const EarliestStartFn> sites, std::int64_t from,
+    int max_rounds) {
+  if (sites.empty()) return from;
+  std::int64_t t = from;
+  for (int round = 0; round < max_rounds; ++round) {
+    std::int64_t next = t;
+    for (const auto& earliest : sites) {
+      const std::int64_t site_t = earliest(next);
+      if (site_t >= kForever) return std::nullopt;
+      next = std::max(next, site_t);
+    }
+    if (next == t) return t;
+    t = next;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pjsb::sched

@@ -1,0 +1,30 @@
+// Co-allocation support: finding a common advance-reservation window
+// across several machines.
+//
+// "Many meta schedulers need resources from more than one source ...
+// This requires mechanisms for gaining simultaneous access to
+// resources. One such mechanism is reserving resources at some future
+// time." (section 1.2 / 3.1). The classic algorithm is a fixpoint over
+// per-site earliest-start queries: ask every site for its earliest
+// feasible start no earlier than t, take the max, repeat until stable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+namespace pjsb::sched {
+
+/// Per-site query: earliest feasible start >= from for this site's part
+/// of the request, or kForever if the site can never host it.
+using EarliestStartFn = std::function<std::int64_t(std::int64_t from)>;
+
+/// Find the earliest time t >= from such that every site reports t as
+/// feasible. Returns nullopt if any site reports kForever or the
+/// fixpoint fails to converge within `max_rounds`.
+std::optional<std::int64_t> find_common_window(
+    std::span<const EarliestStartFn> sites, std::int64_t from,
+    int max_rounds = 64);
+
+}  // namespace pjsb::sched

@@ -1,0 +1,30 @@
+#include "sched/scheduler.hpp"
+
+namespace pjsb::sched {
+
+void Scheduler::on_attach(SchedulerContext& /*ctx*/) {}
+
+void Scheduler::on_job_killed(SchedulerContext& /*ctx*/,
+                              std::int64_t /*job_id*/) {}
+
+void Scheduler::on_outage_announce(SchedulerContext& /*ctx*/,
+                                   const outage::OutageRecord& /*rec*/) {}
+
+void Scheduler::on_outage_start(SchedulerContext& /*ctx*/,
+                                const outage::OutageRecord& /*rec*/) {}
+
+void Scheduler::on_outage_end(SchedulerContext& /*ctx*/,
+                              const outage::OutageRecord& /*rec*/) {}
+
+bool Scheduler::try_reserve(SchedulerContext& /*ctx*/,
+                            const AdvanceReservation& /*reservation*/) {
+  return false;
+}
+
+std::optional<std::int64_t> Scheduler::predict_start(
+    std::int64_t /*now*/, std::int64_t /*procs*/,
+    std::int64_t /*estimate*/) const {
+  return std::nullopt;
+}
+
+}  // namespace pjsb::sched

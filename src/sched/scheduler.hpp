@@ -1,0 +1,114 @@
+// The machine-scheduler plugin interface.
+//
+// "Machine schedulers ... receive characteristic data from a stream of
+// independent jobs. Computing resources ... are allocated to these jobs
+// with the goal of optimizing the value of the actual scheduling
+// objective function." (section 1.2). The engine drives lifecycle
+// events; the scheduler decides who runs when. Advance reservations
+// (section 3) and outage announcements (section 2.2) are part of the
+// interface so that metacomputing co-allocation and outage-aware
+// draining are first-class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/outage/record.hpp"
+#include "sim/job.hpp"
+#include "sim/machine.hpp"
+
+namespace pjsb::sched {
+
+/// An accepted advance reservation: `procs` processors are guaranteed
+/// for [start, start + duration). If `job_id` is set, the engine starts
+/// that job at `start`.
+struct AdvanceReservation {
+  std::int64_t id = 0;
+  std::int64_t start = 0;
+  std::int64_t duration = 0;
+  std::int64_t procs = 0;
+  std::optional<std::int64_t> job_id;
+};
+
+/// Engine services exposed to schedulers.
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  virtual std::int64_t now() const = 0;
+  virtual sim::Machine& machine() = 0;
+  virtual const sim::SimJob& job(std::int64_t id) const = 0;
+
+  /// Start a queued job now, allocating nodes from the machine. The
+  /// engine schedules its completion at now + runtime. Returns false if
+  /// the allocation does not fit (the scheduler mis-counted).
+  virtual bool start_job(std::int64_t job_id) = 0;
+
+  /// Start a queued job now WITHOUT machine node allocation — for
+  /// time-sharing schedulers that do their own space/time accounting.
+  /// Completion is scheduled at `end_time` and may be revised later via
+  /// update_job_end.
+  virtual void start_job_virtual(std::int64_t job_id,
+                                 std::int64_t end_time) = 0;
+
+  /// Revise the completion time of a running virtual job.
+  virtual void update_job_end(std::int64_t job_id,
+                              std::int64_t new_end) = 0;
+
+  /// Kill a running job (its work so far is lost; the engine requeues
+  /// it). Used by time-sharing schedulers whose jobs do not hold
+  /// machine allocations, when an outage takes out their nodes.
+  virtual void kill_running_job(std::int64_t job_id) = 0;
+};
+
+/// Abstract machine scheduler. Handlers default to no-ops so simple
+/// policies implement only what they need. After every event the engine
+/// calls schedule() exactly once per timestamp.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once when the scheduler is bound to an engine, before any
+  /// event. Lets profile-based schedulers learn the machine size so
+  /// predictions work from time zero.
+  virtual void on_attach(SchedulerContext& ctx);
+
+  /// A job entered the queue (fresh submission or requeue after a
+  /// failure-induced kill).
+  virtual void on_submit(SchedulerContext& ctx, std::int64_t job_id) = 0;
+  /// A running job completed.
+  virtual void on_job_end(SchedulerContext& ctx, std::int64_t job_id) = 0;
+  /// A running job was killed by an outage; the engine will requeue it
+  /// (a fresh on_submit follows).
+  virtual void on_job_killed(SchedulerContext& ctx, std::int64_t job_id);
+
+  /// Outage lifecycle. Announcements arrive only when the engine is
+  /// configured outage-aware; starts/ends always arrive (the machine
+  /// state changed).
+  virtual void on_outage_announce(SchedulerContext& ctx,
+                                  const outage::OutageRecord& rec);
+  virtual void on_outage_start(SchedulerContext& ctx,
+                               const outage::OutageRecord& rec);
+  virtual void on_outage_end(SchedulerContext& ctx,
+                             const outage::OutageRecord& rec);
+
+  /// Advance-reservation request: may the engine guarantee
+  /// `reservation.procs` processors over the window? Schedulers that
+  /// cannot honor reservations return false (the default).
+  virtual bool try_reserve(SchedulerContext& ctx,
+                           const AdvanceReservation& reservation);
+
+  /// Predicted start time for a hypothetical (procs, estimate) job
+  /// submitted now, if this scheduler can compute one from its internal
+  /// state (profile-based schedulers can; FCFS/SJF cannot).
+  virtual std::optional<std::int64_t> predict_start(
+      std::int64_t now, std::int64_t procs, std::int64_t estimate) const;
+
+  /// Make scheduling decisions (start any jobs that should start now).
+  virtual void schedule(SchedulerContext& ctx) = 0;
+};
+
+}  // namespace pjsb::sched

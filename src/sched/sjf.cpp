@@ -1,0 +1,45 @@
+#include "sched/sjf.hpp"
+
+#include <algorithm>
+
+namespace pjsb::sched {
+
+void SjfScheduler::on_submit(SchedulerContext& ctx, std::int64_t job_id) {
+  const auto& j = ctx.job(job_id);
+  // Insert keeping (estimate, id) order; id breaks ties FIFO.
+  const auto pos = std::lower_bound(
+      queue_.begin(), queue_.end(), job_id,
+      [&ctx, &j](std::int64_t a, std::int64_t b_id) {
+        const auto& ja = ctx.job(a);
+        if (ja.estimate != j.estimate) return ja.estimate < j.estimate;
+        return a < b_id;
+      });
+  queue_.insert(pos, job_id);
+}
+
+void SjfScheduler::on_job_end(SchedulerContext& /*ctx*/,
+                              std::int64_t /*job_id*/) {}
+
+void SjfScheduler::schedule(SchedulerContext& ctx) {
+  bool progress = true;
+  while (progress && !queue_.empty()) {
+    progress = false;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      const auto& j = ctx.job(*it);
+      if (j.state != sim::JobState::kQueued) {
+        it = queue_.erase(it);
+        progress = true;
+        break;
+      }
+      if (j.procs <= ctx.machine().free_nodes() && ctx.start_job(*it)) {
+        queue_.erase(it);
+        progress = true;
+        break;
+      }
+      if (!allow_fit_) break;  // strict SJF: shortest job blocks
+      ++it;
+    }
+  }
+}
+
+}  // namespace pjsb::sched

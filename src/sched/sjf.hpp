@@ -1,0 +1,35 @@
+// Shortest-job-first (by user estimate). The classic user-centric
+// counterpoint to FCFS: it minimizes average wait for short jobs at the
+// price of fairness, which is exactly what makes schedulers rank
+// differently under response time vs slowdown (experiment E3, claim
+// [30] of the paper).
+#pragma once
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace pjsb::sched {
+
+class SjfScheduler final : public Scheduler {
+ public:
+  /// If `allow_fit` is true, when the shortest job does not fit the
+  /// scheduler scans for the shortest job that does (non-blocking
+  /// variant); otherwise the shortest job blocks (strict SJF).
+  explicit SjfScheduler(bool allow_fit = false) : allow_fit_(allow_fit) {}
+
+  std::string name() const override {
+    return allow_fit_ ? "sjf-fit" : "sjf";
+  }
+  void on_submit(SchedulerContext& ctx, std::int64_t job_id) override;
+  void on_job_end(SchedulerContext& ctx, std::int64_t job_id) override;
+  void schedule(SchedulerContext& ctx) override;
+
+  std::size_t queue_length() const { return queue_.size(); }
+
+ private:
+  std::vector<std::int64_t> queue_;  ///< kept sorted by (estimate, id)
+  bool allow_fit_;
+};
+
+}  // namespace pjsb::sched

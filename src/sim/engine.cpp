@@ -1,0 +1,380 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pjsb::sim {
+
+SimJob SimJob::from_record(const swf::JobRecord& r) {
+  SimJob j;
+  j.id = r.job_number;
+  j.submit = std::max<std::int64_t>(0, r.submit_time);
+  j.runtime = std::max<std::int64_t>(1, r.run_time);
+  j.estimate = r.requested_time != swf::kUnknown
+                   ? std::max(r.requested_time, j.runtime)
+                   : j.runtime;
+  j.procs = std::max<std::int64_t>(
+      1, r.allocated_procs != swf::kUnknown ? r.allocated_procs
+                                            : r.requested_procs);
+  j.user_id = r.user_id;
+  j.executable_id = r.executable_id;
+  j.queue_id = r.queue_id;
+  return j;
+}
+
+Engine::Engine(const EngineConfig& config,
+               std::unique_ptr<sched::Scheduler> scheduler)
+    : config_(config),
+      scheduler_(std::move(scheduler)),
+      machine_(config.nodes) {
+  if (!scheduler_) throw std::invalid_argument("Engine: null scheduler");
+  scheduler_->on_attach(*this);
+}
+
+Engine::~Engine() = default;
+
+void Engine::load_trace(const swf::Trace& trace) {
+  for (const auto& r : trace.summary_records()) {
+    SimJob j = SimJob::from_record(r);
+    j.procs = std::min(j.procs, machine_.total_nodes());
+    const std::int64_t id = j.id > 0 ? j.id : next_job_id_;
+    j.id = id;
+    next_job_id_ = std::max(next_job_id_, id + 1);
+
+    const bool dependent = config_.closed_loop &&
+                           r.preceding_job != swf::kUnknown &&
+                           r.preceding_job > 0;
+    jobs_.emplace(id, j);
+    if (dependent) {
+      const std::int64_t think =
+          r.think_time != swf::kUnknown ? std::max<std::int64_t>(0,
+                                                                 r.think_time)
+                                        : 0;
+      dependents_[r.preceding_job].push_back({id, think});
+    } else {
+      push_event(j.submit, EventType::kSubmit, id);
+    }
+  }
+}
+
+void Engine::add_outages(const outage::OutageLog& log) {
+  for (const auto& rec : log.records) {
+    outages_.push_back(rec);
+    const std::size_t idx = outages_.size() - 1;
+    if (config_.deliver_announcements && rec.announced()) {
+      push_event(std::max<std::int64_t>(rec.announce_time, 0),
+                 EventType::kOutageAnnounce, std::int64_t(idx));
+    }
+    push_event(rec.start_time, EventType::kOutageStart, std::int64_t(idx));
+    push_event(rec.end_time, EventType::kOutageEnd, std::int64_t(idx));
+  }
+}
+
+std::int64_t Engine::submit_job(SimJob job) {
+  if (job.submit < now_) {
+    throw std::invalid_argument("submit_job: submit time in the past");
+  }
+  const std::int64_t id = job.id > 0 ? job.id : next_job_id_;
+  job.id = id;
+  job.procs = std::min(std::max<std::int64_t>(1, job.procs),
+                       machine_.total_nodes());
+  next_job_id_ = std::max(next_job_id_, id + 1);
+  jobs_[id] = job;
+  push_event(job.submit, EventType::kSubmit, id);
+  return id;
+}
+
+bool Engine::request_reservation(
+    const sched::AdvanceReservation& reservation) {
+  sched::AdvanceReservation res = reservation;
+  if (res.id <= 0) res.id = next_reservation_id_;
+  next_reservation_id_ = std::max(next_reservation_id_, res.id + 1);
+  if (res.start < now_ || res.duration <= 0 || res.procs <= 0) return false;
+  if (res.procs > machine_.total_nodes()) return false;
+  if (!scheduler_->try_reserve(*this, res)) return false;
+  reservations_.emplace(res.id, res);
+  push_event(res.start, EventType::kReservationStart, res.id);
+  // Wake the scheduler when the window closes: capacity blocked by the
+  // reservation becomes available again, and without an event the
+  // scheduler would never notice.
+  push_event(res.start + res.duration, EventType::kReservationEnd, res.id);
+  return true;
+}
+
+std::optional<std::int64_t> Engine::next_event_time() const {
+  if (events_.empty()) return std::nullopt;
+  return events_.top().time;
+}
+
+bool Engine::step() {
+  if (events_.empty()) return false;
+  const std::int64_t t = events_.top().time;
+  account_capacity_to(t);
+  now_ = t;
+  scheduler_dirty_ = false;
+  while (!events_.empty() && events_.top().time == t) {
+    Event ev = events_.top();
+    events_.pop();
+    process(ev);
+  }
+  if (scheduler_dirty_) scheduler_->schedule(*this);
+  return true;
+}
+
+void Engine::run_until(std::int64_t t) {
+  while (!events_.empty() && events_.top().time <= t) step();
+  if (now_ < t) {
+    account_capacity_to(t);
+    now_ = t;
+  }
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+const SimJob& Engine::job(std::int64_t id) const {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::out_of_range("Engine::job: unknown id");
+  return it->second;
+}
+
+bool Engine::start_job(std::int64_t job_id) {
+  auto& j = jobs_.at(job_id);
+  if (j.state != JobState::kQueued) {
+    throw std::logic_error("start_job: job is not queued");
+  }
+  auto nodes = machine_.allocate(job_id, j.procs);
+  if (!nodes) return false;
+  j.nodes = std::move(*nodes);
+  j.state = JobState::kRunning;
+  j.start = now_;
+  --queued_count_;
+  ++running_count_;
+  const std::int64_t version = ++end_version_[job_id];
+  push_event(now_ + j.runtime, EventType::kJobEnd, job_id, version);
+  return true;
+}
+
+void Engine::start_job_virtual(std::int64_t job_id, std::int64_t end_time) {
+  auto& j = jobs_.at(job_id);
+  if (j.state != JobState::kQueued) {
+    throw std::logic_error("start_job_virtual: job is not queued");
+  }
+  if (end_time < now_) {
+    throw std::invalid_argument("start_job_virtual: end before now");
+  }
+  j.state = JobState::kRunning;
+  j.start = now_;
+  j.nodes.clear();
+  --queued_count_;
+  ++running_count_;
+  const std::int64_t version = ++end_version_[job_id];
+  push_event(end_time, EventType::kJobEnd, job_id, version);
+}
+
+void Engine::update_job_end(std::int64_t job_id, std::int64_t new_end) {
+  auto& j = jobs_.at(job_id);
+  if (j.state != JobState::kRunning) {
+    throw std::logic_error("update_job_end: job is not running");
+  }
+  if (new_end < now_) {
+    throw std::invalid_argument("update_job_end: end before now");
+  }
+  const std::int64_t version = ++end_version_[job_id];
+  push_event(new_end, EventType::kJobEnd, job_id, version);
+}
+
+void Engine::kill_running_job(std::int64_t job_id) {
+  auto& j = jobs_.at(job_id);
+  if (j.state != JobState::kRunning) {
+    throw std::logic_error("kill_running_job: job is not running");
+  }
+  kill_job(j);
+}
+
+void Engine::push_event(std::int64_t time, EventType type, std::int64_t id,
+                        std::int64_t version) {
+  events_.push({time, type, seq_++, id, version});
+}
+
+void Engine::process(const Event& ev) {
+  ++events_processed_;
+  switch (ev.type) {
+    case EventType::kSubmit:
+      handle_submit(ev.id);
+      break;
+    case EventType::kJobEnd:
+      handle_job_end(ev);
+      break;
+    case EventType::kOutageAnnounce:
+      scheduler_->on_outage_announce(*this, outages_.at(std::size_t(ev.id)));
+      scheduler_dirty_ = true;
+      break;
+    case EventType::kOutageStart:
+      handle_outage_start(std::size_t(ev.id));
+      break;
+    case EventType::kOutageEnd:
+      handle_outage_end(std::size_t(ev.id));
+      break;
+    case EventType::kReservationStart:
+      handle_reservation_start(ev.id);
+      break;
+    case EventType::kReservationEnd:
+      reservations_.erase(ev.id);
+      scheduler_dirty_ = true;
+      break;
+  }
+}
+
+void Engine::handle_submit(std::int64_t job_id) {
+  auto& j = jobs_.at(job_id);
+  j.state = JobState::kQueued;
+  ++queued_count_;
+  scheduler_->on_submit(*this, job_id);
+  scheduler_dirty_ = true;
+}
+
+void Engine::handle_job_end(const Event& ev) {
+  auto it = jobs_.find(ev.id);
+  if (it == jobs_.end()) return;
+  auto& j = it->second;
+  // Stale end events (the job was killed/rescheduled) carry an old
+  // version; ignore them.
+  if (j.state != JobState::kRunning || end_version_[ev.id] != ev.version) {
+    return;
+  }
+  finish_job(j);
+}
+
+void Engine::finish_job(SimJob& j) {
+  j.state = JobState::kFinished;
+  j.end = now_;
+  --running_count_;
+  if (!j.nodes.empty()) {
+    machine_.release(j.id, j.nodes);
+    j.nodes.clear();
+  }
+  work_node_seconds_ += j.procs * j.runtime;
+  makespan_ = std::max(makespan_, now_);
+
+  CompletedJob c;
+  c.id = j.id;
+  c.submit = j.submit;
+  c.start = j.start;
+  c.end = j.end;
+  c.runtime = j.runtime;
+  c.estimate = j.estimate;
+  c.procs = j.procs;
+  c.user_id = j.user_id;
+  c.executable_id = j.executable_id;
+  c.queue_id = j.queue_id;
+  c.restarts = j.restarts;
+  completed_.push_back(c);
+  if (completion_observer_) completion_observer_(c);
+
+  scheduler_->on_job_end(*this, j.id);
+  scheduler_dirty_ = true;
+
+  // Closed loop: release dependents.
+  const auto dit = dependents_.find(j.id);
+  if (dit != dependents_.end()) {
+    for (const auto& [dep_id, think] : dit->second) {
+      auto& dep = jobs_.at(dep_id);
+      dep.submit = now_ + think;
+      push_event(dep.submit, EventType::kSubmit, dep_id);
+    }
+    dependents_.erase(dit);
+  }
+}
+
+void Engine::kill_job(SimJob& j) {
+  // Work performed so far is lost ("any job running on that node would
+  // have to be restarted").
+  wasted_node_seconds_ += j.procs * (now_ - j.start);
+  ++jobs_killed_;
+  ++j.restarts;
+  --running_count_;
+  if (!j.nodes.empty()) {
+    machine_.release(j.id, j.nodes);  // down nodes are skipped internally
+    j.nodes.clear();
+  }
+  ++end_version_[j.id];  // invalidate the pending end event
+  scheduler_->on_job_killed(*this, j.id);
+  if (config_.requeue_killed_jobs) {
+    j.state = JobState::kQueued;
+    ++queued_count_;
+    scheduler_->on_submit(*this, j.id);
+  } else {
+    j.state = JobState::kFinished;
+    j.end = now_;
+  }
+  scheduler_dirty_ = true;
+}
+
+void Engine::handle_outage_start(std::size_t idx) {
+  const auto& rec = outages_[idx];
+  std::vector<std::int64_t> victims;
+  for (std::int64_t node : rec.components) {
+    if (node < 0 || node >= machine_.total_nodes()) continue;
+    const std::int64_t owner = machine_.take_down(node);
+    if (owner >= 0) victims.push_back(owner);
+  }
+  // Deduplicate victims (a job may own several failed nodes).
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  for (std::int64_t job_id : victims) {
+    auto& j = jobs_.at(job_id);
+    if (j.state == JobState::kRunning) kill_job(j);
+  }
+  scheduler_->on_outage_start(*this, rec);
+  scheduler_dirty_ = true;
+}
+
+void Engine::handle_outage_end(std::size_t idx) {
+  const auto& rec = outages_[idx];
+  for (std::int64_t node : rec.components) {
+    if (node < 0 || node >= machine_.total_nodes()) continue;
+    if (machine_.owner(node) == kDown) machine_.bring_up(node);
+  }
+  scheduler_->on_outage_end(*this, rec);
+  scheduler_dirty_ = true;
+}
+
+void Engine::handle_reservation_start(std::int64_t res_id) {
+  const auto it = reservations_.find(res_id);
+  if (it == reservations_.end()) return;
+  const auto& res = it->second;
+  if (res.job_id) {
+    auto& j = jobs_.at(*res.job_id);
+    if (j.state == JobState::kQueued) {
+      // The scheduler blocked this window, so the allocation succeeds
+      // unless an outage shrank the machine; in that case the job stays
+      // queued and the scheduler starts it when capacity returns.
+      start_job(*res.job_id);
+    }
+  }
+  scheduler_dirty_ = true;
+}
+
+void Engine::account_capacity_to(std::int64_t t) {
+  if (t <= capacity_accounted_until_) return;
+  capacity_node_seconds_ +=
+      machine_.up_nodes() * (t - capacity_accounted_until_);
+  capacity_accounted_until_ = t;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.capacity_node_seconds = capacity_node_seconds_;
+  s.work_node_seconds = work_node_seconds_;
+  s.wasted_node_seconds = wasted_node_seconds_;
+  s.makespan = makespan_;
+  s.jobs_completed = std::int64_t(completed_.size());
+  s.jobs_killed = jobs_killed_;
+  s.events_processed = events_processed_;
+  return s;
+}
+
+}  // namespace pjsb::sim

@@ -1,0 +1,190 @@
+// The discrete-event simulation engine.
+//
+// Drives a machine + scheduler against an SWF workload, optionally with
+// an outage stream (section 2.2) and closed-loop feedback dependencies
+// (fields 17-18). The engine is incremental — next_event_time() /
+// run_until() — so the metacomputing layer (section 4.3's WARMstones
+// environment) can coordinate several site engines on a global clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/outage/record.hpp"
+#include "core/swf/trace.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/job.hpp"
+#include "sim/machine.hpp"
+
+namespace pjsb::sim {
+
+struct EngineConfig {
+  std::int64_t nodes = 128;
+  /// Deliver outage announcements to the scheduler (outage-aware mode).
+  /// When false the scheduler only experiences the failures themselves.
+  bool deliver_announcements = true;
+  /// Respect preceding-job/think-time dependencies in the trace: a
+  /// dependent job is submitted when its predecessor terminates plus
+  /// think time (closed loop), instead of at its recorded submit time.
+  bool closed_loop = false;
+  /// Requeue jobs killed by outages (restart from scratch).
+  bool requeue_killed_jobs = true;
+};
+
+/// Aggregate accounting maintained by the engine.
+struct EngineStats {
+  std::int64_t capacity_node_seconds = 0;  ///< up-capacity integral
+  std::int64_t work_node_seconds = 0;      ///< completed useful work
+  std::int64_t wasted_node_seconds = 0;    ///< work lost to kills
+  std::int64_t makespan = 0;               ///< last completion time
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_killed = 0;            ///< kill events (with requeue)
+  std::int64_t events_processed = 0;
+
+  /// Achieved utilization of available capacity.
+  double utilization() const {
+    return capacity_node_seconds > 0
+               ? double(work_node_seconds) / double(capacity_node_seconds)
+               : 0.0;
+  }
+};
+
+class Engine final : public sched::SchedulerContext {
+ public:
+  Engine(const EngineConfig& config,
+         std::unique_ptr<sched::Scheduler> scheduler);
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Load the summary records of a trace as the job population. In
+  /// closed-loop mode, dependency edges (fields 17/18) defer dependent
+  /// submissions until their predecessor terminates.
+  void load_trace(const swf::Trace& trace);
+
+  /// Register an outage stream (call before run()).
+  void add_outages(const outage::OutageLog& log);
+
+  /// Submit a single external job (used by the meta layer). The job's
+  /// submit time must be >= now(); returns its id.
+  std::int64_t submit_job(SimJob job);
+
+  /// Request an advance reservation (forwards to the scheduler).
+  /// Returns true if the scheduler accepted and the engine committed it.
+  bool request_reservation(const sched::AdvanceReservation& reservation);
+
+  // -- incremental execution --
+  std::optional<std::int64_t> next_event_time() const;
+  /// Process all events at the next event time. False if none remain.
+  bool step();
+  /// Process events with time <= t (does not advance now() past t).
+  void run_until(std::int64_t t);
+  /// Run to exhaustion.
+  void run();
+
+  // -- results --
+  const std::vector<CompletedJob>& completed() const { return completed_; }
+  EngineStats stats() const;
+  const sched::Scheduler& scheduler() const { return *scheduler_; }
+  sched::Scheduler& scheduler() { return *scheduler_; }
+  std::size_t queued_jobs() const { return queued_count_; }
+  std::size_t running_jobs() const { return running_count_; }
+
+  /// Observer invoked whenever a job completes (used by predictors to
+  /// learn online). Receives the completed record.
+  void set_completion_observer(std::function<void(const CompletedJob&)> fn) {
+    completion_observer_ = std::move(fn);
+  }
+
+  // -- SchedulerContext interface --
+  std::int64_t now() const override { return now_; }
+  Machine& machine() override { return machine_; }
+  const SimJob& job(std::int64_t id) const override;
+  bool start_job(std::int64_t job_id) override;
+  void start_job_virtual(std::int64_t job_id, std::int64_t end_time) override;
+  void update_job_end(std::int64_t job_id, std::int64_t new_end) override;
+  void kill_running_job(std::int64_t job_id) override;
+
+ private:
+  enum class EventType : int {
+    // Order within a timestamp (smaller runs first).
+    kJobEnd = 0,
+    kOutageEnd = 1,
+    kReservationEnd = 2,
+    kOutageStart = 3,
+    kOutageAnnounce = 4,
+    kSubmit = 5,
+    // After submits, so a reservation-attached job submitted at the
+    // reservation start time is already queued when the window opens.
+    kReservationStart = 6,
+  };
+
+  struct Event {
+    std::int64_t time = 0;
+    EventType type = EventType::kSubmit;
+    std::int64_t seq = 0;    ///< FIFO tie-break
+    std::int64_t id = 0;     ///< job id / outage index / reservation id
+    std::int64_t version = 0;  ///< for revisable job-end events
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.type != b.type) return int(a.type) > int(b.type);
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_event(std::int64_t time, EventType type, std::int64_t id,
+                  std::int64_t version = 0);
+  void process(const Event& ev);
+  void handle_submit(std::int64_t job_id);
+  void handle_job_end(const Event& ev);
+  void handle_outage_start(std::size_t idx);
+  void handle_outage_end(std::size_t idx);
+  void handle_reservation_start(std::int64_t res_id);
+  void finish_job(SimJob& j);
+  void kill_job(SimJob& j);
+  void account_capacity_to(std::int64_t t);
+
+  EngineConfig config_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  Machine machine_;
+
+  std::int64_t now_ = 0;
+  std::int64_t seq_ = 0;
+  std::int64_t next_job_id_ = 1;
+  std::int64_t next_reservation_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+
+  std::unordered_map<std::int64_t, SimJob> jobs_;
+  std::unordered_map<std::int64_t, std::int64_t> end_version_;
+  /// Dependents per predecessor job id (closed loop): (job, think).
+  std::unordered_map<std::int64_t, std::vector<std::pair<std::int64_t,
+                                                         std::int64_t>>>
+      dependents_;
+  std::vector<outage::OutageRecord> outages_;
+  std::map<std::int64_t, sched::AdvanceReservation> reservations_;
+  std::vector<CompletedJob> completed_;
+  std::function<void(const CompletedJob&)> completion_observer_;
+
+  std::size_t queued_count_ = 0;
+  std::size_t running_count_ = 0;
+  // Capacity accounting.
+  std::int64_t capacity_accounted_until_ = 0;
+  std::int64_t capacity_node_seconds_ = 0;
+  std::int64_t work_node_seconds_ = 0;
+  std::int64_t wasted_node_seconds_ = 0;
+  std::int64_t makespan_ = 0;
+  std::int64_t jobs_killed_ = 0;
+  std::int64_t events_processed_ = 0;
+  bool scheduler_dirty_ = false;
+};
+
+}  // namespace pjsb::sim

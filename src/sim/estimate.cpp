@@ -1,0 +1,53 @@
+#include "sim/estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pjsb::sim {
+
+void set_exact_estimates(swf::Trace& trace) {
+  for (auto& r : trace.records) {
+    if (r.run_time != swf::kUnknown) r.requested_time = r.run_time;
+  }
+}
+
+void set_factor_estimates(swf::Trace& trace, double factor) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("set_factor_estimates: factor >= 1");
+  }
+  for (auto& r : trace.records) {
+    if (r.run_time == swf::kUnknown) continue;
+    r.requested_time =
+        std::max<std::int64_t>(r.run_time,
+                               std::int64_t(std::llround(
+                                   double(r.run_time) * factor)));
+  }
+}
+
+void set_random_factor_estimates(swf::Trace& trace, double max_factor,
+                                 util::Rng& rng) {
+  if (max_factor < 1.0) {
+    throw std::invalid_argument("set_random_factor_estimates: factor >= 1");
+  }
+  for (auto& r : trace.records) {
+    if (r.run_time == swf::kUnknown) continue;
+    const double f = rng.uniform(1.0, max_factor);
+    r.requested_time =
+        std::max<std::int64_t>(r.run_time,
+                               std::int64_t(std::llround(
+                                   double(r.run_time) * f)));
+  }
+}
+
+void clamp_estimates_to_max_runtime(swf::Trace& trace) {
+  if (!trace.header.max_runtime) return;
+  const std::int64_t cap = *trace.header.max_runtime;
+  for (auto& r : trace.records) {
+    if (r.requested_time != swf::kUnknown) {
+      r.requested_time = std::min(r.requested_time, cap);
+    }
+  }
+}
+
+}  // namespace pjsb::sim

@@ -1,0 +1,31 @@
+// User runtime-estimate models.
+//
+// Schedulers only see SWF field 9 (requested time); how loose those
+// estimates are strongly affects backfilling. These helpers rewrite the
+// estimates of a trace under standard assumptions (the "f-model" used
+// across the backfilling literature), enabling estimate-sensitivity
+// ablations without regenerating the workload.
+#pragma once
+
+#include <cstdint>
+
+#include "core/swf/trace.hpp"
+#include "util/rng.hpp"
+
+namespace pjsb::sim {
+
+/// requested_time = run_time exactly (perfect estimates).
+void set_exact_estimates(swf::Trace& trace);
+
+/// requested_time = f * run_time (deterministic multiplicative slack).
+void set_factor_estimates(swf::Trace& trace, double factor);
+
+/// requested_time = U[1, f] * run_time per job (random slack), the
+/// classic model of user overestimation.
+void set_random_factor_estimates(swf::Trace& trace, double max_factor,
+                                 util::Rng& rng);
+
+/// Clamp all estimates to the trace's MaxRuntime header (if present).
+void clamp_estimates_to_max_runtime(swf::Trace& trace);
+
+}  // namespace pjsb::sim

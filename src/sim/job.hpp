@@ -1,0 +1,61 @@
+// Simulation-side job state, built from SWF records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/swf/record.hpp"
+
+namespace pjsb::sim {
+
+enum class JobState {
+  kPending,   ///< not yet submitted
+  kQueued,    ///< submitted, waiting
+  kRunning,
+  kFinished,
+};
+
+/// A job inside the simulator. `runtime` is the ground-truth execution
+/// time (hidden from the scheduler); `estimate` is what the user/
+/// scheduler sees (SWF field 9). The engine tracks lifecycle fields.
+struct SimJob {
+  std::int64_t id = 0;
+  std::int64_t submit = 0;
+  std::int64_t runtime = 1;
+  std::int64_t estimate = 1;
+  std::int64_t procs = 1;
+  std::int64_t user_id = swf::kUnknown;
+  std::int64_t executable_id = swf::kUnknown;
+  std::int64_t queue_id = swf::kUnknown;
+
+  // Lifecycle (engine-owned).
+  JobState state = JobState::kPending;
+  std::int64_t start = -1;  ///< last (successful) start
+  std::int64_t end = -1;    ///< completion time
+  int restarts = 0;         ///< times killed by outages and requeued
+  std::vector<std::int64_t> nodes;  ///< allocation (node ids), if any
+
+  /// Build from an SWF summary record. Estimates default to the runtime
+  /// when the record carries none (perfect estimates).
+  static SimJob from_record(const swf::JobRecord& r);
+};
+
+/// The per-job outcome the metrics layer consumes.
+struct CompletedJob {
+  std::int64_t id = 0;
+  std::int64_t submit = 0;
+  std::int64_t start = 0;   ///< final successful start
+  std::int64_t end = 0;
+  std::int64_t runtime = 0;  ///< requested ground-truth runtime
+  std::int64_t estimate = 0;
+  std::int64_t procs = 0;
+  std::int64_t user_id = swf::kUnknown;
+  std::int64_t executable_id = swf::kUnknown;
+  std::int64_t queue_id = swf::kUnknown;
+  int restarts = 0;
+
+  std::int64_t wait() const { return start - submit; }
+  std::int64_t response() const { return end - submit; }
+};
+
+}  // namespace pjsb::sim

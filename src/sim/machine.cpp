@@ -1,0 +1,66 @@
+#include "sim/machine.hpp"
+
+#include <stdexcept>
+
+namespace pjsb::sim {
+
+Machine::Machine(std::int64_t total_nodes)
+    : owner_(std::size_t(total_nodes), kFree), free_(total_nodes) {
+  if (total_nodes <= 0) {
+    throw std::invalid_argument("Machine: need at least one node");
+  }
+}
+
+std::optional<std::vector<std::int64_t>> Machine::allocate(
+    std::int64_t job_id, std::int64_t count) {
+  if (count <= 0) throw std::invalid_argument("allocate: count must be > 0");
+  if (count > free_) return std::nullopt;
+  std::vector<std::int64_t> nodes;
+  nodes.reserve(std::size_t(count));
+  for (std::size_t i = 0; i < owner_.size() &&
+                          std::int64_t(nodes.size()) < count; ++i) {
+    if (owner_[i] == kFree) {
+      owner_[i] = job_id;
+      nodes.push_back(std::int64_t(i));
+    }
+  }
+  free_ -= count;
+  return nodes;
+}
+
+void Machine::release(std::int64_t job_id,
+                      std::span<const std::int64_t> nodes) {
+  for (std::int64_t n : nodes) {
+    auto& o = owner_.at(std::size_t(n));
+    if (o == kDown) continue;  // node failed while the job ran
+    if (o != job_id) {
+      throw std::logic_error("release: node not owned by job");
+    }
+    o = kFree;
+    ++free_;
+  }
+}
+
+std::int64_t Machine::take_down(std::int64_t node) {
+  auto& o = owner_.at(std::size_t(node));
+  const std::int64_t prev = o;
+  if (prev == kDown) return kDown;
+  if (prev == kFree) --free_;
+  o = kDown;
+  ++down_;
+  return prev;
+}
+
+void Machine::bring_up(std::int64_t node) {
+  auto& o = owner_.at(std::size_t(node));
+  if (o != kDown) throw std::logic_error("bring_up: node is not down");
+  o = kFree;
+  --down_;
+  ++free_;
+}
+
+std::int64_t Machine::owner(std::int64_t node) const {
+  return owner_.at(std::size_t(node));
+}
+
+}  // namespace pjsb::sim

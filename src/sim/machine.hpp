@@ -1,0 +1,54 @@
+// Machine model: a space-shared parallel machine with per-node state.
+//
+// Node-level tracking (rather than just a free counter) is what lets
+// outages hit specific components — "which nodes went down" — and kill
+// exactly the jobs running there, per section 2.2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace pjsb::sim {
+
+/// Owner id stored per node; kFree / kDown are sentinels.
+inline constexpr std::int64_t kFree = -1;
+inline constexpr std::int64_t kDown = -2;
+
+class Machine {
+ public:
+  explicit Machine(std::int64_t total_nodes);
+
+  std::int64_t total_nodes() const { return std::int64_t(owner_.size()); }
+  std::int64_t free_nodes() const { return free_; }
+  std::int64_t down_nodes() const { return down_; }
+  std::int64_t busy_nodes() const {
+    return total_nodes() - free_ - down_;
+  }
+  /// Nodes currently usable (free + busy).
+  std::int64_t up_nodes() const { return total_nodes() - down_; }
+
+  /// Allocate `count` free nodes to `job_id` (first fit). Returns the
+  /// node ids, or nullopt if not enough free nodes.
+  std::optional<std::vector<std::int64_t>> allocate(std::int64_t job_id,
+                                                    std::int64_t count);
+  /// Release the given nodes (must be owned by `job_id`).
+  void release(std::int64_t job_id, std::span<const std::int64_t> nodes);
+
+  /// Take a node down. Returns the previous owner's job id if the node
+  /// was allocated (the engine kills that job), or kFree/kDown.
+  std::int64_t take_down(std::int64_t node);
+  /// Bring a node back into service (must currently be down).
+  void bring_up(std::int64_t node);
+
+  /// Owner of a node (job id, kFree, or kDown).
+  std::int64_t owner(std::int64_t node) const;
+
+ private:
+  std::vector<std::int64_t> owner_;
+  std::int64_t free_ = 0;
+  std::int64_t down_ = 0;
+};
+
+}  // namespace pjsb::sim

@@ -1,0 +1,28 @@
+#include "sim/replay.hpp"
+
+namespace pjsb::sim {
+
+ReplayResult replay(const swf::Trace& trace,
+                    std::unique_ptr<sched::Scheduler> scheduler,
+                    const ReplayOptions& options) {
+  EngineConfig config;
+  config.nodes = options.nodes.value_or(trace.header.max_nodes.value_or(128));
+  config.closed_loop = options.closed_loop;
+  config.deliver_announcements = options.deliver_announcements;
+
+  Engine engine(config, std::move(scheduler));
+  if (options.completion_observer) {
+    engine.set_completion_observer(options.completion_observer);
+  }
+  engine.load_trace(trace);
+  if (options.outages) engine.add_outages(*options.outages);
+  engine.run();
+
+  ReplayResult result;
+  result.completed = engine.completed();
+  result.stats = engine.stats();
+  result.nodes = config.nodes;
+  return result;
+}
+
+}  // namespace pjsb::sim

@@ -1,0 +1,46 @@
+// One-call trace replay: the convenience layer every experiment uses.
+//
+// Wraps Engine construction, trace loading, optional outage streams and
+// the open-loop / closed-loop switch (section 2.2: "accounting logs do
+// not include explicit information about feedback, so this effect is
+// lost when a log is replayed" — unless fields 17/18 are present and
+// closed_loop is set).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/outage/record.hpp"
+#include "core/swf/trace.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace pjsb::sim {
+
+struct ReplayOptions {
+  /// Machine size; defaults to the trace's MaxNodes header (128 if the
+  /// header is absent).
+  std::optional<std::int64_t> nodes;
+  /// Honor fields 17/18 as submission dependencies.
+  bool closed_loop = false;
+  /// Outage stream to inject (optional).
+  const outage::OutageLog* outages = nullptr;
+  /// Deliver outage announcements (outage-aware mode).
+  bool deliver_announcements = true;
+  /// Observer for online predictor training.
+  std::function<void(const CompletedJob&)> completion_observer;
+};
+
+struct ReplayResult {
+  std::vector<CompletedJob> completed;
+  EngineStats stats;
+  std::int64_t nodes = 0;
+};
+
+/// Replay `trace` under `scheduler`. Consumes the scheduler.
+ReplayResult replay(const swf::Trace& trace,
+                    std::unique_ptr<sched::Scheduler> scheduler,
+                    const ReplayOptions& options = {});
+
+}  // namespace pjsb::sim

@@ -1,0 +1,108 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pjsb::util {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::normal(double mu, double sigma) {
+  return std::normal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::gamma(double alpha, double beta) {
+  return std::gamma_distribution<double>(alpha, beta)(engine_);
+}
+
+double Rng::erlang(int k, double rate) {
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) sum += exponential(rate);
+  return sum;
+}
+
+double Rng::weibull(double shape, double scale) {
+  return std::weibull_distribution<double>(shape, scale)(engine_);
+}
+
+double Rng::hyper_exponential(double p, double rate1, double rate2) {
+  return exponential(bernoulli(p) ? rate1 : rate2);
+}
+
+double Rng::hyper_gamma(double p, double a1, double b1, double a2, double b2) {
+  return bernoulli(p) ? gamma(a1, b1) : gamma(a2, b2);
+}
+
+double Rng::hyper_erlang(std::span<const double> probs,
+                         std::span<const double> rates, int k) {
+  if (probs.size() != rates.size() || probs.empty()) {
+    throw std::invalid_argument("hyper_erlang: probs/rates size mismatch");
+  }
+  const std::size_t branch = categorical(probs);
+  return erlang(k, rates[branch]);
+}
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  // Inverse-CDF over the finite support; n is small (users, apps) so a
+  // linear scan is fine and avoids precomputing tables per call site.
+  if (n <= 1) return 1;
+  double norm = 0.0;
+  for (std::int64_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(double(i), s);
+  double u = uniform() * norm;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    u -= 1.0 / std::pow(double(i), s);
+    if (u <= 0.0) return i;
+  }
+  return n;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("categorical: empty");
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+double Rng::two_stage_uniform(double lo, double med, double hi, double prob) {
+  return bernoulli(prob) ? uniform(lo, med) : uniform(med, hi);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) {
+  // SplitMix64 step over (master ^ stream), giving well-separated child
+  // seeds even for consecutive stream indices.
+  std::uint64_t z = master ^ (stream * 0xbf58476d1ce4e5b9ULL);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace pjsb::util

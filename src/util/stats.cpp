@@ -1,0 +1,163 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pjsb::util {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::size_t n = n_ + other.n_;
+  m2_ += other.m2_ +
+         delta * delta * double(n_) * double(other.n_) / double(n);
+  mean_ += delta * double(other.n_) / double(n);
+  n_ = n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(double(n_));
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * double(sorted.size() - 1);
+  const std::size_t lo = std::size_t(pos);
+  const double frac = pos - double(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  OnlineStats os;
+  for (double x : sorted) os.add(x);
+  s.mean = os.mean();
+  s.stddev = os.stddev();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = percentile_sorted(sorted, 0.5);
+  s.p90 = percentile_sorted(sorted, 0.9);
+  s.p95 = percentile_sorted(sorted, 0.95);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / double(counts_.size());
+  auto idx = std::ptrdiff_t((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   std::ptrdiff_t(counts_.size()) - 1);
+  ++counts_[std::size_t(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * double(i) / double(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ > 0 ? double(counts_.at(i)) / double(total_) : 0.0;
+}
+
+std::size_t kendall_discordant_pairs(std::span<const std::size_t> rank_a,
+                                     std::span<const std::size_t> rank_b) {
+  if (rank_a.size() != rank_b.size()) {
+    throw std::invalid_argument("kendall: size mismatch");
+  }
+  // Position of each item in each ranking.
+  const std::size_t n = rank_a.size();
+  std::vector<std::size_t> pos_a(n), pos_b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos_a[rank_a[i]] = i;
+    pos_b[rank_b[i]] = i;
+  }
+  std::size_t discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool a_less = pos_a[i] < pos_a[j];
+      const bool b_less = pos_b[i] < pos_b[j];
+      if (a_less != b_less) ++discordant;
+    }
+  }
+  return discordant;
+}
+
+double ks_statistic(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_statistic: empty sample");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    // Advance both CDFs past the next value together, so ties do not
+    // create spurious distance.
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] == x) ++i;
+    while (j < sb.size() && sb[j] == x) ++j;
+    const double fa = double(i) / double(sa.size());
+    const double fb = double(j) / double(sb.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+double coefficient_of_variation(std::span<const double> xs) {
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  return s.mean() != 0.0 ? s.stddev() / s.mean() : 0.0;
+}
+
+std::vector<std::size_t> ranking_of(std::span<const double> scores) {
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  return idx;
+}
+
+}  // namespace pjsb::util

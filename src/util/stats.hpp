@@ -1,0 +1,101 @@
+// Summary statistics used by the metrics module and the experiment
+// harnesses: online moments (Welford), percentiles, confidence
+// intervals, and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pjsb::util {
+
+/// Single-pass mean/variance accumulator (Welford). Numerically stable
+/// for the long, heavy-tailed series produced by scheduler simulations.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * double(n_); }
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Full-sample summary: keeps the data so percentiles are exact.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute a full summary of `xs` (copies and sorts internally).
+Summary summarize(std::span<const double> xs);
+
+/// Exact percentile (linear interpolation between order statistics) of a
+/// *sorted* sample; q in [0, 1].
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; samples
+/// outside the range are clamped into the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Fraction of samples in bin i (0 if the histogram is empty).
+  double fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Kendall rank distance between two rankings of the same item set:
+/// the number of discordant pairs. 0 means identical rankings; used by
+/// the metric-conflict experiments (E3/E4) to quantify rank flips.
+std::size_t kendall_discordant_pairs(std::span<const std::size_t> rank_a,
+                                     std::span<const std::size_t> rank_b);
+
+/// Return the ranking (indices sorted ascending by score) of `scores`.
+std::vector<std::size_t> ranking_of(std::span<const double> scores);
+
+/// Two-sample Kolmogorov-Smirnov statistic: the maximum distance
+/// between the empirical CDFs of `a` and `b` (in [0, 1]). Used to
+/// compare workload models against each other / against traces, in the
+/// spirit of the model-comparison work ([58]) the paper cites.
+double ks_statistic(std::span<const double> a, std::span<const double> b);
+
+/// Coefficient of variation (stddev / mean); 0 for degenerate input.
+double coefficient_of_variation(std::span<const double> xs);
+
+}  // namespace pjsb::util

@@ -1,0 +1,73 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace pjsb::util {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view token) {
+  token = trim(token);
+  if (token.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_f64(std::string_view token) {
+  token = trim(token);
+  if (token.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = char(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace pjsb::util

@@ -1,0 +1,46 @@
+// ASCII table rendering for the benchmark harnesses. Every experiment
+// binary (bench/) prints its reproduction of a paper artifact as one of
+// these tables, plus an optional CSV dump for post-processing.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pjsb::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendering pads to the widest cell per column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::int64_t value);
+  Table& cell(std::size_t value);
+  Table& cell(int value);
+
+  std::size_t rows() const { return cells_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Render with a header rule and column separators.
+  std::string to_string() const;
+  /// Comma-separated values (headers + rows), for machine consumption.
+  std::string to_csv() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a duration in seconds as a compact human string (e.g. "2h05m").
+std::string format_duration(std::int64_t seconds);
+
+}  // namespace pjsb::util

@@ -1,0 +1,125 @@
+#include "util/time_util.hpp"
+
+#include <array>
+#include <iomanip>
+#include <sstream>
+
+namespace pjsb::util {
+
+namespace {
+
+constexpr std::array<const char*, 7> kWeekdays = {
+    "Sunday", "Monday", "Tuesday", "Wednesday",
+    "Thursday", "Friday", "Saturday"};
+
+constexpr std::array<const char*, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+std::optional<int> month_from_name(const std::string& name) {
+  for (int i = 0; i < 12; ++i) {
+    if (name == kMonths[std::size_t(i)]) return i + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::int64_t days_from_civil(int year, int month, int day) {
+  year -= month <= 2;
+  const std::int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = unsigned(year - int(era) * 400);
+  const unsigned doy =
+      unsigned((153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + std::int64_t(doe) - 719468;
+}
+
+CivilTime civil_from_days(std::int64_t days) {
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = unsigned(days - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = std::int64_t(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  CivilTime ct;
+  ct.year = int(y + (m <= 2));
+  ct.month = int(m);
+  ct.day = int(d);
+  return ct;
+}
+
+std::int64_t to_unix_seconds(const CivilTime& ct) {
+  return days_from_civil(ct.year, ct.month, ct.day) * 86400 +
+         ct.hour * 3600 + ct.minute * 60 + ct.second;
+}
+
+CivilTime from_unix_seconds(std::int64_t t) {
+  std::int64_t days = t / 86400;
+  std::int64_t rem = t % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  CivilTime ct = civil_from_days(days);
+  ct.hour = int(rem / 3600);
+  ct.minute = int((rem % 3600) / 60);
+  ct.second = int(rem % 60);
+  return ct;
+}
+
+int day_of_week(std::int64_t unix_seconds) {
+  std::int64_t days = unix_seconds / 86400;
+  if (unix_seconds % 86400 < 0) --days;
+  // 1970-01-01 was a Thursday (4).
+  return int(((days % 7) + 7 + 4) % 7);
+}
+
+std::string format_swf_time(std::int64_t unix_seconds) {
+  const CivilTime ct = from_unix_seconds(unix_seconds);
+  std::ostringstream os;
+  os << kWeekdays[std::size_t(day_of_week(unix_seconds))] << ", " << ct.day
+     << ' ' << kMonths[std::size_t(ct.month - 1)] << ' ' << ct.year << ", "
+     << std::setw(2) << std::setfill('0') << ct.hour << ':' << std::setw(2)
+     << ct.minute << ':' << std::setw(2) << ct.second;
+  return os.str();
+}
+
+std::optional<std::int64_t> parse_swf_time(const std::string& text) {
+  // Expected: "Weekday, D Mon YYYY, HH:MM:SS". Split on commas first.
+  std::istringstream is(text);
+  std::string weekday, datepart, timepart;
+  if (!std::getline(is, weekday, ',')) return std::nullopt;
+  if (!std::getline(is, datepart, ',')) return std::nullopt;
+  if (!std::getline(is, timepart)) return std::nullopt;
+
+  std::istringstream ds(datepart);
+  int day = 0, year = 0;
+  std::string mon;
+  if (!(ds >> day >> mon >> year)) return std::nullopt;
+  const auto month = month_from_name(mon);
+  if (!month || day < 1 || day > 31) return std::nullopt;
+
+  std::istringstream ts(timepart);
+  int hh = 0, mm = 0, ss = 0;
+  char c1 = 0, c2 = 0;
+  if (!(ts >> hh >> c1 >> mm >> c2 >> ss) || c1 != ':' || c2 != ':') {
+    return std::nullopt;
+  }
+  if (hh < 0 || hh > 23 || mm < 0 || mm > 59 || ss < 0 || ss > 60) {
+    return std::nullopt;
+  }
+  CivilTime ct{year, *month, day, hh, mm, ss};
+  return to_unix_seconds(ct);
+}
+
+int seconds_into_day(std::int64_t unix_seconds) {
+  std::int64_t rem = unix_seconds % 86400;
+  if (rem < 0) rem += 86400;
+  return int(rem);
+}
+
+}  // namespace pjsb::util

@@ -1,0 +1,53 @@
+// Human-readable timestamp handling for SWF header comments.
+//
+// The standard (paper section 2.3) requires StartTime / EndTime header
+// values "in human readable form, in this standard format:
+// `Tuesday, 1 Dec 1998, 22:00:00`". We parse and format exactly that
+// shape, treating the timestamp as UTC (the standard does not carry a
+// timezone; archive convention is local time recorded verbatim).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pjsb::util {
+
+/// Broken-down civil time, proleptic Gregorian.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+
+  bool operator==(const CivilTime&) const = default;
+};
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+std::int64_t days_from_civil(int year, int month, int day);
+
+/// Inverse of days_from_civil.
+CivilTime civil_from_days(std::int64_t days);
+
+/// Seconds since the Unix epoch for a civil time (UTC).
+std::int64_t to_unix_seconds(const CivilTime& ct);
+
+/// Civil time (UTC) for a Unix timestamp.
+CivilTime from_unix_seconds(std::int64_t t);
+
+/// Day of week, 0 = Sunday .. 6 = Saturday.
+int day_of_week(std::int64_t unix_seconds);
+
+/// Format in SWF header style: "Tuesday, 1 Dec 1998, 22:00:00".
+std::string format_swf_time(std::int64_t unix_seconds);
+
+/// Parse SWF header style; returns nullopt on malformed input. The
+/// weekday name is accepted but not trusted (the date wins).
+std::optional<std::int64_t> parse_swf_time(const std::string& text);
+
+/// Seconds into the (UTC) day, 0..86399.
+int seconds_into_day(std::int64_t unix_seconds);
+
+}  // namespace pjsb::util

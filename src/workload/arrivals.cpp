@@ -1,0 +1,73 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/time_util.hpp"
+
+namespace pjsb::workload {
+
+PoissonArrivals::PoissonArrivals(double mean_interarrival_seconds)
+    : rate_(1.0 / mean_interarrival_seconds) {
+  if (!(mean_interarrival_seconds > 0)) {
+    throw std::invalid_argument("PoissonArrivals: mean must be positive");
+  }
+}
+
+std::int64_t PoissonArrivals::next(util::Rng& rng) {
+  now_ += rng.exponential(rate_);
+  return std::int64_t(now_);
+}
+
+DailyCycle DailyCycle::flat() {
+  DailyCycle c;
+  c.weights.fill(1.0);
+  return c;
+}
+
+DailyCycle DailyCycle::production() {
+  // Relative submission intensity per hour of day, shaped after the
+  // canonical daily cycle of the archive logs (nighttime trough around
+  // 4-6 AM, daytime plateau with a mid-afternoon peak).
+  DailyCycle c;
+  c.weights = {0.40, 0.30, 0.25, 0.22, 0.20, 0.22,   // 0-5
+               0.30, 0.50, 0.85, 1.20, 1.45, 1.55,   // 6-11
+               1.50, 1.60, 1.70, 1.65, 1.55, 1.40,   // 12-17
+               1.15, 0.95, 0.80, 0.70, 0.58, 0.48};  // 18-23
+  return c;
+}
+
+double DailyCycle::max_weight() const {
+  return *std::max_element(weights.begin(), weights.end());
+}
+
+double DailyCycle::mean_weight() const {
+  double sum = 0.0;
+  for (double w : weights) sum += w;
+  return sum / double(weights.size());
+}
+
+DailyCycleArrivals::DailyCycleArrivals(double mean_interarrival_seconds,
+                                       DailyCycle cycle)
+    : cycle_(cycle) {
+  if (!(mean_interarrival_seconds > 0)) {
+    throw std::invalid_argument("DailyCycleArrivals: mean must be positive");
+  }
+  // Thinning accepts with probability w(h)/w_max, so the average accept
+  // rate is mean_w / max_w; compensate so the long-run mean interarrival
+  // equals the configured value.
+  const double mean_rate = 1.0 / mean_interarrival_seconds;
+  peak_rate_ = mean_rate * cycle_.max_weight() / cycle_.mean_weight();
+}
+
+std::int64_t DailyCycleArrivals::next(util::Rng& rng) {
+  const double wmax = cycle_.max_weight();
+  while (true) {
+    now_ += rng.exponential(peak_rate_);
+    const int hour = util::seconds_into_day(std::int64_t(now_)) / 3600;
+    const double w = cycle_.weights[std::size_t(hour)];
+    if (rng.uniform() * wmax <= w) return std::int64_t(now_);
+  }
+}
+
+}  // namespace pjsb::workload

@@ -1,0 +1,63 @@
+// Arrival processes for synthetic workloads.
+//
+// Two processes cover the published models: a plain Poisson stream and
+// a non-homogeneous Poisson stream modulated by a daily cycle (rush
+// hours), realized by thinning. Both produce integer submit times in
+// seconds, as SWF requires.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pjsb::workload {
+
+/// Homogeneous Poisson arrivals with the given mean interarrival time.
+class PoissonArrivals {
+ public:
+  explicit PoissonArrivals(double mean_interarrival_seconds);
+
+  /// Advance and return the next arrival time (seconds, monotone).
+  std::int64_t next(util::Rng& rng);
+  void reset(std::int64_t start = 0) { now_ = double(start); }
+
+ private:
+  double rate_;
+  double now_ = 0.0;
+};
+
+/// Hour-of-day weight profile. Weights are relative; the daily-cycle
+/// process thins a Poisson stream so that the *average* rate matches
+/// the configured mean interarrival while hour h receives a share
+/// proportional to weights[h].
+struct DailyCycle {
+  std::array<double, 24> weights;
+
+  /// The flat profile (all hours equal).
+  static DailyCycle flat();
+  /// A production-like profile: low load 0-7h, ramp through the
+  /// morning, peak 13-17h, decline in the evening — the classic shape
+  /// observed in the logs the paper canonizes (daytime rush hours).
+  static DailyCycle production();
+
+  double max_weight() const;
+  double mean_weight() const;
+};
+
+/// Non-homogeneous Poisson arrivals via thinning over a daily cycle.
+class DailyCycleArrivals {
+ public:
+  DailyCycleArrivals(double mean_interarrival_seconds, DailyCycle cycle);
+
+  std::int64_t next(util::Rng& rng);
+  void reset(std::int64_t start = 0) { now_ = double(start); }
+
+ private:
+  double peak_rate_;
+  DailyCycle cycle_;
+  double now_ = 0.0;
+};
+
+}  // namespace pjsb::workload

@@ -1,0 +1,97 @@
+#include "workload/downey97.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/arrivals.hpp"
+
+namespace pjsb::workload {
+
+double DowneyJob::speedup(double n) const {
+  const double A = std::max(1.0, avg_parallelism);
+  const double s = std::max(0.0, sigma);
+  if (n <= 1.0) return std::max(0.0, n);  // fractional n used in tests
+  if (s <= 1.0) {
+    // Low-variance case of Downey's published family.
+    if (n <= A) {
+      return A * n / (A + s / 2.0 * (n - 1.0));
+    }
+    if (n <= 2.0 * A - 1.0) {
+      return A * n / (s * (A - 0.5) + n * (1.0 - s / 2.0));
+    }
+    return A;
+  }
+  // High-variance case.
+  const double knee = A + A * s - s;
+  if (n < knee) {
+    return n * A * (s + 1.0) / (s * (n + A - 1.0) + A);
+  }
+  return A;
+}
+
+double DowneyJob::runtime_on(std::int64_t n) const {
+  const double s = speedup(double(std::max<std::int64_t>(1, n)));
+  return work / std::max(1e-9, s);
+}
+
+std::int64_t DowneyJob::best_allocation(std::int64_t max_procs) const {
+  // S is nondecreasing and saturates at A; scan is cheap and exact
+  // (max_procs is a machine size, not astronomically large).
+  std::int64_t best = 1;
+  double best_rt = runtime_on(1);
+  for (std::int64_t n = 2; n <= max_procs; ++n) {
+    const double rt = runtime_on(n);
+    if (rt < best_rt - 1e-12) {
+      best_rt = rt;
+      best = n;
+    }
+  }
+  return best;
+}
+
+DowneyWorkload generate_downey97_detailed(const Downey97Params& params,
+                                          const ModelConfig& config,
+                                          util::Rng& rng) {
+  PoissonArrivals poisson(config.mean_interarrival);
+  DailyCycleArrivals cycled(config.mean_interarrival,
+                            DailyCycle::production());
+
+  DowneyWorkload out;
+  out.moldable.reserve(config.jobs);
+  std::vector<RawModelJob> rigid;
+  rigid.reserve(config.jobs);
+
+  const double lw_lo = std::log2(params.work_lo);
+  const double lw_hi = std::log2(params.work_hi);
+  const double la_hi = std::log2(params.parallelism_hi);
+
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    DowneyJob job;
+    job.submit = config.daily_cycle ? cycled.next(rng) : poisson.next(rng);
+    job.work = std::exp2(rng.uniform(lw_lo, lw_hi));
+    job.avg_parallelism =
+        std::min(std::exp2(rng.uniform(0.0, la_hi)),
+                 double(config.machine_nodes));
+    job.sigma = rng.uniform(0.0, params.sigma_hi);
+    out.moldable.push_back(job);
+
+    RawModelJob r;
+    r.submit = job.submit;
+    r.procs = std::clamp<std::int64_t>(
+        std::int64_t(std::lround(job.avg_parallelism)), 1,
+        config.machine_nodes);
+    r.runtime = std::max<std::int64_t>(
+        1, std::int64_t(std::lround(job.runtime_on(r.procs))));
+    rigid.push_back(r);
+  }
+  out.rigid_trace =
+      package_jobs(std::move(rigid), config, "Downey97 (rigid A)", rng);
+  return out;
+}
+
+swf::Trace generate_downey97(const Downey97Params& params,
+                             const ModelConfig& config, util::Rng& rng) {
+  return generate_downey97_detailed(params, config, rng).rigid_trace;
+}
+
+}  // namespace pjsb::workload

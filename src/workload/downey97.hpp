@@ -1,0 +1,65 @@
+// Downey '97 model ("A parallel workload model and its implications for
+// processor allocation" — reference [13] of the paper).
+//
+// This is the paper's exemplar of a *flexible* job model: instead of
+// (procs, runtime) it provides "data about the total computation and
+// the speedup function ... This enables the scheduler to choose the
+// number of processors". We implement Downey's published speedup
+// family S(n; A, sigma) exactly, plus his log-uniform distributions of
+// total work L and average parallelism A, and provide both a rigid SWF
+// rendering (allocation = A) and the detailed moldable jobs used by
+// experiment E10.
+#pragma once
+
+#include <vector>
+
+#include "workload/model.hpp"
+
+namespace pjsb::workload {
+
+/// A moldable job in Downey's parameterization.
+struct DowneyJob {
+  double work = 1.0;       ///< L: total work (node-seconds at S(1)=1)
+  double avg_parallelism = 1.0;  ///< A
+  double sigma = 0.0;      ///< variance of parallelism
+  std::int64_t submit = 0;
+
+  /// Downey's speedup function S(n). Piecewise in n with the published
+  /// low-variance (sigma <= 1) and high-variance (sigma > 1) cases;
+  /// S(1) = 1, S is nondecreasing, and S(n) = A for large n.
+  double speedup(double n) const;
+
+  /// Wall-clock runtime when run on n processors: L / S(n).
+  double runtime_on(std::int64_t n) const;
+
+  /// The allocation in [1, max_procs] minimizing runtime (ties -> fewer
+  /// processors). With monotone S this is min(max_procs, saturation).
+  std::int64_t best_allocation(std::int64_t max_procs) const;
+};
+
+struct Downey97Params {
+  /// log2(work) uniform in [log2(work_lo), log2(work_hi)] (seconds).
+  double work_lo = 60.0;
+  double work_hi = 200000.0;
+  /// log2(A) uniform in [0, log2(parallelism_hi)].
+  double parallelism_hi = 150.0;
+  /// sigma uniform in [0, sigma_hi].
+  double sigma_hi = 2.0;
+};
+
+/// Detailed generation: moldable jobs plus the rigid SWF packaging of
+/// the same stream (allocation = round(A), clamped to the machine).
+struct DowneyWorkload {
+  swf::Trace rigid_trace;
+  std::vector<DowneyJob> moldable;
+};
+
+DowneyWorkload generate_downey97_detailed(const Downey97Params& params,
+                                          const ModelConfig& config,
+                                          util::Rng& rng);
+
+/// Convenience: rigid trace only (ModelKind dispatch).
+swf::Trace generate_downey97(const Downey97Params& params,
+                             const ModelConfig& config, util::Rng& rng);
+
+}  // namespace pjsb::workload

@@ -1,0 +1,69 @@
+#include "workload/feitelson96.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/arrivals.hpp"
+
+namespace pjsb::workload {
+
+namespace {
+
+bool is_pow2(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Build the size distribution table p(n) ~ n^-alpha with boosts.
+std::vector<double> size_weights(const Feitelson96Params& p,
+                                 std::int64_t max_nodes) {
+  std::vector<double> w(static_cast<std::size_t>(max_nodes));
+  for (std::int64_t n = 1; n <= max_nodes; ++n) {
+    double weight = std::pow(double(n), -p.size_alpha);
+    if (is_pow2(n)) weight *= p.pow2_boost;
+    if (n == max_nodes) weight *= p.full_machine_boost;
+    w[std::size_t(n - 1)] = weight;
+  }
+  return w;
+}
+
+}  // namespace
+
+swf::Trace generate_feitelson96(const Feitelson96Params& params,
+                                const ModelConfig& config, util::Rng& rng) {
+  const auto weights = size_weights(params, config.machine_nodes);
+  PoissonArrivals poisson(config.mean_interarrival);
+  DailyCycleArrivals cycled(config.mean_interarrival,
+                            DailyCycle::production());
+
+  std::vector<RawModelJob> jobs;
+  jobs.reserve(config.jobs);
+  while (jobs.size() < config.jobs) {
+    const std::int64_t submit =
+        config.daily_cycle ? cycled.next(rng) : poisson.next(rng);
+    const std::int64_t procs = std::int64_t(rng.categorical(weights)) + 1;
+
+    // Size-correlated hyper-exponential runtime.
+    const double log2n = std::log2(double(procs) + 1.0);
+    const double p_long = std::clamp(
+        params.long_prob_base + params.long_prob_slope * log2n, 0.0, 0.95);
+    // Reruns: the same job (size, similar runtime) resubmitted after a
+    // pause; the whole burst counts against the requested job budget.
+    const auto reruns = std::max<std::int64_t>(
+        1, std::int64_t(rng.exponential(1.0 / params.mean_reruns)) + 1);
+    std::int64_t t = submit;
+    for (std::int64_t k = 0; k < reruns && jobs.size() < config.jobs; ++k) {
+      RawModelJob j;
+      j.submit = t;
+      j.procs = procs;
+      const double mean = rng.bernoulli(p_long) ? params.long_mean
+                                                : params.short_mean;
+      j.runtime = std::max<std::int64_t>(
+          1, std::int64_t(rng.exponential(1.0 / mean)));
+      jobs.push_back(j);
+      t += j.runtime +
+           std::int64_t(rng.exponential(1.0 / params.rerun_gap_mean));
+    }
+  }
+  jobs.resize(config.jobs);
+  return package_jobs(std::move(jobs), config, "Feitelson96", rng);
+}
+
+}  // namespace pjsb::workload

@@ -1,0 +1,43 @@
+// Feitelson '96 rigid-job model ("Packing schemes for gang scheduling",
+// JSSPP '96 — reference [18] of the paper).
+//
+// Characteristics reproduced from the published model:
+//   * job sizes follow a harmonic-like distribution emphasizing small
+//     jobs, with extra probability mass on powers of two (and on the
+//     full machine), as observed across the early archive logs;
+//   * runtimes are hyper-exponential with a weak positive correlation
+//     between size and runtime (bigger jobs run longer);
+//   * jobs are resubmitted ("rerun") a geometric number of times,
+//     modeling the edit-compile-run cycles that motivate the feedback
+//     fields of the standard;
+//   * arrivals are Poisson.
+#pragma once
+
+#include "workload/model.hpp"
+
+namespace pjsb::workload {
+
+struct Feitelson96Params {
+  /// Exponent of the harmonic size distribution p(n) ~ n^-alpha.
+  double size_alpha = 1.5;
+  /// Multiplicative boost for power-of-two sizes before renormalizing.
+  double pow2_boost = 2.0;
+  /// Probability boost for the full machine size.
+  double full_machine_boost = 1.5;
+  /// Hyper-exponential runtime branches (seconds).
+  double short_mean = 180.0;
+  double long_mean = 7200.0;
+  /// Probability of the long branch for a serial job; grows with
+  /// log2(size) at this slope (correlation between size and runtime).
+  double long_prob_base = 0.25;
+  double long_prob_slope = 0.05;
+  /// Mean number of repeated runs per distinct job (geometric).
+  double mean_reruns = 2.0;
+  /// Mean pause between reruns of the same job (exponential, seconds).
+  double rerun_gap_mean = 1800.0;
+};
+
+swf::Trace generate_feitelson96(const Feitelson96Params& params,
+                                const ModelConfig& config, util::Rng& rng);
+
+}  // namespace pjsb::workload

@@ -1,0 +1,51 @@
+#include "workload/jann97.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/arrivals.hpp"
+
+namespace pjsb::workload {
+
+double draw_hyper_erlang(const HyperErlangSpec& spec, util::Rng& rng) {
+  const double mean = rng.bernoulli(spec.p) ? spec.mean1 : spec.mean2;
+  // An Erlang-k with rate k/mean has the requested mean and CV 1/sqrt(k).
+  return rng.erlang(spec.order, double(spec.order) / mean);
+}
+
+swf::Trace generate_jann97(const Jann97Params& params,
+                           const ModelConfig& config, util::Rng& rng) {
+  if (params.classes.empty()) {
+    throw std::invalid_argument("jann97: no size classes");
+  }
+  // Keep classes that fit the machine; clamp the last one if partial.
+  std::vector<Jann97Class> classes;
+  for (const auto& c : params.classes) {
+    if (c.lo > config.machine_nodes) break;
+    Jann97Class clamped = c;
+    clamped.hi = std::min(clamped.hi, config.machine_nodes);
+    classes.push_back(clamped);
+  }
+  std::vector<double> fractions;
+  fractions.reserve(classes.size());
+  for (const auto& c : classes) fractions.push_back(c.fraction);
+
+  PoissonArrivals poisson(config.mean_interarrival);
+  DailyCycleArrivals cycled(config.mean_interarrival,
+                            DailyCycle::production());
+
+  std::vector<RawModelJob> jobs;
+  jobs.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    RawModelJob j;
+    j.submit = config.daily_cycle ? cycled.next(rng) : poisson.next(rng);
+    const auto& cls = classes[rng.categorical(fractions)];
+    j.procs = rng.uniform_int(cls.lo, cls.hi);
+    j.runtime = std::max<std::int64_t>(
+        1, std::int64_t(draw_hyper_erlang(cls.runtime, rng)));
+    jobs.push_back(j);
+  }
+  return package_jobs(std::move(jobs), config, "Jann97", rng);
+}
+
+}  // namespace pjsb::workload

@@ -1,0 +1,60 @@
+// Jann et al. '97 model ("Modeling of workload in MPPs", JSSPP '97 —
+// reference [38] of the paper).
+//
+// Structure reproduced from the published model: jobs are divided into
+// size classes by power-of-two ranges; within each class, both the
+// interarrival time and the service (run) time are modeled by
+// hyper-Erlang distributions of common order fitted to the CTC SP2
+// trace. We keep the published *structure* — per-class two-branch
+// hyper-Erlangs in log of seconds magnitudes fitted loosely to the CTC
+// shape — with parameters tabulated below (representative, overridable).
+#pragma once
+
+#include <vector>
+
+#include "workload/model.hpp"
+
+namespace pjsb::workload {
+
+/// Two-branch hyper-Erlang spec: branch 1 with probability `p`.
+struct HyperErlangSpec {
+  double p = 0.5;
+  int order = 2;        ///< common Erlang order of both branches
+  double mean1 = 60.0;  ///< branch means in seconds
+  double mean2 = 3600.0;
+};
+
+/// One size class: jobs with procs in [lo, hi].
+struct Jann97Class {
+  std::int64_t lo = 1;
+  std::int64_t hi = 1;
+  double fraction = 0.0;       ///< share of the job stream
+  HyperErlangSpec runtime;     ///< service time distribution
+};
+
+struct Jann97Params {
+  /// Size classes covering 1..2^k; fractions are renormalized and
+  /// classes above the machine size are folded into the last class
+  /// that fits. Defaults follow the CTC SP2 class structure (serial
+  /// jobs dominant, mass decreasing with size, long runtimes on large
+  /// classes).
+  std::vector<Jann97Class> classes = {
+      {1, 1, 0.28, {0.55, 2, 120.0, 4200.0}},
+      {2, 2, 0.08, {0.50, 2, 150.0, 5400.0}},
+      {3, 4, 0.12, {0.48, 2, 200.0, 7000.0}},
+      {5, 8, 0.14, {0.45, 2, 240.0, 9000.0}},
+      {9, 16, 0.14, {0.42, 2, 300.0, 10800.0}},
+      {17, 32, 0.12, {0.40, 2, 360.0, 12600.0}},
+      {33, 64, 0.07, {0.38, 2, 420.0, 14400.0}},
+      {65, 128, 0.04, {0.35, 2, 480.0, 16200.0}},
+      {129, 256, 0.01, {0.33, 2, 600.0, 18000.0}},
+  };
+};
+
+/// Draw from a two-branch hyper-Erlang (exposed for tests).
+double draw_hyper_erlang(const HyperErlangSpec& spec, util::Rng& rng);
+
+swf::Trace generate_jann97(const Jann97Params& params,
+                           const ModelConfig& config, util::Rng& rng);
+
+}  // namespace pjsb::workload

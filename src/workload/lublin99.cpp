@@ -1,0 +1,65 @@
+#include "workload/lublin99.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/arrivals.hpp"
+
+namespace pjsb::workload {
+
+namespace {
+
+std::int64_t draw_size(const Lublin99Params& p, const ModelConfig& config,
+                       bool interactive, util::Rng& rng) {
+  const double serial_prob =
+      interactive ? p.interactive_serial_prob : p.serial_prob;
+  if (rng.bernoulli(serial_prob)) return 1;
+
+  const double uhi = std::log2(double(config.machine_nodes));
+  const double umed = std::max(p.ulow + 0.1, uhi - p.umed_offset);
+  const double log2size = rng.two_stage_uniform(p.ulow, umed, uhi, p.uprob);
+
+  std::int64_t size;
+  if (rng.bernoulli(p.pow2_prob)) {
+    size = std::int64_t(1) << std::int64_t(std::lround(log2size));
+  } else {
+    size = std::int64_t(std::lround(std::exp2(log2size)));
+  }
+  return std::clamp<std::int64_t>(size, 2, config.machine_nodes);
+}
+
+std::int64_t draw_runtime(const Lublin99Params& p, std::int64_t nodes,
+                          bool interactive, std::int64_t max_runtime,
+                          util::Rng& rng) {
+  const double prob = std::clamp(p.pa * double(nodes) + p.pb, 0.05, 0.95);
+  // Hyper-gamma on log(runtime): branch 1 (short) w.p. prob.
+  const double log_rt = rng.bernoulli(prob) ? rng.gamma(p.a1, p.b1)
+                                            : rng.gamma(p.a2, p.b2);
+  double rt = std::exp(log_rt);
+  if (interactive) rt *= p.interactive_runtime_scale;
+  return std::clamp<std::int64_t>(std::int64_t(rt), 1, max_runtime);
+}
+
+}  // namespace
+
+swf::Trace generate_lublin99(const Lublin99Params& params,
+                             const ModelConfig& config, util::Rng& rng) {
+  PoissonArrivals poisson(config.mean_interarrival);
+  DailyCycleArrivals cycled(config.mean_interarrival,
+                            DailyCycle::production());
+
+  std::vector<RawModelJob> jobs;
+  jobs.reserve(config.jobs);
+  for (std::size_t i = 0; i < config.jobs; ++i) {
+    RawModelJob j;
+    j.submit = config.daily_cycle ? cycled.next(rng) : poisson.next(rng);
+    j.interactive = rng.bernoulli(params.interactive_fraction);
+    j.procs = draw_size(params, config, j.interactive, rng);
+    j.runtime = draw_runtime(params, j.procs, j.interactive,
+                             config.max_runtime, rng);
+    jobs.push_back(j);
+  }
+  return package_jobs(std::move(jobs), config, "Lublin99", rng);
+}
+
+}  // namespace pjsb::workload

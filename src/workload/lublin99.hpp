@@ -1,0 +1,55 @@
+// Lublin '99 model (reference [46]; the model a statistical analysis
+// [58] found "relatively representative of multiple workloads" — the
+// paper's strongest candidate for benchmark content).
+//
+// Structure reproduced from the published Lublin-Feitelson model:
+//   * jobs are split into interactive and batch streams with distinct
+//     parameters;
+//   * job size: serial with probability p_serial; otherwise a
+//     power-of-two size with probability p_pow2, with log2(size) drawn
+//     from a two-stage uniform distribution;
+//   * runtime: log of runtime drawn from a hyper-gamma distribution
+//     whose branch probability depends linearly on the job size
+//     (bigger jobs skew to the long branch);
+//   * interarrivals: log drawn from a gamma distribution, modulated by
+//     the daily cycle.
+// Default constants follow the published fits (batch stream of the
+// Lublin model); all are overridable.
+#pragma once
+
+#include "workload/model.hpp"
+
+namespace pjsb::workload {
+
+struct Lublin99Params {
+  // -- size --
+  double serial_prob = 0.244;
+  double pow2_prob = 0.576;
+  /// Two-stage uniform over log2(size): U[ulow, umed] w.p. uprob, else
+  /// U[umed, uhi]; uhi is log2(machine nodes), umed = uhi - umed_offset.
+  double ulow = 0.8;
+  double umed_offset = 2.5;
+  double uprob = 0.705;
+
+  // -- runtime (log-space hyper-gamma) --
+  double a1 = 4.2;
+  double b1 = 0.94;
+  double a2 = 312.0;
+  double b2 = 0.03;
+  /// Branch probability p = pa * nodes + pb (clamped to [0.05, 0.95]);
+  /// the long branch (gamma(a2, b2)) is taken with probability 1 - p.
+  double pa = -0.0054;
+  double pb = 0.78;
+
+  // -- interactive stream --
+  double interactive_fraction = 0.36;
+  /// Interactive jobs are small and short: runtimes scale by this
+  /// factor and sizes are drawn serial with higher probability.
+  double interactive_runtime_scale = 0.1;
+  double interactive_serial_prob = 0.75;
+};
+
+swf::Trace generate_lublin99(const Lublin99Params& params,
+                             const ModelConfig& config, util::Rng& rng);
+
+}  // namespace pjsb::workload

@@ -1,0 +1,101 @@
+#include "workload/model.hpp"
+
+#include <cmath>
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/downey97.hpp"
+#include "workload/feitelson96.hpp"
+#include "workload/jann97.hpp"
+#include "workload/lublin99.hpp"
+
+namespace pjsb::workload {
+
+const char* model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kFeitelson96: return "feitelson96";
+    case ModelKind::kJann97: return "jann97";
+    case ModelKind::kLublin99: return "lublin99";
+    case ModelKind::kDowney97: return "downey97";
+  }
+  return "unknown";
+}
+
+std::vector<ModelKind> all_models() {
+  return {ModelKind::kFeitelson96, ModelKind::kJann97, ModelKind::kLublin99,
+          ModelKind::kDowney97};
+}
+
+swf::Trace package_jobs(std::vector<RawModelJob> jobs,
+                        const ModelConfig& config,
+                        const std::string& model_label, util::Rng& rng) {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const RawModelJob& a, const RawModelJob& b) {
+              return a.submit < b.submit;
+            });
+
+  swf::Trace trace;
+  trace.records.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& j = jobs[i];
+    swf::JobRecord r;
+    r.job_number = std::int64_t(i + 1);
+    r.submit_time = j.submit;
+    r.wait_time = swf::kUnknown;  // "only relevant to real logs"
+    r.run_time = std::clamp<std::int64_t>(j.runtime, 1, config.max_runtime);
+    r.allocated_procs = std::clamp<std::int64_t>(j.procs, 1,
+                                                 config.machine_nodes);
+    r.requested_procs = r.allocated_procs;
+    const std::size_t f = rng.categorical(config.estimate_weights);
+    r.requested_time = std::min<std::int64_t>(
+        config.max_runtime,
+        std::int64_t(double(r.run_time) * config.estimate_factors.at(f)));
+    if (config.model_memory) {
+      const double log_mean =
+          config.memory_log_mean +
+          config.memory_size_slope * std::log2(double(r.allocated_procs));
+      r.used_memory_kb = std::clamp<std::int64_t>(
+          std::int64_t(rng.lognormal(log_mean, config.memory_log_sigma)),
+          1, config.max_memory_kb);
+      r.requested_memory_kb = std::min<std::int64_t>(
+          config.max_memory_kb,
+          std::int64_t(double(r.used_memory_kb) * 1.25));
+    }
+    r.status = swf::Status::kUnknown;  // "meaningless for models"
+    r.user_id = rng.zipf(config.users, config.zipf_exponent);
+    r.group_id = 1 + (r.user_id - 1) % config.groups;
+    r.executable_id = rng.zipf(config.executables, config.zipf_exponent);
+    r.queue_id = j.interactive ? 0 : 1;
+    trace.records.push_back(r);
+  }
+
+  auto& h = trace.header;
+  h.computer = "Synthetic (" + model_label + ")";
+  h.installation = "pjsb workload generator";
+  h.conversion = "pjsb::workload";
+  h.version = 2;
+  h.max_nodes = config.machine_nodes;
+  h.max_runtime = config.max_runtime;
+  if (config.model_memory) h.max_memory_kb = config.max_memory_kb;
+  h.allow_overuse = false;
+  h.queues = "Queue 0 = interactive, queue 1 = batch.";
+  h.notes.push_back("Model: " + model_label);
+  return trace;
+}
+
+swf::Trace generate(ModelKind kind, const ModelConfig& config,
+                    util::Rng& rng) {
+  switch (kind) {
+    case ModelKind::kFeitelson96:
+      return generate_feitelson96(Feitelson96Params{}, config, rng);
+    case ModelKind::kJann97:
+      return generate_jann97(Jann97Params{}, config, rng);
+    case ModelKind::kLublin99:
+      return generate_lublin99(Lublin99Params{}, config, rng);
+    case ModelKind::kDowney97:
+      return generate_downey97(Downey97Params{}, config, rng);
+  }
+  throw std::invalid_argument("generate: unknown model kind");
+}
+
+}  // namespace pjsb::workload

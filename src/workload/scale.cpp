@@ -1,0 +1,64 @@
+#include "workload/scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pjsb::workload {
+
+double offered_load(const swf::Trace& trace, std::int64_t nodes) {
+  if (nodes <= 0) return 0.0;
+  const auto jobs = trace.summary_records();
+  if (jobs.size() < 2) return 0.0;
+  double area = 0.0;
+  std::int64_t first = jobs.front().submit_time;
+  std::int64_t last = first;
+  for (const auto& r : jobs) {
+    if (r.run_time != swf::kUnknown && r.allocated_procs != swf::kUnknown) {
+      area += double(r.run_time) * double(r.allocated_procs);
+    }
+    if (r.submit_time != swf::kUnknown) {
+      first = std::min(first, r.submit_time);
+      last = std::max(last, r.submit_time);
+    }
+  }
+  const double span = double(last - first);
+  if (span <= 0) return 0.0;
+  return area / (double(nodes) * span);
+}
+
+swf::Trace scale_interarrivals(const swf::Trace& trace, double factor) {
+  if (!(factor > 0)) {
+    throw std::invalid_argument("scale_interarrivals: factor must be > 0");
+  }
+  swf::Trace out = trace;
+  // Scale gaps between consecutive summary records; partial lines keep
+  // their (relative) wait encoding untouched.
+  std::int64_t prev_orig = swf::kUnknown;
+  double prev_scaled = 0.0;
+  for (auto& r : out.records) {
+    if (!r.is_summary() || r.submit_time == swf::kUnknown) continue;
+    if (prev_orig == swf::kUnknown) {
+      prev_scaled = double(r.submit_time);
+    } else {
+      prev_scaled += double(r.submit_time - prev_orig) * factor;
+    }
+    prev_orig = r.submit_time;
+    r.submit_time = std::int64_t(std::llround(prev_scaled));
+    r.wait_time = swf::kUnknown;
+  }
+  return out;
+}
+
+swf::Trace scale_to_load(const swf::Trace& trace, double target_load,
+                         std::int64_t nodes) {
+  if (!(target_load > 0)) {
+    throw std::invalid_argument("scale_to_load: target must be > 0");
+  }
+  const double current = offered_load(trace, nodes);
+  if (current <= 0) return trace;
+  // Compressing arrivals by f multiplies load by 1/f.
+  return scale_interarrivals(trace, current / target_load);
+}
+
+}  // namespace pjsb::workload

@@ -1,0 +1,28 @@
+// Load scaling: workload models' key advantage over raw logs is that
+// they "can also be changed at will (e.g. to modify the system load)"
+// (section 2.1). We change load the standard way — stretching or
+// compressing interarrival gaps — which preserves the marginal
+// distributions of size and runtime.
+#pragma once
+
+#include "core/swf/trace.hpp"
+
+namespace pjsb::workload {
+
+/// Offered load of a trace on `nodes` processors: total node-seconds of
+/// work divided by machine capacity over the submission span. Returns 0
+/// for degenerate traces.
+double offered_load(const swf::Trace& trace, std::int64_t nodes);
+
+/// Return a copy of `trace` whose interarrival gaps are multiplied by
+/// `factor` (factor < 1 compresses, increasing load). The first submit
+/// time is preserved; wait times are reset to unknown (they are an
+/// artifact of the original schedule).
+swf::Trace scale_interarrivals(const swf::Trace& trace, double factor);
+
+/// Scale the trace so its offered load on `nodes` processors is
+/// approximately `target_load` (in (0, 1]). Returns the scaled trace.
+swf::Trace scale_to_load(const swf::Trace& trace, double target_load,
+                         std::int64_t nodes);
+
+}  // namespace pjsb::workload

@@ -1,0 +1,119 @@
+#include "workload/structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pjsb::workload {
+
+double StructuredJob::dedicated_runtime() const {
+  double total = 0.0;
+  for (const auto& phase : phases) {
+    double mx = 0.0;
+    for (double w : phase.work) mx = std::max(mx, w);
+    total += mx;
+  }
+  return total;
+}
+
+double StructuredJob::total_work() const {
+  double total = 0.0;
+  for (const auto& phase : phases) {
+    for (double w : phase.work) total += w;
+  }
+  return total;
+}
+
+StructuredJob generate_structured_job(const StructureParams& params,
+                                      util::Rng& rng) {
+  if (params.processors < 1 || params.barriers < 1) {
+    throw std::invalid_argument("generate_structured_job: bad params");
+  }
+  StructuredJob job;
+  job.processors = params.processors;
+  job.phases.resize(std::size_t(params.barriers));
+  // Gamma with mean g and CV c: shape = 1/c^2, scale = g*c^2. CV of 0
+  // degenerates to constant work.
+  const double cv = std::max(1e-6, params.variance_cv);
+  const double shape = 1.0 / (cv * cv);
+  const double scale = params.granularity * cv * cv;
+  for (auto& phase : job.phases) {
+    phase.work.resize(std::size_t(params.processors));
+    for (auto& w : phase.work) w = rng.gamma(shape, scale);
+  }
+  return job;
+}
+
+double gang_runtime(const StructuredJob& job, int mpl) {
+  if (mpl < 1) throw std::invalid_argument("gang_runtime: mpl >= 1");
+  // Co-scheduled slices: the job progresses at rate 1/mpl on every
+  // processor simultaneously, so the barrier structure is preserved and
+  // the runtime is simply the dedicated runtime stretched by mpl.
+  return job.dedicated_runtime() * double(mpl);
+}
+
+double uncoordinated_runtime(const StructuredJob& job, int mpl,
+                             double quantum, util::Rng& rng) {
+  if (mpl < 1) throw std::invalid_argument("uncoordinated_runtime: mpl >= 1");
+  if (!(quantum > 0)) {
+    throw std::invalid_argument("uncoordinated_runtime: quantum > 0");
+  }
+  if (mpl == 1) return job.dedicated_runtime();
+
+  // Each node rotates through mpl slots of length `quantum`; our
+  // process owns one slot, with a random initial phase per node. Work w
+  // on a node starting at wall-clock time t completes at:
+  //   finish(t, w) = earliest wall time at which w seconds of our slots
+  //                  have elapsed after t.
+  // A barrier completes when all nodes finish their phase work; the
+  // next phase starts then on every node. This captures the core
+  // uncoordinated-time-slicing penalty: every barrier waits for the
+  // node whose slice rotation is least aligned.
+  const double cycle = quantum * double(mpl);
+  const std::size_t nprocs = std::size_t(job.processors);
+  std::vector<double> offset(nprocs);
+  for (auto& o : offset) o = rng.uniform(0.0, cycle);
+
+  auto finish_time = [&](double t, double w, double slot_offset) {
+    // Position within this node's cycle; our slot is
+    // [slot_offset, slot_offset + quantum) modulo cycle.
+    double remaining = w;
+    // Advance t to account phase-by-phase; closed form per cycle.
+    const double full_cycles = std::floor(remaining / quantum);
+    // Align t to the start of our next slot if outside it.
+    auto pos_in_cycle = [&](double time) {
+      double p = std::fmod(time - slot_offset, cycle);
+      if (p < 0) p += cycle;
+      return p;  // 0 <= p < cycle; in-slot iff p < quantum
+    };
+    // First, consume partial slot if we are inside one.
+    double p = pos_in_cycle(t);
+    if (p < quantum) {
+      const double avail = quantum - p;
+      if (remaining <= avail) return t + remaining;
+      remaining -= avail;
+      t += avail;
+    } else {
+      t += cycle - p;  // wait for our next slot
+    }
+    // Now t is at a slot boundary; consume whole cycles.
+    const double cycles = std::floor(remaining / quantum);
+    t += cycles * cycle;
+    remaining -= cycles * quantum;
+    (void)full_cycles;
+    return t + remaining;
+  };
+
+  double now = 0.0;
+  for (const auto& phase : job.phases) {
+    double barrier_done = now;
+    for (std::size_t p = 0; p < nprocs; ++p) {
+      barrier_done =
+          std::max(barrier_done, finish_time(now, phase.work[p], offset[p]));
+    }
+    now = barrier_done;
+  }
+  return now;
+}
+
+}  // namespace pjsb::workload

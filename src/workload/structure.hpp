@@ -1,0 +1,71 @@
+// Internal-structure strawman model (paper section 2.2, "Including the
+// internal job structure", after Feitelson & Rudolph [23]).
+//
+// "The main parameters were the number of processors, the number of
+// barriers, the granularity, and the variance of these attributes."
+// A structured job is a sequence of barrier-delimited phases; in each
+// phase every processor computes an amount of work drawn around the
+// granularity with the configured variance, then all processors
+// synchronize.
+//
+// The module also provides the micro-simulators used by experiment E12:
+// dedicated execution, gang-scheduled time slicing (all peers always
+// co-scheduled -> barrier cost is just straggler skew), and
+// uncoordinated time slicing (each node runs its own round-robin, so a
+// barrier waits for the peer whose slice rotation is least favorable) —
+// reproducing the claim of [22] that gang scheduling wins for
+// fine-grain synchronization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pjsb::workload {
+
+/// One barrier-delimited phase: per-processor work in seconds.
+struct StructuredPhase {
+  std::vector<double> work;  ///< size = processors
+};
+
+struct StructuredJob {
+  std::int64_t processors = 1;
+  std::vector<StructuredPhase> phases;
+
+  /// Runtime on dedicated processors: sum over phases of the maximum
+  /// per-processor work (barriers wait for the slowest peer).
+  double dedicated_runtime() const;
+  /// Total work (node-seconds).
+  double total_work() const;
+};
+
+struct StructureParams {
+  std::int64_t processors = 16;
+  std::int64_t barriers = 100;      ///< number of phases
+  double granularity = 1.0;         ///< mean work per phase (seconds)
+  double variance_cv = 0.25;        ///< coefficient of variation of work
+};
+
+/// Generate a structured job; per-phase per-processor work is gamma
+/// distributed with mean `granularity` and CV `variance_cv`.
+StructuredJob generate_structured_job(const StructureParams& params,
+                                      util::Rng& rng);
+
+/// Execution-regime simulators for a multiprogramming level `mpl`
+/// (number of structured jobs time-sharing each node; all jobs assumed
+/// identical in shape, so we simulate one and model the interference).
+///
+/// Gang scheduling: all of a job's processes are co-scheduled in the
+/// same time slots. The job sees the machine 1/mpl of the time but its
+/// barriers cost only the intra-phase skew.
+double gang_runtime(const StructuredJob& job, int mpl);
+
+/// Uncoordinated time slicing: each node rotates independently with
+/// quantum `quantum` seconds. A process can only make progress during
+/// its own slices, and a barrier completes when the least-aligned peer
+/// finishes; we simulate per-node random slice phase offsets.
+double uncoordinated_runtime(const StructuredJob& job, int mpl,
+                             double quantum, util::Rng& rng);
+
+}  // namespace pjsb::workload

@@ -1,0 +1,85 @@
+#include "core/swf/anonymize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::swf {
+namespace {
+
+TEST(IdAssigner, IncrementalInOrderOfFirstAppearance) {
+  IdAssigner ids;
+  EXPECT_EQ(ids.id_for("carol"), 1);
+  EXPECT_EQ(ids.id_for("alice"), 2);
+  EXPECT_EQ(ids.id_for("carol"), 1);
+  EXPECT_EQ(ids.id_for("bob"), 3);
+  EXPECT_EQ(ids.count(), 3);
+  const auto rev = ids.reverse();
+  EXPECT_EQ(rev.at(1), "carol");
+  EXPECT_EQ(rev.at(3), "bob");
+}
+
+Trace sparse_trace() {
+  Trace t;
+  for (int i = 0; i < 3; ++i) {
+    JobRecord r;
+    r.job_number = i + 1;
+    r.submit_time = i * 10;
+    r.user_id = 1000 + (i % 2) * 57;  // 1000, 1057, 1000
+    r.group_id = 77;
+    r.executable_id = 12345 - i;      // 12345, 12344, 12343
+    r.queue_id = (i == 0) ? 0 : 9;    // interactive stays 0
+    r.partition_id = 3;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+TEST(Anonymize, RemapsToIncrementalNaturals) {
+  auto t = sparse_trace();
+  const auto result = anonymize(t);
+  EXPECT_EQ(result.users, 2);
+  EXPECT_EQ(result.groups, 1);
+  EXPECT_EQ(result.executables, 3);
+  EXPECT_EQ(result.partitions, 1);
+  EXPECT_EQ(t.records[0].user_id, 1);
+  EXPECT_EQ(t.records[1].user_id, 2);
+  EXPECT_EQ(t.records[2].user_id, 1);
+  EXPECT_EQ(t.records[0].executable_id, 1);
+  EXPECT_EQ(t.records[2].executable_id, 3);
+}
+
+TEST(Anonymize, QueueZeroPinned) {
+  auto t = sparse_trace();
+  anonymize(t);
+  EXPECT_EQ(t.records[0].queue_id, 0);  // interactive convention kept
+  EXPECT_EQ(t.records[1].queue_id, 1);
+}
+
+TEST(Anonymize, UnknownValuesUntouched) {
+  Trace t;
+  JobRecord r;
+  r.job_number = 1;
+  t.records.push_back(r);  // everything -1
+  anonymize(t);
+  EXPECT_EQ(t.records[0].user_id, kUnknown);
+  EXPECT_EQ(t.records[0].queue_id, kUnknown);
+}
+
+TEST(Anonymize, SelectiveRemapping) {
+  auto t = sparse_trace();
+  AnonymizeOptions opt;
+  opt.remap_users = false;
+  anonymize(t, opt);
+  EXPECT_EQ(t.records[0].user_id, 1000);  // untouched
+  EXPECT_EQ(t.records[0].group_id, 1);    // remapped
+}
+
+TEST(Anonymize, Idempotent) {
+  auto t = sparse_trace();
+  anonymize(t);
+  const auto copy = t.records;
+  anonymize(t);
+  EXPECT_EQ(t.records, copy);
+}
+
+}  // namespace
+}  // namespace pjsb::swf

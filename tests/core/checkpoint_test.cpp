@@ -1,0 +1,95 @@
+#include "core/swf/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/swf/validator.hpp"
+
+namespace pjsb::swf {
+namespace {
+
+CheckpointedJob sample_job() {
+  CheckpointedJob job;
+  job.base.job_number = 1;
+  job.base.submit_time = 100;
+  job.base.allocated_procs = 8;
+  job.base.user_id = 1;
+  job.base.status = Status::kCompleted;
+  job.bursts = {{10, 300}, {50, 200}, {20, 500}};
+  return job;
+}
+
+TEST(Checkpoint, TotalRunTime) {
+  EXPECT_EQ(sample_job().total_run_time(), 1000);
+}
+
+TEST(Checkpoint, EncodeProducesSummaryPlusBursts) {
+  const auto lines = encode_checkpointed(sample_job());
+  ASSERT_EQ(lines.size(), 4u);
+  // Summary line first, status whole-job, runtime = sum.
+  EXPECT_EQ(lines[0].status, Status::kCompleted);
+  EXPECT_EQ(lines[0].run_time, 1000);
+  EXPECT_EQ(lines[0].submit_time, 100);
+  // First burst has the submit time; later bursts only wait times.
+  EXPECT_EQ(lines[1].status, Status::kPartial);
+  EXPECT_EQ(lines[1].submit_time, 100);
+  EXPECT_EQ(lines[2].submit_time, kUnknown);
+  EXPECT_EQ(lines[2].wait_time, 50);
+  // Last burst carries completion code 3.
+  EXPECT_EQ(lines[3].status, Status::kPartialLastOk);
+  EXPECT_EQ(lines[3].run_time, 500);
+  // All share the job number.
+  for (const auto& l : lines) EXPECT_EQ(l.job_number, 1);
+}
+
+TEST(Checkpoint, KilledJobUsesCode4) {
+  auto job = sample_job();
+  job.base.status = Status::kKilled;
+  const auto lines = encode_checkpointed(job);
+  EXPECT_EQ(lines.back().status, Status::kPartialLastKilled);
+  EXPECT_EQ(lines.front().status, Status::kKilled);
+}
+
+TEST(Checkpoint, EncodedFormValidates) {
+  Trace t;
+  for (const auto& l : encode_checkpointed(sample_job())) {
+    t.records.push_back(l);
+  }
+  const auto report = validate(t);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(Checkpoint, DecodeRoundTrip) {
+  Trace t;
+  for (const auto& l : encode_checkpointed(sample_job())) {
+    t.records.push_back(l);
+  }
+  const auto decoded = decode_checkpointed(t);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].bursts.size(), 3u);
+  EXPECT_EQ(decoded[0].bursts[1].wait_time, 50);
+  EXPECT_EQ(decoded[0].bursts[2].run_time, 500);
+  EXPECT_EQ(decoded[0].total_run_time(), 1000);
+}
+
+TEST(Checkpoint, DecodeSkipsOrphanPartials) {
+  Trace t;
+  JobRecord orphan;
+  orphan.job_number = 9;
+  orphan.status = Status::kPartialLastOk;
+  orphan.run_time = 10;
+  t.records.push_back(orphan);
+  EXPECT_TRUE(decode_checkpointed(t).empty());
+}
+
+TEST(Checkpoint, DecodeIgnoresPlainJobs) {
+  Trace t;
+  JobRecord plain;
+  plain.job_number = 1;
+  plain.status = Status::kCompleted;
+  plain.run_time = 10;
+  t.records.push_back(plain);
+  EXPECT_TRUE(decode_checkpointed(t).empty());
+}
+
+}  // namespace
+}  // namespace pjsb::swf

@@ -1,0 +1,128 @@
+#include "core/swf/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/swf/validator.hpp"
+
+namespace pjsb::swf {
+namespace {
+
+constexpr const char* kIacct = R"(# hypercube accounting
+101 alice 01/05/95 08:00:00 01/05/95 09:00:00 32 110400 C
+102 bob   01/05/95 08:30:00 01/05/95 08:45:00 8  7200   C
+103 alice 01/05/95 09:10:00 01/05/95 09:20:00 16 9000   K
+)";
+
+TEST(ConvertIacct, ParsesAndNormalizes) {
+  const auto result = convert_iacct_string(kIacct, "Test Site", 128);
+  ASSERT_TRUE(result.ok());
+  const auto& t = result.trace;
+  ASSERT_EQ(t.records.size(), 3u);
+  // Times relative to the first start.
+  EXPECT_EQ(t.records[0].submit_time, 0);
+  EXPECT_EQ(t.records[1].submit_time, 1800);
+  EXPECT_EQ(t.records[0].run_time, 3600);
+  // Total CPU divided by nodes: 110400/32 = 3450.
+  EXPECT_EQ(t.records[0].avg_cpu_time, 3450);
+  // Users remapped in order of first appearance.
+  EXPECT_EQ(t.records[0].user_id, 1);  // alice
+  EXPECT_EQ(t.records[1].user_id, 2);  // bob
+  EXPECT_EQ(t.records[2].user_id, 1);
+  EXPECT_EQ(t.records[2].status, Status::kKilled);
+  EXPECT_EQ(t.header.max_nodes, 128);
+  EXPECT_EQ(t.header.installation, "Test Site");
+}
+
+TEST(ConvertIacct, OutputValidates) {
+  const auto result = convert_iacct_string(kIacct, "Test Site", 128);
+  const auto report = validate(result.trace);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(ConvertIacct, MaxNodesInferredWhenAbsent) {
+  const auto result = convert_iacct_string(kIacct, "Test Site");
+  EXPECT_EQ(result.trace.header.max_nodes, 32);
+}
+
+TEST(ConvertIacct, ReportsBadLines) {
+  const auto result = convert_iacct_string(
+      "101 alice 01/05/95 08:00:00 01/05/95 09:00:00 32 110400 X\n"
+      "garbage\n",
+      "s");
+  EXPECT_EQ(result.errors.size(), 2u);
+  EXPECT_TRUE(result.trace.records.empty());
+}
+
+TEST(ConvertIacct, RejectsReversedTimes) {
+  const auto result = convert_iacct_string(
+      "101 alice 01/05/95 09:00:00 01/05/95 08:00:00 32 110400 C\n", "s");
+  EXPECT_EQ(result.errors.size(), 1u);
+}
+
+TEST(ConvertIacct, TwoDigitYearWindow) {
+  const auto result = convert_iacct_string(
+      "1 u 12/31/99 23:00:00 01/01/00 01:00:00 4 100 C\n", "s");
+  ASSERT_TRUE(result.ok());
+  // Crossing the century: 1999-12-31 -> 2000-01-01 is 2 hours.
+  EXPECT_EQ(result.trace.records[0].run_time, 7200);
+}
+
+constexpr const char* kNqs =
+    "job=1 user=u1 group=g1 queue=batch exe=sim qtime=1000 start=1100 "
+    "end=1700 ncpus=16 mem_kb=2048 req_walltime=900 req_ncpus=16 exit=0\n"
+    "job=2 user=u2 group=g1 queue=debug exe=gcc qtime=1200 start=1200 "
+    "end=1300 ncpus=1 exit=1\n";
+
+TEST(ConvertNqs, ParsesKeyValueRecords) {
+  const auto result = convert_nqsacct_string(kNqs, "Cluster X", 64);
+  ASSERT_TRUE(result.ok());
+  const auto& t = result.trace;
+  ASSERT_EQ(t.records.size(), 2u);
+  EXPECT_EQ(t.records[0].submit_time, 0);
+  EXPECT_EQ(t.records[0].wait_time, 100);
+  EXPECT_EQ(t.records[0].run_time, 600);
+  EXPECT_EQ(t.records[0].used_memory_kb, 2048);
+  EXPECT_EQ(t.records[0].requested_time, 900);
+  EXPECT_EQ(t.records[0].status, Status::kCompleted);
+  EXPECT_EQ(t.records[1].status, Status::kKilled);
+  EXPECT_EQ(t.records[1].queue_id, 2);   // second distinct queue
+  EXPECT_EQ(t.records[1].group_id, 1);   // same group
+}
+
+TEST(ConvertNqs, MissingOptionalKeysBecomeUnknown) {
+  const auto result = convert_nqsacct_string(kNqs, "Cluster X");
+  EXPECT_EQ(result.trace.records[1].used_memory_kb, kUnknown);
+  EXPECT_EQ(result.trace.records[1].requested_time, kUnknown);
+}
+
+TEST(ConvertNqs, MissingRequiredKeyIsError) {
+  const auto result = convert_nqsacct_string(
+      "job=1 user=u qtime=0 start=10 ncpus=2 exit=0\n", "s");
+  EXPECT_EQ(result.errors.size(), 1u);
+}
+
+TEST(ConvertNqs, UnorderedTimesRejected) {
+  const auto result = convert_nqsacct_string(
+      "job=1 user=u qtime=100 start=50 end=200 ncpus=1 exit=0\n", "s");
+  EXPECT_EQ(result.errors.size(), 1u);
+}
+
+TEST(ConvertNqs, OutputValidates) {
+  const auto result = convert_nqsacct_string(kNqs, "Cluster X", 64);
+  const auto report = validate(result.trace);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(ConvertNqs, SortsByQtime) {
+  const std::string shuffled =
+      "job=2 user=u qtime=500 start=500 end=600 ncpus=1 exit=0\n"
+      "job=1 user=u qtime=100 start=150 end=250 ncpus=1 exit=0\n";
+  const auto result = convert_nqsacct_string(shuffled, "s");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.trace.records[0].submit_time, 0);
+  EXPECT_EQ(result.trace.records[1].submit_time, 400);
+  EXPECT_EQ(result.trace.records[0].job_number, 1);
+}
+
+}  // namespace
+}  // namespace pjsb::swf

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/feedback/rewrite.hpp"
+#include "core/feedback/session.hpp"
+#include "core/swf/validator.hpp"
+
+namespace pjsb::feedback {
+namespace {
+
+swf::JobRecord job(std::int64_t num, std::int64_t submit, std::int64_t wait,
+                   std::int64_t run, std::int64_t user) {
+  swf::JobRecord r;
+  r.job_number = num;
+  r.submit_time = submit;
+  r.wait_time = wait;
+  r.run_time = run;
+  r.allocated_procs = 1;
+  r.status = swf::Status::kCompleted;
+  r.user_id = user;
+  return r;
+}
+
+swf::Trace session_trace() {
+  swf::Trace t;
+  // Records in ascending submit order (the standard requires it).
+  // User 1: job 1 ends at 100; job 3 submitted 60s later (dependent);
+  // job 5 submitted 2h after job 3 ends (independent at the default
+  // 20-minute threshold).
+  // User 2: job 2 runs long; job 4 submitted while it runs (overlap,
+  // no dependency).
+  t.records.push_back(job(1, 0, 0, 100, 1));
+  t.records.push_back(job(2, 0, 0, 1000, 2));
+  t.records.push_back(job(3, 160, 0, 50, 1));
+  t.records.push_back(job(4, 500, 0, 100, 2));
+  t.records.push_back(job(5, 160 + 50 + 7200, 0, 50, 1));
+  return t;
+}
+
+TEST(Feedback, InfersRapidSuccessionDependency) {
+  const auto deps = infer_dependencies(session_trace());
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0].job, 3);
+  EXPECT_EQ(deps[0].preceding, 1);
+  EXPECT_EQ(deps[0].think_time, 60);
+}
+
+TEST(Feedback, ThresholdControlsSessionBoundary) {
+  InferenceOptions opt;
+  opt.max_think_time = 3 * 3600;
+  const auto deps = infer_dependencies(session_trace(), opt);
+  // Now job 5 also depends on job 3 (2h < 3h threshold).
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_EQ(deps[1].job, 5);
+  EXPECT_EQ(deps[1].preceding, 3);
+  EXPECT_EQ(deps[1].think_time, 7200);
+}
+
+TEST(Feedback, OverlappingJobsNotDependent) {
+  const auto deps = infer_dependencies(session_trace());
+  for (const auto& d : deps) {
+    EXPECT_NE(d.job, 4);  // user 2's overlap is not a dependency
+  }
+}
+
+TEST(Feedback, OverlapAllowedWhenConfigured) {
+  InferenceOptions opt;
+  opt.require_predecessor_finished = false;
+  opt.max_think_time = 20 * 60;
+  const auto deps = infer_dependencies(session_trace(), opt);
+  bool found = false;
+  for (const auto& d : deps) {
+    if (d.job == 4) {
+      found = true;
+      EXPECT_EQ(d.preceding, 2);
+      EXPECT_EQ(d.think_time, 0);  // negative gap clamped
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Feedback, ApplyWritesFields17And18) {
+  auto t = session_trace();
+  const auto n = annotate_trace(t);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(t.records[2].preceding_job, 1);
+  EXPECT_EQ(t.records[2].think_time, 60);
+  EXPECT_EQ(t.records[0].preceding_job, swf::kUnknown);
+  // Annotated trace remains standard-clean.
+  EXPECT_TRUE(swf::validate(t).clean());
+}
+
+TEST(Feedback, StripRemovesAnnotations) {
+  auto t = session_trace();
+  annotate_trace(t);
+  const auto stripped = strip_dependencies(t);
+  EXPECT_EQ(stripped, 1u);
+  for (const auto& r : t.records) {
+    EXPECT_EQ(r.preceding_job, swf::kUnknown);
+    EXPECT_EQ(r.think_time, swf::kUnknown);
+  }
+}
+
+TEST(Feedback, SessionsChainJobs) {
+  auto t = session_trace();
+  InferenceOptions opt;
+  opt.max_think_time = 3 * 3600;
+  const auto deps = infer_dependencies(t, opt);
+  const auto sessions = sessions_from_dependencies(t, deps);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].user_id, 1);
+  ASSERT_EQ(sessions[0].job_numbers.size(), 3u);
+  EXPECT_EQ(sessions[0].job_numbers[0], 1);
+  EXPECT_EQ(sessions[0].job_numbers[1], 3);
+  EXPECT_EQ(sessions[0].job_numbers[2], 5);
+}
+
+TEST(Feedback, JobsWithoutUserIgnored) {
+  swf::Trace t;
+  auto r = job(1, 0, 0, 100, 1);
+  r.user_id = swf::kUnknown;
+  t.records.push_back(r);
+  t.records.push_back(job(2, 110, 0, 100, 1));
+  EXPECT_TRUE(infer_dependencies(t).empty());
+}
+
+TEST(Feedback, MultipleUsersIndependentChains) {
+  swf::Trace t;
+  t.records.push_back(job(1, 0, 0, 100, 1));
+  t.records.push_back(job(2, 0, 0, 100, 2));
+  t.records.push_back(job(3, 150, 0, 10, 1));
+  t.records.push_back(job(4, 150, 0, 10, 2));
+  const auto deps = infer_dependencies(t);
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_EQ(deps[0].preceding, 1);
+  EXPECT_EQ(deps[1].preceding, 2);
+}
+
+}  // namespace
+}  // namespace pjsb::feedback

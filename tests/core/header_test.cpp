@@ -1,0 +1,92 @@
+#include "core/swf/header.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::swf {
+namespace {
+
+TEST(Header, AbsorbAllStandardLabels) {
+  TraceHeader h;
+  EXPECT_TRUE(absorb_header_line(h, "Computer: Intel iPSC/860"));
+  EXPECT_TRUE(absorb_header_line(h, "Installation: NASA Ames"));
+  EXPECT_TRUE(absorb_header_line(h, "Acknowledge: Bill Nitzberg"));
+  EXPECT_TRUE(absorb_header_line(h, "Information: http://example.org"));
+  EXPECT_TRUE(absorb_header_line(h, "Conversion: someone@example.org"));
+  EXPECT_TRUE(absorb_header_line(h, "Version: 2"));
+  EXPECT_TRUE(
+      absorb_header_line(h, "StartTime: Tuesday, 1 Dec 1998, 22:00:00"));
+  EXPECT_TRUE(
+      absorb_header_line(h, "EndTime: Wednesday, 2 Dec 1998, 22:00:00"));
+  EXPECT_TRUE(absorb_header_line(h, "MaxNodes: 128"));
+  EXPECT_TRUE(absorb_header_line(h, "MaxRuntime: 172800"));
+  EXPECT_TRUE(absorb_header_line(h, "MaxMemory: 262144"));
+  EXPECT_TRUE(absorb_header_line(h, "AllowOveruse: No"));
+  EXPECT_TRUE(absorb_header_line(h, "Queues: queue 0 is interactive"));
+  EXPECT_TRUE(absorb_header_line(h, "Partitions: one partition"));
+  EXPECT_TRUE(absorb_header_line(h, "Note: first note"));
+  EXPECT_TRUE(absorb_header_line(h, "Note: second note"));
+
+  EXPECT_EQ(h.computer, "Intel iPSC/860");
+  EXPECT_EQ(h.installation, "NASA Ames");
+  EXPECT_EQ(h.version, 2);
+  EXPECT_EQ(h.start_time, 912549600);
+  EXPECT_EQ(h.max_nodes, 128);
+  EXPECT_EQ(h.max_runtime, 172800);
+  EXPECT_EQ(h.max_memory_kb, 262144);
+  EXPECT_EQ(h.allow_overuse, false);
+  ASSERT_EQ(h.notes.size(), 2u);
+  EXPECT_EQ(h.notes[1], "second note");
+}
+
+TEST(Header, MaxNodesWithPartitionParenthetical) {
+  TraceHeader h;
+  EXPECT_TRUE(absorb_header_line(h, "MaxNodes: 430 (416 batch, 14 misc)"));
+  EXPECT_EQ(h.max_nodes, 430);
+}
+
+TEST(Header, LabelsAreCaseInsensitive) {
+  TraceHeader h;
+  EXPECT_TRUE(absorb_header_line(h, "maxnodes: 64"));
+  EXPECT_EQ(h.max_nodes, 64);
+}
+
+TEST(Header, UnknownLabelPreserved) {
+  TraceHeader h;
+  EXPECT_FALSE(absorb_header_line(h, "MyCustomField: whatever"));
+  ASSERT_EQ(h.extra_comments.size(), 1u);
+  EXPECT_EQ(h.extra_comments[0], "MyCustomField: whatever");
+}
+
+TEST(Header, FreeFormCommentPreserved) {
+  TraceHeader h;
+  EXPECT_FALSE(absorb_header_line(h, "just a comment without colon"));
+  ASSERT_EQ(h.extra_comments.size(), 1u);
+}
+
+TEST(Header, AllowOveruseVariants) {
+  TraceHeader h;
+  absorb_header_line(h, "AllowOveruse: Yes");
+  EXPECT_EQ(h.allow_overuse, true);
+  absorb_header_line(h, "AllowOveruse: no");
+  EXPECT_EQ(h.allow_overuse, false);
+}
+
+TEST(Header, RoundTripThroughCommentLines) {
+  TraceHeader h;
+  h.computer = "Test Machine";
+  h.max_nodes = 256;
+  h.start_time = 912549600;
+  h.allow_overuse = true;
+  h.notes.push_back("a note");
+  h.extra_comments.push_back("free comment");
+
+  TraceHeader h2;
+  for (const auto& line : h.to_comment_lines()) {
+    ASSERT_EQ(line.front(), ';');
+    absorb_header_line(h2, line.substr(1));
+  }
+  EXPECT_EQ(h, h2);
+}
+
+}  // namespace
+}  // namespace pjsb::swf

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/outage/generate.hpp"
+#include "core/outage/io.hpp"
+#include "core/outage/record.hpp"
+
+namespace pjsb::outage {
+namespace {
+
+TEST(OutageRecord, LineFormat) {
+  OutageRecord r;
+  r.announce_time = 100;
+  r.start_time = 200;
+  r.end_time = 500;
+  r.type = OutageType::kNetworkFailure;
+  r.nodes_affected = 2;
+  r.components = {3, 7};
+  EXPECT_EQ(r.to_line(), "100 200 500 1 2 2 3 7");
+  EXPECT_EQ(r.duration(), 300);
+  EXPECT_TRUE(r.announced());
+}
+
+TEST(OutageRecord, SurpriseFailureNotAnnounced) {
+  OutageRecord r;
+  r.announce_time = 200;
+  r.start_time = 200;
+  r.end_time = 300;
+  EXPECT_FALSE(r.announced());
+  r.announce_time = kUnknown;
+  EXPECT_FALSE(r.announced());
+}
+
+TEST(OutageIo, RoundTrip) {
+  OutageLog log;
+  log.comments.push_back("Synthetic test log");
+  OutageRecord r;
+  r.announce_time = 0;
+  r.start_time = 100;
+  r.end_time = 200;
+  r.type = OutageType::kScheduledMaintenance;
+  r.nodes_affected = 4;
+  r.components = {0, 1, 2, 3};
+  log.records.push_back(r);
+
+  const auto text = write_outages_string(log);
+  const auto back = read_outages_string(text);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.log.records.size(), 1u);
+  EXPECT_EQ(back.log.records[0], r);
+  EXPECT_EQ(back.log.comments, log.comments);
+}
+
+TEST(OutageIo, RejectsMalformedLines) {
+  EXPECT_FALSE(read_outages_string("1 2 3\n").ok());
+  EXPECT_FALSE(read_outages_string("1 2 3 0 1 bogus\n").ok());
+  // component count mismatch
+  EXPECT_FALSE(read_outages_string("0 1 2 0 1 3 5\n").ok());
+  // end before start
+  EXPECT_FALSE(read_outages_string("0 100 50 0 1 0\n").ok());
+}
+
+TEST(OutageIo, AcceptsEmptyComponents) {
+  const auto result = read_outages_string("0 1 2 0 5 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.log.records[0].nodes_affected, 5);
+  EXPECT_TRUE(result.log.records[0].components.empty());
+}
+
+TEST(OutageType, NamesAndCodes) {
+  EXPECT_EQ(outage_type_name(OutageType::kCpuFailure), "cpu-failure");
+  EXPECT_EQ(outage_type_from_code(4), OutageType::kScheduledMaintenance);
+  EXPECT_EQ(outage_type_from_code(99), OutageType::kUnknown);
+}
+
+TEST(Generate, FailuresRespectHorizonAndNodes) {
+  util::Rng rng(5);
+  FailureModelParams params;
+  params.mtbf_seconds = 86400;  // one per day on average
+  const std::int64_t horizon = 60 * 86400;
+  const auto log = generate_failures(params, horizon, 64, rng);
+  EXPECT_GT(log.records.size(), 20u);
+  for (const auto& r : log.records) {
+    EXPECT_GE(r.start_time, 0);
+    EXPECT_LT(r.start_time, horizon);
+    EXPECT_GT(r.end_time, r.start_time);
+    EXPECT_EQ(std::int64_t(r.components.size()), r.nodes_affected);
+    for (const auto c : r.components) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 64);
+    }
+    EXPECT_FALSE(r.announced());  // failures are surprises
+  }
+}
+
+TEST(Generate, FailuresSortedByStart) {
+  util::Rng rng(6);
+  const auto log =
+      generate_failures(FailureModelParams{}, 90 * 86400, 32, rng);
+  for (std::size_t i = 1; i < log.records.size(); ++i) {
+    EXPECT_LE(log.records[i - 1].start_time, log.records[i].start_time);
+  }
+}
+
+TEST(Generate, MaintenanceIsAnnouncedAndPeriodic) {
+  MaintenanceParams params;
+  params.period = 7 * 86400;
+  params.first_start = 5 * 86400;
+  const auto log = generate_maintenance(params, 30 * 86400, 16);
+  ASSERT_EQ(log.records.size(), 4u);
+  for (const auto& r : log.records) {
+    EXPECT_TRUE(r.announced());
+    EXPECT_EQ(r.type, OutageType::kScheduledMaintenance);
+    EXPECT_EQ(r.nodes_affected, 16);
+    EXPECT_EQ(r.components.size(), 16u);
+  }
+  EXPECT_EQ(log.records[1].start_time - log.records[0].start_time,
+            7 * 86400);
+}
+
+TEST(Generate, MergeSortsCombinedStreams) {
+  util::Rng rng(7);
+  const auto failures =
+      generate_failures(FailureModelParams{}, 30 * 86400, 16, rng);
+  const auto maint = generate_maintenance(MaintenanceParams{}, 30 * 86400, 16);
+  const auto merged = merge(failures, maint);
+  EXPECT_EQ(merged.records.size(),
+            failures.records.size() + maint.records.size());
+  for (std::size_t i = 1; i < merged.records.size(); ++i) {
+    EXPECT_LE(merged.records[i - 1].start_time, merged.records[i].start_time);
+  }
+}
+
+TEST(OutageLog, TotalNodeSeconds) {
+  OutageLog log;
+  OutageRecord r;
+  r.start_time = 0;
+  r.end_time = 100;
+  r.nodes_affected = 3;
+  log.records.push_back(r);
+  r.start_time = 50;
+  r.end_time = 60;
+  r.nodes_affected = 1;
+  log.records.push_back(r);
+  EXPECT_EQ(log.total_node_seconds(), 310);
+}
+
+}  // namespace
+}  // namespace pjsb::outage

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/swf/reader.hpp"
+#include "core/swf/writer.hpp"
+
+namespace pjsb::swf {
+namespace {
+
+constexpr const char* kSample = R"(;Computer: Test Box
+;Version: 2
+;MaxNodes: 64
+; free-form comment
+1 0 10 100 4 90 -1 4 200 -1 1 1 1 1 1 1 -1 -1
+2 50 -1 300 8 -1 -1 8 600 -1 1 2 1 2 1 1 -1 -1
+3 700 0 40 1 40 1024 1 60 2048 0 1 1 3 0 1 1 10
+)";
+
+TEST(Reader, ParsesRecordsAndHeader) {
+  const auto result = read_swf_string(kSample);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.trace.records.size(), 3u);
+  EXPECT_EQ(result.trace.header.computer, "Test Box");
+  EXPECT_EQ(result.trace.header.max_nodes, 64);
+  ASSERT_EQ(result.trace.header.extra_comments.size(), 1u);
+
+  const auto& r1 = result.trace.records[0];
+  EXPECT_EQ(r1.job_number, 1);
+  EXPECT_EQ(r1.wait_time, 10);
+  EXPECT_EQ(r1.avg_cpu_time, 90);
+  EXPECT_EQ(r1.status, Status::kCompleted);
+
+  const auto& r3 = result.trace.records[2];
+  EXPECT_EQ(r3.status, Status::kKilled);
+  EXPECT_EQ(r3.queue_id, 0);  // interactive
+  EXPECT_EQ(r3.preceding_job, 1);
+  EXPECT_EQ(r3.think_time, 10);
+}
+
+TEST(Reader, SkipsBlankLines) {
+  const auto result = read_swf_string(
+      "\n\n1 0 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1\n\n");
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.trace.records.size(), 1u);
+}
+
+TEST(Reader, ReportsFieldCountErrors) {
+  const auto result = read_swf_string("1 2 3\n");
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 1u);
+  EXPECT_NE(result.errors[0].message.find("18"), std::string::npos);
+}
+
+TEST(Reader, ReportsNonIntegerFields) {
+  const auto result = read_swf_string(
+      "1 0 0 ten 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1\n");
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].message.find("field 4"), std::string::npos);
+  EXPECT_TRUE(result.trace.records.empty());
+}
+
+TEST(Reader, ReportsStatusOutOfRange) {
+  const auto result = read_swf_string(
+      "1 0 0 10 1 -1 -1 1 10 -1 9 1 1 1 1 1 -1 -1\n");
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].message.find("status"), std::string::npos);
+}
+
+TEST(Reader, StrictModeStopsAtFirstError) {
+  ReaderOptions opt;
+  opt.strict = true;
+  const auto result = read_swf_string(
+      "bad line\n1 0 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1\n", opt);
+  EXPECT_EQ(result.errors.size(), 1u);
+  EXPECT_TRUE(result.trace.records.empty());
+}
+
+TEST(Reader, LenientModeSkipsBadLines) {
+  const auto result = read_swf_string(
+      "bad line\n1 0 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1\n");
+  EXPECT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.trace.records.size(), 1u);
+}
+
+TEST(Reader, ExtraFieldsRejectedByDefault) {
+  const std::string line =
+      "1 0 0 10 1 -1 -1 1 10 -1 1 1 1 1 1 1 -1 -1 99\n";
+  EXPECT_FALSE(read_swf_string(line).ok());
+  ReaderOptions opt;
+  opt.allow_extra_fields = true;
+  const auto result = read_swf_string(line, opt);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.trace.records.size(), 1u);
+}
+
+TEST(Reader, MissingFileReportsError) {
+  const auto result = read_swf_file("/nonexistent/path/workload.swf");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ReaderWriter, RoundTripPreservesEverything) {
+  const auto first = read_swf_string(kSample);
+  ASSERT_TRUE(first.ok());
+  const std::string rendered = write_swf_string(first.trace);
+  const auto second = read_swf_string(rendered);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.trace.records, second.trace.records);
+  EXPECT_EQ(first.trace.header, second.trace.header);
+}
+
+TEST(Writer, HeaderCanBeOmitted) {
+  const auto result = read_swf_string(kSample);
+  WriterOptions opt;
+  opt.include_header = false;
+  const std::string rendered = write_swf_string(result.trace, opt);
+  EXPECT_EQ(rendered.find(';'), std::string::npos);
+}
+
+TEST(Writer, FileRoundTrip) {
+  const auto result = read_swf_string(kSample);
+  const std::string path = testing::TempDir() + "/pjsb_writer_test.swf";
+  ASSERT_TRUE(write_swf_file(path, result.trace));
+  const auto back = read_swf_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.trace.records, result.trace.records);
+}
+
+}  // namespace
+}  // namespace pjsb::swf

@@ -1,0 +1,85 @@
+#include "core/swf/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::swf {
+namespace {
+
+TEST(JobRecord, DefaultsAreUnknown) {
+  const JobRecord r;
+  EXPECT_EQ(r.job_number, kUnknown);
+  EXPECT_EQ(r.submit_time, kUnknown);
+  EXPECT_EQ(r.status, Status::kUnknown);
+  EXPECT_EQ(r.think_time, kUnknown);
+}
+
+TEST(JobRecord, ToLineHasEighteenFields) {
+  JobRecord r;
+  r.job_number = 1;
+  const auto line = r.to_line();
+  int spaces = 0;
+  for (char c : line) {
+    if (c == ' ') ++spaces;
+  }
+  EXPECT_EQ(spaces, kFieldCount - 1);
+}
+
+TEST(JobRecord, ToLineValues) {
+  JobRecord r;
+  r.job_number = 3;
+  r.submit_time = 100;
+  r.wait_time = 5;
+  r.run_time = 60;
+  r.allocated_procs = 8;
+  r.status = Status::kCompleted;
+  EXPECT_EQ(r.to_line(), "3 100 5 60 8 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1");
+}
+
+TEST(JobRecord, StartAndEndTimes) {
+  JobRecord r;
+  r.submit_time = 100;
+  r.wait_time = 20;
+  r.run_time = 300;
+  EXPECT_EQ(r.start_time(), 120);
+  EXPECT_EQ(r.end_time(), 420);
+}
+
+TEST(JobRecord, StartTimeUnknownPropagates) {
+  JobRecord r;
+  r.submit_time = 100;
+  EXPECT_EQ(r.start_time(), kUnknown);
+  EXPECT_EQ(r.end_time(), kUnknown);
+  r.wait_time = 5;
+  EXPECT_EQ(r.start_time(), 105);
+  EXPECT_EQ(r.end_time(), kUnknown);  // run time unknown
+}
+
+TEST(Status, SummaryClassification) {
+  EXPECT_TRUE(is_summary_status(Status::kUnknown));
+  EXPECT_TRUE(is_summary_status(Status::kKilled));
+  EXPECT_TRUE(is_summary_status(Status::kCompleted));
+  EXPECT_FALSE(is_summary_status(Status::kPartial));
+  EXPECT_FALSE(is_summary_status(Status::kPartialLastOk));
+  EXPECT_FALSE(is_summary_status(Status::kPartialLastKilled));
+}
+
+TEST(Status, PartialClassification) {
+  EXPECT_TRUE(is_partial_status(Status::kPartial));
+  EXPECT_TRUE(is_partial_status(Status::kPartialLastOk));
+  EXPECT_TRUE(is_partial_status(Status::kPartialLastKilled));
+  EXPECT_FALSE(is_partial_status(Status::kCompleted));
+}
+
+TEST(Status, CodeRoundTrip) {
+  for (std::int64_t code = -1; code <= 4; ++code) {
+    EXPECT_EQ(status_code(status_from_code(code)), code);
+  }
+}
+
+TEST(Status, OutOfRangeCodesBecomeUnknown) {
+  EXPECT_EQ(status_from_code(5), Status::kUnknown);
+  EXPECT_EQ(status_from_code(-7), Status::kUnknown);
+}
+
+}  // namespace
+}  // namespace pjsb::swf

@@ -1,0 +1,124 @@
+#include "core/swf/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::swf {
+namespace {
+
+JobRecord job(std::int64_t num, std::int64_t submit, std::int64_t procs,
+              std::int64_t runtime, std::int64_t user = 1) {
+  JobRecord r;
+  r.job_number = num;
+  r.submit_time = submit;
+  r.wait_time = 0;
+  r.run_time = runtime;
+  r.allocated_procs = procs;
+  r.status = Status::kCompleted;
+  r.user_id = user;
+  r.group_id = 1;
+  r.executable_id = user;
+  return r;
+}
+
+TEST(Trace, SummaryRecordsFilterPartials) {
+  Trace t;
+  t.records.push_back(job(1, 0, 2, 10));
+  JobRecord partial = job(1, 0, 2, 10);
+  partial.status = Status::kPartialLastOk;
+  t.records.push_back(partial);
+  EXPECT_EQ(t.summary_records().size(), 1u);
+  EXPECT_EQ(t.partial_records().size(), 1u);
+  EXPECT_EQ(t.partial_records().at(1).size(), 1u);
+}
+
+TEST(Trace, SortBySubmit) {
+  Trace t;
+  t.records.push_back(job(1, 500, 1, 10));
+  t.records.push_back(job(2, 100, 1, 10));
+  t.sort_by_submit();
+  EXPECT_EQ(t.records[0].job_number, 2);
+  EXPECT_EQ(t.records[1].job_number, 1);
+}
+
+TEST(Trace, RenumberRemapsDependencies) {
+  Trace t;
+  t.records.push_back(job(10, 0, 1, 10));
+  auto second = job(20, 100, 1, 10);
+  second.preceding_job = 10;
+  second.think_time = 5;
+  t.records.push_back(second);
+  t.renumber();
+  EXPECT_EQ(t.records[0].job_number, 1);
+  EXPECT_EQ(t.records[1].job_number, 2);
+  EXPECT_EQ(t.records[1].preceding_job, 1);
+  EXPECT_EQ(t.records[1].think_time, 5);
+}
+
+TEST(Trace, RenumberDropsDanglingDependency) {
+  Trace t;
+  auto r = job(7, 0, 1, 10);
+  r.preceding_job = 3;  // never present
+  r.think_time = 60;
+  t.records.push_back(r);
+  t.renumber();
+  EXPECT_EQ(t.records[0].preceding_job, kUnknown);
+  EXPECT_EQ(t.records[0].think_time, kUnknown);
+}
+
+TEST(Trace, RenumberKeepsPartialLinesGrouped) {
+  Trace t;
+  t.records.push_back(job(5, 0, 1, 10));
+  auto p = job(5, 0, 1, 10);
+  p.status = Status::kPartialLastOk;
+  t.records.push_back(p);
+  t.renumber();
+  EXPECT_EQ(t.records[0].job_number, 1);
+  EXPECT_EQ(t.records[1].job_number, 1);
+}
+
+TEST(Trace, StatsBasics) {
+  Trace t;
+  t.header.max_nodes = 10;
+  t.records.push_back(job(1, 0, 2, 100, 1));
+  t.records.push_back(job(2, 100, 4, 100, 2));
+  t.records.push_back(job(3, 200, 3, 100, 1));
+  const auto s = t.stats();
+  EXPECT_EQ(s.jobs, 3u);
+  EXPECT_EQ(s.users, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_procs, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_runtime, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean_interarrival, 100.0);
+  // powers of two: 2 and 4 -> 2/3
+  EXPECT_NEAR(s.fraction_power_of_two, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.fraction_serial, 0.0);
+  EXPECT_EQ(s.span_seconds, 300);
+  // offered load = (200+400+300) / (10 * 300) = 0.3
+  EXPECT_NEAR(s.offered_load, 0.3, 1e-12);
+}
+
+TEST(Trace, StatsEmptyTrace) {
+  Trace t;
+  const auto s = t.stats();
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.offered_load, 0.0);
+}
+
+TEST(Trace, Horizon) {
+  Trace t;
+  t.records.push_back(job(1, 0, 1, 100));
+  t.records.push_back(job(2, 50, 1, 500));
+  EXPECT_EQ(t.horizon(), 550);
+}
+
+TEST(Trace, StatsCountsDependencies) {
+  Trace t;
+  t.records.push_back(job(1, 0, 1, 10));
+  auto r = job(2, 100, 1, 10);
+  r.preceding_job = 1;
+  r.think_time = 0;
+  t.records.push_back(r);
+  EXPECT_EQ(t.stats().with_dependencies, 1u);
+}
+
+}  // namespace
+}  // namespace pjsb::swf

@@ -1,0 +1,218 @@
+#include "core/swf/validator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::swf {
+namespace {
+
+JobRecord make_job(std::int64_t number, std::int64_t submit) {
+  JobRecord r;
+  r.job_number = number;
+  r.submit_time = submit;
+  r.wait_time = 0;
+  r.run_time = 100;
+  r.allocated_procs = 4;
+  r.requested_procs = 4;
+  r.requested_time = 200;
+  r.status = Status::kCompleted;
+  r.user_id = 1;
+  r.group_id = 1;
+  r.executable_id = 1;
+  r.queue_id = 1;
+  r.partition_id = 1;
+  return r;
+}
+
+Trace clean_trace(std::size_t n = 3) {
+  Trace t;
+  t.header.max_nodes = 64;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.records.push_back(make_job(std::int64_t(i + 1),
+                                 std::int64_t(i) * 100));
+  }
+  return t;
+}
+
+TEST(Validator, CleanTracePasses) {
+  const auto report = validate(clean_trace());
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.diagnostics.size(), 0u);
+}
+
+TEST(Validator, JobNumberGap) {
+  auto t = clean_trace();
+  t.records[1].job_number = 5;
+  const auto report = validate(t);
+  EXPECT_GE(report.count(Rule::kJobNumberSequence), 1u);
+}
+
+TEST(Validator, SubmitOrderViolation) {
+  auto t = clean_trace();
+  t.records[2].submit_time = 50;  // before record 1's 100
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kSubmitOrder), 1u);
+}
+
+TEST(Validator, NegativeValueBelowMinusOne) {
+  auto t = clean_trace();
+  t.records[0].used_memory_kb = -5;
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kNegativeValue), 1u);
+}
+
+TEST(Validator, ZeroProcsRejected) {
+  auto t = clean_trace();
+  t.records[0].allocated_procs = 0;
+  const auto report = validate(t);
+  EXPECT_GE(report.count(Rule::kProcsPositive), 1u);
+}
+
+TEST(Validator, CpuTimeBoundedByWallclock) {
+  auto t = clean_trace();
+  t.records[0].avg_cpu_time = 500;  // run_time is 100
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kCpuExceedsWallclock), 1u);
+}
+
+TEST(Validator, ExceedsMaxNodes) {
+  auto t = clean_trace();
+  t.records[0].allocated_procs = 128;  // MaxNodes 64
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kExceedsMaxNodes), 1u);
+}
+
+TEST(Validator, MaxRuntimeIsWarningWithoutOveruse) {
+  auto t = clean_trace();
+  t.header.max_runtime = 50;
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kExceedsMaxRuntime), 3u);
+  EXPECT_TRUE(report.clean());  // warnings only
+  EXPECT_EQ(report.warnings(), 3u);
+}
+
+TEST(Validator, AllowOveruseSuppressesRuntimeWarning) {
+  auto t = clean_trace();
+  t.header.max_runtime = 50;
+  t.header.allow_overuse = true;
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kExceedsMaxRuntime), 0u);
+}
+
+TEST(Validator, IdRangeRule) {
+  auto t = clean_trace();
+  t.records[0].user_id = 0;  // natural numbers start at 1
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kIdRange), 1u);
+}
+
+TEST(Validator, QueueZeroIsInteractiveAndLegal) {
+  auto t = clean_trace();
+  t.records[0].queue_id = 0;
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kQueueRange), 0u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Validator, PrecedingJobMustExistAndBeEarlier) {
+  auto t = clean_trace();
+  t.records[2].preceding_job = 99;
+  t.records[2].think_time = 5;
+  auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kPrecedingJobInvalid), 1u);
+
+  t.records[2].preceding_job = 3;  // itself
+  report = validate(t);
+  EXPECT_EQ(report.count(Rule::kPrecedingJobInvalid), 1u);
+
+  t.records[2].preceding_job = 1;  // valid
+  report = validate(t);
+  EXPECT_EQ(report.count(Rule::kPrecedingJobInvalid), 0u);
+}
+
+TEST(Validator, ThinkTimeWithoutPredecessor) {
+  auto t = clean_trace();
+  t.records[1].think_time = 30;
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kThinkTimeWithoutPred), 1u);
+}
+
+TEST(Validator, DuplicateJobNumbers) {
+  auto t = clean_trace();
+  t.records[1].job_number = 1;
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kDuplicateJobNumber), 1u);
+}
+
+TEST(Validator, PartialLinesNeedSummary) {
+  Trace t;
+  JobRecord partial = make_job(1, 0);
+  partial.status = Status::kPartialLastOk;
+  t.records.push_back(partial);
+  const auto report = validate(t);
+  EXPECT_GE(report.count(Rule::kPartialStructure), 1u);
+}
+
+TEST(Validator, PartialRuntimesMustSum) {
+  Trace t;
+  JobRecord summary = make_job(1, 0);
+  summary.run_time = 100;
+  t.records.push_back(summary);
+  JobRecord p1 = make_job(1, 0);
+  p1.run_time = 30;
+  p1.status = Status::kPartial;
+  JobRecord p2 = make_job(1, 0);
+  p2.run_time = 30;  // 30 + 30 != 100
+  p2.status = Status::kPartialLastOk;
+  t.records.push_back(p1);
+  t.records.push_back(p2);
+  const auto report = validate(t);
+  EXPECT_EQ(report.count(Rule::kPartialRuntimeSum), 1u);
+}
+
+TEST(Validator, PartialLastCodeMustMatchSummary) {
+  Trace t;
+  JobRecord summary = make_job(1, 0);
+  summary.status = Status::kKilled;
+  summary.run_time = 30;
+  t.records.push_back(summary);
+  JobRecord p = make_job(1, 0);
+  p.run_time = 30;
+  p.status = Status::kPartialLastOk;  // disagrees with killed summary
+  t.records.push_back(p);
+  const auto report = validate(t);
+  EXPECT_GE(report.count(Rule::kPartialStructure), 1u);
+}
+
+TEST(Validator, WellFormedCheckpointPasses) {
+  Trace t;
+  JobRecord summary = make_job(1, 0);
+  summary.run_time = 60;
+  t.records.push_back(summary);
+  JobRecord p1 = make_job(1, 0);
+  p1.run_time = 20;
+  p1.status = Status::kPartial;
+  JobRecord p2 = make_job(1, 0);
+  p2.run_time = 40;
+  p2.status = Status::kPartialLastOk;
+  t.records.push_back(p1);
+  t.records.push_back(p2);
+  const auto report = validate(t);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(Validator, ReportRendering) {
+  auto t = clean_trace();
+  t.records[0].allocated_procs = 512;
+  const auto report = validate(t);
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("exceeds-max-nodes"), std::string::npos);
+  EXPECT_NE(text.find("error"), std::string::npos);
+}
+
+TEST(Validator, RuleNamesAreStable) {
+  EXPECT_EQ(rule_name(Rule::kSubmitOrder), "submit-order");
+  EXPECT_EQ(rule_name(Rule::kPartialRuntimeSum), "partial-runtime-sum");
+}
+
+}  // namespace
+}  // namespace pjsb::swf

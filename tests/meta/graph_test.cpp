@@ -1,0 +1,105 @@
+#include "meta/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::meta {
+namespace {
+
+TEST(Graph, TotalsAndMaxima) {
+  ProgramGraph g;
+  g.modules = {{4, 100, -1}, {2, 50, -1}};
+  EXPECT_EQ(g.total_work(), 500);
+  EXPECT_EQ(g.max_module_procs(), 4);
+  EXPECT_EQ(g.total_procs(), 6);
+}
+
+TEST(Graph, StagesLevelByDependency) {
+  ProgramGraph g;
+  g.modules = {{1, 10, -1}, {1, 20, -1}, {1, 30, -1}, {1, 40, -1}};
+  g.edges = {{0, 2, 0}, {1, 2, 0}, {2, 3, 0}};
+  const auto stages = g.stages();
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].size(), 2u);  // modules 0, 1
+  EXPECT_EQ(stages[1].size(), 1u);  // module 2
+  EXPECT_EQ(stages[2].size(), 1u);  // module 3
+}
+
+TEST(Graph, CoupledGraphIsOneStage) {
+  ProgramGraph g;
+  g.coupled = true;
+  g.modules = {{1, 10, -1}, {1, 20, -1}};
+  g.edges = {{0, 1, 100}};
+  const auto stages = g.stages();
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].size(), 2u);
+}
+
+TEST(Graph, CriticalPathSumsStageMaxima) {
+  ProgramGraph g;
+  g.modules = {{1, 10, -1}, {1, 20, -1}, {1, 30, -1}};
+  g.edges = {{0, 2, 0}, {1, 2, 0}};
+  EXPECT_EQ(g.critical_path(), 50);  // max(10,20) + 30
+}
+
+TEST(Graph, CycleDetected) {
+  ProgramGraph g;
+  g.modules = {{1, 10, -1}, {1, 10, -1}};
+  g.edges = {{0, 1, 0}, {1, 0, 0}};
+  EXPECT_THROW(g.stages(), std::invalid_argument);
+}
+
+TEST(Graph, EdgeIndexValidated) {
+  ProgramGraph g;
+  g.modules = {{1, 10, -1}};
+  g.edges = {{0, 5, 0}};
+  EXPECT_THROW(g.stages(), std::invalid_argument);
+}
+
+TEST(Generators, ComputeIntensiveIsUncoupledBag) {
+  util::Rng rng(1);
+  const auto g = make_compute_intensive(96, 3600, rng);
+  EXPECT_FALSE(g.coupled);
+  EXPECT_GE(g.modules.size(), 2u);
+  EXPECT_TRUE(g.edges.empty());
+  EXPECT_EQ(g.stages().size(), 1u);
+}
+
+TEST(Generators, CommunicationIntensiveIsCoupledClique) {
+  util::Rng rng(2);
+  const auto g = make_communication_intensive(3, 16, 600, rng);
+  EXPECT_TRUE(g.coupled);
+  EXPECT_EQ(g.modules.size(), 3u);
+  EXPECT_EQ(g.edges.size(), 3u);  // C(3,2)
+  EXPECT_GT(g.total_bytes(), 0);
+}
+
+TEST(Generators, PipelineIsChain) {
+  util::Rng rng(3);
+  const auto g = make_pipeline(4, 8, 300, rng);
+  EXPECT_EQ(g.modules.size(), 4u);
+  EXPECT_EQ(g.edges.size(), 3u);
+  EXPECT_EQ(g.stages().size(), 4u);
+  EXPECT_EQ(g.critical_path(), 4 * 300);
+}
+
+TEST(Generators, DeviceConstrainedPinsModule) {
+  util::Rng rng(4);
+  const auto g = make_device_constrained(32, 1200, 2, rng);
+  ASSERT_EQ(g.modules.size(), 2u);
+  EXPECT_EQ(g.modules[0].device_id, -1);
+  EXPECT_EQ(g.modules[1].device_id, 2);
+  EXPECT_EQ(g.stages().size(), 2u);
+}
+
+TEST(Generators, ParameterSweepSizes) {
+  util::Rng rng(5);
+  const auto g = make_parameter_sweep(8, 2, 600, rng);
+  EXPECT_EQ(g.modules.size(), 8u);
+  for (const auto& m : g.modules) {
+    EXPECT_EQ(m.procs, 2);
+    EXPECT_GE(m.runtime, 1);
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::meta

@@ -1,0 +1,106 @@
+#include "meta/site.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::meta {
+namespace {
+
+SiteConfig small_site() {
+  SiteConfig c;
+  c.name = "test";
+  c.nodes = 32;
+  c.scheduler = "conservative";
+  c.background_jobs = 200;
+  c.background_load = 0.4;
+  c.seed = 11;
+  return c;
+}
+
+TEST(Site, ConstructionLoadsBackground) {
+  Site site(small_site());
+  EXPECT_EQ(site.nodes(), 32);
+  EXPECT_TRUE(site.engine().next_event_time().has_value());
+}
+
+TEST(Site, MetaJobRunsAndNotifies) {
+  Site site(small_site());
+  int completions = 0;
+  std::int64_t meta_end = -1;
+  site.set_meta_completion_observer([&](const sim::CompletedJob& j) {
+    ++completions;
+    meta_end = j.end;
+  });
+  const auto id = site.submit_meta_job(0, 4, 600, 1200);
+  EXPECT_TRUE(site.is_meta_job(id));
+  site.engine().run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_GT(meta_end, 0);
+}
+
+TEST(Site, BackgroundJobsDoNotTriggerMetaObserver) {
+  Site site(small_site());
+  int completions = 0;
+  site.set_meta_completion_observer(
+      [&](const sim::CompletedJob&) { ++completions; });
+  site.engine().run();  // background only
+  EXPECT_EQ(completions, 0);
+  EXPECT_GT(site.engine().completed().size(), 0u);
+}
+
+TEST(Site, PredictedWaitAvailableForProfileScheduler) {
+  Site site(small_site());
+  site.engine().run_until(1000);
+  const auto wait = site.predicted_wait(4, 600);
+  ASSERT_TRUE(wait);
+  EXPECT_GE(*wait, 0);
+}
+
+TEST(Site, PredictedWaitUnavailableForFcfs) {
+  auto cfg = small_site();
+  cfg.scheduler = "fcfs";
+  Site site(cfg);
+  EXPECT_FALSE(site.predicted_wait(4, 600));
+}
+
+TEST(Site, ReservationRoundTrip) {
+  Site site(small_site());
+  site.engine().run_until(100);
+  const auto window = site.earliest_reservation(200, 600, 8);
+  ASSERT_TRUE(window);
+  EXPECT_GE(*window, 200);
+  const auto id = site.reserve_meta_job(*window, 8, 500, 600);
+  ASSERT_TRUE(id);
+
+  std::int64_t start = -1;
+  site.set_meta_completion_observer(
+      [&](const sim::CompletedJob& j) { start = j.start; });
+  site.engine().run();
+  // The reserved job starts exactly at its window.
+  EXPECT_EQ(start, *window);
+}
+
+TEST(Site, OversizedReservationRejected) {
+  Site site(small_site());
+  EXPECT_FALSE(site.earliest_reservation(0, 100, 64));  // 64 > 32 nodes
+}
+
+TEST(Site, FcfsSiteRejectsReservations) {
+  auto cfg = small_site();
+  cfg.scheduler = "fcfs";
+  Site site(cfg);
+  EXPECT_FALSE(site.earliest_reservation(0, 100, 4));
+  EXPECT_FALSE(site.reserve_meta_job(100, 4, 50, 50));
+}
+
+TEST(Site, SameSeedSameBackground) {
+  Site a(small_site()), b(small_site());
+  a.engine().run();
+  b.engine().run();
+  ASSERT_EQ(a.engine().completed().size(), b.engine().completed().size());
+  for (std::size_t i = 0; i < a.engine().completed().size(); ++i) {
+    EXPECT_EQ(a.engine().completed()[i].end, b.engine().completed()[i].end);
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::meta

@@ -1,0 +1,123 @@
+#include "meta/warmstones.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::meta {
+namespace {
+
+WarmstonesConfig small_config() {
+  WarmstonesConfig c;
+  c.sites = canonical_metasystem(3);
+  for (auto& s : c.sites) {
+    s.background_jobs = 300;
+  }
+  c.apps = 12;
+  c.mean_interarrival = 900;
+  c.seed = 5;
+  return c;
+}
+
+TEST(Warmstones, SuiteGenerationIsSeededAndSorted) {
+  const auto cfg = small_config();
+  const auto a = generate_suite(cfg);
+  const auto b = generate_suite(cfg);
+  ASSERT_EQ(a.size(), 12u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].graph.name, b[i].graph.name);
+    if (i > 0) EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+  }
+}
+
+TEST(Warmstones, CanonicalMetasystemIsHeterogeneous) {
+  const auto sites = canonical_metasystem();
+  ASSERT_EQ(sites.size(), 3u);
+  EXPECT_NE(sites[0].nodes, sites[1].nodes);
+  EXPECT_NE(sites[0].scheduler, sites[1].scheduler);
+}
+
+class MetaSchedulers : public testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(All, MetaSchedulers,
+                         testing::Values("random", "least-queued",
+                                         "min-wait", "co-alloc"));
+
+std::unique_ptr<MetaScheduler> make_by_name(const std::string& name) {
+  if (name == "random") return make_random_meta(1);
+  if (name == "least-queued") return make_least_queued_meta();
+  if (name == "min-wait") return make_min_wait_meta();
+  return make_coalloc_meta();
+}
+
+TEST_P(MetaSchedulers, AllAppsComplete) {
+  const auto cfg = small_config();
+  const auto suite = generate_suite(cfg);
+  auto meta = make_by_name(GetParam());
+  const auto report = evaluate(cfg, *meta, suite);
+  EXPECT_EQ(report.completed_apps, suite.size());
+  for (const auto& app : report.apps) {
+    ASSERT_TRUE(app.completed()) << app.graph_name;
+    EXPECT_GE(app.turnaround(), 0);
+  }
+  EXPECT_GT(report.mean_turnaround, 0.0);
+  EXPECT_GE(report.mean_stretch, 1.0 - 1e-9);
+}
+
+TEST_P(MetaSchedulers, SiteUtilizationsReported) {
+  const auto cfg = small_config();
+  const auto suite = generate_suite(cfg);
+  auto meta = make_by_name(GetParam());
+  const auto report = evaluate(cfg, *meta, suite);
+  ASSERT_EQ(report.site_utilization.size(), cfg.sites.size());
+  for (const double u : report.site_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(Warmstones, CoAllocatorReservesCoupledApps) {
+  auto cfg = small_config();
+  cfg.apps = 16;
+  const auto suite = generate_suite(cfg);
+  std::size_t coupled = 0;
+  for (const auto& app : suite) {
+    if (app.graph.coupled && app.graph.modules.size() > 1) ++coupled;
+  }
+  ASSERT_GT(coupled, 0u);
+
+  auto meta = make_coalloc_meta();
+  const auto report = evaluate(cfg, *meta, suite);
+  EXPECT_EQ(report.coalloc_attempts, coupled);
+  EXPECT_GT(report.coalloc_successes, 0u);
+}
+
+TEST(Warmstones, NonCoAllocatorsNeverCoAllocate) {
+  const auto cfg = small_config();
+  const auto suite = generate_suite(cfg);
+  auto meta = make_random_meta(2);
+  const auto report = evaluate(cfg, *meta, suite);
+  EXPECT_EQ(report.coalloc_successes, 0u);
+}
+
+TEST(Warmstones, FoldCoupled) {
+  std::vector<Component> comps{{16, 100, 200, -1}, {8, 300, 400, -1}};
+  const auto folded = fold_coupled(comps);
+  EXPECT_EQ(folded.procs, 24);
+  EXPECT_EQ(folded.runtime, 300);
+  EXPECT_EQ(folded.estimate, 400);
+}
+
+TEST(Warmstones, ComponentsFromGraphRespectStages) {
+  util::Rng rng(1);
+  const auto g = make_pipeline(3, 4, 100, rng);
+  const auto stages = components_from_graph(g);
+  ASSERT_EQ(stages.size(), 3u);
+  for (const auto& stage : stages) {
+    ASSERT_EQ(stage.size(), 1u);
+    EXPECT_EQ(stage[0].procs, 4);
+    EXPECT_GE(stage[0].estimate, stage[0].runtime);
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::meta

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "metrics/aggregate.hpp"
+#include "metrics/objective.hpp"
+
+namespace pjsb::metrics {
+namespace {
+
+sim::CompletedJob make_job(std::int64_t submit, std::int64_t wait,
+                           std::int64_t runtime, std::int64_t procs = 1) {
+  sim::CompletedJob c;
+  c.submit = submit;
+  c.start = submit + wait;
+  c.end = c.start + runtime;
+  c.runtime = runtime;
+  c.estimate = runtime;
+  c.procs = procs;
+  return c;
+}
+
+TEST(JobMetrics, SlowdownDefinition) {
+  const auto j = make_job(0, 100, 100);
+  EXPECT_DOUBLE_EQ(slowdown(j), 2.0);  // (100+100)/100
+}
+
+TEST(JobMetrics, BoundedSlowdownClampsShortJobs) {
+  // 1-second job waiting 100s: raw slowdown 101, bounded (tau=10)
+  // divides by 10 and is far smaller.
+  const auto j = make_job(0, 100, 1);
+  EXPECT_DOUBLE_EQ(slowdown(j), 101.0);
+  EXPECT_DOUBLE_EQ(bounded_slowdown(j), 101.0 / 10.0);
+  // Long jobs unaffected.
+  const auto k = make_job(0, 100, 1000);
+  EXPECT_DOUBLE_EQ(bounded_slowdown(k), slowdown(k));
+}
+
+TEST(JobMetrics, BoundedSlowdownNeverBelowOne) {
+  const auto j = make_job(0, 0, 1);
+  EXPECT_DOUBLE_EQ(bounded_slowdown(j), 1.0);
+}
+
+TEST(Report, AggregatesKnownValues) {
+  std::vector<sim::CompletedJob> jobs{
+      make_job(0, 0, 100, 2),
+      make_job(0, 100, 100, 2),
+      make_job(0, 200, 100, 2),
+  };
+  sim::EngineStats stats;
+  stats.capacity_node_seconds = 4 * 400;
+  stats.work_node_seconds = 3 * 200;
+  stats.makespan = 400;
+  const auto r = compute_report(jobs, stats);
+  EXPECT_EQ(r.jobs, 3u);
+  EXPECT_DOUBLE_EQ(r.mean_wait, 100.0);
+  EXPECT_DOUBLE_EQ(r.median_wait, 100.0);
+  EXPECT_DOUBLE_EQ(r.mean_response, 200.0);
+  EXPECT_DOUBLE_EQ(r.mean_slowdown, 2.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 600.0 / 1600.0);
+  EXPECT_EQ(r.makespan, 400);
+  EXPECT_NEAR(r.throughput_per_hour, 3.0 / (400.0 / 3600.0), 1e-9);
+}
+
+TEST(Report, EmptyJobs) {
+  const auto r = compute_report({}, sim::EngineStats{});
+  EXPECT_EQ(r.jobs, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_wait, 0.0);
+}
+
+TEST(Metric, CostOrientation) {
+  MetricsReport r;
+  r.mean_wait = 50;
+  r.utilization = 0.8;
+  r.throughput_per_hour = 12;
+  EXPECT_DOUBLE_EQ(metric_cost(r, MetricId::kMeanWait), 50.0);
+  EXPECT_DOUBLE_EQ(metric_cost(r, MetricId::kUtilization), -0.8);
+  EXPECT_DOUBLE_EQ(metric_cost(r, MetricId::kThroughput), -12.0);
+}
+
+TEST(Metric, NamesStable) {
+  EXPECT_STREQ(metric_name(MetricId::kMeanBoundedSlowdown),
+               "mean-bounded-slowdown");
+  EXPECT_STREQ(metric_name(MetricId::kUtilization), "utilization");
+}
+
+TEST(Objective, WeightedCost) {
+  MetricsReport r;
+  r.mean_response = 3600;
+  r.utilization = 0.5;
+  WeightedObjective obj;
+  obj.terms.push_back({MetricId::kMeanResponse, 1.0, 3600.0});
+  obj.terms.push_back({MetricId::kUtilization, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(obj.cost(r), 1.0 - 1.0);
+}
+
+TEST(Objective, RankingsByDifferentMetricsCanDisagree) {
+  // Scheduler A: great response, poor utilization.
+  MetricsReport a;
+  a.mean_response = 100;
+  a.mean_bounded_slowdown = 1.5;
+  a.utilization = 0.5;
+  // Scheduler B: poor response, great utilization.
+  MetricsReport b;
+  b.mean_response = 500;
+  b.mean_bounded_slowdown = 4.0;
+  b.utilization = 0.9;
+  std::vector<MetricsReport> reports{a, b};
+
+  const auto by_resp = rank_by_metric(MetricId::kMeanResponse, reports);
+  const auto by_util = rank_by_metric(MetricId::kUtilization, reports);
+  EXPECT_EQ(by_resp[0], 0u);
+  EXPECT_EQ(by_util[0], 1u);  // ranking flipped
+}
+
+TEST(Objective, BlendSweepFlipsRanking) {
+  MetricsReport a;  // user-friendly
+  a.mean_bounded_slowdown = 1.5;
+  a.utilization = 0.5;
+  MetricsReport b;  // owner-friendly
+  b.mean_bounded_slowdown = 4.0;
+  b.utilization = 0.9;
+  std::vector<MetricsReport> reports{a, b};
+
+  const auto owner_rank = rank_by_objective(owner_user_blend(0.0), reports);
+  const auto user_rank = rank_by_objective(owner_user_blend(1.0), reports);
+  EXPECT_EQ(owner_rank[0], 1u);  // pure owner objective prefers B
+  EXPECT_EQ(user_rank[0], 0u);   // pure user objective prefers A
+}
+
+TEST(Report, RestartAndWasteAccounting) {
+  auto j = make_job(0, 0, 100, 4);
+  j.restarts = 2;
+  sim::EngineStats stats;
+  stats.capacity_node_seconds = 1000;
+  stats.wasted_node_seconds = 250;
+  stats.makespan = 100;
+  const auto r = compute_report(std::vector<sim::CompletedJob>{j}, stats);
+  EXPECT_DOUBLE_EQ(r.mean_restarts, 2.0);
+  EXPECT_DOUBLE_EQ(r.wasted_fraction, 0.25);
+}
+
+}  // namespace
+}  // namespace pjsb::metrics

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "predict/recent_mean.hpp"
+#include "predict/scheduler_assisted.hpp"
+#include "predict/template_pred.hpp"
+#include "sched/factory.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace pjsb::predict {
+namespace {
+
+JobFeatures features(std::int64_t procs, std::int64_t estimate,
+                     std::int64_t user = 1) {
+  JobFeatures f;
+  f.procs = procs;
+  f.estimate = estimate;
+  f.user_id = user;
+  return f;
+}
+
+TEST(RecentMean, ColdStartReturnsNothing) {
+  RecentMeanPredictor p;
+  EXPECT_FALSE(p.predict(features(1, 100)));
+}
+
+TEST(RecentMean, AveragesWindow) {
+  RecentMeanPredictor p(4);
+  for (std::int64_t w : {100, 200, 300, 400}) p.observe(features(1, 10), w);
+  EXPECT_EQ(p.predict(features(8, 999)).value(), 250);
+  // Window slides: add 500, drop 100 -> mean 350.
+  p.observe(features(1, 10), 500);
+  EXPECT_EQ(p.predict(features(8, 999)).value(), 350);
+}
+
+TEST(RecentMean, WindowValidation) {
+  EXPECT_THROW(RecentMeanPredictor(0), std::invalid_argument);
+}
+
+TEST(Template, BucketsAreMonotone) {
+  EXPECT_EQ(TemplatePredictor::procs_bucket(1), 0);
+  EXPECT_EQ(TemplatePredictor::procs_bucket(2), 1);
+  EXPECT_EQ(TemplatePredictor::procs_bucket(16), 4);
+  EXPECT_LT(TemplatePredictor::estimate_bucket(30),
+            TemplatePredictor::estimate_bucket(7200));
+}
+
+TEST(Template, SpecificTemplateWins) {
+  TemplatePredictor p(2);
+  // User 1's big jobs wait long; everyone else's are quick.
+  for (int i = 0; i < 5; ++i) {
+    p.observe(features(16, 7200, 1), 5000);
+    p.observe(features(1, 60, 2), 10);
+  }
+  EXPECT_NEAR(double(p.predict(features(16, 7200, 1)).value()), 5000, 1);
+  EXPECT_NEAR(double(p.predict(features(1, 60, 2)).value()), 10, 1);
+}
+
+TEST(Template, FallsBackToCoarserTemplates) {
+  TemplatePredictor p(2);
+  for (int i = 0; i < 5; ++i) p.observe(features(16, 7200, 1), 4000);
+  // Unknown user, same shape -> shape template.
+  EXPECT_NEAR(double(p.predict(features(16, 7200, 9)).value()), 4000, 1);
+  // Unknown shape -> estimate-bucket template (same bucket).
+  EXPECT_TRUE(p.predict(features(2, 8000, 9)).has_value());
+  // Totally unknown -> global mean once anything observed.
+  EXPECT_TRUE(p.predict(features(1, 5, 9)).has_value());
+}
+
+TEST(Template, ColdStart) {
+  TemplatePredictor p;
+  EXPECT_FALSE(p.predict(features(4, 100)));
+}
+
+TEST(SchedulerAssisted, UsesLiveProfile) {
+  sim::EngineConfig cfg;
+  cfg.nodes = 4;
+  sim::Engine engine(cfg, sched::make_scheduler("conservative"));
+  swf::Trace t;
+  swf::JobRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 1000;
+  r.requested_time = 1000;
+  r.allocated_procs = 4;
+  r.status = swf::Status::kCompleted;
+  t.records.push_back(r);
+  engine.load_trace(t);
+  engine.run_until(10);
+
+  SchedulerAssistedPredictor p(engine.scheduler());
+  JobFeatures f = features(4, 100);
+  f.submit = 10;
+  const auto wait = p.predict(f);
+  ASSERT_TRUE(wait);
+  EXPECT_EQ(*wait, 990);  // machine busy until t=1000
+}
+
+TEST(SchedulerAssisted, NulloptForNonProfileSchedulers) {
+  sim::EngineConfig cfg;
+  cfg.nodes = 4;
+  sim::Engine engine(cfg, sched::make_scheduler("fcfs"));
+  SchedulerAssistedPredictor p(engine.scheduler());
+  EXPECT_FALSE(p.predict(features(1, 10)));
+}
+
+TEST(Predictors, AccuracyOrderOnStructuredWorkload) {
+  // Template predictor should beat recent-mean when waits are strongly
+  // shape-dependent: wide jobs wait 1000s, narrow jobs 10s.
+  RecentMeanPredictor naive(16);
+  TemplatePredictor tmpl(2);
+  util::Rng rng(3);
+
+  double err_naive = 0, err_tmpl = 0;
+  int n = 0;
+  for (int i = 0; i < 400; ++i) {
+    const bool wide = rng.bernoulli(0.5);
+    const auto f = features(wide ? 32 : 1, wide ? 7200 : 60);
+    const std::int64_t actual = wide ? 1000 : 10;
+    if (i > 50) {
+      if (const auto p = naive.predict(f)) {
+        err_naive += std::abs(double(*p - actual));
+      }
+      if (const auto p = tmpl.predict(f)) {
+        err_tmpl += std::abs(double(*p - actual));
+      }
+      ++n;
+    }
+    naive.observe(f, actual);
+    tmpl.observe(f, actual);
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(err_tmpl / n, err_naive / n / 5.0);
+}
+
+}  // namespace
+}  // namespace pjsb::predict

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "sched/factory.hpp"
+#include "sim/replay.hpp"
+
+namespace pjsb::sched {
+namespace {
+
+swf::JobRecord job(std::int64_t num, std::int64_t submit, std::int64_t procs,
+                   std::int64_t runtime, std::int64_t estimate = 0) {
+  swf::JobRecord r;
+  r.job_number = num;
+  r.submit_time = submit;
+  r.run_time = runtime;
+  r.allocated_procs = procs;
+  r.requested_time = estimate > 0 ? estimate : runtime;
+  r.status = swf::Status::kCompleted;
+  return r;
+}
+
+sim::CompletedJob find(const sim::ReplayResult& result, std::int64_t id) {
+  for (const auto& c : result.completed) {
+    if (c.id == id) return c;
+  }
+  throw std::runtime_error("job not found");
+}
+
+TEST(Fcfs, StrictArrivalOrderEvenWhenLaterJobFits) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  t.records.push_back(job(1, 0, 4, 100));
+  t.records.push_back(job(2, 10, 4, 10));
+  t.records.push_back(job(3, 20, 1, 5));  // would fit, FCFS won't start it
+  const auto result = sim::replay(t, make_scheduler("fcfs"));
+  EXPECT_EQ(find(result, 2).start, 100);
+  EXPECT_EQ(find(result, 3).start, 110);
+}
+
+TEST(Fcfs, StartsImmediatelyWhenIdle) {
+  swf::Trace t;
+  t.header.max_nodes = 8;
+  t.records.push_back(job(1, 5, 2, 10));
+  const auto result = sim::replay(t, make_scheduler("fcfs"));
+  EXPECT_EQ(find(result, 1).start, 5);
+  EXPECT_EQ(find(result, 1).wait(), 0);
+}
+
+TEST(Fcfs, ParallelStartWhenCapacityAllows) {
+  swf::Trace t;
+  t.header.max_nodes = 8;
+  t.records.push_back(job(1, 0, 4, 100));
+  t.records.push_back(job(2, 0, 4, 100));
+  const auto result = sim::replay(t, make_scheduler("fcfs"));
+  EXPECT_EQ(find(result, 1).start, 0);
+  EXPECT_EQ(find(result, 2).start, 0);
+}
+
+TEST(Sjf, ShortestEstimateFirst) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  t.records.push_back(job(1, 0, 4, 100));
+  // Both queued while job 1 runs; SJF picks the shorter estimate.
+  t.records.push_back(job(2, 1, 4, 500, 500));
+  t.records.push_back(job(3, 2, 4, 10, 10));
+  const auto result = sim::replay(t, make_scheduler("sjf"));
+  EXPECT_EQ(find(result, 3).start, 100);
+  EXPECT_EQ(find(result, 2).start, 110);
+}
+
+TEST(Sjf, StrictVariantBlocksOnShortestJob) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  t.records.push_back(job(1, 0, 2, 100));
+  // Shortest job needs 4 procs (blocked); 2-proc job behind it could fit.
+  t.records.push_back(job(2, 1, 4, 10, 10));
+  t.records.push_back(job(3, 2, 2, 50, 50));
+  const auto strict = sim::replay(t, make_scheduler("sjf"));
+  EXPECT_EQ(find(strict, 3).start, 110);  // waits for job 2
+
+  const auto fit = sim::replay(t, make_scheduler("sjf-fit"));
+  EXPECT_EQ(find(fit, 3).start, 2);  // non-blocking variant starts it
+}
+
+TEST(Factory, NamesRoundTrip) {
+  for (const auto kind : all_scheduler_kinds()) {
+    const auto sched = make_scheduler(kind);
+    EXPECT_EQ(scheduler_kind_from_name(scheduler_kind_name(kind)), kind);
+    EXPECT_FALSE(sched->name().empty());
+  }
+}
+
+TEST(Factory, GangSlotsParsedFromName) {
+  const auto sched = make_scheduler("gang8");
+  EXPECT_EQ(sched->name(), "gang8");
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_scheduler("quantum-annealer"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pjsb::sched

@@ -1,0 +1,143 @@
+#include "sched/gang.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/outage/record.hpp"
+#include "sched/factory.hpp"
+#include "sim/replay.hpp"
+
+namespace pjsb::sched {
+namespace {
+
+swf::JobRecord job(std::int64_t num, std::int64_t submit, std::int64_t procs,
+                   std::int64_t runtime) {
+  swf::JobRecord r;
+  r.job_number = num;
+  r.submit_time = submit;
+  r.run_time = runtime;
+  r.allocated_procs = procs;
+  r.requested_time = runtime;
+  r.status = swf::Status::kCompleted;
+  return r;
+}
+
+sim::CompletedJob find(const sim::ReplayResult& result, std::int64_t id) {
+  for (const auto& c : result.completed) {
+    if (c.id == id) return c;
+  }
+  throw std::runtime_error("job not found");
+}
+
+TEST(Gang, SingleJobRunsAtFullSpeed) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  t.records.push_back(job(1, 0, 4, 100));
+  const auto result = sim::replay(t, make_scheduler("gang4"));
+  EXPECT_EQ(find(result, 1).start, 0);
+  EXPECT_EQ(find(result, 1).end, 100);
+}
+
+TEST(Gang, TwoFullMachineJobsShareAndStretch) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  t.records.push_back(job(1, 0, 4, 100));
+  t.records.push_back(job(2, 0, 4, 100));
+  const auto result = sim::replay(t, make_scheduler("gang4"));
+  // Both start immediately (different rows) and time-share: each runs
+  // at half speed until one ends. Job completion near 200, then the
+  // remaining work of the other finishes at full speed.
+  EXPECT_EQ(find(result, 1).start, 0);
+  EXPECT_EQ(find(result, 2).start, 0);
+  const auto e1 = find(result, 1).end;
+  const auto e2 = find(result, 2).end;
+  EXPECT_NEAR(double(std::min(e1, e2)), 200.0, 2.0);
+  EXPECT_NEAR(double(std::max(e1, e2)), 200.0, 2.0);
+}
+
+TEST(Gang, UnequalJobsReleaseRate) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  t.records.push_back(job(1, 0, 4, 100));
+  t.records.push_back(job(2, 0, 4, 20));
+  const auto result = sim::replay(t, make_scheduler("gang4"));
+  // Shared at half speed until job 2 finishes its 20s of work at t=40;
+  // job 1 then has 80s left at full speed: ends ~120.
+  EXPECT_NEAR(double(find(result, 2).end), 40.0, 2.0);
+  EXPECT_NEAR(double(find(result, 1).end), 120.0, 3.0);
+}
+
+TEST(Gang, SameRowJobsRunConcurrentlyWithoutStretch) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  t.records.push_back(job(1, 0, 2, 100));
+  t.records.push_back(job(2, 0, 2, 100));
+  const auto result = sim::replay(t, make_scheduler("gang4"));
+  // Both fit in row 0 side by side: no time sharing, both end at 100.
+  EXPECT_NEAR(double(find(result, 1).end), 100.0, 2.0);
+  EXPECT_NEAR(double(find(result, 2).end), 100.0, 2.0);
+}
+
+TEST(Gang, SlotLimitQueuesExcessJobs) {
+  swf::Trace t;
+  t.header.max_nodes = 2;
+  t.records.push_back(job(1, 0, 2, 50));
+  t.records.push_back(job(2, 0, 2, 50));
+  t.records.push_back(job(3, 0, 2, 50));  // only 2 slots
+  const auto result = sim::replay(t, make_scheduler("gang2"));
+  ASSERT_EQ(result.completed.size(), 3u);
+  // Job 3 must wait for a row to free.
+  EXPECT_GT(find(result, 3).start, 0);
+}
+
+TEST(Gang, MoreSlotsIncreaseResponsivenessForShortJobs) {
+  // A long job monopolizes space-shared machines; with gang scheduling
+  // a short job can start immediately in another row.
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  t.records.push_back(job(1, 0, 4, 1000));
+  t.records.push_back(job(2, 10, 4, 10));
+  const auto gang = sim::replay(t, make_scheduler("gang4"));
+  const auto fcfs = sim::replay(t, make_scheduler("fcfs"));
+  EXPECT_EQ(find(gang, 2).start, 10);       // immediate, time-shared
+  EXPECT_EQ(find(fcfs, 2).start, 1000);     // waits for the long job
+  EXPECT_LT(find(gang, 2).end, find(fcfs, 2).end);
+}
+
+TEST(Gang, OutageKillsJobsOnFailedColumns) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  t.records.push_back(job(1, 0, 4, 100));
+
+  outage::OutageLog log;
+  outage::OutageRecord o;
+  o.start_time = 20;
+  o.end_time = 40;
+  o.nodes_affected = 1;
+  o.components = {0};
+  log.records.push_back(o);
+
+  sim::ReplayOptions opt;
+  opt.outages = &log;
+  const auto result = sim::replay(t, make_scheduler("gang4"), opt);
+  ASSERT_EQ(result.completed.size(), 1u);
+  EXPECT_GE(result.completed[0].restarts, 1);
+  // Restarted after the node returns: full 100s from t=40.
+  EXPECT_NEAR(double(result.completed[0].end), 140.0, 3.0);
+}
+
+TEST(Gang, AllJobsEventuallyComplete) {
+  swf::Trace t;
+  t.header.max_nodes = 8;
+  for (int i = 0; i < 40; ++i) {
+    t.records.push_back(job(i + 1, i * 5, 1 + (i % 8), 20 + (i % 50)));
+  }
+  const auto result = sim::replay(t, make_scheduler("gang3"));
+  EXPECT_EQ(result.completed.size(), 40u);
+  for (const auto& c : result.completed) {
+    EXPECT_GE(c.end, c.start);
+    EXPECT_GE(c.end - c.start, c.runtime);  // sharing never speeds up
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::sched

@@ -1,0 +1,88 @@
+#include "sched/reservation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/profile.hpp"
+
+namespace pjsb::sched {
+namespace {
+
+TEST(CommonWindow, EmptySiteListTrivial) {
+  const auto t = find_common_window({}, 100);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, 100);
+}
+
+TEST(CommonWindow, SingleSitePassthrough) {
+  std::vector<EarliestStartFn> sites;
+  sites.push_back([](std::int64_t from) { return std::max<std::int64_t>(from, 500); });
+  const auto t = find_common_window(sites, 100);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, 500);
+}
+
+TEST(CommonWindow, FixpointOverTwoSites) {
+  // Site A free from 300, site B free from 700; both accept anything
+  // later than their threshold.
+  std::vector<EarliestStartFn> sites;
+  sites.push_back([](std::int64_t from) {
+    return std::max<std::int64_t>(from, 300);
+  });
+  sites.push_back([](std::int64_t from) {
+    return std::max<std::int64_t>(from, 700);
+  });
+  const auto t = find_common_window(sites, 0);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, 700);
+}
+
+TEST(CommonWindow, SteppedAvailability) {
+  // Site A: free at even hundreds only; site B: free from 350.
+  std::vector<EarliestStartFn> sites;
+  sites.push_back([](std::int64_t from) {
+    // next multiple of 200 >= from
+    return ((from + 199) / 200) * 200;
+  });
+  sites.push_back([](std::int64_t from) {
+    return std::max<std::int64_t>(from, 350);
+  });
+  const auto t = find_common_window(sites, 0);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, 400);
+}
+
+TEST(CommonWindow, ImpossibleSiteReturnsNullopt) {
+  std::vector<EarliestStartFn> sites;
+  sites.push_back([](std::int64_t) { return kForever; });
+  EXPECT_FALSE(find_common_window(sites, 0));
+}
+
+TEST(CommonWindow, NonConvergingGivesUp) {
+  // A site that always answers "a bit later" never converges.
+  std::vector<EarliestStartFn> sites;
+  sites.push_back([](std::int64_t from) { return from + 1; });
+  EXPECT_FALSE(find_common_window(sites, 0, 8));
+}
+
+TEST(CommonWindow, RealProfilesConverge) {
+  // Two capacity profiles with different busy periods; the fixpoint
+  // must land on a window where both have room.
+  CapacityProfile a(8), b(8);
+  a.add_usage(0, 1000, 8);    // A busy until 1000
+  b.add_usage(500, 1500, 6);  // B has only 2 free in [500,1500)
+  std::vector<EarliestStartFn> sites;
+  sites.push_back([&a](std::int64_t from) {
+    return a.earliest_start(from, 100, 4);
+  });
+  sites.push_back([&b](std::int64_t from) {
+    return b.earliest_start(from, 100, 4);
+  });
+  const auto t = find_common_window(sites, 0);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, 1500);
+  EXPECT_TRUE(a.fits(*t, 100, 4));
+  EXPECT_TRUE(b.fits(*t, 100, 4));
+}
+
+}  // namespace
+}  // namespace pjsb::sched

@@ -1,0 +1,236 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/outage/record.hpp"
+#include "sched/factory.hpp"
+#include "sim/replay.hpp"
+
+namespace pjsb::sim {
+namespace {
+
+swf::Trace tiny_trace() {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  auto add = [&](std::int64_t num, std::int64_t submit, std::int64_t procs,
+                 std::int64_t runtime) {
+    swf::JobRecord r;
+    r.job_number = num;
+    r.submit_time = submit;
+    r.run_time = runtime;
+    r.allocated_procs = procs;
+    r.requested_time = runtime;
+    r.status = swf::Status::kCompleted;
+    r.user_id = 1;
+    t.records.push_back(r);
+  };
+  add(1, 0, 2, 100);
+  add(2, 10, 4, 50);   // must wait for job 1 (needs all 4)
+  add(3, 20, 2, 30);
+  return t;
+}
+
+TEST(Engine, FcfsOrderAndTimes) {
+  const auto result =
+      replay(tiny_trace(), sched::make_scheduler("fcfs"));
+  ASSERT_EQ(result.completed.size(), 3u);
+  // Job 1: starts at 0, ends 100. Job 2 needs 4 procs -> starts 100.
+  // Job 3 (FCFS, no backfill) waits behind job 2 -> starts 150.
+  auto find = [&](std::int64_t id) {
+    for (const auto& c : result.completed) {
+      if (c.id == id) return c;
+    }
+    throw std::runtime_error("missing job");
+  };
+  EXPECT_EQ(find(1).start, 0);
+  EXPECT_EQ(find(1).end, 100);
+  EXPECT_EQ(find(2).start, 100);
+  EXPECT_EQ(find(2).end, 150);
+  EXPECT_EQ(find(3).start, 150);
+  EXPECT_EQ(find(3).end, 180);
+}
+
+TEST(Engine, EasyBackfillsShortJob) {
+  const auto result =
+      replay(tiny_trace(), sched::make_scheduler("easy"));
+  auto find = [&](std::int64_t id) {
+    for (const auto& c : result.completed) {
+      if (c.id == id) return c;
+    }
+    throw std::runtime_error("missing job");
+  };
+  // Job 3 (2 procs, 30s est) fits beside job 1 and ends at 50 <= 100,
+  // so it cannot delay job 2's shadow start at t=100: backfilled at 20.
+  EXPECT_EQ(find(3).start, 20);
+  EXPECT_EQ(find(2).start, 100);  // guarantee held
+}
+
+TEST(Engine, StatsAccounting) {
+  const auto result = replay(tiny_trace(), sched::make_scheduler("fcfs"));
+  // work = 2*100 + 4*50 + 2*30 = 460 node-seconds; makespan 180.
+  EXPECT_EQ(result.stats.work_node_seconds, 460);
+  EXPECT_EQ(result.stats.makespan, 180);
+  EXPECT_EQ(result.stats.capacity_node_seconds, 4 * 180);
+  EXPECT_NEAR(result.stats.utilization(), 460.0 / 720.0, 1e-9);
+  EXPECT_EQ(result.stats.jobs_killed, 0);
+}
+
+TEST(Engine, ClosedLoopDefersDependentJobs) {
+  auto t = tiny_trace();
+  // Job 3 depends on job 1 with 60s think time: submitted at 100+60.
+  t.records[2].preceding_job = 1;
+  t.records[2].think_time = 60;
+
+  ReplayOptions opt;
+  opt.closed_loop = true;
+  const auto result = replay(t, sched::make_scheduler("fcfs"), opt);
+  ASSERT_EQ(result.completed.size(), 3u);
+  for (const auto& c : result.completed) {
+    if (c.id == 3) EXPECT_EQ(c.submit, 160);
+  }
+}
+
+TEST(Engine, OpenLoopIgnoresDependencies) {
+  auto t = tiny_trace();
+  t.records[2].preceding_job = 1;
+  t.records[2].think_time = 60;
+  const auto result = replay(t, sched::make_scheduler("fcfs"));
+  for (const auto& c : result.completed) {
+    if (c.id == 3) EXPECT_EQ(c.submit, 20);
+  }
+}
+
+TEST(Engine, OutageKillsAndRequeuesJob) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  swf::JobRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 100;
+  r.allocated_procs = 4;
+  r.requested_time = 100;
+  r.status = swf::Status::kCompleted;
+  t.records.push_back(r);
+
+  outage::OutageLog log;
+  outage::OutageRecord o;
+  o.start_time = 50;
+  o.end_time = 80;
+  o.announce_time = 50;
+  o.type = outage::OutageType::kCpuFailure;
+  o.nodes_affected = 1;
+  o.components = {0};
+  log.records.push_back(o);
+
+  ReplayOptions opt;
+  opt.outages = &log;
+  const auto result = replay(t, sched::make_scheduler("fcfs"), opt);
+  ASSERT_EQ(result.completed.size(), 1u);
+  const auto& c = result.completed[0];
+  EXPECT_EQ(c.restarts, 1);
+  // Killed at 50 (work lost), restarts when node returns at 80 with all
+  // 4 nodes available; full rerun of 100s -> ends at 180.
+  EXPECT_EQ(c.end, 180);
+  EXPECT_EQ(result.stats.wasted_node_seconds, 4 * 50);
+  EXPECT_EQ(result.stats.jobs_killed, 1);
+}
+
+TEST(Engine, OutageOnFreeNodesKillsNothing) {
+  swf::Trace t;
+  t.header.max_nodes = 8;
+  swf::JobRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 100;
+  r.allocated_procs = 2;
+  r.status = swf::Status::kCompleted;
+  t.records.push_back(r);
+
+  outage::OutageLog log;
+  outage::OutageRecord o;
+  o.start_time = 10;
+  o.end_time = 60;
+  o.nodes_affected = 2;
+  o.components = {6, 7};  // job holds nodes 0,1
+  log.records.push_back(o);
+
+  ReplayOptions opt;
+  opt.outages = &log;
+  const auto result = replay(t, sched::make_scheduler("fcfs"), opt);
+  EXPECT_EQ(result.completed[0].restarts, 0);
+  EXPECT_EQ(result.completed[0].end, 100);
+  // Capacity integral reflects the downtime: 8*100 - 2*50.
+  EXPECT_EQ(result.stats.capacity_node_seconds, 700);
+}
+
+TEST(Engine, SubmitExternalJob) {
+  EngineConfig cfg;
+  cfg.nodes = 4;
+  Engine engine(cfg, sched::make_scheduler("fcfs"));
+  SimJob j;
+  j.submit = 10;
+  j.procs = 2;
+  j.runtime = 30;
+  j.estimate = 30;
+  const auto id = engine.submit_job(j);
+  EXPECT_GT(id, 0);
+  engine.run();
+  ASSERT_EQ(engine.completed().size(), 1u);
+  EXPECT_EQ(engine.completed()[0].end, 40);
+}
+
+TEST(Engine, IncrementalSteppingMatchesRun) {
+  Engine a(EngineConfig{.nodes = 4}, sched::make_scheduler("easy"));
+  Engine b(EngineConfig{.nodes = 4}, sched::make_scheduler("easy"));
+  a.load_trace(tiny_trace());
+  b.load_trace(tiny_trace());
+  a.run();
+  while (b.step()) {
+  }
+  ASSERT_EQ(a.completed().size(), b.completed().size());
+  for (std::size_t i = 0; i < a.completed().size(); ++i) {
+    EXPECT_EQ(a.completed()[i].end, b.completed()[i].end);
+  }
+}
+
+TEST(Engine, RunUntilAdvancesClockWithoutEvents) {
+  Engine e(EngineConfig{.nodes = 4}, sched::make_scheduler("fcfs"));
+  e.run_until(500);
+  EXPECT_EQ(e.now(), 500);
+  EXPECT_FALSE(e.next_event_time());
+}
+
+TEST(Engine, CompletionObserverFires) {
+  Engine e(EngineConfig{.nodes = 4}, sched::make_scheduler("fcfs"));
+  int count = 0;
+  e.set_completion_observer([&](const CompletedJob&) { ++count; });
+  e.load_trace(tiny_trace());
+  e.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, RejectsPastSubmission) {
+  Engine e(EngineConfig{.nodes = 4}, sched::make_scheduler("fcfs"));
+  e.run_until(100);
+  SimJob j;
+  j.submit = 50;
+  EXPECT_THROW(e.submit_job(j), std::invalid_argument);
+}
+
+TEST(Engine, OversizedJobClampedToMachine) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  swf::JobRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 10;
+  r.allocated_procs = 64;  // bigger than machine
+  r.status = swf::Status::kCompleted;
+  t.records.push_back(r);
+  const auto result = replay(t, sched::make_scheduler("fcfs"));
+  ASSERT_EQ(result.completed.size(), 1u);
+  EXPECT_EQ(result.completed[0].procs, 4);
+}
+
+}  // namespace
+}  // namespace pjsb::sim

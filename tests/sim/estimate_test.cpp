@@ -1,0 +1,80 @@
+#include "sim/estimate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::sim {
+namespace {
+
+swf::Trace base_trace() {
+  swf::Trace t;
+  t.header.max_runtime = 1000;
+  for (int i = 0; i < 20; ++i) {
+    swf::JobRecord r;
+    r.job_number = i + 1;
+    r.submit_time = i * 10;
+    r.run_time = 100 + i;
+    r.requested_time = swf::kUnknown;
+    r.status = swf::Status::kCompleted;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+TEST(Estimate, Exact) {
+  auto t = base_trace();
+  set_exact_estimates(t);
+  for (const auto& r : t.records) {
+    EXPECT_EQ(r.requested_time, r.run_time);
+  }
+}
+
+TEST(Estimate, Factor) {
+  auto t = base_trace();
+  set_factor_estimates(t, 3.0);
+  for (const auto& r : t.records) {
+    EXPECT_EQ(r.requested_time, r.run_time * 3);
+  }
+  EXPECT_THROW(set_factor_estimates(t, 0.5), std::invalid_argument);
+}
+
+TEST(Estimate, RandomFactorBounds) {
+  auto t = base_trace();
+  util::Rng rng(1);
+  set_random_factor_estimates(t, 10.0, rng);
+  for (const auto& r : t.records) {
+    EXPECT_GE(r.requested_time, r.run_time);
+    EXPECT_LE(r.requested_time, r.run_time * 10 + 1);
+  }
+  EXPECT_THROW(set_random_factor_estimates(t, 0.9, rng),
+               std::invalid_argument);
+}
+
+TEST(Estimate, ClampToMaxRuntime) {
+  auto t = base_trace();
+  set_factor_estimates(t, 100.0);
+  clamp_estimates_to_max_runtime(t);
+  for (const auto& r : t.records) {
+    EXPECT_LE(r.requested_time, 1000);
+  }
+}
+
+TEST(Estimate, ClampWithoutHeaderIsNoop) {
+  auto t = base_trace();
+  t.header.max_runtime.reset();
+  set_factor_estimates(t, 100.0);
+  clamp_estimates_to_max_runtime(t);
+  EXPECT_GT(t.records[0].requested_time, 1000);
+}
+
+TEST(Estimate, UnknownRuntimesSkipped) {
+  swf::Trace t;
+  swf::JobRecord r;
+  r.job_number = 1;
+  r.run_time = swf::kUnknown;
+  t.records.push_back(r);
+  set_exact_estimates(t);
+  EXPECT_EQ(t.records[0].requested_time, swf::kUnknown);
+}
+
+}  // namespace
+}  // namespace pjsb::sim

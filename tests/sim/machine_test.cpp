@@ -1,0 +1,94 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::sim {
+namespace {
+
+TEST(Machine, InitialState) {
+  Machine m(16);
+  EXPECT_EQ(m.total_nodes(), 16);
+  EXPECT_EQ(m.free_nodes(), 16);
+  EXPECT_EQ(m.busy_nodes(), 0);
+  EXPECT_EQ(m.down_nodes(), 0);
+  EXPECT_EQ(m.up_nodes(), 16);
+  EXPECT_THROW(Machine(0), std::invalid_argument);
+}
+
+TEST(Machine, AllocateAndRelease) {
+  Machine m(8);
+  const auto nodes = m.allocate(42, 3);
+  ASSERT_TRUE(nodes);
+  EXPECT_EQ(nodes->size(), 3u);
+  EXPECT_EQ(m.free_nodes(), 5);
+  EXPECT_EQ(m.busy_nodes(), 3);
+  for (const auto n : *nodes) EXPECT_EQ(m.owner(n), 42);
+  m.release(42, *nodes);
+  EXPECT_EQ(m.free_nodes(), 8);
+}
+
+TEST(Machine, AllocateFailsWhenFull) {
+  Machine m(4);
+  ASSERT_TRUE(m.allocate(1, 3));
+  EXPECT_FALSE(m.allocate(2, 2));
+  EXPECT_EQ(m.free_nodes(), 1);  // failed allocation changes nothing
+}
+
+TEST(Machine, AllocateZeroThrows) {
+  Machine m(4);
+  EXPECT_THROW(m.allocate(1, 0), std::invalid_argument);
+}
+
+TEST(Machine, ReleaseWrongOwnerThrows) {
+  Machine m(4);
+  const auto nodes = m.allocate(1, 2);
+  EXPECT_THROW(m.release(2, *nodes), std::logic_error);
+}
+
+TEST(Machine, TakeDownFreeNode) {
+  Machine m(4);
+  EXPECT_EQ(m.take_down(0), kFree);
+  EXPECT_EQ(m.down_nodes(), 1);
+  EXPECT_EQ(m.free_nodes(), 3);
+  EXPECT_EQ(m.up_nodes(), 3);
+}
+
+TEST(Machine, TakeDownBusyNodeReportsVictim) {
+  Machine m(4);
+  const auto nodes = m.allocate(7, 2);
+  const std::int64_t victim_node = nodes->front();
+  EXPECT_EQ(m.take_down(victim_node), 7);
+  EXPECT_EQ(m.owner(victim_node), kDown);
+  // Releasing the job skips the downed node.
+  m.release(7, *nodes);
+  EXPECT_EQ(m.free_nodes(), 3);
+  EXPECT_EQ(m.down_nodes(), 1);
+}
+
+TEST(Machine, TakeDownTwiceIsIdempotent) {
+  Machine m(4);
+  m.take_down(2);
+  EXPECT_EQ(m.take_down(2), kDown);
+  EXPECT_EQ(m.down_nodes(), 1);
+}
+
+TEST(Machine, BringUpRestoresCapacity) {
+  Machine m(4);
+  m.take_down(1);
+  m.bring_up(1);
+  EXPECT_EQ(m.free_nodes(), 4);
+  EXPECT_EQ(m.down_nodes(), 0);
+  EXPECT_THROW(m.bring_up(1), std::logic_error);  // not down anymore
+}
+
+TEST(Machine, AllocationSkipsDownNodes) {
+  Machine m(4);
+  m.take_down(0);
+  m.take_down(1);
+  const auto nodes = m.allocate(5, 2);
+  ASSERT_TRUE(nodes);
+  for (const auto n : *nodes) EXPECT_GE(n, 2);
+}
+
+}  // namespace
+}  // namespace pjsb::sim

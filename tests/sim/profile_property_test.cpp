@@ -1,0 +1,141 @@
+// Property test: CapacityProfile against a brute-force reference.
+//
+// The profile is the load-bearing structure under EASY, conservative,
+// reservations and outage-aware draining; here a randomized sequence of
+// usages and capacity deltas is checked point-by-point against a plain
+// array-of-seconds reference model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/profile.hpp"
+#include "util/rng.hpp"
+
+namespace pjsb::sched {
+namespace {
+
+/// Reference model: available capacity per integer second in [0, T).
+class ReferenceProfile {
+ public:
+  ReferenceProfile(std::int64_t base, std::int64_t horizon)
+      : avail_(std::size_t(horizon), base) {}
+
+  void add_usage(std::int64_t start, std::int64_t end, std::int64_t procs) {
+    for (std::int64_t t = std::max<std::int64_t>(0, start);
+         t < std::min<std::int64_t>(end, std::int64_t(avail_.size())); ++t) {
+      avail_[std::size_t(t)] -= procs;
+    }
+  }
+  void add_capacity_delta(std::int64_t at, std::int64_t delta) {
+    for (std::int64_t t = std::max<std::int64_t>(0, at);
+         t < std::int64_t(avail_.size()); ++t) {
+      avail_[std::size_t(t)] += delta;
+    }
+  }
+  std::int64_t available_at(std::int64_t t) const {
+    return avail_.at(std::size_t(t));
+  }
+  std::int64_t min_available(std::int64_t start, std::int64_t end) const {
+    std::int64_t m = avail_.at(std::size_t(start));
+    for (std::int64_t t = start; t < end && t < std::int64_t(avail_.size());
+         ++t) {
+      m = std::min(m, avail_[std::size_t(t)]);
+    }
+    return m;
+  }
+  std::int64_t earliest_start(std::int64_t from, std::int64_t duration,
+                              std::int64_t procs) const {
+    for (std::int64_t t = from;
+         t + duration <= std::int64_t(avail_.size()); ++t) {
+      if (min_available(t, t + duration) >= procs) return t;
+    }
+    return kForever;
+  }
+
+ private:
+  std::vector<std::int64_t> avail_;
+};
+
+class ProfileProperty : public testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileProperty,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST_P(ProfileProperty, MatchesBruteForceReference) {
+  constexpr std::int64_t kHorizon = 300;
+  constexpr std::int64_t kBase = 16;
+  util::Rng rng(GetParam());
+
+  CapacityProfile profile(kBase);
+  ReferenceProfile reference(kBase, kHorizon);
+
+  // Random usages; track them so some can be removed again.
+  struct Usage {
+    std::int64_t start, end, procs;
+  };
+  std::vector<Usage> usages;
+  for (int op = 0; op < 60; ++op) {
+    const int kind = int(rng.uniform_int(0, 3));
+    if (kind <= 1 || usages.empty()) {
+      Usage u;
+      u.start = rng.uniform_int(0, kHorizon - 2);
+      u.end = u.start + rng.uniform_int(1, 80);
+      u.procs = rng.uniform_int(1, 6);
+      profile.add_usage(u.start, u.end, u.procs);
+      reference.add_usage(u.start, u.end, u.procs);
+      usages.push_back(u);
+    } else if (kind == 2) {
+      const auto idx = std::size_t(
+          rng.uniform_int(0, std::int64_t(usages.size()) - 1));
+      const Usage u = usages[idx];
+      profile.remove_usage(u.start, u.end, u.procs);
+      reference.add_usage(u.start, u.end, -u.procs);
+      usages.erase(usages.begin() + std::ptrdiff_t(idx));
+    } else {
+      // Outage: capacity dip over a window.
+      const std::int64_t at = rng.uniform_int(0, kHorizon - 2);
+      const std::int64_t back = at + rng.uniform_int(1, 40);
+      const std::int64_t nodes = rng.uniform_int(1, 4);
+      profile.add_capacity_delta(at, -nodes);
+      profile.add_capacity_delta(back, nodes);
+      reference.add_capacity_delta(at, -nodes);
+      reference.add_capacity_delta(back, nodes);
+    }
+
+    // Point queries.
+    for (int q = 0; q < 10; ++q) {
+      const std::int64_t t = rng.uniform_int(0, kHorizon - 1);
+      ASSERT_EQ(profile.available_at(t), reference.available_at(t))
+          << "seed=" << GetParam() << " op=" << op << " t=" << t;
+    }
+    // Window queries.
+    for (int q = 0; q < 5; ++q) {
+      const std::int64_t start = rng.uniform_int(0, kHorizon - 2);
+      const std::int64_t end = start + rng.uniform_int(1, 50);
+      ASSERT_EQ(profile.min_available(start, end),
+                reference.min_available(start, std::min(end, kHorizon)))
+          << "seed=" << GetParam() << " op=" << op;
+    }
+    // Earliest-start queries (only meaningful while capacity is
+    // nonnegative everywhere, which random ops guarantee here since we
+    // only remove usages we added).
+    for (int q = 0; q < 3; ++q) {
+      const std::int64_t from = rng.uniform_int(0, kHorizon / 2);
+      const std::int64_t duration = rng.uniform_int(1, 30);
+      const std::int64_t procs = rng.uniform_int(1, kBase);
+      const auto got = profile.earliest_start(from, duration, procs);
+      const auto want = reference.earliest_start(from, duration, procs);
+      // The reference cannot see beyond the horizon; compare only when
+      // it found an in-horizon answer, and otherwise require the
+      // profile's answer to also lie beyond the reference's view.
+      if (want != kForever) {
+        ASSERT_EQ(got, want) << "seed=" << GetParam() << " op=" << op;
+      } else {
+        ASSERT_GE(got, kHorizon - duration + 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::sched

@@ -1,0 +1,136 @@
+#include "sched/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::sched {
+namespace {
+
+TEST(Profile, EmptyProfileFullyAvailable) {
+  CapacityProfile p(64);
+  EXPECT_EQ(p.available_at(0), 64);
+  EXPECT_EQ(p.available_at(1000000), 64);
+  EXPECT_EQ(p.min_available(0, kForever), 64);
+  EXPECT_EQ(p.earliest_start(5, 100, 64), 5);
+}
+
+TEST(Profile, UsageSubtracts) {
+  CapacityProfile p(64);
+  p.add_usage(10, 20, 40);
+  EXPECT_EQ(p.available_at(9), 64);
+  EXPECT_EQ(p.available_at(10), 24);
+  EXPECT_EQ(p.available_at(19), 24);
+  EXPECT_EQ(p.available_at(20), 64);
+}
+
+TEST(Profile, RemoveIsExactInverse) {
+  CapacityProfile p(64);
+  p.add_usage(10, 20, 40);
+  p.add_usage(15, 25, 10);
+  p.remove_usage(10, 20, 40);
+  p.remove_usage(15, 25, 10);
+  for (std::int64_t t : {0, 10, 15, 20, 25, 30}) {
+    EXPECT_EQ(p.available_at(t), 64) << t;
+  }
+}
+
+TEST(Profile, MinAvailableOverWindow) {
+  CapacityProfile p(64);
+  p.add_usage(10, 20, 30);
+  p.add_usage(15, 30, 20);
+  EXPECT_EQ(p.min_available(0, 10), 64);
+  EXPECT_EQ(p.min_available(0, 16), 14);  // overlap 15..20 -> 64-50
+  EXPECT_EQ(p.min_available(20, 30), 44);
+  EXPECT_EQ(p.min_available(30, 40), 64);
+}
+
+TEST(Profile, FitsBoundary) {
+  CapacityProfile p(10);
+  p.add_usage(100, 200, 10);
+  EXPECT_TRUE(p.fits(0, 100, 10));    // [0,100) just misses the block
+  EXPECT_FALSE(p.fits(0, 101, 10));
+  EXPECT_TRUE(p.fits(200, 50, 10));   // starts as block ends
+}
+
+TEST(Profile, EarliestStartSkipsBusyWindows) {
+  CapacityProfile p(10);
+  p.add_usage(0, 100, 8);
+  // 4 procs fit immediately (10-8=2 is too few? no: need 4 > 2).
+  EXPECT_EQ(p.earliest_start(0, 10, 2), 0);
+  EXPECT_EQ(p.earliest_start(0, 10, 4), 100);
+  EXPECT_EQ(p.earliest_start(0, 10, 10), 100);
+}
+
+TEST(Profile, EarliestStartFindsGapBetweenBlocks) {
+  CapacityProfile p(10);
+  p.add_usage(0, 50, 10);
+  p.add_usage(100, 200, 10);
+  EXPECT_EQ(p.earliest_start(0, 50, 5), 50);   // fits in [50,100)
+  EXPECT_EQ(p.earliest_start(0, 60, 5), 200);  // gap too short
+}
+
+TEST(Profile, EarliestStartImpossibleReturnsForever) {
+  CapacityProfile p(10);
+  EXPECT_EQ(p.earliest_start(0, 10, 11), kForever);
+  p.add_usage(0, kForever, 5);
+  EXPECT_EQ(p.earliest_start(0, 10, 6), kForever);
+}
+
+TEST(Profile, OpenEndedUsage) {
+  CapacityProfile p(10);
+  p.add_usage(50, kForever, 4);
+  EXPECT_EQ(p.available_at(49), 10);
+  EXPECT_EQ(p.available_at(1000000), 6);
+  // A 100s window for 8 procs always overlaps t>=50 where only 6
+  // remain, so it can never be placed.
+  EXPECT_EQ(p.earliest_start(0, 100, 8), kForever);
+  // 6 procs fit anywhere.
+  EXPECT_EQ(p.earliest_start(0, 100, 6), 0);
+}
+
+TEST(Profile, OpenEndedUsageBlocksLateStarts) {
+  CapacityProfile p(10);
+  p.add_usage(50, kForever, 4);
+  EXPECT_EQ(p.earliest_start(0, 50, 8), 0);      // [0,50) ok
+  EXPECT_EQ(p.earliest_start(10, 50, 8), kForever);
+}
+
+TEST(Profile, CapacityDelta) {
+  CapacityProfile p(10);
+  p.add_capacity_delta(100, -4);  // outage: 4 nodes down from t=100
+  p.add_capacity_delta(200, +4);  // repair
+  EXPECT_EQ(p.available_at(50), 10);
+  EXPECT_EQ(p.available_at(150), 6);
+  EXPECT_EQ(p.available_at(250), 10);
+}
+
+TEST(Profile, CompactBeforePreservesFuture) {
+  CapacityProfile p(10);
+  p.add_usage(0, 100, 3);
+  p.add_usage(50, 150, 2);
+  const auto avail_at_120 = p.available_at(120);
+  const auto avail_at_200 = p.available_at(200);
+  p.compact_before(110);
+  EXPECT_EQ(p.available_at(120), avail_at_120);
+  EXPECT_EQ(p.available_at(200), avail_at_200);
+}
+
+TEST(Profile, ZeroDurationAlwaysFits) {
+  CapacityProfile p(1);
+  p.add_usage(0, kForever, 1);
+  EXPECT_TRUE(p.fits(5, 0, 1));
+}
+
+TEST(Profile, NegativeCapacityThrows) {
+  EXPECT_THROW(CapacityProfile(-1), std::invalid_argument);
+}
+
+TEST(Profile, ToStringRendersSteps) {
+  CapacityProfile p(4);
+  p.add_usage(10, 20, 2);
+  const auto s = p.to_string();
+  EXPECT_NE(s.find("t>=10: 2"), std::string::npos);
+  EXPECT_NE(s.find("t>=20: 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pjsb::sched

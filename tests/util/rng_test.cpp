@@ -1,0 +1,193 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace pjsb::util {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 1;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.1);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, GammaMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.gamma(4.0, 2.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, ErlangMeanAndShape) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  const int k = 4;
+  const double rate = 0.5;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.erlang(k, rate);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, k / rate, 0.3);          // 8
+  EXPECT_NEAR(var, k / (rate * rate), 2.0);  // 16
+}
+
+TEST(Rng, HyperExponentialBranches) {
+  Rng rng(19);
+  // With p=1, always branch 1.
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.hyper_exponential(1.0, 1.0, 100.0);
+  EXPECT_NEAR(sum / n, 1.0, 0.1);
+}
+
+TEST(Rng, HyperGammaMixture) {
+  Rng rng(23);
+  // p=0 -> always second branch gamma(2, 3), mean 6.
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.hyper_gamma(0.0, 9, 9, 2.0, 3.0);
+  EXPECT_NEAR(sum / n, 6.0, 0.3);
+}
+
+TEST(Rng, HyperErlangValidation) {
+  Rng rng(29);
+  std::array<double, 2> probs{0.5, 0.5};
+  std::array<double, 1> rates{1.0};
+  EXPECT_THROW(rng.hyper_erlang(probs, rates, 2), std::invalid_argument);
+}
+
+TEST(Rng, ZipfFavorsSmallRanks) {
+  Rng rng(31);
+  int ones = 0, tens = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.zipf(10, 1.0);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10);
+    if (v == 1) ++ones;
+    if (v == 10) ++tens;
+  }
+  EXPECT_GT(ones, 5 * tens);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(37);
+  std::array<int, 5> counts{};
+  const int n = 25000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[std::size_t(rng.zipf(5, 0.0) - 1)];
+  }
+  for (int c : counts) EXPECT_NEAR(double(c) / n, 0.2, 0.03);
+}
+
+TEST(Rng, CategoricalProportions) {
+  Rng rng(41);
+  std::array<double, 3> w{1.0, 2.0, 1.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(double(counts[1]) / n, 0.5, 0.03);
+  EXPECT_NEAR(double(counts[0]) / n, 0.25, 0.03);
+}
+
+TEST(Rng, CategoricalEmptyThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+}
+
+TEST(Rng, TwoStageUniformRespectsBounds) {
+  Rng rng(43);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.two_stage_uniform(1.0, 3.0, 7.0, 0.7);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, TwoStageUniformFirstStageProbability) {
+  Rng rng(47);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.two_stage_uniform(0.0, 1.0, 2.0, 0.8) < 1.0) ++low;
+  }
+  EXPECT_NEAR(double(low) / n, 0.8, 0.02);
+}
+
+TEST(Rng, DeriveSeedSeparatesStreams) {
+  const auto s1 = derive_seed(42, 1);
+  const auto s2 = derive_seed(42, 2);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(s1, derive_seed(42, 1));
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(53);
+  int below = 0;
+  const int n = 20000;
+  const double mu = std::log(100.0);
+  for (int i = 0; i < n; ++i) {
+    if (rng.lognormal(mu, 1.0) < 100.0) ++below;
+  }
+  EXPECT_NEAR(double(below) / n, 0.5, 0.02);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(59);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, 5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+}  // namespace
+}  // namespace pjsb::util

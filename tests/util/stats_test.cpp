@@ -1,0 +1,177 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pjsb::util {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, SortedInterpolation) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.125), 15.0);
+}
+
+TEST(Percentile, Empty) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+TEST(Summarize, Basic) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-3.0);   // clamps into bin 0
+  h.add(0.5);
+  h.add(9.99);
+  h.add(42.0);   // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Histogram, InvalidArgs) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Ranking, OrdersAscending) {
+  std::vector<double> scores{3.0, 1.0, 2.0};
+  const auto r = ranking_of(scores);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 1u);
+  EXPECT_EQ(r[1], 2u);
+  EXPECT_EQ(r[2], 0u);
+}
+
+TEST(Kendall, IdenticalRankingsZero) {
+  std::vector<std::size_t> a{0, 1, 2, 3};
+  EXPECT_EQ(kendall_discordant_pairs(a, a), 0u);
+}
+
+TEST(Kendall, ReversedRankingsAllDiscordant) {
+  std::vector<std::size_t> a{0, 1, 2, 3};
+  std::vector<std::size_t> b{3, 2, 1, 0};
+  EXPECT_EQ(kendall_discordant_pairs(a, b), 6u);  // C(4,2)
+}
+
+TEST(Kendall, SingleSwap) {
+  std::vector<std::size_t> a{0, 1, 2};
+  std::vector<std::size_t> b{1, 0, 2};
+  EXPECT_EQ(kendall_discordant_pairs(a, b), 1u);
+}
+
+TEST(Kendall, SizeMismatchThrows) {
+  std::vector<std::size_t> a{0, 1};
+  std::vector<std::size_t> b{0};
+  EXPECT_THROW(kendall_discordant_pairs(a, b), std::invalid_argument);
+}
+
+TEST(Ks, IdenticalSamplesZero) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+}
+
+TEST(Ks, DisjointSamplesOne) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{10, 11, 12};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(Ks, KnownHalfOverlap) {
+  std::vector<double> a{1, 2};
+  std::vector<double> b{2, 3};
+  // CDFs diverge maximally by 0.5 between 1 and 2.
+  EXPECT_NEAR(ks_statistic(a, b), 0.5, 1e-12);
+}
+
+TEST(Ks, SymmetricAndBounded) {
+  std::vector<double> a{1, 5, 9, 13};
+  std::vector<double> b{2, 4, 8, 20, 30};
+  const double d1 = ks_statistic(a, b);
+  const double d2 = ks_statistic(b, a);
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_GE(d1, 0.0);
+  EXPECT_LE(d1, 1.0);
+}
+
+TEST(Ks, EmptyThrows) {
+  std::vector<double> a{1.0};
+  EXPECT_THROW(ks_statistic(a, {}), std::invalid_argument);
+  EXPECT_THROW(ks_statistic({}, a), std::invalid_argument);
+}
+
+TEST(Cv, KnownValue) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // mean 5, sample stddev sqrt(32/7).
+  EXPECT_NEAR(coefficient_of_variation(xs), std::sqrt(32.0 / 7.0) / 5.0,
+              1e-12);
+}
+
+TEST(Cv, DegenerateZero) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({}), 0.0);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(zeros), 0.0);
+}
+
+}  // namespace
+}  // namespace pjsb::util

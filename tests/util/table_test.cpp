@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pjsb::util {
+namespace {
+
+TEST(Table, RenderContainsCells) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(3.14159, 2);
+  t.row().cell("beta").cell(std::int64_t{42});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell("y");
+  EXPECT_EQ(t.to_csv(), "a,b\nx,y\n");
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell("y");
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "y");
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"only"});
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("overflow"), std::logic_error);
+}
+
+TEST(Table, EmptyHeadersThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, PrintToStream) {
+  Table t({"h"});
+  t.row().cell("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(FormatDuration, Shapes) {
+  EXPECT_EQ(format_duration(5), "5s");
+  EXPECT_EQ(format_duration(65), "1m05s");
+  EXPECT_EQ(format_duration(3600), "1h00m");
+  EXPECT_EQ(format_duration(7325), "2h02m");
+  EXPECT_EQ(format_duration(-65), "-1m05s");
+}
+
+}  // namespace
+}  // namespace pjsb::util

@@ -1,0 +1,85 @@
+#include "util/time_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::util {
+namespace {
+
+TEST(TimeUtil, EpochRoundTrip) {
+  const CivilTime ct = from_unix_seconds(0);
+  EXPECT_EQ(ct.year, 1970);
+  EXPECT_EQ(ct.month, 1);
+  EXPECT_EQ(ct.day, 1);
+  EXPECT_EQ(to_unix_seconds(ct), 0);
+}
+
+TEST(TimeUtil, KnownDate) {
+  // 1 Dec 1998 22:00:00 UTC = 912549600.
+  const CivilTime ct{1998, 12, 1, 22, 0, 0};
+  EXPECT_EQ(to_unix_seconds(ct), 912549600);
+  EXPECT_EQ(from_unix_seconds(912549600), ct);
+}
+
+TEST(TimeUtil, DayOfWeek) {
+  EXPECT_EQ(day_of_week(0), 4);          // 1970-01-01 was Thursday
+  EXPECT_EQ(day_of_week(912549600), 2);  // 1998-12-01 was Tuesday
+}
+
+TEST(TimeUtil, FormatMatchesStandardExample) {
+  // The standard's own example: "Tuesday, 1 Dec 1998, 22:00:00".
+  EXPECT_EQ(format_swf_time(912549600), "Tuesday, 1 Dec 1998, 22:00:00");
+}
+
+TEST(TimeUtil, ParseStandardExample) {
+  const auto t = parse_swf_time("Tuesday, 1 Dec 1998, 22:00:00");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, 912549600);
+}
+
+TEST(TimeUtil, ParseFormatRoundTrip) {
+  for (std::int64_t t : {0LL, 912549600LL, 1234567890LL, 86399LL}) {
+    const auto parsed = parse_swf_time(format_swf_time(t));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(TimeUtil, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_swf_time(""));
+  EXPECT_FALSE(parse_swf_time("not a date"));
+  EXPECT_FALSE(parse_swf_time("Tuesday, 1 Foo 1998, 22:00:00"));
+  EXPECT_FALSE(parse_swf_time("Tuesday, 1 Dec 1998"));
+  EXPECT_FALSE(parse_swf_time("Tuesday, 1 Dec 1998, 25:00:00"));
+  EXPECT_FALSE(parse_swf_time("Tuesday, 41 Dec 1998, 22:00:00"));
+}
+
+TEST(TimeUtil, ParseIgnoresWeekdayName) {
+  // The weekday is accepted but the date wins.
+  const auto t = parse_swf_time("Friday, 1 Dec 1998, 22:00:00");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(*t, 912549600);
+}
+
+TEST(TimeUtil, SecondsIntoDay) {
+  EXPECT_EQ(seconds_into_day(0), 0);
+  EXPECT_EQ(seconds_into_day(86399), 86399);
+  EXPECT_EQ(seconds_into_day(86400), 0);
+  EXPECT_EQ(seconds_into_day(90000), 3600);
+}
+
+TEST(TimeUtil, LeapYearHandling) {
+  // 29 Feb 2000 existed.
+  const CivilTime leap{2000, 2, 29, 12, 0, 0};
+  const auto t = to_unix_seconds(leap);
+  EXPECT_EQ(from_unix_seconds(t), leap);
+}
+
+TEST(TimeUtil, DaysFromCivilInverse) {
+  for (std::int64_t d : {-1000LL, 0LL, 1LL, 10000LL, 20000LL}) {
+    const CivilTime ct = civil_from_days(d);
+    EXPECT_EQ(days_from_civil(ct.year, ct.month, ct.day), d);
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::util

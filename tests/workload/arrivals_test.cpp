@@ -1,0 +1,81 @@
+#include "workload/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/time_util.hpp"
+
+namespace pjsb::workload {
+namespace {
+
+TEST(Poisson, MeanInterarrival) {
+  util::Rng rng(1);
+  PoissonArrivals arrivals(120.0);
+  std::int64_t prev = 0, last = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    last = arrivals.next(rng);
+    EXPECT_GE(last, prev);
+    prev = last;
+  }
+  EXPECT_NEAR(double(last) / n, 120.0, 5.0);
+}
+
+TEST(Poisson, RejectsNonPositiveMean) {
+  EXPECT_THROW(PoissonArrivals(0.0), std::invalid_argument);
+  EXPECT_THROW(PoissonArrivals(-5.0), std::invalid_argument);
+}
+
+TEST(Poisson, ResetRestartsClock) {
+  util::Rng rng(2);
+  PoissonArrivals arrivals(100.0);
+  arrivals.next(rng);
+  arrivals.reset(5000);
+  EXPECT_GE(arrivals.next(rng), 5000);
+}
+
+TEST(DailyCycle, ProfilesNormalized) {
+  const auto flat = DailyCycle::flat();
+  EXPECT_DOUBLE_EQ(flat.max_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(flat.mean_weight(), 1.0);
+  const auto prod = DailyCycle::production();
+  EXPECT_GT(prod.max_weight(), prod.mean_weight());
+  // Peak afternoon, trough early morning.
+  EXPECT_GT(prod.weights[14], prod.weights[4] * 3);
+}
+
+TEST(DailyCycleArrivals, MeanRatePreserved) {
+  util::Rng rng(3);
+  DailyCycleArrivals arrivals(120.0, DailyCycle::production());
+  std::int64_t last = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) last = arrivals.next(rng);
+  // Long-run mean interarrival should match the configured mean.
+  EXPECT_NEAR(double(last) / n, 120.0, 8.0);
+}
+
+TEST(DailyCycleArrivals, DaytimeBusierThanNight) {
+  util::Rng rng(4);
+  DailyCycleArrivals arrivals(300.0, DailyCycle::production());
+  std::array<int, 24> per_hour{};
+  for (int i = 0; i < 40000; ++i) {
+    const auto t = arrivals.next(rng);
+    ++per_hour[std::size_t(util::seconds_into_day(t) / 3600)];
+  }
+  const int afternoon = per_hour[13] + per_hour[14] + per_hour[15];
+  const int night = per_hour[3] + per_hour[4] + per_hour[5];
+  EXPECT_GT(afternoon, 3 * night);
+}
+
+TEST(DailyCycleArrivals, MonotoneTimes) {
+  util::Rng rng(5);
+  DailyCycleArrivals arrivals(60.0, DailyCycle::production());
+  std::int64_t prev = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto t = arrivals.next(rng);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::workload

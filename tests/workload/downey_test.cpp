@@ -1,0 +1,112 @@
+#include "workload/downey97.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::workload {
+namespace {
+
+DowneyJob make_job(double A, double sigma, double work = 1000.0) {
+  DowneyJob j;
+  j.avg_parallelism = A;
+  j.sigma = sigma;
+  j.work = work;
+  return j;
+}
+
+TEST(DowneySpeedup, SerialBaseline) {
+  for (double sigma : {0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(make_job(16, sigma).speedup(1.0), 1.0) << sigma;
+  }
+}
+
+TEST(DowneySpeedup, ZeroVarianceIsIdealUpToA) {
+  const auto j = make_job(16, 0.0);
+  EXPECT_DOUBLE_EQ(j.speedup(8.0), 8.0);
+  EXPECT_DOUBLE_EQ(j.speedup(16.0), 16.0);
+  EXPECT_DOUBLE_EQ(j.speedup(64.0), 16.0);  // saturates at A
+}
+
+TEST(DowneySpeedup, MonotoneNondecreasing) {
+  for (double sigma : {0.2, 0.8, 1.0, 1.5, 3.0}) {
+    const auto j = make_job(24, sigma);
+    double prev = 0.0;
+    for (int n = 1; n <= 128; ++n) {
+      const double s = j.speedup(double(n));
+      EXPECT_GE(s, prev - 1e-9) << "sigma=" << sigma << " n=" << n;
+      prev = s;
+    }
+  }
+}
+
+TEST(DowneySpeedup, SaturatesAtAvgParallelism) {
+  for (double sigma : {0.3, 1.0, 2.5}) {
+    const auto j = make_job(10, sigma);
+    EXPECT_NEAR(j.speedup(1000.0), 10.0, 1e-9);
+    for (int n = 1; n <= 1000; n *= 2) {
+      EXPECT_LE(j.speedup(double(n)), 10.0 + 1e-9);
+    }
+  }
+}
+
+TEST(DowneySpeedup, HigherVarianceLowerSpeedup) {
+  const auto lo = make_job(32, 0.2);
+  const auto hi = make_job(32, 2.0);
+  for (int n = 2; n <= 32; n *= 2) {
+    EXPECT_GT(lo.speedup(double(n)), hi.speedup(double(n)));
+  }
+}
+
+TEST(DowneyRuntime, InverseOfSpeedup) {
+  const auto j = make_job(8, 0.5, 800.0);
+  EXPECT_DOUBLE_EQ(j.runtime_on(1), 800.0);
+  EXPECT_NEAR(j.runtime_on(8) * j.speedup(8.0), 800.0, 1e-9);
+}
+
+TEST(DowneyBestAllocation, MoreProcsNeverWorse) {
+  const auto j = make_job(16, 0.5);
+  const auto best = j.best_allocation(64);
+  EXPECT_GE(best, 1);
+  EXPECT_LE(best, 64);
+  EXPECT_LE(j.runtime_on(best), j.runtime_on(1));
+  // Ties break to fewer processors: with saturation at A-ish levels the
+  // best allocation should not exceed the saturation point by much.
+  EXPECT_LE(best, 2 * 16);
+}
+
+TEST(DowneyBestAllocation, RespectsMachineLimit) {
+  const auto j = make_job(100, 0.0);
+  EXPECT_EQ(j.best_allocation(8), 8);
+}
+
+TEST(DowneyGenerate, DetailedAndRigidAgree) {
+  util::Rng rng(3);
+  ModelConfig config;
+  config.jobs = 300;
+  config.machine_nodes = 128;
+  const auto w = generate_downey97_detailed(Downey97Params{}, config, rng);
+  EXPECT_EQ(w.moldable.size(), 300u);
+  EXPECT_EQ(w.rigid_trace.records.size(), 300u);
+  for (const auto& m : w.moldable) {
+    EXPECT_GE(m.avg_parallelism, 1.0);
+    EXPECT_LE(m.avg_parallelism, 128.0);
+    EXPECT_GT(m.work, 0.0);
+    EXPECT_GE(m.sigma, 0.0);
+  }
+}
+
+TEST(DowneyGenerate, WorkWithinConfiguredRange) {
+  util::Rng rng(4);
+  Downey97Params params;
+  params.work_lo = 100.0;
+  params.work_hi = 1000.0;
+  ModelConfig config;
+  config.jobs = 200;
+  const auto w = generate_downey97_detailed(params, config, rng);
+  for (const auto& m : w.moldable) {
+    EXPECT_GE(m.work, 100.0 * 0.99);
+    EXPECT_LE(m.work, 1000.0 * 1.01);
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::workload

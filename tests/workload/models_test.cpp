@@ -1,0 +1,258 @@
+#include "workload/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/jann97.hpp"
+
+#include "core/swf/validator.hpp"
+#include "core/swf/writer.hpp"
+#include "core/swf/reader.hpp"
+
+namespace pjsb::workload {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig c;
+  c.jobs = 800;
+  c.machine_nodes = 128;
+  c.mean_interarrival = 300;
+  return c;
+}
+
+class AllModels : public testing::TestWithParam<ModelKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, AllModels, testing::ValuesIn(all_models()),
+    [](const testing::TestParamInfo<ModelKind>& info) {
+      return model_name(info.param);
+    });
+
+TEST_P(AllModels, ProducesRequestedJobCount) {
+  util::Rng rng(1);
+  const auto trace = generate(GetParam(), small_config(), rng);
+  EXPECT_EQ(trace.records.size(), 800u);
+}
+
+TEST_P(AllModels, OutputIsStandardClean) {
+  util::Rng rng(2);
+  const auto trace = generate(GetParam(), small_config(), rng);
+  const auto report = swf::validate(trace);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST_P(AllModels, SubmitTimesAscendAndJobsNumbered) {
+  util::Rng rng(3);
+  const auto trace = generate(GetParam(), small_config(), rng);
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    EXPECT_EQ(trace.records[i].job_number, std::int64_t(i + 1));
+    if (i > 0) {
+      EXPECT_GE(trace.records[i].submit_time,
+                trace.records[i - 1].submit_time);
+    }
+  }
+}
+
+TEST_P(AllModels, SizesWithinMachine) {
+  util::Rng rng(4);
+  const auto config = small_config();
+  const auto trace = generate(GetParam(), config, rng);
+  for (const auto& r : trace.records) {
+    EXPECT_GE(r.allocated_procs, 1);
+    EXPECT_LE(r.allocated_procs, config.machine_nodes);
+    EXPECT_GE(r.run_time, 1);
+    EXPECT_LE(r.run_time, config.max_runtime);
+  }
+}
+
+TEST_P(AllModels, EstimatesAreUpperBounds) {
+  util::Rng rng(5);
+  const auto trace = generate(GetParam(), small_config(), rng);
+  for (const auto& r : trace.records) {
+    EXPECT_GE(r.requested_time, r.run_time);
+  }
+}
+
+TEST_P(AllModels, DeterministicBySeed) {
+  util::Rng a(42), b(42);
+  const auto ta = generate(GetParam(), small_config(), a);
+  const auto tb = generate(GetParam(), small_config(), b);
+  EXPECT_EQ(ta.records, tb.records);
+}
+
+TEST_P(AllModels, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  const auto ta = generate(GetParam(), small_config(), a);
+  const auto tb = generate(GetParam(), small_config(), b);
+  EXPECT_NE(ta.records, tb.records);
+}
+
+TEST_P(AllModels, HeaderDescribesModel) {
+  util::Rng rng(6);
+  const auto config = small_config();
+  const auto trace = generate(GetParam(), config, rng);
+  EXPECT_EQ(trace.header.max_nodes, config.machine_nodes);
+  EXPECT_EQ(trace.header.max_runtime, config.max_runtime);
+  ASSERT_TRUE(trace.header.computer.has_value());
+  EXPECT_NE(trace.header.computer->find("Synthetic"), std::string::npos);
+}
+
+TEST_P(AllModels, RoundTripsThroughSwf) {
+  util::Rng rng(7);
+  auto config = small_config();
+  config.jobs = 100;
+  const auto trace = generate(GetParam(), config, rng);
+  const auto back = swf::read_swf_string(swf::write_swf_string(trace));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.trace.records, trace.records);
+}
+
+TEST(Lublin, PowerOfTwoEmphasis) {
+  util::Rng rng(8);
+  auto config = small_config();
+  config.jobs = 4000;
+  const auto trace = generate(ModelKind::kLublin99, config, rng);
+  const auto stats = trace.stats();
+  // Serial + pow2 boosts should put most mass on powers of two.
+  EXPECT_GT(stats.fraction_power_of_two, 0.5);
+  EXPECT_GT(stats.fraction_serial, 0.15);
+}
+
+TEST(Lublin, InteractiveJobsAreShort) {
+  util::Rng rng(9);
+  auto config = small_config();
+  config.jobs = 4000;
+  const auto trace = generate(ModelKind::kLublin99, config, rng);
+  double sum_int = 0, sum_batch = 0;
+  std::size_t n_int = 0, n_batch = 0;
+  for (const auto& r : trace.records) {
+    if (r.queue_id == 0) {
+      sum_int += double(r.run_time);
+      ++n_int;
+    } else {
+      sum_batch += double(r.run_time);
+      ++n_batch;
+    }
+  }
+  ASSERT_GT(n_int, 100u);
+  ASSERT_GT(n_batch, 100u);
+  EXPECT_LT(sum_int / double(n_int), sum_batch / double(n_batch));
+}
+
+TEST(Feitelson96, SmallJobsDominate) {
+  util::Rng rng(10);
+  auto config = small_config();
+  config.jobs = 4000;
+  const auto trace = generate(ModelKind::kFeitelson96, config, rng);
+  std::size_t small = 0;
+  for (const auto& r : trace.records) {
+    if (r.allocated_procs <= 8) ++small;
+  }
+  EXPECT_GT(double(small) / double(trace.records.size()), 0.5);
+}
+
+TEST(Jann97, HyperErlangMeanMatchesSpec) {
+  util::Rng rng(11);
+  HyperErlangSpec spec;
+  spec.p = 1.0;  // always branch 1
+  spec.order = 3;
+  spec.mean1 = 500.0;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += draw_hyper_erlang(spec, rng);
+  EXPECT_NEAR(sum / n, 500.0, 15.0);
+}
+
+TEST(Jann97, ClassesClampedToMachine) {
+  util::Rng rng(12);
+  auto config = small_config();
+  config.machine_nodes = 32;
+  config.jobs = 1000;
+  const auto trace = generate(ModelKind::kJann97, config, rng);
+  for (const auto& r : trace.records) {
+    EXPECT_LE(r.allocated_procs, 32);
+  }
+}
+
+TEST_P(AllModels, MemoryFieldsPopulated) {
+  util::Rng rng(14);
+  const auto config = small_config();
+  const auto trace = generate(GetParam(), config, rng);
+  ASSERT_EQ(trace.header.max_memory_kb, config.max_memory_kb);
+  for (const auto& r : trace.records) {
+    ASSERT_NE(r.used_memory_kb, swf::kUnknown);
+    EXPECT_GE(r.used_memory_kb, 1);
+    EXPECT_LE(r.used_memory_kb, config.max_memory_kb);
+    EXPECT_GE(r.requested_memory_kb, r.used_memory_kb);
+    EXPECT_LE(r.requested_memory_kb, config.max_memory_kb);
+  }
+}
+
+TEST(PackageJobs, MemoryCanBeDisabled) {
+  util::Rng rng(15);
+  ModelConfig config;
+  config.jobs = 50;
+  config.model_memory = false;
+  std::vector<RawModelJob> raw(config.jobs);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i].submit = std::int64_t(i);
+    raw[i].procs = 1;
+    raw[i].runtime = 60;
+  }
+  const auto trace = package_jobs(std::move(raw), config, "test", rng);
+  for (const auto& r : trace.records) {
+    EXPECT_EQ(r.used_memory_kb, swf::kUnknown);
+    EXPECT_EQ(r.requested_memory_kb, swf::kUnknown);
+  }
+  EXPECT_FALSE(trace.header.max_memory_kb.has_value());
+}
+
+TEST(PackageJobs, LargerJobsUseMoreMemoryPerProcessor) {
+  util::Rng rng(16);
+  ModelConfig config;
+  config.jobs = 4000;
+  config.memory_log_sigma = 0.4;  // tighten noise for the trend check
+  std::vector<RawModelJob> raw(config.jobs);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i].submit = std::int64_t(i);
+    raw[i].procs = (i % 2 == 0) ? 1 : 64;
+    raw[i].runtime = 60;
+  }
+  const auto trace = package_jobs(std::move(raw), config, "test", rng);
+  double serial = 0, wide = 0;
+  std::size_t ns = 0, nw = 0;
+  for (const auto& r : trace.records) {
+    if (r.allocated_procs == 1) {
+      serial += double(r.used_memory_kb);
+      ++ns;
+    } else {
+      wide += double(r.used_memory_kb);
+      ++nw;
+    }
+  }
+  EXPECT_GT(wide / double(nw), serial / double(ns));
+}
+
+TEST(PackageJobs, AssignsZipfIdentities) {
+  util::Rng rng(13);
+  ModelConfig config = small_config();
+  config.jobs = 2000;
+  std::vector<RawModelJob> raw(config.jobs);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i].submit = std::int64_t(i);
+    raw[i].procs = 1;
+    raw[i].runtime = 60;
+  }
+  const auto trace = package_jobs(std::move(raw), config, "test", rng);
+  const auto stats = trace.stats();
+  EXPECT_GT(stats.users, 10u);
+  EXPECT_LE(std::int64_t(stats.users), config.users);
+  // Zipf: user 1 should be much more popular than the median user.
+  std::size_t user1 = 0;
+  for (const auto& r : trace.records) {
+    if (r.user_id == 1) ++user1;
+  }
+  EXPECT_GT(user1, trace.records.size() / std::size_t(config.users));
+}
+
+}  // namespace
+}  // namespace pjsb::workload

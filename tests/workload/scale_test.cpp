@@ -1,0 +1,85 @@
+#include "workload/scale.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/model.hpp"
+
+namespace pjsb::workload {
+namespace {
+
+swf::Trace simple_trace() {
+  swf::Trace t;
+  for (int i = 0; i < 10; ++i) {
+    swf::JobRecord r;
+    r.job_number = i + 1;
+    r.submit_time = i * 100;
+    r.wait_time = 0;
+    r.run_time = 50;
+    r.allocated_procs = 4;
+    r.status = swf::Status::kCompleted;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+TEST(OfferedLoad, KnownValue) {
+  const auto t = simple_trace();
+  // area = 10 * 50 * 4 = 2000; span = 900; nodes = 8 -> 2000/7200
+  EXPECT_NEAR(offered_load(t, 8), 2000.0 / 7200.0, 1e-9);
+}
+
+TEST(OfferedLoad, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(offered_load(swf::Trace{}, 8), 0.0);
+  EXPECT_DOUBLE_EQ(offered_load(simple_trace(), 0), 0.0);
+}
+
+TEST(ScaleInterarrivals, StretchesGaps) {
+  const auto t = simple_trace();
+  const auto scaled = scale_interarrivals(t, 2.0);
+  EXPECT_EQ(scaled.records[0].submit_time, 0);
+  EXPECT_EQ(scaled.records[1].submit_time, 200);
+  EXPECT_EQ(scaled.records[9].submit_time, 1800);
+  // Runtimes and sizes untouched.
+  EXPECT_EQ(scaled.records[5].run_time, 50);
+  EXPECT_EQ(scaled.records[5].allocated_procs, 4);
+  // Wait times reset (they belong to the original schedule).
+  EXPECT_EQ(scaled.records[5].wait_time, swf::kUnknown);
+}
+
+TEST(ScaleInterarrivals, FactorValidation) {
+  EXPECT_THROW(scale_interarrivals(simple_trace(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(scale_interarrivals(simple_trace(), -1.0),
+               std::invalid_argument);
+}
+
+TEST(ScaleToLoad, HitsTarget) {
+  const auto t = simple_trace();
+  const auto scaled = scale_to_load(t, 0.5, 8);
+  EXPECT_NEAR(offered_load(scaled, 8), 0.5, 0.02);
+}
+
+TEST(ScaleToLoad, WorksOnModelOutput) {
+  util::Rng rng(1);
+  ModelConfig config;
+  config.jobs = 1500;
+  config.machine_nodes = 128;
+  auto trace = generate(ModelKind::kLublin99, config, rng);
+  for (double target : {0.3, 0.7, 0.9}) {
+    const auto scaled = scale_to_load(trace, target, 128);
+    EXPECT_NEAR(offered_load(scaled, 128), target, 0.05) << target;
+  }
+}
+
+TEST(ScaleToLoad, PreservesJobCountAndOrder) {
+  const auto t = simple_trace();
+  const auto scaled = scale_to_load(t, 0.9, 8);
+  ASSERT_EQ(scaled.records.size(), t.records.size());
+  for (std::size_t i = 1; i < scaled.records.size(); ++i) {
+    EXPECT_GE(scaled.records[i].submit_time,
+              scaled.records[i - 1].submit_time);
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::workload

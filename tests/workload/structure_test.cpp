@@ -1,0 +1,121 @@
+#include "workload/structure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pjsb::workload {
+namespace {
+
+StructuredJob fixed_job(std::int64_t procs, std::int64_t barriers,
+                        double work) {
+  StructuredJob job;
+  job.processors = procs;
+  job.phases.resize(std::size_t(barriers));
+  for (auto& p : job.phases) p.work.assign(std::size_t(procs), work);
+  return job;
+}
+
+TEST(Structure, DedicatedRuntimeSumsPhaseMaxima) {
+  auto job = fixed_job(4, 10, 2.0);
+  EXPECT_DOUBLE_EQ(job.dedicated_runtime(), 20.0);
+  job.phases[0].work[2] = 5.0;  // one straggler
+  EXPECT_DOUBLE_EQ(job.dedicated_runtime(), 23.0);
+}
+
+TEST(Structure, TotalWork) {
+  const auto job = fixed_job(4, 10, 2.0);
+  EXPECT_DOUBLE_EQ(job.total_work(), 80.0);
+}
+
+TEST(Structure, GeneratorShapes) {
+  util::Rng rng(1);
+  StructureParams params;
+  params.processors = 8;
+  params.barriers = 50;
+  params.granularity = 1.5;
+  params.variance_cv = 0.3;
+  const auto job = generate_structured_job(params, rng);
+  EXPECT_EQ(job.processors, 8);
+  EXPECT_EQ(job.phases.size(), 50u);
+  double total = 0.0;
+  for (const auto& p : job.phases) {
+    EXPECT_EQ(p.work.size(), 8u);
+    for (double w : p.work) {
+      EXPECT_GT(w, 0.0);
+      total += w;
+    }
+  }
+  EXPECT_NEAR(total / (50.0 * 8.0), 1.5, 0.15);  // mean ~ granularity
+}
+
+TEST(Structure, GeneratorRejectsBadParams) {
+  util::Rng rng(2);
+  StructureParams params;
+  params.processors = 0;
+  EXPECT_THROW(generate_structured_job(params, rng),
+               std::invalid_argument);
+}
+
+TEST(Gang, MplOneIsDedicated) {
+  const auto job = fixed_job(4, 10, 2.0);
+  EXPECT_DOUBLE_EQ(gang_runtime(job, 1), job.dedicated_runtime());
+}
+
+TEST(Gang, StretchesLinearly) {
+  const auto job = fixed_job(4, 10, 2.0);
+  EXPECT_DOUBLE_EQ(gang_runtime(job, 3), 3.0 * job.dedicated_runtime());
+}
+
+TEST(Uncoordinated, MplOneIsDedicated) {
+  util::Rng rng(3);
+  const auto job = fixed_job(4, 10, 2.0);
+  EXPECT_DOUBLE_EQ(uncoordinated_runtime(job, 1, 0.1, rng),
+                   job.dedicated_runtime());
+}
+
+TEST(Uncoordinated, NeverFasterThanGang) {
+  util::Rng rng(4);
+  StructureParams params;
+  params.processors = 16;
+  params.barriers = 40;
+  params.granularity = 0.05;  // fine grain
+  params.variance_cv = 0.2;
+  const auto job = generate_structured_job(params, rng);
+  const double gang = gang_runtime(job, 3);
+  const double unco = uncoordinated_runtime(job, 3, 0.1, rng);
+  EXPECT_GE(unco, gang * 0.999);
+}
+
+TEST(Uncoordinated, PenaltyGrowsAsGranularityShrinks) {
+  util::Rng rng(5);
+  auto penalty = [&](double granularity) {
+    StructureParams params;
+    params.processors = 16;
+    params.barriers = 30;
+    params.granularity = granularity;
+    params.variance_cv = 0.1;
+    const auto job = generate_structured_job(params, rng);
+    const double g = gang_runtime(job, 3);
+    const double u = uncoordinated_runtime(job, 3, 0.1, rng);
+    return u / g;
+  };
+  // The [22] claim: gang scheduling's advantage grows for fine-grain
+  // synchronization. Coarse-grain jobs suffer little from
+  // uncoordinated slicing; fine-grain jobs suffer a lot.
+  const double fine = penalty(0.02);   // work << quantum
+  const double coarse = penalty(10.0); // work >> quantum
+  EXPECT_GT(fine, coarse * 1.5);
+  EXPECT_LT(coarse, 1.6);
+}
+
+TEST(Uncoordinated, ValidatesArguments) {
+  util::Rng rng(6);
+  const auto job = fixed_job(2, 2, 1.0);
+  EXPECT_THROW(uncoordinated_runtime(job, 0, 0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(uncoordinated_runtime(job, 2, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(gang_runtime(job, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pjsb::workload
