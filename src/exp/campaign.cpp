@@ -1,0 +1,313 @@
+#include "exp/campaign.hpp"
+
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "sched/factory.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace pjsb::exp {
+
+std::size_t CampaignSpec::cell_count() const {
+  return workloads.size() * schedulers.size() * configs.size() *
+         std::size_t(replications > 0 ? replications : 0);
+}
+
+void CampaignSpec::validate() const {
+  if (workloads.empty()) {
+    throw std::invalid_argument("campaign: no workloads");
+  }
+  if (schedulers.empty()) {
+    throw std::invalid_argument("campaign: no schedulers");
+  }
+  if (configs.empty()) {
+    throw std::invalid_argument("campaign: no configs");
+  }
+  if (replications < 1) {
+    throw std::invalid_argument("campaign: replications must be >= 1");
+  }
+  if (nodes < 0 || nodes > kMaxNodes) {
+    throw std::invalid_argument(
+        "campaign: nodes must be in [1, " + std::to_string(kMaxNodes) +
+        "], or 0 (auto)");
+  }
+  for (const auto& w : workloads) {
+    if (w.label.empty()) {
+      throw std::invalid_argument("campaign: workload has an empty label");
+    }
+    // Labels become bare CSV fields; keep them delimiter-clean rather
+    // than teaching every consumer about quoting.
+    if (w.label.find_first_of(",\"\n\r") != std::string::npos) {
+      throw std::invalid_argument("campaign: workload label '" + w.label +
+                                  "' must not contain commas, quotes or "
+                                  "newlines");
+    }
+    if (!w.model && w.trace_path.empty()) {
+      throw std::invalid_argument("campaign: workload '" + w.label +
+                                  "' has neither a model nor a trace path");
+    }
+    if (w.model && !w.trace_path.empty()) {
+      throw std::invalid_argument("campaign: workload '" + w.label +
+                                  "' sets both a model and a trace path");
+    }
+    if (w.model && w.jobs == 0) {
+      throw std::invalid_argument("campaign: workload '" + w.label +
+                                  "' requests zero jobs");
+    }
+    if (!(w.load >= 0.0 && w.load <= 1.0)) {  // also rejects NaN
+      throw std::invalid_argument("campaign: workload '" + w.label +
+                                  "' load must be in [0, 1]");
+    }
+  }
+  for (const auto& c : configs) {
+    if (c.label.empty()) {
+      throw std::invalid_argument("campaign: config has an empty label");
+    }
+    if (c.label.find_first_of(",\"\n\r") != std::string::npos) {
+      throw std::invalid_argument("campaign: config label '" + c.label +
+                                  "' must not contain commas, quotes or "
+                                  "newlines");
+    }
+  }
+  // Axis entries are identified by label/name in every report table;
+  // duplicates would produce indistinguishable rows (and double-count a
+  // policy in the ranking).
+  std::set<std::string> seen;
+  for (const auto& w : workloads) {
+    if (!seen.insert(w.label).second) {
+      throw std::invalid_argument("campaign: duplicate workload label '" +
+                                  w.label + "'");
+    }
+  }
+  seen.clear();
+  for (const auto& name : schedulers) {
+    // Instantiating canonicalizes aliases ("sjffit" == "sjf-fit",
+    // "gang" == "gang4") and throws on unknown names.
+    if (!seen.insert(sched::make_scheduler(name)->name()).second) {
+      throw std::invalid_argument("campaign: duplicate scheduler '" + name +
+                                  "'");
+    }
+  }
+  seen.clear();
+  std::set<std::tuple<bool, bool, bool>> seen_flags;
+  for (const auto& c : configs) {
+    if (!seen.insert(c.label).second) {
+      throw std::invalid_argument("campaign: duplicate config label '" +
+                                  c.label + "'");
+    }
+    // Dedup on semantics too: "closed+outages" and "outages+closed"
+    // are the same engine configuration under different labels, and
+    // "blind" changes nothing without an outage stream to announce.
+    if (!seen_flags
+             .insert({c.closed_loop, c.outages,
+                      c.outages ? c.deliver_announcements : true})
+             .second) {
+      throw std::invalid_argument(
+          "campaign: config '" + c.label +
+          "' has the same flags as an earlier config");
+    }
+  }
+}
+
+std::vector<CellSpec> expand(const CampaignSpec& spec) {
+  std::vector<CellSpec> cells;
+  cells.reserve(spec.cell_count());
+  std::size_t index = 0;
+  for (std::size_t w = 0; w < spec.workloads.size(); ++w) {
+    for (std::size_t s = 0; s < spec.schedulers.size(); ++s) {
+      for (std::size_t c = 0; c < spec.configs.size(); ++c) {
+        for (int r = 0; r < spec.replications; ++r) {
+          CellSpec cell;
+          cell.index = index;
+          cell.workload = w;
+          cell.scheduler = s;
+          cell.config = c;
+          cell.replication = r;
+          // Seed stream from (workload, replication) only: schedulers
+          // and configs must see identical workloads/outage streams.
+          cell.seed = util::derive_seed(
+              spec.master_seed,
+              w * std::size_t(spec.replications) + std::size_t(r));
+          cells.push_back(cell);
+          ++index;
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("campaign spec line " + std::to_string(line) +
+                              ": " + message);
+}
+
+WorkloadSpec parse_workload(std::string_view value, std::size_t line) {
+  const auto tokens = util::split_ws(value);
+  if (tokens.empty()) fail(line, "empty workload");
+  WorkloadSpec w;
+  const std::string source = util::to_lower(tokens[0]);
+  if (util::starts_with(source, "trace:")) {
+    w.trace_path = std::string(tokens[0].substr(6));
+    if (w.trace_path.empty()) fail(line, "trace: needs a path");
+    // Default label: file name without directories or extension. Keep
+    // the extension when stripping it would leave nothing (dotfiles).
+    std::string base = w.trace_path;
+    if (const auto slash = base.find_last_of('/');
+        slash != std::string::npos) {
+      base = base.substr(slash + 1);
+    }
+    if (const auto dot = base.find_last_of('.');
+        dot != std::string::npos && dot > 0) {
+      base = base.substr(0, dot);
+    }
+    w.label = base;
+  } else {
+    bool found = false;
+    for (const auto kind : workload::all_models()) {
+      if (source == workload::model_name(kind)) {
+        w.model = kind;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string valid;
+      for (const auto kind : workload::all_models()) {
+        if (!valid.empty()) valid += ", ";
+        valid += workload::model_name(kind);
+      }
+      fail(line, "unknown workload source '" + std::string(tokens[0]) +
+                     "' (valid models: " + valid + "; or trace:<path>)");
+    }
+    w.label = source;
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    // Split on the first '=' only: values (labels) may contain '='.
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string_view::npos) {
+      fail(line, "expected key=value, got '" + std::string(tokens[i]) + "'");
+    }
+    const std::string key = util::to_lower(tokens[i].substr(0, eq));
+    const std::string_view val = tokens[i].substr(eq + 1);
+    if (key == "jobs") {
+      if (!w.model) {
+        fail(line, "jobs= applies only to model workloads; trace workloads "
+                   "replay the whole file");
+      }
+      const auto n = util::parse_i64(val);
+      if (!n || *n < 1) fail(line, "jobs must be a positive integer");
+      w.jobs = std::size_t(*n);
+    } else if (key == "load") {
+      const auto f = util::parse_f64(val);
+      if (!f) fail(line, "load must be a number");
+      w.load = *f;
+    } else if (key == "label") {
+      w.label = std::string(val);
+    } else {
+      fail(line, "unknown workload option '" + key + "'");
+    }
+  }
+  return w;
+}
+
+ConfigSpec parse_config(std::string_view value, std::size_t line) {
+  ConfigSpec c;
+  c.label = std::string(util::trim(value));
+  if (c.label.empty()) fail(line, "empty config");
+  std::optional<bool> loop;  // set by open/closed; contradiction is an error
+  for (const auto flag : util::split(c.label, '+')) {
+    const std::string f = util::to_lower(util::trim(flag));
+    if (f == "open" || f == "closed") {
+      const bool closed = (f == "closed");
+      if (loop && *loop != closed) {
+        fail(line, "config '" + c.label + "' is both open and closed");
+      }
+      loop = closed;
+      c.closed_loop = closed;
+    } else if (f == "outages") {
+      c.outages = true;
+    } else if (f == "blind") {
+      c.deliver_announcements = false;
+    } else {
+      fail(line, "unknown config flag '" + f +
+                     "' (valid: open, closed, outages, blind)");
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+CampaignSpec parse_campaign_spec(std::istream& in) {
+  CampaignSpec spec;
+  spec.configs.clear();  // spec files opt into configs explicitly
+  std::string raw;
+  std::size_t line_no = 0;
+  bool seen_replications = false;
+  bool seen_seed = false;
+  bool seen_nodes = false;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = util::trim(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line_no, "expected 'key = value'");
+    }
+    const std::string key = util::to_lower(util::trim(line.substr(0, eq)));
+    const std::string_view value = util::trim(line.substr(eq + 1));
+    if (key == "workload") {
+      spec.workloads.push_back(parse_workload(value, line_no));
+    } else if (key == "scheduler") {
+      if (value.empty()) fail(line_no, "empty scheduler");
+      spec.schedulers.emplace_back(value);
+    } else if (key == "config") {
+      spec.configs.push_back(parse_config(value, line_no));
+    } else if (key == "replications") {
+      // Scalar keys fail loud on re-assignment: last-wins would let a
+      // pasted-together spec silently run the wrong experiment.
+      if (seen_replications) fail(line_no, "replications set twice");
+      seen_replications = true;
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 1 || *n > std::numeric_limits<int>::max()) {
+        fail(line_no, "replications must be >= 1");
+      }
+      spec.replications = int(*n);
+    } else if (key == "seed") {
+      if (seen_seed) fail(line_no, "seed set twice");
+      seen_seed = true;
+      const auto n = util::parse_i64(value);
+      if (!n) fail(line_no, "seed must be an integer");
+      spec.master_seed = std::uint64_t(*n);
+    } else if (key == "nodes") {
+      if (seen_nodes) fail(line_no, "nodes set twice");
+      seen_nodes = true;
+      if (util::to_lower(value) == "auto") {
+        spec.nodes = 0;
+      } else {
+        const auto n = util::parse_i64(value);
+        if (!n || *n < 1) fail(line_no, "nodes must be >= 1, or 'auto'");
+        spec.nodes = *n;
+      }
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (spec.configs.empty()) spec.configs.push_back(ConfigSpec{});
+  spec.validate();
+  return spec;
+}
+
+CampaignSpec parse_campaign_spec_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_campaign_spec(in);
+}
+
+}  // namespace pjsb::exp

@@ -1,0 +1,261 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/outage/generate.hpp"
+#include "core/swf/reader.hpp"
+#include "sched/factory.hpp"
+#include "sim/replay.hpp"
+#include "util/rng.hpp"
+#include "workload/scale.hpp"
+
+namespace pjsb::exp {
+
+namespace {
+
+/// Resolve the simulated machine size for one workload: an explicit
+/// spec.nodes wins; auto (0) defers to the trace's MaxNodes header or
+/// the model-config default, matching sim::replay's behavior.
+std::int64_t effective_nodes(const CampaignSpec& spec,
+                             const WorkloadSpec& wspec,
+                             const swf::Trace* preloaded) {
+  if (spec.nodes > 0) return spec.nodes;
+  if (!wspec.model && preloaded) {
+    return preloaded->header.max_nodes.value_or(sim::kDefaultNodes);
+  }
+  return workload::ModelConfig{}.machine_nodes;
+}
+
+std::size_t count_summary_jobs(const swf::Trace& trace) {
+  return std::size_t(std::count_if(
+      trace.records.begin(), trace.records.end(),
+      [](const swf::JobRecord& r) { return r.is_summary(); }));
+}
+
+/// Load the trace-file workloads once, up front, applying any load
+/// rescaling here (it is deterministic, so the result is shared by all
+/// cells); model workloads get an empty placeholder so the vector stays
+/// index-aligned.
+std::vector<PreloadedWorkload> preload_traces(const CampaignSpec& spec) {
+  std::vector<PreloadedWorkload> traces(spec.workloads.size());
+  for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+    const auto& w = spec.workloads[i];
+    if (w.model) continue;
+    auto result = swf::read_swf_file(w.trace_path);
+    // Non-strict reading skips malformed lines; a trace that still
+    // yielded records is usable (matching swf_tool's convention). Only
+    // a file that produced nothing at all is fatal.
+    if (!result.ok() && result.trace.records.empty()) {
+      std::string detail;
+      const std::size_t shown = std::min<std::size_t>(result.errors.size(), 5);
+      for (std::size_t e = 0; e < shown; ++e) {
+        if (e) detail += "; ";
+        detail += "line " + std::to_string(result.errors[e].line) + ": " +
+                  result.errors[e].message;
+      }
+      if (result.errors.size() > shown) {
+        detail += "; ... (" + std::to_string(result.errors.size() - shown) +
+                  " more)";
+      }
+      throw std::runtime_error("campaign: cannot load trace '" +
+                               w.trace_path + "': " + detail);
+    }
+    if (result.trace.records.empty()) {
+      // An empty or header-only file parses "cleanly" but would fill
+      // the reports with all-zero rows.
+      throw std::runtime_error("campaign: trace '" + w.trace_path +
+                               "' contains no job records");
+    }
+    traces[i].trace = std::move(result.trace);
+    if (w.load > 0.0) {
+      const auto nodes = effective_nodes(spec, w, &traces[i].trace);
+      // scale_to_load silently returns degenerate traces unchanged; a
+      // report claiming a load the run never had would be worse than
+      // failing here.
+      if (workload::offered_load(traces[i].trace, nodes) <= 0.0) {
+        throw std::runtime_error(
+            "campaign: trace '" + w.trace_path +
+            "' has degenerate offered load and cannot be rescaled");
+      }
+      traces[i].trace =
+          workload::scale_to_load(traces[i].trace, w.load, nodes);
+    }
+    traces[i].summary_jobs = count_summary_jobs(traces[i].trace);
+  }
+  return traces;
+}
+
+}  // namespace
+
+CellResult run_cell(const CampaignSpec& spec, const CellSpec& cell,
+                    const std::vector<PreloadedWorkload>& preloaded) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto& wspec = spec.workloads.at(cell.workload);
+  const auto& cspec = spec.configs.at(cell.config);
+  util::Rng rng(cell.seed);
+
+  // 1. Workload: regenerate (and rescale) from the cell seed, or use
+  // the shared preloaded trace, which is already rescaled — no per-cell
+  // copy of trace-file workloads. Cells sharing a (workload,
+  // replication) seed regenerate identical synthetic traces rather
+  // than sharing a cached one: generation is cheap next to simulation,
+  // and this keeps worker memory bounded for large campaigns.
+  swf::Trace generated;
+  const swf::Trace* trace;
+  std::int64_t nodes;
+  std::size_t summary_jobs;
+  if (wspec.model) {
+    nodes = effective_nodes(spec, wspec, nullptr);
+    workload::ModelConfig mconfig;
+    mconfig.jobs = wspec.jobs;
+    mconfig.machine_nodes = nodes;
+    generated = workload::generate(*wspec.model, mconfig, rng);
+    if (wspec.load > 0.0) {
+      if (workload::offered_load(generated, nodes) <= 0.0) {
+        throw std::runtime_error("campaign: workload '" + wspec.label +
+                                 "' has degenerate offered load and cannot "
+                                 "be rescaled");
+      }
+      generated = workload::scale_to_load(generated, wspec.load, nodes);
+    }
+    trace = &generated;
+    summary_jobs = count_summary_jobs(generated);
+  } else {
+    const auto& loaded = preloaded.at(cell.workload);
+    trace = &loaded.trace;
+    summary_jobs = loaded.summary_jobs;
+    nodes = effective_nodes(spec, wspec, trace);
+  }
+
+  // 2. Engine configuration, including a per-cell outage stream.
+  sim::ReplayOptions options;
+  options.nodes = nodes;
+  options.closed_loop = cspec.closed_loop;
+  options.deliver_announcements = cspec.deliver_announcements;
+  outage::OutageLog outages;
+  if (cspec.outages) {
+    outages = outage::generate_failures(outage::FailureModelParams{},
+                                        trace->horizon(), nodes, rng);
+    options.outages = &outages;
+  }
+
+  // 3. Replay and aggregate.
+  const auto replay_result = sim::replay(
+      *trace, sched::make_scheduler(spec.schedulers.at(cell.scheduler)),
+      options);
+
+  CellResult result;
+  result.cell = cell;
+  result.metrics =
+      metrics::compute_report(replay_result.completed, replay_result.stats);
+  result.workload_jobs = summary_jobs;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+CampaignRun run_campaign(const CampaignSpec& spec,
+                         const RunnerOptions& options) {
+  spec.validate();
+  const auto cells = expand(spec);
+  const auto traces = preload_traces(spec);
+
+  CampaignRun run;
+  run.spec = spec;
+  run.cells.resize(cells.size());
+
+  // Trace-file workloads without a generated outage stream never touch
+  // the cell RNG: their replications would be byte-identical re-runs.
+  // Simulate replication 0 only and materialize the copies afterwards.
+  const auto seed_independent = [&](const CellSpec& cell) {
+    return !spec.workloads[cell.workload].model &&
+           !spec.configs[cell.config].outages;
+  };
+  std::vector<std::size_t> work;
+  work.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!(seed_independent(cells[i]) && cells[i].replication > 0)) {
+      work.push_back(i);
+    }
+  }
+
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = int(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = int(std::min<std::size_t>(std::size_t(threads),
+                                      std::max<std::size_t>(work.size(), 1)));
+
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;  // guards first_error, done, progress callback
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t w = next.fetch_add(1, std::memory_order_relaxed);
+      if (w >= work.size()) return;
+      const std::size_t i = work[w];
+      try {
+        run.cells[i] = run_cell(spec, cells[i], traces);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Stop handing out new cells; in-flight cells still finish.
+        next.store(work.size(), std::memory_order_relaxed);
+        continue;
+      }
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(mutex);
+        try {
+          options.progress(++done, work.size());
+        } catch (...) {
+          // A throwing observer must not escape a std::thread body.
+          if (!first_error) first_error = std::current_exception();
+          next.store(work.size(), std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();  // run inline: simpler stacks, and what the tests exercise
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(std::size_t(threads));
+    try {
+      for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    } catch (...) {
+      // Thread creation failed (e.g. EAGAIN): stop the queue and join
+      // what spawned — destroying joinable threads would terminate().
+      next.store(work.size(), std::memory_order_relaxed);
+      for (auto& thread : pool) thread.join();
+      throw;
+    }
+    for (auto& thread : pool) thread.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Materialize the skipped deterministic replications from their
+  // replication-0 sibling (replication is the innermost axis, so the
+  // sibling sits `replication` slots earlier).
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (seed_independent(cells[i]) && cells[i].replication > 0) {
+      run.cells[i] = run.cells[i - std::size_t(cells[i].replication)];
+      run.cells[i].cell = cells[i];
+      run.cells[i].wall_seconds = 0.0;
+    }
+  }
+  return run;
+}
+
+}  // namespace pjsb::exp

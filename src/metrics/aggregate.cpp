@@ -87,15 +87,19 @@ double metric_value(const MetricsReport& report, MetricId id) {
   return 0.0;
 }
 
-double metric_cost(const MetricsReport& report, MetricId id) {
-  const double v = metric_value(report, id);
+bool metric_higher_is_better(MetricId id) {
   switch (id) {
     case MetricId::kUtilization:
     case MetricId::kThroughput:
-      return -v;  // maximize
+      return true;
     default:
-      return v;  // minimize
+      return false;
   }
+}
+
+double metric_cost(const MetricsReport& report, MetricId id) {
+  const double v = metric_value(report, id);
+  return metric_higher_is_better(id) ? -v : v;
 }
 
 }  // namespace pjsb::metrics

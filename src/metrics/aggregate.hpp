@@ -62,6 +62,9 @@ enum class MetricId {
 };
 
 const char* metric_name(MetricId id);
+/// True for metrics where larger values are better (utilization,
+/// throughput); ranking code negates these to get a cost.
+bool metric_higher_is_better(MetricId id);
 /// Value of the metric in the report.
 double metric_value(const MetricsReport& report, MetricId id);
 /// Value oriented so that *smaller is better* for every metric.

@@ -1,5 +1,6 @@
 #include "sched/factory.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "sched/conservative.hpp"
@@ -10,6 +11,34 @@
 #include "util/string_util.hpp"
 
 namespace pjsb::sched {
+
+namespace {
+
+/// Upper bound on gang time-sharing slots: far beyond any published
+/// multiprogramming level, and small enough that the per-slot machine
+/// state cannot blow up from a fat-fingered spec.
+constexpr std::int64_t kMaxGangSlots = 1024;
+
+/// Parse the slot suffix of a lowercase "gangN" name; nullopt when the
+/// name is bare "gang". Throws on a malformed, non-positive or absurd
+/// suffix so "gang-4" / "gang0x8" / "gang100000000" cannot silently
+/// run with default slots or OOM mid-campaign.
+std::optional<int> parse_gang_slots(const std::string& lower_name) {
+  if (lower_name.size() <= 4) return std::nullopt;
+  const std::string suffix = lower_name.substr(4);
+  // parse_i64 trims its token; "gang 8" must stay invalid regardless.
+  const bool has_space =
+      suffix.find_first_of(" \t\r\n\f\v") != std::string::npos;
+  const auto slots = util::parse_i64(suffix);
+  if (has_space || !slots || *slots < 1 || *slots > kMaxGangSlots) {
+    throw std::invalid_argument("bad gang slot count in '" + lower_name +
+                                "'; expected gangN with 1 <= N <= " +
+                                std::to_string(kMaxGangSlots));
+  }
+  return int(*slots);
+}
+
+}  // namespace
 
 std::vector<SchedulerKind> all_scheduler_kinds() {
   return {SchedulerKind::kFcfs, SchedulerKind::kSjf, SchedulerKind::kSjfFit,
@@ -29,6 +58,16 @@ const char* scheduler_kind_name(SchedulerKind kind) {
   return "unknown";
 }
 
+std::string valid_scheduler_names() {
+  std::string names;
+  for (const auto kind : all_scheduler_kinds()) {
+    if (!names.empty()) names += ", ";
+    names += scheduler_kind_name(kind);
+  }
+  names += " (gang accepts a slot count suffix, e.g. gang8)";
+  return names;
+}
+
 SchedulerKind scheduler_kind_from_name(const std::string& name) {
   const std::string n = util::to_lower(name);
   if (n == "fcfs") return SchedulerKind::kFcfs;
@@ -36,8 +75,12 @@ SchedulerKind scheduler_kind_from_name(const std::string& name) {
   if (n == "sjf-fit" || n == "sjffit") return SchedulerKind::kSjfFit;
   if (n == "easy") return SchedulerKind::kEasy;
   if (n == "conservative" || n == "cons") return SchedulerKind::kConservative;
-  if (n.rfind("gang", 0) == 0) return SchedulerKind::kGang;
-  throw std::invalid_argument("unknown scheduler: " + name);
+  if (n.rfind("gang", 0) == 0) {
+    parse_gang_slots(n);  // validates the suffix
+    return SchedulerKind::kGang;
+  }
+  throw std::invalid_argument("unknown scheduler '" + name +
+                              "'; valid names: " + valid_scheduler_names());
 }
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
@@ -63,9 +106,10 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                           const SchedulerParams& params) {
   SchedulerParams p = params;
   const std::string n = util::to_lower(name);
-  if (n.rfind("gang", 0) == 0 && n.size() > 4) {
-    const auto slots = util::parse_i64(n.substr(4));
-    if (slots && *slots >= 1) p.gang_slots = int(*slots);
+  if (n.rfind("gang", 0) == 0) {
+    // Parse (and validate) the slot suffix exactly once.
+    if (const auto slots = parse_gang_slots(n)) p.gang_slots = *slots;
+    return make_scheduler(SchedulerKind::kGang, p);
   }
   return make_scheduler(scheduler_kind_from_name(name), p);
 }

@@ -24,6 +24,10 @@ std::vector<SchedulerKind> all_scheduler_kinds();
 
 const char* scheduler_kind_name(SchedulerKind kind);
 
+/// Human-readable list of accepted scheduler names, for error messages
+/// and CLI help text.
+std::string valid_scheduler_names();
+
 /// Parse a scheduler name ("fcfs", "sjf", "sjf-fit", "easy",
 /// "conservative", "gang" or "gangN"); throws std::invalid_argument on
 /// unknown names.

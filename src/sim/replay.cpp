@@ -6,7 +6,8 @@ ReplayResult replay(const swf::Trace& trace,
                     std::unique_ptr<sched::Scheduler> scheduler,
                     const ReplayOptions& options) {
   EngineConfig config;
-  config.nodes = options.nodes.value_or(trace.header.max_nodes.value_or(128));
+  config.nodes =
+      options.nodes.value_or(trace.header.max_nodes.value_or(kDefaultNodes));
   config.closed_loop = options.closed_loop;
   config.deliver_announcements = options.deliver_announcements;
 

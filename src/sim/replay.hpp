@@ -18,6 +18,10 @@
 
 namespace pjsb::sim {
 
+/// Machine size used when neither the caller nor the trace's MaxNodes
+/// header specifies one.
+inline constexpr std::int64_t kDefaultNodes = 128;
+
 struct ReplayOptions {
   /// Machine size; defaults to the trace's MaxNodes header (128 if the
   /// header is absent).

@@ -1,0 +1,566 @@
+#include "exp/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/swf/writer.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "util/rng.hpp"
+
+namespace pjsb::exp {
+namespace {
+
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  WorkloadSpec lublin;
+  lublin.label = "lublin99";
+  lublin.model = workload::ModelKind::kLublin99;
+  lublin.jobs = 120;
+  WorkloadSpec feitelson;
+  feitelson.label = "feitelson96";
+  feitelson.model = workload::ModelKind::kFeitelson96;
+  feitelson.jobs = 120;
+  spec.workloads = {lublin, feitelson};
+  spec.schedulers = {"fcfs", "easy", "sjf"};
+  ConfigSpec open;
+  ConfigSpec outages;
+  outages.label = "open+outages";
+  outages.outages = true;
+  spec.configs = {open, outages};
+  spec.replications = 2;
+  spec.master_seed = 7;
+  spec.nodes = 64;
+  return spec;
+}
+
+TEST(CampaignSpec, CellCountIsCrossProduct) {
+  const auto spec = small_spec();
+  EXPECT_EQ(spec.cell_count(), 2u * 3u * 2u * 2u);
+}
+
+TEST(CampaignSpec, ValidateRejectsEmptyAxes) {
+  CampaignSpec spec;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.schedulers.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.replications = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.schedulers.push_back("not-a-scheduler");
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.workloads[0].model.reset();  // no model and no trace path
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.workloads[0].trace_path = "also.swf";  // both model and trace
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(CampaignSpec, ValidateRejectsCsvBreakingLabels) {
+  auto spec = small_spec();
+  spec.workloads[0].label = "a,b";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.workloads[0].label = "";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.configs[0].label = "open,outages";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.configs[0].label = "";
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(CampaignSpec, ValidateRejectsDuplicateAxisEntries) {
+  auto spec = small_spec();
+  spec.workloads.push_back(spec.workloads[0]);  // same label
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.schedulers.push_back("FCFS");  // duplicate modulo case
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.schedulers = {"sjf-fit", "sjffit"};  // duplicate modulo alias
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.schedulers = {"gang", "gang4"};  // duplicate modulo default slots
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = small_spec();
+  spec.schedulers = {"gang4", "gang8"};  // genuinely different configs
+  EXPECT_NO_THROW(spec.validate());
+  spec = small_spec();
+  spec.configs.push_back(spec.configs[0]);
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  // Same engine configuration under a different label is still a dup.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99\nscheduler = fcfs\n"
+                   "config = closed+outages\nconfig = outages+closed\n"),
+               std::invalid_argument);
+  // "blind" is a no-op without outages, so these simulate identically.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99\nscheduler = fcfs\n"
+                   "config = open\nconfig = open+blind\n"),
+               std::invalid_argument);
+  // With outages, blind genuinely differs.
+  EXPECT_NO_THROW(parse_campaign_spec_string(
+      "workload = lublin99\nscheduler = fcfs\n"
+      "config = outages\nconfig = outages+blind\n"));
+}
+
+TEST(CampaignSpec, ParseRejectsJobsOnTraceWorkloads) {
+  // jobs= is a model knob; on a trace it would be silently ignored.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = trace:logs/kth.swf jobs=500\n"
+                   "scheduler = fcfs\n"),
+               std::invalid_argument);
+}
+
+TEST(CampaignSpec, ExpandDerivesPairedSeeds) {
+  const auto spec = small_spec();
+  const auto cells = expand(spec);
+  ASSERT_EQ(cells.size(), spec.cell_count());
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    // Seeds depend on (workload, replication) only, so schedulers and
+    // configs are compared on identical sampled workloads.
+    EXPECT_EQ(cells[i].seed,
+              util::derive_seed(spec.master_seed,
+                                cells[i].workload *
+                                        std::size_t(spec.replications) +
+                                    std::size_t(cells[i].replication)));
+    seeds.insert(cells[i].seed);
+  }
+  // One distinct seed per (workload, replication) pair.
+  EXPECT_EQ(seeds.size(),
+            spec.workloads.size() * std::size_t(spec.replications));
+  // Cells differing only in scheduler/config share a seed.
+  for (const auto& a : cells) {
+    for (const auto& b : cells) {
+      if (a.workload == b.workload && a.replication == b.replication) {
+        EXPECT_EQ(a.seed, b.seed);
+      }
+    }
+  }
+  // Replication is the innermost axis.
+  EXPECT_EQ(cells[0].replication, 0);
+  EXPECT_EQ(cells[1].replication, 1);
+  EXPECT_EQ(cells[1].config, cells[0].config);
+  EXPECT_EQ(cells[2].config, cells[0].config + 1);
+}
+
+TEST(CampaignSpec, ParseSpecString) {
+  const auto spec = parse_campaign_spec_string(R"(
+# comment
+; another comment
+workload = lublin99 jobs=500 load=0.7
+workload = trace:logs/kth.swf label=kth
+scheduler = fcfs
+scheduler = gang8
+config = closed+outages+blind
+replications = 3
+seed = 99
+nodes = 256
+)");
+  ASSERT_EQ(spec.workloads.size(), 2u);
+  EXPECT_EQ(spec.workloads[0].label, "lublin99");
+  EXPECT_EQ(spec.workloads[0].model, workload::ModelKind::kLublin99);
+  EXPECT_EQ(spec.workloads[0].jobs, 500u);
+  EXPECT_DOUBLE_EQ(spec.workloads[0].load, 0.7);
+  EXPECT_FALSE(spec.workloads[1].model.has_value());
+  EXPECT_EQ(spec.workloads[1].trace_path, "logs/kth.swf");
+  EXPECT_EQ(spec.workloads[1].label, "kth");
+  ASSERT_EQ(spec.schedulers.size(), 2u);
+  EXPECT_EQ(spec.schedulers[1], "gang8");
+  ASSERT_EQ(spec.configs.size(), 1u);
+  EXPECT_TRUE(spec.configs[0].closed_loop);
+  EXPECT_TRUE(spec.configs[0].outages);
+  EXPECT_FALSE(spec.configs[0].deliver_announcements);
+  EXPECT_EQ(spec.replications, 3);
+  EXPECT_EQ(spec.master_seed, 99u);
+  EXPECT_EQ(spec.nodes, 256);
+}
+
+TEST(CampaignSpec, LabelMayContainEquals) {
+  const auto spec = parse_campaign_spec_string(
+      "workload = lublin99 jobs=20 label=run=1\nscheduler = fcfs\n");
+  EXPECT_EQ(spec.workloads[0].label, "run=1");
+  EXPECT_EQ(spec.workloads[0].jobs, 20u);
+}
+
+TEST(CampaignSpec, TraceDotfileKeepsNonEmptyLabel) {
+  const auto spec = parse_campaign_spec_string(
+      "workload = trace:logs/.hidden\nscheduler = fcfs\n");
+  EXPECT_EQ(spec.workloads[0].label, ".hidden");
+}
+
+TEST(CampaignSpec, ParseNodesAuto) {
+  const auto spec = parse_campaign_spec_string(
+      "workload = jann97 jobs=10\nscheduler = fcfs\nnodes = auto\n");
+  EXPECT_EQ(spec.nodes, 0);  // 0 = auto sentinel
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = jann97 jobs=10\nscheduler = fcfs\n"
+                   "nodes = -3\n"),
+               std::invalid_argument);
+  // Absurd machine sizes must fail validation, not OOM mid-run.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = jann97 jobs=10\nscheduler = fcfs\n"
+                   "nodes = 92233720368547758\n"),
+               std::invalid_argument);
+}
+
+TEST(Runner, DegenerateLoadRescaleThrows) {
+  // A single-job trace has zero submission span, so offered_load is 0
+  // and scale_to_load would silently no-op while reports claim load=.
+  swf::Trace trace;
+  trace.header.max_nodes = 16;
+  swf::JobRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 100;
+  r.allocated_procs = 4;
+  r.status = swf::Status::kCompleted;
+  trace.records = {r};
+  const std::string path = testing::TempDir() + "campaign_degen_test.swf";
+  ASSERT_TRUE(swf::write_swf_file(path, trace));
+
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "degen";
+  w.trace_path = path;
+  w.load = 0.5;
+  spec.workloads = {w};
+  spec.schedulers = {"fcfs"};
+  spec.nodes = 16;
+  EXPECT_THROW(run_campaign(spec, {.threads = 1}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Runner, AutoNodesUsesTraceHeader) {
+  // A trace generated for a 64-node machine, replayed with nodes=auto,
+  // must behave exactly like an explicit nodes=64 campaign.
+  util::Rng rng(11);
+  workload::ModelConfig mconfig;
+  mconfig.jobs = 60;
+  mconfig.machine_nodes = 64;
+  const auto trace =
+      workload::generate(workload::ModelKind::kLublin99, mconfig, rng);
+  ASSERT_EQ(trace.header.max_nodes.value_or(0), 64);
+  const std::string path = testing::TempDir() + "campaign_autonodes.swf";
+  ASSERT_TRUE(swf::write_swf_file(path, trace));
+
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "filetrace";
+  w.trace_path = path;
+  spec.workloads = {w};
+  spec.schedulers = {"fcfs"};
+  spec.nodes = 0;  // auto
+  const auto run_auto = run_campaign(spec, {.threads = 1});
+  spec.nodes = 64;
+  const auto run_explicit = run_campaign(spec, {.threads = 1});
+  ASSERT_EQ(run_auto.cells.size(), 1u);
+  EXPECT_EQ(run_auto.cells[0].metrics.mean_wait,
+            run_explicit.cells[0].metrics.mean_wait);
+  EXPECT_EQ(run_auto.cells[0].metrics.utilization,
+            run_explicit.cells[0].metrics.utilization);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignSpec, ParseDefaultsToOneOpenConfig) {
+  const auto spec = parse_campaign_spec_string(
+      "workload = jann97 jobs=10\nscheduler = fcfs\n");
+  ASSERT_EQ(spec.configs.size(), 1u);
+  EXPECT_EQ(spec.configs[0].label, "open");
+  EXPECT_FALSE(spec.configs[0].closed_loop);
+  EXPECT_FALSE(spec.configs[0].outages);
+}
+
+TEST(CampaignSpec, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_campaign_spec_string("workload lublin99\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_campaign_spec_string("workload = warp9 jobs=5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99 jobs=ten\nscheduler = fcfs\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99\nscheduler = fcfs\nconfig = warp\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_campaign_spec_string("turbo = on\n"),
+               std::invalid_argument);
+  // Contradictory loop flags must not silently resolve last-wins.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99\nscheduler = fcfs\n"
+                   "config = closed+open\n"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(parse_campaign_spec_string(
+      "workload = lublin99\nscheduler = fcfs\n"
+      "config = open+outages+open\n"));
+  // Valid grammar but empty axes must fail validation.
+  EXPECT_THROW(parse_campaign_spec_string("scheduler = fcfs\n"),
+               std::invalid_argument);
+  // Scalar keys must not silently resolve last-wins.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99\nscheduler = fcfs\n"
+                   "seed = 42\nseed = 7\n"),
+               std::invalid_argument);
+}
+
+TEST(Runner, ReplicationsDifferButSameSeedReproduces) {
+  auto spec = small_spec();
+  spec.workloads = {spec.workloads[0]};
+  spec.schedulers = {"easy"};
+  spec.configs = {ConfigSpec{}};
+  spec.replications = 2;
+  const auto run_a = run_campaign(spec, {.threads = 1});
+  const auto run_b = run_campaign(spec, {.threads = 1});
+  ASSERT_EQ(run_a.cells.size(), 2u);
+  // Different replications draw different workloads -> different metrics.
+  EXPECT_NE(run_a.cells[0].metrics.mean_wait,
+            run_a.cells[1].metrics.mean_wait);
+  // Same spec + seed reproduces exactly.
+  EXPECT_EQ(run_a.cells[0].metrics.mean_wait,
+            run_b.cells[0].metrics.mean_wait);
+  EXPECT_EQ(run_a.cells[1].metrics.makespan, run_b.cells[1].metrics.makespan);
+}
+
+// The ISSUE-mandated regression: CSV/JSON reports are byte-identical
+// whether the campaign ran on 1 thread or 8.
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  const auto spec = small_spec();
+  const auto run1 = run_campaign(spec, {.threads = 1});
+  const auto run8 = run_campaign(spec, {.threads = 8});
+  ASSERT_EQ(run1.cells.size(), spec.cell_count());
+  ASSERT_EQ(run8.cells.size(), spec.cell_count());
+
+  const auto report1 = aggregate(run1);
+  const auto report8 = aggregate(run8);
+  EXPECT_EQ(cells_csv(run1), cells_csv(run8));
+  EXPECT_EQ(summary_csv(run1, report1), summary_csv(run8, report8));
+  EXPECT_EQ(to_json(run1, report1), to_json(run8, report8));
+}
+
+TEST(Runner, ProgressReportsEveryCell) {
+  auto spec = small_spec();
+  spec.workloads = {spec.workloads[0]};
+  spec.schedulers = {"fcfs"};
+  spec.configs = {ConfigSpec{}};
+  spec.replications = 3;
+  std::size_t calls = 0;
+  std::size_t last_total = 0;
+  RunnerOptions options;
+  options.threads = 2;
+  options.progress = [&](std::size_t, std::size_t total) {
+    ++calls;
+    last_total = total;
+  };
+  run_campaign(spec, options);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(last_total, 3u);
+}
+
+TEST(Runner, TraceReplicationsWithoutOutagesAreDeduplicated) {
+  // Write a small trace to disk, then run it with 3 replications in a
+  // seed-independent config: all replications must carry identical
+  // metrics (materialized, not re-simulated) and progress must count
+  // only the simulated cells.
+  util::Rng rng(5);
+  workload::ModelConfig mconfig;
+  mconfig.jobs = 80;
+  mconfig.machine_nodes = 64;
+  const auto trace =
+      workload::generate(workload::ModelKind::kLublin99, mconfig, rng);
+  const std::string path =
+      testing::TempDir() + "campaign_dedup_test.swf";
+  ASSERT_TRUE(swf::write_swf_file(path, trace));
+
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "filetrace";
+  w.trace_path = path;
+  spec.workloads = {w};
+  spec.schedulers = {"fcfs"};
+  spec.replications = 3;
+  spec.nodes = 64;
+
+  std::size_t calls = 0;
+  std::size_t total = 0;
+  RunnerOptions options;
+  options.threads = 2;
+  options.progress = [&](std::size_t, std::size_t t) {
+    ++calls;
+    total = t;
+  };
+  const auto run = run_campaign(spec, options);
+  EXPECT_EQ(calls, 1u);  // only replication 0 simulated
+  EXPECT_EQ(total, 1u);
+  ASSERT_EQ(run.cells.size(), 3u);
+  for (const auto& cell : run.cells) {
+    EXPECT_EQ(cell.metrics.mean_wait, run.cells[0].metrics.mean_wait);
+    EXPECT_EQ(cell.metrics.makespan, run.cells[0].metrics.makespan);
+  }
+  EXPECT_EQ(run.cells[2].cell.replication, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Runner, MissingTraceFileThrows) {
+  auto spec = small_spec();
+  WorkloadSpec missing;
+  missing.label = "missing";
+  missing.trace_path = "/nonexistent/trace.swf";
+  spec.workloads = {missing};
+  EXPECT_THROW(run_campaign(spec, {.threads = 1}), std::runtime_error);
+}
+
+TEST(Runner, EmptyTraceFileThrows) {
+  // A file that parses "cleanly" to zero records must not silently
+  // fill the reports with all-zero rows.
+  const std::string path = testing::TempDir() + "campaign_empty_test.swf";
+  {
+    std::ofstream out(path);
+    out << "; SWF header comment only\n";
+  }
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "empty";
+  w.trace_path = path;
+  spec.workloads = {w};
+  spec.schedulers = {"fcfs"};
+  EXPECT_THROW(run_campaign(spec, {.threads = 1}), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Runner, ToleratesRecoverableTraceParseErrors) {
+  // A trace with one malformed line still yields records in non-strict
+  // mode; the campaign must run on what parsed rather than die.
+  util::Rng rng(3);
+  workload::ModelConfig mconfig;
+  mconfig.jobs = 40;
+  mconfig.machine_nodes = 32;
+  const auto trace =
+      workload::generate(workload::ModelKind::kLublin99, mconfig, rng);
+  const std::string path = testing::TempDir() + "campaign_dirty_test.swf";
+  ASSERT_TRUE(swf::write_swf_file(path, trace));
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "this line is not SWF\n";
+  }
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "dirty";
+  w.trace_path = path;
+  spec.workloads = {w};
+  spec.schedulers = {"fcfs"};
+  spec.nodes = 32;
+  const auto run = run_campaign(spec, {.threads = 1});
+  ASSERT_EQ(run.cells.size(), 1u);
+  EXPECT_EQ(run.cells[0].workload_jobs, 40u);
+  std::remove(path.c_str());
+}
+
+TEST(Report, AggregateGroupsReplications) {
+  const auto spec = small_spec();
+  const auto run = run_campaign(spec, {.threads = 4});
+  const auto report = aggregate(run);
+  ASSERT_EQ(report.groups.size(), 2u * 3u * 2u);
+  for (const auto& group : report.groups) {
+    EXPECT_EQ(group.replications, 2u);
+    ASSERT_EQ(group.metrics.size(), report_metrics().size());
+    for (const auto& stats : group.metrics) {
+      EXPECT_EQ(stats.count(), 2u);
+    }
+  }
+  // Group means match the hand-computed mean of the member cells.
+  const auto& g0 = report.groups[0];
+  double wait_sum = 0.0;
+  std::size_t members = 0;
+  for (const auto& cell : run.cells) {
+    if (cell.cell.workload == g0.workload &&
+        cell.cell.scheduler == g0.scheduler &&
+        cell.cell.config == g0.config) {
+      wait_sum += cell.metrics.mean_wait;
+      ++members;
+    }
+  }
+  ASSERT_EQ(members, 2u);
+  EXPECT_NEAR(g0.metrics[0].mean(), wait_sum / 2.0, 1e-9);
+}
+
+TEST(Report, CsvShapes) {
+  const auto spec = small_spec();
+  const auto run = run_campaign(spec, {.threads = 4});
+  const auto report = aggregate(run);
+  const auto cells = cells_csv(run);
+  const auto summary = summary_csv(run, report);
+  // 1 header + one line per cell / per group.
+  EXPECT_EQ(std::count(cells.begin(), cells.end(), '\n'),
+            std::ptrdiff_t(1 + run.cells.size()));
+  EXPECT_EQ(std::count(summary.begin(), summary.end(), '\n'),
+            std::ptrdiff_t(1 + report.groups.size()));
+  EXPECT_NE(cells.find("mean-bounded-slowdown"), std::string::npos);
+  EXPECT_NE(summary.find("mean-wait-ci95"), std::string::npos);
+}
+
+TEST(Report, RankingCoversAllSchedulersOnce) {
+  const auto spec = small_spec();
+  const auto run = run_campaign(spec, {.threads = 4});
+  const auto report = aggregate(run);
+  const auto rankings = rank_schedulers(
+      run, report, metrics::MetricId::kMeanBoundedSlowdown);
+  ASSERT_EQ(rankings.size(), spec.schedulers.size());
+  std::set<std::size_t> seen;
+  std::size_t total_wins = 0;
+  for (const auto& r : rankings) {
+    seen.insert(r.scheduler);
+    total_wins += r.wins;
+    EXPECT_GE(r.mean_rank, 1.0);
+    EXPECT_LE(r.mean_rank, double(spec.schedulers.size()));
+  }
+  EXPECT_EQ(seen.size(), spec.schedulers.size());
+  // At least one win per (workload, config) pair (ties share the win).
+  EXPECT_GE(total_wins, spec.workloads.size() * spec.configs.size());
+  // Ordered best-first.
+  for (std::size_t i = 1; i < rankings.size(); ++i) {
+    EXPECT_LE(rankings[i - 1].mean_rank, rankings[i].mean_rank);
+  }
+}
+
+TEST(Report, RankingSharesTiedRanksAndWins) {
+  // Two schedulers with bit-identical costs must not be separated by
+  // spec order: both take rank 1.5 and both count the win.
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "w";
+  w.model = workload::ModelKind::kLublin99;
+  spec.workloads = {w};
+  spec.schedulers = {"fcfs", "easy"};
+  CampaignRun run;
+  run.spec = spec;
+  for (std::size_t s = 0; s < 2; ++s) {
+    CellResult cell;
+    cell.cell.index = s;
+    cell.cell.scheduler = s;
+    cell.metrics.mean_bounded_slowdown = 7.0;  // identical costs
+    run.cells.push_back(cell);
+  }
+  const auto report = aggregate(run);
+  const auto rankings = rank_schedulers(
+      run, report, metrics::MetricId::kMeanBoundedSlowdown);
+  ASSERT_EQ(rankings.size(), 2u);
+  EXPECT_DOUBLE_EQ(rankings[0].mean_rank, 1.5);
+  EXPECT_DOUBLE_EQ(rankings[1].mean_rank, 1.5);
+  EXPECT_EQ(rankings[0].wins, 1u);
+  EXPECT_EQ(rankings[1].wins, 1u);
+}
+
+}  // namespace
+}  // namespace pjsb::exp

@@ -1,0 +1,96 @@
+#include "sched/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pjsb::sched {
+namespace {
+
+TEST(Factory, NameRoundTripsForAllKinds) {
+  for (const auto kind : all_scheduler_kinds()) {
+    EXPECT_EQ(scheduler_kind_from_name(scheduler_kind_name(kind)), kind)
+        << scheduler_kind_name(kind);
+  }
+}
+
+TEST(Factory, NamesAreCaseInsensitive) {
+  EXPECT_EQ(scheduler_kind_from_name("FCFS"), SchedulerKind::kFcfs);
+  EXPECT_EQ(scheduler_kind_from_name("Easy"), SchedulerKind::kEasy);
+}
+
+TEST(Factory, Aliases) {
+  EXPECT_EQ(scheduler_kind_from_name("sjffit"), SchedulerKind::kSjfFit);
+  EXPECT_EQ(scheduler_kind_from_name("cons"), SchedulerKind::kConservative);
+}
+
+TEST(Factory, GangWithSlotSuffixParses) {
+  EXPECT_EQ(scheduler_kind_from_name("gang"), SchedulerKind::kGang);
+  EXPECT_EQ(scheduler_kind_from_name("gang8"), SchedulerKind::kGang);
+  EXPECT_EQ(scheduler_kind_from_name("gang2"), SchedulerKind::kGang);
+}
+
+TEST(Factory, MakeSchedulerByNameForAllKinds) {
+  for (const auto kind : all_scheduler_kinds()) {
+    const auto scheduler = make_scheduler(scheduler_kind_name(kind));
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_FALSE(scheduler->name().empty());
+  }
+}
+
+TEST(Factory, GangSlotSuffixSetsSlots) {
+  // gang8 and gang2 must build distinct configurations; the scheduler
+  // name reflects the slot count.
+  const auto g8 = make_scheduler("gang8");
+  const auto g2 = make_scheduler("gang2");
+  ASSERT_NE(g8, nullptr);
+  ASSERT_NE(g2, nullptr);
+  EXPECT_EQ(g8->name(), "gang8");
+  EXPECT_NE(g8->name(), g2->name());
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(scheduler_kind_from_name("nope"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("nope"), std::invalid_argument);
+}
+
+TEST(Factory, InvalidGangSuffixThrows) {
+  // A present-but-bad slot suffix must not silently fall back to the
+  // default slot count.
+  EXPECT_THROW(scheduler_kind_from_name("gang0"), std::invalid_argument);
+  EXPECT_THROW(scheduler_kind_from_name("gang-4"), std::invalid_argument);
+  EXPECT_THROW(scheduler_kind_from_name("gangster"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang0x8"), std::invalid_argument);
+  // Out-of-range slot counts must throw, not wrap or OOM later.
+  EXPECT_THROW(scheduler_kind_from_name("gang2147483648"),
+               std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang4294967297"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang100000000"), std::invalid_argument);
+  EXPECT_NO_THROW(make_scheduler("gang1024"));  // at the cap
+  // Whitespace in the suffix must not be trimmed into validity.
+  EXPECT_THROW(scheduler_kind_from_name("gang 8"), std::invalid_argument);
+}
+
+TEST(Factory, UnknownNameErrorListsValidNames) {
+  try {
+    scheduler_kind_from_name("quantum-annealer");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("quantum-annealer"), std::string::npos);
+    for (const auto kind : all_scheduler_kinds()) {
+      EXPECT_NE(message.find(scheduler_kind_name(kind)), std::string::npos)
+          << "error message should mention " << scheduler_kind_name(kind);
+    }
+  }
+}
+
+TEST(Factory, ValidSchedulerNamesMentionsEveryKind) {
+  const std::string names = valid_scheduler_names();
+  for (const auto kind : all_scheduler_kinds()) {
+    EXPECT_NE(names.find(scheduler_kind_name(kind)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::sched

@@ -81,22 +81,7 @@ TEST(Sjf, StrictVariantBlocksOnShortestJob) {
   EXPECT_EQ(find(fit, 3).start, 2);  // non-blocking variant starts it
 }
 
-TEST(Factory, NamesRoundTrip) {
-  for (const auto kind : all_scheduler_kinds()) {
-    const auto sched = make_scheduler(kind);
-    EXPECT_EQ(scheduler_kind_from_name(scheduler_kind_name(kind)), kind);
-    EXPECT_FALSE(sched->name().empty());
-  }
-}
-
-TEST(Factory, GangSlotsParsedFromName) {
-  const auto sched = make_scheduler("gang8");
-  EXPECT_EQ(sched->name(), "gang8");
-}
-
-TEST(Factory, UnknownNameThrows) {
-  EXPECT_THROW(make_scheduler("quantum-annealer"), std::invalid_argument);
-}
+// Factory name/round-trip coverage lives in tests/sched/factory_test.cpp.
 
 }  // namespace
 }  // namespace pjsb::sched

@@ -52,6 +52,28 @@ TEST(OnlineStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(OnlineStats, MergeEmptyIntoEmpty) {
+  OnlineStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.ci95_halfwidth(), 0.0);
+}
+
+TEST(OnlineStats, MergeEmptyPreservesExtremaAndCi) {
+  OnlineStats a, b;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) a.add(x);
+  const double ci_before = a.ci95_halfwidth();
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.ci95_halfwidth(), ci_before);
+}
+
 TEST(Percentile, SortedInterpolation) {
   std::vector<double> xs{10, 20, 30, 40, 50};
   EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 10.0);
@@ -63,6 +85,24 @@ TEST(Percentile, SortedInterpolation) {
 
 TEST(Percentile, Empty) {
   EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 1.0), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> xs{7.5};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 7.5);
+}
+
+TEST(Percentile, ExtremeQuantilesClampToEnds) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  // q outside [0, 1] clamps to the ends rather than reading out of range.
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 1.0), 3.0);
 }
 
 TEST(Summarize, Basic) {
