@@ -1,49 +1,47 @@
-// E11 — DES substrate performance (google-benchmark): simulated jobs
-// and events per second, per scheduler.
-#include <benchmark/benchmark.h>
-
+// E11 — DES substrate performance: simulated jobs and events per
+// second, per scheduler. Uses the shared bench harness (--quick,
+// --json) so CI can track the throughput trajectory without a
+// google-benchmark dependency.
 #include "common.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace pjsb;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "E11: DES substrate performance",
+      "Replay throughput (jobs/s, events/s) per scheduler on a common "
+      "Lublin'99 workload.");
 
-using namespace pjsb;
+  const std::size_t jobs = options.quick ? 500 : 2000;
+  const int reps = options.quick ? 1 : 3;
+  const auto trace =
+      bench::make_workload(workload::ModelKind::kLublin99, jobs, 128, 0.7);
 
-const swf::Trace& workload_trace() {
-  static const swf::Trace trace =
-      bench::make_workload(workload::ModelKind::kLublin99, 2000, 128, 0.7);
-  return trace;
-}
-
-void run_scheduler(benchmark::State& state, const char* name) {
-  std::int64_t events = 0;
-  std::int64_t jobs = 0;
-  for (auto _ : state) {
-    const auto result =
-        sim::replay(workload_trace(), sched::make_scheduler(name));
-    events += result.stats.events_processed;
-    jobs += result.stats.jobs_completed;
-    benchmark::DoNotOptimize(result.completed.size());
+  bench::JsonReporter json("bench_engine");
+  util::Table table({"scheduler", "reps", "wall_s", "jobs/s", "events/s"});
+  for (const char* name : {"fcfs", "sjf", "easy", "conservative", "gang4"}) {
+    bench::WallTimer timer;
+    std::int64_t events = 0;
+    std::int64_t completed = 0;
+    for (int r = 0; r < reps; ++r) {
+      const auto result = sim::replay(trace, sched::make_scheduler(name));
+      events += result.stats.events_processed;
+      completed += result.stats.jobs_completed;
+    }
+    const double secs = timer.seconds();
+    const double jobs_per_s = double(completed) / secs;
+    const double events_per_s = double(events) / secs;
+    table.row()
+        .cell(name)
+        .cell(reps)
+        .cell(secs, 2)
+        .cell(jobs_per_s, 0)
+        .cell(events_per_s, 0);
+    json.add(std::string("replay_") + name, "jobs", jobs_per_s, "jobs/s");
+    json.add(std::string("replay_") + name, "events", events_per_s,
+             "events/s");
   }
-  state.counters["events/s"] = benchmark::Counter(
-      double(events), benchmark::Counter::kIsRate);
-  state.counters["jobs/s"] =
-      benchmark::Counter(double(jobs), benchmark::Counter::kIsRate);
+  std::cout << table.to_string() << '\n';
+  json.add_table("replay", table);
+  return json.write(options.json_path) ? 0 : 1;
 }
-
-void BM_ReplayFcfs(benchmark::State& state) { run_scheduler(state, "fcfs"); }
-void BM_ReplaySjf(benchmark::State& state) { run_scheduler(state, "sjf"); }
-void BM_ReplayEasy(benchmark::State& state) { run_scheduler(state, "easy"); }
-void BM_ReplayConservative(benchmark::State& state) {
-  run_scheduler(state, "conservative");
-}
-void BM_ReplayGang(benchmark::State& state) { run_scheduler(state, "gang4"); }
-
-BENCHMARK(BM_ReplayFcfs);
-BENCHMARK(BM_ReplaySjf);
-BENCHMARK(BM_ReplayEasy);
-BENCHMARK(BM_ReplayConservative);
-BENCHMARK(BM_ReplayGang);
-
-}  // namespace
-
-BENCHMARK_MAIN();

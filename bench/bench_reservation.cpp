@@ -10,16 +10,19 @@
 // utilization drops (drained holes in front of each window).
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pjsb;
+  const auto options = bench::BenchOptions::parse(argc, argv);
   bench::print_header(
       "E8: advance reservations vs local backfilling",
       "Expected: local slowdown rises and utilization falls "
       "monotonically with reservation load.");
 
   const std::int64_t nodes = 128;
+  const std::size_t jobs = options.quick ? 600 : 2500;
   const auto trace =
-      bench::make_workload(workload::ModelKind::kLublin99, 2500, nodes, 0.7);
+      bench::make_workload(workload::ModelKind::kLublin99, jobs, nodes, 0.7);
+  bench::WallTimer timer;
   const auto horizon = trace.horizon();
 
   util::Table table({"reservations", "accepted", "res_node_frac",
@@ -60,5 +63,9 @@ int main() {
         .cell(report.utilization, 3);
   }
   std::cout << table.to_string() << '\n';
-  return 0;
+
+  bench::JsonReporter json("bench_reservation");
+  json.add("sweep", "wall", timer.seconds(), "s");
+  json.add_table("reservation_sweep", table);
+  return json.write(options.json_path) ? 0 : 1;
 }

@@ -1,11 +1,14 @@
 #include "sched/backfill.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
 
 namespace pjsb::sched {
 
 void BackfillBase::on_attach(SchedulerContext& ctx) {
   total_nodes_ = ctx.machine().total_nodes();
+  profile_ = CapacityProfile(total_nodes_);
 }
 
 void BackfillBase::on_submit(SchedulerContext& ctx, std::int64_t job_id) {
@@ -14,17 +17,29 @@ void BackfillBase::on_submit(SchedulerContext& ctx, std::int64_t job_id) {
   queued_info_[job_id] = {j.procs, j.estimate};
 }
 
-void BackfillBase::on_job_end(SchedulerContext& /*ctx*/,
-                              std::int64_t job_id) {
-  running_.erase(job_id);
+void BackfillBase::release_running(std::int64_t job_id, std::int64_t now) {
+  const auto it = running_.find(job_id);
+  if (it == running_.end()) return;  // started externally, never tracked
+  const auto& rj = it->second;
+  // The job's capacity is free from `now` on; its history stays in the
+  // profile until the next compaction.
+  if (rj.profile_end > now) {
+    profile_.remove_usage(now, rj.profile_end, rj.procs);
+  }
+  running_.erase(it);
 }
 
-void BackfillBase::on_job_killed(SchedulerContext& /*ctx*/,
+void BackfillBase::on_job_end(SchedulerContext& ctx, std::int64_t job_id) {
+  release_running(job_id, ctx.now());
+}
+
+void BackfillBase::on_job_killed(SchedulerContext& ctx,
                                  std::int64_t job_id) {
-  running_.erase(job_id);
+  release_running(job_id, ctx.now());
 }
 
-void BackfillBase::note_outage(const outage::OutageRecord& rec) {
+void BackfillBase::note_outage(std::int64_t now,
+                               const outage::OutageRecord& rec) {
   // Deduplicate: an announced outage is seen at announce AND start.
   for (const auto& w : outages_) {
     if (w.start == rec.start_time && w.end == rec.end_time &&
@@ -33,25 +48,79 @@ void BackfillBase::note_outage(const outage::OutageRecord& rec) {
     }
   }
   outages_.push_back({rec.start_time, rec.end_time, rec.nodes_affected});
+  if (rec.end_time > now) {
+    profile_.add_usage(std::max(rec.start_time, now), rec.end_time,
+                       rec.nodes_affected);
+  }
 }
 
-void BackfillBase::on_outage_announce(SchedulerContext& /*ctx*/,
+void BackfillBase::on_outage_announce(SchedulerContext& ctx,
                                       const outage::OutageRecord& rec) {
-  note_outage(rec);
+  note_outage(ctx.now(), rec);
 }
 
-void BackfillBase::on_outage_start(SchedulerContext& /*ctx*/,
+void BackfillBase::on_outage_start(SchedulerContext& ctx,
                                    const outage::OutageRecord& rec) {
-  note_outage(rec);
+  note_outage(ctx.now(), rec);
 }
 
 void BackfillBase::on_outage_end(SchedulerContext& ctx,
                                  const outage::OutageRecord& rec) {
   // Capacity is back; drop the window (it may end early in principle).
+  const std::int64_t now = ctx.now();
   std::erase_if(outages_, [&](const OutageWindow& w) {
-    return w.end <= ctx.now() ||
-           (w.start == rec.start_time && w.nodes == rec.nodes_affected);
+    const bool drop = w.end <= now || (w.start == rec.start_time &&
+                                       w.nodes == rec.nodes_affected);
+    if (drop && w.end > now) {
+      profile_.remove_usage(std::max(w.start, now), w.end, w.nodes);
+    }
+    return drop;
   });
+}
+
+void BackfillBase::note_started(std::int64_t id, std::int64_t now,
+                                std::int64_t estimate, std::int64_t procs) {
+  const std::int64_t end = now + estimate;
+  running_[id] = {id, end, procs, end};
+  profile_.add_usage(now, end, procs);
+  expiry_heap_.push({end, id});
+}
+
+void BackfillBase::refresh_profile(std::int64_t now) {
+  // Jobs that outlive their estimate keep occupying the machine: mirror
+  // base_profile()'s end clamp by extending their usage one tick at a
+  // time (rare — estimates are lower-bounded by runtimes in traces).
+  while (!expiry_heap_.empty() && expiry_heap_.top().first <= now) {
+    const auto [end, id] = expiry_heap_.top();
+    expiry_heap_.pop();
+    const auto it = running_.find(id);
+    if (it == running_.end() || it->second.profile_end != end) continue;
+    it->second.profile_end = now + 1;
+    profile_.add_usage(now, now + 1, it->second.procs);
+    expiry_heap_.push({now + 1, id});
+  }
+
+  // Committed reservations whose window has passed no longer influence
+  // any query from `now` on; drop them so the list stays bounded.
+  std::erase_if(reservations_, [&](const AdvanceReservation& res) {
+    return res.start + res.duration <= now;
+  });
+
+  // Fold history into the base so the step count stays O(running +
+  // reservations + outages) over million-job traces.
+  profile_.compact_before(now);
+
+  if (cross_check_) {
+    const CapacityProfile rebuilt = base_profile(now, total_nodes_);
+    if (!profile_.same_from(rebuilt, now)) {
+      std::ostringstream os;
+      os << "BackfillBase: incremental profile diverged from rebuild at t="
+         << now << "\nincremental:\n"
+         << profile_.to_string() << "rebuilt:\n"
+         << rebuilt.to_string();
+      throw std::logic_error(os.str());
+    }
+  }
 }
 
 CapacityProfile BackfillBase::base_profile(std::int64_t now,
@@ -85,20 +154,20 @@ void BackfillBase::prune_queue(SchedulerContext& ctx) {
 
 std::int64_t BackfillBase::earliest_reservation_start(
     std::int64_t now, std::int64_t from, std::int64_t duration,
-    std::int64_t procs, std::int64_t total_nodes) const {
-  const CapacityProfile profile = base_profile(now, total_nodes);
-  return profile.earliest_start(std::max(from, now), duration, procs);
+    std::int64_t procs, std::int64_t /*total_nodes*/) const {
+  return profile_.earliest_start(std::max(from, now), duration, procs);
 }
 
 bool BackfillBase::try_reserve(SchedulerContext& ctx,
                                const AdvanceReservation& reservation) {
-  const CapacityProfile profile =
-      base_profile(ctx.now(), ctx.machine().total_nodes());
-  if (!profile.fits(reservation.start, reservation.duration,
-                    reservation.procs)) {
+  const std::int64_t now = ctx.now();
+  const std::int64_t end = reservation.start + reservation.duration;
+  const std::int64_t from = std::max(reservation.start, now);
+  if (!profile_.fits(from, end - from, reservation.procs)) {
     return false;
   }
   reservations_.push_back(reservation);
+  profile_.add_usage(from, end, reservation.procs);
   return true;
 }
 

@@ -6,10 +6,21 @@
 // requirement), and known outage windows (section 2.2's drain-around-
 // maintenance behaviour). This base class owns that state; subclasses
 // implement the queueing discipline.
+//
+// The profile is maintained *incrementally* across events: starting a
+// job adds its usage once, an (early) completion removes the remaining
+// usage, outage/reservation changes patch their windows, and the past
+// is compacted away every pass — no O(running + reservations) rebuild
+// per event. `base_profile()` still builds the same profile from
+// scratch; with cross-checking enabled (default in debug builds, see
+// set_cross_check) every schedule() pass verifies the incremental and
+// rebuilt profiles agree from now on.
 #pragma once
 
 #include <deque>
+#include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sched/profile.hpp"
@@ -45,11 +56,23 @@ class BackfillBase : public Scheduler {
 
   std::size_t queue_length() const { return queue_.size(); }
 
+  /// The incrementally maintained base profile (running jobs +
+  /// reservations + outages). Exposed for tests and diagnostics.
+  const CapacityProfile& profile() const { return profile_; }
+
+  /// Verify the incremental profile against a from-scratch rebuild on
+  /// every schedule() pass (throws std::logic_error on divergence). On
+  /// by default in debug builds; tests can force it on in Release.
+  void set_cross_check(bool on) { cross_check_ = on; }
+
  protected:
   struct RunningJob {
     std::int64_t id = 0;
     std::int64_t expected_end = 0;
     std::int64_t procs = 0;
+    /// End of the usage currently recorded in profile_ for this job
+    /// (expected_end, or now+1 ticks while the job overruns it).
+    std::int64_t profile_end = 0;
   };
   struct QueuedInfo {
     std::int64_t procs = 0;
@@ -61,13 +84,23 @@ class BackfillBase : public Scheduler {
     std::int64_t nodes = 0;
   };
 
-  /// Base profile: running jobs + reservations + outage windows, over
-  /// `total_nodes`. `now` clamps estimated ends into the future.
+  /// Reference rebuild: running jobs + reservations + outage windows,
+  /// over `total_nodes`, with estimated ends clamped into the future.
+  /// Used by the cross-check; the hot path uses profile_.
   CapacityProfile base_profile(std::int64_t now,
                                std::int64_t total_nodes) const;
 
   /// Drop queue entries that are no longer queued (externally started).
   void prune_queue(SchedulerContext& ctx);
+
+  /// Per-pass profile upkeep, called at the top of schedule(): extend
+  /// usages of jobs overrunning their estimate, compact the past, and
+  /// run the optional cross-check.
+  void refresh_profile(std::int64_t now);
+
+  /// Record a job started now: running-set entry + profile usage.
+  void note_started(std::int64_t id, std::int64_t now,
+                    std::int64_t estimate, std::int64_t procs);
 
   std::deque<std::int64_t> queue_;
   std::unordered_map<std::int64_t, QueuedInfo> queued_info_;
@@ -76,9 +109,25 @@ class BackfillBase : public Scheduler {
   std::vector<OutageWindow> outages_;
   /// Machine size, learned at attach time.
   std::int64_t total_nodes_ = 0;
+  /// Incrementally maintained base profile (see class comment).
+  CapacityProfile profile_{0};
 
  private:
-  void note_outage(const outage::OutageRecord& rec);
+  void note_outage(std::int64_t now, const outage::OutageRecord& rec);
+  /// Remove a running job's remaining profile usage (end or kill).
+  void release_running(std::int64_t job_id, std::int64_t now);
+
+  /// (profile_end, job id) min-heap driving overrun extension; entries
+  /// are validated against running_ when popped.
+  std::priority_queue<std::pair<std::int64_t, std::int64_t>,
+                      std::vector<std::pair<std::int64_t, std::int64_t>>,
+                      std::greater<>>
+      expiry_heap_;
+#ifndef NDEBUG
+  bool cross_check_ = true;
+#else
+  bool cross_check_ = false;
+#endif
 };
 
 }  // namespace pjsb::sched

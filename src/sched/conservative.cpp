@@ -2,24 +2,31 @@
 
 namespace pjsb::sched {
 
+void ConservativeScheduler::on_attach(SchedulerContext& ctx) {
+  BackfillBase::on_attach(ctx);
+  full_profile_ = profile_;
+}
+
 void ConservativeScheduler::schedule(SchedulerContext& ctx) {
   const std::int64_t now = ctx.now();
   total_nodes_ = ctx.machine().total_nodes();
   prune_queue(ctx);
+  refresh_profile(now);
 
-  // Rebuild the full reservation profile from scratch on every pass:
-  // place each queued job (FIFO order) at its earliest feasible start;
-  // start those whose reservation is "now". Rebuilding keeps the
-  // profile consistent after early completions (jobs finishing before
-  // their estimate compress everyone's reservations).
-  CapacityProfile profile = base_profile(now, total_nodes_);
+  // Re-place each queued job (FIFO order) at its earliest feasible
+  // start on a copy of the maintained base profile; start those whose
+  // reservation is "now". Re-placing per event keeps the profile
+  // consistent after early completions (jobs finishing before their
+  // estimate compress everyone's reservations); the base itself is
+  // never rebuilt, and earliest_start is a single O(steps) sweep.
+  CapacityProfile profile = profile_;
 
   for (auto it = queue_.begin(); it != queue_.end();) {
     const auto& j = ctx.job(*it);
     const std::int64_t t = profile.earliest_start(now, j.estimate, j.procs);
     if (t == now && ctx.start_job(*it)) {
       profile.add_usage(now, now + j.estimate, j.procs);
-      running_[j.id] = {j.id, now + j.estimate, j.procs};
+      note_started(j.id, now, j.estimate, j.procs);
       queued_info_.erase(j.id);
       it = queue_.erase(it);
     } else {
@@ -27,20 +34,40 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
       ++it;
     }
   }
+  full_profile_ = std::move(profile);
+  full_profile_stale_ = false;
+}
+
+bool ConservativeScheduler::try_reserve(
+    SchedulerContext& ctx, const AdvanceReservation& reservation) {
+  const bool accepted = BackfillBase::try_reserve(ctx, reservation);
+  // The base profile changed without a schedule() pass: queue
+  // placements in full_profile_ no longer account for the new window.
+  if (accepted) full_profile_stale_ = true;
+  return accepted;
 }
 
 std::optional<std::int64_t> ConservativeScheduler::predict_start(
     std::int64_t now, std::int64_t procs, std::int64_t estimate) const {
   if (total_nodes_ <= 0) return std::nullopt;
-  CapacityProfile profile = base_profile(now, total_nodes_);
-  for (const std::int64_t id : queue_) {
-    const auto it = queued_info_.find(id);
-    if (it == queued_info_.end()) continue;
-    const auto& q = it->second;
-    const std::int64_t t = profile.earliest_start(now, q.estimate, q.procs);
-    if (t < kForever) profile.add_usage(t, t + q.estimate, q.procs);
+  if (full_profile_stale_) {
+    // Re-place the queue on the maintained base (same FIFO pass as
+    // schedule(), minus the starts — nothing can start between events).
+    CapacityProfile profile = profile_;
+    for (const std::int64_t id : queue_) {
+      const auto it = queued_info_.find(id);
+      if (it == queued_info_.end()) continue;
+      const auto& q = it->second;
+      const std::int64_t t =
+          profile.earliest_start(now, q.estimate, q.procs);
+      if (t < kForever) profile.add_usage(t, t + q.estimate, q.procs);
+    }
+    full_profile_ = std::move(profile);
+    full_profile_stale_ = false;
   }
-  const std::int64_t t = profile.earliest_start(now, estimate, procs);
+  // Query against the maintained base + queue placements; the
+  // hypothetical job only needs one earliest-start sweep.
+  const std::int64_t t = full_profile_.earliest_start(now, estimate, procs);
   if (t >= kForever) return std::nullopt;
   return t;
 }

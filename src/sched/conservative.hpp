@@ -12,10 +12,23 @@ namespace pjsb::sched {
 class ConservativeScheduler final : public BackfillBase {
  public:
   std::string name() const override { return "conservative"; }
+  void on_attach(SchedulerContext& ctx) override;
   void schedule(SchedulerContext& ctx) override;
+  bool try_reserve(SchedulerContext& ctx,
+                   const AdvanceReservation& reservation) override;
   std::optional<std::int64_t> predict_start(
       std::int64_t now, std::int64_t procs,
       std::int64_t estimate) const override;
+
+ private:
+  /// Base profile + the FIFO reservation placements of every queued
+  /// job, as left by the last schedule() pass; predict_start queries it
+  /// directly instead of replaying the whole queue per call. An
+  /// accepted reservation between events marks it stale (the queue
+  /// placements must shift around the new window), and the next
+  /// predict_start re-places lazily.
+  mutable CapacityProfile full_profile_{0};
+  mutable bool full_profile_stale_ = false;
 };
 
 }  // namespace pjsb::sched

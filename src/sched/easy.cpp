@@ -6,8 +6,11 @@ void EasyScheduler::schedule(SchedulerContext& ctx) {
   const std::int64_t now = ctx.now();
   total_nodes_ = ctx.machine().total_nodes();
   prune_queue(ctx);
+  refresh_profile(now);
 
-  CapacityProfile profile = base_profile(now, total_nodes_);
+  // Work on a copy of the maintained base profile; tentative shadow /
+  // backfill placements stay local to this pass.
+  CapacityProfile profile = profile_;
 
   // Start jobs in FIFO order while the head fits immediately.
   while (!queue_.empty()) {
@@ -15,7 +18,7 @@ void EasyScheduler::schedule(SchedulerContext& ctx) {
     const auto& j = ctx.job(id);
     if (profile.fits(now, j.estimate, j.procs) && ctx.start_job(id)) {
       profile.add_usage(now, now + j.estimate, j.procs);
-      running_[id] = {id, now + j.estimate, j.procs};
+      note_started(id, now, j.estimate, j.procs);
       queued_info_.erase(id);
       queue_.pop_front();
       continue;
@@ -37,7 +40,7 @@ void EasyScheduler::schedule(SchedulerContext& ctx) {
     const auto& j = ctx.job(*it);
     if (profile.fits(now, j.estimate, j.procs) && ctx.start_job(*it)) {
       profile.add_usage(now, now + j.estimate, j.procs);
-      running_[j.id] = {j.id, now + j.estimate, j.procs};
+      note_started(j.id, now, j.estimate, j.procs);
       queued_info_.erase(j.id);
       it = queue_.erase(it);
     } else {
@@ -52,8 +55,10 @@ std::optional<std::int64_t> EasyScheduler::predict_start(
   // Approximate the EASY queue conservatively: place every queued job
   // at its earliest start in FIFO order, then place the hypothetical
   // job. This is the scheduler-assisted wait-time estimate a
-  // metacomputing directory service would export (section 3.1).
-  CapacityProfile profile = base_profile(now, total_nodes_);
+  // metacomputing directory service would export (section 3.1). The
+  // placements replay on a copy of the maintained base profile — no
+  // rebuild per query.
+  CapacityProfile profile = profile_;
   for (const std::int64_t id : queue_) {
     const auto it = queued_info_.find(id);
     if (it == queued_info_.end()) continue;

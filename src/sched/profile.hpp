@@ -3,12 +3,22 @@
 // conservative's full reservation profile), advance reservations for
 // metacomputing co-allocation (section 3), and outage-aware scheduling
 // (draining up to announced maintenance, section 2.2).
+//
+// Representation: a flat, sorted timeline of {time, available} steps.
+// Before the first step the full base capacity is available; each step
+// sets the available count from its time until the next step. The
+// canonical form stores no redundant steps (adjacent steps always carry
+// different values), so structural equality equals functional equality.
+// Point lookups binary-search with a cached segment hint (scheduler
+// queries are strongly monotone in time), and earliest_start is a
+// single forward sweep that tracks the running feasible-window length —
+// O(steps), not O(steps^2) as with repeated fits() probing.
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <string>
+#include <vector>
 
 namespace pjsb::sched {
 
@@ -52,17 +62,44 @@ class CapacityProfile {
   bool fits(std::int64_t start, std::int64_t duration,
             std::int64_t procs) const;
 
-  /// Drop all events strictly before `t` (folding them into the base),
-  /// keeping the profile small in long simulations.
+  /// Drop all events strictly before `t` (folding them into a single
+  /// step at `t`), keeping the profile small in long simulations.
   void compact_before(std::int64_t t);
+
+  /// Number of step points currently stored. Long-running schedulers
+  /// that compact_before(now) keep this O(running + queued) regardless
+  /// of trace length.
+  std::size_t step_count() const { return steps_.size(); }
+
+  /// True if the two profiles describe the same availability function
+  /// for all t >= from (history before `from` may differ, e.g. one side
+  /// compacted). Used by the schedulers' debug cross-check.
+  bool same_from(const CapacityProfile& other, std::int64_t from) const;
 
   /// Debug rendering of the step function.
   std::string to_string() const;
 
  private:
+  struct Step {
+    std::int64_t time;
+    std::int64_t avail;  ///< available processors in [time, next.time)
+  };
+
+  /// Number of steps with time <= t; 0 means t precedes all steps. Uses
+  /// and refreshes the cached hint.
+  std::size_t segment_index(std::int64_t t) const;
+  /// Index of the step at exactly `t`, inserting one (carrying the
+  /// current availability) if absent.
+  std::size_t ensure_boundary(std::int64_t t);
+  /// Subtract `procs` from availability over [start, end) and restore
+  /// the canonical form. procs may be negative (capacity returned).
+  void add_used(std::int64_t start, std::int64_t end, std::int64_t procs);
+
   std::int64_t base_;
-  /// time -> delta of *used* capacity (positive = capacity consumed).
-  std::map<std::int64_t, std::int64_t> deltas_;
+  std::vector<Step> steps_;
+  /// Last segment index returned; validated before reuse, so staleness
+  /// only costs a binary search.
+  mutable std::size_t hint_ = 0;
 };
 
 }  // namespace pjsb::sched

@@ -44,7 +44,8 @@ void Engine::load_trace(const swf::Trace& trace) {
     const bool dependent = config_.closed_loop &&
                            r.preceding_job != swf::kUnknown &&
                            r.preceding_job > 0;
-    jobs_.emplace(id, j);
+    auto& slot = obtain_slot(id);
+    if (slot.job.id == 0) slot.job = j;  // first record wins, as before
     if (dependent) {
       const std::int64_t think =
           r.think_time != swf::kUnknown ? std::max<std::int64_t>(0,
@@ -79,7 +80,7 @@ std::int64_t Engine::submit_job(SimJob job) {
   job.procs = std::min(std::max<std::int64_t>(1, job.procs),
                        machine_.total_nodes());
   next_job_id_ = std::max(next_job_id_, id + 1);
-  jobs_[id] = job;
+  obtain_slot(id).job = job;
   push_event(job.submit, EventType::kSubmit, id);
   return id;
 }
@@ -134,14 +135,56 @@ void Engine::run() {
   }
 }
 
+Engine::JobSlot* Engine::find_slot(std::int64_t id) {
+  if (id >= 0 && id < kDenseIdLimit) {
+    const auto idx = std::size_t(id);
+    if (idx < jobs_dense_.size() && jobs_dense_[idx].job.id != 0) {
+      return &jobs_dense_[idx];
+    }
+    // Fall through: a sparse id below the limit may still have been
+    // routed to the overflow map by the bounded-gap placement rule.
+  }
+  const auto it = jobs_overflow_.find(id);
+  return it == jobs_overflow_.end() ? nullptr : &it->second;
+}
+
+const Engine::JobSlot* Engine::find_slot(std::int64_t id) const {
+  return const_cast<Engine*>(this)->find_slot(id);
+}
+
+Engine::JobSlot& Engine::slot_at(std::int64_t id) {
+  JobSlot* slot = find_slot(id);
+  if (!slot) throw std::out_of_range("Engine::job: unknown id");
+  return *slot;
+}
+
+Engine::JobSlot& Engine::obtain_slot(std::int64_t id) {
+  if (JobSlot* existing = find_slot(id)) return *existing;
+  // Place new ids densely only while they stay near-contiguous: growing
+  // the vector by a bounded gap at a time. A far outlier (e.g. the meta
+  // layer's 1'000'000-based ids over a small background trace) goes to
+  // the hash map instead of forcing a proportional allocation.
+  if (id >= 0 && id < kDenseIdLimit &&
+      std::size_t(id) < jobs_dense_.size() + kDenseGapLimit) {
+    const auto idx = std::size_t(id);
+    if (idx >= jobs_dense_.size()) {
+      jobs_dense_.resize(std::min(std::size_t(kDenseIdLimit),
+                                  std::max(idx + 1, jobs_dense_.size() * 2)));
+    }
+    return jobs_dense_[idx];
+  }
+  return jobs_overflow_[id];
+}
+
 const SimJob& Engine::job(std::int64_t id) const {
-  const auto it = jobs_.find(id);
-  if (it == jobs_.end()) throw std::out_of_range("Engine::job: unknown id");
-  return it->second;
+  const JobSlot* slot = find_slot(id);
+  if (!slot) throw std::out_of_range("Engine::job: unknown id");
+  return slot->job;
 }
 
 bool Engine::start_job(std::int64_t job_id) {
-  auto& j = jobs_.at(job_id);
+  auto& slot = slot_at(job_id);
+  auto& j = slot.job;
   if (j.state != JobState::kQueued) {
     throw std::logic_error("start_job: job is not queued");
   }
@@ -152,13 +195,14 @@ bool Engine::start_job(std::int64_t job_id) {
   j.start = now_;
   --queued_count_;
   ++running_count_;
-  const std::int64_t version = ++end_version_[job_id];
+  const std::int64_t version = ++slot.end_version;
   push_event(now_ + j.runtime, EventType::kJobEnd, job_id, version);
   return true;
 }
 
 void Engine::start_job_virtual(std::int64_t job_id, std::int64_t end_time) {
-  auto& j = jobs_.at(job_id);
+  auto& slot = slot_at(job_id);
+  auto& j = slot.job;
   if (j.state != JobState::kQueued) {
     throw std::logic_error("start_job_virtual: job is not queued");
   }
@@ -170,28 +214,28 @@ void Engine::start_job_virtual(std::int64_t job_id, std::int64_t end_time) {
   j.nodes.clear();
   --queued_count_;
   ++running_count_;
-  const std::int64_t version = ++end_version_[job_id];
+  const std::int64_t version = ++slot.end_version;
   push_event(end_time, EventType::kJobEnd, job_id, version);
 }
 
 void Engine::update_job_end(std::int64_t job_id, std::int64_t new_end) {
-  auto& j = jobs_.at(job_id);
-  if (j.state != JobState::kRunning) {
+  auto& slot = slot_at(job_id);
+  if (slot.job.state != JobState::kRunning) {
     throw std::logic_error("update_job_end: job is not running");
   }
   if (new_end < now_) {
     throw std::invalid_argument("update_job_end: end before now");
   }
-  const std::int64_t version = ++end_version_[job_id];
+  const std::int64_t version = ++slot.end_version;
   push_event(new_end, EventType::kJobEnd, job_id, version);
 }
 
 void Engine::kill_running_job(std::int64_t job_id) {
-  auto& j = jobs_.at(job_id);
-  if (j.state != JobState::kRunning) {
+  auto& slot = slot_at(job_id);
+  if (slot.job.state != JobState::kRunning) {
     throw std::logic_error("kill_running_job: job is not running");
   }
-  kill_job(j);
+  kill_job(slot);
 }
 
 void Engine::push_event(std::int64_t time, EventType type, std::int64_t id,
@@ -229,7 +273,7 @@ void Engine::process(const Event& ev) {
 }
 
 void Engine::handle_submit(std::int64_t job_id) {
-  auto& j = jobs_.at(job_id);
+  auto& j = slot_at(job_id).job;
   j.state = JobState::kQueued;
   ++queued_count_;
   scheduler_->on_submit(*this, job_id);
@@ -237,15 +281,15 @@ void Engine::handle_submit(std::int64_t job_id) {
 }
 
 void Engine::handle_job_end(const Event& ev) {
-  auto it = jobs_.find(ev.id);
-  if (it == jobs_.end()) return;
-  auto& j = it->second;
+  JobSlot* slot = find_slot(ev.id);
+  if (!slot) return;
   // Stale end events (the job was killed/rescheduled) carry an old
   // version; ignore them.
-  if (j.state != JobState::kRunning || end_version_[ev.id] != ev.version) {
+  if (slot->job.state != JobState::kRunning ||
+      slot->end_version != ev.version) {
     return;
   }
-  finish_job(j);
+  finish_job(slot->job);
 }
 
 void Engine::finish_job(SimJob& j) {
@@ -272,16 +316,19 @@ void Engine::finish_job(SimJob& j) {
   c.queue_id = j.queue_id;
   c.restarts = j.restarts;
   completed_.push_back(c);
+  // The observer may submit new jobs, which can grow jobs_dense_ and
+  // invalidate `j`; use only the copied record from here on.
+  const std::int64_t finished_id = c.id;
   if (completion_observer_) completion_observer_(c);
 
-  scheduler_->on_job_end(*this, j.id);
+  scheduler_->on_job_end(*this, finished_id);
   scheduler_dirty_ = true;
 
   // Closed loop: release dependents.
-  const auto dit = dependents_.find(j.id);
+  const auto dit = dependents_.find(finished_id);
   if (dit != dependents_.end()) {
     for (const auto& [dep_id, think] : dit->second) {
-      auto& dep = jobs_.at(dep_id);
+      auto& dep = slot_at(dep_id).job;
       dep.submit = now_ + think;
       push_event(dep.submit, EventType::kSubmit, dep_id);
     }
@@ -289,9 +336,10 @@ void Engine::finish_job(SimJob& j) {
   }
 }
 
-void Engine::kill_job(SimJob& j) {
+void Engine::kill_job(JobSlot& slot) {
   // Work performed so far is lost ("any job running on that node would
   // have to be restarted").
+  auto& j = slot.job;
   wasted_node_seconds_ += j.procs * (now_ - j.start);
   ++jobs_killed_;
   ++j.restarts;
@@ -300,7 +348,7 @@ void Engine::kill_job(SimJob& j) {
     machine_.release(j.id, j.nodes);  // down nodes are skipped internally
     j.nodes.clear();
   }
-  ++end_version_[j.id];  // invalidate the pending end event
+  ++slot.end_version;  // invalidate the pending end event
   scheduler_->on_job_killed(*this, j.id);
   if (config_.requeue_killed_jobs) {
     j.state = JobState::kQueued;
@@ -325,8 +373,8 @@ void Engine::handle_outage_start(std::size_t idx) {
   std::sort(victims.begin(), victims.end());
   victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
   for (std::int64_t job_id : victims) {
-    auto& j = jobs_.at(job_id);
-    if (j.state == JobState::kRunning) kill_job(j);
+    auto& slot = slot_at(job_id);
+    if (slot.job.state == JobState::kRunning) kill_job(slot);
   }
   scheduler_->on_outage_start(*this, rec);
   scheduler_dirty_ = true;
@@ -347,7 +395,7 @@ void Engine::handle_reservation_start(std::int64_t res_id) {
   if (it == reservations_.end()) return;
   const auto& res = it->second;
   if (res.job_id) {
-    auto& j = jobs_.at(*res.job_id);
+    auto& j = slot_at(*res.job_id).job;
     if (j.state == JobState::kQueued) {
       // The scheduler blocked this window, so the allocation succeeds
       // unless an outage shrank the machine; in that case the job stays

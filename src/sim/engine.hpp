@@ -141,6 +141,34 @@ class Engine final : public sched::SchedulerContext {
     }
   };
 
+  /// Per-job engine state: the job plus its end-event version counter
+  /// (revisable job-end events carry the version they were issued
+  /// with; stale ones are ignored).
+  struct JobSlot {
+    SimJob job;
+    std::int64_t end_version = 0;
+  };
+
+  /// Job ids index straight into the dense vector while they stay
+  /// near-contiguous: a new id is stored densely only if it is below
+  /// kDenseIdLimit AND within kDenseGapLimit of the current dense size.
+  /// Sparse outliers (caller-chosen ids via submit_job, e.g. the meta
+  /// layer's 1'000'000-based ids) fall back to a hash map so a stray
+  /// id cannot force a proportional allocation. find_slot checks the
+  /// dense vector first and falls through to the map, so placement
+  /// history never changes lookup results.
+  static constexpr std::int64_t kDenseIdLimit = std::int64_t(1) << 22;
+  static constexpr std::size_t kDenseGapLimit = 4096;
+
+  /// Slot lookup (nullptr if absent).
+  JobSlot* find_slot(std::int64_t id);
+  const JobSlot* find_slot(std::int64_t id) const;
+  /// Slot lookup that throws like unordered_map::at did.
+  JobSlot& slot_at(std::int64_t id);
+  /// Insert-or-get: returns the slot for `id`, default-constructed if
+  /// new (job.id == 0 marks an empty slot).
+  JobSlot& obtain_slot(std::int64_t id);
+
   void push_event(std::int64_t time, EventType type, std::int64_t id,
                   std::int64_t version = 0);
   void process(const Event& ev);
@@ -150,7 +178,7 @@ class Engine final : public sched::SchedulerContext {
   void handle_outage_end(std::size_t idx);
   void handle_reservation_start(std::int64_t res_id);
   void finish_job(SimJob& j);
-  void kill_job(SimJob& j);
+  void kill_job(JobSlot& slot);
   void account_capacity_to(std::int64_t t);
 
   EngineConfig config_;
@@ -163,8 +191,12 @@ class Engine final : public sched::SchedulerContext {
   std::int64_t next_reservation_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
 
-  std::unordered_map<std::int64_t, SimJob> jobs_;
-  std::unordered_map<std::int64_t, std::int64_t> end_version_;
+  /// Dense job storage indexed directly by job id (SWF job numbers are
+  /// small and near-contiguous), with a hash-map overflow for ids
+  /// beyond kDenseIdLimit. Scheduler callbacks hit job() on every
+  /// queue entry per event, so lookups must not hash.
+  std::vector<JobSlot> jobs_dense_;
+  std::unordered_map<std::int64_t, JobSlot> jobs_overflow_;
   /// Dependents per predecessor job id (closed loop): (job, think).
   std::unordered_map<std::int64_t, std::vector<std::pair<std::int64_t,
                                                          std::int64_t>>>

@@ -1,13 +1,40 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
+#include <functional>
+#include <numeric>
 #include <stdexcept>
 
 namespace pjsb::sim {
 
 Machine::Machine(std::int64_t total_nodes)
-    : owner_(std::size_t(total_nodes), kFree), free_(total_nodes) {
+    : owner_(std::size_t(total_nodes), kFree),
+      free_heap_(std::size_t(total_nodes)),
+      in_free_heap_(std::size_t(total_nodes), 1),
+      free_(total_nodes) {
   if (total_nodes <= 0) {
     throw std::invalid_argument("Machine: need at least one node");
+  }
+  // 0..N-1 ascending is already a valid min-heap.
+  std::iota(free_heap_.begin(), free_heap_.end(), std::int64_t(0));
+}
+
+void Machine::push_free(std::int64_t node) {
+  auto& flag = in_free_heap_[std::size_t(node)];
+  if (flag) return;
+  flag = 1;
+  free_heap_.push_back(node);
+  std::push_heap(free_heap_.begin(), free_heap_.end(), std::greater<>());
+}
+
+std::int64_t Machine::pop_free() {
+  while (true) {
+    std::pop_heap(free_heap_.begin(), free_heap_.end(), std::greater<>());
+    const std::int64_t node = free_heap_.back();
+    free_heap_.pop_back();
+    in_free_heap_[std::size_t(node)] = 0;
+    if (owner_[std::size_t(node)] == kFree) return node;
+    // Stale entry: the node went down while listed; drop and continue.
   }
 }
 
@@ -17,12 +44,10 @@ std::optional<std::vector<std::int64_t>> Machine::allocate(
   if (count > free_) return std::nullopt;
   std::vector<std::int64_t> nodes;
   nodes.reserve(std::size_t(count));
-  for (std::size_t i = 0; i < owner_.size() &&
-                          std::int64_t(nodes.size()) < count; ++i) {
-    if (owner_[i] == kFree) {
-      owner_[i] = job_id;
-      nodes.push_back(std::int64_t(i));
-    }
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t node = pop_free();
+    owner_[std::size_t(node)] = job_id;
+    nodes.push_back(node);
   }
   free_ -= count;
   return nodes;
@@ -38,6 +63,7 @@ void Machine::release(std::int64_t job_id,
     }
     o = kFree;
     ++free_;
+    push_free(n);
   }
 }
 
@@ -45,6 +71,7 @@ std::int64_t Machine::take_down(std::int64_t node) {
   auto& o = owner_.at(std::size_t(node));
   const std::int64_t prev = o;
   if (prev == kDown) return kDown;
+  // A free node keeps its (now stale) heap entry; pop_free discards it.
   if (prev == kFree) --free_;
   o = kDown;
   ++down_;
@@ -57,6 +84,7 @@ void Machine::bring_up(std::int64_t node) {
   o = kFree;
   --down_;
   ++free_;
+  push_free(node);
 }
 
 std::int64_t Machine::owner(std::int64_t node) const {

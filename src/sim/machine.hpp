@@ -3,6 +3,12 @@
 // Node-level tracking (rather than just a free counter) is what lets
 // outages hit specific components — "which nodes went down" — and kill
 // exactly the jobs running there, per section 2.2 of the paper.
+//
+// Allocation draws from a free-list kept as a min-heap of node ids, so
+// starting a job costs O(count log N) instead of scanning every node,
+// while preserving the exact first-fit (lowest-id-first) placement of
+// the naive scan — outage victim selection stays reproducible across
+// implementations.
 #pragma once
 
 #include <cstdint>
@@ -29,24 +35,44 @@ class Machine {
   /// Nodes currently usable (free + busy).
   std::int64_t up_nodes() const { return total_nodes() - down_; }
 
-  /// Allocate `count` free nodes to `job_id` (first fit). Returns the
-  /// node ids, or nullopt if not enough free nodes.
+  /// Allocate `count` free nodes to `job_id` (first fit: the lowest-
+  /// numbered free nodes, in increasing order). Returns the node ids,
+  /// or nullopt if not enough free nodes.
   std::optional<std::vector<std::int64_t>> allocate(std::int64_t job_id,
                                                     std::int64_t count);
-  /// Release the given nodes (must be owned by `job_id`).
+  /// Return `nodes` to the free pool. Nodes that went down while the
+  /// job ran (owner is now kDown) are skipped silently — the outage
+  /// owns them until bring_up. Throws std::logic_error if a node is
+  /// owned by a different job (double release / bookkeeping bug).
   void release(std::int64_t job_id, std::span<const std::int64_t> nodes);
 
-  /// Take a node down. Returns the previous owner's job id if the node
-  /// was allocated (the engine kills that job), or kFree/kDown.
+  /// Take a node out of service. Returns the previous owner's job id if
+  /// the node was allocated (the engine kills that job), kFree if it
+  /// was idle (it leaves the free pool), or kDown if it was already
+  /// down (idempotent; counters unchanged).
   std::int64_t take_down(std::int64_t node);
-  /// Bring a node back into service (must currently be down).
+  /// Bring a node back into service and return it to the free pool.
+  /// The node must currently be down; any pre-outage owner was already
+  /// killed at take_down time, so it always comes back as free.
   void bring_up(std::int64_t node);
 
   /// Owner of a node (job id, kFree, or kDown).
   std::int64_t owner(std::int64_t node) const;
 
  private:
+  /// Add `node` to the free-list heap unless it already has an entry.
+  void push_free(std::int64_t node);
+  /// Pop the lowest-numbered genuinely free node. Entries going stale
+  /// (node taken down while listed) are discarded lazily. Requires
+  /// free_ > 0.
+  std::int64_t pop_free();
+
   std::vector<std::int64_t> owner_;
+  /// Min-heap of candidate free node ids (std::greater comparator).
+  /// Lazy deletion: an entry may be stale; in_free_heap_ guarantees at
+  /// most one entry per node, and pop_free() validates against owner_.
+  std::vector<std::int64_t> free_heap_;
+  std::vector<std::uint8_t> in_free_heap_;
   std::int64_t free_ = 0;
   std::int64_t down_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "util/table.hpp"
 
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -81,6 +82,62 @@ std::string Table::to_csv() const {
   };
   emit(headers_);
   for (const auto& row : cells_) emit(row);
+  return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  // Plain decimal syntax only: strtod alone would also accept "inf",
+  // "nan" and hex floats, none of which are valid JSON tokens.
+  for (const char c : s) {
+    if (!(c >= '0' && c <= '9') && c != '+' && c != '-' && c != '.' &&
+        c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t r = 0; r < cells_.size(); ++r) {
+    if (r) os << ", ";
+    os << '{';
+    const auto& row = cells_[r];
+    for (std::size_t c = 0; c < headers_.size() && c < row.size(); ++c) {
+      if (c) os << ", ";
+      os << '"' << json_escape(headers_[c]) << "\": ";
+      if (is_number(row[c])) {
+        os << row[c];
+      } else {
+        os << '"' << json_escape(row[c]) << '"';
+      }
+    }
+    os << '}';
+  }
+  os << ']';
   return os.str();
 }
 

@@ -33,6 +33,10 @@ class Table {
   std::string to_string() const;
   /// Comma-separated values (headers + rows), for machine consumption.
   std::string to_csv() const;
+  /// JSON array of row objects keyed by header. Cells that parse as
+  /// numbers are emitted unquoted so downstream tooling gets real
+  /// numeric fields.
+  std::string to_json() const;
   void print(std::ostream& os) const;
 
  private:

@@ -217,6 +217,60 @@ TEST(Engine, RejectsPastSubmission) {
   EXPECT_THROW(e.submit_job(j), std::invalid_argument);
 }
 
+TEST(Engine, ObserverMaySubmitJobsDuringCompletion) {
+  // The completion observer is allowed to submit follow-up work; the
+  // submission may grow the engine's job storage mid-completion, which
+  // must not disturb the rest of the completion (dangling-reference
+  // regression).
+  Engine e(EngineConfig{.nodes = 4}, sched::make_scheduler("fcfs"));
+  int chained = 0;
+  e.set_completion_observer([&](const CompletedJob& done) {
+    if (chained < 50) {
+      ++chained;
+      SimJob follow;
+      follow.submit = done.end + 1;
+      follow.runtime = 5;
+      follow.estimate = 5;
+      follow.procs = 1;
+      e.submit_job(follow);
+    }
+  });
+  SimJob first;
+  first.submit = 0;
+  first.runtime = 5;
+  first.estimate = 5;
+  first.procs = 1;
+  e.submit_job(first);
+  e.run();
+  EXPECT_EQ(e.completed().size(), 51u);
+}
+
+TEST(Engine, SparseJobIdsCoexistWithDenseOnes) {
+  // Caller-chosen ids far beyond the trace population (the meta layer
+  // bases its ids at 1'000'000) must work alongside dense trace ids —
+  // and without a million-slot allocation, though the test can only
+  // check behavior.
+  Engine e(EngineConfig{.nodes = 4}, sched::make_scheduler("fcfs"));
+  e.load_trace(tiny_trace());
+  SimJob meta;
+  meta.id = 1'000'000;
+  meta.submit = 1;
+  meta.runtime = 7;
+  meta.estimate = 7;
+  meta.procs = 1;
+  const std::int64_t id = e.submit_job(meta);
+  EXPECT_EQ(id, 1'000'000);
+  EXPECT_EQ(e.job(id).runtime, 7);
+  e.run();
+  bool meta_done = false;
+  for (const auto& c : e.completed()) {
+    if (c.id == id) meta_done = true;
+  }
+  EXPECT_TRUE(meta_done);
+  // A later dense id still resolves to the same job population.
+  EXPECT_THROW(e.job(999'999), std::out_of_range);
+}
+
 TEST(Engine, OversizedJobClampedToMachine) {
   swf::Trace t;
   t.header.max_nodes = 4;

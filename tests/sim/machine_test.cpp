@@ -90,5 +90,93 @@ TEST(Machine, AllocationSkipsDownNodes) {
   for (const auto n : *nodes) EXPECT_GE(n, 2);
 }
 
+TEST(Machine, AllocationIsFirstFitLowestIds) {
+  // The free list must hand out the lowest-numbered free nodes in
+  // increasing order — outage victim selection depends on placement, so
+  // this ordering is part of the reproducibility contract.
+  Machine m(8);
+  const auto a = m.allocate(1, 3);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(*a, (std::vector<std::int64_t>{0, 1, 2}));
+  const auto b = m.allocate(2, 2);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(*b, (std::vector<std::int64_t>{3, 4}));
+  // Release out of order; the next allocation still takes the lowest.
+  m.release(1, *a);
+  const auto c = m.allocate(3, 4);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, (std::vector<std::int64_t>{0, 1, 2, 5}));
+}
+
+TEST(Machine, ReleaseAfterPartialOutage) {
+  // A job loses part of its allocation to an outage: releasing the full
+  // node list must silently skip the downed nodes (they belong to the
+  // outage until bring_up), free the survivors, and keep every counter
+  // consistent.
+  Machine m(6);
+  const auto nodes = m.allocate(9, 4);  // nodes 0..3
+  ASSERT_TRUE(nodes);
+  EXPECT_EQ(m.take_down((*nodes)[1]), 9);
+  EXPECT_EQ(m.take_down((*nodes)[2]), 9);
+  EXPECT_EQ(m.busy_nodes(), 2);
+  EXPECT_EQ(m.down_nodes(), 2);
+
+  m.release(9, *nodes);  // must not throw on the two downed nodes
+  EXPECT_EQ(m.free_nodes(), 4);   // 0, 3 released + 4, 5 never used
+  EXPECT_EQ(m.busy_nodes(), 0);
+  EXPECT_EQ(m.down_nodes(), 2);
+  EXPECT_EQ(m.owner((*nodes)[1]), kDown);
+  EXPECT_EQ(m.owner((*nodes)[2]), kDown);
+
+  // Repair returns the nodes to the free pool as kFree — the old owner
+  // was killed at take_down time and has no claim.
+  m.bring_up((*nodes)[1]);
+  m.bring_up((*nodes)[2]);
+  EXPECT_EQ(m.free_nodes(), 6);
+  EXPECT_EQ(m.down_nodes(), 0);
+  // And they are allocatable again, lowest-first.
+  const auto again = m.allocate(10, 6);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*again, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Machine, ChurnKeepsFreeListConsistent) {
+  // Exercise the lazy-deletion free list: allocate/release/outage churn
+  // must never double-allocate a node or lose one.
+  Machine m(16);
+  std::vector<std::vector<std::int64_t>> held;
+  std::int64_t next_job = 1;
+  for (int round = 0; round < 50; ++round) {
+    if (round % 3 != 2) {
+      const auto got = m.allocate(next_job, 1 + (round % 5));
+      if (got) {
+        ++next_job;
+        held.push_back(*got);
+      }
+    } else if (!held.empty()) {
+      --next_job;  // most recent allocation belongs to next_job - 1
+      m.release(next_job, held.back());
+      held.pop_back();
+    }
+    if (round % 7 == 6) {
+      const std::int64_t n = round % 16;
+      if (m.owner(n) == kFree) {
+        m.take_down(n);
+        m.bring_up(n);
+      }
+    }
+    // Invariant: counters partition the machine.
+    EXPECT_EQ(m.free_nodes() + m.busy_nodes() + m.down_nodes(),
+              m.total_nodes());
+    // Invariant: no node owned by two jobs (owners are per-node, so
+    // check each held allocation still owns its nodes).
+    for (std::size_t h = 0; h < held.size(); ++h) {
+      for (const auto n : held[h]) {
+        EXPECT_GE(m.owner(n), 0) << "node " << n << " lost its owner";
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pjsb::sim

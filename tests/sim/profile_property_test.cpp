@@ -137,5 +137,84 @@ TEST_P(ProfileProperty, MatchesBruteForceReference) {
   }
 }
 
+TEST_P(ProfileProperty, CompactionPreservesTheFuture) {
+  // Interleave random mutations with compact_before at a monotonically
+  // advancing "now"; availability at or after the compaction point must
+  // match the reference exactly, and the step count must not grow with
+  // the number of *past* operations.
+  constexpr std::int64_t kHorizon = 400;
+  constexpr std::int64_t kBase = 16;
+  util::Rng rng(GetParam() * 977 + 13);
+
+  CapacityProfile profile(kBase);
+  ReferenceProfile reference(kBase, kHorizon);
+
+  std::int64_t floor = 0;  // compaction point: queries only from here on
+  for (int op = 0; op < 120; ++op) {
+    const std::int64_t start = rng.uniform_int(0, kHorizon - 2);
+    const std::int64_t end = start + rng.uniform_int(1, 60);
+    const std::int64_t procs = rng.uniform_int(1, 5);
+    profile.add_usage(start, end, procs);
+    reference.add_usage(start, end, procs);
+
+    if (op % 5 == 4) {
+      floor = std::min<std::int64_t>(floor + rng.uniform_int(0, 30),
+                                     kHorizon - 1);
+      profile.compact_before(floor);
+    }
+
+    for (int q = 0; q < 8; ++q) {
+      const std::int64_t t = rng.uniform_int(floor, kHorizon - 1);
+      ASSERT_EQ(profile.available_at(t), reference.available_at(t))
+          << "seed=" << GetParam() << " op=" << op << " t=" << t
+          << " floor=" << floor;
+    }
+    const std::int64_t ws = rng.uniform_int(floor, kHorizon - 2);
+    const std::int64_t we = ws + rng.uniform_int(1, 40);
+    ASSERT_EQ(profile.min_available(ws, we),
+              reference.min_available(ws, std::min(we, kHorizon)))
+        << "seed=" << GetParam() << " op=" << op;
+  }
+  // All usages are short-lived relative to the horizon: after
+  // compacting everything, only the live tail may remain.
+  profile.compact_before(kHorizon + 100);
+  EXPECT_LE(profile.step_count(), 1u);
+}
+
+TEST_P(ProfileProperty, MonotoneQueriesMatchRandomQueries) {
+  // Scheduler query streams advance in time, which the cached segment
+  // hint accelerates; hint reuse must never change an answer. Compare a
+  // strictly monotone scan against fresh-profile answers.
+  constexpr std::int64_t kHorizon = 300;
+  constexpr std::int64_t kBase = 32;
+  util::Rng rng(GetParam() * 31 + 7);
+
+  CapacityProfile profile(kBase);
+  for (int i = 0; i < 40; ++i) {
+    const std::int64_t start = rng.uniform_int(0, kHorizon - 2);
+    profile.add_usage(start, start + rng.uniform_int(1, 50),
+                      rng.uniform_int(1, 6));
+  }
+  const CapacityProfile twin = profile;  // identical content
+  // Walk one copy strictly forward and the other strictly backward so
+  // their cached hints follow opposite trajectories, then compare the
+  // answers per time point.
+  std::vector<std::int64_t> forward_avail, forward_start;
+  std::vector<std::int64_t> backward_avail, backward_start;
+  for (std::int64_t t = 0; t < kHorizon; ++t) {
+    forward_avail.push_back(profile.available_at(t));
+    forward_start.push_back(profile.earliest_start(t, 20, 8));
+  }
+  for (std::int64_t t = kHorizon - 1; t >= 0; --t) {
+    backward_avail.push_back(twin.available_at(t));
+    backward_start.push_back(twin.earliest_start(t, 20, 8));
+  }
+  for (std::int64_t t = 0; t < kHorizon; ++t) {
+    const auto back = std::size_t(kHorizon - 1 - t);
+    ASSERT_EQ(forward_avail[std::size_t(t)], backward_avail[back]) << t;
+    ASSERT_EQ(forward_start[std::size_t(t)], backward_start[back]) << t;
+  }
+}
+
 }  // namespace
 }  // namespace pjsb::sched

@@ -124,6 +124,46 @@ TEST(Profile, NegativeCapacityThrows) {
   EXPECT_THROW(CapacityProfile(-1), std::invalid_argument);
 }
 
+TEST(Profile, StepCountTracksCanonicalSteps) {
+  CapacityProfile p(8);
+  EXPECT_EQ(p.step_count(), 0u);
+  p.add_usage(10, 20, 2);
+  EXPECT_EQ(p.step_count(), 2u);
+  // Adjacent equal-availability segments merge: a second usage starting
+  // exactly where the first ends with the same procs keeps one boundary.
+  p.add_usage(20, 30, 2);
+  EXPECT_EQ(p.step_count(), 2u);
+  p.remove_usage(10, 20, 2);
+  p.remove_usage(20, 30, 2);
+  EXPECT_EQ(p.step_count(), 0u);
+}
+
+TEST(Profile, CompactDropsStepMadeRedundantByFolding) {
+  // A usage ending exactly at the compaction point leaves a step there
+  // that restores base availability; once the history before it folds
+  // into the base, that step is redundant and must go too.
+  CapacityProfile p(10);
+  p.add_usage(2, 7, 5);  // steps: {2,5}, {7,10}
+  EXPECT_EQ(p.step_count(), 2u);
+  p.compact_before(7);
+  EXPECT_EQ(p.step_count(), 0u);
+  EXPECT_EQ(p.available_at(7), 10);
+  EXPECT_EQ(p.available_at(100), 10);
+}
+
+TEST(Profile, SameFromComparesOnlyTheFuture) {
+  CapacityProfile a(8);
+  CapacityProfile b(8);
+  a.add_usage(0, 50, 3);   // differs from b only in the past
+  a.add_usage(100, 200, 4);
+  b.add_usage(100, 200, 4);
+  EXPECT_FALSE(a.same_from(b, 0));
+  EXPECT_TRUE(a.same_from(b, 50));
+  EXPECT_TRUE(a.same_from(b, 150));
+  b.add_usage(150, 160, 1);
+  EXPECT_FALSE(a.same_from(b, 50));
+}
+
 TEST(Profile, ToStringRendersSteps) {
   CapacityProfile p(4);
   p.add_usage(10, 20, 2);
