@@ -1,0 +1,13 @@
+#include "core/swf/job_source.hpp"
+
+namespace pjsb::swf {
+
+std::optional<JobRecord> TraceSource::next() {
+  while (index_ < trace_->records.size()) {
+    const JobRecord& r = trace_->records[index_++];
+    if (r.is_summary()) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pjsb::swf

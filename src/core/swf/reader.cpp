@@ -8,14 +8,10 @@
 
 namespace pjsb::swf {
 
-namespace {
-
 using pjsb::util::parse_i64;
 using pjsb::util::split_ws;
 using pjsb::util::trim;
 
-/// Parse the 18 integer fields of a record line. Returns error message
-/// or empty string on success.
 std::string parse_record_line(std::string_view line, bool allow_extra,
                               JobRecord& out) {
   const auto tokens = split_ws(line);
@@ -59,8 +55,6 @@ std::string parse_record_line(std::string_view line, bool allow_extra,
   out.think_time = values[17];
   return {};
 }
-
-}  // namespace
 
 ReadResult read_swf(std::istream& in, const ReaderOptions& options) {
   ReadResult result;

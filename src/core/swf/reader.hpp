@@ -36,6 +36,13 @@ struct ReaderOptions {
   bool allow_extra_fields = false;
 };
 
+/// Parse one 18-field record line (no comments, already trimmed).
+/// Returns an error message, or an empty string on success. Shared by
+/// the in-memory reader and the streaming reader so both enforce the
+/// exact same grammar.
+std::string parse_record_line(std::string_view line, bool allow_extra,
+                              JobRecord& out);
+
 /// Parse an SWF stream.
 ReadResult read_swf(std::istream& in, const ReaderOptions& options = {});
 

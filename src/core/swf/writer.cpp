@@ -32,4 +32,22 @@ bool write_swf_file(const std::string& path, const Trace& trace,
   return bool(out);
 }
 
+std::uint64_t write_swf_stream(std::ostream& out, JobSource& source,
+                               std::uint64_t max_records,
+                               const WriterOptions& options) {
+  if (options.include_header) {
+    for (const auto& line : source.header().to_comment_lines()) {
+      out << line << '\n';
+    }
+  }
+  std::uint64_t written = 0;
+  while (max_records == 0 || written < max_records) {
+    const auto record = source.next();
+    if (!record) break;
+    out << record->to_line() << '\n';
+    ++written;
+  }
+  return written;
+}
+
 }  // namespace pjsb::swf

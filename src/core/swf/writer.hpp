@@ -2,9 +2,11 @@
 // comments first, one 18-field integer line per record.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "core/swf/job_source.hpp"
 #include "core/swf/trace.hpp"
 
 namespace pjsb::swf {
@@ -27,5 +29,14 @@ std::string write_swf_string(const Trace& trace,
 /// cannot be opened.
 bool write_swf_file(const std::string& path, const Trace& trace,
                     const WriterOptions& options = {});
+
+/// Drain a JobSource to SWF text, one record at a time — the constant-
+/// memory counterpart of write_swf, used to materialize million-job
+/// synthetic streams on disk. Writes at most `max_records` records
+/// (0 = until the source is exhausted; required for unbounded
+/// generator sources). Returns the number of records written.
+std::uint64_t write_swf_stream(std::ostream& out, JobSource& source,
+                               std::uint64_t max_records = 0,
+                               const WriterOptions& options = {});
 
 }  // namespace pjsb::swf

@@ -62,6 +62,33 @@ void CampaignSpec::validate() const {
       throw std::invalid_argument("campaign: workload '" + w.label +
                                   "' load must be in [0, 1]");
     }
+    if (w.stream) {
+      if (w.load > 0.0) {
+        throw std::invalid_argument(
+            "campaign: workload '" + w.label +
+            "' streams and cannot be rescaled (load=) — rescaling needs "
+            "the whole trace");
+      }
+      if (w.model == workload::ModelKind::kDowney97) {
+        throw std::invalid_argument(
+            "campaign: workload '" + w.label +
+            "' cannot stream: downey97 builds moldable chains from the "
+            "whole trace");
+      }
+      if (w.lookahead == 0) {
+        throw std::invalid_argument("campaign: workload '" + w.label +
+                                    "' lookahead must be >= 1");
+      }
+      for (const auto& c : configs) {
+        if (c.outages) {
+          throw std::invalid_argument(
+              "campaign: workload '" + w.label +
+              "' streams but config '" + c.label +
+              "' injects outages — generating a failure stream needs the "
+              "trace horizon up front");
+        }
+      }
+    }
   }
   for (const auto& c : configs) {
     if (c.label.empty()) {
@@ -169,15 +196,8 @@ WorkloadSpec parse_workload(std::string_view value, std::size_t line) {
     }
     w.label = base;
   } else {
-    bool found = false;
-    for (const auto kind : workload::all_models()) {
-      if (source == workload::model_name(kind)) {
-        w.model = kind;
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
+    w.model = workload::model_kind_from_name(source);
+    if (!w.model) {
       std::string valid;
       for (const auto kind : workload::all_models()) {
         if (!valid.empty()) valid += ", ";
@@ -210,6 +230,19 @@ WorkloadSpec parse_workload(std::string_view value, std::size_t line) {
       w.load = *f;
     } else if (key == "label") {
       w.label = std::string(val);
+    } else if (key == "stream") {
+      const std::string v = util::to_lower(val);
+      if (v == "1" || v == "true" || v == "yes") {
+        w.stream = true;
+      } else if (v == "0" || v == "false" || v == "no") {
+        w.stream = false;
+      } else {
+        fail(line, "stream must be 0/1, true/false or yes/no");
+      }
+    } else if (key == "lookahead") {
+      const auto n = util::parse_i64(val);
+      if (!n || *n < 1) fail(line, "lookahead must be a positive integer");
+      w.lookahead = std::size_t(*n);
     } else {
       fail(line, "unknown workload option '" + key + "'");
     }

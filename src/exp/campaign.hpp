@@ -34,6 +34,16 @@ struct WorkloadSpec {
   std::size_t jobs = 2000;
   /// Target offered load; 0 keeps the natural load of the source.
   double load = 0.0;
+  /// Feed the cell through a streaming JobSource instead of a
+  /// materialized trace: trace files are re-read per cell by
+  /// swf::StreamReader, models sampled by a ModelJobSource. The trace
+  /// itself never resides in memory (per-job completion records are
+  /// still kept, for exact metrics). Streaming workloads cannot be
+  /// rescaled (`load=`) and cannot be crossed with outage configs —
+  /// both need the full trace/horizon up front.
+  bool stream = false;
+  /// Ingestion window for streaming cells (records pulled ahead).
+  std::size_t lookahead = 4096;
 };
 
 /// One entry on the engine-configuration axis.
@@ -108,7 +118,8 @@ std::vector<CellSpec> expand(const CampaignSpec& spec);
 ///   seed = 42
 ///   nodes = 128
 ///
-/// Workload options: `jobs=N`, `load=F`, `label=S`. Config flags are
+/// Workload options: `jobs=N`, `load=F`, `label=S`, `stream=0|1`,
+/// `lookahead=N` (streaming ingestion window). Config flags are
 /// '+'-separated: `open` (default), `closed`, `outages`, `blind`
 /// (outages not announced in advance). Throws std::invalid_argument on
 /// malformed input; the result is validated before being returned.

@@ -10,10 +10,12 @@
 
 #include "core/outage/generate.hpp"
 #include "core/swf/reader.hpp"
+#include "core/swf/stream_reader.hpp"
 #include "sched/factory.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"
 #include "workload/scale.hpp"
+#include "workload/stream.hpp"
 
 namespace pjsb::exp {
 
@@ -38,20 +40,80 @@ std::size_t count_summary_jobs(const swf::Trace& trace) {
       [](const swf::JobRecord& r) { return r.is_summary(); }));
 }
 
+/// Run one streaming cell: build the per-cell JobSource (StreamReader
+/// for trace files, ModelJobSource for models) and replay it through
+/// the bounded-memory engine path. Per-job completion records are kept
+/// for exact metric aggregation. Open-loop streamed cells make the
+/// same decisions as a materialized run of the same workload;
+/// closed-loop cells resolve fields 17/18 within the lookahead window
+/// and can diverge from a materialized run when a dependent is pulled
+/// after its predecessor terminated (see README, "closed-loop caveat")
+/// — raise `lookahead` to cover the trace's dependency spans when
+/// comparing stream=0 against stream=1 cells.
+sim::ReplayResult run_stream_cell(const CampaignSpec& spec,
+                                  const CellSpec& cell,
+                                  const WorkloadSpec& wspec,
+                                  const ConfigSpec& cspec) {
+  sim::StreamReplayOptions options;
+  options.closed_loop = cspec.closed_loop;
+  options.deliver_announcements = cspec.deliver_announcements;
+  options.lookahead = wspec.lookahead;
+  options.recycle_slots = true;
+  // Node resolution is replay()'s: the source header's MaxNodes (the
+  // generator writes machine_nodes there) or kDefaultNodes, unless the
+  // spec pins a size.
+  if (spec.nodes > 0) options.nodes = spec.nodes;
+  auto scheduler = sched::make_scheduler(spec.schedulers.at(cell.scheduler));
+
+  if (wspec.model) {
+    workload::GeneratorSpec gen;
+    gen.kind = *wspec.model;
+    gen.config.jobs = wspec.jobs;
+    gen.config.machine_nodes = spec.nodes > 0
+                                   ? spec.nodes
+                                   : workload::ModelConfig{}.machine_nodes;
+    gen.seed = cell.seed;
+    gen.max_jobs = wspec.jobs;
+    workload::ModelJobSource source(gen);
+    return sim::replay(source, std::move(scheduler), options);
+  }
+
+  swf::StreamReader source(wspec.trace_path);
+  if (source.open_failed()) {
+    throw std::runtime_error("campaign: cannot open trace '" +
+                             wspec.trace_path + "'");
+  }
+  auto result = sim::replay(source, std::move(scheduler), options);
+  // Malformed lines are fatal, exactly like the preload path: a report
+  // over a silently shrunken workload is worse than failing.
+  if (source.error_count() > 0 || result.source_pulled == 0) {
+    std::string detail = source.error_count() > 0
+                             ? std::to_string(source.error_count()) +
+                                   " malformed line(s)"
+                             : "no job records";
+    if (!source.errors().empty()) {
+      detail += "; line " + std::to_string(source.errors().front().line) +
+                ": " + source.errors().front().message;
+    }
+    throw std::runtime_error("campaign: trace '" + wspec.trace_path +
+                             "': " + detail);
+  }
+  return result;
+}
+
 /// Load the trace-file workloads once, up front, applying any load
 /// rescaling here (it is deterministic, so the result is shared by all
-/// cells); model workloads get an empty placeholder so the vector stays
-/// index-aligned.
+/// cells); model and streamed workloads get an empty placeholder so
+/// the vector stays index-aligned.
 std::vector<PreloadedWorkload> preload_traces(const CampaignSpec& spec) {
   std::vector<PreloadedWorkload> traces(spec.workloads.size());
   for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
     const auto& w = spec.workloads[i];
-    if (w.model) continue;
+    if (w.model || w.stream) continue;
     auto result = swf::read_swf_file(w.trace_path);
-    // Non-strict reading skips malformed lines; a trace that still
-    // yielded records is usable (matching swf_tool's convention). Only
-    // a file that produced nothing at all is fatal.
-    if (!result.ok() && result.trace.records.empty()) {
+    // Malformed lines are fatal (matching swf_tool): an experiment on a
+    // silently shrunken workload would misreport every metric.
+    if (!result.ok()) {
       std::string detail;
       const std::size_t shown = std::min<std::size_t>(result.errors.size(), 5);
       for (std::size_t e = 0; e < shown; ++e) {
@@ -99,6 +161,19 @@ CellResult run_cell(const CampaignSpec& spec, const CellSpec& cell,
   const auto& wspec = spec.workloads.at(cell.workload);
   const auto& cspec = spec.configs.at(cell.config);
   util::Rng rng(cell.seed);
+
+  if (wspec.stream) {
+    const auto replay_result = run_stream_cell(spec, cell, wspec, cspec);
+    CellResult result;
+    result.cell = cell;
+    result.metrics =
+        metrics::compute_report(replay_result.completed, replay_result.stats);
+    result.workload_jobs = std::size_t(replay_result.source_pulled);
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  }
 
   // 1. Workload: regenerate (and rescale) from the cell seed, or use
   // the shared preloaded trace, which is already rescaled — no per-cell

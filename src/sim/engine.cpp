@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace pjsb::sim {
@@ -34,27 +35,124 @@ Engine::Engine(const EngineConfig& config,
 Engine::~Engine() = default;
 
 void Engine::load_trace(const swf::Trace& trace) {
-  for (const auto& r : trace.summary_records()) {
-    SimJob j = SimJob::from_record(r);
-    j.procs = std::min(j.procs, machine_.total_nodes());
-    const std::int64_t id = j.id > 0 ? j.id : next_job_id_;
-    j.id = id;
-    next_job_id_ = std::max(next_job_id_, id + 1);
+  // An eager pull of the whole trace: with an unbounded lookahead the
+  // fill loop drains the source before returning, so the stack-local
+  // adapter's lifetime is safe and behavior matches the historical
+  // all-up-front load exactly.
+  swf::TraceSource source(trace);
+  JobSourceOptions options;
+  options.lookahead = std::numeric_limits<std::size_t>::max();
+  set_job_source(source, options);
+}
 
-    const bool dependent = config_.closed_loop &&
-                           r.preceding_job != swf::kUnknown &&
-                           r.preceding_job > 0;
-    auto& slot = obtain_slot(id);
-    if (slot.job.id == 0) slot.job = j;  // first record wins, as before
-    if (dependent) {
-      const std::int64_t think =
-          r.think_time != swf::kUnknown ? std::max<std::int64_t>(0,
-                                                                 r.think_time)
-                                        : 0;
-      dependents_[r.preceding_job].push_back({id, think});
-    } else {
-      push_event(j.submit, EventType::kSubmit, id);
+void Engine::set_job_source(swf::JobSource& source,
+                            const JobSourceOptions& options) {
+  source_ = &source;
+  source_opts_ = options;
+  if (source_opts_.lookahead == 0) source_opts_.lookahead = 1;
+  fill_from_source();
+}
+
+void Engine::fill_from_source() {
+  while (source_ && pending_submits_ < source_opts_.lookahead) {
+    if (source_opts_.max_jobs != 0 &&
+        source_pulled_ >= source_opts_.max_jobs) {
+      source_ = nullptr;
+      break;
     }
+    const auto record = source_->next();
+    if (!record) {
+      source_ = nullptr;
+      break;
+    }
+    ++source_pulled_;
+    admit_record(*record);
+  }
+}
+
+void Engine::admit_record(const swf::JobRecord& r) {
+  SimJob j = SimJob::from_record(r);
+  j.procs = std::min(j.procs, machine_.total_nodes());
+  const std::int64_t id = j.id > 0 ? j.id : next_job_id_;
+  j.id = id;
+  next_job_id_ = std::max(next_job_id_, id + 1);
+  if (j.submit < now_) {
+    // The source contract is ascending submit order; a straggler (or a
+    // record pulled after the clock passed its submit time under a tiny
+    // lookahead) is submitted immediately rather than in the past.
+    j.submit = now_;
+    ++source_clamped_;
+  }
+
+  auto& slot = obtain_slot(id);
+  const bool fresh = slot.job.id == 0;
+  if (fresh) slot.job = j;  // first record wins, as before
+  ++pending_submits_;
+
+  const bool dependent = config_.closed_loop &&
+                         r.preceding_job != swf::kUnknown &&
+                         r.preceding_job > 0;
+  if (dependent) {
+    const std::int64_t think =
+        r.think_time != swf::kUnknown ? std::max<std::int64_t>(0,
+                                                               r.think_time)
+                                      : 0;
+    const std::int64_t pred = r.preceding_job;
+    // Live (or not-yet-seen-terminating) predecessor: defer until it
+    // terminates — identical to the all-up-front load, where every
+    // dependent is registered before the clock starts.
+    const JobSlot* ps = find_slot(pred);
+    if (ps && ps->job.state != JobState::kFinished) {
+      dependents_[pred].push_back({id, think});
+      return;
+    }
+    std::int64_t released = -1;
+    if (ps) {
+      // Terminated but still resident: release relative to its end.
+      released = ps->job.end + think;
+    } else if (const auto it = finished_end_.find(pred);
+               it != finished_end_.end()) {
+      // Recycled predecessor remembered by the bounded history.
+      released = it->second + think;
+    }
+    if (released >= 0) {
+      const std::int64_t at = std::max(now_, released);
+      if (fresh) slot.job.submit = at;
+      push_event(at, EventType::kSubmit, id, /*version=*/1);
+      return;
+    }
+    // Unknown predecessor. During an eager (unbounded-lookahead) load
+    // the record may simply precede its predecessor in the file, so
+    // register the edge and wait — the historical load_trace behavior,
+    // including "a dangling predecessor means the job never runs". A
+    // bounded stream cannot afford that: an unresolvable dependent
+    // would occupy a lookahead slot forever and jam the pull window,
+    // so it falls back to its recorded submit time (open loop).
+    if (source_opts_.lookahead ==
+        std::numeric_limits<std::size_t>::max()) {
+      dependents_[pred].push_back({id, think});
+      return;
+    }
+  }
+  push_event(j.submit, EventType::kSubmit, id, /*version=*/1);
+}
+
+void Engine::release_slot(std::int64_t id) {
+  if (id >= 0 && std::size_t(id) < jobs_dense_.size()) {
+    jobs_dense_[std::size_t(id)] = JobSlot{};
+  }
+  jobs_overflow_.erase(id);
+}
+
+void Engine::record_finished(std::int64_t id, std::int64_t end_time) {
+  if (!config_.closed_loop) return;
+  while (finished_order_.size() >= source_opts_.closed_loop_history &&
+         !finished_order_.empty()) {
+    finished_end_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+  if (finished_end_.emplace(id, end_time).second) {
+    finished_order_.push_back(id);
   }
 }
 
@@ -108,6 +206,7 @@ std::optional<std::int64_t> Engine::next_event_time() const {
 }
 
 bool Engine::step() {
+  if (events_.empty()) fill_from_source();
   if (events_.empty()) return false;
   const std::int64_t t = events_.top().time;
   account_capacity_to(t);
@@ -160,6 +259,10 @@ Engine::JobSlot& Engine::slot_at(std::int64_t id) {
 
 Engine::JobSlot& Engine::obtain_slot(std::int64_t id) {
   if (JobSlot* existing = find_slot(id)) return *existing;
+  // Recycle mode keeps every job in the hash map: the dense vector is
+  // sized by the largest id ever seen, which for a streamed million-job
+  // trace is exactly the O(trace) growth recycling exists to avoid.
+  if (config_.recycle_slots) return jobs_overflow_[id];
   // Place new ids densely only while they stay near-contiguous: growing
   // the vector by a bounded gap at a time. A far outlier (e.g. the meta
   // layer's 1'000'000-based ids over a small background trace) goes to
@@ -247,7 +350,7 @@ void Engine::process(const Event& ev) {
   ++events_processed_;
   switch (ev.type) {
     case EventType::kSubmit:
-      handle_submit(ev.id);
+      handle_submit(ev);
       break;
     case EventType::kJobEnd:
       handle_job_end(ev);
@@ -272,12 +375,24 @@ void Engine::process(const Event& ev) {
   }
 }
 
-void Engine::handle_submit(std::int64_t job_id) {
-  auto& j = slot_at(job_id).job;
-  j.state = JobState::kQueued;
+void Engine::handle_submit(const Event& ev) {
+  const std::int64_t job_id = ev.id;
+  // One admitted record leaves the lookahead window; top it back up.
+  // Externally injected jobs (submit_job) carry version 0 and were
+  // never counted, so they must not drain the gauge either.
+  if (ev.version != 0 && pending_submits_ > 0) --pending_submits_;
+  JobSlot* slot = find_slot(job_id);
+  if (!slot) {
+    // A duplicate submit for a job that already terminated and was
+    // recycled; nothing to (re)queue.
+    fill_from_source();
+    return;
+  }
+  slot->job.state = JobState::kQueued;
   ++queued_count_;
   scheduler_->on_submit(*this, job_id);
   scheduler_dirty_ = true;
+  fill_from_source();
 }
 
 void Engine::handle_job_end(const Event& ev) {
@@ -315,7 +430,8 @@ void Engine::finish_job(SimJob& j) {
   c.executable_id = j.executable_id;
   c.queue_id = j.queue_id;
   c.restarts = j.restarts;
-  completed_.push_back(c);
+  ++jobs_completed_;
+  if (config_.retain_completed) completed_.push_back(c);
   // The observer may submit new jobs, which can grow jobs_dense_ and
   // invalidate `j`; use only the copied record from here on.
   const std::int64_t finished_id = c.id;
@@ -330,9 +446,15 @@ void Engine::finish_job(SimJob& j) {
     for (const auto& [dep_id, think] : dit->second) {
       auto& dep = slot_at(dep_id).job;
       dep.submit = now_ + think;
-      push_event(dep.submit, EventType::kSubmit, dep_id);
+      // Dependents were counted in the gauge when admitted (version 1).
+      push_event(dep.submit, EventType::kSubmit, dep_id, /*version=*/1);
     }
     dependents_.erase(dit);
+  }
+
+  if (config_.recycle_slots) {
+    record_finished(finished_id, c.end);
+    release_slot(finished_id);
   }
 }
 
@@ -357,6 +479,36 @@ void Engine::kill_job(JobSlot& slot) {
   } else {
     j.state = JobState::kFinished;
     j.end = now_;
+    // Dependents of a killed-and-dropped job never run — same outcome
+    // as the all-up-front load, where their dependents_ entry simply
+    // never fires. But a streaming source must not let those orphans
+    // sit in the lookahead gauge forever (the pull window would jam
+    // shut and silently truncate the replay), so drop them — and their
+    // own dependents, transitively — outright. Dropped orphans are
+    // marked terminated (or erased, in recycle mode) so a record
+    // pulled later that names one as predecessor resolves instead of
+    // deferring forever; they are not recorded in the closed-loop
+    // history: dropped, not released.
+    std::vector<std::int64_t> doomed = {j.id};
+    if (config_.recycle_slots) release_slot(j.id);
+    while (!doomed.empty()) {
+      const std::int64_t id = doomed.back();
+      doomed.pop_back();
+      const auto dit = dependents_.find(id);
+      if (dit == dependents_.end()) continue;
+      for (const auto& [dep_id, think] : dit->second) {
+        (void)think;
+        if (pending_submits_ > 0) --pending_submits_;
+        if (config_.recycle_slots) {
+          release_slot(dep_id);
+        } else if (JobSlot* dep = find_slot(dep_id)) {
+          dep->job.state = JobState::kFinished;
+          dep->job.end = now_;
+        }
+        doomed.push_back(dep_id);
+      }
+      dependents_.erase(dit);
+    }
   }
   scheduler_dirty_ = true;
 }
@@ -419,7 +571,7 @@ EngineStats Engine::stats() const {
   s.work_node_seconds = work_node_seconds_;
   s.wasted_node_seconds = wasted_node_seconds_;
   s.makespan = makespan_;
-  s.jobs_completed = std::int64_t(completed_.size());
+  s.jobs_completed = jobs_completed_;
   s.jobs_killed = jobs_killed_;
   s.events_processed = events_processed_;
   return s;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "core/outage/record.hpp"
+#include "core/swf/job_source.hpp"
 #include "core/swf/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/job.hpp"
@@ -35,6 +37,31 @@ struct EngineConfig {
   bool closed_loop = false;
   /// Requeue jobs killed by outages (restart from scratch).
   bool requeue_killed_jobs = true;
+  /// Accumulate per-job CompletedJob records in completed(). Turn off
+  /// for constant-memory streaming runs and consume the completion
+  /// observer instead; stats() stays exact either way.
+  bool retain_completed = true;
+  /// Erase a job's engine slot once it terminates (constant-memory
+  /// streaming runs). All jobs then live in the hash map rather than
+  /// the dense id-indexed vector, so live memory is O(running+queued)
+  /// instead of O(max job id).
+  bool recycle_slots = false;
+};
+
+/// How the engine pulls from an attached swf::JobSource.
+struct JobSourceOptions {
+  /// Records pulled ahead of the simulation clock: the engine keeps at
+  /// most this many admitted-but-not-yet-submitted jobs. Bounds both
+  /// memory and how far ahead closed-loop dependencies can see.
+  std::size_t lookahead = 4096;
+  /// Stop pulling after this many records (0 = drain the source) — the
+  /// brake that makes unbounded generator streams terminate.
+  std::uint64_t max_jobs = 0;
+  /// Closed loop + recycle_slots only: how many recently terminated
+  /// job (id, end) pairs to remember so a late-pulled dependent can
+  /// still resolve its predecessor (fields 17/18) after the
+  /// predecessor's slot was recycled.
+  std::size_t closed_loop_history = std::size_t(1) << 16;
 };
 
 /// Aggregate accounting maintained by the engine.
@@ -66,8 +93,23 @@ class Engine final : public sched::SchedulerContext {
 
   /// Load the summary records of a trace as the job population. In
   /// closed-loop mode, dependency edges (fields 17/18) defer dependent
-  /// submissions until their predecessor terminates.
+  /// submissions until their predecessor terminates. Implemented as an
+  /// eager drain of a TraceSource through set_job_source.
   void load_trace(const swf::Trace& trace);
+
+  /// Attach a pull-based job source. The engine pulls records lazily as
+  /// the clock advances, keeping at most options.lookahead jobs ahead,
+  /// so source size never bounds memory. The source must stay alive
+  /// until it is exhausted (or the engine is destroyed); records must
+  /// arrive in ascending submit order — stragglers are clamped to now()
+  /// and counted in source_clamped().
+  void set_job_source(swf::JobSource& source,
+                      const JobSourceOptions& options = {});
+
+  /// Records pulled from the attached source so far.
+  std::uint64_t source_pulled() const { return source_pulled_; }
+  /// Source records whose submit time lay in the past when pulled.
+  std::uint64_t source_clamped() const { return source_clamped_; }
 
   /// Register an outage stream (call before run()).
   void add_outages(const outage::OutageLog& log);
@@ -131,7 +173,11 @@ class Engine final : public sched::SchedulerContext {
     EventType type = EventType::kSubmit;
     std::int64_t seq = 0;    ///< FIFO tie-break
     std::int64_t id = 0;     ///< job id / outage index / reservation id
-    std::int64_t version = 0;  ///< for revisable job-end events
+    /// kJobEnd: revision counter (stale end events are ignored).
+    /// kSubmit: 1 if the job was admitted from the attached source and
+    /// counts against the pending_submits_ lookahead gauge; 0 for
+    /// external submit_job injections, which must not drain the gauge.
+    std::int64_t version = 0;
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const {
@@ -169,10 +215,22 @@ class Engine final : public sched::SchedulerContext {
   /// new (job.id == 0 marks an empty slot).
   JobSlot& obtain_slot(std::int64_t id);
 
+  /// Pull from the attached source until the lookahead window is full
+  /// (or the source / max_jobs budget is exhausted).
+  void fill_from_source();
+  /// Admit one source record: create its slot and either push its
+  /// submit event or register it as a closed-loop dependent.
+  void admit_record(const swf::JobRecord& record);
+  /// Drop a terminated job's slot (recycle_slots mode).
+  void release_slot(std::int64_t id);
+  /// Remember a terminated job's end time for late closed-loop
+  /// dependents (bounded by closed_loop_history).
+  void record_finished(std::int64_t id, std::int64_t end_time);
+
   void push_event(std::int64_t time, EventType type, std::int64_t id,
                   std::int64_t version = 0);
   void process(const Event& ev);
-  void handle_submit(std::int64_t job_id);
+  void handle_submit(const Event& ev);
   void handle_job_end(const Event& ev);
   void handle_outage_start(std::size_t idx);
   void handle_outage_end(std::size_t idx);
@@ -206,6 +264,19 @@ class Engine final : public sched::SchedulerContext {
   std::vector<CompletedJob> completed_;
   std::function<void(const CompletedJob&)> completion_observer_;
 
+  // Attached pull source (nullptr once exhausted or max_jobs reached).
+  swf::JobSource* source_ = nullptr;
+  JobSourceOptions source_opts_;
+  std::uint64_t source_pulled_ = 0;
+  std::uint64_t source_clamped_ = 0;
+  /// Admitted records whose submit event has not been processed yet
+  /// (includes deferred closed-loop dependents) — the lookahead gauge.
+  std::size_t pending_submits_ = 0;
+  /// Bounded (id -> end time) memory of terminated jobs, kept only in
+  /// closed-loop recycle mode; eviction is FIFO by termination order.
+  std::unordered_map<std::int64_t, std::int64_t> finished_end_;
+  std::deque<std::int64_t> finished_order_;
+
   std::size_t queued_count_ = 0;
   std::size_t running_count_ = 0;
   // Capacity accounting.
@@ -214,6 +285,7 @@ class Engine final : public sched::SchedulerContext {
   std::int64_t work_node_seconds_ = 0;
   std::int64_t wasted_node_seconds_ = 0;
   std::int64_t makespan_ = 0;
+  std::int64_t jobs_completed_ = 0;
   std::int64_t jobs_killed_ = 0;
   std::int64_t events_processed_ = 0;
   bool scheduler_dirty_ = false;

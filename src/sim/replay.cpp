@@ -26,4 +26,35 @@ ReplayResult replay(const swf::Trace& trace,
   return result;
 }
 
+ReplayResult replay(swf::JobSource& source,
+                    std::unique_ptr<sched::Scheduler> scheduler,
+                    const StreamReplayOptions& options) {
+  EngineConfig config;
+  config.nodes = options.nodes.value_or(
+      source.header().max_nodes.value_or(kDefaultNodes));
+  config.closed_loop = options.closed_loop;
+  config.deliver_announcements = options.deliver_announcements;
+  config.retain_completed = options.retain_completed;
+  config.recycle_slots = options.recycle_slots;
+
+  Engine engine(config, std::move(scheduler));
+  if (options.completion_observer) {
+    engine.set_completion_observer(options.completion_observer);
+  }
+  if (options.outages) engine.add_outages(*options.outages);
+  JobSourceOptions source_options;
+  source_options.lookahead = options.lookahead;
+  source_options.max_jobs = options.max_jobs;
+  engine.set_job_source(source, source_options);
+  engine.run();
+
+  ReplayResult result;
+  result.completed = engine.completed();
+  result.stats = engine.stats();
+  result.nodes = config.nodes;
+  result.source_pulled = engine.source_pulled();
+  result.source_clamped = engine.source_clamped();
+  return result;
+}
+
 }  // namespace pjsb::sim

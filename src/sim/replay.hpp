@@ -36,15 +36,51 @@ struct ReplayOptions {
   std::function<void(const CompletedJob&)> completion_observer;
 };
 
+/// Options for streaming replay from a JobSource: the ReplayOptions
+/// set plus the ingestion-window and memory knobs.
+struct StreamReplayOptions {
+  /// Machine size; defaults to the source's MaxNodes header (128 if the
+  /// header carries none).
+  std::optional<std::int64_t> nodes;
+  /// Honor fields 17/18 as submission dependencies. Resolved within the
+  /// bounded lookahead/history window — see JobSourceOptions.
+  bool closed_loop = false;
+  /// Outage stream to inject (optional).
+  const outage::OutageLog* outages = nullptr;
+  /// Deliver outage announcements (outage-aware mode).
+  bool deliver_announcements = true;
+  /// Observer for online consumers (predictors, streaming CSV dumps,
+  /// online metrics). In constant-memory runs this is the only per-job
+  /// output channel.
+  std::function<void(const CompletedJob&)> completion_observer;
+
+  /// Ingestion window and unbounded-source brake (see JobSourceOptions).
+  std::size_t lookahead = 4096;
+  std::uint64_t max_jobs = 0;
+  /// Keep per-job records in ReplayResult::completed. Turn off together
+  /// with recycle_slots for O(running+queued+lookahead) memory.
+  bool retain_completed = true;
+  bool recycle_slots = false;
+};
+
 struct ReplayResult {
   std::vector<CompletedJob> completed;
   EngineStats stats;
   std::int64_t nodes = 0;
+  /// Streaming replays only: records pulled / submit-clamped.
+  std::uint64_t source_pulled = 0;
+  std::uint64_t source_clamped = 0;
 };
 
 /// Replay `trace` under `scheduler`. Consumes the scheduler.
 ReplayResult replay(const swf::Trace& trace,
                     std::unique_ptr<sched::Scheduler> scheduler,
                     const ReplayOptions& options = {});
+
+/// Replay a pull-based job source under `scheduler` in bounded memory.
+/// Consumes the scheduler; drains (up to max_jobs of) the source.
+ReplayResult replay(swf::JobSource& source,
+                    std::unique_ptr<sched::Scheduler> scheduler,
+                    const StreamReplayOptions& options = {});
 
 }  // namespace pjsb::sim

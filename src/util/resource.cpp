@@ -1,0 +1,13 @@
+#include "util/resource.hpp"
+
+#include <sys/resource.h>
+
+namespace pjsb::util {
+
+double peak_rss_mb() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return double(usage.ru_maxrss) / 1024.0;
+}
+
+}  // namespace pjsb::util

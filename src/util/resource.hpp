@@ -1,0 +1,12 @@
+// Process resource introspection shared by the tools and benches.
+#pragma once
+
+namespace pjsb::util {
+
+/// Peak resident set size of this process in MB. Linux semantics:
+/// getrusage's ru_maxrss is kilobytes and monotone over the process
+/// lifetime — measure phases in separate (child) processes when their
+/// individual peaks matter (see bench/bench_swf.cpp).
+double peak_rss_mb();
+
+}  // namespace pjsb::util

@@ -1,6 +1,5 @@
 #include "util/table.hpp"
 
-#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -102,19 +101,32 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Exact JSON number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+/// strtod alone would also accept "inf", hex floats, "+5", ".5", "5."
+/// and "007" — all invalid JSON tokens that, emitted unquoted, would
+/// make the whole document unparseable.
 bool is_number(const std::string& s) {
-  if (s.empty()) return false;
-  // Plain decimal syntax only: strtod alone would also accept "inf",
-  // "nan" and hex floats, none of which are valid JSON tokens.
-  for (const char c : s) {
-    if (!(c >= '0' && c <= '9') && c != '+' && c != '-' && c != '.' &&
-        c != 'e' && c != 'E') {
-      return false;
-    }
+  const char* p = s.c_str();
+  if (*p == '-') ++p;
+  if (*p == '0') {
+    ++p;
+  } else if (*p >= '1' && *p <= '9') {
+    while (*p >= '0' && *p <= '9') ++p;
+  } else {
+    return false;
   }
-  char* end = nullptr;
-  std::strtod(s.c_str(), &end);
-  return end != nullptr && *end == '\0' && end != s.c_str();
+  if (*p == '.') {
+    ++p;
+    if (!(*p >= '0' && *p <= '9')) return false;
+    while (*p >= '0' && *p <= '9') ++p;
+  }
+  if (*p == 'e' || *p == 'E') {
+    ++p;
+    if (*p == '+' || *p == '-') ++p;
+    if (!(*p >= '0' && *p <= '9')) return false;
+    while (*p >= '0' && *p <= '9') ++p;
+  }
+  return *p == '\0' && !s.empty();
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "workload/arrivals.hpp"
 
@@ -24,7 +25,71 @@ std::vector<double> size_weights(const Feitelson96Params& p,
   return w;
 }
 
+/// Draw one arrival's rerun burst: the same job (size, similar runtime)
+/// resubmitted after a pause. Appends at most `max_new` jobs to `out`
+/// and stops drawing once the cap is hit, so the batch generator's RNG
+/// sequence is preserved exactly when it trims to its job budget.
+void append_burst(const Feitelson96Params& params,
+                  const std::vector<double>& weights, std::int64_t submit,
+                  std::size_t max_new, util::Rng& rng,
+                  std::vector<RawModelJob>& out) {
+  if (max_new == 0) return;
+  const std::int64_t procs = std::int64_t(rng.categorical(weights)) + 1;
+
+  // Size-correlated hyper-exponential runtime.
+  const double log2n = std::log2(double(procs) + 1.0);
+  const double p_long = std::clamp(
+      params.long_prob_base + params.long_prob_slope * log2n, 0.0, 0.95);
+  const auto reruns = std::max<std::int64_t>(
+      1, std::int64_t(rng.exponential(1.0 / params.mean_reruns)) + 1);
+  std::int64_t t = submit;
+  std::size_t produced = 0;
+  for (std::int64_t k = 0; k < reruns && produced < max_new; ++k) {
+    RawModelJob j;
+    j.submit = t;
+    j.procs = procs;
+    const double mean = rng.bernoulli(p_long) ? params.long_mean
+                                              : params.short_mean;
+    j.runtime = std::max<std::int64_t>(
+        1, std::int64_t(rng.exponential(1.0 / mean)));
+    out.push_back(j);
+    ++produced;
+    t += j.runtime +
+         std::int64_t(rng.exponential(1.0 / params.rerun_gap_mean));
+  }
+}
+
 }  // namespace
+
+Feitelson96Sampler::Feitelson96Sampler(const Feitelson96Params& params,
+                                       const ModelConfig& config)
+    : params_(params),
+      config_(config),
+      weights_(size_weights(params, config.machine_nodes)),
+      poisson_(config.mean_interarrival),
+      cycled_(config.mean_interarrival, DailyCycle::production()) {}
+
+RawModelJob Feitelson96Sampler::next(util::Rng& rng) {
+  std::vector<RawModelJob> burst;
+  for (;;) {
+    if (!next_arrival_) {
+      next_arrival_ =
+          config_.daily_cycle ? cycled_.next(rng) : poisson_.next(rng);
+    }
+    // Everything already pending at or before the next fresh arrival is
+    // safe to emit: later bursts only add jobs at >= that arrival.
+    if (!pending_.empty() && pending_.top().submit <= *next_arrival_) {
+      RawModelJob j = pending_.top();
+      pending_.pop();
+      return j;
+    }
+    burst.clear();
+    append_burst(params_, weights_, *next_arrival_,
+                 std::numeric_limits<std::size_t>::max(), rng, burst);
+    for (const auto& j : burst) pending_.push(j);
+    next_arrival_.reset();
+  }
+}
 
 swf::Trace generate_feitelson96(const Feitelson96Params& params,
                                 const ModelConfig& config, util::Rng& rng) {
@@ -38,31 +103,9 @@ swf::Trace generate_feitelson96(const Feitelson96Params& params,
   while (jobs.size() < config.jobs) {
     const std::int64_t submit =
         config.daily_cycle ? cycled.next(rng) : poisson.next(rng);
-    const std::int64_t procs = std::int64_t(rng.categorical(weights)) + 1;
-
-    // Size-correlated hyper-exponential runtime.
-    const double log2n = std::log2(double(procs) + 1.0);
-    const double p_long = std::clamp(
-        params.long_prob_base + params.long_prob_slope * log2n, 0.0, 0.95);
-    // Reruns: the same job (size, similar runtime) resubmitted after a
-    // pause; the whole burst counts against the requested job budget.
-    const auto reruns = std::max<std::int64_t>(
-        1, std::int64_t(rng.exponential(1.0 / params.mean_reruns)) + 1);
-    std::int64_t t = submit;
-    for (std::int64_t k = 0; k < reruns && jobs.size() < config.jobs; ++k) {
-      RawModelJob j;
-      j.submit = t;
-      j.procs = procs;
-      const double mean = rng.bernoulli(p_long) ? params.long_mean
-                                                : params.short_mean;
-      j.runtime = std::max<std::int64_t>(
-          1, std::int64_t(rng.exponential(1.0 / mean)));
-      jobs.push_back(j);
-      t += j.runtime +
-           std::int64_t(rng.exponential(1.0 / params.rerun_gap_mean));
-    }
+    append_burst(params, weights, submit, config.jobs - jobs.size(), rng,
+                 jobs);
   }
-  jobs.resize(config.jobs);
   return package_jobs(std::move(jobs), config, "Feitelson96", rng);
 }
 

@@ -13,6 +13,10 @@
 //   * arrivals are Poisson.
 #pragma once
 
+#include <queue>
+#include <vector>
+
+#include "workload/arrivals.hpp"
 #include "workload/model.hpp"
 
 namespace pjsb::workload {
@@ -35,6 +39,39 @@ struct Feitelson96Params {
   double mean_reruns = 2.0;
   /// Mean pause between reruns of the same job (exponential, seconds).
   double rerun_gap_mean = 1800.0;
+};
+
+/// Incremental per-job sampler (see Lublin99Sampler). Rerun chains put
+/// jobs hours ahead of the arrival that spawned them, so the sampler
+/// merges a small pending heap with the arrival stream to emit jobs in
+/// ascending submit order — the batch generator instead sorts the whole
+/// trace at the end. RNG draws happen in the batch generator's order
+/// (arrival, then its burst), but the first N streamed jobs are the N
+/// *earliest by submit time*, while a batch generate() of N keeps whole
+/// bursts in draw order and truncates the last one — the two job sets
+/// can differ near the N boundary.
+class Feitelson96Sampler {
+ public:
+  Feitelson96Sampler(const Feitelson96Params& params,
+                     const ModelConfig& config);
+
+  RawModelJob next(util::Rng& rng);
+
+ private:
+  struct LaterSubmit {
+    bool operator()(const RawModelJob& a, const RawModelJob& b) const {
+      return a.submit > b.submit;
+    }
+  };
+
+  Feitelson96Params params_;
+  ModelConfig config_;
+  std::vector<double> weights_;
+  PoissonArrivals poisson_;
+  DailyCycleArrivals cycled_;
+  std::priority_queue<RawModelJob, std::vector<RawModelJob>, LaterSubmit>
+      pending_;
+  std::optional<std::int64_t> next_arrival_;
 };
 
 swf::Trace generate_feitelson96(const Feitelson96Params& params,

@@ -13,37 +13,45 @@ double draw_hyper_erlang(const HyperErlangSpec& spec, util::Rng& rng) {
   return rng.erlang(spec.order, double(spec.order) / mean);
 }
 
-swf::Trace generate_jann97(const Jann97Params& params,
-                           const ModelConfig& config, util::Rng& rng) {
+Jann97Sampler::Jann97Sampler(const Jann97Params& params,
+                             const ModelConfig& config)
+    : config_(config),
+      poisson_(config.mean_interarrival),
+      cycled_(config.mean_interarrival, DailyCycle::production()) {
   if (params.classes.empty()) {
     throw std::invalid_argument("jann97: no size classes");
   }
   // Keep classes that fit the machine; clamp the last one if partial.
-  std::vector<Jann97Class> classes;
   for (const auto& c : params.classes) {
     if (c.lo > config.machine_nodes) break;
     Jann97Class clamped = c;
     clamped.hi = std::min(clamped.hi, config.machine_nodes);
-    classes.push_back(clamped);
+    classes_.push_back(clamped);
   }
-  std::vector<double> fractions;
-  fractions.reserve(classes.size());
-  for (const auto& c : classes) fractions.push_back(c.fraction);
+  if (classes_.empty()) {
+    throw std::invalid_argument("jann97: no size class fits the machine");
+  }
+  fractions_.reserve(classes_.size());
+  for (const auto& c : classes_) fractions_.push_back(c.fraction);
+}
 
-  PoissonArrivals poisson(config.mean_interarrival);
-  DailyCycleArrivals cycled(config.mean_interarrival,
-                            DailyCycle::production());
+RawModelJob Jann97Sampler::next(util::Rng& rng) {
+  RawModelJob j;
+  j.submit = config_.daily_cycle ? cycled_.next(rng) : poisson_.next(rng);
+  const auto& cls = classes_[rng.categorical(fractions_)];
+  j.procs = rng.uniform_int(cls.lo, cls.hi);
+  j.runtime = std::max<std::int64_t>(
+      1, std::int64_t(draw_hyper_erlang(cls.runtime, rng)));
+  return j;
+}
 
+swf::Trace generate_jann97(const Jann97Params& params,
+                           const ModelConfig& config, util::Rng& rng) {
+  Jann97Sampler sampler(params, config);
   std::vector<RawModelJob> jobs;
   jobs.reserve(config.jobs);
   for (std::size_t i = 0; i < config.jobs; ++i) {
-    RawModelJob j;
-    j.submit = config.daily_cycle ? cycled.next(rng) : poisson.next(rng);
-    const auto& cls = classes[rng.categorical(fractions)];
-    j.procs = rng.uniform_int(cls.lo, cls.hi);
-    j.runtime = std::max<std::int64_t>(
-        1, std::int64_t(draw_hyper_erlang(cls.runtime, rng)));
-    jobs.push_back(j);
+    jobs.push_back(sampler.next(rng));
   }
   return package_jobs(std::move(jobs), config, "Jann97", rng);
 }

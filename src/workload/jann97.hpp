@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "workload/arrivals.hpp"
 #include "workload/model.hpp"
 
 namespace pjsb::workload {
@@ -53,6 +54,23 @@ struct Jann97Params {
 
 /// Draw from a two-branch hyper-Erlang (exposed for tests).
 double draw_hyper_erlang(const HyperErlangSpec& spec, util::Rng& rng);
+
+/// Incremental per-job sampler (see Lublin99Sampler). The constructor
+/// performs the class clamping of generate_jann97 and throws
+/// std::invalid_argument if no class fits the machine.
+class Jann97Sampler {
+ public:
+  Jann97Sampler(const Jann97Params& params, const ModelConfig& config);
+
+  RawModelJob next(util::Rng& rng);
+
+ private:
+  std::vector<Jann97Class> classes_;
+  std::vector<double> fractions_;
+  ModelConfig config_;
+  PoissonArrivals poisson_;
+  DailyCycleArrivals cycled_;
+};
 
 swf::Trace generate_jann97(const Jann97Params& params,
                            const ModelConfig& config, util::Rng& rng);

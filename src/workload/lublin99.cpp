@@ -42,22 +42,30 @@ std::int64_t draw_runtime(const Lublin99Params& p, std::int64_t nodes,
 
 }  // namespace
 
+Lublin99Sampler::Lublin99Sampler(const Lublin99Params& params,
+                                 const ModelConfig& config)
+    : params_(params),
+      config_(config),
+      poisson_(config.mean_interarrival),
+      cycled_(config.mean_interarrival, DailyCycle::production()) {}
+
+RawModelJob Lublin99Sampler::next(util::Rng& rng) {
+  RawModelJob j;
+  j.submit = config_.daily_cycle ? cycled_.next(rng) : poisson_.next(rng);
+  j.interactive = rng.bernoulli(params_.interactive_fraction);
+  j.procs = draw_size(params_, config_, j.interactive, rng);
+  j.runtime = draw_runtime(params_, j.procs, j.interactive,
+                           config_.max_runtime, rng);
+  return j;
+}
+
 swf::Trace generate_lublin99(const Lublin99Params& params,
                              const ModelConfig& config, util::Rng& rng) {
-  PoissonArrivals poisson(config.mean_interarrival);
-  DailyCycleArrivals cycled(config.mean_interarrival,
-                            DailyCycle::production());
-
+  Lublin99Sampler sampler(params, config);
   std::vector<RawModelJob> jobs;
   jobs.reserve(config.jobs);
   for (std::size_t i = 0; i < config.jobs; ++i) {
-    RawModelJob j;
-    j.submit = config.daily_cycle ? cycled.next(rng) : poisson.next(rng);
-    j.interactive = rng.bernoulli(params.interactive_fraction);
-    j.procs = draw_size(params, config, j.interactive, rng);
-    j.runtime = draw_runtime(params, j.procs, j.interactive,
-                             config.max_runtime, rng);
-    jobs.push_back(j);
+    jobs.push_back(sampler.next(rng));
   }
   return package_jobs(std::move(jobs), config, "Lublin99", rng);
 }

@@ -17,6 +17,7 @@
 // Lublin model); all are overridable.
 #pragma once
 
+#include "workload/arrivals.hpp"
 #include "workload/model.hpp"
 
 namespace pjsb::workload {
@@ -47,6 +48,24 @@ struct Lublin99Params {
   /// factor and sizes are drawn serial with higher probability.
   double interactive_runtime_scale = 0.1;
   double interactive_serial_prob = 0.75;
+};
+
+/// Incremental per-job sampler — the generate_lublin99 loop body, one
+/// job at a time, so streaming sources (workload/stream.hpp) can draw
+/// an unbounded arrival stream. Jobs come out in ascending submit
+/// order. With the same rng, N calls produce exactly the jobs of a
+/// batch generate() of N jobs.
+class Lublin99Sampler {
+ public:
+  Lublin99Sampler(const Lublin99Params& params, const ModelConfig& config);
+
+  RawModelJob next(util::Rng& rng);
+
+ private:
+  Lublin99Params params_;
+  ModelConfig config_;
+  PoissonArrivals poisson_;
+  DailyCycleArrivals cycled_;
 };
 
 swf::Trace generate_lublin99(const Lublin99Params& params,

@@ -26,6 +26,55 @@ std::vector<ModelKind> all_models() {
           ModelKind::kDowney97};
 }
 
+swf::JobRecord package_record(const RawModelJob& j, std::int64_t number,
+                              const ModelConfig& config, util::Rng& rng) {
+  swf::JobRecord r;
+  r.job_number = number;
+  r.submit_time = j.submit;
+  r.wait_time = swf::kUnknown;  // "only relevant to real logs"
+  r.run_time = std::clamp<std::int64_t>(j.runtime, 1, config.max_runtime);
+  r.allocated_procs = std::clamp<std::int64_t>(j.procs, 1,
+                                               config.machine_nodes);
+  r.requested_procs = r.allocated_procs;
+  const std::size_t f = rng.categorical(config.estimate_weights);
+  r.requested_time = std::min<std::int64_t>(
+      config.max_runtime,
+      std::int64_t(double(r.run_time) * config.estimate_factors.at(f)));
+  if (config.model_memory) {
+    const double log_mean =
+        config.memory_log_mean +
+        config.memory_size_slope * std::log2(double(r.allocated_procs));
+    r.used_memory_kb = std::clamp<std::int64_t>(
+        std::int64_t(rng.lognormal(log_mean, config.memory_log_sigma)),
+        1, config.max_memory_kb);
+    r.requested_memory_kb = std::min<std::int64_t>(
+        config.max_memory_kb,
+        std::int64_t(double(r.used_memory_kb) * 1.25));
+  }
+  r.status = swf::Status::kUnknown;  // "meaningless for models"
+  r.user_id = rng.zipf(config.users, config.zipf_exponent);
+  r.group_id = 1 + (r.user_id - 1) % config.groups;
+  r.executable_id = rng.zipf(config.executables, config.zipf_exponent);
+  r.queue_id = j.interactive ? 0 : 1;
+  return r;
+}
+
+swf::TraceHeader model_header(const ModelConfig& config,
+                              const std::string& model_label) {
+  swf::TraceHeader h;
+  h.computer = "Synthetic (" + model_label + ")";
+  h.installation = "pjsb workload generator";
+  h.conversion = "pjsb::workload";
+  h.version = 2;
+  h.max_nodes = config.machine_nodes;
+  h.max_runtime = config.max_runtime;
+  if (config.model_memory) h.max_memory_kb = config.max_memory_kb;
+  h.allow_overuse = false;
+  h.queues = "Queue 0 = interactive, queue 1 = batch.";
+  h.notes.push_back("Model: " + model_label);
+  return h;
+}
+
 swf::Trace package_jobs(std::vector<RawModelJob> jobs,
                         const ModelConfig& config,
                         const std::string& model_label, util::Rng& rng) {
@@ -37,50 +86,18 @@ swf::Trace package_jobs(std::vector<RawModelJob> jobs,
   swf::Trace trace;
   trace.records.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const auto& j = jobs[i];
-    swf::JobRecord r;
-    r.job_number = std::int64_t(i + 1);
-    r.submit_time = j.submit;
-    r.wait_time = swf::kUnknown;  // "only relevant to real logs"
-    r.run_time = std::clamp<std::int64_t>(j.runtime, 1, config.max_runtime);
-    r.allocated_procs = std::clamp<std::int64_t>(j.procs, 1,
-                                                 config.machine_nodes);
-    r.requested_procs = r.allocated_procs;
-    const std::size_t f = rng.categorical(config.estimate_weights);
-    r.requested_time = std::min<std::int64_t>(
-        config.max_runtime,
-        std::int64_t(double(r.run_time) * config.estimate_factors.at(f)));
-    if (config.model_memory) {
-      const double log_mean =
-          config.memory_log_mean +
-          config.memory_size_slope * std::log2(double(r.allocated_procs));
-      r.used_memory_kb = std::clamp<std::int64_t>(
-          std::int64_t(rng.lognormal(log_mean, config.memory_log_sigma)),
-          1, config.max_memory_kb);
-      r.requested_memory_kb = std::min<std::int64_t>(
-          config.max_memory_kb,
-          std::int64_t(double(r.used_memory_kb) * 1.25));
-    }
-    r.status = swf::Status::kUnknown;  // "meaningless for models"
-    r.user_id = rng.zipf(config.users, config.zipf_exponent);
-    r.group_id = 1 + (r.user_id - 1) % config.groups;
-    r.executable_id = rng.zipf(config.executables, config.zipf_exponent);
-    r.queue_id = j.interactive ? 0 : 1;
-    trace.records.push_back(r);
+    trace.records.push_back(
+        package_record(jobs[i], std::int64_t(i + 1), config, rng));
   }
-
-  auto& h = trace.header;
-  h.computer = "Synthetic (" + model_label + ")";
-  h.installation = "pjsb workload generator";
-  h.conversion = "pjsb::workload";
-  h.version = 2;
-  h.max_nodes = config.machine_nodes;
-  h.max_runtime = config.max_runtime;
-  if (config.model_memory) h.max_memory_kb = config.max_memory_kb;
-  h.allow_overuse = false;
-  h.queues = "Queue 0 = interactive, queue 1 = batch.";
-  h.notes.push_back("Model: " + model_label);
+  trace.header = model_header(config, model_label);
   return trace;
+}
+
+std::optional<ModelKind> model_kind_from_name(std::string_view name) {
+  for (const auto kind : all_models()) {
+    if (name == model_name(kind)) return kind;
+  }
+  return std::nullopt;
 }
 
 swf::Trace generate(ModelKind kind, const ModelConfig& config,

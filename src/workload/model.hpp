@@ -11,7 +11,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/swf/trace.hpp"
@@ -78,12 +80,26 @@ struct RawModelJob {
   bool interactive = false;
 };
 
+/// Package one raw job as an SWF record: clamp runtime/procs, draw the
+/// estimate factor, memory footprint and identities from `rng`. The
+/// per-record core of package_jobs, exposed so streaming generator
+/// sources (workload/stream.hpp) package with the exact same logic.
+swf::JobRecord package_record(const RawModelJob& job, std::int64_t number,
+                              const ModelConfig& config, util::Rng& rng);
+
+/// The header block package_jobs writes for a synthetic trace.
+swf::TraceHeader model_header(const ModelConfig& config,
+                              const std::string& model_label);
+
 /// Package raw jobs as a clean SWF trace: sorts by submit, renumbers,
 /// populates identities/estimates per `config`, and writes the header.
 /// Exposed so custom models compose with the standard pipeline.
 swf::Trace package_jobs(std::vector<RawModelJob> jobs,
                         const ModelConfig& config,
                         const std::string& model_label, util::Rng& rng);
+
+/// Resolve a model name ("lublin99", ...) as printed by model_name.
+std::optional<ModelKind> model_kind_from_name(std::string_view name);
 
 /// Generate a trace with the given model and configuration.
 swf::Trace generate(ModelKind kind, const ModelConfig& config,

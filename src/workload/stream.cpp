@@ -1,0 +1,55 @@
+#include "workload/stream.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "workload/feitelson96.hpp"
+#include "workload/jann97.hpp"
+#include "workload/lublin99.hpp"
+
+namespace pjsb::workload {
+
+ModelJobSource::ModelJobSource(const GeneratorSpec& spec)
+    : spec_(spec),
+      rng_(spec.seed),
+      header_(model_header(spec.config, model_name(spec.kind))) {
+  switch (spec_.kind) {
+    case ModelKind::kFeitelson96: {
+      auto s = std::make_shared<Feitelson96Sampler>(Feitelson96Params{},
+                                                    spec_.config);
+      sample_ = [s](util::Rng& rng) { return s->next(rng); };
+      break;
+    }
+    case ModelKind::kJann97: {
+      auto s = std::make_shared<Jann97Sampler>(Jann97Params{}, spec_.config);
+      sample_ = [s](util::Rng& rng) { return s->next(rng); };
+      break;
+    }
+    case ModelKind::kLublin99: {
+      auto s = std::make_shared<Lublin99Sampler>(Lublin99Params{},
+                                                 spec_.config);
+      sample_ = [s](util::Rng& rng) { return s->next(rng); };
+      break;
+    }
+    case ModelKind::kDowney97:
+      throw std::invalid_argument(
+          "ModelJobSource: downey97 builds moldable job chains from the "
+          "whole trace and cannot stream; use workload::generate");
+  }
+  if (!sample_) {
+    throw std::invalid_argument("ModelJobSource: unknown model kind");
+  }
+}
+
+std::optional<swf::JobRecord> ModelJobSource::next() {
+  if (spec_.max_jobs != 0 && emitted_ >= spec_.max_jobs) return std::nullopt;
+  const RawModelJob raw = sample_(rng_);
+  ++emitted_;
+  return package_record(raw, std::int64_t(emitted_), spec_.config, rng_);
+}
+
+std::string ModelJobSource::label() const {
+  return std::string("model:") + model_name(spec_.kind);
+}
+
+}  // namespace pjsb::workload

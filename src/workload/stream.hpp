@@ -1,0 +1,58 @@
+// Streaming generator sources: the workload models as unbounded
+// arrival streams.
+//
+// The batch pipeline (workload::generate) materializes a whole trace;
+// a ModelJobSource instead draws one job at a time from the same
+// samplers and packages it with the same per-record logic, so an
+// engine can consume an open-ended synthetic stream — "infinite load"
+// scenarios — in constant memory. The stream is fully deterministic in
+// the seed and draws from the same distributions as the batch
+// pipeline, but is not record-identical to it: batch consumes the RNG
+// as sample-all-then-package-all, while the stream interleaves the two
+// per job (buffering a whole trace to match would defeat streaming).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/swf/job_source.hpp"
+#include "util/rng.hpp"
+#include "workload/model.hpp"
+
+namespace pjsb::workload {
+
+/// A declarative description of a synthetic stream.
+struct GeneratorSpec {
+  ModelKind kind = ModelKind::kLublin99;
+  ModelConfig config;
+  std::uint64_t seed = 1;
+  /// Stop after this many jobs; 0 means unbounded (the consumer must
+  /// bound the pull itself, e.g. sim::JobSourceOptions::max_jobs).
+  std::uint64_t max_jobs = 0;
+};
+
+/// JobSource over an incremental model sampler. Supports the rigid-job
+/// models (feitelson96, jann97, lublin99); downey97's moldable chains
+/// need whole-trace packaging and are rejected with
+/// std::invalid_argument.
+class ModelJobSource final : public swf::JobSource {
+ public:
+  explicit ModelJobSource(const GeneratorSpec& spec);
+
+  std::optional<swf::JobRecord> next() override;
+  const swf::TraceHeader& header() const override { return header_; }
+  std::string label() const override;
+
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  GeneratorSpec spec_;
+  util::Rng rng_;
+  /// Type-erased sampler (owns its Lublin99Sampler/... state).
+  std::function<RawModelJob(util::Rng&)> sample_;
+  swf::TraceHeader header_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace pjsb::workload

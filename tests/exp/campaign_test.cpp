@@ -439,9 +439,10 @@ TEST(Runner, EmptyTraceFileThrows) {
   std::remove(path.c_str());
 }
 
-TEST(Runner, ToleratesRecoverableTraceParseErrors) {
-  // A trace with one malformed line still yields records in non-strict
-  // mode; the campaign must run on what parsed rather than die.
+TEST(Runner, MalformedTraceLinesAreFatalOnBothIngestionPaths) {
+  // A malformed line must fail the campaign, materialized or streamed:
+  // a report over a silently shrunken workload would misstate every
+  // metric (the same contract swf_tool enforces).
   util::Rng rng(3);
   workload::ModelConfig mconfig;
   mconfig.jobs = 40;
@@ -461,9 +462,9 @@ TEST(Runner, ToleratesRecoverableTraceParseErrors) {
   spec.workloads = {w};
   spec.schedulers = {"fcfs"};
   spec.nodes = 32;
-  const auto run = run_campaign(spec, {.threads = 1});
-  ASSERT_EQ(run.cells.size(), 1u);
-  EXPECT_EQ(run.cells[0].workload_jobs, 40u);
+  EXPECT_THROW(run_campaign(spec, {.threads = 1}), std::runtime_error);
+  spec.workloads[0].stream = true;
+  EXPECT_THROW(run_campaign(spec, {.threads = 1}), std::runtime_error);
   std::remove(path.c_str());
 }
 
@@ -560,6 +561,112 @@ TEST(Report, RankingSharesTiedRanksAndWins) {
   EXPECT_DOUBLE_EQ(rankings[1].mean_rank, 1.5);
   EXPECT_EQ(rankings[0].wins, 1u);
   EXPECT_EQ(rankings[1].wins, 1u);
+}
+
+TEST(SpecParser, ParsesStreamAndLookaheadOptions) {
+  const auto spec = parse_campaign_spec_string(
+      "workload = trace:/tmp/x.swf stream=1 lookahead=64\n"
+      "workload = lublin99 jobs=50 stream=yes\n"
+      "scheduler = fcfs\n");
+  ASSERT_EQ(spec.workloads.size(), 2u);
+  EXPECT_TRUE(spec.workloads[0].stream);
+  EXPECT_EQ(spec.workloads[0].lookahead, 64u);
+  EXPECT_TRUE(spec.workloads[1].stream);
+  EXPECT_EQ(spec.workloads[1].lookahead, 4096u);
+}
+
+TEST(SpecParser, RejectsInvalidStreamCombinations) {
+  // Rescaling needs the whole trace.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99 stream=1 load=0.7\n"
+                   "scheduler = fcfs\n"),
+               std::invalid_argument);
+  // Outage generation needs the trace horizon up front.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99 stream=1\n"
+                   "scheduler = fcfs\n"
+                   "config = open+outages\n"),
+               std::invalid_argument);
+  // downey97 cannot stream.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = downey97 stream=1\n"
+                   "scheduler = fcfs\n"),
+               std::invalid_argument);
+  // Malformed flag value.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99 stream=maybe\n"
+                   "scheduler = fcfs\n"),
+               std::invalid_argument);
+}
+
+TEST(Runner, StreamedTraceCellMatchesMaterializedCell) {
+  util::Rng rng(23);
+  workload::ModelConfig mconfig;
+  mconfig.jobs = 150;
+  mconfig.machine_nodes = 64;
+  const auto trace =
+      workload::generate(workload::ModelKind::kLublin99, mconfig, rng);
+  const std::string path = testing::TempDir() + "campaign_stream_test.swf";
+  ASSERT_TRUE(swf::write_swf_file(path, trace));
+
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "trace";
+  w.trace_path = path;
+  spec.workloads = {w};
+  spec.schedulers = {"easy", "fcfs"};
+  spec.nodes = 0;  // auto: both paths must resolve MaxNodes themselves
+
+  const auto materialized = run_campaign(spec, {.threads = 1});
+  spec.workloads[0].stream = true;
+  spec.workloads[0].lookahead = 16;
+  const auto streamed = run_campaign(spec, {.threads = 1});
+
+  ASSERT_EQ(streamed.cells.size(), materialized.cells.size());
+  for (std::size_t i = 0; i < streamed.cells.size(); ++i) {
+    EXPECT_EQ(streamed.cells[i].workload_jobs,
+              materialized.cells[i].workload_jobs);
+    EXPECT_DOUBLE_EQ(streamed.cells[i].metrics.mean_wait,
+                     materialized.cells[i].metrics.mean_wait);
+    EXPECT_DOUBLE_EQ(streamed.cells[i].metrics.p95_wait,
+                     materialized.cells[i].metrics.p95_wait);
+    EXPECT_DOUBLE_EQ(streamed.cells[i].metrics.utilization,
+                     materialized.cells[i].metrics.utilization);
+    EXPECT_EQ(streamed.cells[i].metrics.makespan,
+              materialized.cells[i].metrics.makespan);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Runner, StreamedModelCellRunsAndReplicationsDiffer) {
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "lublin-stream";
+  w.model = workload::ModelKind::kLublin99;
+  w.jobs = 80;
+  w.stream = true;
+  spec.workloads = {w};
+  spec.schedulers = {"fcfs"};
+  spec.replications = 2;
+  spec.nodes = 64;
+
+  const auto run = run_campaign(spec, {.threads = 1});
+  ASSERT_EQ(run.cells.size(), 2u);
+  EXPECT_EQ(run.cells[0].workload_jobs, 80u);
+  EXPECT_EQ(run.cells[1].workload_jobs, 80u);
+  // Different replication seeds generate different streams.
+  EXPECT_NE(run.cells[0].metrics.mean_wait, run.cells[1].metrics.mean_wait);
+}
+
+TEST(Runner, StreamedMissingTraceFileThrows) {
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "missing";
+  w.trace_path = "/nonexistent/campaign_stream.swf";
+  w.stream = true;
+  spec.workloads = {w};
+  spec.schedulers = {"fcfs"};
+  EXPECT_THROW(run_campaign(spec, {.threads = 1}), std::runtime_error);
 }
 
 }  // namespace

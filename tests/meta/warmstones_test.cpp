@@ -25,7 +25,9 @@ TEST(Warmstones, SuiteGenerationIsSeededAndSorted) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].arrival, b[i].arrival);
     EXPECT_EQ(a[i].graph.name, b[i].graph.name);
-    if (i > 0) EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+    }
   }
 }
 

@@ -86,7 +86,9 @@ TEST(Engine, ClosedLoopDefersDependentJobs) {
   const auto result = replay(t, sched::make_scheduler("fcfs"), opt);
   ASSERT_EQ(result.completed.size(), 3u);
   for (const auto& c : result.completed) {
-    if (c.id == 3) EXPECT_EQ(c.submit, 160);
+    if (c.id == 3) {
+      EXPECT_EQ(c.submit, 160);
+    }
   }
 }
 
@@ -96,7 +98,9 @@ TEST(Engine, OpenLoopIgnoresDependencies) {
   t.records[2].think_time = 60;
   const auto result = replay(t, sched::make_scheduler("fcfs"));
   for (const auto& c : result.completed) {
-    if (c.id == 3) EXPECT_EQ(c.submit, 20);
+    if (c.id == 3) {
+      EXPECT_EQ(c.submit, 20);
+    }
   }
 }
 

@@ -51,6 +51,36 @@ TEST(Table, PrintToStream) {
   EXPECT_FALSE(os.str().empty());
 }
 
+TEST(Table, ToJsonQuotesNonJsonNumericLookalikes) {
+  // Strings that strtod would parse but that are not valid JSON number
+  // tokens must be emitted quoted, or the document is unparseable.
+  Table t({"a", "b", "c", "d", "e", "f"});
+  t.row()
+      .cell("007")
+      .cell("+5")
+      .cell(".5")
+      .cell("5.")
+      .cell("inf")
+      .cell("1e5");
+  const auto json = t.to_json();
+  EXPECT_NE(json.find("\"a\": \"007\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b\": \"+5\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c\": \".5\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"d\": \"5.\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"e\": \"inf\""), std::string::npos) << json;
+  // ...while genuine JSON numbers stay unquoted.
+  EXPECT_NE(json.find("\"f\": 1e5"), std::string::npos) << json;
+}
+
+TEST(Table, ToJsonEmitsNumbersAndNegatives) {
+  Table t({"x", "y", "z"});
+  t.row().cell(std::int64_t(-3)).cell(0.25, 2).cell("-0.5");
+  const auto json = t.to_json();
+  EXPECT_NE(json.find("\"x\": -3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"y\": 0.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"z\": -0.5"), std::string::npos) << json;
+}
+
 TEST(FormatDuration, Shapes) {
   EXPECT_EQ(format_duration(5), "5s");
   EXPECT_EQ(format_duration(65), "1m05s");
