@@ -82,17 +82,6 @@ int phase_generate(const std::string& trace_path, std::uint64_t jobs) {
 }
 
 /// Completion-order decision dump: the regression artifact both replay
-/// paths write through the observer, so "same bytes" means "same
-/// scheduler decisions in the same order".
-std::function<void(const sim::CompletedJob&)> csv_observer(
-    std::ofstream& csv) {
-  csv << "id,submit,start,end,procs,restarts\n";
-  return [&csv](const sim::CompletedJob& c) {
-    csv << c.id << ',' << c.submit << ',' << c.start << ',' << c.end << ','
-        << c.procs << ',' << c.restarts << '\n';
-  };
-}
-
 int phase_stream_replay(const std::string& trace_path,
                         const std::string& csv_path,
                         const std::string& report_path,
@@ -105,16 +94,19 @@ int phase_stream_replay(const std::string& trace_path,
   swf::StreamReader source(trace_path, reader_options);
   if (source.open_failed()) return fail("cannot open " + trace_path);
 
-  sim::StreamReplayOptions options;
-  options.lookahead = 4096;
-  options.max_jobs = max_jobs;
-  options.retain_completed = false;
-  options.recycle_slots = true;
-  options.completion_observer = csv_observer(csv);
+  // Both replay paths dump completions through the same streaming CSV
+  // observer, so "same bytes" means "same scheduler decisions in the
+  // same order".
+  sim::CompletionCsvObserver observer(csv);
+  const auto spec = sim::SimulationSpec{}
+                        .with_scheduler(kScheduler)
+                        .with_lookahead(4096)
+                        .with_max_jobs(max_jobs)
+                        .streaming_memory();
 
   bench::WallTimer timer;
   const auto result =
-      sim::replay(source, sched::make_scheduler(kScheduler), options);
+      sim::replay(source, spec, sim::ReplayHooks{}.observe(observer));
   const double wall = timer.seconds();
   if (source.error_count() > 0) return fail("parse errors in trace");
 
@@ -136,11 +128,11 @@ int phase_inmem_replay(const std::string& trace_path,
   auto read = swf::read_swf_file(trace_path);
   if (!read.ok()) return fail("parse errors in trace");
 
-  sim::ReplayOptions options;
-  options.completion_observer = csv_observer(csv);
+  sim::CompletionCsvObserver observer(csv);
   bench::WallTimer timer;
   const auto result =
-      sim::replay(read.trace, sched::make_scheduler(kScheduler), options);
+      sim::replay(read.trace, sim::SimulationSpec{}.with_scheduler(kScheduler),
+                  sim::ReplayHooks{}.observe(observer));
   const double wall = timer.seconds();
 
   write_report(report_path, {{"jobs", double(result.stats.jobs_completed)},

@@ -4,25 +4,31 @@
 //
 //   campaign_tool <spec-file> [options]
 //   campaign_tool --demo      [options]
+//   campaign_tool --schedulers
 //
 // Options:
 //   --threads N   worker threads (default: hardware concurrency)
 //   --out PREFIX  output prefix (default: "campaign"); writes
 //                 PREFIX_cells.csv, PREFIX_summary.csv, PREFIX.json
+//   --rank M      rank schedulers by metric M (overrides the spec's
+//                 `rank =` line; see metrics::valid_metric_names)
 //   --quiet       suppress per-cell progress
+//   --schedulers  print the scheduler registry catalogue and exit
 //
 // `--demo` runs a built-in campaign (2 synthetic workloads x 4
-// schedulers x open/closed loop x 2 seed replications) and is also a
-// living example of the spec format. See src/exp/campaign.hpp for the
-// full grammar.
+// schedulers — including a parameterized EASY variant — x open/closed
+// loop x 2 seed replications) and is also a living example of the spec
+// format. See src/exp/campaign.hpp for the full grammar.
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "exp/campaign.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "sched/registry.hpp"
 #include "util/string_util.hpp"
 
 namespace {
@@ -33,17 +39,20 @@ workload = jann97 jobs=700 load=0.7
 scheduler = fcfs
 scheduler = sjf
 scheduler = easy
+scheduler = easy reserve_depth=4
 scheduler = conservative
 config = open
 config = closed
 replications = 2
 seed = 42
 nodes = 128
+rank = mean-bounded-slowdown
 )";
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <spec-file>|--demo [--threads N] [--out PREFIX] [--quiet]\n";
+            << " <spec-file>|--demo|--schedulers [--threads N] "
+               "[--out PREFIX] [--rank METRIC] [--quiet]\n";
   return 2;
 }
 
@@ -57,13 +66,24 @@ int main(int argc, char** argv) {
   bool quiet = false;
   int threads = 0;
   std::string prefix = "campaign";
+  std::optional<metrics::MetricId> rank_override;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--schedulers") {
+      std::cout << sched::Registry::global().help();
+      return 0;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--rank" && i + 1 < argc) {
+      try {
+        rank_override = metrics::metric_from_name(argv[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << "--rank: " << e.what() << "\n";
+        return 2;
+      }
     } else if (arg == "--threads" && i + 1 < argc) {
       const auto n = pjsb::util::parse_i64(argv[++i]);
       if (!n || *n < 0 || *n > std::numeric_limits<int>::max()) {
@@ -99,6 +119,7 @@ int main(int argc, char** argv) {
     std::cerr << "spec error: " << e.what() << "\n";
     return 1;
   }
+  if (rank_override) spec.rank_metric = *rank_override;
 
   std::cout << "campaign: " << spec.workloads.size() << " workload(s) x "
             << spec.schedulers.size() << " scheduler(s) x "
@@ -145,7 +166,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "wrote " << cells_path << ", " << summary_path << ", "
             << json_path << "\n\n";
-  std::cout << exp::ranking_table(run, report,
-                                  metrics::MetricId::kMeanBoundedSlowdown);
+  std::cout << exp::ranking_table(run, report, spec.rank_metric);
   return 0;
 }

@@ -7,7 +7,6 @@
 #include "core/feedback/rewrite.hpp"
 #include "core/feedback/session.hpp"
 #include "metrics/aggregate.hpp"
-#include "sched/factory.hpp"
 #include "sim/replay.hpp"
 #include "util/table.hpp"
 #include "workload/model.hpp"
@@ -28,7 +27,8 @@ int main() {
 
   // Observe a schedule to supply wait times, then infer sessions.
   {
-    const auto base = sim::replay(trace, sched::make_scheduler("easy"));
+    const auto base =
+        sim::replay(trace, sim::SimulationSpec{}.with_scheduler("easy"));
     std::map<std::int64_t, std::int64_t> waits;
     for (const auto& c : base.completed) waits[c.id] = c.wait();
     for (auto& r : trace.records) {
@@ -54,10 +54,9 @@ int main() {
                      "makespan_h"});
   for (const std::string scheduler : {"easy", "fcfs"}) {
     for (const bool closed : {false, true}) {
-      sim::ReplayOptions opt;
-      opt.closed_loop = closed;
-      const auto result =
-          sim::replay(trace, sched::make_scheduler(scheduler), opt);
+      const auto result = sim::replay(
+          trace,
+          sim::SimulationSpec{}.with_scheduler(scheduler).closed(closed));
       const auto report =
           metrics::compute_report(result.completed, result.stats);
       table.row()

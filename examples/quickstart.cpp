@@ -13,7 +13,6 @@
 #include "core/swf/validator.hpp"
 #include "core/swf/writer.hpp"
 #include "metrics/aggregate.hpp"
-#include "sched/factory.hpp"
 #include "sim/replay.hpp"
 #include "util/table.hpp"
 #include "workload/model.hpp"
@@ -48,8 +47,10 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << path << "\n";
   }
 
-  // 4. Simulate under EASY backfilling.
-  const auto result = sim::replay(trace, sched::make_scheduler("easy"));
+  // 4. Simulate under EASY backfilling (any registry spec string works
+  // here — try "easy reserve_depth=4" or "gang slots=2").
+  const auto result =
+      sim::replay(trace, sim::SimulationSpec{}.with_scheduler("easy"));
 
   // 5. Report.
   const auto metrics_report =

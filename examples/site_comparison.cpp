@@ -13,7 +13,6 @@
 
 #include "core/swf/reader.hpp"
 #include "metrics/objective.hpp"
-#include "sched/factory.hpp"
 #include "sim/replay.hpp"
 #include "util/table.hpp"
 #include "workload/model.hpp"
@@ -44,13 +43,17 @@ int main(int argc, char** argv) {
   }
   const double lambda = argc > 2 ? std::atof(argv[2]) : 0.5;
 
-  std::vector<std::string> schedulers = {"fcfs", "sjf", "sjf-fit", "easy",
-                                         "conservative", "gang4"};
+  // Registry spec strings — parameterized variants rank alongside the
+  // classic policies.
+  std::vector<std::string> schedulers = {
+      "fcfs",         "sjf",  "sjf-fit", "easy", "easy reserve_depth=4",
+      "conservative", "gang4"};
   std::vector<metrics::MetricsReport> reports;
   util::Table table({"scheduler", "mean_wait_s", "mean_bsld", "p95_wait_s",
                      "util", "throughput/h"});
   for (const auto& name : schedulers) {
-    const auto result = sim::replay(trace, sched::make_scheduler(name));
+    const auto result =
+        sim::replay(trace, sim::SimulationSpec{}.with_scheduler(name));
     const auto report =
         metrics::compute_report(result.completed, result.stats);
     table.row()

@@ -8,11 +8,16 @@
 //                                    synthesize a model workload
 //   convert-iacct <raw> <out.swf> <site>   convert hypercube accounting
 //   convert-nqs <raw> <out.swf> <site>     convert NQS/PBS accounting
-//   simulate <file.swf> <scheduler>  replay and print metrics
-//   stream-simulate <file.swf> <scheduler> [lookahead]
+//   simulate <file.swf> <scheduler-spec> [rank-metric]
+//                                    replay and print metrics
+//   stream-simulate <file.swf> <scheduler-spec> [lookahead]
 //                                    constant-memory streaming replay
 //   generate-stream <model> <jobs> <nodes> <interarrival> <out.swf>
 //                                    stream a synthetic trace to disk
+//   schedulers                       print the policy registry catalogue
+//
+// Scheduler arguments are registry spec strings — quote parameterized
+// variants: swf_tool simulate kth.swf "easy reserve_depth=2".
 //
 // Malformed record lines are fatal: every offending line is reported
 // with its physical line number and the tool exits nonzero, so a broken
@@ -20,6 +25,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/swf/anonymize.hpp"
@@ -29,10 +35,10 @@
 #include "core/swf/validator.hpp"
 #include "core/swf/writer.hpp"
 #include "metrics/aggregate.hpp"
-#include "sched/factory.hpp"
+#include "metrics/online.hpp"
+#include "sched/registry.hpp"
 #include "sim/replay.hpp"
 #include "util/resource.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/model.hpp"
 #include "workload/scale.hpp"
@@ -54,8 +60,12 @@ int usage() {
       "<mean-interarrival-s> <out.swf>\n"
       "  convert-iacct <raw-log> <out.swf> <installation>\n"
       "  convert-nqs <raw-log> <out.swf> <installation>\n"
-      "  simulate <file.swf> <fcfs|sjf|sjf-fit|easy|conservative|gangN>\n"
-      "  stream-simulate <file.swf> <scheduler> [lookahead]\n";
+      "  simulate <file.swf> <scheduler-spec> [rank-metric]\n"
+      "  stream-simulate <file.swf> <scheduler-spec> [lookahead]\n"
+      "  schedulers\n"
+      "scheduler-spec is a registry spec string, e.g. \"easy\" or\n"
+      "\"easy reserve_depth=2\" (run `swf_tool schedulers` for the "
+      "catalogue)\n";
   return 2;
 }
 
@@ -193,20 +203,14 @@ int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
   }
 
   // Constant memory: per-job records are not retained; the metrics the
-  // report needs are accumulated online from the completion observer.
-  util::OnlineStats wait;
-  util::OnlineStats bounded_slowdown;
-  sim::StreamReplayOptions options;
-  options.lookahead = lookahead;
-  options.retain_completed = false;
-  options.recycle_slots = true;
-  options.completion_observer = [&](const sim::CompletedJob& job) {
-    wait.add(double(job.wait()));
-    bounded_slowdown.add(metrics::bounded_slowdown(job));
-  };
-
+  // report needs are accumulated online by an attached observer.
+  const auto spec = sim::SimulationSpec{}
+                        .with_scheduler(scheduler)
+                        .with_lookahead(lookahead)
+                        .streaming_memory();
+  metrics::OnlineMetricsObserver online;
   const auto result =
-      sim::replay(source, sched::make_scheduler(scheduler), options);
+      sim::replay(source, spec, sim::ReplayHooks{}.observe(online));
 
   // Malformed lines surface after the replay, exactly like load_or_die.
   if (source.error_count() > 0) {
@@ -221,8 +225,9 @@ int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
   util::Table table({"metric", "value"});
   table.row().cell("scheduler").cell(scheduler);
   table.row().cell("jobs").cell(result.stats.jobs_completed);
-  table.row().cell("mean wait (s)").cell(wait.mean(), 1);
-  table.row().cell("mean bounded slowdown").cell(bounded_slowdown.mean(), 2);
+  table.row().cell("mean wait (s)").cell(online.mean_wait(), 1);
+  table.row().cell("mean bounded slowdown")
+      .cell(online.mean_bounded_slowdown(), 2);
   table.row().cell("utilization").cell(result.stats.utilization(), 3);
   table.row().cell("makespan (s)").cell(result.stats.makespan);
   table.row().cell("records streamed").cell(result.source_pulled);
@@ -231,9 +236,18 @@ int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
   return 0;
 }
 
-int cmd_simulate(const std::string& path, const std::string& scheduler) {
+int cmd_simulate(const std::string& path, const std::string& scheduler,
+                 const std::string& rank_metric) {
+  // Resolve the metric name (same names campaign `rank =` lines use)
+  // before the replay, so a typo fails fast instead of costing the
+  // whole simulation; it throws with the valid list.
+  std::optional<metrics::MetricId> rank;
+  if (!rank_metric.empty()) {
+    rank = metrics::metric_from_name(rank_metric);
+  }
   const auto trace = load_or_die(path);
-  const auto result = sim::replay(trace, sched::make_scheduler(scheduler));
+  const auto result =
+      sim::replay(trace, sim::SimulationSpec{}.with_scheduler(scheduler));
   const auto report = metrics::compute_report(result.completed,
                                               result.stats);
   util::Table table({"metric", "value"});
@@ -244,6 +258,10 @@ int cmd_simulate(const std::string& path, const std::string& scheduler) {
       .cell(report.mean_bounded_slowdown, 2);
   table.row().cell("p95 wait (s)").cell(report.p95_wait, 1);
   table.row().cell("utilization").cell(report.utilization, 3);
+  if (rank) {
+    table.row().cell(std::string("selected ") + metrics::metric_name(*rank))
+        .cell(metrics::metric_value(report, *rank), 3);
+  }
   std::cout << table.to_string();
   return 0;
 }
@@ -293,8 +311,12 @@ int main(int argc, char** argv) {
     if (cmd == "convert-nqs" && argc == 5) {
       return cmd_convert(true, argv[2], argv[3], argv[4]);
     }
-    if (cmd == "simulate" && argc == 4) {
-      return cmd_simulate(argv[2], argv[3]);
+    if (cmd == "simulate" && (argc == 4 || argc == 5)) {
+      return cmd_simulate(argv[2], argv[3], argc == 5 ? argv[4] : "");
+    }
+    if (cmd == "schedulers" && argc == 2) {
+      std::cout << sched::Registry::global().help();
+      return 0;
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

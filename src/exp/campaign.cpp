@@ -6,7 +6,8 @@
 #include <stdexcept>
 #include <tuple>
 
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
+#include "util/keyval.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
 
@@ -176,12 +177,19 @@ namespace {
 }
 
 WorkloadSpec parse_workload(std::string_view value, std::size_t line) {
-  const auto tokens = util::split_ws(value);
-  if (tokens.empty()) fail(line, "empty workload");
+  // The shared spec tokenizer (util/keyval.hpp): head + key=value
+  // options, with quoting for paths/labels containing spaces.
+  util::SpecTokens tokens;
+  try {
+    tokens = util::parse_spec(value, /*allow_head=*/true);
+  } catch (const std::invalid_argument& e) {
+    fail(line, e.what());
+  }
+  if (tokens.head.empty()) fail(line, "empty workload");
   WorkloadSpec w;
-  const std::string source = util::to_lower(tokens[0]);
+  const std::string source = util::to_lower(tokens.head);
   if (util::starts_with(source, "trace:")) {
-    w.trace_path = std::string(tokens[0].substr(6));
+    w.trace_path = tokens.head.substr(6);  // paths keep their case
     if (w.trace_path.empty()) fail(line, "trace: needs a path");
     // Default label: file name without directories or extension. Keep
     // the extension when stripping it would leave nothing (dotfiles).
@@ -203,19 +211,14 @@ WorkloadSpec parse_workload(std::string_view value, std::size_t line) {
         if (!valid.empty()) valid += ", ";
         valid += workload::model_name(kind);
       }
-      fail(line, "unknown workload source '" + std::string(tokens[0]) +
+      fail(line, "unknown workload source '" + tokens.head +
                      "' (valid models: " + valid + "; or trace:<path>)");
     }
     w.label = source;
   }
-  for (std::size_t i = 1; i < tokens.size(); ++i) {
-    // Split on the first '=' only: values (labels) may contain '='.
-    const auto eq = tokens[i].find('=');
-    if (eq == std::string_view::npos) {
-      fail(line, "expected key=value, got '" + std::string(tokens[i]) + "'");
-    }
-    const std::string key = util::to_lower(tokens[i].substr(0, eq));
-    const std::string_view val = tokens[i].substr(eq + 1);
+  for (const auto& option : tokens.options) {
+    const std::string& key = option.key;
+    const std::string& val = option.value;
     if (key == "jobs") {
       if (!w.model) {
         fail(line, "jobs= applies only to model workloads; trace workloads "
@@ -229,16 +232,11 @@ WorkloadSpec parse_workload(std::string_view value, std::size_t line) {
       if (!f) fail(line, "load must be a number");
       w.load = *f;
     } else if (key == "label") {
-      w.label = std::string(val);
+      w.label = val;
     } else if (key == "stream") {
-      const std::string v = util::to_lower(val);
-      if (v == "1" || v == "true" || v == "yes") {
-        w.stream = true;
-      } else if (v == "0" || v == "false" || v == "no") {
-        w.stream = false;
-      } else {
-        fail(line, "stream must be 0/1, true/false or yes/no");
-      }
+      const auto b = util::parse_bool(val);
+      if (!b) fail(line, "stream must be 0/1, true/false or yes/no");
+      w.stream = *b;
     } else if (key == "lookahead") {
       const auto n = util::parse_i64(val);
       if (!n || *n < 1) fail(line, "lookahead must be a positive integer");
@@ -286,6 +284,7 @@ CampaignSpec parse_campaign_spec(std::istream& in) {
   bool seen_replications = false;
   bool seen_seed = false;
   bool seen_nodes = false;
+  bool seen_rank = false;
   while (std::getline(in, raw)) {
     ++line_no;
     std::string_view line = util::trim(raw);
@@ -328,6 +327,14 @@ CampaignSpec parse_campaign_spec(std::istream& in) {
         const auto n = util::parse_i64(value);
         if (!n || *n < 1) fail(line_no, "nodes must be >= 1, or 'auto'");
         spec.nodes = *n;
+      }
+    } else if (key == "rank") {
+      if (seen_rank) fail(line_no, "rank set twice");
+      seen_rank = true;
+      try {
+        spec.rank_metric = metrics::metric_from_name(std::string(value));
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
       }
     } else {
       fail(line_no, "unknown key '" + key + "'");

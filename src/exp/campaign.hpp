@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/aggregate.hpp"
 #include "workload/model.hpp"
 
 namespace pjsb::exp {
@@ -65,10 +66,15 @@ inline constexpr std::int64_t kMaxNodes = 1 << 22;  // ~4M nodes
 /// The declarative description of a full evaluation campaign.
 struct CampaignSpec {
   std::vector<WorkloadSpec> workloads;
-  std::vector<std::string> schedulers;  ///< names for sched::make_scheduler
+  /// Registry spec strings for sched::make_scheduler — parameterized
+  /// variants welcome ("easy reserve_depth=2", "gang slots=8").
+  std::vector<std::string> schedulers;
   std::vector<ConfigSpec> configs = {ConfigSpec{}};
   int replications = 1;
   std::uint64_t master_seed = 1;
+  /// Metric the final ranking table is ordered by (`rank =` in spec
+  /// files, metrics::metric_from_name names).
+  metrics::MetricId rank_metric = metrics::MetricId::kMeanBoundedSlowdown;
   /// Simulated machine size. 0 means auto: trace workloads use their
   /// MaxNodes header, model workloads the workload::ModelConfig
   /// default — spec files accept `nodes = auto` for this.
@@ -121,8 +127,12 @@ std::vector<CellSpec> expand(const CampaignSpec& spec);
 /// Workload options: `jobs=N`, `load=F`, `label=S`, `stream=0|1`,
 /// `lookahead=N` (streaming ingestion window). Config flags are
 /// '+'-separated: `open` (default), `closed`, `outages`, `blind`
-/// (outages not announced in advance). Throws std::invalid_argument on
-/// malformed input; the result is validated before being returned.
+/// (outages not announced in advance). `rank = <metric>` selects the
+/// ranking metric by name (metrics::metric_from_name). Scheduler lines
+/// take full registry spec strings, and workload option lines share the
+/// same key=value tokenizer (util/keyval.hpp). Throws
+/// std::invalid_argument on malformed input; the result is validated
+/// before being returned.
 CampaignSpec parse_campaign_spec(std::istream& in);
 CampaignSpec parse_campaign_spec_string(const std::string& text);
 

@@ -11,7 +11,7 @@
 #include "core/outage/generate.hpp"
 #include "core/swf/reader.hpp"
 #include "core/swf/stream_reader.hpp"
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"
 #include "workload/scale.hpp"
@@ -54,16 +54,16 @@ sim::ReplayResult run_stream_cell(const CampaignSpec& spec,
                                   const CellSpec& cell,
                                   const WorkloadSpec& wspec,
                                   const ConfigSpec& cspec) {
-  sim::StreamReplayOptions options;
-  options.closed_loop = cspec.closed_loop;
-  options.deliver_announcements = cspec.deliver_announcements;
-  options.lookahead = wspec.lookahead;
-  options.recycle_slots = true;
+  sim::SimulationSpec sim_spec;
+  sim_spec.scheduler = spec.schedulers.at(cell.scheduler);
+  sim_spec.closed_loop = cspec.closed_loop;
+  sim_spec.deliver_announcements = cspec.deliver_announcements;
+  sim_spec.lookahead = wspec.lookahead;
+  sim_spec.recycle_slots = true;
   // Node resolution is replay()'s: the source header's MaxNodes (the
   // generator writes machine_nodes there) or kDefaultNodes, unless the
   // spec pins a size.
-  if (spec.nodes > 0) options.nodes = spec.nodes;
-  auto scheduler = sched::make_scheduler(spec.schedulers.at(cell.scheduler));
+  if (spec.nodes > 0) sim_spec.nodes = spec.nodes;
 
   if (wspec.model) {
     workload::GeneratorSpec gen;
@@ -75,7 +75,7 @@ sim::ReplayResult run_stream_cell(const CampaignSpec& spec,
     gen.seed = cell.seed;
     gen.max_jobs = wspec.jobs;
     workload::ModelJobSource source(gen);
-    return sim::replay(source, std::move(scheduler), options);
+    return sim::replay(source, sim_spec);
   }
 
   swf::StreamReader source(wspec.trace_path);
@@ -83,7 +83,7 @@ sim::ReplayResult run_stream_cell(const CampaignSpec& spec,
     throw std::runtime_error("campaign: cannot open trace '" +
                              wspec.trace_path + "'");
   }
-  auto result = sim::replay(source, std::move(scheduler), options);
+  auto result = sim::replay(source, sim_spec);
   // Malformed lines are fatal, exactly like the preload path: a report
   // over a silently shrunken workload is worse than failing.
   if (source.error_count() > 0 || result.source_pulled == 0) {
@@ -208,22 +208,23 @@ CellResult run_cell(const CampaignSpec& spec, const CellSpec& cell,
     nodes = effective_nodes(spec, wspec, trace);
   }
 
-  // 2. Engine configuration, including a per-cell outage stream.
-  sim::ReplayOptions options;
-  options.nodes = nodes;
-  options.closed_loop = cspec.closed_loop;
-  options.deliver_announcements = cspec.deliver_announcements;
+  // 2. Engine configuration, including a per-cell outage stream (a
+  // runtime attachment, so it rides in the hooks, not the spec).
+  sim::SimulationSpec sim_spec;
+  sim_spec.scheduler = spec.schedulers.at(cell.scheduler);
+  sim_spec.nodes = nodes;
+  sim_spec.closed_loop = cspec.closed_loop;
+  sim_spec.deliver_announcements = cspec.deliver_announcements;
+  sim::ReplayHooks hooks;
   outage::OutageLog outages;
   if (cspec.outages) {
     outages = outage::generate_failures(outage::FailureModelParams{},
                                         trace->horizon(), nodes, rng);
-    options.outages = &outages;
+    hooks.with_outages(outages);
   }
 
   // 3. Replay and aggregate.
-  const auto replay_result = sim::replay(
-      *trace, sched::make_scheduler(spec.schedulers.at(cell.scheduler)),
-      options);
+  const auto replay_result = sim::replay(*trace, sim_spec, hooks);
 
   CellResult result;
   result.cell = cell;

@@ -23,9 +23,10 @@ Site::Site(const SiteConfig& config) : config_(config) {
                                   config.nodes);
   engine_->load_trace(trace);
 
-  engine_->set_completion_observer([this](const sim::CompletedJob& job) {
+  completion_filter_.job_complete = [this](const sim::CompletedJob& job) {
     if (meta_observer_ && meta_jobs_.count(job.id)) meta_observer_(job);
-  });
+  };
+  engine_->add_observer(completion_filter_);
 }
 
 std::optional<std::int64_t> Site::predicted_wait(

@@ -86,6 +86,9 @@ class Site {
   std::int64_t next_meta_id_ = kMetaJobIdBase;
   std::unordered_set<std::int64_t> meta_jobs_;
   std::function<void(const sim::CompletedJob&)> meta_observer_;
+  /// Filters the engine's completion stream down to meta jobs and
+  /// forwards them to meta_observer_ (attached via add_observer).
+  sim::FunctionObserver completion_filter_;
 };
 
 }  // namespace pjsb::meta

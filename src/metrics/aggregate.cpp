@@ -1,8 +1,10 @@
 #include "metrics/aggregate.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/stats.hpp"
+#include "util/string_util.hpp"
 
 namespace pjsb::metrics {
 
@@ -56,6 +58,33 @@ MetricsReport compute_report(std::span<const sim::CompletedJob> jobs,
                         double(stats.capacity_node_seconds);
   }
   return r;
+}
+
+std::vector<MetricId> all_metric_ids() {
+  return {MetricId::kMeanWait,          MetricId::kMeanResponse,
+          MetricId::kMeanSlowdown,      MetricId::kMeanBoundedSlowdown,
+          MetricId::kP95Wait,           MetricId::kUtilization,
+          MetricId::kThroughput,        MetricId::kMakespan};
+}
+
+std::string valid_metric_names() {
+  std::string names;
+  for (const auto id : all_metric_ids()) {
+    if (!names.empty()) names += ", ";
+    names += metric_name(id);
+  }
+  return names;
+}
+
+MetricId metric_from_name(const std::string& name) {
+  // Case-insensitive, matching scheduler-name lookup: "Mean-Wait"
+  // must work identically in a spec file and on the CLI.
+  const std::string n = util::to_lower(name);
+  for (const auto id : all_metric_ids()) {
+    if (n == metric_name(id)) return id;
+  }
+  throw std::invalid_argument("unknown metric '" + name +
+                              "'; valid metrics: " + valid_metric_names());
 }
 
 const char* metric_name(MetricId id) {

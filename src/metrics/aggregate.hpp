@@ -61,7 +61,20 @@ enum class MetricId {
   kMakespan,
 };
 
+/// All metric ids, in canonical presentation order.
+std::vector<MetricId> all_metric_ids();
+
 const char* metric_name(MetricId id);
+
+/// Human-readable list of accepted metric names, for error messages
+/// and CLI help text.
+std::string valid_metric_names();
+
+/// Parse a metric name (round-trips with metric_name); throws
+/// std::invalid_argument naming the valid metrics on unknown input,
+/// mirroring the scheduler registry's behavior.
+MetricId metric_from_name(const std::string& name);
+
 /// True for metrics where larger values are better (utilization,
 /// throughput); ranking code negates these to get a cost.
 bool metric_higher_is_better(MetricId id);

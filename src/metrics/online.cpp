@@ -1,0 +1,16 @@
+#include "metrics/online.hpp"
+
+namespace pjsb::metrics {
+
+void OnlineMetricsObserver::on_job_complete(const sim::CompletedJob& job) {
+  ++jobs_;
+  wait_.add(double(job.wait()));
+  response_.add(double(job.response()));
+  bounded_slowdown_.add(bounded_slowdown(job));
+}
+
+void OnlineMetricsObserver::on_end(const sim::EngineStats& stats) {
+  end_stats_ = stats;
+}
+
+}  // namespace pjsb::metrics

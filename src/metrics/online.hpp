@@ -1,0 +1,37 @@
+// Online (constant-memory) metric accumulation over a replay.
+//
+// Streaming runs drop per-job records, so the aggregate layer cannot
+// post-process a completed[] vector; this observer accumulates the
+// headline metrics incrementally from completion events instead, and
+// captures the engine accounting at end-of-run. The mean wait /
+// bounded-slowdown it reports are exact; percentile metrics need the
+// full sample and are deliberately absent.
+#pragma once
+
+#include "metrics/aggregate.hpp"
+#include "sim/observer.hpp"
+#include "util/stats.hpp"
+
+namespace pjsb::metrics {
+
+class OnlineMetricsObserver final : public sim::SimObserver {
+ public:
+  void on_job_complete(const sim::CompletedJob& job) override;
+  void on_end(const sim::EngineStats& stats) override;
+
+  std::size_t jobs() const { return jobs_; }
+  double mean_wait() const { return wait_.mean(); }
+  double mean_response() const { return response_.mean(); }
+  double mean_bounded_slowdown() const { return bounded_slowdown_.mean(); }
+  /// Engine accounting captured by on_end (zeros before the run ends).
+  const sim::EngineStats& end_stats() const { return end_stats_; }
+
+ private:
+  std::size_t jobs_ = 0;
+  util::OnlineStats wait_;
+  util::OnlineStats response_;
+  util::OnlineStats bounded_slowdown_;
+  sim::EngineStats end_stats_;
+};
+
+}  // namespace pjsb::metrics

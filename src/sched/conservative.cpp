@@ -1,6 +1,31 @@
 #include "sched/conservative.hpp"
 
+#include "sched/registry.hpp"
+
 namespace pjsb::sched {
+
+SchedulerInfo conservative_scheduler_info() {
+  SchedulerInfo info;
+  info.name = "conservative";
+  info.description =
+      "conservative backfilling: every queued job holds a reservation";
+  info.aliases = {"cons"};
+  info.params = {ParamSpec::integer(
+      "reserve_depth",
+      "queued jobs granted reservations; jobs beyond the depth backfill "
+      "opportunistically (0 = all jobs, the classic policy)",
+      0, 0, 1 << 20)};
+  info.make = +[](const ParamValues& values) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<ConservativeScheduler>(
+        int(values.get_int("reserve_depth")));
+  };
+  return info;
+}
+
+std::string ConservativeScheduler::name() const {
+  if (reserve_depth_ == 0) return "conservative";
+  return "conservative reserve_depth=" + std::to_string(reserve_depth_);
+}
 
 void ConservativeScheduler::on_attach(SchedulerContext& ctx) {
   BackfillBase::on_attach(ctx);
@@ -19,18 +44,32 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
   // consistent after early completions (jobs finishing before their
   // estimate compress everyone's reservations); the base itself is
   // never rebuilt, and earliest_start is a single O(steps) sweep.
+  // Jobs beyond reserve_depth_ hold no reservation: they start only
+  // when they fit immediately without delaying a placed reservation.
   CapacityProfile profile = profile_;
 
+  std::size_t placed = 0;
   for (auto it = queue_.begin(); it != queue_.end();) {
     const auto& j = ctx.job(*it);
-    const std::int64_t t = profile.earliest_start(now, j.estimate, j.procs);
-    if (t == now && ctx.start_job(*it)) {
+    if (reserve_depth_ == 0 || placed < std::size_t(reserve_depth_)) {
+      const std::int64_t t = profile.earliest_start(now, j.estimate, j.procs);
+      if (t == now && ctx.start_job(*it)) {
+        profile.add_usage(now, now + j.estimate, j.procs);
+        note_started(j.id, now, j.estimate, j.procs);
+        queued_info_.erase(j.id);
+        it = queue_.erase(it);
+      } else {
+        if (t < kForever) profile.add_usage(t, t + j.estimate, j.procs);
+        ++placed;  // a started job holds no reservation
+        ++it;
+      }
+    } else if (profile.fits(now, j.estimate, j.procs) &&
+               ctx.start_job(*it)) {
       profile.add_usage(now, now + j.estimate, j.procs);
       note_started(j.id, now, j.estimate, j.procs);
       queued_info_.erase(j.id);
       it = queue_.erase(it);
     } else {
-      if (t < kForever) profile.add_usage(t, t + j.estimate, j.procs);
       ++it;
     }
   }
@@ -54,13 +93,18 @@ std::optional<std::int64_t> ConservativeScheduler::predict_start(
     // Re-place the queue on the maintained base (same FIFO pass as
     // schedule(), minus the starts — nothing can start between events).
     CapacityProfile profile = profile_;
+    std::size_t placed = 0;
     for (const std::int64_t id : queue_) {
+      if (reserve_depth_ != 0 && placed >= std::size_t(reserve_depth_)) {
+        break;  // jobs beyond the depth hold no reservation
+      }
       const auto it = queued_info_.find(id);
       if (it == queued_info_.end()) continue;
       const auto& q = it->second;
       const std::int64_t t =
           profile.earliest_start(now, q.estimate, q.procs);
       if (t < kForever) profile.add_usage(t, t + q.estimate, q.procs);
+      ++placed;
     }
     full_profile_ = std::move(profile);
     full_profile_stale_ = false;

@@ -3,6 +3,11 @@
 // job (vs. EASY, which protects only the head). The aggressiveness gap
 // between the two is a standing ablation in the literature the paper
 // standardizes (experiments E2/E8).
+//
+// `reserve_depth` caps how many queued jobs hold reservations (0 =
+// every job, the classic policy): jobs beyond the depth backfill
+// opportunistically, sliding the policy toward EASY from the other end
+// of the aggressiveness axis.
 #pragma once
 
 #include "sched/backfill.hpp"
@@ -11,7 +16,12 @@ namespace pjsb::sched {
 
 class ConservativeScheduler final : public BackfillBase {
  public:
-  std::string name() const override { return "conservative"; }
+  /// `reserve_depth`: queued jobs (FIFO order) granted reservations;
+  /// 0 means all of them (classic conservative backfilling).
+  explicit ConservativeScheduler(int reserve_depth = 0)
+      : reserve_depth_(reserve_depth < 0 ? 0 : reserve_depth) {}
+
+  std::string name() const override;
   void on_attach(SchedulerContext& ctx) override;
   void schedule(SchedulerContext& ctx) override;
   bool try_reserve(SchedulerContext& ctx,
@@ -20,7 +30,11 @@ class ConservativeScheduler final : public BackfillBase {
       std::int64_t now, std::int64_t procs,
       std::int64_t estimate) const override;
 
+  int reserve_depth() const { return reserve_depth_; }
+
  private:
+  int reserve_depth_ = 0;
+
   /// Base profile + the FIFO reservation placements of every queued
   /// job, as left by the last schedule() pass; predict_start queries it
   /// directly instead of replaying the whole queue per call. An

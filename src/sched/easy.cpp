@@ -1,6 +1,30 @@
 #include "sched/easy.hpp"
 
+#include "sched/registry.hpp"
+
 namespace pjsb::sched {
+
+SchedulerInfo easy_scheduler_info() {
+  SchedulerInfo info;
+  info.name = "easy";
+  info.description =
+      "EASY backfilling: FIFO with shadow reservations for the queue head";
+  info.params = {ParamSpec::integer(
+      "reserve_depth",
+      "queue-head jobs protected by shadow reservations backfill may not "
+      "delay (1 = classic EASY)",
+      1, 1, 1 << 20)};
+  info.make = +[](const ParamValues& values) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<EasyScheduler>(
+        int(values.get_int("reserve_depth")));
+  };
+  return info;
+}
+
+std::string EasyScheduler::name() const {
+  if (reserve_depth_ == 1) return "easy";
+  return "easy reserve_depth=" + std::to_string(reserve_depth_);
+}
 
 void EasyScheduler::schedule(SchedulerContext& ctx) {
   const std::int64_t now = ctx.now();
@@ -27,16 +51,30 @@ void EasyScheduler::schedule(SchedulerContext& ctx) {
   }
   if (queue_.empty()) return;
 
-  // Shadow reservation for the blocked head.
-  const auto& head = ctx.job(queue_.front());
-  const std::int64_t shadow =
-      profile.earliest_start(now, head.estimate, head.procs);
-  if (shadow < kForever) {
-    profile.add_usage(shadow, shadow + head.estimate, head.procs);
+  // Shadow reservations for the first reserve_depth_ blocked jobs, each
+  // at its earliest feasible start given the reservations before it. A
+  // protected job behind the head may start outright when its earliest
+  // start is now (with depth 1 only the head is protected, and the head
+  // is blocked, so this loop reduces to the classic single shadow).
+  auto it = queue_.begin();
+  std::size_t placed = 0;
+  while (placed < std::size_t(reserve_depth_) && it != queue_.end()) {
+    const auto& j = ctx.job(*it);
+    const std::int64_t t = profile.earliest_start(now, j.estimate, j.procs);
+    if (t == now && ctx.start_job(*it)) {
+      profile.add_usage(now, now + j.estimate, j.procs);
+      note_started(j.id, now, j.estimate, j.procs);
+      queued_info_.erase(j.id);
+      it = queue_.erase(it);
+      continue;  // a started job holds no reservation
+    }
+    if (t < kForever) profile.add_usage(t, t + j.estimate, j.procs);
+    ++placed;
+    ++it;
   }
 
-  // Backfill: any later job that fits now without delaying the shadow.
-  for (auto it = std::next(queue_.begin()); it != queue_.end();) {
+  // Backfill: any later job that fits now without delaying a shadow.
+  while (it != queue_.end()) {
     const auto& j = ctx.job(*it);
     if (profile.fits(now, j.estimate, j.procs) && ctx.start_job(*it)) {
       profile.add_usage(now, now + j.estimate, j.procs);

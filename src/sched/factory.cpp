@@ -1,41 +1,20 @@
 #include "sched/factory.hpp"
 
-#include <optional>
 #include <stdexcept>
-
-#include "sched/conservative.hpp"
-#include "sched/easy.hpp"
-#include "sched/fcfs.hpp"
-#include "sched/gang.hpp"
-#include "sched/sjf.hpp"
-#include "util/string_util.hpp"
 
 namespace pjsb::sched {
 
 namespace {
 
-/// Upper bound on gang time-sharing slots: far beyond any published
-/// multiprogramming level, and small enough that the per-slot machine
-/// state cannot blow up from a fat-fingered spec.
-constexpr std::int64_t kMaxGangSlots = 1024;
-
-/// Parse the slot suffix of a lowercase "gangN" name; nullopt when the
-/// name is bare "gang". Throws on a malformed, non-positive or absurd
-/// suffix so "gang-4" / "gang0x8" / "gang100000000" cannot silently
-/// run with default slots or OOM mid-campaign.
-std::optional<int> parse_gang_slots(const std::string& lower_name) {
-  if (lower_name.size() <= 4) return std::nullopt;
-  const std::string suffix = lower_name.substr(4);
-  // parse_i64 trims its token; "gang 8" must stay invalid regardless.
-  const bool has_space =
-      suffix.find_first_of(" \t\r\n\f\v") != std::string::npos;
-  const auto slots = util::parse_i64(suffix);
-  if (has_space || !slots || *slots < 1 || *slots > kMaxGangSlots) {
-    throw std::invalid_argument("bad gang slot count in '" + lower_name +
-                                "'; expected gangN with 1 <= N <= " +
-                                std::to_string(kMaxGangSlots));
-  }
-  return int(*slots);
+SchedulerKind kind_from_canonical(const std::string& canonical) {
+  if (canonical == "fcfs") return SchedulerKind::kFcfs;
+  if (canonical == "sjf") return SchedulerKind::kSjf;
+  if (canonical == "sjf-fit") return SchedulerKind::kSjfFit;
+  if (canonical == "easy") return SchedulerKind::kEasy;
+  if (canonical == "conservative") return SchedulerKind::kConservative;
+  if (canonical == "gang") return SchedulerKind::kGang;
+  throw std::invalid_argument("scheduler '" + canonical +
+                              "' has no legacy SchedulerKind");
 }
 
 }  // namespace
@@ -59,59 +38,32 @@ const char* scheduler_kind_name(SchedulerKind kind) {
 }
 
 std::string valid_scheduler_names() {
-  std::string names;
-  for (const auto kind : all_scheduler_kinds()) {
-    if (!names.empty()) names += ", ";
-    names += scheduler_kind_name(kind);
-  }
-  names += " (gang accepts a slot count suffix, e.g. gang8)";
-  return names;
+  return Registry::global().valid_names();
 }
 
 SchedulerKind scheduler_kind_from_name(const std::string& name) {
-  const std::string n = util::to_lower(name);
-  if (n == "fcfs") return SchedulerKind::kFcfs;
-  if (n == "sjf") return SchedulerKind::kSjf;
-  if (n == "sjf-fit" || n == "sjffit") return SchedulerKind::kSjfFit;
-  if (n == "easy") return SchedulerKind::kEasy;
-  if (n == "conservative" || n == "cons") return SchedulerKind::kConservative;
-  if (n.rfind("gang", 0) == 0) {
-    parse_gang_slots(n);  // validates the suffix
-    return SchedulerKind::kGang;
-  }
-  throw std::invalid_argument("unknown scheduler '" + name +
-                              "'; valid names: " + valid_scheduler_names());
+  return kind_from_canonical(Registry::global().parse(name).info->name);
 }
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
                                           const SchedulerParams& params) {
-  switch (kind) {
-    case SchedulerKind::kFcfs:
-      return std::make_unique<FcfsScheduler>();
-    case SchedulerKind::kSjf:
-      return std::make_unique<SjfScheduler>(false);
-    case SchedulerKind::kSjfFit:
-      return std::make_unique<SjfScheduler>(true);
-    case SchedulerKind::kEasy:
-      return std::make_unique<EasyScheduler>();
-    case SchedulerKind::kConservative:
-      return std::make_unique<ConservativeScheduler>();
-    case SchedulerKind::kGang:
-      return std::make_unique<GangScheduler>(params.gang_slots);
+  if (kind == SchedulerKind::kGang) {
+    return Registry::global().make("gang slots=" +
+                                   std::to_string(params.gang_slots));
   }
-  throw std::invalid_argument("make_scheduler: unknown kind");
+  return Registry::global().make(scheduler_kind_name(kind));
 }
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
                                           const SchedulerParams& params) {
-  SchedulerParams p = params;
-  const std::string n = util::to_lower(name);
-  if (n.rfind("gang", 0) == 0) {
-    // Parse (and validate) the slot suffix exactly once.
-    if (const auto slots = parse_gang_slots(n)) p.gang_slots = *slots;
-    return make_scheduler(SchedulerKind::kGang, p);
+  const auto parsed = Registry::global().parse(name);
+  // The one legacy knob: an explicit slots= (or gangN suffix) wins over
+  // the params struct, matching the old factory's precedence.
+  if (parsed.info->name == "gang" && !parsed.values.is_set("slots")) {
+    return Registry::global().make(name + " slots=" +
+                                   std::to_string(params.gang_slots));
   }
-  return make_scheduler(scheduler_kind_from_name(name), p);
+  return parsed.info->make(parsed.values);
 }
 
 }  // namespace pjsb::sched

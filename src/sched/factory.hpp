@@ -1,11 +1,18 @@
-// Scheduler factory: one place the experiment harnesses and examples
-// use to instantiate the policy zoo by name.
+// DEPRECATED enum-based scheduler selection, kept as a thin
+// compatibility layer over sched::Registry (registry.hpp).
+//
+// The closed SchedulerKind enum and the single-knob SchedulerParams
+// could not express parameterized policy variants; new code should use
+// `make_scheduler("easy reserve_depth=2")`-style registry spec strings
+// (see registry.hpp for the grammar and the catalogue). This header
+// will be removed once nothing instantiates schedulers by enum.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sched/registry.hpp"
 #include "sched/scheduler.hpp"
 
 namespace pjsb::sched {
@@ -25,21 +32,25 @@ std::vector<SchedulerKind> all_scheduler_kinds();
 const char* scheduler_kind_name(SchedulerKind kind);
 
 /// Human-readable list of accepted scheduler names, for error messages
-/// and CLI help text.
+/// and CLI help text. Forwards to Registry::valid_names().
 std::string valid_scheduler_names();
 
 /// Parse a scheduler name ("fcfs", "sjf", "sjf-fit", "easy",
 /// "conservative", "gang" or "gangN"); throws std::invalid_argument on
-/// unknown names.
+/// unknown names. Parameterized spec strings resolve to the kind of
+/// their base scheduler.
 SchedulerKind scheduler_kind_from_name(const std::string& name);
 
+/// DEPRECATED: pass "gang slots=N" (or "gangN") spec strings instead.
 struct SchedulerParams {
   int gang_slots = 4;
 };
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
                                           const SchedulerParams& params = {});
+/// DEPRECATED two-argument form; the one-argument spec-string
+/// make_scheduler lives in registry.hpp.
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
-                                          const SchedulerParams& params = {});
+                                          const SchedulerParams& params);
 
 }  // namespace pjsb::sched

@@ -1,6 +1,19 @@
 #include "sched/fcfs.hpp"
 
+#include "sched/registry.hpp"
+
 namespace pjsb::sched {
+
+SchedulerInfo fcfs_scheduler_info() {
+  SchedulerInfo info;
+  info.name = "fcfs";
+  info.description =
+      "first-come-first-served; the queue head blocks everyone behind it";
+  info.make = +[](const ParamValues&) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<FcfsScheduler>();
+  };
+  return info;
+}
 
 void FcfsScheduler::on_submit(SchedulerContext& /*ctx*/,
                               std::int64_t job_id) {

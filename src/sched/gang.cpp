@@ -4,7 +4,28 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sched/registry.hpp"
+
 namespace pjsb::sched {
+
+SchedulerInfo gang_scheduler_info() {
+  SchedulerInfo info;
+  info.name = "gang";
+  info.description =
+      "gang scheduling on a round-robin-time-sliced Ousterhout matrix";
+  // "gangN" spells "gang slots=N"; 1024 rows is far beyond any
+  // published multiprogramming level, and small enough that per-slot
+  // machine state cannot blow up from a fat-fingered spec.
+  info.compact_prefix = "gang";
+  info.compact_param = "slots";
+  info.params = {ParamSpec::integer(
+      "slots", "matrix depth (maximum multiprogramming level per node)", 4,
+      1, 1024)};
+  info.make = +[](const ParamValues& values) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<GangScheduler>(int(values.get_int("slots")));
+  };
+  return info;
+}
 
 GangScheduler::GangScheduler(int slots) : slots_(slots) {
   if (slots < 1) throw std::invalid_argument("GangScheduler: slots >= 1");

@@ -2,17 +2,80 @@
 
 #include <algorithm>
 
+#include "sched/registry.hpp"
+
 namespace pjsb::sched {
+
+namespace {
+
+SjfTieBreak tie_from_values(const ParamValues& values) {
+  const std::string& tie = values.get_choice("tie");
+  if (tie == "widest") return SjfTieBreak::kWidest;
+  if (tie == "narrowest") return SjfTieBreak::kNarrowest;
+  return SjfTieBreak::kFcfs;
+}
+
+ParamSpec tie_param() {
+  return ParamSpec::choice(
+      "tie", "order of equal-estimate jobs", {"fcfs", "widest", "narrowest"});
+}
+
+}  // namespace
+
+SchedulerInfo sjf_scheduler_info() {
+  SchedulerInfo info;
+  info.name = "sjf";
+  info.description =
+      "shortest-job-first by user estimate; the shortest job blocks";
+  info.params = {tie_param()};
+  info.make = +[](const ParamValues& values) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<SjfScheduler>(false, tie_from_values(values));
+  };
+  return info;
+}
+
+SchedulerInfo sjf_fit_scheduler_info() {
+  SchedulerInfo info;
+  info.name = "sjf-fit";
+  info.description =
+      "shortest-job-first, starting the shortest job that fits now";
+  info.aliases = {"sjffit"};
+  info.params = {tie_param()};
+  info.make = +[](const ParamValues& values) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<SjfScheduler>(true, tie_from_values(values));
+  };
+  return info;
+}
+
+std::string SjfScheduler::name() const {
+  std::string n = allow_fit_ ? "sjf-fit" : "sjf";
+  if (tie_ == SjfTieBreak::kWidest) n += " tie=widest";
+  if (tie_ == SjfTieBreak::kNarrowest) n += " tie=narrowest";
+  return n;
+}
+
+bool SjfScheduler::precedes(const sim::SimJob& a, std::int64_t a_id,
+                            const sim::SimJob& b, std::int64_t b_id) const {
+  if (a.estimate != b.estimate) return a.estimate < b.estimate;
+  switch (tie_) {
+    case SjfTieBreak::kWidest:
+      if (a.procs != b.procs) return a.procs > b.procs;
+      break;
+    case SjfTieBreak::kNarrowest:
+      if (a.procs != b.procs) return a.procs < b.procs;
+      break;
+    case SjfTieBreak::kFcfs:
+      break;
+  }
+  return a_id < b_id;  // id breaks remaining ties FIFO
+}
 
 void SjfScheduler::on_submit(SchedulerContext& ctx, std::int64_t job_id) {
   const auto& j = ctx.job(job_id);
-  // Insert keeping (estimate, id) order; id breaks ties FIFO.
   const auto pos = std::lower_bound(
       queue_.begin(), queue_.end(), job_id,
-      [&ctx, &j](std::int64_t a, std::int64_t b_id) {
-        const auto& ja = ctx.job(a);
-        if (ja.estimate != j.estimate) return ja.estimate < j.estimate;
-        return a < b_id;
+      [this, &ctx, &j](std::int64_t a, std::int64_t b_id) {
+        return precedes(ctx.job(a), a, j, b_id);
       });
   queue_.insert(pos, job_id);
 }

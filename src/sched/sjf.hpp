@@ -11,25 +11,37 @@
 
 namespace pjsb::sched {
 
+/// How equal-estimate jobs are ordered: arrival order (classic),
+/// widest-first (drain big jobs while capacity is there) or
+/// narrowest-first (maximize packing opportunities).
+enum class SjfTieBreak { kFcfs, kWidest, kNarrowest };
+
 class SjfScheduler final : public Scheduler {
  public:
   /// If `allow_fit` is true, when the shortest job does not fit the
   /// scheduler scans for the shortest job that does (non-blocking
   /// variant); otherwise the shortest job blocks (strict SJF).
-  explicit SjfScheduler(bool allow_fit = false) : allow_fit_(allow_fit) {}
+  explicit SjfScheduler(bool allow_fit = false,
+                        SjfTieBreak tie = SjfTieBreak::kFcfs)
+      : allow_fit_(allow_fit), tie_(tie) {}
 
-  std::string name() const override {
-    return allow_fit_ ? "sjf-fit" : "sjf";
-  }
+  std::string name() const override;
   void on_submit(SchedulerContext& ctx, std::int64_t job_id) override;
   void on_job_end(SchedulerContext& ctx, std::int64_t job_id) override;
   void schedule(SchedulerContext& ctx) override;
 
   std::size_t queue_length() const { return queue_.size(); }
+  SjfTieBreak tie_break() const { return tie_; }
 
  private:
-  std::vector<std::int64_t> queue_;  ///< kept sorted by (estimate, id)
+  /// Strict-weak queue order: estimate, then the tie-break policy,
+  /// then id (FIFO) as the final arbiter.
+  bool precedes(const sim::SimJob& a, std::int64_t a_id,
+                const sim::SimJob& b, std::int64_t b_id) const;
+
+  std::vector<std::int64_t> queue_;  ///< kept sorted by precedes()
   bool allow_fit_;
+  SjfTieBreak tie_;
 };
 
 }  // namespace pjsb::sched

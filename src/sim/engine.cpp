@@ -299,7 +299,9 @@ bool Engine::start_job(std::int64_t job_id) {
   --queued_count_;
   ++running_count_;
   const std::int64_t version = ++slot.end_version;
+  const std::int64_t procs = j.procs;
   push_event(now_ + j.runtime, EventType::kJobEnd, job_id, version);
+  observers_.on_decision({now_, job_id, procs, /*virtual_start=*/false});
   return true;
 }
 
@@ -318,7 +320,9 @@ void Engine::start_job_virtual(std::int64_t job_id, std::int64_t end_time) {
   --queued_count_;
   ++running_count_;
   const std::int64_t version = ++slot.end_version;
+  const std::int64_t procs = j.procs;
   push_event(end_time, EventType::kJobEnd, job_id, version);
+  observers_.on_decision({now_, job_id, procs, /*virtual_start=*/true});
 }
 
 void Engine::update_job_end(std::int64_t job_id, std::int64_t new_end) {
@@ -357,6 +361,8 @@ void Engine::process(const Event& ev) {
       break;
     case EventType::kOutageAnnounce:
       scheduler_->on_outage_announce(*this, outages_.at(std::size_t(ev.id)));
+      observers_.on_outage(outages_.at(std::size_t(ev.id)),
+                           OutagePhase::kAnnounced);
       scheduler_dirty_ = true;
       break;
     case EventType::kOutageStart:
@@ -436,6 +442,7 @@ void Engine::finish_job(SimJob& j) {
   // invalidate `j`; use only the copied record from here on.
   const std::int64_t finished_id = c.id;
   if (completion_observer_) completion_observer_(c);
+  observers_.on_job_complete(c);
 
   scheduler_->on_job_end(*this, finished_id);
   scheduler_dirty_ = true;
@@ -529,6 +536,7 @@ void Engine::handle_outage_start(std::size_t idx) {
     if (slot.job.state == JobState::kRunning) kill_job(slot);
   }
   scheduler_->on_outage_start(*this, rec);
+  observers_.on_outage(rec, OutagePhase::kStarted);
   scheduler_dirty_ = true;
 }
 
@@ -539,6 +547,7 @@ void Engine::handle_outage_end(std::size_t idx) {
     if (machine_.owner(node) == kDown) machine_.bring_up(node);
   }
   scheduler_->on_outage_end(*this, rec);
+  observers_.on_outage(rec, OutagePhase::kEnded);
   scheduler_dirty_ = true;
 }
 

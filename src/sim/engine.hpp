@@ -23,6 +23,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/job.hpp"
 #include "sim/machine.hpp"
+#include "sim/observer.hpp"
 
 namespace pjsb::sim {
 
@@ -139,8 +140,19 @@ class Engine final : public sched::SchedulerContext {
   std::size_t queued_jobs() const { return queued_count_; }
   std::size_t running_jobs() const { return running_count_; }
 
-  /// Observer invoked whenever a job completes (used by predictors to
-  /// learn online). Receives the completed record.
+  /// Attach a composable observer (non-owning — the caller keeps it
+  /// alive for the run). Observers receive decision / completion /
+  /// outage events in attach order; see sim/observer.hpp.
+  void add_observer(SimObserver& observer) { observers_.add(observer); }
+
+  /// Fire on_end(stats()) on every attached observer. replay() calls
+  /// this once after the run drains; incremental drivers (run_until)
+  /// call it when they decide the run is over.
+  void notify_run_end() { observers_.on_end(stats()); }
+
+  /// DEPRECATED: single-function completion callback, kept for the old
+  /// predictor-training path. New code attaches a SimObserver via
+  /// add_observer instead.
   void set_completion_observer(std::function<void(const CompletedJob&)> fn) {
     completion_observer_ = std::move(fn);
   }
@@ -263,6 +275,7 @@ class Engine final : public sched::SchedulerContext {
   std::map<std::int64_t, sched::AdvanceReservation> reservations_;
   std::vector<CompletedJob> completed_;
   std::function<void(const CompletedJob&)> completion_observer_;
+  ObserverList observers_;
 
   // Attached pull source (nullptr once exhausted or max_jobs reached).
   swf::JobSource* source_ = nullptr;

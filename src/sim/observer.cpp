@@ -1,0 +1,61 @@
+#include "sim/observer.hpp"
+
+#include <ostream>
+
+namespace pjsb::sim {
+
+void SimObserver::on_job_complete(const CompletedJob&) {}
+void SimObserver::on_decision(const Decision&) {}
+void SimObserver::on_outage(const outage::OutageRecord&, OutagePhase) {}
+void SimObserver::on_end(const EngineStats&) {}
+
+ObserverList& ObserverList::add(SimObserver& observer) {
+  observers_.push_back(&observer);
+  return *this;
+}
+
+void ObserverList::on_job_complete(const CompletedJob& job) {
+  for (auto* o : observers_) o->on_job_complete(job);
+}
+
+void ObserverList::on_decision(const Decision& decision) {
+  for (auto* o : observers_) o->on_decision(decision);
+}
+
+void ObserverList::on_outage(const outage::OutageRecord& rec,
+                             OutagePhase phase) {
+  for (auto* o : observers_) o->on_outage(rec, phase);
+}
+
+void ObserverList::on_end(const EngineStats& stats) {
+  for (auto* o : observers_) o->on_end(stats);
+}
+
+void FunctionObserver::on_job_complete(const CompletedJob& job) {
+  if (job_complete) job_complete(job);
+}
+
+void FunctionObserver::on_decision(const Decision& d) {
+  if (decision) decision(d);
+}
+
+void FunctionObserver::on_outage(const outage::OutageRecord& rec,
+                                 OutagePhase phase) {
+  if (outage) outage(rec, phase);
+}
+
+void FunctionObserver::on_end(const EngineStats& stats) {
+  if (end) end(stats);
+}
+
+CompletionCsvObserver::CompletionCsvObserver(std::ostream& os, bool header)
+    : os_(os) {
+  if (header) os_ << "id,submit,start,end,procs,restarts\n";
+}
+
+void CompletionCsvObserver::on_job_complete(const CompletedJob& job) {
+  os_ << job.id << ',' << job.submit << ',' << job.start << ',' << job.end
+      << ',' << job.procs << ',' << job.restarts << '\n';
+}
+
+}  // namespace pjsb::sim

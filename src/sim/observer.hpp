@@ -1,0 +1,101 @@
+// Composable simulation observers.
+//
+// The engine's per-job output used to be a single completion
+// std::function — one consumer, one event. SimObserver turns the
+// output side of a replay into a composable interface: any number of
+// observers (predictor trainers, streaming CSV dumps, online metrics)
+// attach to one run and receive decision, completion, outage and
+// end-of-run events. Observers are non-owning — the caller keeps them
+// alive for the duration of the run — and are notified in attach
+// order, deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "core/outage/record.hpp"
+#include "sim/job.hpp"
+
+namespace pjsb::sim {
+
+struct EngineStats;
+
+/// A scheduling decision: the engine started a job.
+struct Decision {
+  std::int64_t time = 0;
+  std::int64_t job_id = 0;
+  std::int64_t procs = 0;
+  /// Time-sharing start (no machine node allocation; the scheduler
+  /// does its own space accounting and may revise the end time).
+  bool virtual_start = false;
+};
+
+/// Outage lifecycle stage an on_outage notification reports.
+enum class OutagePhase { kAnnounced, kStarted, kEnded };
+
+/// Observer interface. Handlers default to no-ops so consumers
+/// implement only what they need. `on_end` fires once per replay(),
+/// after the run drains (engines driven incrementally via step()/
+/// run_until() fire it only through Engine::notify_run_end).
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  virtual void on_job_complete(const CompletedJob& job);
+  virtual void on_decision(const Decision& decision);
+  virtual void on_outage(const outage::OutageRecord& rec, OutagePhase phase);
+  virtual void on_end(const EngineStats& stats);
+};
+
+/// Fan-out: forwards every event to each added observer, in add order.
+class ObserverList final : public SimObserver {
+ public:
+  ObserverList& add(SimObserver& observer);
+  bool empty() const { return observers_.empty(); }
+  std::size_t size() const { return observers_.size(); }
+
+  void on_job_complete(const CompletedJob& job) override;
+  void on_decision(const Decision& decision) override;
+  void on_outage(const outage::OutageRecord& rec,
+                 OutagePhase phase) override;
+  void on_end(const EngineStats& stats) override;
+
+ private:
+  std::vector<SimObserver*> observers_;
+};
+
+/// Adapter for callers that just want lambdas: any unset function is a
+/// no-op. The deprecated completion_observer path wraps into this.
+class FunctionObserver final : public SimObserver {
+ public:
+  std::function<void(const CompletedJob&)> job_complete;
+  std::function<void(const Decision&)> decision;
+  std::function<void(const outage::OutageRecord&, OutagePhase)> outage;
+  std::function<void(const EngineStats&)> end;
+
+  void on_job_complete(const CompletedJob& job) override;
+  void on_decision(const Decision& decision) override;
+  void on_outage(const outage::OutageRecord& rec,
+                 OutagePhase phase) override;
+  void on_end(const EngineStats& stats) override;
+};
+
+/// Streaming per-job CSV dump ("id,submit,start,end,procs,restarts"),
+/// written in completion order as jobs finish — constant memory, for
+/// runs too large to retain per-job records. Completion order is
+/// deterministic for a given spec, so the output is byte-comparable
+/// across runs.
+class CompletionCsvObserver final : public SimObserver {
+ public:
+  /// Writes the header line immediately unless `header` is false.
+  explicit CompletionCsvObserver(std::ostream& os, bool header = true);
+
+  void on_job_complete(const CompletedJob& job) override;
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace pjsb::sim

@@ -1,23 +1,53 @@
 #include "sim/replay.hpp"
 
+#include <stdexcept>
+
+#include "sched/registry.hpp"
+
 namespace pjsb::sim {
+
+namespace {
+
+EngineConfig engine_config(const SimulationSpec& spec,
+                           std::int64_t header_nodes) {
+  EngineConfig config;
+  config.nodes = spec.nodes.value_or(header_nodes);
+  config.closed_loop = spec.closed_loop;
+  config.deliver_announcements = spec.deliver_announcements;
+  config.retain_completed = spec.retain_completed;
+  config.recycle_slots = spec.recycle_slots;
+  return config;
+}
+
+void attach_hooks(Engine& engine, const ReplayHooks& hooks) {
+  if (hooks.outages) engine.add_outages(*hooks.outages);
+  for (SimObserver* observer : hooks.observers) {
+    engine.add_observer(*observer);
+  }
+}
+
+}  // namespace
 
 ReplayResult replay(const swf::Trace& trace,
                     std::unique_ptr<sched::Scheduler> scheduler,
-                    const ReplayOptions& options) {
-  EngineConfig config;
-  config.nodes =
-      options.nodes.value_or(trace.header.max_nodes.value_or(kDefaultNodes));
-  config.closed_loop = options.closed_loop;
-  config.deliver_announcements = options.deliver_announcements;
+                    const SimulationSpec& spec, const ReplayHooks& hooks) {
+  // The caller built the scheduler instance; spec.scheduler is a free
+  // label here, so skip its registry resolution (the spec-only
+  // overloads resolve it when they instantiate).
+  spec.validate(/*resolve_scheduler=*/false);
+  if (spec.max_jobs != 0) {
+    throw std::invalid_argument(
+        "replay: max_jobs is a streaming-source brake; a materialized "
+        "trace replays whole");
+  }
+  const auto config =
+      engine_config(spec, trace.header.max_nodes.value_or(kDefaultNodes));
 
   Engine engine(config, std::move(scheduler));
-  if (options.completion_observer) {
-    engine.set_completion_observer(options.completion_observer);
-  }
+  attach_hooks(engine, hooks);
   engine.load_trace(trace);
-  if (options.outages) engine.add_outages(*options.outages);
   engine.run();
+  engine.notify_run_end();
 
   ReplayResult result;
   result.completed = engine.completed();
@@ -28,25 +58,19 @@ ReplayResult replay(const swf::Trace& trace,
 
 ReplayResult replay(swf::JobSource& source,
                     std::unique_ptr<sched::Scheduler> scheduler,
-                    const StreamReplayOptions& options) {
-  EngineConfig config;
-  config.nodes = options.nodes.value_or(
-      source.header().max_nodes.value_or(kDefaultNodes));
-  config.closed_loop = options.closed_loop;
-  config.deliver_announcements = options.deliver_announcements;
-  config.retain_completed = options.retain_completed;
-  config.recycle_slots = options.recycle_slots;
+                    const SimulationSpec& spec, const ReplayHooks& hooks) {
+  spec.validate(/*resolve_scheduler=*/false);
+  const auto config =
+      engine_config(spec, source.header().max_nodes.value_or(kDefaultNodes));
 
   Engine engine(config, std::move(scheduler));
-  if (options.completion_observer) {
-    engine.set_completion_observer(options.completion_observer);
-  }
-  if (options.outages) engine.add_outages(*options.outages);
+  attach_hooks(engine, hooks);
   JobSourceOptions source_options;
-  source_options.lookahead = options.lookahead;
-  source_options.max_jobs = options.max_jobs;
+  source_options.lookahead = spec.lookahead;
+  source_options.max_jobs = spec.max_jobs;
   engine.set_job_source(source, source_options);
   engine.run();
+  engine.notify_run_end();
 
   ReplayResult result;
   result.completed = engine.completed();
@@ -55,6 +79,59 @@ ReplayResult replay(swf::JobSource& source,
   result.source_pulled = engine.source_pulled();
   result.source_clamped = engine.source_clamped();
   return result;
+}
+
+ReplayResult replay(const swf::Trace& trace, const SimulationSpec& spec,
+                    const ReplayHooks& hooks) {
+  // The scheduler-instance overload validates the spec.
+  return replay(trace, sched::make_scheduler(spec.scheduler), spec, hooks);
+}
+
+ReplayResult replay(swf::JobSource& source, const SimulationSpec& spec,
+                    const ReplayHooks& hooks) {
+  return replay(source, sched::make_scheduler(spec.scheduler), spec, hooks);
+}
+
+// -- deprecated shims -------------------------------------------------
+
+ReplayResult replay(const swf::Trace& trace,
+                    std::unique_ptr<sched::Scheduler> scheduler,
+                    const ReplayOptions& options) {
+  SimulationSpec spec;
+  spec.nodes = options.nodes;
+  spec.closed_loop = options.closed_loop;
+  spec.deliver_announcements = options.deliver_announcements;
+
+  ReplayHooks hooks;
+  if (options.outages) hooks.outages = options.outages;
+  FunctionObserver completion;
+  if (options.completion_observer) {
+    completion.job_complete = options.completion_observer;
+    hooks.observe(completion);
+  }
+  return replay(trace, std::move(scheduler), spec, hooks);
+}
+
+ReplayResult replay(swf::JobSource& source,
+                    std::unique_ptr<sched::Scheduler> scheduler,
+                    const StreamReplayOptions& options) {
+  SimulationSpec spec;
+  spec.nodes = options.nodes;
+  spec.closed_loop = options.closed_loop;
+  spec.deliver_announcements = options.deliver_announcements;
+  spec.lookahead = options.lookahead;
+  spec.max_jobs = options.max_jobs;
+  spec.retain_completed = options.retain_completed;
+  spec.recycle_slots = options.recycle_slots;
+
+  ReplayHooks hooks;
+  if (options.outages) hooks.outages = options.outages;
+  FunctionObserver completion;
+  if (options.completion_observer) {
+    completion.job_complete = options.completion_observer;
+    hooks.observe(completion);
+  }
+  return replay(source, std::move(scheduler), spec, hooks);
 }
 
 }  // namespace pjsb::sim

@@ -5,6 +5,12 @@
 // not include explicit information about feedback, so this effect is
 // lost when a log is replayed" — unless fields 17/18 are present and
 // closed_loop is set).
+//
+// Configuration is one sim::SimulationSpec (spec.hpp) for both the
+// materialized-trace and the streaming JobSource paths; runtime-only
+// attachments (an outage log, observers) ride in ReplayHooks. The old
+// ReplayOptions / StreamReplayOptions structs survive below as
+// deprecated shims over that pair.
 #pragma once
 
 #include <functional>
@@ -15,6 +21,8 @@
 #include "core/swf/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
+#include "sim/observer.hpp"
+#include "sim/spec.hpp"
 
 namespace pjsb::sim {
 
@@ -22,45 +30,21 @@ namespace pjsb::sim {
 /// header specifies one.
 inline constexpr std::int64_t kDefaultNodes = 128;
 
-struct ReplayOptions {
-  /// Machine size; defaults to the trace's MaxNodes header (128 if the
-  /// header is absent).
-  std::optional<std::int64_t> nodes;
-  /// Honor fields 17/18 as submission dependencies.
-  bool closed_loop = false;
-  /// Outage stream to inject (optional).
+/// Runtime attachments for one replay that cannot round-trip through a
+/// spec string: an outage stream and the observers receiving events.
+/// Everything is non-owning; keep it alive for the run.
+struct ReplayHooks {
   const outage::OutageLog* outages = nullptr;
-  /// Deliver outage announcements (outage-aware mode).
-  bool deliver_announcements = true;
-  /// Observer for online predictor training.
-  std::function<void(const CompletedJob&)> completion_observer;
-};
+  std::vector<SimObserver*> observers;
 
-/// Options for streaming replay from a JobSource: the ReplayOptions
-/// set plus the ingestion-window and memory knobs.
-struct StreamReplayOptions {
-  /// Machine size; defaults to the source's MaxNodes header (128 if the
-  /// header carries none).
-  std::optional<std::int64_t> nodes;
-  /// Honor fields 17/18 as submission dependencies. Resolved within the
-  /// bounded lookahead/history window — see JobSourceOptions.
-  bool closed_loop = false;
-  /// Outage stream to inject (optional).
-  const outage::OutageLog* outages = nullptr;
-  /// Deliver outage announcements (outage-aware mode).
-  bool deliver_announcements = true;
-  /// Observer for online consumers (predictors, streaming CSV dumps,
-  /// online metrics). In constant-memory runs this is the only per-job
-  /// output channel.
-  std::function<void(const CompletedJob&)> completion_observer;
-
-  /// Ingestion window and unbounded-source brake (see JobSourceOptions).
-  std::size_t lookahead = 4096;
-  std::uint64_t max_jobs = 0;
-  /// Keep per-job records in ReplayResult::completed. Turn off together
-  /// with recycle_slots for O(running+queued+lookahead) memory.
-  bool retain_completed = true;
-  bool recycle_slots = false;
+  ReplayHooks& with_outages(const outage::OutageLog& log) {
+    outages = &log;
+    return *this;
+  }
+  ReplayHooks& observe(SimObserver& observer) {
+    observers.push_back(&observer);
+    return *this;
+  }
 };
 
 struct ReplayResult {
@@ -72,13 +56,56 @@ struct ReplayResult {
   std::uint64_t source_clamped = 0;
 };
 
-/// Replay `trace` under `scheduler`. Consumes the scheduler.
+/// Replay `trace` under `spec` (the scheduler is built from
+/// spec.scheduler via the registry). Throws std::invalid_argument on
+/// an invalid spec or a nonzero spec.max_jobs (a streaming-only brake).
+ReplayResult replay(const swf::Trace& trace, const SimulationSpec& spec,
+                    const ReplayHooks& hooks = {});
+
+/// Replay a pull-based job source under `spec` in bounded memory;
+/// drains (up to spec.max_jobs of) the source.
+ReplayResult replay(swf::JobSource& source, const SimulationSpec& spec,
+                    const ReplayHooks& hooks = {});
+
+/// Programmatic-scheduler overloads: the caller supplies the instance
+/// (consumed); spec.scheduler is ignored.
+ReplayResult replay(const swf::Trace& trace,
+                    std::unique_ptr<sched::Scheduler> scheduler,
+                    const SimulationSpec& spec,
+                    const ReplayHooks& hooks = {});
+ReplayResult replay(swf::JobSource& source,
+                    std::unique_ptr<sched::Scheduler> scheduler,
+                    const SimulationSpec& spec,
+                    const ReplayHooks& hooks = {});
+
+// ---------------------------------------------------------------------
+// DEPRECATED compatibility shims: the pre-SimulationSpec option structs
+// and overloads. They forward to the spec-based API and will be removed
+// once callers migrate.
+
+struct ReplayOptions {
+  std::optional<std::int64_t> nodes;
+  bool closed_loop = false;
+  const outage::OutageLog* outages = nullptr;
+  bool deliver_announcements = true;
+  std::function<void(const CompletedJob&)> completion_observer;
+};
+
+struct StreamReplayOptions {
+  std::optional<std::int64_t> nodes;
+  bool closed_loop = false;
+  const outage::OutageLog* outages = nullptr;
+  bool deliver_announcements = true;
+  std::function<void(const CompletedJob&)> completion_observer;
+  std::size_t lookahead = 4096;
+  std::uint64_t max_jobs = 0;
+  bool retain_completed = true;
+  bool recycle_slots = false;
+};
+
 ReplayResult replay(const swf::Trace& trace,
                     std::unique_ptr<sched::Scheduler> scheduler,
                     const ReplayOptions& options = {});
-
-/// Replay a pull-based job source under `scheduler` in bounded memory.
-/// Consumes the scheduler; drains (up to max_jobs of) the source.
 ReplayResult replay(swf::JobSource& source,
                     std::unique_ptr<sched::Scheduler> scheduler,
                     const StreamReplayOptions& options = {});

@@ -1,0 +1,169 @@
+#include "sim/spec.hpp"
+
+#include <stdexcept>
+
+#include "sched/registry.hpp"
+#include "util/keyval.hpp"
+#include "util/string_util.hpp"
+
+namespace pjsb::sim {
+
+namespace {
+
+constexpr const char* kValidKeys =
+    "scheduler=<registry spec string>, nodes=<int|auto>, closed_loop=<bool>, "
+    "announce=<bool>, lookahead=<int>, max_jobs=<int>, "
+    "retain_completed=<bool>, recycle_slots=<bool>";
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("simulation spec: " + message);
+}
+
+bool parse_bool_or_fail(const std::string& key, std::string_view value) {
+  const auto b = util::parse_bool(value);
+  if (!b) {
+    fail(key + "='" + std::string(value) +
+         "' must be 1/0, true/false or yes/no");
+  }
+  return *b;
+}
+
+}  // namespace
+
+SimulationSpec& SimulationSpec::with_scheduler(std::string spec) {
+  scheduler = std::move(spec);
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::with_nodes(std::int64_t n) {
+  nodes = n;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::auto_nodes() {
+  nodes.reset();
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::closed(bool on) {
+  closed_loop = on;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::announce_outages(bool on) {
+  deliver_announcements = on;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::with_lookahead(std::size_t n) {
+  lookahead = n;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::with_max_jobs(std::uint64_t n) {
+  max_jobs = n;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::streaming_memory(bool on) {
+  retain_completed = !on;
+  recycle_slots = on;
+  return *this;
+}
+
+void SimulationSpec::validate(bool resolve_scheduler) const {
+  if (scheduler.empty()) fail("no scheduler");
+  // Resolve the scheduler spec through the registry so a bad name or
+  // parameter dies here, with the registry's valid-choices message.
+  if (resolve_scheduler) sched::Registry::global().parse(scheduler);
+  if (nodes && (*nodes < 1 || *nodes > kMaxSpecNodes)) {
+    fail("nodes must be in [1, " + std::to_string(kMaxSpecNodes) +
+         "], or auto");
+  }
+  if (lookahead == 0) fail("lookahead must be >= 1");
+  if (!retain_completed && !recycle_slots) {
+    fail("retain_completed=0 without recycle_slots=1 drops the per-job "
+         "records but keeps every slot in memory; enable recycle_slots "
+         "for constant-memory runs");
+  }
+}
+
+std::string SimulationSpec::to_string() const {
+  const SimulationSpec defaults;
+  std::string s = "scheduler=" + util::quote_spec_value(scheduler);
+  if (nodes) s += " nodes=" + std::to_string(*nodes);
+  if (closed_loop != defaults.closed_loop) {
+    s += std::string(" closed_loop=") + (closed_loop ? "1" : "0");
+  }
+  if (deliver_announcements != defaults.deliver_announcements) {
+    s += std::string(" announce=") + (deliver_announcements ? "1" : "0");
+  }
+  if (lookahead != defaults.lookahead) {
+    s += " lookahead=" + std::to_string(lookahead);
+  }
+  if (max_jobs != defaults.max_jobs) {
+    s += " max_jobs=" + std::to_string(max_jobs);
+  }
+  if (retain_completed != defaults.retain_completed) {
+    s += std::string(" retain_completed=") + (retain_completed ? "1" : "0");
+  }
+  if (recycle_slots != defaults.recycle_slots) {
+    s += std::string(" recycle_slots=") + (recycle_slots ? "1" : "0");
+  }
+  return s;
+}
+
+SimulationSpec SimulationSpec::parse(const std::string& text) {
+  SimulationSpec spec;
+  const auto tokens = util::parse_spec(text, /*allow_head=*/false);
+  bool seen[8] = {};
+  auto once = [&](int idx, const std::string& key) {
+    if (seen[idx]) fail(key + " set twice");
+    seen[idx] = true;
+  };
+  for (const auto& option : tokens.options) {
+    const std::string& key = option.key;
+    const std::string& value = option.value;
+    if (key == "scheduler") {
+      once(0, key);
+      spec.scheduler = value;
+    } else if (key == "nodes") {
+      once(1, key);
+      if (util::to_lower(value) == "auto") {
+        spec.nodes.reset();
+      } else {
+        const auto n = util::parse_i64(value);
+        if (!n) fail("nodes must be an integer or 'auto'");
+        spec.nodes = *n;
+      }
+    } else if (key == "closed_loop") {
+      once(2, key);
+      spec.closed_loop = parse_bool_or_fail(key, value);
+    } else if (key == "announce") {
+      once(3, key);
+      spec.deliver_announcements = parse_bool_or_fail(key, value);
+    } else if (key == "lookahead") {
+      once(4, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 1) fail("lookahead must be a positive integer");
+      spec.lookahead = std::size_t(*n);
+    } else if (key == "max_jobs") {
+      once(5, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) fail("max_jobs must be a non-negative integer");
+      spec.max_jobs = std::uint64_t(*n);
+    } else if (key == "retain_completed") {
+      once(6, key);
+      spec.retain_completed = parse_bool_or_fail(key, value);
+    } else if (key == "recycle_slots") {
+      once(7, key);
+      spec.recycle_slots = parse_bool_or_fail(key, value);
+    } else {
+      fail("unknown key '" + key + "'; valid keys: " + kValidKeys);
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace pjsb::sim

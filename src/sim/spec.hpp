@@ -1,0 +1,84 @@
+// SimulationSpec: the one configuration record a replay needs.
+//
+// Replaces the divergent ReplayOptions / StreamReplayOptions pair with
+// a single declarative spec — machine size, loop mode, scheduler spec
+// string, ingestion-window and memory knobs — that round-trips through
+// a key=value string (util/keyval.hpp grammar):
+//
+//   scheduler='easy reserve_depth=2' nodes=256 closed_loop=1
+//   scheduler=conservative lookahead=8192 max_jobs=100000 recycle_slots=1
+//
+// Experiment campaign cells, swf_tool, and the tests all speak this
+// grammar, so a cell's exact engine configuration can be logged,
+// diffed, and replayed byte-identically from its own to_string().
+//
+// Runtime-only attachments that cannot live in a string — an outage
+// log, observers — ride in ReplayHooks (replay.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pjsb::sim {
+
+/// Upper bound on the simulated machine size: generous for any real
+/// system while keeping per-node state allocations sane when a spec
+/// fat-fingers `nodes=`.
+inline constexpr std::int64_t kMaxSpecNodes = 1 << 22;  // ~4M nodes
+
+struct SimulationSpec {
+  /// Scheduler spec string for sched::Registry ("easy",
+  /// "gang slots=8", "conservative reserve_depth=4", ...).
+  std::string scheduler = "fcfs";
+  /// Machine size; nullopt defers to the trace/source MaxNodes header
+  /// (128 when the header carries none) — spelled `nodes=auto`.
+  std::optional<std::int64_t> nodes;
+  /// Honor fields 17/18 as submission dependencies.
+  bool closed_loop = false;
+  /// Deliver outage announcements (outage-aware mode).
+  bool deliver_announcements = true;
+  /// Streaming ingestion window: records pulled ahead of the clock.
+  std::size_t lookahead = 4096;
+  /// Stop pulling after this many records (0 = drain the source) —
+  /// the brake for unbounded generator streams. Streaming replays
+  /// only; replay(trace, ...) rejects a nonzero value.
+  std::uint64_t max_jobs = 0;
+  /// Keep per-job records in ReplayResult::completed. Turn off together
+  /// with recycle_slots for O(running+queued+lookahead) memory.
+  bool retain_completed = true;
+  bool recycle_slots = false;
+
+  // Builder-style chainers, so call sites read declaratively:
+  //   SimulationSpec{}.with_scheduler("easy").closed().with_nodes(256)
+  SimulationSpec& with_scheduler(std::string spec);
+  SimulationSpec& with_nodes(std::int64_t n);
+  SimulationSpec& auto_nodes();
+  SimulationSpec& closed(bool on = true);
+  SimulationSpec& announce_outages(bool on);
+  SimulationSpec& with_lookahead(std::size_t n);
+  SimulationSpec& with_max_jobs(std::uint64_t n);
+  SimulationSpec& streaming_memory(bool on = true);  ///< retain off + recycle
+
+  /// Reject nonsense: empty or unresolvable scheduler spec, nodes out
+  /// of [1, kMaxSpecNodes], zero lookahead, or retain_completed=false
+  /// without recycle_slots (per-job records dropped while slots still
+  /// accumulate — all of the memory cost for none of the output).
+  /// Throws std::invalid_argument. `resolve_scheduler=false` skips the
+  /// registry lookup — the replay overloads that take a caller-built
+  /// scheduler instance use it, so `scheduler` may carry any label
+  /// (e.g. a custom policy's name) for logging purposes.
+  void validate(bool resolve_scheduler = true) const;
+
+  /// Round-trippable form: `scheduler=<quoted>` plus every field that
+  /// differs from its default, in declaration order. parse(to_string())
+  /// reproduces the spec exactly.
+  std::string to_string() const;
+
+  /// Parse a spec string (all key=value; see to_string). Unknown keys,
+  /// repeated keys and malformed values throw std::invalid_argument
+  /// naming the valid keys. The result is validated.
+  static SimulationSpec parse(const std::string& text);
+};
+
+}  // namespace pjsb::sim

@@ -1,0 +1,123 @@
+#include "util/keyval.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace pjsb::util {
+
+namespace {
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("spec: " + message);
+}
+
+/// Read one token starting at `i` (not at whitespace). Returns the
+/// token with quoted runs resolved; `saw_eq` reports whether an
+/// *unquoted* '=' occurred, and `eq_pos` its position in the returned
+/// token.
+std::string read_token(std::string_view text, std::size_t& i, bool& saw_eq,
+                       std::size_t& eq_pos) {
+  std::string token;
+  saw_eq = false;
+  eq_pos = 0;
+  while (i < text.size() && !is_space(text[i])) {
+    const char c = text[i];
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      const auto close = text.find(quote, i + 1);
+      if (close == std::string_view::npos) {
+        fail("unterminated " + std::string(1, quote) + "quote in '" +
+             std::string(text) + "'");
+      }
+      token.append(text.substr(i + 1, close - i - 1));
+      i = close + 1;
+      continue;
+    }
+    if (c == '=' && !saw_eq) {
+      saw_eq = true;
+      eq_pos = token.size();
+    }
+    token.push_back(c);
+    ++i;
+  }
+  return token;
+}
+
+}  // namespace
+
+std::optional<std::string_view> SpecTokens::find(
+    std::string_view key) const {
+  for (const auto& option : options) {
+    if (option.key == key) return option.value;
+  }
+  return std::nullopt;
+}
+
+SpecTokens parse_spec(std::string_view text, bool allow_head) {
+  SpecTokens result;
+  std::size_t i = 0;
+  bool first = true;
+  while (i < text.size()) {
+    if (is_space(text[i])) {
+      ++i;
+      continue;
+    }
+    bool saw_eq = false;
+    std::size_t eq_pos = 0;
+    const std::string token = read_token(text, i, saw_eq, eq_pos);
+    if (!saw_eq) {
+      if (first && allow_head) {
+        result.head = token;
+        first = false;
+        continue;
+      }
+      fail("expected key=value, got '" + token + "'");
+    }
+    first = false;
+    SpecOption option;
+    option.key = to_lower(std::string_view(token).substr(0, eq_pos));
+    option.value = token.substr(eq_pos + 1);
+    if (option.key.empty()) {
+      fail("empty key in '" + token + "'");
+    }
+    result.options.push_back(std::move(option));
+  }
+  return result;
+}
+
+std::string quote_spec_value(std::string_view value) {
+  bool needs_quoting = value.empty();
+  for (const char c : value) {
+    if (is_space(c) || c == '=' || c == '\'' || c == '"') {
+      needs_quoting = true;
+      break;
+    }
+  }
+  if (!needs_quoting) return std::string(value);
+  const bool has_single = value.find('\'') != std::string_view::npos;
+  const bool has_double = value.find('"') != std::string_view::npos;
+  if (has_single && has_double) {
+    fail("value mixes both quote characters: " + std::string(value));
+  }
+  const char quote = has_single ? '"' : '\'';
+  std::string quoted(1, quote);
+  quoted.append(value);
+  quoted.push_back(quote);
+  return quoted;
+}
+
+std::optional<bool> parse_bool(std::string_view value) {
+  const std::string v = to_lower(value);
+  if (v == "1" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "no") return false;
+  return std::nullopt;
+}
+
+}  // namespace pjsb::util

@@ -1,0 +1,52 @@
+// The shared spec-string tokenizer: one grammar from CLI to campaign.
+//
+// Every configurable surface in the benchmark — scheduler selection
+// ("easy reserve_depth=2"), simulation specs ("scheduler=easy
+// nodes=256"), campaign workload lines ("lublin99 jobs=2000 load=0.7")
+// — speaks the same `head key=value ...` token language, parsed here
+// exactly once. Values may be quoted ('...' or "...") so a value can
+// itself contain spaces or '=' (a SimulationSpec embeds a whole
+// scheduler spec: scheduler='easy reserve_depth=2').
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pjsb::util {
+
+struct SpecOption {
+  std::string key;    ///< lowercased
+  std::string value;  ///< verbatim (quotes stripped)
+};
+
+struct SpecTokens {
+  /// First bare token, verbatim ("" when the spec had none). Consumers
+  /// that treat heads as case-insensitive names lowercase it
+  /// themselves; file-path heads must keep their case.
+  std::string head;
+  std::vector<SpecOption> options;  ///< in input order
+
+  /// The explicit value of `key`, or nullopt. Last occurrence wins is
+  /// NOT the policy — callers reject duplicates — this is lookup only.
+  std::optional<std::string_view> find(std::string_view key) const;
+};
+
+/// Tokenize a one-line spec. Tokens are whitespace-separated; the first
+/// may be a bare head word (when `allow_head`), every other token must
+/// be key=value. A single- or double-quoted run groups whitespace and
+/// '=' into a value. Throws std::invalid_argument on a bare token in
+/// option position, an empty key, or an unterminated quote.
+SpecTokens parse_spec(std::string_view text, bool allow_head);
+
+/// Quote `value` so parse_spec reads it back verbatim: returns it
+/// unchanged when it is a self-delimiting token, otherwise wraps it in
+/// whichever quote character it does not contain. Throws
+/// std::invalid_argument if it contains both quote characters.
+std::string quote_spec_value(std::string_view value);
+
+/// Parse a boolean option value: 1/0, true/false, yes/no (any case).
+std::optional<bool> parse_bool(std::string_view value);
+
+}  // namespace pjsb::util

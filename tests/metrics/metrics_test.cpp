@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "metrics/aggregate.hpp"
 #include "metrics/objective.hpp"
 
@@ -80,6 +82,33 @@ TEST(Metric, NamesStable) {
   EXPECT_STREQ(metric_name(MetricId::kMeanBoundedSlowdown),
                "mean-bounded-slowdown");
   EXPECT_STREQ(metric_name(MetricId::kUtilization), "utilization");
+}
+
+TEST(Metric, FromNameRoundTripsForAllIds) {
+  for (const auto id : all_metric_ids()) {
+    EXPECT_EQ(metric_from_name(metric_name(id)), id) << metric_name(id);
+  }
+}
+
+TEST(Metric, FromNameIsCaseInsensitive) {
+  // Matching scheduler-name lookup: the same spelling must work in a
+  // campaign spec file and on the CLI.
+  EXPECT_EQ(metric_from_name("Mean-Wait"), MetricId::kMeanWait);
+  EXPECT_EQ(metric_from_name("UTILIZATION"), MetricId::kUtilization);
+}
+
+TEST(Metric, FromNameThrowsWithValidNames) {
+  try {
+    metric_from_name("mean-tardiness");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("mean-tardiness"), std::string::npos);
+    for (const auto id : all_metric_ids()) {
+      EXPECT_NE(message.find(metric_name(id)), std::string::npos)
+          << "error should mention " << metric_name(id);
+    }
+  }
 }
 
 TEST(Objective, WeightedCost) {

@@ -3,8 +3,10 @@
 #include "predict/recent_mean.hpp"
 #include "predict/scheduler_assisted.hpp"
 #include "predict/template_pred.hpp"
+#include "predict/trainer.hpp"
 #include "sched/factory.hpp"
 #include "sim/engine.hpp"
+#include "sim/replay.hpp"
 #include "util/rng.hpp"
 
 namespace pjsb::predict {
@@ -102,6 +104,35 @@ TEST(SchedulerAssisted, NulloptForNonProfileSchedulers) {
   sim::Engine engine(cfg, sched::make_scheduler("fcfs"));
   SchedulerAssistedPredictor p(engine.scheduler());
   EXPECT_FALSE(p.predict(features(1, 10)));
+}
+
+TEST(Trainer, LearnsThroughReplayObserverHooks) {
+  // Online training as a composable replay observer: attach a trainer
+  // to a replay and the predictor warms up from the completion stream.
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  for (int i = 0; i < 6; ++i) {
+    swf::JobRecord r;
+    r.job_number = i + 1;
+    r.submit_time = i;  // all overlap: queue builds, waits are nonzero
+    r.run_time = 100;
+    r.requested_time = 100;
+    r.allocated_procs = 4;
+    r.status = swf::Status::kCompleted;
+    r.user_id = 1;
+    t.records.push_back(r);
+  }
+
+  RecentMeanPredictor predictor(8);
+  EXPECT_FALSE(predictor.predict(features(4, 100)));  // cold
+  PredictorTrainer trainer(predictor);
+  const auto result =
+      sim::replay(t, sim::SimulationSpec{}.with_scheduler("fcfs"),
+                  sim::ReplayHooks{}.observe(trainer));
+  EXPECT_EQ(result.completed.size(), 6u);
+  const auto prediction = predictor.predict(features(4, 100));
+  ASSERT_TRUE(prediction);  // warmed up by the observer
+  EXPECT_GT(*prediction, 0);
 }
 
 TEST(Predictors, AccuracyOrderOnStructuredWorkload) {

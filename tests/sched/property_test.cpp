@@ -1,14 +1,17 @@
-// Parameterized property sweep: every scheduler × workload model must
-// uphold the simulation invariants. This is the "benchmark harness is
+// Parameterized property sweep: every registered scheduler — including
+// parameterized registry variants — × workload model must uphold the
+// simulation invariants. This is the "benchmark harness is
 // trustworthy" layer under every experiment table.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "metrics/aggregate.hpp"
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "sim/replay.hpp"
+#include "util/string_util.hpp"
 #include "workload/model.hpp"
 #include "workload/scale.hpp"
 
@@ -16,14 +19,25 @@ namespace pjsb {
 namespace {
 
 struct Sweep {
-  sched::SchedulerKind scheduler;
+  std::string scheduler;  ///< registry spec string
   workload::ModelKind model;
   double load;
 };
 
 std::vector<Sweep> sweep_points() {
+  std::vector<std::string> schedulers;
+  for (const auto* info : sched::Registry::global().entries()) {
+    schedulers.push_back(info->name);
+  }
+  // Parameterized variants exercise the schema-driven construction
+  // paths under the same invariants as the defaults.
+  schedulers.push_back("easy reserve_depth=4");
+  schedulers.push_back("conservative reserve_depth=2");
+  schedulers.push_back("sjf tie=narrowest");
+  schedulers.push_back("gang slots=2");
+
   std::vector<Sweep> out;
-  for (const auto s : sched::all_scheduler_kinds()) {
+  for (const auto& s : schedulers) {
     for (const auto m :
          {workload::ModelKind::kLublin99, workload::ModelKind::kJann97}) {
       for (const double load : {0.5, 0.85}) {
@@ -47,11 +61,17 @@ class SchedulerProperties : public testing::TestWithParam<Sweep> {
     config.mean_interarrival = 200;
     auto trace = workload::generate(p.model, config, rng);
     trace = workload::scale_to_load(trace, p.load, kNodes);
-    return sim::replay(trace, sched::make_scheduler(p.scheduler));
+    return sim::replay(trace,
+                       sim::SimulationSpec{}.with_scheduler(p.scheduler));
   }
 
-  static bool is_gang(sched::SchedulerKind k) {
-    return k == sched::SchedulerKind::kGang;
+  static bool is_gang(const std::string& spec) {
+    return util::starts_with(spec, "gang");
+  }
+  /// Gang matrix depth for the capacity bound (slots=N or the default).
+  static std::int64_t gang_slots(const std::string& spec) {
+    const auto parsed = sched::Registry::global().parse(spec);
+    return parsed.info->name == "gang" ? parsed.values.get_int("slots") : 1;
   }
 };
 
@@ -59,8 +79,10 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, SchedulerProperties, testing::ValuesIn(sweep_points()),
     [](const testing::TestParamInfo<Sweep>& info) {
       const auto& p = info.param;
-      std::string name = sched::scheduler_kind_name(p.scheduler);
-      std::replace(name.begin(), name.end(), '-', '_');
+      std::string name = p.scheduler;
+      for (char& c : name) {
+        if (c == '-' || c == ' ' || c == '=') c = '_';
+      }
       return name + "_" + workload::model_name(p.model) + "_" +
              (p.load < 0.7 ? "lo" : "hi");
     });
@@ -86,8 +108,7 @@ TEST_P(SchedulerProperties, SpaceSharedJobsRunExactlyRuntime) {
 
 TEST_P(SchedulerProperties, CapacityNeverExceeded) {
   const auto result = run();
-  const std::int64_t limit =
-      is_gang(GetParam().scheduler) ? kNodes * 4 : kNodes;
+  const std::int64_t limit = kNodes * gang_slots(GetParam().scheduler);
   // Sweep start/end events and verify concurrent usage stays within
   // the machine (times the gang matrix depth for time-sharing).
   std::map<std::int64_t, std::int64_t> delta;
@@ -114,7 +135,7 @@ TEST_P(SchedulerProperties, UtilizationWithinBounds) {
   const auto result = run();
   const auto report = metrics::compute_report(result.completed, result.stats);
   EXPECT_GT(report.utilization, 0.0);
-  const double bound = is_gang(GetParam().scheduler) ? 4.0 : 1.0;
+  const double bound = double(gang_slots(GetParam().scheduler));
   EXPECT_LE(report.utilization, bound + 1e-9);
 }
 

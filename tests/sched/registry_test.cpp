@@ -1,0 +1,178 @@
+// The policy registry: spec-string parsing, schema validation, alias
+// resolution, and name() round-trips for every registered scheduler.
+#include "sched/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pjsb::sched {
+namespace {
+
+TEST(Registry, EveryEntryHasDescriptionAndFactory) {
+  for (const auto* info : Registry::global().entries()) {
+    EXPECT_FALSE(info->name.empty());
+    EXPECT_FALSE(info->description.empty()) << info->name;
+    EXPECT_NE(info->make, nullptr) << info->name;
+  }
+}
+
+TEST(Registry, NameRoundTripsForEveryRegisteredScheduler) {
+  // name -> make -> name() -> make again: the canonical name a
+  // scheduler reports must itself be a valid spec resolving to the
+  // same scheduler.
+  for (const auto* info : Registry::global().entries()) {
+    const auto first = Registry::global().make(info->name);
+    ASSERT_NE(first, nullptr) << info->name;
+    const auto second = Registry::global().make(first->name());
+    ASSERT_NE(second, nullptr) << first->name();
+    EXPECT_EQ(first->name(), second->name());
+  }
+}
+
+TEST(Registry, ParameterizedNamesRoundTrip) {
+  for (const std::string spec :
+       {"easy reserve_depth=3", "conservative reserve_depth=7",
+        "sjf tie=widest", "sjf-fit tie=narrowest", "gang slots=6"}) {
+    const auto first = make_scheduler(spec);
+    const auto second = make_scheduler(first->name());
+    EXPECT_EQ(first->name(), second->name()) << spec;
+  }
+}
+
+TEST(Registry, ParsedSpecToStringIsCanonical) {
+  // Alias + parameter order + case normalize to one canonical string.
+  EXPECT_EQ(Registry::global().parse("CONS reserve_depth=5").to_string(),
+            "conservative reserve_depth=5");
+  EXPECT_EQ(Registry::global().parse("gang8").to_string(), "gang slots=8");
+  EXPECT_EQ(Registry::global().parse("sjffit tie=WIDEST").to_string(),
+            "sjf-fit tie=widest");
+  EXPECT_EQ(Registry::global().parse("easy").to_string(), "easy");
+}
+
+TEST(Registry, PreRedesignNamesAllResolve) {
+  // Aliases that existed before the registry redesign must keep
+  // working — campaign spec files in the wild use them.
+  for (const std::string name :
+       {"fcfs", "sjf", "sjf-fit", "sjffit", "easy", "conservative", "cons",
+        "gang", "gang2", "gang8", "gang1024"}) {
+    EXPECT_NE(make_scheduler(name), nullptr) << name;
+  }
+}
+
+TEST(Registry, DefaultParamsMatchLegacyBehavior) {
+  EXPECT_EQ(make_scheduler("easy")->name(), "easy");
+  EXPECT_EQ(make_scheduler("conservative")->name(), "conservative");
+  EXPECT_EQ(make_scheduler("sjf")->name(), "sjf");
+  EXPECT_EQ(make_scheduler("gang")->name(), "gang4");
+  EXPECT_EQ(make_scheduler("gang8")->name(), "gang8");
+  EXPECT_EQ(make_scheduler("gang slots=8")->name(), "gang8");
+}
+
+TEST(Registry, UnknownSchedulerListsValidNames) {
+  try {
+    make_scheduler("quantum-annealer");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("quantum-annealer"), std::string::npos);
+    for (const auto* info : Registry::global().entries()) {
+      EXPECT_NE(message.find(info->name), std::string::npos)
+          << "error should mention " << info->name;
+    }
+  }
+}
+
+TEST(Registry, UnknownParameterListsValidKeys) {
+  try {
+    make_scheduler("easy depth=2");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("depth"), std::string::npos);
+    EXPECT_NE(message.find("reserve_depth"), std::string::npos)
+        << "error should name the valid key; got: " << message;
+  }
+}
+
+TEST(Registry, ParameterValidation) {
+  // Bad value.
+  EXPECT_THROW(make_scheduler("easy reserve_depth=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang slots=1.5"), std::invalid_argument);
+  // Out of range.
+  EXPECT_THROW(make_scheduler("easy reserve_depth=0"),
+               std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang slots=0"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang slots=2000"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("conservative reserve_depth=-1"),
+               std::invalid_argument);
+  // Unknown choice.
+  EXPECT_THROW(make_scheduler("sjf tie=random"), std::invalid_argument);
+  // Repeated key (also via the compact alias).
+  EXPECT_THROW(make_scheduler("easy reserve_depth=2 reserve_depth=3"),
+               std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang8 slots=4"), std::invalid_argument);
+  // Bare token where key=value is required.
+  EXPECT_THROW(make_scheduler("easy fast"), std::invalid_argument);
+  // Parameters for a scheduler without any.
+  EXPECT_THROW(make_scheduler("fcfs reserve_depth=2"),
+               std::invalid_argument);
+}
+
+TEST(Registry, CompactAliasValidation) {
+  EXPECT_THROW(make_scheduler("gang0"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang-4"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gangster"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang0x8"), std::invalid_argument);
+  EXPECT_THROW(make_scheduler("gang100000000"), std::invalid_argument);
+  EXPECT_NO_THROW(make_scheduler("gang1024"));  // at the cap
+}
+
+TEST(Registry, CaseInsensitiveNamesAndAliases) {
+  EXPECT_EQ(make_scheduler("FCFS")->name(), "fcfs");
+  EXPECT_EQ(make_scheduler("Easy")->name(), "easy");
+  EXPECT_EQ(make_scheduler("GANG8")->name(), "gang8");
+}
+
+TEST(Registry, DistinctVariantsAreDistinct) {
+  EXPECT_NE(make_scheduler("easy")->name(),
+            make_scheduler("easy reserve_depth=2")->name());
+  EXPECT_NE(make_scheduler("gang8")->name(),
+            make_scheduler("gang2")->name());
+}
+
+TEST(Registry, AddRejectsDuplicatesAndBadSchemas) {
+  Registry registry;
+  SchedulerInfo info;
+  info.name = "custom";
+  info.description = "test policy";
+  info.make = +[](const ParamValues&) -> std::unique_ptr<Scheduler> {
+    return nullptr;
+  };
+  registry.add(info);
+  EXPECT_THROW(registry.add(info), std::invalid_argument);  // dup name
+
+  SchedulerInfo bad = info;
+  bad.name = "custom2";
+  bad.compact_prefix = "cu";
+  bad.compact_param = "missing";  // not in the schema
+  EXPECT_THROW(registry.add(bad), std::invalid_argument);
+
+  SchedulerInfo no_factory;
+  no_factory.name = "custom3";
+  EXPECT_THROW(registry.add(no_factory), std::invalid_argument);
+}
+
+TEST(Registry, HelpMentionsEverySchedulerAndParameter) {
+  const std::string help = Registry::global().help();
+  for (const auto* info : Registry::global().entries()) {
+    EXPECT_NE(help.find(info->name), std::string::npos);
+    for (const auto& p : info->params) {
+      EXPECT_NE(help.find(p.key), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::sched

@@ -213,6 +213,51 @@ TEST(Engine, CompletionObserverFires) {
   EXPECT_EQ(count, 3);
 }
 
+TEST(Engine, ObserverListReceivesDecisionsCompletionsAndEnd) {
+  Engine e(EngineConfig{.nodes = 4}, sched::make_scheduler("fcfs"));
+  std::vector<Decision> decisions;
+  int completions = 0;
+  int ends = 0;
+  FunctionObserver a;
+  a.decision = [&](const Decision& d) { decisions.push_back(d); };
+  a.job_complete = [&](const CompletedJob&) { ++completions; };
+  a.end = [&](const EngineStats& stats) {
+    ++ends;
+    EXPECT_EQ(stats.jobs_completed, 3);
+  };
+  // A second observer proves fan-out; attach order is notification
+  // order, so it sees the same counts.
+  int other_completions = 0;
+  FunctionObserver b;
+  b.job_complete = [&](const CompletedJob&) { ++other_completions; };
+  e.add_observer(a);
+  e.add_observer(b);
+  e.load_trace(tiny_trace());
+  e.run();
+  e.notify_run_end();
+  ASSERT_EQ(decisions.size(), 3u);
+  for (const auto& d : decisions) {
+    EXPECT_FALSE(d.virtual_start);  // fcfs starts via the machine
+    EXPECT_GT(d.procs, 0);
+  }
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(other_completions, 3);
+  EXPECT_EQ(ends, 1);
+}
+
+TEST(Engine, VirtualStartsAreMarkedInDecisions) {
+  Engine e(EngineConfig{.nodes = 4}, sched::make_scheduler("gang2"));
+  int virtual_starts = 0;
+  FunctionObserver observer;
+  observer.decision = [&](const Decision& d) {
+    if (d.virtual_start) ++virtual_starts;
+  };
+  e.add_observer(observer);
+  e.load_trace(tiny_trace());
+  e.run();
+  EXPECT_EQ(virtual_starts, 3);  // gang does its own space accounting
+}
+
 TEST(Engine, RejectsPastSubmission) {
   Engine e(EngineConfig{.nodes = 4}, sched::make_scheduler("fcfs"));
   e.run_until(100);

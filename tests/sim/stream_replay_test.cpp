@@ -28,7 +28,9 @@ swf::Trace model_trace(std::size_t jobs, std::uint64_t seed = 4242) {
 }
 
 /// Decision dump in completion order — "same string" means the
-/// scheduler made the same choices in the same sequence.
+/// scheduler made the same choices in the same sequence. Kept for the
+/// deprecated completion_observer shim tests below; the primary path
+/// uses sim::CompletionCsvObserver.
 std::function<void(const CompletedJob&)> csv_into(std::string& out) {
   return [&out](const CompletedJob& c) {
     out += std::to_string(c.id) + ',' + std::to_string(c.submit) + ',' +
@@ -39,11 +41,11 @@ std::function<void(const CompletedJob&)> csv_into(std::string& out) {
 
 std::string replay_inmem_csv(const swf::Trace& trace,
                              const std::string& scheduler) {
-  std::string csv;
-  ReplayOptions options;
-  options.completion_observer = csv_into(csv);
-  replay(trace, sched::make_scheduler(scheduler), options);
-  return csv;
+  std::ostringstream csv;
+  CompletionCsvObserver observer(csv, /*header=*/false);
+  replay(trace, SimulationSpec{}.with_scheduler(scheduler),
+         ReplayHooks{}.observe(observer));
+  return csv.str();
 }
 
 std::string replay_stream_csv(const swf::Trace& trace,
@@ -53,14 +55,13 @@ std::string replay_stream_csv(const swf::Trace& trace,
   auto in = std::make_unique<std::istringstream>(text);
   swf::StreamReader source(std::move(in), "test");
 
-  std::string csv;
-  StreamReplayOptions options;
-  options.lookahead = lookahead;
-  options.retain_completed = !bounded_memory;
-  options.recycle_slots = bounded_memory;
-  options.completion_observer = csv_into(csv);
-  replay(source, sched::make_scheduler(scheduler), options);
-  return csv;
+  auto spec = SimulationSpec{}.with_scheduler(scheduler).with_lookahead(
+      lookahead);
+  if (bounded_memory) spec.streaming_memory();
+  std::ostringstream csv;
+  CompletionCsvObserver observer(csv, /*header=*/false);
+  replay(source, spec, ReplayHooks{}.observe(observer));
+  return csv.str();
 }
 
 TEST(StreamReplay, ByteIdenticalDecisionsAcrossLookaheads) {

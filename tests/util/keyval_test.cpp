@@ -1,0 +1,98 @@
+// The shared spec-string tokenizer.
+#include "util/keyval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace pjsb::util {
+namespace {
+
+TEST(ParseSpec, HeadAndOptions) {
+  const auto t = parse_spec("lublin99 jobs=2000 load=0.7", true);
+  EXPECT_EQ(t.head, "lublin99");
+  ASSERT_EQ(t.options.size(), 2u);
+  EXPECT_EQ(t.options[0].key, "jobs");
+  EXPECT_EQ(t.options[0].value, "2000");
+  EXPECT_EQ(t.options[1].key, "load");
+  EXPECT_EQ(t.options[1].value, "0.7");
+}
+
+TEST(ParseSpec, HeadKeepsCaseButKeysAreLowered) {
+  const auto t = parse_spec("trace:Logs/KTH.swf LABEL=MyRun", true);
+  EXPECT_EQ(t.head, "trace:Logs/KTH.swf");  // paths keep their case
+  ASSERT_EQ(t.options.size(), 1u);
+  EXPECT_EQ(t.options[0].key, "label");
+  EXPECT_EQ(t.options[0].value, "MyRun");  // values verbatim
+}
+
+TEST(ParseSpec, EmptyInput) {
+  const auto t = parse_spec("   \t ", true);
+  EXPECT_TRUE(t.head.empty());
+  EXPECT_TRUE(t.options.empty());
+}
+
+TEST(ParseSpec, QuotedValuesGroupSpacesAndEquals) {
+  const auto t =
+      parse_spec("scheduler='easy reserve_depth=2' nodes=64", false);
+  ASSERT_EQ(t.options.size(), 2u);
+  EXPECT_EQ(t.options[0].key, "scheduler");
+  EXPECT_EQ(t.options[0].value, "easy reserve_depth=2");
+  EXPECT_EQ(t.options[1].value, "64");
+  // Double quotes work the same way.
+  const auto d = parse_spec("label=\"two words\"", false);
+  EXPECT_EQ(d.options[0].value, "two words");
+}
+
+TEST(ParseSpec, ValueMayContainEqualsUnquoted) {
+  // Split on the first '=' only: values may contain '='.
+  const auto t = parse_spec("label=a=b", false);
+  EXPECT_EQ(t.options[0].key, "label");
+  EXPECT_EQ(t.options[0].value, "a=b");
+}
+
+TEST(ParseSpec, Errors) {
+  // Bare token in option position.
+  EXPECT_THROW(parse_spec("head stray", true), std::invalid_argument);
+  // Head where none is allowed.
+  EXPECT_THROW(parse_spec("head k=v", false), std::invalid_argument);
+  // Two bare tokens.
+  EXPECT_THROW(parse_spec("one two", true), std::invalid_argument);
+  // Empty key.
+  EXPECT_THROW(parse_spec("head =v", true), std::invalid_argument);
+  // Unterminated quote.
+  EXPECT_THROW(parse_spec("k='open", false), std::invalid_argument);
+}
+
+TEST(ParseSpec, FindLocatesOptions) {
+  const auto t = parse_spec("head a=1 b=2", true);
+  ASSERT_TRUE(t.find("a"));
+  EXPECT_EQ(*t.find("a"), "1");
+  EXPECT_FALSE(t.find("missing"));
+}
+
+TEST(QuoteSpecValue, RoundTripsThroughParse) {
+  for (const std::string value :
+       {"plain", "two words", "easy reserve_depth=2", "", "a=b"}) {
+    const auto quoted = quote_spec_value(value);
+    const auto t = parse_spec("k=" + quoted, false);
+    ASSERT_EQ(t.options.size(), 1u) << value;
+    EXPECT_EQ(t.options[0].value, value);
+  }
+  EXPECT_EQ(quote_spec_value("plain"), "plain");  // no needless quotes
+  EXPECT_THROW(quote_spec_value("both ' and \" quotes"),
+               std::invalid_argument);
+}
+
+TEST(ParseBool, AcceptedSpellings) {
+  EXPECT_EQ(parse_bool("1"), true);
+  EXPECT_EQ(parse_bool("true"), true);
+  EXPECT_EQ(parse_bool("YES"), true);
+  EXPECT_EQ(parse_bool("0"), false);
+  EXPECT_EQ(parse_bool("False"), false);
+  EXPECT_EQ(parse_bool("no"), false);
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+}
+
+}  // namespace
+}  // namespace pjsb::util
