@@ -121,7 +121,7 @@ void CampaignSpec::validate() const {
     }
   }
   seen.clear();
-  std::set<std::tuple<bool, bool, bool>> seen_flags;
+  std::set<std::tuple<bool, bool, bool, bool>> seen_flags;
   for (const auto& c : configs) {
     if (!seen.insert(c.label).second) {
       throw std::invalid_argument("campaign: duplicate config label '" +
@@ -132,7 +132,8 @@ void CampaignSpec::validate() const {
     // "blind" changes nothing without an outage stream to announce.
     if (!seen_flags
              .insert({c.closed_loop, c.outages,
-                      c.outages ? c.deliver_announcements : true})
+                      c.outages ? c.deliver_announcements : true,
+                      c.validate})
              .second) {
       throw std::invalid_argument(
           "campaign: config '" + c.label +
@@ -266,9 +267,11 @@ ConfigSpec parse_config(std::string_view value, std::size_t line) {
       c.outages = true;
     } else if (f == "blind") {
       c.deliver_announcements = false;
+    } else if (f == "validate") {
+      c.validate = true;
     } else {
       fail(line, "unknown config flag '" + f +
-                     "' (valid: open, closed, outages, blind)");
+                     "' (valid: open, closed, outages, blind, validate)");
     }
   }
   return c;

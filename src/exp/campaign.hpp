@@ -56,6 +56,9 @@ struct ConfigSpec {
   bool outages = false;
   /// Deliver outage announcements to the scheduler (outage-aware mode).
   bool deliver_announcements = true;
+  /// Attach the validate::InvariantChecker to every cell replay; any
+  /// violation fails the campaign (spelled `+validate` in spec files).
+  bool validate = false;
 };
 
 /// Upper bound on the simulated machine size: generous for any real

@@ -14,6 +14,7 @@
 #include "sched/registry.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"
+#include "validate/invariants.hpp"
 #include "workload/scale.hpp"
 #include "workload/stream.hpp"
 
@@ -38,6 +39,26 @@ std::size_t count_summary_jobs(const swf::Trace& trace) {
   return std::size_t(std::count_if(
       trace.records.begin(), trace.records.end(),
       [](const swf::JobRecord& r) { return r.is_summary(); }));
+}
+
+/// `validate=1` cells ride an InvariantChecker on the replay; a dirty
+/// run fails the campaign with the first violations spelled out (a
+/// report whose cells broke the simulation's ground rules is worse
+/// than no report).
+validate::CheckerOptions checker_options_for(const std::string& scheduler,
+                                             std::int64_t nodes,
+                                             const ConfigSpec& cspec) {
+  validate::CheckerOptions options;
+  options.nodes = nodes;
+  options.scheduler = scheduler;
+  options.outages = cspec.outages;
+  return options;
+}
+
+[[noreturn]] void throw_validation_failure(
+    const std::string& scheduler, const validate::InvariantChecker& checker) {
+  throw std::runtime_error("campaign: invariant violations under '" +
+                           scheduler + "': " + checker.summary());
 }
 
 /// Run one streaming cell: build the per-cell JobSource (StreamReader
@@ -65,6 +86,22 @@ sim::ReplayResult run_stream_cell(const CampaignSpec& spec,
   // spec pins a size.
   if (spec.nodes > 0) sim_spec.nodes = spec.nodes;
 
+  const auto replay_source = [&](swf::JobSource& source) {
+    if (!cspec.validate) return sim::replay(source, sim_spec);
+    const std::int64_t nodes = sim_spec.nodes.value_or(
+        source.header().max_nodes.value_or(sim::kDefaultNodes));
+    auto scheduler = sched::make_scheduler(sim_spec.scheduler);
+    validate::InvariantChecker checker(
+        checker_options_for(sim_spec.scheduler, nodes, cspec));
+    checker.watch(*scheduler);
+    auto result = sim::replay(source, std::move(scheduler), sim_spec,
+                              sim::ReplayHooks{}.observe(checker));
+    if (!checker.clean()) {
+      throw_validation_failure(sim_spec.scheduler, checker);
+    }
+    return result;
+  };
+
   if (wspec.model) {
     workload::GeneratorSpec gen;
     gen.kind = *wspec.model;
@@ -75,7 +112,7 @@ sim::ReplayResult run_stream_cell(const CampaignSpec& spec,
     gen.seed = cell.seed;
     gen.max_jobs = wspec.jobs;
     workload::ModelJobSource source(gen);
-    return sim::replay(source, sim_spec);
+    return replay_source(source);
   }
 
   swf::StreamReader source(wspec.trace_path);
@@ -83,7 +120,7 @@ sim::ReplayResult run_stream_cell(const CampaignSpec& spec,
     throw std::runtime_error("campaign: cannot open trace '" +
                              wspec.trace_path + "'");
   }
-  auto result = sim::replay(source, sim_spec);
+  auto result = replay_source(source);
   // Malformed lines are fatal, exactly like the preload path: a report
   // over a silently shrunken workload is worse than failing.
   if (source.error_count() > 0 || result.source_pulled == 0) {
@@ -223,8 +260,21 @@ CellResult run_cell(const CampaignSpec& spec, const CellSpec& cell,
     hooks.with_outages(outages);
   }
 
-  // 3. Replay and aggregate.
-  const auto replay_result = sim::replay(*trace, sim_spec, hooks);
+  // 3. Replay and aggregate (validate cells ride an invariant checker).
+  sim::ReplayResult replay_result;
+  if (cspec.validate) {
+    auto scheduler = sched::make_scheduler(sim_spec.scheduler);
+    validate::InvariantChecker checker(
+        checker_options_for(sim_spec.scheduler, nodes, cspec));
+    checker.watch(*scheduler);
+    hooks.observe(checker);
+    replay_result = sim::replay(*trace, std::move(scheduler), sim_spec, hooks);
+    if (!checker.clean()) {
+      throw_validation_failure(sim_spec.scheduler, checker);
+    }
+  } else {
+    replay_result = sim::replay(*trace, sim_spec, hooks);
+  }
 
   CellResult result;
   result.cell = cell;

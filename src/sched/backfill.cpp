@@ -9,6 +9,7 @@ namespace pjsb::sched {
 void BackfillBase::on_attach(SchedulerContext& ctx) {
   total_nodes_ = ctx.machine().total_nodes();
   profile_ = CapacityProfile(total_nodes_);
+  base_changed_ = true;
 }
 
 void BackfillBase::on_submit(SchedulerContext& ctx, std::int64_t job_id) {
@@ -27,6 +28,7 @@ void BackfillBase::release_running(std::int64_t job_id, std::int64_t now) {
     profile_.remove_usage(now, rj.profile_end, rj.procs);
   }
   running_.erase(it);
+  base_changed_ = true;
 }
 
 void BackfillBase::on_job_end(SchedulerContext& ctx, std::int64_t job_id) {
@@ -52,6 +54,7 @@ void BackfillBase::note_outage(std::int64_t now,
     profile_.add_usage(std::max(rec.start_time, now), rec.end_time,
                        rec.nodes_affected);
   }
+  base_changed_ = true;
 }
 
 void BackfillBase::on_outage_announce(SchedulerContext& ctx,
@@ -73,6 +76,7 @@ void BackfillBase::on_outage_end(SchedulerContext& ctx,
                                        w.nodes == rec.nodes_affected);
     if (drop && w.end > now) {
       profile_.remove_usage(std::max(w.start, now), w.end, w.nodes);
+      base_changed_ = true;
     }
     return drop;
   });
@@ -98,6 +102,7 @@ void BackfillBase::refresh_profile(std::int64_t now) {
     it->second.profile_end = now + 1;
     profile_.add_usage(now, now + 1, it->second.procs);
     expiry_heap_.push({now + 1, id});
+    base_changed_ = true;
   }
 
   // Committed reservations whose window has passed no longer influence
@@ -168,6 +173,7 @@ bool BackfillBase::try_reserve(SchedulerContext& ctx,
   }
   reservations_.push_back(reservation);
   profile_.add_usage(from, end, reservation.procs);
+  base_changed_ = true;
   return true;
 }
 

@@ -98,6 +98,19 @@ class BackfillBase : public Scheduler {
   /// run the optional cross-check.
   void refresh_profile(std::int64_t now);
 
+  /// True when the base profile's *semantics* changed since the last
+  /// consume_base_change() — a job ended/was killed, an outage window
+  /// appeared/cleared, a reservation was committed, or an overrun
+  /// extension fired. Pure submissions and compaction do not set it.
+  /// Lets subclasses that cache placements against the base (the
+  /// conservative compression pass) skip recomputation on
+  /// submission-only events.
+  bool consume_base_change() {
+    const bool changed = base_changed_;
+    base_changed_ = false;
+    return changed;
+  }
+
   /// Record a job started now: running-set entry + profile usage.
   void note_started(std::int64_t id, std::int64_t now,
                     std::int64_t estimate, std::int64_t procs);
@@ -123,6 +136,9 @@ class BackfillBase : public Scheduler {
                       std::vector<std::pair<std::int64_t, std::int64_t>>,
                       std::greater<>>
       expiry_heap_;
+  /// See consume_base_change(); starts true so the first pass after
+  /// attach always recomputes from scratch.
+  bool base_changed_ = true;
 #ifndef NDEBUG
   bool cross_check_ = true;
 #else

@@ -32,42 +32,154 @@ void ConservativeScheduler::on_attach(SchedulerContext& ctx) {
   full_profile_ = profile_;
 }
 
+std::optional<std::int64_t> ConservativeScheduler::reserved_start(
+    std::int64_t job_id) const {
+  const auto it = placed_.find(job_id);
+  if (it == placed_.end()) return std::nullopt;
+  return it->second;
+}
+
 void ConservativeScheduler::schedule(SchedulerContext& ctx) {
   const std::int64_t now = ctx.now();
   total_nodes_ = ctx.machine().total_nodes();
+  const std::size_t before_prune = queue_.size();
   prune_queue(ctx);
-  refresh_profile(now);
+  const bool externally_started = queue_.size() != before_prune;
+  refresh_profile(now);  // may flag an overrun extension
 
-  // Re-place each queued job (FIFO order) at its earliest feasible
-  // start on a copy of the maintained base profile; start those whose
-  // reservation is "now". Re-placing per event keeps the profile
-  // consistent after early completions (jobs finishing before their
-  // estimate compress everyone's reservations); the base itself is
-  // never rebuilt, and earliest_start is a single O(steps) sweep.
-  // Jobs beyond reserve_depth_ hold no reservation: they start only
-  // when they fit immediately without delaying a placed reservation.
-  CapacityProfile profile = profile_;
-
-  std::size_t placed = 0;
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    const auto& j = ctx.job(*it);
-    if (reserve_depth_ == 0 || placed < std::size_t(reserve_depth_)) {
-      const std::int64_t t = profile.earliest_start(now, j.estimate, j.procs);
-      if (t == now && ctx.start_job(*it)) {
-        profile.add_usage(now, now + j.estimate, j.procs);
+  // Submission-only fast path: when the base profile's semantics did
+  // not change since the last pass, standing reservations can neither
+  // improve nor break — only reservations that came due need starting
+  // and only unplaced (new / beyond-depth) jobs need work, against the
+  // maintained base+claims profile. This is the common case on a
+  // backfill-heavy replay (every job contributes one submit event).
+  if (!consume_base_change() && !externally_started &&
+      !full_profile_stale_) {
+    std::size_t reserved = placed_.size();
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      const auto& j = ctx.job(*it);
+      const auto placed = placed_.find(*it);
+      if (placed != placed_.end()) {
+        // A standing reservation: due (the clock reached its slot —
+        // e.g. a submission event landing exactly on it) means start.
+        if (placed->second <= now && ctx.start_job(*it)) {
+          full_profile_.remove_usage(placed->second,
+                                     placed->second + j.estimate, j.procs);
+          full_profile_.add_usage(now, now + j.estimate, j.procs);
+          note_started(j.id, now, j.estimate, j.procs);
+          queued_info_.erase(j.id);
+          placed_.erase(placed);
+          it = queue_.erase(it);
+          --reserved;  // a started job frees its depth slot
+          continue;
+        }
+        ++it;
+        continue;
+      }
+      const bool in_depth =
+          reserve_depth_ == 0 || reserved < std::size_t(reserve_depth_);
+      if (in_depth) {
+        const std::int64_t t =
+            full_profile_.earliest_start(now, j.estimate, j.procs);
+        if (t == now && ctx.start_job(*it)) {
+          full_profile_.add_usage(now, now + j.estimate, j.procs);
+          note_started(j.id, now, j.estimate, j.procs);
+          queued_info_.erase(j.id);
+          it = queue_.erase(it);
+          continue;
+        }
+        if (t < kForever) {
+          full_profile_.add_usage(t, t + j.estimate, j.procs);
+          placed_[j.id] = t;
+        }
+        ++reserved;
+        ++it;
+      } else if (full_profile_.fits(now, j.estimate, j.procs) &&
+                 ctx.start_job(*it)) {
+        full_profile_.add_usage(now, now + j.estimate, j.procs);
         note_started(j.id, now, j.estimate, j.procs);
         queued_info_.erase(j.id);
         it = queue_.erase(it);
       } else {
-        if (t < kForever) profile.add_usage(t, t + j.estimate, j.procs);
-        ++placed;  // a started job holds no reservation
         ++it;
       }
+    }
+    full_profile_.compact_before(now);
+    return;
+  }
+
+  // Build the full profile: the maintained base plus every standing
+  // reservation. Claims are added up front so that compressing one job
+  // can never move it into capacity promised to another — the
+  // improvement-only rule that keeps every promise (see header).
+  CapacityProfile profile = profile_;
+  std::size_t claims = 0;
+  for (const std::int64_t id : queue_) {
+    const auto it = placed_.find(id);
+    if (it == placed_.end()) continue;
+    const auto& j = ctx.job(id);
+    profile.add_usage(it->second, it->second + j.estimate, j.procs);
+    ++claims;
+  }
+  // Placements of jobs that left the queue between passes (externally
+  // started via an attached reservation) were not added above; drop
+  // them so they cannot linger.
+  if (placed_.size() != claims) {
+    std::unordered_map<std::int64_t, std::int64_t> live;
+    for (const std::int64_t id : queue_) {
+      const auto it = placed_.find(id);
+      if (it != placed_.end()) live.emplace(*it);
+    }
+    placed_ = std::move(live);
+  }
+
+  std::size_t reserved = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const auto& j = ctx.job(*it);
+    const bool in_depth =
+        reserve_depth_ == 0 || reserved < std::size_t(reserve_depth_);
+    if (in_depth) {
+      // Compress (or first-place) this job's reservation with every
+      // other claim standing.
+      std::int64_t slot = kForever;
+      const auto placed = placed_.find(*it);
+      if (placed != placed_.end()) {
+        slot = placed->second;
+        profile.remove_usage(slot, slot + j.estimate, j.procs);
+      }
+      const std::int64_t t = profile.earliest_start(now, j.estimate, j.procs);
+      if (t <= slot) {
+        slot = t;  // improvement (or first placement)
+      } else if (slot < now || !profile.fits(slot, j.estimate, j.procs)) {
+        // The promised slot is gone — it slipped into the past (the
+        // start at the reserved time failed on a shrunken machine), an
+        // outage window opened over it, an accepted external
+        // reservation claimed it, or an overrunning job ate it. Only
+        // then is the promise void and the job re-placed later.
+        slot = t;
+      }
+      if (slot == now && ctx.start_job(*it)) {
+        profile.add_usage(now, now + j.estimate, j.procs);
+        note_started(j.id, now, j.estimate, j.procs);
+        queued_info_.erase(j.id);
+        placed_.erase(j.id);
+        it = queue_.erase(it);
+        continue;
+      }
+      if (slot < kForever) {
+        profile.add_usage(slot, slot + j.estimate, j.procs);
+        placed_[j.id] = slot;
+      } else {
+        placed_.erase(j.id);
+      }
+      ++reserved;  // a started job holds no reservation
+      ++it;
     } else if (profile.fits(now, j.estimate, j.procs) &&
                ctx.start_job(*it)) {
       profile.add_usage(now, now + j.estimate, j.procs);
       note_started(j.id, now, j.estimate, j.procs);
       queued_info_.erase(j.id);
+      placed_.erase(j.id);
       it = queue_.erase(it);
     } else {
       ++it;
@@ -90,21 +202,17 @@ std::optional<std::int64_t> ConservativeScheduler::predict_start(
     std::int64_t now, std::int64_t procs, std::int64_t estimate) const {
   if (total_nodes_ <= 0) return std::nullopt;
   if (full_profile_stale_) {
-    // Re-place the queue on the maintained base (same FIFO pass as
-    // schedule(), minus the starts — nothing can start between events).
+    // Rebuild base + standing placements (placements themselves do not
+    // move between events; the next schedule() pass compresses them).
     CapacityProfile profile = profile_;
-    std::size_t placed = 0;
     for (const std::int64_t id : queue_) {
-      if (reserve_depth_ != 0 && placed >= std::size_t(reserve_depth_)) {
-        break;  // jobs beyond the depth hold no reservation
-      }
-      const auto it = queued_info_.find(id);
-      if (it == queued_info_.end()) continue;
-      const auto& q = it->second;
-      const std::int64_t t =
-          profile.earliest_start(now, q.estimate, q.procs);
-      if (t < kForever) profile.add_usage(t, t + q.estimate, q.procs);
-      ++placed;
+      const auto placed = placed_.find(id);
+      if (placed == placed_.end()) continue;
+      const auto info = queued_info_.find(id);
+      if (info == queued_info_.end()) continue;
+      profile.add_usage(placed->second,
+                        placed->second + info->second.estimate,
+                        info->second.procs);
     }
     full_profile_ = std::move(profile);
     full_profile_stale_ = false;

@@ -4,11 +4,26 @@
 // between the two is a standing ablation in the literature the paper
 // standardizes (experiments E2/E8).
 //
+// Reservations are *persistent* and compressed one at a time: when
+// capacity frees (a job ends early), each queued job is re-placed with
+// every other job's claim still standing, and moves only if the new
+// slot is earlier. This is the published compression rule — wholesale
+// re-placement looks equivalent but is not: an earlier job compressed
+// into a later job's window can push that job past its promised start,
+// which the validation fuzzer caught as a broken-promise invariant
+// violation. A reservation is abandoned (re-placed unconditionally)
+// only when its slot became infeasible through a base-profile
+// regression — an outage, an accepted external reservation, or a
+// running job overrunning its estimate — the documented cases where
+// the guarantee cannot hold.
+//
 // `reserve_depth` caps how many queued jobs hold reservations (0 =
 // every job, the classic policy): jobs beyond the depth backfill
 // opportunistically, sliding the policy toward EASY from the other end
 // of the aggressiveness axis.
 #pragma once
+
+#include <unordered_map>
 
 #include "sched/backfill.hpp"
 
@@ -27,20 +42,29 @@ class ConservativeScheduler final : public BackfillBase {
   bool try_reserve(SchedulerContext& ctx,
                    const AdvanceReservation& reservation) override;
   std::optional<std::int64_t> predict_start(
-      std::int64_t now, std::int64_t procs,
-      std::int64_t estimate) const override;
+      std::int64_t now, std::int64_t procs, std::int64_t estimate) const override;
 
   int reserve_depth() const { return reserve_depth_; }
+
+  /// The reservation currently held by a queued job (engine time), or
+  /// nullopt when the job holds none (beyond reserve_depth, unknown, or
+  /// not yet placeable). Exposed for tests and diagnostics.
+  std::optional<std::int64_t> reserved_start(std::int64_t job_id) const;
 
  private:
   int reserve_depth_ = 0;
 
-  /// Base profile + the FIFO reservation placements of every queued
-  /// job, as left by the last schedule() pass; predict_start queries it
-  /// directly instead of replaying the whole queue per call. An
-  /// accepted reservation between events marks it stale (the queue
-  /// placements must shift around the new window), and the next
-  /// predict_start re-places lazily.
+  /// Persistent FIFO reservations: job id -> promised start time, as
+  /// granted at submission and only ever compressed earlier (see class
+  /// comment). Entries are dropped when the job starts or leaves the
+  /// queue.
+  std::unordered_map<std::int64_t, std::int64_t> placed_;
+
+  /// Base profile + the queue's reservation placements, as left by the
+  /// last schedule() pass; predict_start queries it directly instead of
+  /// replaying the whole queue per call. An accepted reservation
+  /// between events marks it stale (the base changed under the
+  /// placements), and the next predict_start rebuilds lazily.
   mutable CapacityProfile full_profile_{0};
   mutable bool full_profile_stale_ = false;
 };

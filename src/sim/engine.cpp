@@ -218,6 +218,11 @@ bool Engine::step() {
     process(ev);
   }
   if (scheduler_dirty_) scheduler_->schedule(*this);
+  if (!observers_.empty()) {
+    observers_.on_step({now_, machine_.free_nodes(), machine_.busy_nodes(),
+                        machine_.down_nodes(), queued_count_,
+                        running_count_});
+  }
   return true;
 }
 
@@ -397,6 +402,7 @@ void Engine::handle_submit(const Event& ev) {
   slot->job.state = JobState::kQueued;
   ++queued_count_;
   scheduler_->on_submit(*this, job_id);
+  observers_.on_job_submit(now_, slot->job);
   scheduler_dirty_ = true;
   fill_from_source();
 }
@@ -478,11 +484,13 @@ void Engine::kill_job(JobSlot& slot) {
     j.nodes.clear();
   }
   ++slot.end_version;  // invalidate the pending end event
+  observers_.on_job_kill(now_, j);
   scheduler_->on_job_killed(*this, j.id);
   if (config_.requeue_killed_jobs) {
     j.state = JobState::kQueued;
     ++queued_count_;
     scheduler_->on_submit(*this, j.id);
+    observers_.on_job_submit(now_, j);
   } else {
     j.state = JobState::kFinished;
     j.end = now_;

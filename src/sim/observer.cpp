@@ -8,6 +8,9 @@ void SimObserver::on_job_complete(const CompletedJob&) {}
 void SimObserver::on_decision(const Decision&) {}
 void SimObserver::on_outage(const outage::OutageRecord&, OutagePhase) {}
 void SimObserver::on_end(const EngineStats&) {}
+void SimObserver::on_job_submit(std::int64_t, const SimJob&) {}
+void SimObserver::on_job_kill(std::int64_t, const SimJob&) {}
+void SimObserver::on_step(const StepSnapshot&) {}
 
 ObserverList& ObserverList::add(SimObserver& observer) {
   observers_.push_back(&observer);
@@ -31,6 +34,18 @@ void ObserverList::on_end(const EngineStats& stats) {
   for (auto* o : observers_) o->on_end(stats);
 }
 
+void ObserverList::on_job_submit(std::int64_t time, const SimJob& job) {
+  for (auto* o : observers_) o->on_job_submit(time, job);
+}
+
+void ObserverList::on_job_kill(std::int64_t time, const SimJob& job) {
+  for (auto* o : observers_) o->on_job_kill(time, job);
+}
+
+void ObserverList::on_step(const StepSnapshot& snapshot) {
+  for (auto* o : observers_) o->on_step(snapshot);
+}
+
 void FunctionObserver::on_job_complete(const CompletedJob& job) {
   if (job_complete) job_complete(job);
 }
@@ -46,6 +61,18 @@ void FunctionObserver::on_outage(const outage::OutageRecord& rec,
 
 void FunctionObserver::on_end(const EngineStats& stats) {
   if (end) end(stats);
+}
+
+void FunctionObserver::on_job_submit(std::int64_t time, const SimJob& job) {
+  if (job_submit) job_submit(time, job);
+}
+
+void FunctionObserver::on_job_kill(std::int64_t time, const SimJob& job) {
+  if (job_kill) job_kill(time, job);
+}
+
+void FunctionObserver::on_step(const StepSnapshot& snapshot) {
+  if (step) step(snapshot);
 }
 
 CompletionCsvObserver::CompletionCsvObserver(std::ostream& os, bool header)

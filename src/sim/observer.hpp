@@ -35,10 +35,34 @@ struct Decision {
 /// Outage lifecycle stage an on_outage notification reports.
 enum class OutagePhase { kAnnounced, kStarted, kEnded };
 
+/// Machine/queue accounting at the end of one event timestamp, after
+/// every event at that time was processed and the scheduler pass ran.
+/// This is the engine's per-event node accounting made observable, so
+/// external validators can cross-check their own bookkeeping against
+/// the machine's without reaching into the engine.
+struct StepSnapshot {
+  std::int64_t time = 0;
+  std::int64_t free_nodes = 0;
+  std::int64_t busy_nodes = 0;
+  std::int64_t down_nodes = 0;
+  std::size_t queued_jobs = 0;
+  std::size_t running_jobs = 0;
+
+  std::int64_t total_nodes() const {
+    return free_nodes + busy_nodes + down_nodes;
+  }
+  std::int64_t up_nodes() const { return free_nodes + busy_nodes; }
+};
+
 /// Observer interface. Handlers default to no-ops so consumers
 /// implement only what they need. `on_end` fires once per replay(),
 /// after the run drains (engines driven incrementally via step()/
 /// run_until() fire it only through Engine::notify_run_end).
+///
+/// Job references passed to on_job_submit / on_job_kill point into
+/// engine-owned state and are valid only for the duration of the call;
+/// handlers must not mutate the engine (submit_job etc.) from inside a
+/// notification.
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
@@ -47,6 +71,17 @@ class SimObserver {
   virtual void on_decision(const Decision& decision);
   virtual void on_outage(const outage::OutageRecord& rec, OutagePhase phase);
   virtual void on_end(const EngineStats& stats);
+
+  /// A job entered the queue at `time` — a fresh submission or a
+  /// requeue after a failure-induced kill.
+  virtual void on_job_submit(std::int64_t time, const SimJob& job);
+  /// A running job was killed by an outage at `time`; its work so far
+  /// is lost. If the engine requeues killed jobs an on_job_submit for
+  /// the same id follows immediately.
+  virtual void on_job_kill(std::int64_t time, const SimJob& job);
+  /// End of one event timestamp: all events at snapshot.time were
+  /// processed and the scheduler made its decisions.
+  virtual void on_step(const StepSnapshot& snapshot);
 };
 
 /// Fan-out: forwards every event to each added observer, in add order.
@@ -61,6 +96,9 @@ class ObserverList final : public SimObserver {
   void on_outage(const outage::OutageRecord& rec,
                  OutagePhase phase) override;
   void on_end(const EngineStats& stats) override;
+  void on_job_submit(std::int64_t time, const SimJob& job) override;
+  void on_job_kill(std::int64_t time, const SimJob& job) override;
+  void on_step(const StepSnapshot& snapshot) override;
 
  private:
   std::vector<SimObserver*> observers_;
@@ -74,12 +112,18 @@ class FunctionObserver final : public SimObserver {
   std::function<void(const Decision&)> decision;
   std::function<void(const outage::OutageRecord&, OutagePhase)> outage;
   std::function<void(const EngineStats&)> end;
+  std::function<void(std::int64_t, const SimJob&)> job_submit;
+  std::function<void(std::int64_t, const SimJob&)> job_kill;
+  std::function<void(const StepSnapshot&)> step;
 
   void on_job_complete(const CompletedJob& job) override;
   void on_decision(const Decision& decision) override;
   void on_outage(const outage::OutageRecord& rec,
                  OutagePhase phase) override;
   void on_end(const EngineStats& stats) override;
+  void on_job_submit(std::int64_t time, const SimJob& job) override;
+  void on_job_kill(std::int64_t time, const SimJob& job) override;
+  void on_step(const StepSnapshot& snapshot) override;
 };
 
 /// Streaming per-job CSV dump ("id,submit,start,end,procs,restarts"),

@@ -1,0 +1,145 @@
+#include "validate/metamorphic.hpp"
+
+#include <algorithm>
+
+#include "core/swf/job_source.hpp"
+#include "sched/registry.hpp"
+#include "sim/replay.hpp"
+#include "validate/decisions.hpp"
+
+namespace pjsb::validate {
+
+namespace {
+
+/// Effective ground-truth runtime the engine will use for a record
+/// (SimJob::from_record clamps unknown/zero runtimes to 1). The scale
+/// transformation normalizes these before multiplying so the scaled
+/// workload's effective times are exactly factor x the originals.
+std::int64_t effective_runtime(const swf::JobRecord& r) {
+  return std::max<std::int64_t>(1, r.run_time);
+}
+
+MetamorphicResult compare(std::string relation,
+                          const std::vector<sim::Decision>& expected,
+                          const std::vector<sim::Decision>& actual) {
+  MetamorphicResult result;
+  result.relation = std::move(relation);
+  const std::string diff = diff_decision_csv(decisions_to_csv(expected),
+                                             decisions_to_csv(actual));
+  if (!diff.empty()) {
+    result.holds = false;
+    result.message = diff;
+  }
+  return result;
+}
+
+}  // namespace
+
+swf::Trace shift_submit_times(const swf::Trace& trace, std::int64_t delta) {
+  swf::Trace shifted = trace;
+  for (auto& r : shifted.records) {
+    r.submit_time = std::max<std::int64_t>(0, r.submit_time) + delta;
+  }
+  return shifted;
+}
+
+swf::Trace scale_times(const swf::Trace& trace, std::int64_t factor) {
+  swf::Trace scaled = trace;
+  for (auto& r : scaled.records) {
+    const std::int64_t runtime = effective_runtime(r);
+    r.submit_time = std::max<std::int64_t>(0, r.submit_time) * factor;
+    r.run_time = runtime * factor;
+    if (r.requested_time != swf::kUnknown) {
+      // Match the engine's estimate clamp (estimate >= runtime) before
+      // scaling, so the scaled estimate is factor x the effective one.
+      r.requested_time = std::max(r.requested_time, runtime) * factor;
+    }
+    if (r.think_time != swf::kUnknown && r.think_time > 0) {
+      r.think_time *= factor;
+    }
+  }
+  return scaled;
+}
+
+swf::Trace relabel_job_ids(const swf::Trace& trace, std::int64_t offset) {
+  swf::Trace relabeled = trace;
+  for (auto& r : relabeled.records) {
+    if (r.job_number != swf::kUnknown) {
+      r.job_number = r.job_number * 2 + offset;
+    }
+    if (r.preceding_job != swf::kUnknown && r.preceding_job > 0) {
+      r.preceding_job = r.preceding_job * 2 + offset;
+    }
+  }
+  return relabeled;
+}
+
+std::vector<MetamorphicResult> check_metamorphic(
+    const swf::Trace& trace, const std::string& scheduler_spec,
+    const MetamorphicOptions& options) {
+  std::vector<MetamorphicResult> results;
+  const auto base = replay_decisions(trace, scheduler_spec);
+
+  // Which policy is this? (For the gang scale exemption only; an
+  // unparseable custom spec runs every relation.)
+  std::string base_name;
+  try {
+    base_name =
+        sched::Registry::global().parse(scheduler_spec).info->name;
+  } catch (const std::invalid_argument&) {
+  }
+
+  {
+    auto expected = base;
+    for (auto& d : expected) d.time += options.shift_delta;
+    const auto actual = replay_decisions(
+        shift_submit_times(trace, options.shift_delta), scheduler_spec);
+    results.push_back(compare("shift", expected, actual));
+  }
+
+  if (base_name != "gang") {
+    // Gang's round-robin progress accounting rounds fractional seconds
+    // (ceil of a double), which does not commute with time scaling.
+    auto expected = base;
+    for (auto& d : expected) d.time *= options.scale_factor;
+    const auto actual = replay_decisions(
+        scale_times(trace, options.scale_factor), scheduler_spec);
+    results.push_back(compare("scale", expected, actual));
+  }
+
+  {
+    auto expected = base;
+    for (auto& d : expected) d.job_id = d.job_id * 2 + options.relabel_offset;
+    const auto actual = replay_decisions(
+        relabel_job_ids(trace, options.relabel_offset), scheduler_spec);
+    results.push_back(compare("relabel", expected, actual));
+  }
+
+  {
+    swf::TraceSource source(trace);
+    DecisionRecorder recorder;
+    sim::SimulationSpec spec;
+    spec.scheduler = scheduler_spec;
+    spec.lookahead = options.stream_lookahead;
+    sim::replay(source, spec, sim::ReplayHooks{}.observe(recorder));
+    results.push_back(compare("stream", base, recorder.decisions()));
+  }
+
+  return results;
+}
+
+bool all_hold(const std::vector<MetamorphicResult>& results,
+              std::string* failures) {
+  bool ok = true;
+  for (const auto& r : results) {
+    if (r.holds) continue;
+    ok = false;
+    if (failures) {
+      if (!failures->empty()) *failures += "\n";
+      *failures += r.relation + ": " + r.message;
+    }
+  }
+  return ok;
+}
+
+}  // namespace pjsb::validate

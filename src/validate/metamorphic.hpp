@@ -1,0 +1,76 @@
+// Metamorphic properties: the same workload under a systematic
+// transformation must produce a predictably transformed schedule.
+//
+// Absolute oracles for a scheduler's full decision trace do not exist
+// (that is the point of simulating), but *relations between runs* do:
+//
+//   * shift     — adding a constant to every submit time shifts every
+//                 decision by exactly that constant (schedulers reason
+//                 about relative time only);
+//   * scale     — multiplying all times (submit, runtime, estimate) by
+//                 an integer factor scales every decision time by the
+//                 same factor (profile arithmetic is linear; gang is
+//                 excluded: its round-robin progress accounting rounds
+//                 fractional seconds, which does not commute with
+//                 scaling);
+//   * relabel   — renumbering job ids order-preservingly relabels the
+//                 decision trace and changes nothing else (no policy
+//                 may key behaviour off id magnitude);
+//   * stream    — feeding the identical workload through a bounded-
+//                 lookahead JobSource instead of a materialized trace
+//                 replays byte-identically (ingestion mechanics must
+//                 not leak into policy).
+//
+// Each relation replays twice and diffs the (suitably mapped) decision
+// traces; a violation names the first divergent decision.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/swf/trace.hpp"
+
+namespace pjsb::validate {
+
+// -- workload transformations (usable on their own in tests) ----------
+
+/// Add `delta` to every record's submit time (delta >= 0 keeps times
+/// valid; the trace must stay sorted, which a constant shift does).
+swf::Trace shift_submit_times(const swf::Trace& trace, std::int64_t delta);
+
+/// Multiply submit, run and requested times by `factor` (>= 1).
+swf::Trace scale_times(const swf::Trace& trace, std::int64_t factor);
+
+/// Renumber job ids order-preservingly (id -> id * 2 + offset),
+/// remapping preceding-job references to match.
+swf::Trace relabel_job_ids(const swf::Trace& trace, std::int64_t offset);
+
+// -- the harness ------------------------------------------------------
+
+struct MetamorphicResult {
+  std::string relation;  ///< "shift", "scale", "relabel", "stream"
+  bool holds = true;
+  std::string message;   ///< first divergence when !holds
+};
+
+struct MetamorphicOptions {
+  std::int64_t shift_delta = 7919;
+  std::int64_t scale_factor = 3;
+  std::int64_t relabel_offset = 1000;
+  std::size_t stream_lookahead = 16;
+};
+
+/// Check every relation that applies to `scheduler_spec` over `trace`.
+/// The scale relation is skipped for gang (see header comment); all
+/// others run for every registered scheduler.
+std::vector<MetamorphicResult> check_metamorphic(
+    const swf::Trace& trace, const std::string& scheduler_spec,
+    const MetamorphicOptions& options = {});
+
+/// True when every result holds; `failures` (optional out) collects a
+/// printable line per broken relation.
+bool all_hold(const std::vector<MetamorphicResult>& results,
+              std::string* failures = nullptr);
+
+}  // namespace pjsb::validate

@@ -168,6 +168,94 @@ TEST(StreamReader, TruncatedMidRecordFinalLineIsAnError) {
   EXPECT_EQ(reader.errors()[0].line, 2u);
 }
 
+TEST(StreamReader, MalformedUnterminatedFinalLineVariants) {
+  // The truncated final line (no trailing newline) must go through the
+  // same malformed-line accounting as any interior line, whatever the
+  // kind of damage.
+  struct Case {
+    const char* name;
+    std::string last_line;
+  };
+  const std::vector<Case> cases = {
+      {"non-numeric garbage", "this is not a record"},
+      {"too few fields", "3 20 -1 5"},
+      {"too many fields", record_line(3, 20) + " 99"},
+      {"status out of range", [] {
+         auto line = record_line(3, 20);
+         // Field 11 (status) is the 11th token; rewrite it to 9.
+         std::istringstream in(line);
+         std::string token, rebuilt;
+         for (int i = 1; in >> token; ++i) {
+           if (i == 11) token = "9";
+           rebuilt += (i == 1 ? "" : " ") + token;
+         }
+         return rebuilt;
+       }()},
+  };
+  for (const auto& c : cases) {
+    const std::string text =
+        record_line(1, 0) + "\n" + record_line(2, 7) + "\n" + c.last_line;
+    StreamReader reader(stream_of(text), "test");
+    const auto records = drain(reader);
+    EXPECT_EQ(records.size(), 2u) << c.name;
+    EXPECT_EQ(reader.error_count(), 1u) << c.name;
+    ASSERT_EQ(reader.errors().size(), 1u) << c.name;
+    EXPECT_EQ(reader.errors()[0].line, 3u) << c.name;
+  }
+}
+
+TEST(StreamReader, MalformedFinalLineStrictModeStillReportsIt) {
+  const std::string text = record_line(1, 0) + "\n" + "garbage final";
+  StreamReaderOptions options;
+  options.strict = true;
+  StreamReader reader(stream_of(text), "test", options);
+  const auto records = drain(reader);
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(reader.error_count(), 1u);
+  EXPECT_EQ(reader.errors()[0].line, 2u);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(StreamReader, MalformedFinalLineAcrossChunkBoundary) {
+  // A tiny chunk size forces the unterminated, malformed tail to span
+  // several chunk reads before end-of-input resolves it.
+  const std::string text = record_line(1, 0) + "\n" +
+                           "trailing garbage that is quite long indeed";
+  StreamReaderOptions options;
+  options.chunk_bytes = 8;
+  StreamReader reader(stream_of(text), "test", options);
+  EXPECT_EQ(drain(reader).size(), 1u);
+  EXPECT_EQ(reader.error_count(), 1u);
+  EXPECT_EQ(reader.errors()[0].line, 2u);
+}
+
+TEST(StreamReader, MalformedFinalLineInPrefetchMode) {
+  const std::string text =
+      record_line(1, 0) + "\n" + record_line(2, 7) + "\n" + "broken tail";
+  StreamReaderOptions options;
+  options.prefetch = true;
+  options.prefetch_batch = 2;
+  StreamReader reader(stream_of(text), "test", options);
+  const auto records = drain(reader);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(reader.error_count(), 1u);
+  ASSERT_EQ(reader.errors().size(), 1u);
+  EXPECT_EQ(reader.errors()[0].line, 3u);
+}
+
+TEST(StreamReader, CrlfFinalLineWithoutNewlineParses) {
+  // Windows line endings with a bare-CR tail: the final record keeps
+  // its trailing \r and must still parse (the shared record parser
+  // tolerates trailing whitespace).
+  const std::string text =
+      record_line(1, 0) + "\r\n" + record_line(2, 7) + "\r";
+  StreamReader reader(stream_of(text), "test");
+  const auto records = drain(reader);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].submit_time, 7);
+  EXPECT_TRUE(reader.ok());
+}
+
 TEST(StreamReader, PartialExecutionLinesAreSkippedWithCounter) {
   JobRecord partial;
   partial.job_number = 1;

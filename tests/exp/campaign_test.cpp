@@ -736,5 +736,70 @@ TEST(Runner, StreamedMissingTraceFileThrows) {
   EXPECT_THROW(run_campaign(spec, {.threads = 1}), std::runtime_error);
 }
 
+TEST(SpecParser, ParsesValidateConfigFlag) {
+  const auto spec = parse_campaign_spec_string(
+      "workload = lublin99 jobs=40\n"
+      "scheduler = easy\n"
+      "config = open\n"
+      "config = open+validate\n");
+  ASSERT_EQ(spec.configs.size(), 2u);
+  EXPECT_FALSE(spec.configs[0].validate);
+  EXPECT_TRUE(spec.configs[1].validate);
+  // `validate` is a distinct engine configuration, not a duplicate of
+  // plain open — both may coexist on the axis.
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(Runner, ValidateCellsRunCleanOnAllPathsAndMatchUnvalidated) {
+  // The checker must not perturb results: validated cells produce the
+  // same metrics as unvalidated ones, on both ingestion paths.
+  CampaignSpec spec;
+  WorkloadSpec model;
+  model.label = "lublin99";
+  model.model = workload::ModelKind::kLublin99;
+  model.jobs = 80;
+  WorkloadSpec streamed;
+  streamed.label = "lublin99-stream";
+  streamed.model = workload::ModelKind::kLublin99;
+  streamed.jobs = 80;
+  streamed.stream = true;
+  spec.workloads = {model, streamed};
+  spec.schedulers = {"easy", "conservative", "gang slots=2"};
+  ConfigSpec plain;
+  ConfigSpec validated;
+  validated.label = "open+validate";
+  validated.validate = true;
+  spec.configs = {plain, validated};
+  spec.master_seed = 11;
+  spec.nodes = 64;
+  const auto run = run_campaign(spec, {.threads = 1});
+  ASSERT_EQ(run.cells.size(), 12u);
+  // Cells differing only in the validate flag pair up consecutively
+  // (config is the innermost axis after replication).
+  for (std::size_t i = 0; i < run.cells.size(); i += 2) {
+    EXPECT_EQ(run.cells[i].metrics.mean_wait,
+              run.cells[i + 1].metrics.mean_wait);
+    EXPECT_EQ(run.cells[i].metrics.makespan,
+              run.cells[i + 1].metrics.makespan);
+  }
+}
+
+TEST(Runner, ValidateWithOutagesStaysClean) {
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "feitelson96";
+  w.model = workload::ModelKind::kFeitelson96;
+  w.jobs = 60;
+  spec.workloads = {w};
+  spec.schedulers = {"easy"};
+  ConfigSpec c;
+  c.label = "open+outages+validate";
+  c.outages = true;
+  c.validate = true;
+  spec.configs = {c};
+  spec.nodes = 64;
+  EXPECT_NO_THROW(run_campaign(spec, {.threads = 1}));
+}
+
 }  // namespace
 }  // namespace pjsb::exp

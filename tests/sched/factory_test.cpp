@@ -92,5 +92,50 @@ TEST(Factory, ValidSchedulerNamesMentionsEveryKind) {
   }
 }
 
+// -- deprecated-shim conformance: pins the enum layer's behavior to the
+// registry so the shims can be deleted without surprises -------------
+
+TEST(FactoryShim, EnumMakeMatchesRegistryForEveryKind) {
+  for (const auto kind : all_scheduler_kinds()) {
+    const auto via_enum = make_scheduler(kind);
+    const auto via_registry =
+        Registry::global().make(scheduler_kind_name(kind));
+    ASSERT_NE(via_enum, nullptr);
+    ASSERT_NE(via_registry, nullptr);
+    EXPECT_EQ(via_enum->name(), via_registry->name())
+        << scheduler_kind_name(kind);
+  }
+}
+
+TEST(FactoryShim, GangSlotsParamSurvivesThroughEnumPath) {
+  SchedulerParams params;
+  params.gang_slots = 9;
+  EXPECT_EQ(make_scheduler(SchedulerKind::kGang, params)->name(), "gang9");
+  // The two-argument name overload honors the knob too.
+  EXPECT_EQ(make_scheduler("gang", params)->name(), "gang9");
+  // ...but an explicit suffix wins over the param default.
+  EXPECT_EQ(make_scheduler("gang2", params)->name(), "gang2");
+}
+
+TEST(FactoryShim, ParameterizedSpecsResolveToBaseKind) {
+  EXPECT_EQ(scheduler_kind_from_name("easy reserve_depth=4"),
+            SchedulerKind::kEasy);
+  EXPECT_EQ(scheduler_kind_from_name("conservative reserve_depth=2"),
+            SchedulerKind::kConservative);
+  EXPECT_EQ(scheduler_kind_from_name("sjf tie=widest"), SchedulerKind::kSjf);
+  EXPECT_EQ(scheduler_kind_from_name("gang slots=8"), SchedulerKind::kGang);
+  EXPECT_EQ(scheduler_kind_from_name("cons"), SchedulerKind::kConservative);
+  EXPECT_EQ(scheduler_kind_from_name("sjffit"), SchedulerKind::kSjfFit);
+}
+
+TEST(FactoryShim, AllKindsListMatchesRegistryOrder) {
+  const auto kinds = all_scheduler_kinds();
+  const auto entries = Registry::global().entries();
+  ASSERT_EQ(kinds.size(), entries.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    EXPECT_EQ(scheduler_kind_name(kinds[i]), entries[i]->name) << i;
+  }
+}
+
 }  // namespace
 }  // namespace pjsb::sched

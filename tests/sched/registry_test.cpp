@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 #include <stdexcept>
 
 namespace pjsb::sched {
@@ -140,6 +142,105 @@ TEST(Registry, DistinctVariantsAreDistinct) {
             make_scheduler("easy reserve_depth=2")->name());
   EXPECT_NE(make_scheduler("gang8")->name(),
             make_scheduler("gang2")->name());
+}
+
+TEST(Registry, AliasCollisionsAreRejectedInEveryDirection) {
+  const auto base = [] {
+    SchedulerInfo info;
+    info.description = "test policy";
+    info.make = +[](const ParamValues&) -> std::unique_ptr<Scheduler> {
+      return nullptr;
+    };
+    return info;
+  };
+
+  // Alias colliding with an existing canonical name.
+  {
+    Registry registry;
+    auto a = base();
+    a.name = "alpha";
+    registry.add(std::move(a));
+    auto b = base();
+    b.name = "beta";
+    b.aliases = {"alpha"};
+    EXPECT_THROW(registry.add(std::move(b)), std::invalid_argument);
+  }
+  // Name colliding with an existing alias.
+  {
+    Registry registry;
+    auto a = base();
+    a.name = "alpha";
+    a.aliases = {"al"};
+    registry.add(std::move(a));
+    auto b = base();
+    b.name = "al";
+    EXPECT_THROW(registry.add(std::move(b)), std::invalid_argument);
+  }
+  // Alias colliding with another scheduler's alias.
+  {
+    Registry registry;
+    auto a = base();
+    a.name = "alpha";
+    a.aliases = {"shared"};
+    registry.add(std::move(a));
+    auto b = base();
+    b.name = "beta";
+    b.aliases = {"shared"};
+    EXPECT_THROW(registry.add(std::move(b)), std::invalid_argument);
+  }
+  // Collisions are case-insensitive (lookups are too).
+  {
+    Registry registry;
+    auto a = base();
+    a.name = "alpha";
+    registry.add(std::move(a));
+    auto b = base();
+    b.name = "ALPHA";
+    EXPECT_THROW(registry.add(std::move(b)), std::invalid_argument);
+    auto c = base();
+    c.name = "beta";
+    c.aliases = {"Alpha"};
+    EXPECT_THROW(registry.add(std::move(c)), std::invalid_argument);
+  }
+  // A scheduler's own aliases must not collide with each other or its
+  // name.
+  {
+    Registry registry;
+    auto a = base();
+    a.name = "alpha";
+    a.aliases = {"a1", "A1"};
+    EXPECT_THROW(registry.add(std::move(a)), std::invalid_argument);
+    Registry registry2;
+    auto b = base();
+    b.name = "alpha";
+    b.aliases = {"alpha"};
+    EXPECT_THROW(registry2.add(std::move(b)), std::invalid_argument);
+  }
+}
+
+TEST(Registry, FindIsCaseInsensitiveForNamesAndAliases) {
+  const auto& registry = Registry::global();
+  for (const auto* info : registry.entries()) {
+    std::string upper = info->name;
+    for (auto& c : upper) c = char(std::toupper(unsigned(c)));
+    EXPECT_EQ(registry.find(upper), info) << upper;
+    for (const auto& alias : info->aliases) {
+      std::string mixed = alias;
+      if (!mixed.empty()) mixed[0] = char(std::toupper(unsigned(mixed[0])));
+      EXPECT_EQ(registry.find(mixed), info) << mixed;
+    }
+  }
+  EXPECT_EQ(registry.find("CoNsErVaTiVe"), registry.find("cons"));
+  EXPECT_EQ(registry.find("SJFFIT"), registry.find("sjf-fit"));
+  EXPECT_EQ(registry.find("no-such-policy"), nullptr);
+}
+
+TEST(Registry, ParameterKeysAreCaseInsensitive) {
+  // The shared tokenizer lowers keys, so spec strings may spell them
+  // any way they like.
+  EXPECT_EQ(make_scheduler("easy RESERVE_DEPTH=3")->name(),
+            "easy reserve_depth=3");
+  EXPECT_EQ(make_scheduler("SJF Tie=WIDEST")->name(), "sjf tie=widest");
 }
 
 TEST(Registry, AddRejectsDuplicatesAndBadSchemas) {

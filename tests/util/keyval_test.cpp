@@ -64,6 +64,76 @@ TEST(ParseSpec, Errors) {
   EXPECT_THROW(parse_spec("k='open", false), std::invalid_argument);
 }
 
+TEST(ParseSpec, CrlfAndExoticWhitespaceSeparateTokens) {
+  // A spec line read from a CRLF (or otherwise untrimmed) file must
+  // tokenize identically: \r, \n, \f and \v all separate tokens and
+  // never leak into values.
+  const auto t = parse_spec("head a=1\r\nb=2\fc=3\vd=4\r", true);
+  EXPECT_EQ(t.head, "head");
+  ASSERT_EQ(t.options.size(), 4u);
+  EXPECT_EQ(t.options[0].value, "1");
+  EXPECT_EQ(t.options[1].value, "2");
+  EXPECT_EQ(t.options[2].value, "3");
+  EXPECT_EQ(t.options[3].value, "4");
+}
+
+TEST(ParseSpec, QuotedRunsPreserveCrAndJoinAdjacentSegments) {
+  // Inside quotes, \r and \n are ordinary characters...
+  const auto t = parse_spec("k='a\r\nb'", false);
+  ASSERT_EQ(t.options.size(), 1u);
+  EXPECT_EQ(t.options[0].value, "a\r\nb");
+  // ...and adjacent quoted/bare segments of one token concatenate.
+  const auto joined = parse_spec("k='two 'words' again'", false);
+  EXPECT_EQ(joined.options[0].value, "two words again");
+  const auto mixed = parse_spec("k=pre'mid dle'post", false);
+  EXPECT_EQ(mixed.options[0].value, "premid dlepost");
+}
+
+TEST(ParseSpec, QuotedEmptyValueAndOppositeQuotes) {
+  const auto empty = parse_spec("k=''", false);
+  EXPECT_EQ(empty.options[0].value, "");
+  // Each quote character may appear inside the other's run.
+  const auto single_in_double = parse_spec("k=\"it's\"", false);
+  EXPECT_EQ(single_in_double.options[0].value, "it's");
+  const auto double_in_single = parse_spec("k='say \"hi\"'", false);
+  EXPECT_EQ(double_in_single.options[0].value, "say \"hi\"");
+}
+
+TEST(ParseSpec, QuotedEqualsDoesNotSplitKey) {
+  // An '=' hidden inside quotes is not a key/value separator: the
+  // token has no unquoted '=', which is a bare-token error in option
+  // position...
+  EXPECT_THROW(parse_spec("'k=v'", false), std::invalid_argument);
+  // ...and a quoted '=' inside a key stays part of the key text.
+  const auto t = parse_spec("'a=b'c=1", false);
+  ASSERT_EQ(t.options.size(), 1u);
+  EXPECT_EQ(t.options[0].key, "a=bc");
+  EXPECT_EQ(t.options[0].value, "1");
+}
+
+TEST(ParseSpec, UnterminatedQuoteReportsEitherQuoteKind) {
+  EXPECT_THROW(parse_spec("k=\"open", false), std::invalid_argument);
+  try {
+    parse_spec("k='open", false);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unterminated"),
+              std::string::npos);
+  }
+}
+
+TEST(QuoteSpecValue, QuotesValuesWithCrlfWhitespace) {
+  // Values containing CR/LF must round-trip through quoting like any
+  // other whitespace (they would otherwise split into two tokens).
+  for (const std::string value : {"a\rb", "a\nb", "a\r\nb"}) {
+    const auto quoted = quote_spec_value(value);
+    EXPECT_NE(quoted, value);  // must have been quoted
+    const auto t = parse_spec("k=" + quoted, false);
+    ASSERT_EQ(t.options.size(), 1u);
+    EXPECT_EQ(t.options[0].value, value);
+  }
+}
+
 TEST(ParseSpec, FindLocatesOptions) {
   const auto t = parse_spec("head a=1 b=2", true);
   ASSERT_TRUE(t.find("a"));

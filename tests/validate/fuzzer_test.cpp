@@ -1,0 +1,119 @@
+// The registry-driven fuzzer: spec enumeration, workload determinism,
+// and the shipping gate — zero invariant violations at the fixed seeds.
+#include "validate/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/registry.hpp"
+
+namespace pjsb {
+namespace {
+
+TEST(EnumerateSpecs, CoversEveryRegisteredSchedulerAndVariants) {
+  const auto specs =
+      validate::enumerate_scheduler_specs(sched::Registry::global());
+  const auto has = [&](const std::string& s) {
+    return std::find(specs.begin(), specs.end(), s) != specs.end();
+  };
+  // Every base name...
+  for (const auto* info : sched::Registry::global().entries()) {
+    EXPECT_TRUE(has(info->name)) << info->name;
+  }
+  // ...plus parameterized variants derived from the schemas.
+  EXPECT_TRUE(has("easy reserve_depth=2"));
+  EXPECT_TRUE(has("conservative reserve_depth=2"));
+  EXPECT_TRUE(has("gang slots=8"));
+  EXPECT_TRUE(has("sjf tie=widest"));
+  EXPECT_TRUE(has("sjf tie=narrowest"));
+  EXPECT_TRUE(has("sjf-fit tie=widest"));
+}
+
+TEST(EnumerateSpecs, EverySpecParsesAndInstantiates) {
+  for (const auto& spec :
+       validate::enumerate_scheduler_specs(sched::Registry::global())) {
+    EXPECT_NO_THROW(sched::make_scheduler(spec)) << spec;
+  }
+}
+
+TEST(EnumerateSpecs, NoDuplicateCanonicalSpecs) {
+  const auto specs =
+      validate::enumerate_scheduler_specs(sched::Registry::global());
+  std::vector<std::string> canonical;
+  for (const auto& spec : specs) {
+    canonical.push_back(
+        sched::Registry::global().parse(spec).to_string());
+  }
+  auto sorted = canonical;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(FuzzWorkload, DeterministicPerSeedAndOrdered) {
+  const auto a = validate::fuzz_workload(42, 100, 32);
+  const auto b = validate::fuzz_workload(42, 100, 32);
+  const auto c = validate::fuzz_workload(43, 100, 32);
+  ASSERT_EQ(a.records.size(), 100u);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_NE(a.records, c.records);
+  for (std::size_t i = 0; i + 1 < a.records.size(); ++i) {
+    EXPECT_LE(a.records[i].submit_time, a.records[i + 1].submit_time);
+  }
+  for (const auto& r : a.records) {
+    EXPECT_GE(r.requested_procs, 1);
+    EXPECT_LE(r.requested_procs, 32);
+    EXPECT_GE(r.run_time, 1);
+    EXPECT_GE(r.requested_time, r.run_time);  // estimates bound runtime
+  }
+}
+
+TEST(FuzzOutages, SortedAndWithinMachine) {
+  const auto log = validate::fuzz_outages(7, 32, 100000);
+  ASSERT_FALSE(log.records.empty());
+  for (std::size_t i = 0; i + 1 < log.records.size(); ++i) {
+    EXPECT_LE(log.records[i].start_time, log.records[i + 1].start_time);
+  }
+  for (const auto& rec : log.records) {
+    EXPECT_LT(rec.start_time, rec.end_time);
+    for (const auto node : rec.components) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, 32);
+    }
+  }
+}
+
+// The shipped gate: every scheduler spec enumerated from the registry,
+// under invariant checkers, with zero violations at the fixed seeds.
+// A failure here prints the exact (spec, variant, seed) to reproduce
+// via `swf_tool fuzz <seed>`.
+TEST(Fuzzer, ZeroViolationsAtShippedSeeds) {
+  for (const std::uint64_t seed : {std::uint64_t(1), std::uint64_t(2026)}) {
+    validate::FuzzOptions options;
+    options.seed = seed;
+    options.workloads = 2;
+    options.jobs = 80;
+    const auto report = validate::run_fuzzer(options);
+    EXPECT_GT(report.runs, 0u);
+    EXPECT_TRUE(report.clean()) << report.summary();
+  }
+}
+
+TEST(Fuzzer, ReportCountsRunsPerVariant) {
+  validate::FuzzOptions options;
+  options.seed = 5;
+  options.workloads = 1;
+  options.jobs = 30;
+  options.outage_runs = false;
+  options.stream_runs = false;
+  const auto report = validate::run_fuzzer(options);
+  EXPECT_EQ(report.specs,
+            validate::enumerate_scheduler_specs(sched::Registry::global())
+                .size());
+  EXPECT_EQ(report.runs, report.specs);  // one materialized run per spec
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+}  // namespace
+}  // namespace pjsb
