@@ -7,10 +7,12 @@
 // comparison across implementations.
 //
 // Usage: bench_profile [--quick] [--json PATH] [--dump-csv PATH]
+#include <filesystem>
 #include <fstream>
 
 #include "common.hpp"
 #include "sched/profile.hpp"
+#include "sim/spec.hpp"
 
 namespace {
 
@@ -105,10 +107,12 @@ void replay_bench(util::Table& table, bench::JsonReporter& json,
   const auto trace =
       bench::make_workload(workload::ModelKind::kLublin99, jobs, nodes, 0.85);
 
+  double conservative_wall = 0.0;
   for (const char* name : {"conservative", "easy"}) {
     bench::WallTimer timer;
     const auto result = sim::replay(trace, sched::make_scheduler(name));
     const double secs = timer.seconds();
+    if (std::string(name) == "conservative") conservative_wall = secs;
     const double jobs_per_s = double(result.stats.jobs_completed) / secs;
     const double events_per_s = double(result.stats.events_processed) / secs;
     table.row()
@@ -126,6 +130,44 @@ void replay_bench(util::Table& table, bench::JsonReporter& json,
       std::ofstream out(csv_path + "." + name + ".csv");
       bench::write_decisions_csv(out, result.completed);
     }
+  }
+
+  // The same conservative replay with every observability sink on
+  // (JSONL event trace + time-series CSV + Chrome phase profile).
+  // The `overhead` ratio is self-relative — both runs happen on this
+  // machine within seconds of each other — so the bench gate can bound
+  // it with a machine-independent max_abs instead of a baseline diff.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto sink = [&](const char* leaf) {
+    return (dir / leaf).string();
+  };
+  const auto spec = sim::SimulationSpec{}
+                        .with_scheduler("conservative")
+                        .with_trace(sink("pjsb_bench_profile.trace.jsonl"))
+                        .with_timeseries(sink("pjsb_bench_profile.ts.csv"))
+                        .with_profile(sink("pjsb_bench_profile.prof.json"));
+  bench::WallTimer timer;
+  const auto traced = sim::replay(trace, spec);
+  const double traced_secs = timer.seconds();
+  const double traced_jobs_per_s =
+      double(traced.stats.jobs_completed) / traced_secs;
+  const double overhead =
+      conservative_wall > 0.0 ? traced_secs / conservative_wall : 0.0;
+  table.row()
+      .cell("conservative+sinks")
+      .cell(std::int64_t(jobs))
+      .cell(traced_secs, 2)
+      .cell(traced_jobs_per_s, 0)
+      .cell(double(traced.stats.events_processed) / traced_secs, 0);
+  json.add("replay_conservative_traced", "wall", traced_secs, "s");
+  json.add("replay_conservative_traced", "jobs", traced_jobs_per_s,
+           "jobs/s");
+  json.add("replay_conservative_traced", "overhead", overhead, "x");
+  for (const char* leaf : {"pjsb_bench_profile.trace.jsonl",
+                           "pjsb_bench_profile.ts.csv",
+                           "pjsb_bench_profile.prof.json"}) {
+    std::error_code ec;
+    std::filesystem::remove(dir / leaf, ec);
   }
 }
 

@@ -165,7 +165,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "wrote " << cells_path << ", " << summary_path << ", "
-            << json_path << "\n\n";
+            << json_path << "\n";
+  if (!spec.telemetry_dir.empty()) {
+    // Per-cell traces already landed in the telemetry dir during the
+    // run; the rollup CSV joins them under the same roof.
+    const std::string telemetry_path =
+        spec.telemetry_dir + "/telemetry.csv";
+    if (!write_file(telemetry_path, exp::telemetry_csv(run))) return 1;
+    // Skipped deterministic replications share replication 0's trace
+    // file, so the directory can hold fewer files than cells.
+    std::cout << "wrote " << telemetry_path << " and per-cell traces in "
+              << spec.telemetry_dir << "/\n";
+  }
+  std::cout << "\n";
   std::cout << exp::ranking_table(run, report, spec.rank_metric);
   return 0;
 }

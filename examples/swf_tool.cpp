@@ -22,7 +22,16 @@
 //                                    constant-memory streaming replay
 //   generate-stream <model> <jobs> <nodes> <interarrival> <out.swf>
 //                                    stream a synthetic trace to disk
+//   trace-summary <trace.jsonl> [top-k]
+//                                    summarize a JSONL event trace
 //   schedulers                       print the policy registry catalogue
+//
+// simulate and stream-simulate accept trailing observability flags
+// (all opt-in; see README "Observability"):
+//   --trace <path>        JSONL event trace with provenance
+//   --timeseries <path>   sim-time machine/queue time-series CSV
+//   --sample-every <s>    time-series cadence in sim-seconds
+//   --profile <path>      Chrome trace-event JSON (opens in Perfetto)
 //
 // Scheduler arguments are registry spec strings — quote parameterized
 // variants: swf_tool simulate kth.swf "easy reserve_depth=2".
@@ -44,6 +53,7 @@
 #include "core/swf/writer.hpp"
 #include "metrics/aggregate.hpp"
 #include "metrics/online.hpp"
+#include "obs/trace_read.hpp"
 #include "sched/registry.hpp"
 #include "sim/replay.hpp"
 #include "util/resource.hpp"
@@ -75,12 +85,16 @@ int usage() {
       "<mean-interarrival-s> <out.swf>\n"
       "  convert-iacct <raw-log> <out.swf> <installation>\n"
       "  convert-nqs <raw-log> <out.swf> <installation>\n"
-      "  simulate <file.swf> <scheduler-spec> [rank-metric]\n"
-      "  stream-simulate <file.swf> <scheduler-spec> [lookahead]\n"
+      "  simulate <file.swf> <scheduler-spec> [rank-metric] [sink-flags]\n"
+      "  stream-simulate <file.swf> <scheduler-spec> [lookahead] "
+      "[sink-flags]\n"
+      "  trace-summary <trace.jsonl> [top-k]\n"
       "  schedulers\n"
       "scheduler-spec is a registry spec string, e.g. \"easy\" or\n"
       "\"easy reserve_depth=2\" (run `swf_tool schedulers` for the "
-      "catalogue)\n";
+      "catalogue)\n"
+      "sink-flags (all opt-in): --trace <path> --timeseries <path>\n"
+      "  --sample-every <sim-seconds> --profile <path>\n";
   return 2;
 }
 
@@ -265,8 +279,70 @@ int cmd_generate_stream(const std::string& model, std::uint64_t jobs,
   return 0;
 }
 
+/// Trailing observability flags shared by simulate and stream-simulate.
+struct SinkFlags {
+  std::string trace;
+  std::string timeseries;
+  std::string profile;
+  std::int64_t sample_every = 0;
+
+  void apply(sim::SimulationSpec& spec) const {
+    if (!trace.empty()) spec.with_trace(trace);
+    if (!timeseries.empty()) spec.with_timeseries(timeseries, sample_every);
+    if (!profile.empty()) spec.with_profile(profile);
+  }
+};
+
+/// Parse `--trace P --timeseries P --sample-every N --profile P` from
+/// argv[first..). Returns false (with a message on stderr) on an
+/// unknown flag, a missing value, or a malformed cadence; the spec
+/// itself rejects the remaining combinations (e.g. --sample-every
+/// without --timeseries) with its own message.
+bool parse_sink_flags(int argc, char** argv, int first, SinkFlags& out) {
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::cerr << flag << " needs a value\n";
+      return false;
+    }
+    const std::string value = argv[++i];
+    if (flag == "--trace") {
+      out.trace = value;
+    } else if (flag == "--timeseries") {
+      out.timeseries = value;
+    } else if (flag == "--profile") {
+      out.profile = value;
+    } else if (flag == "--sample-every") {
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 1) {
+        std::cerr << "--sample-every must be a positive integer "
+                     "(sim-seconds)\n";
+        return false;
+      }
+      out.sample_every = *n;
+    } else {
+      std::cerr << "unknown flag " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_trace_summary(const std::string& path, std::size_t top_k) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  const auto summary = obs::summarize_trace(in, top_k);
+  std::cout << summary.to_string();
+  // A trace with no header record is almost certainly not a pjsb
+  // trace; report it in the exit code as well as the text.
+  return summary.version >= 1 ? 0 : 1;
+}
+
 int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
-                        std::size_t lookahead) {
+                        std::size_t lookahead, const SinkFlags& sinks) {
   swf::StreamReader source(path);
   if (source.open_failed()) {
     std::cerr << "cannot open " << path << "\n";
@@ -275,10 +351,11 @@ int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
 
   // Constant memory: per-job records are not retained; the metrics the
   // report needs are accumulated online by an attached observer.
-  const auto spec = sim::SimulationSpec{}
-                        .with_scheduler(scheduler)
-                        .with_lookahead(lookahead)
-                        .streaming_memory();
+  auto spec = sim::SimulationSpec{}
+                  .with_scheduler(scheduler)
+                  .with_lookahead(lookahead)
+                  .streaming_memory();
+  sinks.apply(spec);
   metrics::OnlineMetricsObserver online;
   const auto result =
       sim::replay(source, spec, sim::ReplayHooks{}.observe(online));
@@ -299,6 +376,7 @@ int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
   table.row().cell("mean wait (s)").cell(online.mean_wait(), 1);
   table.row().cell("mean bounded slowdown")
       .cell(online.mean_bounded_slowdown(), 2);
+  table.row().cell("backfill ratio").cell(online.backfill_ratio(), 3);
   table.row().cell("utilization").cell(result.stats.utilization(), 3);
   table.row().cell("makespan (s)").cell(result.stats.makespan);
   table.row().cell("records streamed").cell(result.source_pulled);
@@ -308,7 +386,7 @@ int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
 }
 
 int cmd_simulate(const std::string& path, const std::string& scheduler,
-                 const std::string& rank_metric) {
+                 const std::string& rank_metric, const SinkFlags& sinks) {
   // Resolve the metric name (same names campaign `rank =` lines use)
   // before the replay, so a typo fails fast instead of costing the
   // whole simulation; it throws with the valid list.
@@ -317,8 +395,9 @@ int cmd_simulate(const std::string& path, const std::string& scheduler,
     rank = metrics::metric_from_name(rank_metric);
   }
   const auto trace = load_or_die(path);
-  const auto result =
-      sim::replay(trace, sim::SimulationSpec{}.with_scheduler(scheduler));
+  auto spec = sim::SimulationSpec{}.with_scheduler(scheduler);
+  sinks.apply(spec);
+  const auto result = sim::replay(trace, spec);
   const auto report = metrics::compute_report(result.completed,
                                               result.stats);
   util::Table table({"metric", "value"});
@@ -388,16 +467,22 @@ int main(int argc, char** argv) {
       return cmd_generate_stream(argv[2], std::uint64_t(jobs), nodes,
                                  std::atof(argv[5]), argv[6]);
     }
-    if (cmd == "stream-simulate" && (argc == 4 || argc == 5)) {
+    if (cmd == "stream-simulate" && argc >= 4) {
       long long lookahead = 4096;
-      if (argc == 5) {
-        lookahead = std::atoll(argv[4]);
+      int next = 4;
+      // The optional lookahead is positional; anything starting with
+      // "--" is a sink flag instead.
+      if (next < argc && argv[next][0] != '-') {
+        lookahead = std::atoll(argv[next++]);
         if (lookahead <= 0) {
           std::cerr << "stream-simulate: lookahead must be positive\n";
           return 2;
         }
       }
-      return cmd_stream_simulate(argv[2], argv[3], std::size_t(lookahead));
+      SinkFlags sinks;
+      if (!parse_sink_flags(argc, argv, next, sinks)) return 2;
+      return cmd_stream_simulate(argv[2], argv[3], std::size_t(lookahead),
+                                 sinks);
     }
     if (cmd == "convert-iacct" && argc == 5) {
       return cmd_convert(false, argv[2], argv[3], argv[4]);
@@ -405,8 +490,25 @@ int main(int argc, char** argv) {
     if (cmd == "convert-nqs" && argc == 5) {
       return cmd_convert(true, argv[2], argv[3], argv[4]);
     }
-    if (cmd == "simulate" && (argc == 4 || argc == 5)) {
-      return cmd_simulate(argv[2], argv[3], argc == 5 ? argv[4] : "");
+    if (cmd == "simulate" && argc >= 4) {
+      std::string rank_metric;
+      int next = 4;
+      if (next < argc && argv[next][0] != '-') rank_metric = argv[next++];
+      SinkFlags sinks;
+      if (!parse_sink_flags(argc, argv, next, sinks)) return 2;
+      return cmd_simulate(argv[2], argv[3], rank_metric, sinks);
+    }
+    if (cmd == "trace-summary" && (argc == 3 || argc == 4)) {
+      long long top_k = 10;
+      if (argc == 4) {
+        const auto n = util::parse_i64(argv[3]);
+        if (!n || *n < 1) {
+          std::cerr << "trace-summary: top-k must be a positive integer\n";
+          return 2;
+        }
+        top_k = *n;
+      }
+      return cmd_trace_summary(argv[2], std::size_t(top_k));
     }
     if (cmd == "schedulers" && argc == 2) {
       std::cout << sched::Registry::global().help();

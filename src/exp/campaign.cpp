@@ -288,6 +288,7 @@ CampaignSpec parse_campaign_spec(std::istream& in) {
   bool seen_seed = false;
   bool seen_nodes = false;
   bool seen_rank = false;
+  bool seen_telemetry = false;
   while (std::getline(in, raw)) {
     ++line_no;
     std::string_view line = util::trim(raw);
@@ -339,6 +340,11 @@ CampaignSpec parse_campaign_spec(std::istream& in) {
       } catch (const std::invalid_argument& e) {
         fail(line_no, e.what());
       }
+    } else if (key == "telemetry") {
+      if (seen_telemetry) fail(line_no, "telemetry set twice");
+      seen_telemetry = true;
+      if (value.empty()) fail(line_no, "telemetry needs a directory path");
+      spec.telemetry_dir = std::string(value);
     } else {
       fail(line_no, "unknown key '" + key + "'");
     }

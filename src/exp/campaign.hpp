@@ -82,6 +82,14 @@ struct CampaignSpec {
   /// MaxNodes header, model workloads the workload::ModelConfig
   /// default — spec files accept `nodes = auto` for this.
   std::int64_t nodes = 128;
+  /// Per-cell telemetry directory (`telemetry =` in spec files). When
+  /// non-empty, every simulated cell writes a JSONL event trace to
+  /// `<dir>/cell_<index>.trace.jsonl` and carries a telemetry summary
+  /// in its CellResult (exp::telemetry_csv emits the rollup). Empty
+  /// (the default) attaches no instrumentation — campaigns stay lean.
+  /// Skipped deterministic replications share replication 0's trace
+  /// file and copy its summary.
+  std::string telemetry_dir;
 
   /// Total number of cells in the cross-product.
   std::size_t cell_count() const;
@@ -131,7 +139,8 @@ std::vector<CellSpec> expand(const CampaignSpec& spec);
 /// `lookahead=N` (streaming ingestion window). Config flags are
 /// '+'-separated: `open` (default), `closed`, `outages`, `blind`
 /// (outages not announced in advance). `rank = <metric>` selects the
-/// ranking metric by name (metrics::metric_from_name). Scheduler lines
+/// ranking metric by name (metrics::metric_from_name).
+/// `telemetry = <dir>` turns on per-cell telemetry. Scheduler lines
 /// take full registry spec strings, and workload option lines share the
 /// same key=value tokenizer (util/keyval.hpp). Throws
 /// std::invalid_argument on malformed input; the result is validated

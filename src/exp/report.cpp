@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/provenance.hpp"
 #include "util/table.hpp"
 
 namespace pjsb::exp {
@@ -138,6 +139,36 @@ std::string cells_csv(const CampaignRun& run) {
       out << ',' << format_number(metrics::metric_value(cell.metrics, id));
     }
     out << '\n';
+  }
+  return out.str();
+}
+
+std::string telemetry_csv(const CampaignRun& run) {
+  std::ostringstream out;
+  out << "cell,workload,scheduler,config,replication,submits,starts,"
+         "completions,kills,steps";
+  // One column per provenance kind, in enum order: their sum equals
+  // `starts`, which consumers can (and the tests do) check.
+  for (std::size_t p = 0; p < sim::kProvenanceCount; ++p) {
+    out << ',' << sim::provenance_name(sim::StartProvenance(p));
+  }
+  out << ",backfill_ratio,mean_wait,wait_p95_bound,mean_bounded_slowdown,"
+         "profile_steps_peak\n";
+  for (const auto& cell : run.cells) {
+    const auto& t = cell.telemetry;
+    out << cell.cell.index << ','
+        << run.spec.workloads[cell.cell.workload].label << ','
+        << run.spec.schedulers[cell.cell.scheduler] << ','
+        << run.spec.configs[cell.cell.config].label << ','
+        << cell.cell.replication << ',' << t.submits << ',' << t.starts
+        << ',' << t.completions << ',' << t.kills << ',' << t.steps;
+    for (std::size_t p = 0; p < sim::kProvenanceCount; ++p) {
+      out << ',' << t.starts_by_provenance[p];
+    }
+    out << ',' << format_number(t.backfill_ratio()) << ','
+        << format_number(t.mean_wait()) << ',' << t.wait_p95_bound << ','
+        << format_number(t.mean_bounded_slowdown()) << ','
+        << t.profile_steps_peak << '\n';
   }
   return out.str();
 }

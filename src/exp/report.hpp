@@ -43,6 +43,12 @@ CampaignReport aggregate(const CampaignRun& run);
 /// Per-cell table: one row per cell with every report metric.
 std::string cells_csv(const CampaignRun& run);
 
+/// Per-cell telemetry table (counters, provenance breakdown, histogram
+/// rollups) — one row per cell, in cell-index order. Only meaningful
+/// when the campaign ran with `telemetry =`; without it every counter
+/// column is zero. Deterministic like every other emitter.
+std::string telemetry_csv(const CampaignRun& run);
+
 /// Aggregated table: one row per group with mean/stddev/ci95 columns
 /// for every report metric.
 std::string summary_csv(const CampaignRun& run,

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <filesystem>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -61,6 +63,14 @@ validate::CheckerOptions checker_options_for(const std::string& scheduler,
                            scheduler + "': " + checker.summary());
 }
 
+/// Deterministic per-cell trace path: keyed by the cell's linear index
+/// only, so the file set is identical at any thread count (the
+/// trace-determinism test diffs these byte-for-byte across runs).
+std::string cell_trace_path(const CampaignSpec& spec, const CellSpec& cell) {
+  return spec.telemetry_dir + "/cell_" + std::to_string(cell.index) +
+         ".trace.jsonl";
+}
+
 /// Run one streaming cell: build the per-cell JobSource (StreamReader
 /// for trace files, ModelJobSource for models) and replay it through
 /// the bounded-memory engine path. Per-job completion records are kept
@@ -74,30 +84,45 @@ validate::CheckerOptions checker_options_for(const std::string& scheduler,
 sim::ReplayResult run_stream_cell(const CampaignSpec& spec,
                                   const CellSpec& cell,
                                   const WorkloadSpec& wspec,
-                                  const ConfigSpec& cspec) {
+                                  const ConfigSpec& cspec,
+                                  obs::TelemetryRegistry* telemetry) {
   sim::SimulationSpec sim_spec;
   sim_spec.scheduler = spec.schedulers.at(cell.scheduler);
   sim_spec.closed_loop = cspec.closed_loop;
   sim_spec.deliver_announcements = cspec.deliver_announcements;
   sim_spec.lookahead = wspec.lookahead;
   sim_spec.recycle_slots = true;
+  if (telemetry) sim_spec.with_trace(cell_trace_path(spec, cell));
   // Node resolution is replay()'s: the source header's MaxNodes (the
   // generator writes machine_nodes there) or kDefaultNodes, unless the
   // spec pins a size.
   if (spec.nodes > 0) sim_spec.nodes = spec.nodes;
 
   const auto replay_source = [&](swf::JobSource& source) {
-    if (!cspec.validate) return sim::replay(source, sim_spec);
-    const std::int64_t nodes = sim_spec.nodes.value_or(
-        source.header().max_nodes.value_or(sim::kDefaultNodes));
+    if (!cspec.validate && !telemetry) return sim::replay(source, sim_spec);
+    // Both the invariant checker and the telemetry observer need the
+    // scheduler instance in hand (to watch its profile), so these
+    // paths build it themselves instead of letting replay() resolve
+    // the spec string.
     auto scheduler = sched::make_scheduler(sim_spec.scheduler);
-    validate::InvariantChecker checker(
-        checker_options_for(sim_spec.scheduler, nodes, cspec));
-    checker.watch(*scheduler);
-    auto result = sim::replay(source, std::move(scheduler), sim_spec,
-                              sim::ReplayHooks{}.observe(checker));
-    if (!checker.clean()) {
-      throw_validation_failure(sim_spec.scheduler, checker);
+    sim::ReplayHooks hooks;
+    std::optional<obs::TelemetryObserver> telemetry_observer;
+    if (telemetry) {
+      telemetry_observer.emplace(*telemetry);
+      telemetry_observer->watch(*scheduler);
+      hooks.observe(*telemetry_observer);
+    }
+    std::optional<validate::InvariantChecker> checker;
+    if (cspec.validate) {
+      const std::int64_t nodes = sim_spec.nodes.value_or(
+          source.header().max_nodes.value_or(sim::kDefaultNodes));
+      checker.emplace(checker_options_for(sim_spec.scheduler, nodes, cspec));
+      checker->watch(*scheduler);
+      hooks.observe(*checker);
+    }
+    auto result = sim::replay(source, std::move(scheduler), sim_spec, hooks);
+    if (checker && !checker->clean()) {
+      throw_validation_failure(sim_spec.scheduler, *checker);
     }
     return result;
   };
@@ -198,14 +223,20 @@ CellResult run_cell(const CampaignSpec& spec, const CellSpec& cell,
   const auto& wspec = spec.workloads.at(cell.workload);
   const auto& cspec = spec.configs.at(cell.config);
   util::Rng rng(cell.seed);
+  // One registry per cell: summaries must not bleed across cells, and
+  // a per-cell instance keeps the increments contention-free.
+  const bool want_telemetry = !spec.telemetry_dir.empty();
+  obs::TelemetryRegistry telemetry;
 
   if (wspec.stream) {
-    const auto replay_result = run_stream_cell(spec, cell, wspec, cspec);
+    const auto replay_result = run_stream_cell(
+        spec, cell, wspec, cspec, want_telemetry ? &telemetry : nullptr);
     CellResult result;
     result.cell = cell;
     result.metrics =
         metrics::compute_report(replay_result.completed, replay_result.stats);
     result.workload_jobs = std::size_t(replay_result.source_pulled);
+    result.telemetry = telemetry.summary();
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -260,17 +291,27 @@ CellResult run_cell(const CampaignSpec& spec, const CellSpec& cell,
     hooks.with_outages(outages);
   }
 
-  // 3. Replay and aggregate (validate cells ride an invariant checker).
+  // 3. Replay and aggregate (validate cells ride an invariant checker,
+  // telemetry cells a registry observer + per-cell trace sink).
+  if (want_telemetry) sim_spec.with_trace(cell_trace_path(spec, cell));
   sim::ReplayResult replay_result;
-  if (cspec.validate) {
+  if (cspec.validate || want_telemetry) {
     auto scheduler = sched::make_scheduler(sim_spec.scheduler);
-    validate::InvariantChecker checker(
-        checker_options_for(sim_spec.scheduler, nodes, cspec));
-    checker.watch(*scheduler);
-    hooks.observe(checker);
+    std::optional<obs::TelemetryObserver> telemetry_observer;
+    if (want_telemetry) {
+      telemetry_observer.emplace(telemetry);
+      telemetry_observer->watch(*scheduler);
+      hooks.observe(*telemetry_observer);
+    }
+    std::optional<validate::InvariantChecker> checker;
+    if (cspec.validate) {
+      checker.emplace(checker_options_for(sim_spec.scheduler, nodes, cspec));
+      checker->watch(*scheduler);
+      hooks.observe(*checker);
+    }
     replay_result = sim::replay(*trace, std::move(scheduler), sim_spec, hooks);
-    if (!checker.clean()) {
-      throw_validation_failure(sim_spec.scheduler, checker);
+    if (checker && !checker->clean()) {
+      throw_validation_failure(sim_spec.scheduler, *checker);
     }
   } else {
     replay_result = sim::replay(*trace, sim_spec, hooks);
@@ -281,6 +322,7 @@ CellResult run_cell(const CampaignSpec& spec, const CellSpec& cell,
   result.metrics =
       metrics::compute_report(replay_result.completed, replay_result.stats);
   result.workload_jobs = summary_jobs;
+  result.telemetry = telemetry.summary();
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -292,6 +334,18 @@ CampaignRun run_campaign(const CampaignSpec& spec,
   spec.validate();
   const auto cells = expand(spec);
   const auto traces = preload_traces(spec);
+
+  // Cell workers open `<dir>/cell_N.trace.jsonl` with plain ofstream;
+  // make the directory exist before any of them race to the first open.
+  if (!spec.telemetry_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spec.telemetry_dir, ec);
+    if (ec) {
+      throw std::runtime_error("campaign: cannot create telemetry "
+                               "directory '" + spec.telemetry_dir +
+                               "': " + ec.message());
+    }
+  }
 
   CampaignRun run;
   run.spec = spec;

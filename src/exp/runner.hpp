@@ -13,6 +13,7 @@
 
 #include "exp/campaign.hpp"
 #include "metrics/aggregate.hpp"
+#include "obs/telemetry.hpp"
 
 namespace pjsb::exp {
 
@@ -35,6 +36,9 @@ struct CellResult {
   /// Wall-clock cost of the cell. Informational only — never written
   /// to CSV/JSON reports, which must be deterministic.
   double wall_seconds = 0.0;
+  /// Per-cell counters/histograms rollup. All zeros unless the
+  /// campaign set `telemetry =` (exp::telemetry_csv emits it).
+  obs::TelemetrySummary telemetry;
 };
 
 /// A completed campaign: the spec plus one result per cell, in linear

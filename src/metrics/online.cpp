@@ -2,6 +2,17 @@
 
 namespace pjsb::metrics {
 
+void OnlineMetricsObserver::on_decision(const sim::Decision& decision) {
+  ++total_starts_;
+  ++starts_by_provenance_[std::size_t(decision.provenance)];
+}
+
+double OnlineMetricsObserver::backfill_ratio() const {
+  const auto b =
+      starts_by_provenance_[std::size_t(sim::StartProvenance::kBackfill)];
+  return total_starts_ ? double(b) / double(total_starts_) : 0.0;
+}
+
 void OnlineMetricsObserver::on_job_complete(const sim::CompletedJob& job) {
   ++jobs_;
   wait_.add(double(job.wait()));

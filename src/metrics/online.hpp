@@ -8,14 +8,18 @@
 // full sample and are deliberately absent.
 #pragma once
 
+#include <array>
+
 #include "metrics/aggregate.hpp"
 #include "sim/observer.hpp"
+#include "sim/provenance.hpp"
 #include "util/stats.hpp"
 
 namespace pjsb::metrics {
 
 class OnlineMetricsObserver final : public sim::SimObserver {
  public:
+  void on_decision(const sim::Decision& decision) override;
   void on_job_complete(const sim::CompletedJob& job) override;
   void on_end(const sim::EngineStats& stats) override;
 
@@ -23,11 +27,20 @@ class OnlineMetricsObserver final : public sim::SimObserver {
   double mean_wait() const { return wait_.mean(); }
   double mean_response() const { return response_.mean(); }
   double mean_bounded_slowdown() const { return bounded_slowdown_.mean(); }
+  /// Starts tallied by provenance annotation (sim/provenance.hpp) —
+  /// the constant-memory form of the trace's `why` breakdown.
+  std::uint64_t starts(sim::StartProvenance why) const {
+    return starts_by_provenance_[std::size_t(why)];
+  }
+  /// Fraction of starts that were backfill moves (0 when no starts).
+  double backfill_ratio() const;
   /// Engine accounting captured by on_end (zeros before the run ends).
   const sim::EngineStats& end_stats() const { return end_stats_; }
 
  private:
   std::size_t jobs_ = 0;
+  std::uint64_t total_starts_ = 0;
+  std::array<std::uint64_t, sim::kProvenanceCount> starts_by_provenance_{};
   util::OnlineStats wait_;
   util::OnlineStats response_;
   util::OnlineStats bounded_slowdown_;

@@ -1,0 +1,89 @@
+#include "obs/profiler.hpp"
+
+#include <charconv>
+#include <ostream>
+
+namespace pjsb::obs {
+
+PassProfiler::PassProfiler(std::size_t max_slices)
+    : max_slices_(max_slices) {
+  slices_.reserve(max_slices_ < 4096 ? max_slices_ : 4096);
+}
+
+void PassProfiler::on_phase(sim::EnginePhase phase, std::int64_t sim_time,
+                            std::uint64_t wall_ns) {
+  auto& s = stats_[std::size_t(phase)];
+  ++s.count;
+  s.total_ns += wall_ns;
+  if (wall_ns > s.max_ns) s.max_ns = wall_ns;
+  if (slices_.size() < max_slices_) {
+    slices_.push_back({phase, sim_time, cursor_ns_, wall_ns});
+  } else {
+    ++dropped_;
+  }
+  cursor_ns_ += wall_ns;
+}
+
+namespace {
+
+void write_us(std::ostream& os, std::uint64_t ns) {
+  // Microseconds with nanosecond resolution, without float rounding.
+  os << (ns / 1000) << '.';
+  const auto frac = ns % 1000;
+  if (frac < 100) os << '0';
+  if (frac < 10) os << '0';
+  os << frac;
+}
+
+}  // namespace
+
+void PassProfiler::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Slice& s : slices_) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"" << sim::phase_name(s.phase)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    write_us(os, s.start_ns);
+    os << ",\"dur\":";
+    write_us(os, s.dur_ns);
+    os << ",\"args\":{\"sim_time\":" << s.sim_time << "}}";
+  }
+  // Name the track so Perfetto's UI reads "pjsb replay" not "1".
+  if (!first) os << ',';
+  os << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"pjsb replay\"}}";
+  os << "\n]}\n";
+  os.flush();
+}
+
+std::string PassProfiler::summary() const {
+  std::string out = "phase            passes    total_ms      max_us\n";
+  for (std::size_t i = 0; i < sim::kEnginePhaseCount; ++i) {
+    const auto& s = stats_[i];
+    std::string name = sim::phase_name(sim::EnginePhase(i));
+    name.resize(16, ' ');
+    char buf[64];
+    out += name;
+    std::string count = std::to_string(s.count);
+    out += std::string(count.size() < 6 ? 6 - count.size() : 0, ' ') + count;
+    auto res = std::to_chars(buf, buf + sizeof(buf),
+                             double(s.total_ns) / 1e6, std::chars_format::fixed,
+                             3);
+    std::string total(buf, res.ptr);
+    out += std::string(total.size() < 12 ? 12 - total.size() : 0, ' ') + total;
+    res = std::to_chars(buf, buf + sizeof(buf), double(s.max_ns) / 1e3,
+                        std::chars_format::fixed, 3);
+    std::string mx(buf, res.ptr);
+    out += std::string(mx.size() < 12 ? 12 - mx.size() : 0, ' ') + mx;
+    out += '\n';
+  }
+  if (dropped_ > 0) {
+    out += "(+" + std::to_string(dropped_) +
+           " slices dropped from the export buffer; aggregates are exact)\n";
+  }
+  return out;
+}
+
+}  // namespace pjsb::obs

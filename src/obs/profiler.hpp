@@ -1,0 +1,73 @@
+// Pass profiling: wall-clock timing of engine phases, Perfetto-ready.
+//
+// Implements sim::PhaseListener, aggregating per-phase wall-clock
+// statistics (pass counts, total and max durations) and recording a
+// bounded buffer of individual slices. Slices export as Chrome
+// trace-event JSON ("X" complete events on one track), so a replay's
+// profile opens directly in Perfetto / chrome://tracing; each slice's
+// args carry the *simulated* time it ran at, linking the wall-clock
+// view back to the trace and time-series streams. The exported
+// timeline concatenates timed sections — idle gaps between engine
+// steps (caller time) are compressed out.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/phase.hpp"
+
+namespace pjsb::obs {
+
+class PassProfiler final : public sim::PhaseListener {
+ public:
+  struct PhaseStats {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  struct Slice {
+    sim::EnginePhase phase = sim::EnginePhase::kEvents;
+    std::int64_t sim_time = 0;
+    std::uint64_t start_ns = 0;  ///< offset on the concatenated timeline
+    std::uint64_t dur_ns = 0;
+  };
+
+  /// `max_slices` bounds the slice buffer; aggregation continues after
+  /// it fills (dropped_slices() reports how many detail records were
+  /// lost). The default holds a ~100k-job replay comfortably.
+  explicit PassProfiler(std::size_t max_slices = std::size_t(1) << 19);
+
+  void on_phase(sim::EnginePhase phase, std::int64_t sim_time,
+                std::uint64_t wall_ns) override;
+
+  const PhaseStats& stats(sim::EnginePhase phase) const {
+    return stats_[std::size_t(phase)];
+  }
+  /// Scheduler passes observed (the per-scheduler pass count).
+  std::uint64_t passes() const {
+    return stats(sim::EnginePhase::kSchedulerPass).count;
+  }
+  std::uint64_t total_ns() const { return cursor_ns_; }
+  const std::vector<Slice>& slices() const { return slices_; }
+  std::uint64_t dropped_slices() const { return dropped_; }
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}); ts/dur in
+  /// fractional microseconds. Loads in Perfetto and chrome://tracing.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Small human-readable per-phase table for CLI output.
+  std::string summary() const;
+
+ private:
+  std::array<PhaseStats, sim::kEnginePhaseCount> stats_{};
+  std::vector<Slice> slices_;
+  std::size_t max_slices_;
+  std::uint64_t cursor_ns_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pjsb::obs

@@ -1,0 +1,65 @@
+#include "obs/sinks.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/spec.hpp"
+
+namespace pjsb::obs {
+
+namespace {
+
+std::unique_ptr<std::ofstream> open_or_throw(const std::string& path,
+                                             const char* what) {
+  auto os = std::make_unique<std::ofstream>(path,
+                                            std::ios::out | std::ios::trunc);
+  if (!*os) {
+    throw std::runtime_error(std::string("cannot open ") + what +
+                             " output file: " + path);
+  }
+  return os;
+}
+
+}  // namespace
+
+void SinkSet::open(const sim::SimulationSpec& spec) {
+  if (!spec.trace.empty()) {
+    trace_os_ = open_or_throw(spec.trace, "trace");
+  }
+  if (!spec.timeseries.empty()) {
+    timeseries_os_ = open_or_throw(spec.timeseries, "timeseries");
+    TimeSeriesOptions options;
+    if (spec.sample_every > 0) options.sample_every = spec.sample_every;
+    sampler_ = std::make_unique<TimeSeriesSampler>(options);
+  }
+  if (!spec.profile.empty()) {
+    profile_os_ = open_or_throw(spec.profile, "profile");
+    profiler_ = std::make_unique<PassProfiler>();
+  }
+}
+
+void SinkSet::attach(sim::Engine& engine) {
+  if (trace_os_) {
+    TraceWriterOptions options;
+    options.scheduler = engine.scheduler().name();
+    options.nodes = engine.machine().total_nodes();
+    trace_ = std::make_unique<JsonlTraceWriter>(*trace_os_, options);
+    trace_->watch(engine.scheduler());
+    engine.add_observer(*trace_);
+  }
+  if (sampler_) engine.add_observer(*sampler_);
+  if (profiler_) engine.set_phase_listener(profiler_.get());
+}
+
+void SinkSet::finish() {
+  if (trace_os_) trace_os_->flush();
+  if (sampler_ && timeseries_os_) {
+    sampler_->write_csv(*timeseries_os_);
+    timeseries_os_->flush();
+  }
+  if (profiler_ && profile_os_) {
+    profiler_->write_chrome_trace(*profile_os_);
+  }
+}
+
+}  // namespace pjsb::obs

@@ -1,0 +1,66 @@
+// The observability sinks a SimulationSpec requests, as one bundle.
+//
+// A spec can name a JSONL trace (trace=…), a time-series CSV
+// (timeseries=… sample_every=…) and a Chrome trace-event profile
+// (profile=…). SinkSet owns the streams and observers for all three,
+// with one lifecycle: open(spec) opens every named file (failing
+// before the run, not after), attach(engine) constructs the observers
+// against the resolved machine/scheduler and hooks them in, and
+// finish() writes the deferred outputs after the run drains. A spec
+// naming no sinks costs nothing — open() is three empty-string checks
+// and attach()/finish() no-ops.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+
+namespace pjsb::sim {
+class Engine;
+struct SimulationSpec;
+}  // namespace pjsb::sim
+
+namespace pjsb::obs {
+
+class SinkSet {
+ public:
+  SinkSet() = default;
+  // Observers are address-pinned once attached to an engine.
+  SinkSet(const SinkSet&) = delete;
+  SinkSet& operator=(const SinkSet&) = delete;
+
+  /// Open every sink `spec` names, truncating existing files. Throws
+  /// std::runtime_error naming the path when one cannot be opened.
+  void open(const sim::SimulationSpec& spec);
+
+  bool any() const {
+    return trace_os_ != nullptr || sampler_ != nullptr ||
+           profiler_ != nullptr;
+  }
+
+  /// Construct the observers against the engine's resolved scheduler
+  /// and machine, and attach them (plus the phase listener). Call
+  /// after open(), before the run.
+  void attach(sim::Engine& engine);
+
+  /// Write the deferred outputs (time-series CSV, Chrome trace) and
+  /// flush everything. Call after the run (and notify_run_end).
+  void finish();
+
+  const PassProfiler* profiler() const { return profiler_.get(); }
+  const TimeSeriesSampler* sampler() const { return sampler_.get(); }
+
+ private:
+  std::unique_ptr<std::ofstream> trace_os_;
+  std::unique_ptr<JsonlTraceWriter> trace_;
+  std::unique_ptr<std::ofstream> timeseries_os_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
+  std::unique_ptr<std::ofstream> profile_os_;
+  std::unique_ptr<PassProfiler> profiler_;
+};
+
+}  // namespace pjsb::obs

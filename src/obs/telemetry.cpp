@@ -1,0 +1,199 @@
+#include "obs/telemetry.hpp"
+
+#include <bit>
+#include <charconv>
+#include <cmath>
+
+#include "metrics/aggregate.hpp"
+#include "sched/backfill.hpp"
+
+namespace pjsb::obs {
+
+void Log2Histogram::add(std::int64_t x) {
+  const std::uint64_t v = x > 0 ? std::uint64_t(x) : 0;
+  const std::size_t b = std::size_t(std::bit_width(v));  // 0 for v == 0
+  buckets_[b < kBuckets ? b : kBuckets - 1].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+double Log2Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n ? double(sum()) / double(n) : 0.0;
+}
+
+std::uint64_t Log2Histogram::bucket_low(std::size_t i) {
+  if (i == 0) return 0;
+  return std::uint64_t(1) << (i - 1);
+}
+
+std::uint64_t Log2Histogram::bucket_high(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return ~std::uint64_t(0);
+  return (std::uint64_t(1) << i) - 1;
+}
+
+std::uint64_t Log2Histogram::quantile_bound(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank = std::uint64_t(std::ceil(q * double(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) return bucket_high(i);
+  }
+  return bucket_high(kBuckets - 1);
+}
+
+double TelemetrySummary::backfill_ratio() const {
+  const auto backfills =
+      starts_by_provenance[std::size_t(sim::StartProvenance::kBackfill)];
+  return starts ? double(backfills) / double(starts) : 0.0;
+}
+
+void TelemetrySummary::merge(const TelemetrySummary& other) {
+  submits += other.submits;
+  starts += other.starts;
+  completions += other.completions;
+  kills += other.kills;
+  steps += other.steps;
+  for (std::size_t i = 0; i < starts_by_provenance.size(); ++i) {
+    starts_by_provenance[i] += other.starts_by_provenance[i];
+  }
+  wait_count += other.wait_count;
+  wait_sum += other.wait_sum;
+  wait_p95_bound = std::max(wait_p95_bound, other.wait_p95_bound);
+  slowdown_count += other.slowdown_count;
+  slowdown_sum += other.slowdown_sum;
+  profile_steps_peak = std::max(profile_steps_peak, other.profile_steps_peak);
+}
+
+void TelemetryRegistry::note_profile_steps(std::uint64_t n) {
+  std::uint64_t cur = profile_steps_peak_.load(std::memory_order_relaxed);
+  while (n > cur && !profile_steps_peak_.compare_exchange_weak(
+                        cur, n, std::memory_order_relaxed)) {
+  }
+}
+
+void TelemetryRegistry::merge(const TelemetryRegistry& other) {
+  submits.merge(other.submits);
+  completions.merge(other.completions);
+  kills.merge(other.kills);
+  steps.merge(other.steps);
+  for (std::size_t i = 0; i < starts_by_provenance.size(); ++i) {
+    starts_by_provenance[i].merge(other.starts_by_provenance[i]);
+  }
+  wait_seconds.merge(other.wait_seconds);
+  bounded_slowdown.merge(other.bounded_slowdown);
+  note_profile_steps(other.profile_steps_peak());
+}
+
+TelemetrySummary TelemetryRegistry::summary() const {
+  TelemetrySummary s;
+  s.submits = submits.value();
+  s.completions = completions.value();
+  s.kills = kills.value();
+  s.steps = steps.value();
+  for (std::size_t i = 0; i < starts_by_provenance.size(); ++i) {
+    s.starts_by_provenance[i] = starts_by_provenance[i].value();
+    s.starts += s.starts_by_provenance[i];
+  }
+  s.wait_count = wait_seconds.count();
+  s.wait_sum = wait_seconds.sum();
+  s.wait_p95_bound = wait_seconds.quantile_bound(0.95);
+  s.slowdown_count = bounded_slowdown.count();
+  s.slowdown_sum = bounded_slowdown.sum();
+  s.profile_steps_peak = profile_steps_peak();
+  return s;
+}
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string TelemetryRegistry::to_json() const {
+  const TelemetrySummary s = summary();
+  std::string out = "{";
+  const auto field = [&out](const char* key, std::uint64_t v, bool first =
+                                                                  false) {
+    if (!first) out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  field("submits", s.submits, /*first=*/true);
+  field("starts", s.starts);
+  field("completions", s.completions);
+  field("kills", s.kills);
+  field("steps", s.steps);
+  for (std::size_t i = 0; i < s.starts_by_provenance.size(); ++i) {
+    field(sim::provenance_name(sim::StartProvenance(i)),
+          s.starts_by_provenance[i]);
+  }
+  out += ",\"backfill_ratio\":" + format_double(s.backfill_ratio());
+  out += ",\"mean_wait\":" + format_double(s.mean_wait());
+  field("wait_p95_bound", s.wait_p95_bound);
+  out += ",\"mean_bounded_slowdown\":" +
+         format_double(s.mean_bounded_slowdown());
+  field("profile_steps_peak", s.profile_steps_peak);
+  out += '}';
+  return out;
+}
+
+void TelemetryObserver::watch(const sched::Scheduler& scheduler) {
+  profile_owner_ = dynamic_cast<const sched::BackfillBase*>(&scheduler);
+}
+
+void TelemetryObserver::on_job_submit(std::int64_t /*time*/,
+                                      const sim::SimJob& /*job*/) {
+  registry_.submits.inc();
+}
+
+void TelemetryObserver::on_decision(const sim::Decision& decision) {
+  const auto i = std::size_t(decision.provenance);
+  registry_
+      .starts_by_provenance[i < sim::kProvenanceCount ? i : 0]
+      .inc();
+}
+
+void TelemetryObserver::on_job_complete(const sim::CompletedJob& job) {
+  registry_.completions.inc();
+  registry_.wait_seconds.add(job.wait());
+  registry_.bounded_slowdown.add(
+      std::int64_t(std::llround(metrics::bounded_slowdown(job))));
+}
+
+void TelemetryObserver::on_job_kill(std::int64_t /*time*/,
+                                    const sim::SimJob& /*job*/) {
+  registry_.kills.inc();
+}
+
+void TelemetryObserver::on_step(const sim::StepSnapshot& /*snapshot*/) {
+  registry_.steps.inc();
+  if (profile_owner_) {
+    registry_.note_profile_steps(
+        static_cast<const sched::BackfillBase*>(profile_owner_)
+            ->profile()
+            .step_count());
+  }
+}
+
+}  // namespace pjsb::obs

@@ -1,0 +1,160 @@
+// Lock-free telemetry: counters and histograms for per-cell rollups.
+//
+// Campaigns run one simulation per worker thread; per-cell telemetry
+// must therefore be (a) cheap enough to ride the hot observer path —
+// relaxed atomic increments, no locks, no allocation after
+// construction — and (b) mergeable, so a campaign can aggregate every
+// cell's registry into one report. The histogram buckets by power of
+// two (bit width), which is the right shape for the heavy-tailed wait
+// and slowdown distributions scheduler workloads produce: exact small
+// values, bounded 64-bucket memory for arbitrarily large tails.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/observer.hpp"
+#include "sim/provenance.hpp"
+
+namespace pjsb::sched {
+class Scheduler;
+}
+
+namespace pjsb::obs {
+
+/// Relaxed atomic counter. Single-writer per simulation; atomicity is
+/// for cross-thread reads (a campaign progress poller) and merge().
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void merge(const Counter& other) { inc(other.value()); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Power-of-two histogram: sample x >= 0 lands in bucket bit_width(x)
+/// (bucket 0 holds x == 0, bucket b holds [2^(b-1), 2^b - 1]).
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  Log2Histogram() = default;
+  Log2Histogram(const Log2Histogram&) = delete;
+  Log2Histogram& operator=(const Log2Histogram&) = delete;
+
+  /// Negative samples clamp to 0 (waits and slowdowns are >= 0 by
+  /// construction; clamping keeps the histogram total exact anyway).
+  void add(std::int64_t x);
+  void merge(const Log2Histogram& other);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive value range of bucket i.
+  static std::uint64_t bucket_low(std::size_t i);
+  static std::uint64_t bucket_high(std::size_t i);
+  /// Upper bound of the bucket containing the q-quantile (q in [0,1]);
+  /// 0 when empty. Power-of-two resolution, exact bucket membership.
+  std::uint64_t quantile_bound(double q) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Plain-value snapshot of a registry — copyable, so campaign cell
+/// results can carry it and reports can aggregate it.
+struct TelemetrySummary {
+  std::uint64_t submits = 0;
+  std::uint64_t starts = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t steps = 0;  ///< event timestamps processed
+  std::array<std::uint64_t, sim::kProvenanceCount> starts_by_provenance{};
+  std::uint64_t wait_count = 0;
+  std::uint64_t wait_sum = 0;           ///< seconds
+  std::uint64_t wait_p95_bound = 0;     ///< power-of-two upper bound
+  std::uint64_t slowdown_count = 0;
+  std::uint64_t slowdown_sum = 0;       ///< bounded slowdown, rounded
+  std::uint64_t profile_steps_peak = 0; ///< capacity-profile high-water
+
+  double mean_wait() const {
+    return wait_count ? double(wait_sum) / double(wait_count) : 0.0;
+  }
+  double mean_bounded_slowdown() const {
+    return slowdown_count ? double(slowdown_sum) / double(slowdown_count)
+                          : 0.0;
+  }
+  /// Fraction of starts that were backfill moves (0 when no starts).
+  double backfill_ratio() const;
+  void merge(const TelemetrySummary& other);
+};
+
+/// The registry: one per simulation (or one shared across a campaign —
+/// increments are lock-free either way).
+class TelemetryRegistry {
+ public:
+  TelemetryRegistry() = default;
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  Counter submits;
+  Counter completions;
+  Counter kills;
+  Counter steps;
+  std::array<Counter, sim::kProvenanceCount> starts_by_provenance;
+  Log2Histogram wait_seconds;
+  Log2Histogram bounded_slowdown;  ///< rounded to integer
+
+  /// Record a capacity-profile step count observation (high-water
+  /// gauge; see TelemetryObserver::watch).
+  void note_profile_steps(std::uint64_t n);
+  std::uint64_t profile_steps_peak() const {
+    return profile_steps_peak_.load(std::memory_order_relaxed);
+  }
+
+  void merge(const TelemetryRegistry& other);
+  TelemetrySummary summary() const;
+  /// Single-line JSON object (counters + histogram means/quantiles) —
+  /// the per-cell telemetry file format.
+  std::string to_json() const;
+
+ private:
+  std::atomic<std::uint64_t> profile_steps_peak_{0};
+};
+
+/// Observer feeding a registry from one simulation's event stream.
+class TelemetryObserver final : public sim::SimObserver {
+ public:
+  explicit TelemetryObserver(TelemetryRegistry& registry)
+      : registry_(registry) {}
+
+  /// Watch a scheduler: when it is profile-based (BackfillBase), the
+  /// observer polls its CapacityProfile step count every step and
+  /// records the high-water mark. No-op for other policies.
+  void watch(const sched::Scheduler& scheduler);
+
+  void on_job_submit(std::int64_t time, const sim::SimJob& job) override;
+  void on_decision(const sim::Decision& decision) override;
+  void on_job_complete(const sim::CompletedJob& job) override;
+  void on_job_kill(std::int64_t time, const sim::SimJob& job) override;
+  void on_step(const sim::StepSnapshot& snapshot) override;
+
+ private:
+  TelemetryRegistry& registry_;
+  const void* profile_owner_ = nullptr;  ///< BackfillBase*, if watching one
+};
+
+}  // namespace pjsb::obs

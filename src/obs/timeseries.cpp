@@ -1,0 +1,91 @@
+#include "obs/timeseries.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace pjsb::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(const TimeSeriesOptions& options)
+    : options_(options), every_(options.sample_every) {
+  if (options_.sample_every < 1) {
+    throw std::invalid_argument("TimeSeriesSampler: sample_every must be >= 1");
+  }
+  if (options_.max_samples < 2) {
+    throw std::invalid_argument("TimeSeriesSampler: max_samples must be >= 2");
+  }
+  samples_.reserve(options_.max_samples);
+}
+
+void TimeSeriesSampler::on_decision(const sim::Decision& decision) {
+  ++pending_starts_;
+  if (decision.provenance == sim::StartProvenance::kBackfill) {
+    ++pending_backfills_;
+  }
+}
+
+void TimeSeriesSampler::on_step(const sim::StepSnapshot& snapshot) {
+  if (armed_ && snapshot.time < next_due_) return;
+  TimeSample s;
+  s.time = snapshot.time;
+  s.free_nodes = snapshot.free_nodes;
+  s.busy_nodes = snapshot.busy_nodes;
+  s.down_nodes = snapshot.down_nodes;
+  s.queued = snapshot.queued_jobs;
+  s.running = snapshot.running_jobs;
+  s.starts = pending_starts_;
+  s.backfill_starts = pending_backfills_;
+  pending_starts_ = 0;
+  pending_backfills_ = 0;
+  samples_.push_back(s);
+  // Samples land on event times, so spacing is >= every_ but never
+  // exactly periodic; the next due time advances from the actual
+  // sample, keeping timestamps strictly increasing.
+  next_due_ = snapshot.time + every_;
+  armed_ = true;
+  if (samples_.size() >= options_.max_samples) downsample();
+}
+
+void TimeSeriesSampler::downsample() {
+  // Keep even indices; a dropped sample's interval counts fold into
+  // the next retained sample (its interval absorbs the dropped one).
+  // The newest sample survives regardless of parity — the tail is what
+  // a live consumer looks at.
+  std::vector<TimeSample> kept;
+  kept.reserve(samples_.size() / 2 + 1);
+  std::uint64_t carry_starts = 0;
+  std::uint64_t carry_backfills = 0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const bool keep = (i % 2 == 0) || (i + 1 == samples_.size());
+    if (keep) {
+      TimeSample s = samples_[i];
+      s.starts += carry_starts;
+      s.backfill_starts += carry_backfills;
+      carry_starts = 0;
+      carry_backfills = 0;
+      kept.push_back(s);
+    } else {
+      carry_starts += samples_[i].starts;
+      carry_backfills += samples_[i].backfill_starts;
+    }
+  }
+  samples_ = std::move(kept);
+  every_ *= 2;
+  next_due_ = samples_.back().time + every_;
+  ++rounds_;
+}
+
+void TimeSeriesSampler::write_csv(std::ostream& os) const {
+  os << "time,free,busy,down,queued,running,starts,backfill_starts,util\n";
+  char buf[64];
+  for (const TimeSample& s : samples_) {
+    os << s.time << ',' << s.free_nodes << ',' << s.busy_nodes << ','
+       << s.down_nodes << ',' << s.queued << ',' << s.running << ','
+       << s.starts << ',' << s.backfill_starts << ',';
+    const auto res = std::to_chars(buf, buf + sizeof(buf), s.utilization());
+    os.write(buf, res.ptr - buf);
+    os << '\n';
+  }
+}
+
+}  // namespace pjsb::obs

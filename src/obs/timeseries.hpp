@@ -1,0 +1,77 @@
+// Sim-time time-series sampling with bounded-memory downsampling.
+//
+// Records machine and queue state against *simulated* time at a
+// configurable cadence, riding sim::StepSnapshot (PR 5). A sample also
+// carries the number of starts (and backfill starts) since the
+// previous retained sample, so a backfill *rate* falls out of the CSV
+// directly. Memory is bounded for million-job streams: when the sample
+// buffer fills, the cadence doubles and every other sample is folded
+// away — dropped samples donate their interval counts to the next
+// retained one, so start totals are conserved exactly and timestamps
+// stay a strictly increasing subsequence of the full series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace pjsb::obs {
+
+struct TimeSeriesOptions {
+  /// Sim-seconds between samples (>= 1). The *initial* cadence;
+  /// downsampling doubles it as needed.
+  std::int64_t sample_every = 60;
+  /// Retained-sample bound (>= 2). Hitting it halves the series and
+  /// doubles the cadence.
+  std::size_t max_samples = 4096;
+};
+
+struct TimeSample {
+  std::int64_t time = 0;
+  std::int64_t free_nodes = 0;
+  std::int64_t busy_nodes = 0;
+  std::int64_t down_nodes = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t running = 0;
+  /// Starts since the previous retained sample (all / backfill-only).
+  std::uint64_t starts = 0;
+  std::uint64_t backfill_starts = 0;
+
+  /// Utilization of up capacity at the sample instant.
+  double utilization() const {
+    const auto up = free_nodes + busy_nodes;
+    return up > 0 ? double(busy_nodes) / double(up) : 0.0;
+  }
+};
+
+class TimeSeriesSampler final : public sim::SimObserver {
+ public:
+  explicit TimeSeriesSampler(const TimeSeriesOptions& options = {});
+
+  const std::vector<TimeSample>& samples() const { return samples_; }
+  /// Current cadence (initial sample_every, doubled per downsample).
+  std::int64_t effective_cadence() const { return every_; }
+  std::size_t downsample_rounds() const { return rounds_; }
+
+  /// CSV: time,free,busy,down,queued,running,starts,backfill_starts,util
+  void write_csv(std::ostream& os) const;
+
+  void on_decision(const sim::Decision& decision) override;
+  void on_step(const sim::StepSnapshot& snapshot) override;
+
+ private:
+  void downsample();
+
+  TimeSeriesOptions options_;
+  std::vector<TimeSample> samples_;
+  std::int64_t every_ = 60;
+  std::int64_t next_due_ = 0;
+  bool armed_ = false;  ///< first step primes next_due_
+  std::uint64_t pending_starts_ = 0;
+  std::uint64_t pending_backfills_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace pjsb::obs

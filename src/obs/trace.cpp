@@ -1,0 +1,148 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <ostream>
+
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace pjsb::obs {
+
+namespace {
+
+const char* outage_phase_name(sim::OutagePhase phase) {
+  switch (phase) {
+    case sim::OutagePhase::kAnnounced:
+      return "announced";
+    case sim::OutagePhase::kStarted:
+      return "started";
+    case sim::OutagePhase::kEnded:
+      return "ended";
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // control characters cannot appear in our inputs
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace
+
+JsonlTraceWriter::JsonlTraceWriter(std::ostream& os,
+                                   const TraceWriterOptions& options)
+    : os_(os), options_(options) {
+  write_header();
+}
+
+void JsonlTraceWriter::write_header() {
+  os_ << "{\"type\":\"header\",\"version\":" << kTraceSchemaVersion
+      << ",\"source\":\"pjsb\"";
+  if (!options_.scheduler.empty()) {
+    os_ << ",\"scheduler\":\"" << json_escape(options_.scheduler) << '"';
+  }
+  if (options_.nodes > 0) os_ << ",\"nodes\":" << options_.nodes;
+  os_ << "}\n";
+  ++lines_;
+}
+
+void JsonlTraceWriter::on_job_submit(std::int64_t time,
+                                     const sim::SimJob& job) {
+  submit_time_[job.id] = time;
+  if (options_.blocked_records && scheduler_) {
+    pending_blocked_.push_back({job.id, job.procs, job.estimate});
+  }
+  os_ << "{\"type\":\"submit\",\"t\":" << time << ",\"job\":" << job.id
+      << ",\"procs\":" << job.procs << ",\"estimate\":" << job.estimate
+      << "}\n";
+  ++lines_;
+}
+
+void JsonlTraceWriter::on_decision(const sim::Decision& decision) {
+  std::int64_t wait = -1;
+  const auto it = submit_time_.find(decision.job_id);
+  if (it != submit_time_.end()) {
+    wait = decision.time - it->second;
+    submit_time_.erase(it);
+  }
+  os_ << "{\"type\":\"start\",\"t\":" << decision.time
+      << ",\"job\":" << decision.job_id << ",\"procs\":" << decision.procs
+      << ",\"wait\":" << wait << ",\"why\":\""
+      << sim::provenance_name(decision.provenance) << '"';
+  if (decision.virtual_start) os_ << ",\"virtual\":1";
+  if (decision.reserved_start >= 0) {
+    os_ << ",\"reserved_start\":" << decision.reserved_start;
+  }
+  os_ << "}\n";
+  ++lines_;
+}
+
+void JsonlTraceWriter::on_job_complete(const sim::CompletedJob& job) {
+  os_ << "{\"type\":\"end\",\"t\":" << job.end << ",\"job\":" << job.id
+      << ",\"procs\":" << job.procs << ",\"wait\":" << job.wait()
+      << ",\"run\":" << (job.end - job.start)
+      << ",\"restarts\":" << job.restarts << "}\n";
+  ++lines_;
+}
+
+void JsonlTraceWriter::on_job_kill(std::int64_t time, const sim::SimJob& job) {
+  // The queue re-entry (if the engine requeues) arrives as a fresh
+  // on_job_submit; drop the stale submit stamp either way.
+  submit_time_.erase(job.id);
+  os_ << "{\"type\":\"kill\",\"t\":" << time << ",\"job\":" << job.id
+      << ",\"procs\":" << job.procs << "}\n";
+  ++lines_;
+}
+
+void JsonlTraceWriter::on_outage(const outage::OutageRecord& rec,
+                                 sim::OutagePhase phase) {
+  os_ << "{\"type\":\"outage\",\"phase\":\"" << outage_phase_name(phase)
+      << "\",\"start\":" << rec.start_time << ",\"end\":" << rec.end_time
+      << ",\"nodes\":" << rec.components.size() << "}\n";
+  ++lines_;
+}
+
+void JsonlTraceWriter::on_step(const sim::StepSnapshot& snapshot) {
+  if (pending_blocked_.empty()) return;
+  for (const PendingJob& p : pending_blocked_) {
+    // Still queued after the pass (starting erased the submit stamp)?
+    if (!submit_time_.contains(p.id)) continue;
+    const auto predicted =
+        scheduler_->predict_start(snapshot.time, p.procs, p.estimate);
+    if (!predicted) continue;
+    os_ << "{\"type\":\"blocked\",\"t\":" << snapshot.time
+        << ",\"job\":" << p.id << ",\"predicted_start\":" << *predicted
+        << "}\n";
+    ++lines_;
+  }
+  pending_blocked_.clear();
+}
+
+void JsonlTraceWriter::on_end(const sim::EngineStats& stats) {
+  os_ << "{\"type\":\"run_end\",\"jobs\":" << stats.jobs_completed
+      << ",\"kills\":" << stats.jobs_killed
+      << ",\"makespan\":" << stats.makespan
+      << ",\"events\":" << stats.events_processed
+      << ",\"util\":" << format_double(stats.utilization()) << "}\n";
+  ++lines_;
+  os_.flush();
+}
+
+}  // namespace pjsb::obs

@@ -1,0 +1,146 @@
+#include "obs/trace_read.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <stdexcept>
+
+namespace pjsb::obs {
+
+namespace {
+
+/// Position just past `"key":`, or npos.
+std::size_t find_key(std::string_view line, std::string_view key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::string_view::npos;
+  return pos + needle.size();
+}
+
+}  // namespace
+
+std::optional<std::int64_t> trace_field_int(std::string_view line,
+                                            std::string_view key) {
+  const auto pos = find_key(line, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::int64_t value = 0;
+  const char* first = line.data() + pos;
+  const char* last = line.data() + line.size();
+  const auto res = std::from_chars(first, last, value);
+  if (res.ec != std::errc() || res.ptr == first) return std::nullopt;
+  return value;
+}
+
+std::optional<std::string> trace_field_string(std::string_view line,
+                                              std::string_view key) {
+  auto pos = find_key(line, key);
+  if (pos == std::string_view::npos) return std::nullopt;
+  if (pos >= line.size() || line[pos] != '"') return std::nullopt;
+  ++pos;
+  const auto end = line.find('"', pos);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(line.substr(pos, end - pos));
+}
+
+TraceSummary summarize_trace(std::istream& in, std::size_t top_k) {
+  TraceSummary s;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    ++s.lines;
+    const auto type = trace_field_string(line, "type");
+    if (!type) {
+      throw std::invalid_argument("trace line " + std::to_string(line_no) +
+                                  ": no \"type\" field");
+    }
+    if (*type == "header") {
+      s.version = int(trace_field_int(line, "version").value_or(-1));
+      s.scheduler = trace_field_string(line, "scheduler").value_or("");
+      s.nodes = trace_field_int(line, "nodes").value_or(0);
+    } else if (*type == "submit") {
+      ++s.submits;
+    } else if (*type == "start") {
+      ++s.starts;
+      const auto why = trace_field_string(line, "why").value_or("");
+      ++s.starts_by_provenance[std::size_t(sim::provenance_from_name(why))];
+      const std::int64_t wait = trace_field_int(line, "wait").value_or(-1);
+      if (wait >= 0 && top_k > 0) {
+        TraceSummary::WaitEntry e;
+        e.job = trace_field_int(line, "job").value_or(-1);
+        e.wait = wait;
+        e.start = trace_field_int(line, "t").value_or(-1);
+        const auto before = [](const TraceSummary::WaitEntry& a,
+                               const TraceSummary::WaitEntry& b) {
+          if (a.wait != b.wait) return a.wait > b.wait;
+          if (a.start != b.start) return a.start < b.start;
+          return a.job < b.job;
+        };
+        const auto pos = std::upper_bound(s.top_waits.begin(),
+                                          s.top_waits.end(), e, before);
+        if (pos != s.top_waits.end() || s.top_waits.size() < top_k) {
+          s.top_waits.insert(pos, e);
+          if (s.top_waits.size() > top_k) s.top_waits.pop_back();
+        }
+      }
+    } else if (*type == "end") {
+      ++s.ends;
+    } else if (*type == "kill") {
+      ++s.kills;
+    } else if (*type == "blocked") {
+      ++s.blocked;
+    } else if (*type == "outage") {
+      ++s.outages;
+    } else if (*type == "run_end") {
+      s.makespan = trace_field_int(line, "makespan").value_or(0);
+      s.jobs_completed =
+          std::uint64_t(trace_field_int(line, "jobs").value_or(0));
+    } else {
+      // Unknown record types are forward compatibility, not errors.
+      ++s.unknown_records;
+    }
+  }
+  return s;
+}
+
+std::string TraceSummary::to_string() const {
+  std::string out;
+  out += "trace summary (schema v" + std::to_string(version) + ")\n";
+  if (!scheduler.empty()) out += "  scheduler:  " + scheduler + "\n";
+  if (nodes > 0) out += "  nodes:      " + std::to_string(nodes) + "\n";
+  out += "  records:    " + std::to_string(lines) + " (" +
+         std::to_string(submits) + " submits, " + std::to_string(starts) +
+         " starts, " + std::to_string(ends) + " ends, " +
+         std::to_string(kills) + " kills, " + std::to_string(blocked) +
+         " blocked, " + std::to_string(outages) + " outage)\n";
+  if (jobs_completed > 0) {
+    out += "  completed:  " + std::to_string(jobs_completed) +
+           " jobs, makespan " + std::to_string(makespan) + "\n";
+  }
+  out += "  starts by provenance:\n";
+  for (std::size_t i = 0; i < starts_by_provenance.size(); ++i) {
+    if (starts_by_provenance[i] == 0) continue;
+    out += "    ";
+    out += sim::provenance_name(sim::StartProvenance(i));
+    out += ": " + std::to_string(starts_by_provenance[i]) + "\n";
+  }
+  // Two-decimal percentage without pulling in iostream formatting.
+  const long pct = std::lround(backfill_ratio() * 10000.0);
+  out += "  backfill ratio: " + std::to_string(pct / 100) + "." +
+         (pct % 100 < 10 ? "0" : "") + std::to_string(pct % 100) + "%\n";
+  if (!top_waits.empty()) {
+    out += "  longest waits:\n";
+    for (const auto& e : top_waits) {
+      out += "    job " + std::to_string(e.job) + ": waited " +
+             std::to_string(e.wait) + "s, started at t=" +
+             std::to_string(e.start) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pjsb::obs

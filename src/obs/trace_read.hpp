@@ -1,0 +1,77 @@
+// Minimal reader for pjsb JSONL traces (obs/trace.hpp) and the
+// trace-summary smoke consumer.
+//
+// The trace schema is flat by design — one object per line, unique
+// keys, integer values, short quoted tokens — so this reader is a
+// field scanner, not a JSON parser. It proves the schema is
+// self-sufficient: everything `swf_tool trace-summary` reports (top-k
+// waits, backfill ratio, provenance breakdown) is recovered from the
+// trace alone, with no access to the workload or the simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/provenance.hpp"
+
+namespace pjsb::obs {
+
+/// Extract the integer value of `"key":<int>` from one trace line.
+/// nullopt when the key is absent or not an integer.
+std::optional<std::int64_t> trace_field_int(std::string_view line,
+                                            std::string_view key);
+
+/// Extract the string value of `"key":"<token>"` from one trace line.
+/// Tokens in our schema never contain escapes; nullopt when absent.
+std::optional<std::string> trace_field_string(std::string_view line,
+                                              std::string_view key);
+
+/// Aggregate view of one trace, built in a single streaming pass.
+struct TraceSummary {
+  int version = -1;  ///< -1: no header record seen
+  std::string scheduler;
+  std::int64_t nodes = 0;
+
+  std::uint64_t lines = 0;
+  std::uint64_t submits = 0;
+  std::uint64_t starts = 0;
+  std::uint64_t ends = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t outages = 0;
+  std::uint64_t unknown_records = 0;  ///< unrecognized "type" values
+
+  std::array<std::uint64_t, sim::kProvenanceCount> starts_by_provenance{};
+
+  /// Longest-waiting starts, descending by wait (ties: earlier start,
+  /// then smaller id, first) — at most `top_k` entries.
+  struct WaitEntry {
+    std::int64_t job = 0;
+    std::int64_t wait = 0;
+    std::int64_t start = 0;
+  };
+  std::vector<WaitEntry> top_waits;
+
+  std::int64_t makespan = 0;   ///< from the run_end record (0 if none)
+  std::uint64_t jobs_completed = 0;
+
+  double backfill_ratio() const {
+    const auto b =
+        starts_by_provenance[std::size_t(sim::StartProvenance::kBackfill)];
+    return starts ? double(b) / double(starts) : 0.0;
+  }
+
+  /// Human-readable report (the trace-summary subcommand's output).
+  std::string to_string() const;
+};
+
+/// Stream one trace and summarize it. Throws std::invalid_argument on
+/// a malformed line (no "type" field) so corrupt traces fail loudly.
+TraceSummary summarize_trace(std::istream& in, std::size_t top_k = 10);
+
+}  // namespace pjsb::obs

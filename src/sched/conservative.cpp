@@ -47,6 +47,13 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
   const bool externally_started = queue_.size() != before_prune;
   refresh_profile(now);  // may flag an overrun extension
 
+  // Annotate-and-start: stamp the reason onto the emitted decision.
+  const auto start_as = [&ctx](std::int64_t id, sim::StartProvenance why,
+                               std::int64_t detail = -1) {
+    ctx.annotate_start(why, detail);
+    return ctx.start_job(id);
+  };
+
   // Submission-only fast path: when the base profile's semantics did
   // not change since the last pass, standing reservations can neither
   // improve nor break — only reservations that came due need starting
@@ -62,7 +69,9 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
       if (placed != placed_.end()) {
         // A standing reservation: due (the clock reached its slot —
         // e.g. a submission event landing exactly on it) means start.
-        if (placed->second <= now && ctx.start_job(*it)) {
+        if (placed->second <= now &&
+            start_as(*it, sim::StartProvenance::kReservation,
+                     placed->second)) {
           full_profile_.remove_usage(placed->second,
                                      placed->second + j.estimate, j.procs);
           full_profile_.add_usage(now, now + j.estimate, j.procs);
@@ -81,7 +90,12 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
       if (in_depth) {
         const std::int64_t t =
             full_profile_.earliest_start(now, j.estimate, j.procs);
-        if (t == now && ctx.start_job(*it)) {
+        // An immediate first placement is a queue-order start at the
+        // front, a backfill move (ahead of earlier queued jobs) behind.
+        if (t == now &&
+            start_as(*it, it == queue_.begin()
+                              ? sim::StartProvenance::kQueueHead
+                              : sim::StartProvenance::kBackfill)) {
           full_profile_.add_usage(now, now + j.estimate, j.procs);
           note_started(j.id, now, j.estimate, j.procs);
           queued_info_.erase(j.id);
@@ -95,7 +109,7 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
         ++reserved;
         ++it;
       } else if (full_profile_.fits(now, j.estimate, j.procs) &&
-                 ctx.start_job(*it)) {
+                 start_as(*it, sim::StartProvenance::kBackfill)) {
         full_profile_.add_usage(now, now + j.estimate, j.procs);
         note_started(j.id, now, j.estimate, j.procs);
         queued_info_.erase(j.id);
@@ -143,6 +157,8 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
       // other claim standing.
       std::int64_t slot = kForever;
       const auto placed = placed_.find(*it);
+      const std::int64_t prior_slot =
+          placed != placed_.end() ? placed->second : kForever;
       if (placed != placed_.end()) {
         slot = placed->second;
         profile.remove_usage(slot, slot + j.estimate, j.procs);
@@ -158,7 +174,17 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
         // then is the promise void and the job re-placed later.
         slot = t;
       }
-      if (slot == now && ctx.start_job(*it)) {
+      // Starting from a held reservation (possibly compressed to now)
+      // is a reservation start carrying the prior promised slot; a
+      // first placement that lands on "now" is a queue-order start at
+      // the front, a backfill move behind it.
+      if (slot == now &&
+          start_as(*it,
+                   prior_slot < kForever ? sim::StartProvenance::kReservation
+                   : it == queue_.begin()
+                       ? sim::StartProvenance::kQueueHead
+                       : sim::StartProvenance::kBackfill,
+                   prior_slot < kForever ? prior_slot : -1)) {
         profile.add_usage(now, now + j.estimate, j.procs);
         note_started(j.id, now, j.estimate, j.procs);
         queued_info_.erase(j.id);
@@ -175,7 +201,7 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
       ++reserved;  // a started job holds no reservation
       ++it;
     } else if (profile.fits(now, j.estimate, j.procs) &&
-               ctx.start_job(*it)) {
+               start_as(*it, sim::StartProvenance::kBackfill)) {
       profile.add_usage(now, now + j.estimate, j.procs);
       note_started(j.id, now, j.estimate, j.procs);
       queued_info_.erase(j.id);

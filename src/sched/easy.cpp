@@ -32,6 +32,13 @@ void EasyScheduler::schedule(SchedulerContext& ctx) {
   prune_queue(ctx);
   refresh_profile(now);
 
+  // Annotate-and-start: stamp the reason onto the emitted decision.
+  const auto start_as = [&ctx](std::int64_t id, sim::StartProvenance why,
+                               std::int64_t detail = -1) {
+    ctx.annotate_start(why, detail);
+    return ctx.start_job(id);
+  };
+
   // Work on a copy of the maintained base profile; tentative shadow /
   // backfill placements stay local to this pass.
   CapacityProfile profile = profile_;
@@ -40,7 +47,8 @@ void EasyScheduler::schedule(SchedulerContext& ctx) {
   while (!queue_.empty()) {
     const std::int64_t id = queue_.front();
     const auto& j = ctx.job(id);
-    if (profile.fits(now, j.estimate, j.procs) && ctx.start_job(id)) {
+    if (profile.fits(now, j.estimate, j.procs) &&
+        start_as(id, sim::StartProvenance::kQueueHead)) {
       profile.add_usage(now, now + j.estimate, j.procs);
       note_started(id, now, j.estimate, j.procs);
       queued_info_.erase(id);
@@ -61,7 +69,9 @@ void EasyScheduler::schedule(SchedulerContext& ctx) {
   while (placed < std::size_t(reserve_depth_) && it != queue_.end()) {
     const auto& j = ctx.job(*it);
     const std::int64_t t = profile.earliest_start(now, j.estimate, j.procs);
-    if (t == now && ctx.start_job(*it)) {
+    // A protected job starting at its shadow slot is a promoted
+    // reservation, not a backfill move.
+    if (t == now && start_as(*it, sim::StartProvenance::kReservation, t)) {
       profile.add_usage(now, now + j.estimate, j.procs);
       note_started(j.id, now, j.estimate, j.procs);
       queued_info_.erase(j.id);
@@ -76,7 +86,8 @@ void EasyScheduler::schedule(SchedulerContext& ctx) {
   // Backfill: any later job that fits now without delaying a shadow.
   while (it != queue_.end()) {
     const auto& j = ctx.job(*it);
-    if (profile.fits(now, j.estimate, j.procs) && ctx.start_job(*it)) {
+    if (profile.fits(now, j.estimate, j.procs) &&
+        start_as(*it, sim::StartProvenance::kBackfill)) {
       profile.add_usage(now, now + j.estimate, j.procs);
       note_started(j.id, now, j.estimate, j.procs);
       queued_info_.erase(j.id);

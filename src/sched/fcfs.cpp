@@ -33,6 +33,7 @@ void FcfsScheduler::schedule(SchedulerContext& ctx) {
       continue;
     }
     if (j.procs > ctx.machine().free_nodes()) break;  // head blocks
+    ctx.annotate_start(sim::StartProvenance::kQueueHead);
     if (!ctx.start_job(id)) break;
     queue_.pop_front();
   }

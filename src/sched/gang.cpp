@@ -100,6 +100,7 @@ bool GangScheduler::place_job(SchedulerContext& ctx, std::int64_t job_id) {
       columns_[row][std::size_t(n)] = job_id;
     }
     // Start with a provisional end; push_ends() revises all jobs next.
+    ctx.annotate_start(sim::StartProvenance::kTimeshare);
     ctx.start_job_virtual(job_id, ctx.now() + j.runtime);
     jobs_.emplace(job_id, std::move(gj));
     return true;

@@ -17,6 +17,7 @@
 #include "core/outage/record.hpp"
 #include "sim/job.hpp"
 #include "sim/machine.hpp"
+#include "sim/provenance.hpp"
 
 namespace pjsb::sched {
 
@@ -60,6 +61,20 @@ class SchedulerContext {
   /// it). Used by time-sharing schedulers whose jobs do not hold
   /// machine allocations, when an outage takes out their nodes.
   virtual void kill_running_job(std::int64_t job_id) = 0;
+
+  /// Annotate the *next* start_job / start_job_virtual call with the
+  /// reason the policy chose that job now. The engine stamps the
+  /// annotation onto the emitted sim::Decision and clears it — one
+  /// annotation per start; unannotated starts read kUnspecified.
+  /// `detail` carries a provenance-specific time (the promised start
+  /// slot for kReservation; ignored otherwise). Non-pure and defaulted
+  /// to a no-op so contexts without observability stay trivial and
+  /// existing custom contexts keep compiling.
+  virtual void annotate_start(sim::StartProvenance provenance,
+                              std::int64_t detail = -1) {
+    (void)provenance;
+    (void)detail;
+  }
 };
 
 /// Abstract machine scheduler. Handlers default to no-ops so simple

@@ -94,10 +94,18 @@ void SjfScheduler::schedule(SchedulerContext& ctx) {
         progress = true;
         break;
       }
-      if (j.procs <= ctx.machine().free_nodes() && ctx.start_job(*it)) {
-        queue_.erase(it);
-        progress = true;
-        break;
+      if (j.procs <= ctx.machine().free_nodes()) {
+        // The policy-order head is a queue-order start; an sjf-fit scan
+        // that reaches past it starts a job ahead of the blocked head —
+        // a backfill move in SJF order.
+        ctx.annotate_start(it == queue_.begin()
+                               ? sim::StartProvenance::kQueueHead
+                               : sim::StartProvenance::kBackfill);
+        if (ctx.start_job(*it)) {
+          queue_.erase(it);
+          progress = true;
+          break;
+        }
       }
       if (!allow_fit_) break;  // strict SJF: shortest job blocks
       ++it;

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <stdexcept>
 
@@ -212,16 +213,35 @@ bool Engine::step() {
   account_capacity_to(t);
   now_ = t;
   scheduler_dirty_ = false;
+  // Wall-clock phase timing only runs with a listener installed; the
+  // detached path pays three predictable null-check branches per step.
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point mark{};
+  if (phase_listener_) mark = Clock::now();
+  const auto emit_phase = [&](EnginePhase phase) {
+    const auto done = Clock::now();
+    phase_listener_->on_phase(
+        phase, t,
+        std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          done - mark)
+                          .count()));
+    mark = done;
+  };
   while (!events_.empty() && events_.top().time == t) {
     Event ev = events_.top();
     events_.pop();
     process(ev);
   }
-  if (scheduler_dirty_) scheduler_->schedule(*this);
+  if (phase_listener_) emit_phase(EnginePhase::kEvents);
+  if (scheduler_dirty_) {
+    scheduler_->schedule(*this);
+    if (phase_listener_) emit_phase(EnginePhase::kSchedulerPass);
+  }
   if (!observers_.empty()) {
     observers_.on_step({now_, machine_.free_nodes(), machine_.busy_nodes(),
                         machine_.down_nodes(), queued_count_,
                         running_count_});
+    if (phase_listener_) emit_phase(EnginePhase::kObserverStep);
   }
   return true;
 }
@@ -291,6 +311,13 @@ const SimJob& Engine::job(std::int64_t id) const {
 }
 
 bool Engine::start_job(std::int64_t job_id) {
+  // Consume the one-shot annotation up front: a failed start (the
+  // scheduler mis-counted) must not leak its reason onto a later,
+  // unrelated start.
+  const StartProvenance provenance = pending_provenance_;
+  const std::int64_t reserved_start = pending_reserved_start_;
+  pending_provenance_ = StartProvenance::kUnspecified;
+  pending_reserved_start_ = -1;
   auto& slot = slot_at(job_id);
   auto& j = slot.job;
   if (j.state != JobState::kQueued) {
@@ -306,7 +333,8 @@ bool Engine::start_job(std::int64_t job_id) {
   const std::int64_t version = ++slot.end_version;
   const std::int64_t procs = j.procs;
   push_event(now_ + j.runtime, EventType::kJobEnd, job_id, version);
-  observers_.on_decision({now_, job_id, procs, /*virtual_start=*/false});
+  observers_.on_decision({now_, job_id, procs, /*virtual_start=*/false,
+                          provenance, reserved_start});
   return true;
 }
 
@@ -327,7 +355,10 @@ void Engine::start_job_virtual(std::int64_t job_id, std::int64_t end_time) {
   const std::int64_t version = ++slot.end_version;
   const std::int64_t procs = j.procs;
   push_event(end_time, EventType::kJobEnd, job_id, version);
-  observers_.on_decision({now_, job_id, procs, /*virtual_start=*/true});
+  observers_.on_decision({now_, job_id, procs, /*virtual_start=*/true,
+                          pending_provenance_, pending_reserved_start_});
+  pending_provenance_ = StartProvenance::kUnspecified;
+  pending_reserved_start_ = -1;
 }
 
 void Engine::update_job_end(std::int64_t job_id, std::int64_t new_end) {
@@ -569,6 +600,7 @@ void Engine::handle_reservation_start(std::int64_t res_id) {
       // The scheduler blocked this window, so the allocation succeeds
       // unless an outage shrank the machine; in that case the job stays
       // queued and the scheduler starts it when capacity returns.
+      annotate_start(StartProvenance::kReservation, res.start);
       start_job(*res.job_id);
     }
   }

@@ -24,6 +24,7 @@
 #include "sim/job.hpp"
 #include "sim/machine.hpp"
 #include "sim/observer.hpp"
+#include "sim/phase.hpp"
 
 namespace pjsb::sim {
 
@@ -150,6 +151,14 @@ class Engine final : public sched::SchedulerContext {
   /// call it when they decide the run is over.
   void notify_run_end() { observers_.on_end(stats()); }
 
+  /// Install a wall-clock phase listener (nullptr detaches). The
+  /// engine times its event / scheduler-pass / observer sections only
+  /// while a listener is installed; detached cost is one predictable
+  /// null check per step. Non-owning, like observers.
+  void set_phase_listener(PhaseListener* listener) {
+    phase_listener_ = listener;
+  }
+
   /// DEPRECATED: single-function completion callback, kept for the old
   /// predictor-training path. New code attaches a SimObserver via
   /// add_observer instead.
@@ -165,6 +174,11 @@ class Engine final : public sched::SchedulerContext {
   void start_job_virtual(std::int64_t job_id, std::int64_t end_time) override;
   void update_job_end(std::int64_t job_id, std::int64_t new_end) override;
   void kill_running_job(std::int64_t job_id) override;
+  void annotate_start(StartProvenance provenance,
+                      std::int64_t detail) override {
+    pending_provenance_ = provenance;
+    pending_reserved_start_ = detail;
+  }
 
  private:
   enum class EventType : int {
@@ -276,6 +290,11 @@ class Engine final : public sched::SchedulerContext {
   std::vector<CompletedJob> completed_;
   std::function<void(const CompletedJob&)> completion_observer_;
   ObserverList observers_;
+  PhaseListener* phase_listener_ = nullptr;
+  /// One-shot start annotation (see SchedulerContext::annotate_start),
+  /// consumed and reset by start_job / start_job_virtual.
+  StartProvenance pending_provenance_ = StartProvenance::kUnspecified;
+  std::int64_t pending_reserved_start_ = -1;
 
   // Attached pull source (nullptr once exhausted or max_jobs reached).
   swf::JobSource* source_ = nullptr;

@@ -17,6 +17,7 @@
 
 #include "core/outage/record.hpp"
 #include "sim/job.hpp"
+#include "sim/provenance.hpp"
 
 namespace pjsb::sim {
 
@@ -30,6 +31,15 @@ struct Decision {
   /// Time-sharing start (no machine node allocation; the scheduler
   /// does its own space accounting and may revise the end time).
   bool virtual_start = false;
+  /// Why the scheduler chose this job now (kUnspecified when the
+  /// policy did not annotate; see SchedulerContext::annotate_start).
+  /// Defaulted so the canonical (time, job, procs, virtual) tuple —
+  /// and every golden decision CSV derived from it — is unchanged.
+  StartProvenance provenance = StartProvenance::kUnspecified;
+  /// For kReservation starts: the start time the reservation promised
+  /// (equal to `time` when a promise was compressed to "now").
+  /// -1 when not applicable.
+  std::int64_t reserved_start = -1;
 };
 
 /// Outage lifecycle stage an on_outage notification reports.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/sinks.hpp"
 #include "sched/registry.hpp"
 
 namespace pjsb::sim {
@@ -43,11 +44,18 @@ ReplayResult replay(const swf::Trace& trace,
   const auto config =
       engine_config(spec, trace.header.max_nodes.value_or(kDefaultNodes));
 
+  // Observability sinks named in the spec (no-op bundle when none):
+  // open files before the run so a bad path fails fast.
+  obs::SinkSet sinks;
+  sinks.open(spec);
+
   Engine engine(config, std::move(scheduler));
   attach_hooks(engine, hooks);
+  sinks.attach(engine);
   engine.load_trace(trace);
   engine.run();
   engine.notify_run_end();
+  sinks.finish();
 
   ReplayResult result;
   result.completed = engine.completed();
@@ -63,14 +71,19 @@ ReplayResult replay(swf::JobSource& source,
   const auto config =
       engine_config(spec, source.header().max_nodes.value_or(kDefaultNodes));
 
+  obs::SinkSet sinks;
+  sinks.open(spec);
+
   Engine engine(config, std::move(scheduler));
   attach_hooks(engine, hooks);
+  sinks.attach(engine);
   JobSourceOptions source_options;
   source_options.lookahead = spec.lookahead;
   source_options.max_jobs = spec.max_jobs;
   engine.set_job_source(source, source_options);
   engine.run();
   engine.notify_run_end();
+  sinks.finish();
 
   ReplayResult result;
   result.completed = engine.completed();

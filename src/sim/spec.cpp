@@ -13,7 +13,8 @@ namespace {
 constexpr const char* kValidKeys =
     "scheduler=<registry spec string>, nodes=<int|auto>, closed_loop=<bool>, "
     "announce=<bool>, lookahead=<int>, max_jobs=<int>, "
-    "retain_completed=<bool>, recycle_slots=<bool>";
+    "retain_completed=<bool>, recycle_slots=<bool>, trace=<path>, "
+    "timeseries=<path>, sample_every=<int>, profile=<path>";
 
 [[noreturn]] void fail(const std::string& message) {
   throw std::invalid_argument("simulation spec: " + message);
@@ -71,6 +72,23 @@ SimulationSpec& SimulationSpec::streaming_memory(bool on) {
   return *this;
 }
 
+SimulationSpec& SimulationSpec::with_trace(std::string path) {
+  trace = std::move(path);
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::with_timeseries(std::string path,
+                                                std::int64_t every) {
+  timeseries = std::move(path);
+  sample_every = every;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::with_profile(std::string path) {
+  profile = std::move(path);
+  return *this;
+}
+
 void SimulationSpec::validate(bool resolve_scheduler) const {
   if (scheduler.empty()) fail("no scheduler");
   // Resolve the scheduler spec through the registry so a bad name or
@@ -81,6 +99,11 @@ void SimulationSpec::validate(bool resolve_scheduler) const {
          "], or auto");
   }
   if (lookahead == 0) fail("lookahead must be >= 1");
+  if (sample_every < 0) fail("sample_every must be >= 0");
+  if (sample_every > 0 && timeseries.empty()) {
+    fail("sample_every without timeseries=<path> samples into nowhere; "
+         "name the output file");
+  }
   if (!retain_completed && !recycle_slots) {
     fail("retain_completed=0 without recycle_slots=1 drops the per-job "
          "records but keeps every slot in memory; enable recycle_slots "
@@ -110,13 +133,21 @@ std::string SimulationSpec::to_string() const {
   if (recycle_slots != defaults.recycle_slots) {
     s += std::string(" recycle_slots=") + (recycle_slots ? "1" : "0");
   }
+  if (!trace.empty()) s += " trace=" + util::quote_spec_value(trace);
+  if (!timeseries.empty()) {
+    s += " timeseries=" + util::quote_spec_value(timeseries);
+  }
+  if (sample_every != defaults.sample_every) {
+    s += " sample_every=" + std::to_string(sample_every);
+  }
+  if (!profile.empty()) s += " profile=" + util::quote_spec_value(profile);
   return s;
 }
 
 SimulationSpec SimulationSpec::parse(const std::string& text) {
   SimulationSpec spec;
   const auto tokens = util::parse_spec(text, /*allow_head=*/false);
-  bool seen[8] = {};
+  bool seen[12] = {};
   auto once = [&](int idx, const std::string& key) {
     if (seen[idx]) fail(key + " set twice");
     seen[idx] = true;
@@ -158,6 +189,20 @@ SimulationSpec SimulationSpec::parse(const std::string& text) {
     } else if (key == "recycle_slots") {
       once(7, key);
       spec.recycle_slots = parse_bool_or_fail(key, value);
+    } else if (key == "trace") {
+      once(8, key);
+      spec.trace = value;
+    } else if (key == "timeseries") {
+      once(9, key);
+      spec.timeseries = value;
+    } else if (key == "sample_every") {
+      once(10, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) fail("sample_every must be a non-negative integer");
+      spec.sample_every = *n;
+    } else if (key == "profile") {
+      once(11, key);
+      spec.profile = value;
     } else {
       fail("unknown key '" + key + "'; valid keys: " + kValidKeys);
     }

@@ -49,6 +49,20 @@ struct SimulationSpec {
   bool retain_completed = true;
   bool recycle_slots = false;
 
+  // Observability sinks (src/obs/). All opt-in; empty paths mean the
+  // replay runs with zero instrumentation attached.
+  /// Write a JSONL event trace (schema in README "Observability").
+  std::string trace;
+  /// Write a sim-time time-series CSV (machine/queue state + backfill
+  /// rate, sampled every `sample_every` sim-seconds).
+  std::string timeseries;
+  /// Time-series cadence in sim-seconds; 0 = default (60). Setting it
+  /// without `timeseries=` is rejected.
+  std::int64_t sample_every = 0;
+  /// Write a Chrome trace-event JSON profile of engine phases
+  /// (opens in Perfetto).
+  std::string profile;
+
   // Builder-style chainers, so call sites read declaratively:
   //   SimulationSpec{}.with_scheduler("easy").closed().with_nodes(256)
   SimulationSpec& with_scheduler(std::string spec);
@@ -59,6 +73,10 @@ struct SimulationSpec {
   SimulationSpec& with_lookahead(std::size_t n);
   SimulationSpec& with_max_jobs(std::uint64_t n);
   SimulationSpec& streaming_memory(bool on = true);  ///< retain off + recycle
+  SimulationSpec& with_trace(std::string path);
+  SimulationSpec& with_timeseries(std::string path,
+                                  std::int64_t every = 0);
+  SimulationSpec& with_profile(std::string path);
 
   /// Reject nonsense: empty or unresolvable scheduler spec, nodes out
   /// of [1, kMaxSpecNodes], zero lookahead, or retain_completed=false

@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "core/swf/writer.hpp"
 #include "exp/report.hpp"
@@ -782,6 +784,61 @@ TEST(Runner, ValidateCellsRunCleanOnAllPathsAndMatchUnvalidated) {
     EXPECT_EQ(run.cells[i].metrics.makespan,
               run.cells[i + 1].metrics.makespan);
   }
+}
+
+// PR 6 telemetry determinism: per-cell trace files and the telemetry
+// rollup must be byte-identical whether the campaign ran on 1 thread
+// or 8 (trace paths are keyed by linear cell index, one registry per
+// cell, so worker interleaving cannot leak into the output).
+TEST(Runner, TelemetryTracesDeterministicAcrossThreadCounts) {
+  namespace fs = std::filesystem;
+  auto spec = small_spec();
+  const std::string dir1 = testing::TempDir() + "pjsb_tele1";
+  const std::string dir8 = testing::TempDir() + "pjsb_tele8";
+  fs::remove_all(dir1);
+  fs::remove_all(dir8);
+
+  spec.telemetry_dir = dir1;
+  const auto run1 = run_campaign(spec, {.threads = 1});
+  spec.telemetry_dir = dir8;
+  const auto run8 = run_campaign(spec, {.threads = 8});
+
+  // The aggregated telemetry report is identical.
+  EXPECT_EQ(telemetry_csv(run1), telemetry_csv(run8));
+  // Per-cell summaries carried on the results are identical too.
+  ASSERT_EQ(run1.cells.size(), run8.cells.size());
+  for (std::size_t i = 0; i < run1.cells.size(); ++i) {
+    EXPECT_EQ(run1.cells[i].telemetry.starts, run8.cells[i].telemetry.starts);
+    EXPECT_EQ(run1.cells[i].telemetry.wait_sum,
+              run8.cells[i].telemetry.wait_sum);
+  }
+
+  // Same trace file set, byte-identical contents.
+  std::set<std::string> names1;
+  for (const auto& entry : fs::directory_iterator(dir1)) {
+    names1.insert(entry.path().filename().string());
+  }
+  std::set<std::string> names8;
+  for (const auto& entry : fs::directory_iterator(dir8)) {
+    names8.insert(entry.path().filename().string());
+  }
+  EXPECT_EQ(names1, names8);
+  EXPECT_FALSE(names1.empty());
+  std::size_t nonempty = 0;
+  for (const auto& name : names1) {
+    std::ifstream a(dir1 + "/" + name, std::ios::binary);
+    std::ifstream b(dir8 + "/" + name, std::ios::binary);
+    ASSERT_TRUE(a && b) << name;
+    std::stringstream sa;
+    std::stringstream sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_EQ(sa.str(), sb.str()) << name;
+    if (!sa.str().empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 0u);
+  fs::remove_all(dir1);
+  fs::remove_all(dir8);
 }
 
 TEST(Runner, ValidateWithOutagesStaysClean) {

@@ -1,0 +1,132 @@
+// Pass profiler: per-phase aggregation, the bounded slice buffer, the
+// concatenated timeline, and the Chrome trace-event JSON export that
+// feeds Perfetto.
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workload/model.hpp"
+#include "workload/scale.hpp"
+
+namespace pjsb::obs {
+namespace {
+
+TEST(PassProfiler, AggregatesPerPhaseStats) {
+  PassProfiler profiler;
+  profiler.on_phase(sim::EnginePhase::kEvents, 10, 100);
+  profiler.on_phase(sim::EnginePhase::kSchedulerPass, 10, 400);
+  profiler.on_phase(sim::EnginePhase::kObserverStep, 10, 50);
+  profiler.on_phase(sim::EnginePhase::kEvents, 20, 300);
+  profiler.on_phase(sim::EnginePhase::kSchedulerPass, 20, 200);
+
+  const auto& events = profiler.stats(sim::EnginePhase::kEvents);
+  EXPECT_EQ(events.count, 2u);
+  EXPECT_EQ(events.total_ns, 400u);
+  EXPECT_EQ(events.max_ns, 300u);
+  EXPECT_EQ(profiler.passes(), 2u);
+  // The timeline concatenates timed sections: total is the sum of
+  // every slice, idle caller time compressed out.
+  EXPECT_EQ(profiler.total_ns(), 100u + 400 + 50 + 300 + 200);
+  ASSERT_EQ(profiler.slices().size(), 5u);
+  std::uint64_t cursor = 0;
+  for (const auto& slice : profiler.slices()) {
+    EXPECT_EQ(slice.start_ns, cursor);  // back-to-back, no gaps
+    cursor += slice.dur_ns;
+  }
+  EXPECT_EQ(profiler.dropped_slices(), 0u);
+}
+
+TEST(PassProfiler, SliceBufferIsBoundedButStatsContinue) {
+  PassProfiler profiler(/*max_slices=*/4);
+  for (int i = 0; i < 10; ++i) {
+    profiler.on_phase(sim::EnginePhase::kSchedulerPass, i, 7);
+  }
+  EXPECT_EQ(profiler.slices().size(), 4u);
+  EXPECT_EQ(profiler.dropped_slices(), 6u);
+  // Aggregation is unaffected by the detail cap.
+  EXPECT_EQ(profiler.passes(), 10u);
+  EXPECT_EQ(profiler.stats(sim::EnginePhase::kSchedulerPass).total_ns, 70u);
+  EXPECT_EQ(profiler.total_ns(), 70u);
+}
+
+TEST(PassProfiler, ChromeTraceExportIsWellFormed) {
+  PassProfiler profiler;
+  profiler.on_phase(sim::EnginePhase::kEvents, 5, 1500);
+  profiler.on_phase(sim::EnginePhase::kSchedulerPass, 5, 2500);
+  std::ostringstream os;
+  profiler.write_chrome_trace(os);
+  const auto json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // One complete ("X") event per slice.
+  std::size_t x_events = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos; ++pos) {
+    ++x_events;
+  }
+  EXPECT_EQ(x_events, profiler.slices().size());
+  // Slices carry the simulated time they ran at, linking wall clock
+  // back to the event trace.
+  EXPECT_NE(json.find("\"sim_time\""), std::string::npos);
+  // Balanced braces/brackets — cheap well-formedness proxy; CI runs
+  // the real json.load() check on swf_tool --profile output.
+  std::int64_t braces = 0;
+  std::int64_t brackets = 0;
+  bool in_string = false;
+  for (const char c : json) {
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(PassProfiler, SummaryNamesEveryPhase) {
+  PassProfiler profiler;
+  profiler.on_phase(sim::EnginePhase::kEvents, 1, 10);
+  const auto text = profiler.summary();
+  for (std::size_t p = 0; p < sim::kEnginePhaseCount; ++p) {
+    EXPECT_NE(text.find(sim::phase_name(sim::EnginePhase(p))),
+              std::string::npos)
+        << text;
+  }
+}
+
+TEST(PassProfiler, RealReplayTimesEveryPhase) {
+  util::Rng rng(2);
+  workload::ModelConfig config;
+  config.jobs = 150;
+  config.machine_nodes = 64;
+  auto trace = workload::generate(workload::ModelKind::kLublin99, config,
+                                  rng);
+  trace = workload::scale_to_load(trace, 1.0, 64);
+
+  PassProfiler profiler;
+  sim::Engine engine(sim::EngineConfig{.nodes = 64},
+                     sched::make_scheduler("easy"));
+  engine.set_phase_listener(&profiler);
+  // The observer fan-out section only runs (and is only timed) when an
+  // observer is attached.
+  struct Noop final : sim::SimObserver {} noop;
+  engine.add_observer(noop);
+  engine.load_trace(trace);
+  engine.run();
+
+  EXPECT_GT(profiler.passes(), 0u);
+  for (std::size_t p = 0; p < sim::kEnginePhaseCount; ++p) {
+    EXPECT_GT(profiler.stats(sim::EnginePhase(p)).count, 0u)
+        << sim::phase_name(sim::EnginePhase(p));
+  }
+  EXPECT_GT(profiler.total_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace pjsb::obs

@@ -1,0 +1,183 @@
+// Time-series sampler invariants: monotone timestamps, node-count
+// conservation against the StepSnapshots that fed it, exact start
+// conservation across downsample rounds, and the bounded-memory
+// cadence-doubling contract.
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/replay.hpp"
+#include "util/rng.hpp"
+#include "workload/model.hpp"
+#include "workload/scale.hpp"
+
+namespace pjsb::obs {
+namespace {
+
+sim::StepSnapshot snapshot_at(std::int64_t t) {
+  sim::StepSnapshot snap;
+  snap.time = t;
+  // A fixed 64-node machine with a t-dependent (but conserved) split.
+  snap.busy_nodes = t % 65;
+  snap.down_nodes = (t / 7) % (65 - snap.busy_nodes);
+  snap.free_nodes = 64 - snap.busy_nodes - snap.down_nodes;
+  snap.queued_jobs = std::size_t(t % 5);
+  snap.running_jobs = std::size_t(t % 3);
+  return snap;
+}
+
+sim::Decision start_at(std::int64_t t, bool backfill) {
+  sim::Decision d;
+  d.time = t;
+  d.job_id = t;
+  d.procs = 1;
+  d.provenance = backfill ? sim::StartProvenance::kBackfill
+                          : sim::StartProvenance::kQueueHead;
+  return d;
+}
+
+TEST(TimeSeries, SamplesAtCadenceWithMonotoneTimestamps) {
+  TimeSeriesOptions options;
+  options.sample_every = 10;
+  options.max_samples = 1024;
+  TimeSeriesSampler sampler(options);
+  for (std::int64_t t = 0; t <= 200; t += 5) {
+    sampler.on_step(snapshot_at(t));
+  }
+  const auto& samples = sampler.samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(sampler.downsample_rounds(), 0u);
+  EXPECT_EQ(sampler.effective_cadence(), 10);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(samples[i - 1].time, samples[i].time);
+    }
+    // Each retained sample is a verbatim StepSnapshot: node counts
+    // must match what was fed at that instant and conserve the
+    // 64-node machine.
+    const auto expect = snapshot_at(samples[i].time);
+    EXPECT_EQ(samples[i].free_nodes, expect.free_nodes);
+    EXPECT_EQ(samples[i].busy_nodes, expect.busy_nodes);
+    EXPECT_EQ(samples[i].down_nodes, expect.down_nodes);
+    EXPECT_EQ(samples[i].free_nodes + samples[i].busy_nodes +
+                  samples[i].down_nodes,
+              64);
+  }
+}
+
+TEST(TimeSeries, DownsampleConservesStartCountsExactly) {
+  TimeSeriesOptions options;
+  options.sample_every = 1;
+  options.max_samples = 8;  // force many downsample rounds
+  TimeSeriesSampler sampler(options);
+  std::uint64_t starts_fed = 0;
+  std::uint64_t backfills_fed = 0;
+  for (std::int64_t t = 0; t < 500; ++t) {
+    // A start (sometimes backfill) between every pair of steps.
+    const bool backfill = t % 3 == 0;
+    sampler.on_decision(start_at(t, backfill));
+    ++starts_fed;
+    backfills_fed += backfill ? 1u : 0u;
+    sampler.on_step(snapshot_at(t));
+  }
+  const auto& samples = sampler.samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_LE(samples.size(), options.max_samples);
+  EXPECT_GT(sampler.downsample_rounds(), 0u);
+  // Cadence doubles once per round.
+  EXPECT_EQ(sampler.effective_cadence(),
+            std::int64_t(1) << sampler.downsample_rounds());
+  // Timestamps stay strictly increasing across every fold.
+  std::uint64_t starts_kept = 0;
+  std::uint64_t backfills_kept = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(samples[i - 1].time, samples[i].time);
+    }
+    starts_kept += samples[i].starts;
+    backfills_kept += samples[i].backfill_starts;
+  }
+  // Dropped samples donate their interval counts forward: totals over
+  // retained samples equal totals fed, minus only the tail interval
+  // still pending after the final step.
+  EXPECT_LE(starts_kept, starts_fed);
+  EXPECT_GE(starts_kept + sampler.effective_cadence(), starts_fed);
+  EXPECT_LE(backfills_kept, backfills_fed);
+  // Backfills never exceed starts per retained sample.
+  for (const auto& s : samples) EXPECT_LE(s.backfill_starts, s.starts);
+}
+
+TEST(TimeSeries, UtilizationExcludesDownNodes) {
+  TimeSample sample;
+  sample.free_nodes = 10;
+  sample.busy_nodes = 30;
+  sample.down_nodes = 24;
+  EXPECT_DOUBLE_EQ(sample.utilization(), 0.75);
+  sample.free_nodes = 0;
+  sample.busy_nodes = 0;
+  EXPECT_DOUBLE_EQ(sample.utilization(), 0.0);  // all-down: defined
+}
+
+TEST(TimeSeries, CsvHasHeaderAndOneRowPerSample) {
+  TimeSeriesOptions options;
+  options.sample_every = 10;
+  TimeSeriesSampler sampler(options);
+  for (std::int64_t t = 0; t <= 100; t += 10) {
+    sampler.on_step(snapshot_at(t));
+  }
+  std::ostringstream os;
+  sampler.write_csv(os);
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "time,free,busy,down,queued,running,starts,backfill_starts,"
+            "util");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, sampler.samples().size());
+}
+
+TEST(TimeSeries, RealReplayConservesMachineSize) {
+  util::Rng rng(5);
+  workload::ModelConfig config;
+  config.jobs = 200;
+  config.machine_nodes = 64;
+  auto trace = workload::generate(workload::ModelKind::kLublin99, config,
+                                  rng);
+  trace = workload::scale_to_load(trace, 1.0, 64);
+
+  TimeSeriesOptions options;
+  options.sample_every = 60;
+  options.max_samples = 64;  // small enough to downsample on real data
+  TimeSeriesSampler sampler(options);
+  sim::ReplayHooks hooks;
+  hooks.observe(sampler);
+  const auto spec =
+      sim::SimulationSpec{}.with_scheduler("easy").with_nodes(64);
+  sim::replay(trace, spec, hooks);
+
+  const auto& samples = sampler.samples();
+  ASSERT_FALSE(samples.empty());
+  std::uint64_t starts_total = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(samples[i - 1].time, samples[i].time);
+    }
+    EXPECT_EQ(samples[i].free_nodes + samples[i].busy_nodes +
+                  samples[i].down_nodes,
+              64);
+    starts_total += samples[i].starts;
+  }
+  // Every retained-interval start is a real decision; no outages, so
+  // at most one start per job.
+  EXPECT_LE(starts_total, trace.records.size());
+}
+
+}  // namespace
+}  // namespace pjsb::obs

@@ -1,0 +1,177 @@
+// JSONL event traces: schema shape, provenance annotations, wait
+// stamps, byte-stable determinism, and the trace_read round-trip
+// (summarize_trace recovers the run's stats from the text alone).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace_read.hpp"
+#include "sched/registry.hpp"
+#include "sim/replay.hpp"
+#include "util/rng.hpp"
+#include "workload/model.hpp"
+#include "workload/scale.hpp"
+
+namespace pjsb::obs {
+namespace {
+
+swf::Trace small_trace() {
+  util::Rng rng(11);
+  workload::ModelConfig config;
+  config.jobs = 250;
+  config.machine_nodes = 64;
+  auto trace = workload::generate(workload::ModelKind::kLublin99, config,
+                                  rng);
+  return workload::scale_to_load(trace, 1.1, 64);
+}
+
+/// Replay `trace` under `scheduler_spec` with a JsonlTraceWriter
+/// attached (watching the scheduler, so blocked records are live) and
+/// return the trace text.
+std::string traced_replay(const swf::Trace& trace,
+                          const std::string& scheduler_spec) {
+  std::ostringstream os;
+  TraceWriterOptions options;
+  options.scheduler = scheduler_spec;
+  options.nodes = 64;
+  JsonlTraceWriter writer(os, options);
+  auto scheduler = sched::make_scheduler(scheduler_spec);
+  writer.watch(*scheduler);
+  sim::ReplayHooks hooks;
+  hooks.observe(writer);
+  auto spec = sim::SimulationSpec{}.with_nodes(64);
+  sim::replay(trace, std::move(scheduler), spec, hooks);
+  return os.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(JsonlTrace, HeaderIsFirstLineWithSchemaMetadata) {
+  const auto text = traced_replay(small_trace(), "easy");
+  const auto lines = lines_of(text);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(trace_field_string(lines[0], "type"), "header");
+  EXPECT_EQ(trace_field_int(lines[0], "version"), kTraceSchemaVersion);
+  EXPECT_EQ(trace_field_string(lines[0], "source"), "pjsb");
+  EXPECT_EQ(trace_field_string(lines[0], "scheduler"), "easy");
+  EXPECT_EQ(trace_field_int(lines[0], "nodes"), 64);
+  // Exactly one header, and run_end is the final record.
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_NE(trace_field_string(lines[i], "type"), "header") << i;
+  }
+  EXPECT_EQ(trace_field_string(lines.back(), "type"), "run_end");
+}
+
+TEST(JsonlTrace, SummaryRoundTripsEventCounts) {
+  const auto trace = small_trace();
+  const auto text = traced_replay(trace, "easy");
+  std::istringstream in(text);
+  const auto summary = summarize_trace(in);
+  EXPECT_EQ(summary.version, kTraceSchemaVersion);
+  EXPECT_EQ(summary.scheduler, "easy");
+  EXPECT_EQ(summary.nodes, 64);
+  // Open-loop, no outages: every job submits, starts, and ends.
+  EXPECT_EQ(summary.submits, trace.records.size());
+  EXPECT_EQ(summary.starts, trace.records.size());
+  EXPECT_EQ(summary.ends, trace.records.size());
+  EXPECT_EQ(summary.kills, 0u);
+  EXPECT_EQ(summary.jobs_completed, trace.records.size());
+  EXPECT_GT(summary.makespan, 0);
+  // Provenance tallies partition the starts.
+  std::uint64_t by_provenance = 0;
+  for (const auto n : summary.starts_by_provenance) by_provenance += n;
+  EXPECT_EQ(by_provenance, summary.starts);
+  // EASY annotates every start; nothing may fall through unspecified.
+  EXPECT_EQ(summary.starts_by_provenance[std::size_t(
+                sim::StartProvenance::kUnspecified)],
+            0u);
+}
+
+TEST(JsonlTrace, WaitStampsMatchSubmitToStartGap) {
+  const auto text = traced_replay(small_trace(), "conservative");
+  std::int64_t last_t = -1;
+  std::unordered_map<std::int64_t, std::int64_t> submit_time;
+  std::size_t starts_checked = 0;
+  for (const auto& line : lines_of(text)) {
+    const auto type = trace_field_string(line, "type");
+    ASSERT_TRUE(type.has_value()) << line;
+    if (const auto t = trace_field_int(line, "t")) {
+      EXPECT_GE(*t, last_t) << "time went backwards: " << line;
+      last_t = *t;
+    }
+    if (*type == "submit") {
+      submit_time[*trace_field_int(line, "job")] =
+          *trace_field_int(line, "t");
+    } else if (*type == "start") {
+      const auto job = *trace_field_int(line, "job");
+      const auto wait = *trace_field_int(line, "wait");
+      ASSERT_TRUE(submit_time.count(job)) << line;
+      EXPECT_EQ(wait, *trace_field_int(line, "t") - submit_time[job])
+          << line;
+      ++starts_checked;
+    }
+  }
+  EXPECT_GT(starts_checked, 0u);
+}
+
+TEST(JsonlTrace, IdenticalReplaysProduceByteIdenticalTraces) {
+  const auto trace = small_trace();
+  EXPECT_EQ(traced_replay(trace, "easy"), traced_replay(trace, "easy"));
+  EXPECT_EQ(traced_replay(trace, "conservative reserve_depth=4"),
+            traced_replay(trace, "conservative reserve_depth=4"));
+}
+
+TEST(TraceRead, FieldScannersHandleAbsentAndMalformedKeys) {
+  const std::string line =
+      R"({"type":"start","t":120,"job":7,"procs":4,"wait":60,"why":"backfill"})";
+  EXPECT_EQ(trace_field_int(line, "t"), 120);
+  EXPECT_EQ(trace_field_int(line, "job"), 7);
+  EXPECT_EQ(trace_field_string(line, "why"), "backfill");
+  EXPECT_FALSE(trace_field_int(line, "absent").has_value());
+  EXPECT_FALSE(trace_field_string(line, "t").has_value());  // int, not string
+  EXPECT_FALSE(trace_field_int(line, "why").has_value());   // string, not int
+}
+
+TEST(TraceRead, UnknownRecordTypesAreCountedNotRejected) {
+  std::istringstream in(
+      "{\"type\":\"header\",\"version\":1,\"source\":\"pjsb\","
+      "\"scheduler\":\"fcfs\",\"nodes\":8}\n"
+      "{\"type\":\"future_extension\",\"t\":5}\n"
+      "{\"type\":\"run_end\",\"jobs\":0,\"kills\":0,\"makespan\":5,"
+      "\"events\":1,\"util\":0.0}\n");
+  const auto summary = summarize_trace(in);
+  EXPECT_EQ(summary.version, 1);
+  EXPECT_EQ(summary.unknown_records, 1u);
+  EXPECT_EQ(summary.makespan, 5);
+}
+
+TEST(TraceRead, MalformedLineThrows) {
+  std::istringstream in("this is not a trace record\n");
+  EXPECT_THROW(summarize_trace(in), std::invalid_argument);
+}
+
+TEST(TraceRead, TopWaitsAreDescendingAndBounded) {
+  const auto text = traced_replay(small_trace(), "fcfs");
+  std::istringstream in(text);
+  const auto summary = summarize_trace(in, 5);
+  ASSERT_LE(summary.top_waits.size(), 5u);
+  for (std::size_t i = 1; i < summary.top_waits.size(); ++i) {
+    EXPECT_GE(summary.top_waits[i - 1].wait, summary.top_waits[i].wait);
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::obs
