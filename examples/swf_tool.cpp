@@ -2,10 +2,11 @@
 //
 // Subcommands:
 //   validate <file.swf>              check the consistency rules
-//   validate <file.swf> <scheduler-spec> <golden> [--bless]
+//   validate <file.swf> <scheduler-spec> <golden> [--bless] [flags]
 //                                    replay under invariant checkers and
 //                                    compare (or --bless: regenerate) the
-//                                    golden decision-trace snapshot
+//                                    golden decision-trace snapshot;
+//                                    fault flags pin crashy goldens
 //   fuzz [seed] [workloads] [jobs]   drive every registered scheduler
 //                                    spec through seeded random
 //                                    workloads + outages with all
@@ -26,12 +27,20 @@
 //                                    summarize a JSONL event trace
 //   schedulers                       print the policy registry catalogue
 //
-// simulate and stream-simulate accept trailing observability flags
-// (all opt-in; see README "Observability"):
+// simulate, stream-simulate and golden-mode validate accept trailing
+// observability flags (all opt-in; see README "Observability"):
 //   --trace <path>        JSONL event trace with provenance
 //   --timeseries <path>   sim-time machine/queue time-series CSV
 //   --sample-every <s>    time-series cadence in sim-seconds
 //   --profile <path>      Chrome trace-event JSON (opens in Perfetto)
+// plus fault-injection & recovery flags (README "Failure & recovery"):
+//   --faults <seed>       seeded per-node crash schedule (0 disables)
+//   --mtbf <s> --repair <s>          crash-schedule distributions
+//   --checkpoint <s> --dump <s> --read <s>   checkpoint/restart costs
+//   --retry <n> --backoff <s>        drop after n kills, requeue delay
+//   --overrun extend|kill|grace --grace <s>  walltime-overrun policy
+// stream-simulate rejects --faults: the crash schedule needs the
+// workload horizon up front, which a stream cannot provide.
 //
 // Scheduler arguments are registry spec strings — quote parameterized
 // variants: swf_tool simulate kth.swf "easy reserve_depth=2".
@@ -55,6 +64,7 @@
 #include "metrics/online.hpp"
 #include "obs/trace_read.hpp"
 #include "sched/registry.hpp"
+#include "sim/fault/fault.hpp"
 #include "sim/replay.hpp"
 #include "util/resource.hpp"
 #include "util/string_util.hpp"
@@ -75,7 +85,8 @@ int usage() {
   std::cerr <<
       "usage: swf_tool <command> ...\n"
       "  validate <file.swf>\n"
-      "  validate <file.swf> <scheduler-spec> <golden-file> [--bless]\n"
+      "  validate <file.swf> <scheduler-spec> <golden-file> [--bless] "
+      "[fault-flags]\n"
       "  fuzz [seed] [workloads] [jobs-per-workload]\n"
       "  stats <file.swf>\n"
       "  anonymize <in.swf> <out.swf>\n"
@@ -85,7 +96,8 @@ int usage() {
       "<mean-interarrival-s> <out.swf>\n"
       "  convert-iacct <raw-log> <out.swf> <installation>\n"
       "  convert-nqs <raw-log> <out.swf> <installation>\n"
-      "  simulate <file.swf> <scheduler-spec> [rank-metric] [sink-flags]\n"
+      "  simulate <file.swf> <scheduler-spec> [rank-metric] [sink-flags] "
+      "[fault-flags]\n"
       "  stream-simulate <file.swf> <scheduler-spec> [lookahead] "
       "[sink-flags]\n"
       "  trace-summary <trace.jsonl> [top-k]\n"
@@ -94,7 +106,12 @@ int usage() {
       "\"easy reserve_depth=2\" (run `swf_tool schedulers` for the "
       "catalogue)\n"
       "sink-flags (all opt-in): --trace <path> --timeseries <path>\n"
-      "  --sample-every <sim-seconds> --profile <path>\n";
+      "  --sample-every <sim-seconds> --profile <path>\n"
+      "fault-flags (simulate/validate; see README \"Failure & "
+      "recovery\"):\n"
+      "  --faults <seed> --mtbf <s> --repair <s> --checkpoint <s>\n"
+      "  --dump <s> --read <s> --retry <n> --backoff <s>\n"
+      "  --overrun extend|kill|grace --grace <s>\n";
   return 2;
 }
 
@@ -123,12 +140,151 @@ int cmd_validate(const std::string& path) {
   return report.clean() ? 0 : 1;
 }
 
+/// Trailing flags shared by simulate, stream-simulate and golden-mode
+/// validate: observability sinks plus fault injection & recovery.
+struct RunFlags {
+  std::string trace;
+  std::string timeseries;
+  std::string profile;
+  std::int64_t sample_every = 0;
+
+  // Fault & recovery knobs mirror the SimulationSpec fields 1:1; the
+  // spec's own validate() rejects inconsistent combinations (e.g.
+  // --mtbf without --faults) with a precise message.
+  std::uint64_t faults = 0;
+  std::int64_t mtbf = -1;    ///< -1: keep the spec default
+  std::int64_t repair = -1;  ///< -1: keep the spec default
+  std::int64_t checkpoint = 0;
+  std::int64_t dump = 0;
+  std::int64_t read = 0;
+  int retry = 0;
+  std::int64_t backoff = 0;
+  std::optional<sim::fault::OverrunPolicy> overrun;
+  std::int64_t grace = 0;
+
+  /// --bless (golden-mode validate only; valueless).
+  bool bless = false;
+
+  bool any_faults() const { return faults != 0; }
+
+  void apply(sim::SimulationSpec& spec) const {
+    if (!trace.empty()) spec.with_trace(trace);
+    if (!timeseries.empty()) spec.with_timeseries(timeseries, sample_every);
+    if (!profile.empty()) spec.with_profile(profile);
+    if (faults != 0) spec.faults = faults;
+    // Set the distributions even without --faults, so spec.validate()
+    // produces its "needs faults=<seed>" message instead of the flags
+    // being silently ignored.
+    if (mtbf > 0) spec.mtbf = mtbf;
+    if (repair > 0) spec.repair = repair;
+    spec.checkpoint = checkpoint;
+    spec.dump = dump;
+    spec.read = read;
+    spec.retry_limit = retry;
+    spec.backoff = backoff;
+    if (overrun) spec.overrun = *overrun;
+    spec.grace = grace;
+  }
+};
+
+/// Parse trailing `--flag value` pairs from argv[first..). Returns
+/// false (with a message on stderr) on an unknown flag, a missing
+/// value, or a malformed number; the spec itself rejects the remaining
+/// combinations (e.g. --sample-every without --timeseries, --grace
+/// without --overrun grace) with its own message.
+bool parse_run_flags(int argc, char** argv, int first, RunFlags& out) {
+  // Non-negative integer flags that map straight onto a field.
+  struct IntFlag {
+    const char* name;
+    std::int64_t* field;
+    std::int64_t min;
+  };
+  const IntFlag int_flags[] = {
+      {"--mtbf", &out.mtbf, 1},       {"--repair", &out.repair, 1},
+      {"--checkpoint", &out.checkpoint, 0}, {"--dump", &out.dump, 0},
+      {"--read", &out.read, 0},       {"--backoff", &out.backoff, 0},
+      {"--grace", &out.grace, 0},
+  };
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--bless") {
+      out.bless = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << flag << " needs a value\n";
+      return false;
+    }
+    const std::string value = argv[++i];
+    if (flag == "--trace") {
+      out.trace = value;
+    } else if (flag == "--timeseries") {
+      out.timeseries = value;
+    } else if (flag == "--profile") {
+      out.profile = value;
+    } else if (flag == "--sample-every") {
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 1) {
+        std::cerr << "--sample-every must be a positive integer "
+                     "(sim-seconds)\n";
+        return false;
+      }
+      out.sample_every = *n;
+    } else if (flag == "--faults") {
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 1) {
+        std::cerr << "--faults must be a positive seed (omit the flag "
+                     "to disable injection)\n";
+        return false;
+      }
+      out.faults = std::uint64_t(*n);
+    } else if (flag == "--retry") {
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) {
+        std::cerr << "--retry must be a non-negative integer "
+                     "(0 = retry forever)\n";
+        return false;
+      }
+      out.retry = int(*n);
+    } else if (flag == "--overrun") {
+      const auto policy = sim::fault::overrun_policy_from_name(value);
+      if (!policy) {
+        std::cerr << "--overrun must be extend, kill or grace\n";
+        return false;
+      }
+      out.overrun = *policy;
+    } else {
+      bool matched = false;
+      for (const auto& f : int_flags) {
+        if (flag != f.name) continue;
+        const auto n = util::parse_i64(value);
+        if (!n || *n < f.min) {
+          std::cerr << f.name << " must be an integer >= " << f.min
+                    << " (seconds)\n";
+          return false;
+        }
+        *f.field = *n;
+        matched = true;
+        break;
+      }
+      if (!matched) {
+        std::cerr << "unknown flag " << flag << "\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 /// Golden-trace mode: replay the trace under `scheduler` with every
 /// invariant checker attached, then compare the decision trace against
-/// the committed snapshot (or regenerate it with --bless).
+/// the committed snapshot (or regenerate it with --bless). Fault flags
+/// feed the same seeded crash schedule the golden was blessed with, so
+/// crashy workloads can be pinned too.
 int cmd_validate_golden(const std::string& path,
                         const std::string& scheduler,
-                        const std::string& golden_path, bool bless) {
+                        const std::string& golden_path,
+                        const RunFlags& flags) {
   const auto trace = load_or_die(path);
   const std::int64_t nodes =
       trace.header.max_nodes.value_or(sim::kDefaultNodes);
@@ -137,11 +293,15 @@ int cmd_validate_golden(const std::string& path,
   validate::CheckerOptions checker_options;
   checker_options.nodes = nodes;
   checker_options.scheduler = scheduler;
+  // Crash kills are expected interruptions, not invariant violations.
+  checker_options.outages = flags.any_faults();
   validate::InvariantChecker checker(checker_options);
   checker.watch(*instance);
   validate::DecisionRecorder recorder;
   sim::SimulationSpec spec;
   spec.scheduler = scheduler;
+  flags.apply(spec);
+  const bool bless = flags.bless;
   sim::replay(trace, std::move(instance), spec,
               sim::ReplayHooks{}.observe(checker).observe(recorder));
 
@@ -279,55 +439,6 @@ int cmd_generate_stream(const std::string& model, std::uint64_t jobs,
   return 0;
 }
 
-/// Trailing observability flags shared by simulate and stream-simulate.
-struct SinkFlags {
-  std::string trace;
-  std::string timeseries;
-  std::string profile;
-  std::int64_t sample_every = 0;
-
-  void apply(sim::SimulationSpec& spec) const {
-    if (!trace.empty()) spec.with_trace(trace);
-    if (!timeseries.empty()) spec.with_timeseries(timeseries, sample_every);
-    if (!profile.empty()) spec.with_profile(profile);
-  }
-};
-
-/// Parse `--trace P --timeseries P --sample-every N --profile P` from
-/// argv[first..). Returns false (with a message on stderr) on an
-/// unknown flag, a missing value, or a malformed cadence; the spec
-/// itself rejects the remaining combinations (e.g. --sample-every
-/// without --timeseries) with its own message.
-bool parse_sink_flags(int argc, char** argv, int first, SinkFlags& out) {
-  for (int i = first; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (i + 1 >= argc) {
-      std::cerr << flag << " needs a value\n";
-      return false;
-    }
-    const std::string value = argv[++i];
-    if (flag == "--trace") {
-      out.trace = value;
-    } else if (flag == "--timeseries") {
-      out.timeseries = value;
-    } else if (flag == "--profile") {
-      out.profile = value;
-    } else if (flag == "--sample-every") {
-      const auto n = util::parse_i64(value);
-      if (!n || *n < 1) {
-        std::cerr << "--sample-every must be a positive integer "
-                     "(sim-seconds)\n";
-        return false;
-      }
-      out.sample_every = *n;
-    } else {
-      std::cerr << "unknown flag " << flag << "\n";
-      return false;
-    }
-  }
-  return true;
-}
-
 int cmd_trace_summary(const std::string& path, std::size_t top_k) {
   std::ifstream in(path);
   if (!in) {
@@ -342,7 +453,12 @@ int cmd_trace_summary(const std::string& path, std::size_t top_k) {
 }
 
 int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
-                        std::size_t lookahead, const SinkFlags& sinks) {
+                        std::size_t lookahead, const RunFlags& flags) {
+  if (flags.any_faults()) {
+    std::cerr << "stream-simulate: --faults needs the workload horizon "
+                 "up front; use simulate for fault injection\n";
+    return 2;
+  }
   swf::StreamReader source(path);
   if (source.open_failed()) {
     std::cerr << "cannot open " << path << "\n";
@@ -355,7 +471,7 @@ int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
                   .with_scheduler(scheduler)
                   .with_lookahead(lookahead)
                   .streaming_memory();
-  sinks.apply(spec);
+  flags.apply(spec);
   metrics::OnlineMetricsObserver online;
   const auto result =
       sim::replay(source, spec, sim::ReplayHooks{}.observe(online));
@@ -386,7 +502,7 @@ int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
 }
 
 int cmd_simulate(const std::string& path, const std::string& scheduler,
-                 const std::string& rank_metric, const SinkFlags& sinks) {
+                 const std::string& rank_metric, const RunFlags& flags) {
   // Resolve the metric name (same names campaign `rank =` lines use)
   // before the replay, so a typo fails fast instead of costing the
   // whole simulation; it throws with the valid list.
@@ -396,7 +512,7 @@ int cmd_simulate(const std::string& path, const std::string& scheduler,
   }
   const auto trace = load_or_die(path);
   auto spec = sim::SimulationSpec{}.with_scheduler(scheduler);
-  sinks.apply(spec);
+  flags.apply(spec);
   const auto result = sim::replay(trace, spec);
   const auto report = metrics::compute_report(result.completed,
                                               result.stats);
@@ -408,6 +524,12 @@ int cmd_simulate(const std::string& path, const std::string& scheduler,
       .cell(report.mean_bounded_slowdown, 2);
   table.row().cell("p95 wait (s)").cell(report.p95_wait, 1);
   table.row().cell("utilization").cell(report.utilization, 3);
+  if (flags.any_faults() || report.jobs_killed > 0) {
+    table.row().cell("jobs killed").cell(report.jobs_killed);
+    table.row().cell("jobs dropped").cell(report.jobs_dropped);
+    table.row().cell("mean restarts").cell(report.mean_restarts, 3);
+    table.row().cell("wasted fraction").cell(report.wasted_fraction, 4);
+  }
   if (rank) {
     table.row().cell(std::string("selected ") + metrics::metric_name(*rank))
         .cell(metrics::metric_value(report, *rank), 3);
@@ -423,10 +545,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "validate" && argc == 3) return cmd_validate(argv[2]);
-    if (cmd == "validate" && (argc == 5 || argc == 6)) {
-      const bool bless = argc == 6;
-      if (bless && std::string(argv[5]) != "--bless") return usage();
-      return cmd_validate_golden(argv[2], argv[3], argv[4], bless);
+    if (cmd == "validate" && argc >= 5) {
+      RunFlags flags;
+      if (!parse_run_flags(argc, argv, 5, flags)) return 2;
+      return cmd_validate_golden(argv[2], argv[3], argv[4], flags);
     }
     if (cmd == "fuzz" && argc >= 2 && argc <= 5) {
       // atoll would map a mangled seed ("1e5", truncated paste) to 0
@@ -479,10 +601,11 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
-      SinkFlags sinks;
-      if (!parse_sink_flags(argc, argv, next, sinks)) return 2;
+      RunFlags flags;
+      if (!parse_run_flags(argc, argv, next, flags)) return 2;
+      if (flags.bless) return usage();  // --bless is validate-only
       return cmd_stream_simulate(argv[2], argv[3], std::size_t(lookahead),
-                                 sinks);
+                                 flags);
     }
     if (cmd == "convert-iacct" && argc == 5) {
       return cmd_convert(false, argv[2], argv[3], argv[4]);
@@ -494,9 +617,10 @@ int main(int argc, char** argv) {
       std::string rank_metric;
       int next = 4;
       if (next < argc && argv[next][0] != '-') rank_metric = argv[next++];
-      SinkFlags sinks;
-      if (!parse_sink_flags(argc, argv, next, sinks)) return 2;
-      return cmd_simulate(argv[2], argv[3], rank_metric, sinks);
+      RunFlags flags;
+      if (!parse_run_flags(argc, argv, next, flags)) return 2;
+      if (flags.bless) return usage();  // --bless is validate-only
+      return cmd_simulate(argv[2], argv[3], rank_metric, flags);
     }
     if (cmd == "trace-summary" && (argc == 3 || argc == 4)) {
       long long top_k = 10;

@@ -1,21 +1,34 @@
 #!/usr/bin/env python3
-"""Validate pjsb JSONL event traces against schema v1.
+"""Validate pjsb JSONL event traces against schema v1 or v2.
 
 Usage:
     check_trace_schema.py trace.jsonl [more.jsonl ...]
 
 Checks, per file (see README "Observability" for the schema):
   - every line parses as a flat JSON object with unique keys
-  - line 1 is a header record with version 1 and source "pjsb"
+  - line 1 is a header record with version 1 or 2 and source "pjsb"
   - every known record type carries its required fields with the
     right JSON types; unknown types are counted, not rejected
     (that's the documented forward-compatibility rule)
   - `why` on start records names a known provenance
   - timestamps of t-carrying records never go backwards
-  - start.wait equals t - submit.t for jobs whose submit is in the
-    trace (wait is -1 only when the submit predates the trace)
-  - no records after run_end, and end/kill records never exceed
+  - start.wait equals t - submit.t for jobs whose submit (or, v2,
+    resubmit) is in the trace (wait is -1 only when the submit
+    predates the trace)
+  - no records after run_end, and end/kill/crash records never exceed
     start records per job id
+
+Schema v2 (fault injection & recovery; README "Failure & recovery")
+adds crash/resubmit/restore/drop records, a `reason` on kill, and a
+`drops` count on run_end:
+  - crash is the node-failure kill (replaces a v1 kill for outage
+    deaths) and frees the job like end/kill do
+  - resubmit marks a queue re-entry after a kill; its t re-anchors
+    the wait check for the job's next start
+  - restore only appears for a job that is currently started, with a
+    positive resumed work amount
+  - drop terminates a job that is NOT running (it was just killed or
+    never restarted) with a known reason
 
 Exits 0 when every file is clean, 1 otherwise, printing one line per
 problem as `file:line: message`.
@@ -24,9 +37,12 @@ problem as `file:line: message`.
 import json
 import sys
 
+KNOWN_VERSIONS = {1, 2}
 PROVENANCES = {"unspecified", "queue_head", "backfill", "reservation",
                "timeshare"}
 OUTAGE_PHASES = {"announced", "started", "ended"}
+KILL_REASONS = {"outage", "preempt", "walltime"}
+DROP_REASONS = {"retry_limit", "walltime_overrun", "requeue_disabled"}
 
 # type -> {field: required JSON type}
 REQUIRED = {
@@ -40,6 +56,21 @@ REQUIRED = {
     "outage": {"phase": str, "start": int, "end": int, "nodes": int},
     "run_end": {"jobs": int, "kills": int, "makespan": int, "events": int,
                 "util": float},
+}
+
+# v2-only record types and v2-only required fields on v1 types.
+REQUIRED_V2 = {
+    "crash": {"t": int, "job": int, "procs": int, "lost": int, "saved": int,
+              "attempt": int},
+    "resubmit": {"t": int, "job": int, "procs": int, "estimate": int,
+                 "attempt": int},
+    "restore": {"t": int, "job": int, "resumed": int, "read": int},
+    "drop": {"t": int, "job": int, "procs": int, "reason": str,
+             "attempt": int},
+}
+REQUIRED_V2_EXTRA = {
+    "kill": {"reason": str},
+    "run_end": {"drops": int},
 }
 
 
@@ -66,11 +97,12 @@ def field_type_ok(value, expected):
 
 def check_file(path):
     problems = []
-    submit_time = {}      # job id -> last submit t
+    submit_time = {}      # job id -> last submit/resubmit t
     started = set()       # job ids with a start not yet ended/killed
     last_t = None
     saw_run_end = False
     counts = {}
+    version = None        # from the header; gates the v2 rules
 
     try:
         fh = open(path, encoding="utf-8")
@@ -106,6 +138,10 @@ def check_file(path):
                 problems.append(f"{path}:{lineno}: header after line 1")
 
             spec = REQUIRED.get(rtype)
+            if spec is None and version == 2:
+                spec = REQUIRED_V2.get(rtype)
+            if spec is not None and version == 2:
+                spec = {**spec, **REQUIRED_V2_EXTRA.get(rtype, {})}
             if spec is None:
                 continue  # unknown type: forward-compatible, skip
             bad = False
@@ -124,9 +160,11 @@ def check_file(path):
                 continue
 
             if rtype == "header":
-                if rec["version"] != 1:
-                    problems.append(f"{path}:{lineno}: schema version "
-                                    f"{rec['version']}, this checker knows 1")
+                version = rec["version"]
+                if version not in KNOWN_VERSIONS:
+                    problems.append(
+                        f"{path}:{lineno}: schema version {version}, this "
+                        f"checker knows {sorted(KNOWN_VERSIONS)}")
                 if rec["source"] != "pjsb":
                     problems.append(
                         f"{path}:{lineno}: source {rec['source']!r}")
@@ -139,8 +177,12 @@ def check_file(path):
                                     f"({t} after {last_t})")
                 last_t = t
 
-            if rtype == "submit":
+            if rtype in ("submit", "resubmit"):
                 submit_time[rec["job"]] = rec["t"]
+                if rtype == "resubmit" and rec["attempt"] < 1:
+                    problems.append(
+                        f"{path}:{lineno}: resubmit for job {rec['job']} "
+                        f"with attempt {rec['attempt']} (must be >= 1)")
             elif rtype == "start":
                 if rec["why"] not in PROVENANCES:
                     problems.append(f"{path}:{lineno}: unknown provenance "
@@ -156,12 +198,39 @@ def check_file(path):
                         f"{path}:{lineno}: job {rec['job']} started with "
                         f"wait {rec['wait']} but no submit in trace")
                 started.add(rec["job"])
-            elif rtype in ("end", "kill"):
+            elif rtype in ("end", "kill", "crash"):
                 if rec["job"] in started:
                     started.discard(rec["job"])
                 else:
                     problems.append(f"{path}:{lineno}: {rtype} for job "
                                     f"{rec['job']} without a start")
+                if rtype == "kill" and version == 2 \
+                        and rec["reason"] not in KILL_REASONS:
+                    problems.append(f"{path}:{lineno}: unknown kill reason "
+                                    f"{rec['reason']!r}")
+                if rtype == "crash" and (rec["lost"] < 0 or rec["saved"] < 0):
+                    problems.append(
+                        f"{path}:{lineno}: crash for job {rec['job']} with "
+                        f"negative lost/saved work")
+            elif rtype == "restore":
+                # Emitted right after the start that resumes the job, so
+                # the job must be running, and resuming zero work would
+                # have been a plain restart (no restore record).
+                if rec["job"] not in started:
+                    problems.append(f"{path}:{lineno}: restore for job "
+                                    f"{rec['job']} that is not running")
+                if rec["resumed"] < 1:
+                    problems.append(
+                        f"{path}:{lineno}: restore for job {rec['job']} "
+                        f"resumed {rec['resumed']} (must be >= 1)")
+            elif rtype == "drop":
+                if rec["reason"] not in DROP_REASONS:
+                    problems.append(f"{path}:{lineno}: unknown drop reason "
+                                    f"{rec['reason']!r}")
+                if rec["job"] in started:
+                    problems.append(f"{path}:{lineno}: drop for job "
+                                    f"{rec['job']} while it is running")
+                submit_time.pop(rec["job"], None)
             elif rtype == "outage":
                 if rec["phase"] not in OUTAGE_PHASES:
                     problems.append(f"{path}:{lineno}: unknown outage phase "

@@ -1,6 +1,7 @@
 #include "core/swf/checkpoint.hpp"
 
 #include <unordered_map>
+#include <unordered_set>
 
 namespace pjsb::swf {
 
@@ -44,7 +45,8 @@ std::vector<JobRecord> encode_checkpointed(const CheckpointedJob& job) {
   return lines;
 }
 
-std::vector<CheckpointedJob> decode_checkpointed(const Trace& trace) {
+CheckpointDecodeResult decode_checkpointed_checked(const Trace& trace) {
+  CheckpointDecodeResult result;
   std::unordered_map<std::int64_t, const JobRecord*> summaries;
   for (const auto& r : trace.records) {
     if (r.is_summary()) summaries.emplace(r.job_number, &r);
@@ -52,12 +54,20 @@ std::vector<CheckpointedJob> decode_checkpointed(const Trace& trace) {
   // Preserve first-seen order of jobs with partial lines.
   std::vector<std::int64_t> order;
   std::unordered_map<std::int64_t, CheckpointedJob> building;
+  std::unordered_set<std::int64_t> orphaned;
   for (const auto& r : trace.records) {
     if (!is_partial_status(r.status)) continue;
     auto it = building.find(r.job_number);
     if (it == building.end()) {
       const auto sit = summaries.find(r.job_number);
-      if (sit == summaries.end()) continue;  // malformed; validator's job
+      if (sit == summaries.end()) {
+        // No summary line: the group cannot be decoded. Report the job
+        // number once, however many partial lines it has.
+        if (orphaned.insert(r.job_number).second) {
+          result.missing_summary.push_back(r.job_number);
+        }
+        continue;
+      }
       CheckpointedJob job;
       job.base = *sit->second;
       it = building.emplace(r.job_number, std::move(job)).first;
@@ -65,10 +75,31 @@ std::vector<CheckpointedJob> decode_checkpointed(const Trace& trace) {
     }
     it->second.bursts.push_back({r.wait_time, r.run_time});
   }
-  std::vector<CheckpointedJob> out;
-  out.reserve(order.size());
-  for (std::int64_t id : order) out.push_back(std::move(building.at(id)));
-  return out;
+  result.jobs.reserve(order.size());
+  for (std::int64_t id : order) {
+    auto& job = building.at(id);
+    // "its runtime is the sum of all partial runtimes" — flag groups
+    // where the summary disagrees (unknown run times exempt a group:
+    // there is nothing to sum against).
+    std::int64_t sum = 0;
+    bool all_known = job.base.run_time != kUnknown;
+    for (const auto& b : job.bursts) {
+      if (b.run_time == kUnknown) {
+        all_known = false;
+        break;
+      }
+      sum += b.run_time;
+    }
+    if (all_known && job.base.run_time != sum) {
+      result.sum_mismatches.push_back({id, job.base.run_time, sum});
+    }
+    result.jobs.push_back(std::move(job));
+  }
+  return result;
+}
+
+std::vector<CheckpointedJob> decode_checkpointed(const Trace& trace) {
+  return decode_checkpointed_checked(trace).jobs;
 }
 
 }  // namespace pjsb::swf

@@ -36,9 +36,44 @@ struct CheckpointedJob {
 /// have submit -1 and "only have a wait time since the previous burst".
 std::vector<JobRecord> encode_checkpointed(const CheckpointedJob& job);
 
-/// Reconstruct structured checkpoint jobs from a trace. Jobs without
-/// partial lines are ignored. Malformed groups (no summary line) are
-/// skipped — the validator reports them.
+/// A burst group whose summary run time disagrees with the sum of its
+/// partial run times ("its runtime is the sum of all partial runtimes").
+struct BurstSumMismatch {
+  std::int64_t job_number = kUnknown;
+  std::int64_t summary_run_time = kUnknown;
+  std::int64_t burst_sum = 0;
+};
+
+/// decode_checkpointed plus an account of every malformed group, so
+/// callers cannot lose jobs without noticing. The same groups surface
+/// as validator diagnostics (Rule::kPartialStructure /
+/// Rule::kPartialRuntimeSum) with their job numbers.
+struct CheckpointDecodeResult {
+  std::vector<CheckpointedJob> jobs;
+  /// Job numbers of partial-line groups with no summary line, in
+  /// first-seen order. These groups have no base record and cannot be
+  /// decoded; they do NOT appear in `jobs`.
+  std::vector<std::int64_t> missing_summary;
+  /// Groups whose partial run times do not sum to the summary run
+  /// time. These decode fine structurally and DO appear in `jobs`;
+  /// the mismatch is reported so callers can decide.
+  std::vector<BurstSumMismatch> sum_mismatches;
+
+  bool clean() const {
+    return missing_summary.empty() && sum_mismatches.empty();
+  }
+};
+
+/// Reconstruct structured checkpoint jobs from a trace, reporting every
+/// group that had to be skipped (no summary line) or whose burst run
+/// times disagree with the summary. Jobs without partial lines are
+/// ignored (they are plain single-line jobs, not checkpoint groups).
+CheckpointDecodeResult decode_checkpointed_checked(const Trace& trace);
+
+/// Convenience form of decode_checkpointed_checked for callers that
+/// only want the well-formed groups. Malformed groups are still
+/// dropped here — use the checked variant (or swf::validate) to see
+/// which job numbers were affected.
 std::vector<CheckpointedJob> decode_checkpointed(const Trace& trace);
 
 }  // namespace pjsb::swf

@@ -88,6 +88,13 @@ void CampaignSpec::validate() const {
               "' injects outages — generating a failure stream needs the "
               "trace horizon up front");
         }
+        if (c.faults) {
+          throw std::invalid_argument(
+              "campaign: workload '" + w.label +
+              "' streams but config '" + c.label +
+              "' injects faults — generating a crash schedule needs the "
+              "trace horizon up front");
+        }
       }
     }
   }
@@ -99,6 +106,33 @@ void CampaignSpec::validate() const {
       throw std::invalid_argument("campaign: config label '" + c.label +
                                   "' must not contain commas, quotes or "
                                   "newlines");
+    }
+    const ConfigSpec defaults;
+    if (!c.faults && (c.mtbf != defaults.mtbf || c.repair != defaults.repair)) {
+      throw std::invalid_argument("campaign: config '" + c.label +
+                                  "' tunes mtbf/repair without +faults");
+    }
+    if (c.mtbf < 1 || c.repair < 1) {
+      throw std::invalid_argument("campaign: config '" + c.label +
+                                  "' needs mtbf/repair >= 1");
+    }
+    if (c.checkpoint < 0 || c.dump < 0 || c.read < 0) {
+      throw std::invalid_argument("campaign: config '" + c.label +
+                                  "' has a negative checkpoint field");
+    }
+    if (c.checkpoint == 0 && (c.dump != 0 || c.read != 0)) {
+      throw std::invalid_argument("campaign: config '" + c.label +
+                                  "' sets dump/read without a checkpoint "
+                                  "interval");
+    }
+    if (c.retry_limit < 0 || c.backoff < 0 || c.grace < 0) {
+      throw std::invalid_argument("campaign: config '" + c.label +
+                                  "' has a negative retry/backoff/grace");
+    }
+    if ((c.overrun == sim::fault::OverrunPolicy::kGrace) != (c.grace > 0)) {
+      throw std::invalid_argument("campaign: config '" + c.label +
+                                  "' pairs grace seconds and overrun:grace "
+                                  "inconsistently");
     }
   }
   // Axis entries are identified by label/name in every report table;
@@ -121,19 +155,26 @@ void CampaignSpec::validate() const {
     }
   }
   seen.clear();
-  std::set<std::tuple<bool, bool, bool, bool>> seen_flags;
+  using ConfigKey =
+      std::tuple<bool, bool, bool, bool, bool, std::int64_t, std::int64_t,
+                 std::int64_t, std::int64_t, std::int64_t, int, std::int64_t,
+                 int, std::int64_t>;
+  std::set<ConfigKey> seen_flags;
   for (const auto& c : configs) {
     if (!seen.insert(c.label).second) {
       throw std::invalid_argument("campaign: duplicate config label '" +
                                   c.label + "'");
     }
     // Dedup on semantics too: "closed+outages" and "outages+closed"
-    // are the same engine configuration under different labels, and
-    // "blind" changes nothing without an outage stream to announce.
+    // are the same engine configuration under different labels, "blind"
+    // changes nothing without an outage stream to announce, and the
+    // fault distributions only act when +faults is on.
     if (!seen_flags
              .insert({c.closed_loop, c.outages,
-                      c.outages ? c.deliver_announcements : true,
-                      c.validate})
+                      c.outages ? c.deliver_announcements : true, c.validate,
+                      c.faults, c.faults ? c.mtbf : 0,
+                      c.faults ? c.repair : 0, c.checkpoint, c.dump, c.read,
+                      c.retry_limit, c.backoff, int(c.overrun), c.grace})
              .second) {
       throw std::invalid_argument(
           "campaign: config '" + c.label +
@@ -254,6 +295,19 @@ ConfigSpec parse_config(std::string_view value, std::size_t line) {
   c.label = std::string(util::trim(value));
   if (c.label.empty()) fail(line, "empty config");
   std::optional<bool> loop;  // set by open/closed; contradiction is an error
+  // Valued tokens (`mtbf:86400`) parse through one helper so every
+  // fault/recovery knob shares the same error shape.
+  const auto valued = [&](const std::string& f, const char* name,
+                          std::int64_t min) -> std::optional<std::int64_t> {
+    const std::string prefix = std::string(name) + ":";
+    if (!util::starts_with(f, prefix)) return std::nullopt;
+    const auto n = util::parse_i64(f.substr(prefix.size()));
+    if (!n || *n < min) {
+      fail(line, std::string(name) + ": needs an integer >= " +
+                     std::to_string(min));
+    }
+    return *n;
+  };
   for (const auto flag : util::split(c.label, '+')) {
     const std::string f = util::to_lower(util::trim(flag));
     if (f == "open" || f == "closed") {
@@ -269,10 +323,42 @@ ConfigSpec parse_config(std::string_view value, std::size_t line) {
       c.deliver_announcements = false;
     } else if (f == "validate") {
       c.validate = true;
+    } else if (f == "faults") {
+      c.faults = true;
+    } else if (const auto v = valued(f, "mtbf", 1)) {
+      c.mtbf = *v;
+    } else if (const auto v = valued(f, "repair", 1)) {
+      c.repair = *v;
+    } else if (const auto v = valued(f, "checkpoint", 1)) {
+      c.checkpoint = *v;
+    } else if (const auto v = valued(f, "dump", 0)) {
+      c.dump = *v;
+    } else if (const auto v = valued(f, "read", 0)) {
+      c.read = *v;
+    } else if (const auto v = valued(f, "retry", 1)) {
+      c.retry_limit = int(std::min<std::int64_t>(
+          *v, std::numeric_limits<int>::max()));
+    } else if (const auto v = valued(f, "backoff", 1)) {
+      c.backoff = *v;
+    } else if (const auto v = valued(f, "grace", 1)) {
+      c.grace = *v;
+      c.overrun = sim::fault::OverrunPolicy::kGrace;
+    } else if (util::starts_with(f, "overrun:")) {
+      const auto policy =
+          sim::fault::overrun_policy_from_name(f.substr(8));
+      if (!policy) {
+        fail(line, "overrun: must be extend, kill or grace");
+      }
+      c.overrun = *policy;
     } else {
       fail(line, "unknown config flag '" + f +
-                     "' (valid: open, closed, outages, blind, validate)");
+                     "' (valid: open, closed, outages, blind, validate, "
+                     "faults, mtbf:N, repair:N, checkpoint:N, dump:N, "
+                     "read:N, retry:N, backoff:N, overrun:P, grace:N)");
     }
+  }
+  if (c.overrun == sim::fault::OverrunPolicy::kGrace && c.grace == 0) {
+    fail(line, "overrun:grace needs grace:N (grace 0 is overrun:kill)");
   }
   return c;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "metrics/aggregate.hpp"
+#include "sim/fault/fault.hpp"
 #include "workload/model.hpp"
 
 namespace pjsb::exp {
@@ -59,6 +60,24 @@ struct ConfigSpec {
   /// Attach the validate::InvariantChecker to every cell replay; any
   /// violation fails the campaign (spelled `+validate` in spec files).
   bool validate = false;
+  /// Inject a seeded per-node crash schedule (sim/fault): `+faults` in
+  /// spec files. The per-cell fault seed derives from the cell seed, so
+  /// every scheduler faces the identical crash stream and replications
+  /// sample fresh ones. MTBF and checkpoint interval are first-class
+  /// sweep axes: put several configs with different `faults:mtbf=` /
+  /// `checkpoint=` values on the config axis.
+  bool faults = false;
+  std::int64_t mtbf = 7 * std::int64_t(86400);    ///< per-node MTBF
+  std::int64_t repair = 4 * std::int64_t(3600);   ///< mean repair time
+  /// Recovery knobs forwarded to the engine (meaningful with faults or
+  /// outages; `checkpoint`/`overrun` also act alone on kill paths).
+  std::int64_t checkpoint = 0;  ///< checkpoint interval (0: none)
+  std::int64_t dump = 0;        ///< per-checkpoint dump cost
+  std::int64_t read = 0;        ///< restart restore cost
+  int retry_limit = 0;          ///< kills before dropping (0: unlimited)
+  std::int64_t backoff = 0;     ///< requeue delay after a kill
+  sim::fault::OverrunPolicy overrun = sim::fault::OverrunPolicy::kExtend;
+  std::int64_t grace = 0;       ///< overrun=grace allowance
 };
 
 /// Upper bound on the simulated machine size: generous for any real
@@ -138,7 +157,11 @@ std::vector<CellSpec> expand(const CampaignSpec& spec);
 /// Workload options: `jobs=N`, `load=F`, `label=S`, `stream=0|1`,
 /// `lookahead=N` (streaming ingestion window). Config flags are
 /// '+'-separated: `open` (default), `closed`, `outages`, `blind`
-/// (outages not announced in advance). `rank = <metric>` selects the
+/// (outages not announced in advance), `faults` (seeded crash
+/// schedule), plus valued tokens `mtbf:N`, `repair:N`, `checkpoint:N`,
+/// `dump:N`, `read:N`, `retry:N`, `backoff:N`, `overrun:extend|kill|
+/// grace`, `grace:N` — e.g. `config = open+faults+mtbf:86400+
+/// checkpoint:3600+retry:3`. `rank = <metric>` selects the
 /// ranking metric by name (metrics::metric_from_name).
 /// `telemetry = <dir>` turns on per-cell telemetry. Scheduler lines
 /// take full registry spec strings, and workload option lines share the

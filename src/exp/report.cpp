@@ -16,7 +16,7 @@ namespace pjsb::exp {
 
 namespace {
 
-constexpr std::array<metrics::MetricId, 8> kReportMetrics = {
+constexpr std::array<metrics::MetricId, 10> kReportMetrics = {
     metrics::MetricId::kMeanWait,
     metrics::MetricId::kMeanResponse,
     metrics::MetricId::kMeanSlowdown,
@@ -25,6 +25,8 @@ constexpr std::array<metrics::MetricId, 8> kReportMetrics = {
     metrics::MetricId::kUtilization,
     metrics::MetricId::kThroughput,
     metrics::MetricId::kMakespan,
+    metrics::MetricId::kMeanRestarts,
+    metrics::MetricId::kWastedFraction,
 };
 
 /// Deterministic shortest round-trip formatting shared by the CSV and
@@ -123,7 +125,7 @@ CampaignReport aggregate(const CampaignRun& run) {
 
 std::string cells_csv(const CampaignRun& run) {
   std::ostringstream out;
-  out << "cell,workload,scheduler,config,replication,seed,jobs";
+  out << "cell,workload,scheduler,config,replication,seed,jobs,kills,drops";
   for (const auto id : kReportMetrics) {
     out << ',' << metrics::metric_name(id);
   }
@@ -134,7 +136,8 @@ std::string cells_csv(const CampaignRun& run) {
         << run.spec.schedulers[cell.cell.scheduler] << ','
         << run.spec.configs[cell.cell.config].label << ','
         << cell.cell.replication << ',' << cell.cell.seed << ','
-        << cell.workload_jobs;
+        << cell.workload_jobs << ',' << cell.metrics.jobs_killed << ','
+        << cell.metrics.jobs_dropped;
     for (const auto id : kReportMetrics) {
       out << ',' << format_number(metrics::metric_value(cell.metrics, id));
     }
@@ -231,7 +234,23 @@ std::string to_json(const CampaignRun& run, const CampaignReport& report) {
         << "\", \"closed_loop\": " << (c.closed_loop ? "true" : "false")
         << ", \"outages\": " << (c.outages ? "true" : "false")
         << ", \"deliver_announcements\": "
-        << (c.deliver_announcements ? "true" : "false") << "}";
+        << (c.deliver_announcements ? "true" : "false")
+        << ", \"faults\": " << (c.faults ? "true" : "false");
+    if (c.faults) {
+      out << ", \"mtbf\": " << c.mtbf << ", \"repair\": " << c.repair;
+    }
+    if (c.checkpoint > 0) {
+      out << ", \"checkpoint\": " << c.checkpoint << ", \"dump\": " << c.dump
+          << ", \"read\": " << c.read;
+    }
+    if (c.retry_limit > 0) out << ", \"retry_limit\": " << c.retry_limit;
+    if (c.backoff > 0) out << ", \"backoff\": " << c.backoff;
+    if (c.overrun != sim::fault::OverrunPolicy::kExtend) {
+      out << ", \"overrun\": \"" << sim::fault::overrun_policy_name(c.overrun)
+          << '"';
+      if (c.grace > 0) out << ", \"grace\": " << c.grace;
+    }
+    out << "}";
   }
   out << "]\n  },\n";
 

@@ -53,8 +53,24 @@ validate::CheckerOptions checker_options_for(const std::string& scheduler,
   validate::CheckerOptions options;
   options.nodes = nodes;
   options.scheduler = scheduler;
-  options.outages = cspec.outages;
+  // Crashes ride the outage mechanism, so they slip promises the same
+  // way scheduled outages do.
+  options.outages = cspec.outages || cspec.faults;
   return options;
+}
+
+/// Copy a config's recovery knobs onto a simulation spec. The fault
+/// seed itself is per-cell (derived from the cell seed) and set by the
+/// materialized path only; streaming workloads reject fault configs at
+/// validate().
+void apply_recovery(const ConfigSpec& cspec, sim::SimulationSpec& sim_spec) {
+  sim_spec.checkpoint = cspec.checkpoint;
+  sim_spec.dump = cspec.dump;
+  sim_spec.read = cspec.read;
+  sim_spec.retry_limit = cspec.retry_limit;
+  sim_spec.backoff = cspec.backoff;
+  sim_spec.overrun = cspec.overrun;
+  sim_spec.grace = cspec.grace;
 }
 
 [[noreturn]] void throw_validation_failure(
@@ -92,6 +108,7 @@ sim::ReplayResult run_stream_cell(const CampaignSpec& spec,
   sim_spec.deliver_announcements = cspec.deliver_announcements;
   sim_spec.lookahead = wspec.lookahead;
   sim_spec.recycle_slots = true;
+  apply_recovery(cspec, sim_spec);
   if (telemetry) sim_spec.with_trace(cell_trace_path(spec, cell));
   // Node resolution is replay()'s: the source header's MaxNodes (the
   // generator writes machine_nodes there) or kDefaultNodes, unless the
@@ -283,6 +300,16 @@ CellResult run_cell(const CampaignSpec& spec, const CellSpec& cell,
   sim_spec.nodes = nodes;
   sim_spec.closed_loop = cspec.closed_loop;
   sim_spec.deliver_announcements = cspec.deliver_announcements;
+  apply_recovery(cspec, sim_spec);
+  if (cspec.faults) {
+    // Per-cell crash stream: pure function of the cell seed, so every
+    // scheduler/config faces the same crashes (common random numbers)
+    // and replications sample fresh ones — at any thread count.
+    const std::uint64_t fault_seed = util::derive_seed(cell.seed, 0xFA);
+    sim_spec.faults = fault_seed != 0 ? fault_seed : 1;
+    sim_spec.mtbf = cspec.mtbf;
+    sim_spec.repair = cspec.repair;
+  }
   sim::ReplayHooks hooks;
   outage::OutageLog outages;
   if (cspec.outages) {
@@ -351,12 +378,14 @@ CampaignRun run_campaign(const CampaignSpec& spec,
   run.spec = spec;
   run.cells.resize(cells.size());
 
-  // Trace-file workloads without a generated outage stream never touch
-  // the cell RNG: their replications would be byte-identical re-runs.
-  // Simulate replication 0 only and materialize the copies afterwards.
+  // Trace-file workloads without a generated outage or crash stream
+  // never touch the cell RNG: their replications would be
+  // byte-identical re-runs. Simulate replication 0 only and materialize
+  // the copies afterwards.
   const auto seed_independent = [&](const CellSpec& cell) {
     return !spec.workloads[cell.workload].model &&
-           !spec.configs[cell.config].outages;
+           !spec.configs[cell.config].outages &&
+           !spec.configs[cell.config].faults;
   };
   std::vector<std::size_t> work;
   work.reserve(cells.size());

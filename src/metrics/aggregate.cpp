@@ -22,6 +22,12 @@ MetricsReport compute_report(std::span<const sim::CompletedJob> jobs,
                              const sim::EngineStats& stats) {
   MetricsReport r;
   r.jobs = jobs.size();
+  r.jobs_killed = stats.jobs_killed;
+  r.jobs_dropped = stats.jobs_dropped;
+  if (stats.capacity_node_seconds > 0) {
+    r.wasted_fraction = double(stats.wasted_node_seconds) /
+                        double(stats.capacity_node_seconds);
+  }
   if (jobs.empty()) return r;
 
   std::vector<double> waits, responses, slowdowns, bslowdowns;
@@ -53,10 +59,6 @@ MetricsReport compute_report(std::span<const sim::CompletedJob> jobs,
     r.throughput_per_hour =
         double(jobs.size()) / (double(stats.makespan) / 3600.0);
   }
-  if (stats.capacity_node_seconds > 0) {
-    r.wasted_fraction = double(stats.wasted_node_seconds) /
-                        double(stats.capacity_node_seconds);
-  }
   return r;
 }
 
@@ -64,7 +66,8 @@ std::vector<MetricId> all_metric_ids() {
   return {MetricId::kMeanWait,          MetricId::kMeanResponse,
           MetricId::kMeanSlowdown,      MetricId::kMeanBoundedSlowdown,
           MetricId::kP95Wait,           MetricId::kUtilization,
-          MetricId::kThroughput,        MetricId::kMakespan};
+          MetricId::kThroughput,        MetricId::kMakespan,
+          MetricId::kMeanRestarts,      MetricId::kWastedFraction};
 }
 
 std::string valid_metric_names() {
@@ -97,6 +100,8 @@ const char* metric_name(MetricId id) {
     case MetricId::kUtilization: return "utilization";
     case MetricId::kThroughput: return "throughput";
     case MetricId::kMakespan: return "makespan";
+    case MetricId::kMeanRestarts: return "mean-restarts";
+    case MetricId::kWastedFraction: return "wasted-fraction";
   }
   return "unknown";
 }
@@ -112,6 +117,8 @@ double metric_value(const MetricsReport& report, MetricId id) {
     case MetricId::kUtilization: return report.utilization;
     case MetricId::kThroughput: return report.throughput_per_hour;
     case MetricId::kMakespan: return double(report.makespan);
+    case MetricId::kMeanRestarts: return report.mean_restarts;
+    case MetricId::kWastedFraction: return report.wasted_fraction;
   }
   return 0.0;
 }

@@ -43,6 +43,8 @@ struct MetricsReport {
   std::int64_t makespan = 0;
   double mean_restarts = 0.0;   ///< outage-induced restarts per job
   double wasted_fraction = 0.0; ///< wasted work / capacity
+  std::int64_t jobs_killed = 0;   ///< kill events (crash, preempt, overrun)
+  std::int64_t jobs_dropped = 0;  ///< abandoned without completing
 };
 
 /// Compute a report from completed jobs + engine accounting.
@@ -59,6 +61,8 @@ enum class MetricId {
   kUtilization,   ///< higher is better (negated when ranking)
   kThroughput,    ///< higher is better (negated when ranking)
   kMakespan,
+  kMeanRestarts,    ///< kill/requeue churn per completed job
+  kWastedFraction,  ///< killed work (net of checkpoints) / capacity
 };
 
 /// All metric ids, in canonical presentation order.

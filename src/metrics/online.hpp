@@ -36,6 +36,23 @@ class OnlineMetricsObserver final : public sim::SimObserver {
   double backfill_ratio() const;
   /// Engine accounting captured by on_end (zeros before the run ends).
   const sim::EngineStats& end_stats() const { return end_stats_; }
+  /// Kill/recovery churn promoted from the engine accounting, so fault
+  /// sweeps can rank streaming runs without per-job records.
+  std::int64_t jobs_killed() const { return end_stats_.jobs_killed; }
+  std::int64_t jobs_dropped() const { return end_stats_.jobs_dropped; }
+  std::int64_t wasted_node_seconds() const {
+    return end_stats_.wasted_node_seconds;
+  }
+  std::int64_t recovered_node_seconds() const {
+    return end_stats_.recovered_node_seconds;
+  }
+  /// Killed work (net of checkpoint salvage) over available capacity.
+  double wasted_fraction() const {
+    return end_stats_.capacity_node_seconds > 0
+               ? double(end_stats_.wasted_node_seconds) /
+                     double(end_stats_.capacity_node_seconds)
+               : 0.0;
+  }
 
  private:
   std::size_t jobs_ = 0;

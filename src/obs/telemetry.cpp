@@ -182,7 +182,8 @@ void TelemetryObserver::on_job_complete(const sim::CompletedJob& job) {
 }
 
 void TelemetryObserver::on_job_kill(std::int64_t /*time*/,
-                                    const sim::SimJob& /*job*/) {
+                                    const sim::SimJob& /*job*/,
+                                    const sim::KillInfo& /*info*/) {
   registry_.kills.inc();
 }
 

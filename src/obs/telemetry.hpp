@@ -149,7 +149,8 @@ class TelemetryObserver final : public sim::SimObserver {
   void on_job_submit(std::int64_t time, const sim::SimJob& job) override;
   void on_decision(const sim::Decision& decision) override;
   void on_job_complete(const sim::CompletedJob& job) override;
-  void on_job_kill(std::int64_t time, const sim::SimJob& job) override;
+  void on_job_kill(std::int64_t time, const sim::SimJob& job,
+                   const sim::KillInfo& info) override;
   void on_step(const sim::StepSnapshot& snapshot) override;
 
  private:

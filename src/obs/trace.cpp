@@ -10,6 +10,30 @@ namespace pjsb::obs {
 
 namespace {
 
+const char* kill_reason_name(sim::KillReason reason) {
+  switch (reason) {
+    case sim::KillReason::kOutage:
+      return "outage";
+    case sim::KillReason::kPreempt:
+      return "preempt";
+    case sim::KillReason::kWalltime:
+      return "walltime";
+  }
+  return "unknown";
+}
+
+const char* drop_reason_name(sim::DropReason reason) {
+  switch (reason) {
+    case sim::DropReason::kRetryLimit:
+      return "retry_limit";
+    case sim::DropReason::kWalltimeOverrun:
+      return "walltime_overrun";
+    case sim::DropReason::kRequeueDisabled:
+      return "requeue_disabled";
+  }
+  return "unknown";
+}
+
 const char* outage_phase_name(sim::OutagePhase phase) {
   switch (phase) {
     case sim::OutagePhase::kAnnounced:
@@ -69,9 +93,16 @@ void JsonlTraceWriter::on_job_submit(std::int64_t time,
   if (options_.blocked_records && scheduler_) {
     pending_blocked_.push_back({job.id, job.procs, job.estimate});
   }
-  os_ << "{\"type\":\"submit\",\"t\":" << time << ",\"job\":" << job.id
-      << ",\"procs\":" << job.procs << ",\"estimate\":" << job.estimate
-      << "}\n";
+  if (job.restarts > 0) {
+    // A queue re-entry after a kill, not a fresh arrival.
+    os_ << "{\"type\":\"resubmit\",\"t\":" << time << ",\"job\":" << job.id
+        << ",\"procs\":" << job.procs << ",\"estimate\":" << job.estimate
+        << ",\"attempt\":" << job.restarts << "}\n";
+  } else {
+    os_ << "{\"type\":\"submit\",\"t\":" << time << ",\"job\":" << job.id
+        << ",\"procs\":" << job.procs << ",\"estimate\":" << job.estimate
+        << "}\n";
+  }
   ++lines_;
 }
 
@@ -102,12 +133,40 @@ void JsonlTraceWriter::on_job_complete(const sim::CompletedJob& job) {
   ++lines_;
 }
 
-void JsonlTraceWriter::on_job_kill(std::int64_t time, const sim::SimJob& job) {
-  // The queue re-entry (if the engine requeues) arrives as a fresh
-  // on_job_submit; drop the stale submit stamp either way.
+void JsonlTraceWriter::on_job_kill(std::int64_t time, const sim::SimJob& job,
+                                   const sim::KillInfo& info) {
+  // The queue re-entry (if the engine requeues) arrives as a resubmit
+  // record; drop the stale submit stamp either way.
   submit_time_.erase(job.id);
-  os_ << "{\"type\":\"kill\",\"t\":" << time << ",\"job\":" << job.id
-      << ",\"procs\":" << job.procs << "}\n";
+  if (info.reason == sim::KillReason::kOutage) {
+    os_ << "{\"type\":\"crash\",\"t\":" << time << ",\"job\":" << job.id
+        << ",\"procs\":" << job.procs << ",\"lost\":" << info.lost_node_seconds
+        << ",\"saved\":" << info.saved_work << ",\"attempt\":" << info.attempt
+        << "}\n";
+  } else {
+    os_ << "{\"type\":\"kill\",\"t\":" << time << ",\"job\":" << job.id
+        << ",\"procs\":" << job.procs << ",\"reason\":\""
+        << kill_reason_name(info.reason) << "\"}\n";
+  }
+  ++lines_;
+}
+
+void JsonlTraceWriter::on_job_restore(std::int64_t time,
+                                      const sim::SimJob& job,
+                                      std::int64_t resumed_work) {
+  os_ << "{\"type\":\"restore\",\"t\":" << time << ",\"job\":" << job.id
+      << ",\"resumed\":" << resumed_work << ",\"read\":" << job.read_time
+      << "}\n";
+  ++lines_;
+}
+
+void JsonlTraceWriter::on_job_drop(std::int64_t time, const sim::SimJob& job,
+                                   sim::DropReason reason) {
+  submit_time_.erase(job.id);
+  os_ << "{\"type\":\"drop\",\"t\":" << time << ",\"job\":" << job.id
+      << ",\"procs\":" << job.procs << ",\"reason\":\""
+      << drop_reason_name(reason) << "\",\"attempt\":" << job.restarts
+      << "}\n";
   ++lines_;
 }
 
@@ -138,6 +197,7 @@ void JsonlTraceWriter::on_step(const sim::StepSnapshot& snapshot) {
 void JsonlTraceWriter::on_end(const sim::EngineStats& stats) {
   os_ << "{\"type\":\"run_end\",\"jobs\":" << stats.jobs_completed
       << ",\"kills\":" << stats.jobs_killed
+      << ",\"drops\":" << stats.jobs_dropped
       << ",\"makespan\":" << stats.makespan
       << ",\"events\":" << stats.events_processed
       << ",\"util\":" << format_double(stats.utilization()) << "}\n";

@@ -27,7 +27,14 @@ namespace pjsb::obs {
 /// Trace schema version, recorded in the header line. Bump when a
 /// field changes meaning; adding fields is backward compatible
 /// (readers ignore unknown keys).
-inline constexpr int kTraceSchemaVersion = 1;
+///
+/// v2: fault/recovery events. Outage-caused kills are `crash` records
+/// (with lost/saved node-second accounting and the attempt number),
+/// requeues after a kill are `resubmit` records (not bare submits),
+/// checkpoint resumes are `restore` records, abandoned jobs are `drop`
+/// records, and `kill` (now preempt/walltime only) and `run_end` carry
+/// a reason / drop counter respectively.
+inline constexpr int kTraceSchemaVersion = 2;
 
 struct TraceWriterOptions {
   /// Registry spec of the scheduler driving the run (header metadata).
@@ -59,7 +66,12 @@ class JsonlTraceWriter final : public sim::SimObserver {
   void on_job_submit(std::int64_t time, const sim::SimJob& job) override;
   void on_decision(const sim::Decision& decision) override;
   void on_job_complete(const sim::CompletedJob& job) override;
-  void on_job_kill(std::int64_t time, const sim::SimJob& job) override;
+  void on_job_kill(std::int64_t time, const sim::SimJob& job,
+                   const sim::KillInfo& info) override;
+  void on_job_restore(std::int64_t time, const sim::SimJob& job,
+                      std::int64_t resumed_work) override;
+  void on_job_drop(std::int64_t time, const sim::SimJob& job,
+                   sim::DropReason reason) override;
   void on_outage(const outage::OutageRecord& rec,
                  sim::OutagePhase phase) override;
   void on_step(const sim::StepSnapshot& snapshot) override;

@@ -91,6 +91,15 @@ TraceSummary summarize_trace(std::istream& in, std::size_t top_k) {
       ++s.ends;
     } else if (*type == "kill") {
       ++s.kills;
+    } else if (*type == "crash") {
+      ++s.kills;
+      ++s.crashes;
+    } else if (*type == "resubmit") {
+      ++s.resubmits;
+    } else if (*type == "restore") {
+      ++s.restores;
+    } else if (*type == "drop") {
+      ++s.drops;
     } else if (*type == "blocked") {
       ++s.blocked;
     } else if (*type == "outage") {
@@ -117,6 +126,12 @@ std::string TraceSummary::to_string() const {
          " starts, " + std::to_string(ends) + " ends, " +
          std::to_string(kills) + " kills, " + std::to_string(blocked) +
          " blocked, " + std::to_string(outages) + " outage)\n";
+  if (crashes + resubmits + restores + drops > 0) {
+    out += "  recovery:   " + std::to_string(crashes) + " crashes, " +
+           std::to_string(resubmits) + " resubmits, " +
+           std::to_string(restores) + " restores, " + std::to_string(drops) +
+           " drops\n";
+  }
   if (jobs_completed > 0) {
     out += "  completed:  " + std::to_string(jobs_completed) +
            " jobs, makespan " + std::to_string(makespan) + "\n";

@@ -41,7 +41,11 @@ struct TraceSummary {
   std::uint64_t submits = 0;
   std::uint64_t starts = 0;
   std::uint64_t ends = 0;
-  std::uint64_t kills = 0;
+  std::uint64_t kills = 0;     ///< kill + crash records
+  std::uint64_t crashes = 0;   ///< outage-caused kills (schema v2)
+  std::uint64_t resubmits = 0; ///< queue re-entries after a kill (v2)
+  std::uint64_t restores = 0;  ///< checkpoint resumes (v2)
+  std::uint64_t drops = 0;     ///< abandoned jobs (v2)
   std::uint64_t blocked = 0;
   std::uint64_t outages = 0;
   std::uint64_t unknown_records = 0;  ///< unrecognized "type" values

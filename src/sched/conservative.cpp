@@ -131,6 +131,18 @@ void ConservativeScheduler::schedule(SchedulerContext& ctx) {
   for (const std::int64_t id : queue_) {
     const auto it = placed_.find(id);
     if (it == placed_.end()) continue;
+    // A slot that slipped into the past is a promise already void (the
+    // start at the reserved time failed on a shrunken machine, or no
+    // event landed on the slot at all — possible once kills requeue
+    // jobs). A void claim must not stand in the profile: with several
+    // stale full-machine claims, each would block the others from
+    // compressing to `now` and the run could drain its events with the
+    // machine idle and jobs still queued. Drop it; the holder is
+    // re-placed below as a fresh job.
+    if (it->second < now) {
+      placed_.erase(it);
+      continue;
+    }
     const auto& j = ctx.job(id);
     profile.add_usage(it->second, it->second + j.estimate, j.procs);
     ++claims;

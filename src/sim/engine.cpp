@@ -15,6 +15,9 @@ SimJob SimJob::from_record(const swf::JobRecord& r) {
   j.estimate = r.requested_time != swf::kUnknown
                    ? std::max(r.requested_time, j.runtime)
                    : j.runtime;
+  // The honest request, for walltime-overrun policies; `estimate` stays
+  // clamped to >= runtime so the scheduler view is unchanged.
+  j.walltime = r.requested_time;
   j.procs = std::max<std::int64_t>(
       1, r.allocated_procs != swf::kUnknown ? r.allocated_procs
                                             : r.requested_procs);
@@ -71,9 +74,20 @@ void Engine::fill_from_source() {
   }
 }
 
+void Engine::apply_recovery_defaults(SimJob& j) const {
+  // SWF records carry no checkpoint columns; jobs inherit the engine's
+  // recovery defaults unless the caller (submit_job) set their own.
+  if (j.checkpoint_interval == 0 && j.dump_time == 0 && j.read_time == 0) {
+    j.checkpoint_interval = config_.recovery.checkpoint_interval;
+    j.dump_time = config_.recovery.dump_time;
+    j.read_time = config_.recovery.read_time;
+  }
+}
+
 void Engine::admit_record(const swf::JobRecord& r) {
   SimJob j = SimJob::from_record(r);
   j.procs = std::min(j.procs, machine_.total_nodes());
+  apply_recovery_defaults(j);
   const std::int64_t id = j.id > 0 ? j.id : next_job_id_;
   j.id = id;
   next_job_id_ = std::max(next_job_id_, id + 1);
@@ -178,6 +192,7 @@ std::int64_t Engine::submit_job(SimJob job) {
   job.id = id;
   job.procs = std::min(std::max<std::int64_t>(1, job.procs),
                        machine_.total_nodes());
+  apply_recovery_defaults(job);
   next_job_id_ = std::max(next_job_id_, id + 1);
   obtain_slot(id).job = job;
   push_event(job.submit, EventType::kSubmit, id);
@@ -332,9 +347,37 @@ bool Engine::start_job(std::int64_t job_id) {
   ++running_count_;
   const std::int64_t version = ++slot.end_version;
   const std::int64_t procs = j.procs;
-  push_event(now_ + j.runtime, EventType::kJobEnd, job_id, version);
+
+  // Wall duration of this burst: remaining work, plus a checkpoint
+  // restore prefix when progress is banked, plus one dump per completed
+  // checkpoint interval (the final second of work never dumps — the job
+  // completes instead). With checkpointing off this is exactly runtime.
+  const std::int64_t remaining = j.runtime - j.completed_work;
+  const std::int64_t restore = j.completed_work > 0 ? j.read_time : 0;
+  const std::int64_t dumps =
+      j.checkpoint_interval > 0 ? (remaining - 1) / j.checkpoint_interval : 0;
+  std::int64_t wall = restore + remaining + dumps * j.dump_time;
+
+  // Walltime-overrun policy: under kill/grace the burst may not outlive
+  // the requested walltime (plus grace); the deadline event kills and
+  // drops the job instead of completing it.
+  slot.overrun_end = false;
+  const auto& rec = config_.recovery;
+  if (rec.overrun != fault::OverrunPolicy::kExtend && j.walltime > 0) {
+    const std::int64_t allowed =
+        j.walltime +
+        (rec.overrun == fault::OverrunPolicy::kGrace ? rec.grace_seconds : 0);
+    if (wall > allowed) {
+      wall = allowed;
+      slot.overrun_end = true;
+    }
+  }
+  push_event(now_ + wall, EventType::kJobEnd, job_id, version);
   observers_.on_decision({now_, job_id, procs, /*virtual_start=*/false,
                           provenance, reserved_start});
+  if (j.completed_work > 0) {
+    observers_.on_job_restore(now_, j, j.completed_work);
+  }
   return true;
 }
 
@@ -378,7 +421,7 @@ void Engine::kill_running_job(std::int64_t job_id) {
   if (slot.job.state != JobState::kRunning) {
     throw std::logic_error("kill_running_job: job is not running");
   }
-  kill_job(slot);
+  kill_job(slot, KillReason::kPreempt);
 }
 
 void Engine::push_event(std::int64_t time, EventType type, std::int64_t id,
@@ -447,6 +490,12 @@ void Engine::handle_job_end(const Event& ev) {
       slot->end_version != ev.version) {
     return;
   }
+  if (slot->overrun_end) {
+    // The walltime-overrun deadline, not a completion: the job is
+    // killed and dropped (real systems do not restart an overrun job).
+    kill_job(*slot, KillReason::kWalltime);
+    return;
+  }
   finish_job(slot->job);
 }
 
@@ -502,11 +551,32 @@ void Engine::finish_job(SimJob& j) {
   }
 }
 
-void Engine::kill_job(JobSlot& slot) {
+void Engine::kill_job(JobSlot& slot, KillReason reason) {
   // Work performed so far is lost ("any job running on that node would
-  // have to be restarted").
+  // have to be restarted") — except the checkpointed portion, which the
+  // next burst resumes from.
   auto& j = slot.job;
-  wasted_node_seconds_ += j.procs * (now_ - j.start);
+  const std::int64_t elapsed = now_ - j.start;
+  std::int64_t saved = 0;
+  if (reason != KillReason::kWalltime && j.checkpoint_interval > 0) {
+    // Checkpoint k completes at restore-prefix + k * (interval + dump)
+    // into the burst; everything up to the last completed dump is
+    // banked. The final interval of a burst never dumps (the job would
+    // complete instead), so k is capped below remaining work.
+    const std::int64_t remaining = j.runtime - j.completed_work;
+    const std::int64_t prefix = j.completed_work > 0 ? j.read_time : 0;
+    const std::int64_t cycle = j.checkpoint_interval + j.dump_time;
+    const std::int64_t usable = elapsed - prefix;
+    if (usable > 0 && remaining > 1) {
+      const std::int64_t k = std::min(
+          usable / cycle, (remaining - 1) / j.checkpoint_interval);
+      saved = k * j.checkpoint_interval;
+    }
+    j.completed_work += saved;
+  }
+  const std::int64_t recovered = j.procs * saved;
+  recovered_node_seconds_ += recovered;
+  wasted_node_seconds_ += j.procs * elapsed - recovered;
   ++jobs_killed_;
   ++j.restarts;
   --running_count_;
@@ -515,48 +585,88 @@ void Engine::kill_job(JobSlot& slot) {
     j.nodes.clear();
   }
   ++slot.end_version;  // invalidate the pending end event
-  observers_.on_job_kill(now_, j);
+  slot.overrun_end = false;
+
+  const auto& rec = config_.recovery;
+  bool drop = false;
+  DropReason drop_reason = DropReason::kRetryLimit;
+  if (reason == KillReason::kWalltime) {
+    drop = true;
+    drop_reason = DropReason::kWalltimeOverrun;
+  } else if (!config_.requeue_killed_jobs) {
+    drop = true;
+    drop_reason = DropReason::kRequeueDisabled;
+  } else if (rec.retry_limit > 0 && j.restarts >= rec.retry_limit) {
+    drop = true;
+    drop_reason = DropReason::kRetryLimit;
+  }
+
+  KillInfo info;
+  info.reason = reason;
+  info.lost_node_seconds = j.procs * elapsed - recovered;
+  info.saved_work = saved;
+  info.attempt = j.restarts;
+  info.will_requeue = !drop;
+  info.requeue_at = drop ? -1 : now_ + rec.backoff_seconds;
+  observers_.on_job_kill(now_, j, info);
   scheduler_->on_job_killed(*this, j.id);
-  if (config_.requeue_killed_jobs) {
-    j.state = JobState::kQueued;
-    ++queued_count_;
-    scheduler_->on_submit(*this, j.id);
-    observers_.on_job_submit(now_, j);
-  } else {
-    j.state = JobState::kFinished;
-    j.end = now_;
-    // Dependents of a killed-and-dropped job never run — same outcome
-    // as the all-up-front load, where their dependents_ entry simply
-    // never fires. But a streaming source must not let those orphans
-    // sit in the lookahead gauge forever (the pull window would jam
-    // shut and silently truncate the replay), so drop them — and their
-    // own dependents, transitively — outright. Dropped orphans are
-    // marked terminated (or erased, in recycle mode) so a record
-    // pulled later that names one as predecessor resolves instead of
-    // deferring forever; they are not recorded in the closed-loop
-    // history: dropped, not released.
-    std::vector<std::int64_t> doomed = {j.id};
-    if (config_.recycle_slots) release_slot(j.id);
-    while (!doomed.empty()) {
-      const std::int64_t id = doomed.back();
-      doomed.pop_back();
-      const auto dit = dependents_.find(id);
-      if (dit == dependents_.end()) continue;
-      for (const auto& [dep_id, think] : dit->second) {
-        (void)think;
-        if (pending_submits_ > 0) --pending_submits_;
-        if (config_.recycle_slots) {
-          release_slot(dep_id);
-        } else if (JobSlot* dep = find_slot(dep_id)) {
-          dep->job.state = JobState::kFinished;
-          dep->job.end = now_;
-        }
-        doomed.push_back(dep_id);
-      }
-      dependents_.erase(dit);
+  if (!drop) {
+    if (rec.backoff_seconds > 0) {
+      // Deferred resubmission: the job leaves the queue entirely until
+      // the backoff expires. Version 0 keeps it off the lookahead gauge
+      // (it was drained by its original submit already).
+      j.state = JobState::kPending;
+      push_event(now_ + rec.backoff_seconds, EventType::kSubmit, j.id,
+                 /*version=*/0);
+    } else {
+      j.state = JobState::kQueued;
+      ++queued_count_;
+      scheduler_->on_submit(*this, j.id);
+      observers_.on_job_submit(now_, j);
     }
+  } else {
+    drop_job(slot, drop_reason);
   }
   scheduler_dirty_ = true;
+}
+
+void Engine::drop_job(JobSlot& slot, DropReason reason) {
+  auto& j = slot.job;
+  j.state = JobState::kFinished;
+  j.end = now_;
+  ++jobs_dropped_;
+  observers_.on_job_drop(now_, j, reason);
+  const std::int64_t id = j.id;
+  // Dependents of a dropped job never run — same outcome as the
+  // all-up-front load, where their dependents_ entry simply never
+  // fires. But a streaming source must not let those orphans sit in
+  // the lookahead gauge forever (the pull window would jam shut and
+  // silently truncate the replay), so drop them — and their own
+  // dependents, transitively — outright. Dropped orphans are marked
+  // terminated (or erased, in recycle mode) so a record pulled later
+  // that names one as predecessor resolves instead of deferring
+  // forever; they are not recorded in the closed-loop history:
+  // dropped, not released.
+  std::vector<std::int64_t> doomed = {id};
+  if (config_.recycle_slots) release_slot(id);
+  while (!doomed.empty()) {
+    const std::int64_t doomed_id = doomed.back();
+    doomed.pop_back();
+    const auto dit = dependents_.find(doomed_id);
+    if (dit == dependents_.end()) continue;
+    for (const auto& [dep_id, think] : dit->second) {
+      (void)think;
+      if (pending_submits_ > 0) --pending_submits_;
+      if (config_.recycle_slots) {
+        release_slot(dep_id);
+      } else if (JobSlot* dep = find_slot(dep_id)) {
+        dep->job.state = JobState::kFinished;
+        dep->job.end = now_;
+      }
+      doomed.push_back(dep_id);
+    }
+    dependents_.erase(dit);
+  }
 }
 
 void Engine::handle_outage_start(std::size_t idx) {
@@ -572,7 +682,9 @@ void Engine::handle_outage_start(std::size_t idx) {
   victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
   for (std::int64_t job_id : victims) {
     auto& slot = slot_at(job_id);
-    if (slot.job.state == JobState::kRunning) kill_job(slot);
+    if (slot.job.state == JobState::kRunning) {
+      kill_job(slot, KillReason::kOutage);
+    }
   }
   scheduler_->on_outage_start(*this, rec);
   observers_.on_outage(rec, OutagePhase::kStarted);
@@ -619,9 +731,11 @@ EngineStats Engine::stats() const {
   s.capacity_node_seconds = capacity_node_seconds_;
   s.work_node_seconds = work_node_seconds_;
   s.wasted_node_seconds = wasted_node_seconds_;
+  s.recovered_node_seconds = recovered_node_seconds_;
   s.makespan = makespan_;
   s.jobs_completed = jobs_completed_;
   s.jobs_killed = jobs_killed_;
+  s.jobs_dropped = jobs_dropped_;
   s.events_processed = events_processed_;
   return s;
 }

@@ -21,6 +21,7 @@
 #include "core/swf/job_source.hpp"
 #include "core/swf/trace.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/fault/fault.hpp"
 #include "sim/job.hpp"
 #include "sim/machine.hpp"
 #include "sim/observer.hpp"
@@ -39,6 +40,11 @@ struct EngineConfig {
   bool closed_loop = false;
   /// Requeue jobs killed by outages (restart from scratch).
   bool requeue_killed_jobs = true;
+  /// Recovery policy: checkpoint/restart defaults copied onto admitted
+  /// jobs, the resubmit retry limit/backoff, and the walltime-overrun
+  /// rule. The default keeps historical behavior exactly (restart from
+  /// scratch, retry forever, immediate requeue, never overrun-kill).
+  fault::RecoveryConfig recovery;
   /// Accumulate per-job CompletedJob records in completed(). Turn off
   /// for constant-memory streaming runs and consume the completion
   /// observer instead; stats() stays exact either way.
@@ -71,9 +77,15 @@ struct EngineStats {
   std::int64_t capacity_node_seconds = 0;  ///< up-capacity integral
   std::int64_t work_node_seconds = 0;      ///< completed useful work
   std::int64_t wasted_node_seconds = 0;    ///< work lost to kills
+  /// Node-seconds preserved across kills by completed checkpoints
+  /// (already excluded from wasted_node_seconds).
+  std::int64_t recovered_node_seconds = 0;
   std::int64_t makespan = 0;               ///< last completion time
   std::int64_t jobs_completed = 0;
   std::int64_t jobs_killed = 0;            ///< kill events (with requeue)
+  /// Jobs abandoned without completing (retry limit, overrun kill, or
+  /// requeue disabled).
+  std::int64_t jobs_dropped = 0;
   std::int64_t events_processed = 0;
 
   /// Achieved utilization of available capacity.
@@ -219,6 +231,9 @@ class Engine final : public sched::SchedulerContext {
   struct JobSlot {
     SimJob job;
     std::int64_t end_version = 0;
+    /// The pending end event is a walltime-overrun deadline, not a
+    /// natural completion: handle_job_end kills instead of finishing.
+    bool overrun_end = false;
   };
 
   /// Job ids index straight into the dense vector while they stay
@@ -262,7 +277,13 @@ class Engine final : public sched::SchedulerContext {
   void handle_outage_end(std::size_t idx);
   void handle_reservation_start(std::int64_t res_id);
   void finish_job(SimJob& j);
-  void kill_job(JobSlot& slot);
+  void kill_job(JobSlot& slot, KillReason reason);
+  /// Terminate a job without completion: mark finished, notify
+  /// on_job_drop, and doom its closed-loop dependents transitively.
+  void drop_job(JobSlot& slot, DropReason reason);
+  /// Copy EngineConfig::recovery checkpoint defaults onto a job that
+  /// carries none of its own.
+  void apply_recovery_defaults(SimJob& j) const;
   void account_capacity_to(std::int64_t t);
 
   EngineConfig config_;
@@ -316,9 +337,11 @@ class Engine final : public sched::SchedulerContext {
   std::int64_t capacity_node_seconds_ = 0;
   std::int64_t work_node_seconds_ = 0;
   std::int64_t wasted_node_seconds_ = 0;
+  std::int64_t recovered_node_seconds_ = 0;
   std::int64_t makespan_ = 0;
   std::int64_t jobs_completed_ = 0;
   std::int64_t jobs_killed_ = 0;
+  std::int64_t jobs_dropped_ = 0;
   std::int64_t events_processed_ = 0;
   bool scheduler_dirty_ = false;
 };

@@ -1,0 +1,66 @@
+#include "sim/fault/fault.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace pjsb::sim::fault {
+
+outage::OutageLog generate_crashes(const FaultModel& model,
+                                   std::int64_t horizon,
+                                   std::int64_t total_nodes) {
+  outage::OutageLog log;
+  if (!model.enabled() || horizon <= 0 || total_nodes <= 0) return log;
+  const double mtbf = double(std::max<std::int64_t>(1, model.mtbf_seconds));
+  const double repair_mean =
+      double(std::max<std::int64_t>(1, model.repair_mean_seconds));
+  for (std::int64_t node = 0; node < total_nodes; ++node) {
+    // One independent stream per node: the schedule is a pure function
+    // of (seed, horizon, total_nodes), independent of who replays it.
+    util::Rng rng(util::derive_seed(model.seed, std::uint64_t(node)));
+    double t = 0.0;
+    while (true) {
+      t += rng.exponential(1.0 / mtbf);
+      const auto start = std::int64_t(t);
+      if (start >= horizon) break;
+      const auto repair =
+          std::max<std::int64_t>(1,
+                                 std::int64_t(rng.exponential(1.0 /
+                                                              repair_mean)));
+      outage::OutageRecord rec;
+      rec.announce_time = outage::kUnknown;  // surprise failure
+      rec.start_time = start;
+      rec.end_time = start + repair;
+      rec.type = outage::OutageType::kCpuFailure;
+      rec.nodes_affected = 1;
+      rec.components = {node};
+      log.records.push_back(std::move(rec));
+      t = double(start + repair);  // a down node cannot fail again
+    }
+  }
+  // Per-node generation emits in node order; the stable sort makes the
+  // final order (start_time, node) — deterministic and merge-friendly.
+  log.sort_by_start();
+  return log;
+}
+
+const char* overrun_policy_name(OverrunPolicy policy) {
+  switch (policy) {
+    case OverrunPolicy::kExtend:
+      return "extend";
+    case OverrunPolicy::kKill:
+      return "kill";
+    case OverrunPolicy::kGrace:
+      return "grace";
+  }
+  return "extend";
+}
+
+std::optional<OverrunPolicy> overrun_policy_from_name(std::string_view name) {
+  if (name == "extend") return OverrunPolicy::kExtend;
+  if (name == "kill") return OverrunPolicy::kKill;
+  if (name == "grace") return OverrunPolicy::kGrace;
+  return std::nullopt;
+}
+
+}  // namespace pjsb::sim::fault

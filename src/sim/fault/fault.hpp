@@ -1,0 +1,81 @@
+// Deterministic fault injection and recovery policy configuration.
+//
+// FaultModel describes per-node crash/repair behavior (exponential
+// mean time between failures, exponential repair durations) and a seed;
+// generate_crashes turns it into an outage::OutageLog of surprise
+// single-node failures, the delivery mechanism the engine already
+// understands. Each node draws from its own derive_seed(seed, node)
+// stream, so the schedule depends only on (seed, horizon, nodes) —
+// never on thread count or evaluation order — and decision traces stay
+// byte-identical at any campaign parallelism.
+//
+// RecoveryConfig describes what the engine does with the victims: the
+// checkpoint/restart parameters jobs inherit (batsched4-style
+// checkpoint_interval / dump_time / read_time), the resubmit retry
+// limit and backoff, and the walltime-overrun policy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/outage/record.hpp"
+
+namespace pjsb::sim::fault {
+
+/// Per-node crash process. seed == 0 means "faults disabled" — the
+/// uniform convention across SimulationSpec, campaigns and the tools.
+struct FaultModel {
+  std::uint64_t seed = 0;
+  /// Per-node mean time between failures, seconds.
+  std::int64_t mtbf_seconds = 7 * 86400;
+  /// Mean repair duration, seconds (exponential, floored at 1s).
+  std::int64_t repair_mean_seconds = 4 * 3600;
+
+  bool enabled() const { return seed != 0; }
+};
+
+/// Generate the crash schedule over [0, horizon) for `total_nodes`
+/// nodes. Every record is a surprise (unannounced) single-node
+/// kCpuFailure; a node that is down does not fail again until repaired
+/// (the per-node clock advances past each repair window). Records are
+/// ordered by start time with node id as the tie-break.
+outage::OutageLog generate_crashes(const FaultModel& model,
+                                   std::int64_t horizon,
+                                   std::int64_t total_nodes);
+
+/// What happens when a running job's walltime request expires.
+enum class OverrunPolicy {
+  kExtend,  ///< let it run to its true runtime (historical behavior)
+  kKill,    ///< terminate (and drop) the job at its requested walltime
+  kGrace,   ///< like kKill, but `grace_seconds` past the walltime
+};
+
+const char* overrun_policy_name(OverrunPolicy policy);
+std::optional<OverrunPolicy> overrun_policy_from_name(std::string_view name);
+
+/// Engine-level recovery policy. The checkpoint fields are defaults
+/// copied onto each admitted job (SWF carries no checkpoint columns);
+/// checkpoint_interval == 0 keeps today's restart-from-scratch.
+struct RecoveryConfig {
+  /// Seconds of computed work between checkpoint dumps (0 = none).
+  std::int64_t checkpoint_interval = 0;
+  /// Wall seconds one checkpoint dump costs.
+  std::int64_t dump_time = 0;
+  /// Wall seconds restoring from a checkpoint costs.
+  std::int64_t read_time = 0;
+  /// Kills after which the job is dropped instead of requeued
+  /// (0 = retry forever, today's behavior).
+  int retry_limit = 0;
+  /// Delay between a kill and the resubmission (0 = immediate requeue,
+  /// today's behavior).
+  std::int64_t backoff_seconds = 0;
+  OverrunPolicy overrun = OverrunPolicy::kExtend;
+  /// Extra wall seconds past the walltime under OverrunPolicy::kGrace.
+  std::int64_t grace_seconds = 0;
+
+  bool operator==(const RecoveryConfig&) const = default;
+};
+
+}  // namespace pjsb::sim::fault

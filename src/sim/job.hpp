@@ -27,12 +27,26 @@ struct SimJob {
   std::int64_t user_id = swf::kUnknown;
   std::int64_t executable_id = swf::kUnknown;
   std::int64_t queue_id = swf::kUnknown;
+  /// Raw requested time (SWF field 9), unclamped; kUnknown when the
+  /// record carries none. `estimate` above is clamped to >= runtime so
+  /// schedulers never see a job outlive its estimate; walltime-overrun
+  /// policies need the honest request instead.
+  std::int64_t walltime = swf::kUnknown;
+
+  // Recovery policy (engine-owned defaults; SWF has no checkpoint
+  // columns, so these are copied from EngineConfig::recovery on admit).
+  std::int64_t checkpoint_interval = 0;  ///< work seconds per dump (0 = off)
+  std::int64_t dump_time = 0;            ///< wall cost of one dump
+  std::int64_t read_time = 0;            ///< wall cost of one restore
 
   // Lifecycle (engine-owned).
   JobState state = JobState::kPending;
   std::int64_t start = -1;  ///< last (successful) start
   std::int64_t end = -1;    ///< completion time
   int restarts = 0;         ///< times killed by outages and requeued
+  /// Checkpointed progress carried across restarts, in work seconds;
+  /// the next burst computes runtime - completed_work (plus read_time).
+  std::int64_t completed_work = 0;
   std::vector<std::int64_t> nodes;  ///< allocation (node ids), if any
 
   /// Build from an SWF summary record. Estimates default to the runtime

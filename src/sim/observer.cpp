@@ -9,7 +9,9 @@ void SimObserver::on_decision(const Decision&) {}
 void SimObserver::on_outage(const outage::OutageRecord&, OutagePhase) {}
 void SimObserver::on_end(const EngineStats&) {}
 void SimObserver::on_job_submit(std::int64_t, const SimJob&) {}
-void SimObserver::on_job_kill(std::int64_t, const SimJob&) {}
+void SimObserver::on_job_kill(std::int64_t, const SimJob&, const KillInfo&) {}
+void SimObserver::on_job_restore(std::int64_t, const SimJob&, std::int64_t) {}
+void SimObserver::on_job_drop(std::int64_t, const SimJob&, DropReason) {}
 void SimObserver::on_step(const StepSnapshot&) {}
 
 ObserverList& ObserverList::add(SimObserver& observer) {
@@ -38,8 +40,19 @@ void ObserverList::on_job_submit(std::int64_t time, const SimJob& job) {
   for (auto* o : observers_) o->on_job_submit(time, job);
 }
 
-void ObserverList::on_job_kill(std::int64_t time, const SimJob& job) {
-  for (auto* o : observers_) o->on_job_kill(time, job);
+void ObserverList::on_job_kill(std::int64_t time, const SimJob& job,
+                               const KillInfo& info) {
+  for (auto* o : observers_) o->on_job_kill(time, job, info);
+}
+
+void ObserverList::on_job_restore(std::int64_t time, const SimJob& job,
+                                  std::int64_t resumed_work) {
+  for (auto* o : observers_) o->on_job_restore(time, job, resumed_work);
+}
+
+void ObserverList::on_job_drop(std::int64_t time, const SimJob& job,
+                               DropReason reason) {
+  for (auto* o : observers_) o->on_job_drop(time, job, reason);
 }
 
 void ObserverList::on_step(const StepSnapshot& snapshot) {
@@ -67,8 +80,19 @@ void FunctionObserver::on_job_submit(std::int64_t time, const SimJob& job) {
   if (job_submit) job_submit(time, job);
 }
 
-void FunctionObserver::on_job_kill(std::int64_t time, const SimJob& job) {
-  if (job_kill) job_kill(time, job);
+void FunctionObserver::on_job_kill(std::int64_t time, const SimJob& job,
+                                   const KillInfo& info) {
+  if (job_kill) job_kill(time, job, info);
+}
+
+void FunctionObserver::on_job_restore(std::int64_t time, const SimJob& job,
+                                      std::int64_t resumed_work) {
+  if (job_restore) job_restore(time, job, resumed_work);
+}
+
+void FunctionObserver::on_job_drop(std::int64_t time, const SimJob& job,
+                                   DropReason reason) {
+  if (job_drop) job_drop(time, job, reason);
 }
 
 void FunctionObserver::on_step(const StepSnapshot& snapshot) {

@@ -45,6 +45,38 @@ struct Decision {
 /// Outage lifecycle stage an on_outage notification reports.
 enum class OutagePhase { kAnnounced, kStarted, kEnded };
 
+/// Why a running job was killed.
+enum class KillReason {
+  kOutage,    ///< a node failure / outage took its allocation down
+  kPreempt,   ///< the scheduler or meta layer killed it explicitly
+  kWalltime,  ///< walltime-overrun policy terminated it at its deadline
+};
+
+/// Accounting attached to an on_job_kill notification.
+struct KillInfo {
+  KillReason reason = KillReason::kOutage;
+  /// Node-seconds irrecoverably lost by this kill (elapsed minus the
+  /// checkpointed portion, times procs).
+  std::int64_t lost_node_seconds = 0;
+  /// Work seconds preserved by checkpoints completed during this burst
+  /// (0 without checkpointing).
+  std::int64_t saved_work = 0;
+  /// Kill count for this job including this one (== job.restarts).
+  int attempt = 0;
+  /// False when the job will not be resubmitted (dropped).
+  bool will_requeue = true;
+  /// When the resubmission lands (== time without backoff); -1 when
+  /// will_requeue is false.
+  std::int64_t requeue_at = -1;
+};
+
+/// Why a job was abandoned without completing.
+enum class DropReason {
+  kRetryLimit,       ///< killed retry_limit times, gave up
+  kWalltimeOverrun,  ///< overrun=kill/grace deadline expired
+  kRequeueDisabled,  ///< engine runs with requeue_killed_jobs off
+};
+
 /// Machine/queue accounting at the end of one event timestamp, after
 /// every event at that time was processed and the scheduler pass ran.
 /// This is the engine's per-event node accounting made observable, so
@@ -83,12 +115,25 @@ class SimObserver {
   virtual void on_end(const EngineStats& stats);
 
   /// A job entered the queue at `time` — a fresh submission or a
-  /// requeue after a failure-induced kill.
+  /// requeue after a failure-induced kill (job.restarts > 0 tells the
+  /// two apart).
   virtual void on_job_submit(std::int64_t time, const SimJob& job);
-  /// A running job was killed by an outage at `time`; its work so far
-  /// is lost. If the engine requeues killed jobs an on_job_submit for
-  /// the same id follows immediately.
-  virtual void on_job_kill(std::int64_t time, const SimJob& job);
+  /// A running job was killed at `time`. `info` carries the reason and
+  /// the lost/saved work split; when info.will_requeue an on_job_submit
+  /// for the same id follows (at info.requeue_at), otherwise an
+  /// on_job_drop fires immediately after.
+  virtual void on_job_kill(std::int64_t time, const SimJob& job,
+                           const KillInfo& info);
+  /// A job started a burst that resumes from a checkpoint: resumed_work
+  /// seconds of its runtime are already banked and the burst begins
+  /// with a read_time restore. Fires right after the on_decision for
+  /// the same start.
+  virtual void on_job_restore(std::int64_t time, const SimJob& job,
+                              std::int64_t resumed_work);
+  /// A job was abandoned at `time` without completing; it will never
+  /// produce an on_job_complete.
+  virtual void on_job_drop(std::int64_t time, const SimJob& job,
+                           DropReason reason);
   /// End of one event timestamp: all events at snapshot.time were
   /// processed and the scheduler made its decisions.
   virtual void on_step(const StepSnapshot& snapshot);
@@ -107,7 +152,12 @@ class ObserverList final : public SimObserver {
                  OutagePhase phase) override;
   void on_end(const EngineStats& stats) override;
   void on_job_submit(std::int64_t time, const SimJob& job) override;
-  void on_job_kill(std::int64_t time, const SimJob& job) override;
+  void on_job_kill(std::int64_t time, const SimJob& job,
+                   const KillInfo& info) override;
+  void on_job_restore(std::int64_t time, const SimJob& job,
+                      std::int64_t resumed_work) override;
+  void on_job_drop(std::int64_t time, const SimJob& job,
+                   DropReason reason) override;
   void on_step(const StepSnapshot& snapshot) override;
 
  private:
@@ -123,7 +173,9 @@ class FunctionObserver final : public SimObserver {
   std::function<void(const outage::OutageRecord&, OutagePhase)> outage;
   std::function<void(const EngineStats&)> end;
   std::function<void(std::int64_t, const SimJob&)> job_submit;
-  std::function<void(std::int64_t, const SimJob&)> job_kill;
+  std::function<void(std::int64_t, const SimJob&, const KillInfo&)> job_kill;
+  std::function<void(std::int64_t, const SimJob&, std::int64_t)> job_restore;
+  std::function<void(std::int64_t, const SimJob&, DropReason)> job_drop;
   std::function<void(const StepSnapshot&)> step;
 
   void on_job_complete(const CompletedJob& job) override;
@@ -132,7 +184,12 @@ class FunctionObserver final : public SimObserver {
                  OutagePhase phase) override;
   void on_end(const EngineStats& stats) override;
   void on_job_submit(std::int64_t time, const SimJob& job) override;
-  void on_job_kill(std::int64_t time, const SimJob& job) override;
+  void on_job_kill(std::int64_t time, const SimJob& job,
+                   const KillInfo& info) override;
+  void on_job_restore(std::int64_t time, const SimJob& job,
+                      std::int64_t resumed_work) override;
+  void on_job_drop(std::int64_t time, const SimJob& job,
+                   DropReason reason) override;
   void on_step(const StepSnapshot& snapshot) override;
 };
 

@@ -17,6 +17,7 @@ EngineConfig engine_config(const SimulationSpec& spec,
   config.deliver_announcements = spec.deliver_announcements;
   config.retain_completed = spec.retain_completed;
   config.recycle_slots = spec.recycle_slots;
+  config.recovery = spec.recovery_config();
   return config;
 }
 
@@ -51,6 +52,15 @@ ReplayResult replay(const swf::Trace& trace,
 
   Engine engine(config, std::move(scheduler));
   attach_hooks(engine, hooks);
+  // The seeded crash schedule rides the outage delivery mechanism; it
+  // is a pure function of (seed, horizon, nodes), so the same spec
+  // reproduces the same failures regardless of who replays it.
+  outage::OutageLog crashes;
+  if (spec.faults != 0) {
+    crashes = fault::generate_crashes(spec.fault_model(), trace.horizon(),
+                                      config.nodes);
+    engine.add_outages(crashes);
+  }
   sinks.attach(engine);
   engine.load_trace(trace);
   engine.run();
@@ -68,6 +78,11 @@ ReplayResult replay(swf::JobSource& source,
                     std::unique_ptr<sched::Scheduler> scheduler,
                     const SimulationSpec& spec, const ReplayHooks& hooks) {
   spec.validate(/*resolve_scheduler=*/false);
+  if (spec.faults != 0) {
+    throw std::invalid_argument(
+        "replay: fault injection needs the workload horizon up front; "
+        "faults= is not available on streaming sources");
+  }
   const auto config =
       engine_config(spec, source.header().max_nodes.value_or(kDefaultNodes));
 

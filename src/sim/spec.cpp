@@ -14,7 +14,11 @@ constexpr const char* kValidKeys =
     "scheduler=<registry spec string>, nodes=<int|auto>, closed_loop=<bool>, "
     "announce=<bool>, lookahead=<int>, max_jobs=<int>, "
     "retain_completed=<bool>, recycle_slots=<bool>, trace=<path>, "
-    "timeseries=<path>, sample_every=<int>, profile=<path>";
+    "timeseries=<path>, sample_every=<int>, profile=<path>, "
+    "faults=<seed>, mtbf=<seconds>, repair=<seconds>, "
+    "checkpoint=<seconds>, dump=<seconds>, read=<seconds>, "
+    "retry_limit=<int>, backoff=<seconds>, overrun=<extend|kill|grace>, "
+    "grace=<seconds>";
 
 [[noreturn]] void fail(const std::string& message) {
   throw std::invalid_argument("simulation spec: " + message);
@@ -89,6 +93,58 @@ SimulationSpec& SimulationSpec::with_profile(std::string path) {
   return *this;
 }
 
+SimulationSpec& SimulationSpec::with_faults(std::uint64_t seed,
+                                            std::int64_t mtbf_seconds,
+                                            std::int64_t repair_seconds) {
+  faults = seed;
+  mtbf = mtbf_seconds;
+  repair = repair_seconds;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::with_checkpointing(std::int64_t interval,
+                                                   std::int64_t dump_seconds,
+                                                   std::int64_t read_seconds) {
+  checkpoint = interval;
+  dump = dump_seconds;
+  read = read_seconds;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::with_retry(int limit,
+                                           std::int64_t backoff_seconds) {
+  retry_limit = limit;
+  backoff = backoff_seconds;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::with_overrun(fault::OverrunPolicy policy,
+                                             std::int64_t grace_seconds) {
+  overrun = policy;
+  grace = grace_seconds;
+  return *this;
+}
+
+fault::FaultModel SimulationSpec::fault_model() const {
+  fault::FaultModel model;
+  model.seed = faults;
+  model.mtbf_seconds = mtbf;
+  model.repair_mean_seconds = repair;
+  return model;
+}
+
+fault::RecoveryConfig SimulationSpec::recovery_config() const {
+  fault::RecoveryConfig config;
+  config.checkpoint_interval = checkpoint;
+  config.dump_time = dump;
+  config.read_time = read;
+  config.retry_limit = retry_limit;
+  config.backoff_seconds = backoff;
+  config.overrun = overrun;
+  config.grace_seconds = grace;
+  return config;
+}
+
 void SimulationSpec::validate(bool resolve_scheduler) const {
   if (scheduler.empty()) fail("no scheduler");
   // Resolve the scheduler spec through the registry so a bad name or
@@ -108,6 +164,29 @@ void SimulationSpec::validate(bool resolve_scheduler) const {
     fail("retain_completed=0 without recycle_slots=1 drops the per-job "
          "records but keeps every slot in memory; enable recycle_slots "
          "for constant-memory runs");
+  }
+  const SimulationSpec defaults;
+  if (faults == 0 &&
+      (mtbf != defaults.mtbf || repair != defaults.repair)) {
+    fail("mtbf=/repair= describe the crash schedule and need "
+         "faults=<seed> to enable it");
+  }
+  if (mtbf < 1) fail("mtbf must be >= 1 second");
+  if (repair < 1) fail("repair must be >= 1 second");
+  if (checkpoint < 0) fail("checkpoint must be >= 0");
+  if (dump < 0 || read < 0) fail("dump/read must be >= 0");
+  if (checkpoint == 0 && (dump != 0 || read != 0)) {
+    fail("dump=/read= cost checkpoints that never happen; set "
+         "checkpoint=<interval> too");
+  }
+  if (retry_limit < 0) fail("retry_limit must be >= 0 (0 = retry forever)");
+  if (backoff < 0) fail("backoff must be >= 0");
+  if (grace < 0) fail("grace must be >= 0");
+  if (overrun == fault::OverrunPolicy::kGrace && grace == 0) {
+    fail("overrun=grace needs grace=<seconds> > 0 (grace=0 is overrun=kill)");
+  }
+  if (overrun != fault::OverrunPolicy::kGrace && grace != 0) {
+    fail("grace= only applies with overrun=grace");
   }
 }
 
@@ -141,13 +220,29 @@ std::string SimulationSpec::to_string() const {
     s += " sample_every=" + std::to_string(sample_every);
   }
   if (!profile.empty()) s += " profile=" + util::quote_spec_value(profile);
+  if (faults != defaults.faults) s += " faults=" + std::to_string(faults);
+  if (mtbf != defaults.mtbf) s += " mtbf=" + std::to_string(mtbf);
+  if (repair != defaults.repair) s += " repair=" + std::to_string(repair);
+  if (checkpoint != defaults.checkpoint) {
+    s += " checkpoint=" + std::to_string(checkpoint);
+  }
+  if (dump != defaults.dump) s += " dump=" + std::to_string(dump);
+  if (read != defaults.read) s += " read=" + std::to_string(read);
+  if (retry_limit != defaults.retry_limit) {
+    s += " retry_limit=" + std::to_string(retry_limit);
+  }
+  if (backoff != defaults.backoff) s += " backoff=" + std::to_string(backoff);
+  if (overrun != defaults.overrun) {
+    s += std::string(" overrun=") + fault::overrun_policy_name(overrun);
+  }
+  if (grace != defaults.grace) s += " grace=" + std::to_string(grace);
   return s;
 }
 
 SimulationSpec SimulationSpec::parse(const std::string& text) {
   SimulationSpec spec;
   const auto tokens = util::parse_spec(text, /*allow_head=*/false);
-  bool seen[12] = {};
+  bool seen[22] = {};
   auto once = [&](int idx, const std::string& key) {
     if (seen[idx]) fail(key + " set twice");
     seen[idx] = true;
@@ -203,6 +298,62 @@ SimulationSpec SimulationSpec::parse(const std::string& text) {
     } else if (key == "profile") {
       once(11, key);
       spec.profile = value;
+    } else if (key == "faults") {
+      once(12, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) {
+        fail("faults must be a non-negative seed (0 disables)");
+      }
+      spec.faults = std::uint64_t(*n);
+    } else if (key == "mtbf") {
+      once(13, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 1) fail("mtbf must be a positive number of seconds");
+      spec.mtbf = *n;
+    } else if (key == "repair") {
+      once(14, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 1) fail("repair must be a positive number of seconds");
+      spec.repair = *n;
+    } else if (key == "checkpoint") {
+      once(15, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) {
+        fail("checkpoint must be a non-negative interval in seconds");
+      }
+      spec.checkpoint = *n;
+    } else if (key == "dump") {
+      once(16, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) fail("dump must be a non-negative number of seconds");
+      spec.dump = *n;
+    } else if (key == "read") {
+      once(17, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) fail("read must be a non-negative number of seconds");
+      spec.read = *n;
+    } else if (key == "retry_limit") {
+      once(18, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) fail("retry_limit must be a non-negative integer");
+      spec.retry_limit = int(*n);
+    } else if (key == "backoff") {
+      once(19, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) {
+        fail("backoff must be a non-negative number of seconds");
+      }
+      spec.backoff = *n;
+    } else if (key == "overrun") {
+      once(20, key);
+      const auto policy = fault::overrun_policy_from_name(value);
+      if (!policy) fail("overrun must be extend, kill or grace");
+      spec.overrun = *policy;
+    } else if (key == "grace") {
+      once(21, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0) fail("grace must be a non-negative number of seconds");
+      spec.grace = *n;
     } else {
       fail("unknown key '" + key + "'; valid keys: " + kValidKeys);
     }

@@ -20,6 +20,8 @@
 #include <optional>
 #include <string>
 
+#include "sim/fault/fault.hpp"
+
 namespace pjsb::sim {
 
 /// Upper bound on the simulated machine size: generous for any real
@@ -63,6 +65,24 @@ struct SimulationSpec {
   /// (opens in Perfetto).
   std::string profile;
 
+  // Fault injection & recovery (src/sim/fault/). `faults` seeds the
+  // per-node crash schedule; 0 disables injection entirely. The crash
+  // schedule needs a horizon up front, so faults are rejected on
+  // streaming (JobSource) replays, like outage logs in campaigns.
+  std::uint64_t faults = 0;      ///< crash-schedule seed (0 = off)
+  std::int64_t mtbf = 7 * 86400;  ///< per-node MTBF, seconds
+  std::int64_t repair = 4 * 3600; ///< mean repair duration, seconds
+  /// Checkpoint interval in work seconds (0 = restart from scratch).
+  std::int64_t checkpoint = 0;
+  std::int64_t dump = 0;  ///< wall cost of one checkpoint dump
+  std::int64_t read = 0;  ///< wall cost of one checkpoint restore
+  /// Kills after which a job is dropped (0 = retry forever).
+  int retry_limit = 0;
+  /// Seconds between a kill and the resubmission (0 = immediate).
+  std::int64_t backoff = 0;
+  fault::OverrunPolicy overrun = fault::OverrunPolicy::kExtend;
+  std::int64_t grace = 0;  ///< extra wall seconds under overrun=grace
+
   // Builder-style chainers, so call sites read declaratively:
   //   SimulationSpec{}.with_scheduler("easy").closed().with_nodes(256)
   SimulationSpec& with_scheduler(std::string spec);
@@ -77,6 +97,21 @@ struct SimulationSpec {
   SimulationSpec& with_timeseries(std::string path,
                                   std::int64_t every = 0);
   SimulationSpec& with_profile(std::string path);
+  SimulationSpec& with_faults(std::uint64_t seed,
+                              std::int64_t mtbf_seconds = 7 * 86400,
+                              std::int64_t repair_seconds = 4 * 3600);
+  SimulationSpec& with_checkpointing(std::int64_t interval,
+                                     std::int64_t dump_seconds = 0,
+                                     std::int64_t read_seconds = 0);
+  SimulationSpec& with_retry(int limit, std::int64_t backoff_seconds = 0);
+  SimulationSpec& with_overrun(fault::OverrunPolicy policy,
+                               std::int64_t grace_seconds = 0);
+
+  /// The fault model this spec describes (enabled() false when
+  /// faults == 0).
+  fault::FaultModel fault_model() const;
+  /// The engine recovery policy this spec describes.
+  fault::RecoveryConfig recovery_config() const;
 
   /// Reject nonsense: empty or unresolvable scheduler spec, nodes out
   /// of [1, kMaxSpecNodes], zero lookahead, or retain_completed=false

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/swf/job_source.hpp"
+#include "sim/fault/fault.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"
 #include "validate/invariants.hpp"
@@ -168,10 +169,55 @@ outage::OutageLog fuzz_outages(std::uint64_t seed, std::int64_t nodes,
 
 namespace {
 
+/// A randomized fault-injection plan: the spec-surface fields the
+/// faults variant copies onto its SimulationSpec. One per workload, so
+/// every policy faces the identical crash schedule.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::int64_t mtbf = 0;
+  std::int64_t repair = 0;
+  std::int64_t checkpoint = 0;
+  std::int64_t dump = 0;
+  std::int64_t read = 0;
+  int retry_limit = 0;
+  std::int64_t backoff = 0;
+  sim::fault::OverrunPolicy overrun = sim::fault::OverrunPolicy::kExtend;
+  std::int64_t grace = 0;
+};
+
+FaultPlan fuzz_fault_plan(std::uint64_t seed, std::int64_t nodes,
+                          std::int64_t horizon) {
+  util::Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed != 0 ? seed : 1;
+  // Aim for a handful of crashes across the whole machine: the
+  // expected count over the horizon is nodes * horizon / mtbf.
+  const std::int64_t span = std::max<std::int64_t>(horizon, 1000);
+  plan.mtbf = std::max<std::int64_t>(
+      1000, nodes * span / rng.uniform_int(3, 15));
+  plan.repair = rng.uniform_int(60, span / 10 + 60);
+  if (rng.bernoulli(0.7)) {
+    plan.checkpoint = rng.uniform_int(50, 5000);
+    plan.dump = rng.uniform_int(0, 60);
+    plan.read = rng.uniform_int(0, 60);
+  }
+  if (rng.bernoulli(0.5)) plan.retry_limit = int(rng.uniform_int(1, 3));
+  if (rng.bernoulli(0.3)) plan.backoff = rng.uniform_int(30, 600);
+  const double overrun_roll = rng.uniform();
+  if (overrun_roll < 0.25) {
+    plan.overrun = sim::fault::OverrunPolicy::kKill;
+  } else if (overrun_roll < 0.5) {
+    plan.overrun = sim::fault::OverrunPolicy::kGrace;
+    plan.grace = rng.uniform_int(60, 3600);
+  }
+  return plan;
+}
+
 void fuzz_one(const std::string& spec_string, const swf::Trace& trace,
-              const outage::OutageLog* outages, int workload,
-              std::uint64_t workload_seed, const FuzzOptions& options,
-              bool stream, const char* variant, FuzzReport& report) {
+              const outage::OutageLog* outages, const FaultPlan* faults,
+              int workload, std::uint64_t workload_seed,
+              const FuzzOptions& options, bool stream, const char* variant,
+              FuzzReport& report) {
   ++report.runs;
   std::string detail;
   try {
@@ -180,13 +226,25 @@ void fuzz_one(const std::string& spec_string, const swf::Trace& trace,
     CheckerOptions checker_options;
     checker_options.nodes = options.nodes;
     checker_options.scheduler = spec_string;
-    checker_options.outages = outages != nullptr;
+    checker_options.outages = outages != nullptr || faults != nullptr;
     InvariantChecker checker(checker_options);
     checker.watch(*scheduler);
 
     sim::SimulationSpec spec;
     spec.scheduler = spec_string;
     spec.nodes = options.nodes;
+    if (faults) {
+      spec.faults = faults->seed;
+      spec.mtbf = faults->mtbf;
+      spec.repair = faults->repair;
+      spec.checkpoint = faults->checkpoint;
+      spec.dump = faults->dump;
+      spec.read = faults->read;
+      spec.retry_limit = faults->retry_limit;
+      spec.backoff = faults->backoff;
+      spec.overrun = faults->overrun;
+      spec.grace = faults->grace;
+    }
     sim::ReplayHooks hooks;
     hooks.observe(checker);
     if (outages) hooks.with_outages(*outages);
@@ -230,17 +288,27 @@ FuzzReport run_fuzzer(const FuzzOptions& options) {
                                                std::uint64_t(w) + 1000),
                              options.nodes, trace.horizon());
     }
+    FaultPlan fault_plan;
+    if (options.fault_runs) {
+      fault_plan = fuzz_fault_plan(util::derive_seed(options.seed,
+                                                     std::uint64_t(w) + 2000),
+                                   options.nodes, trace.horizon());
+    }
 
     for (const auto& spec : specs) {
-      fuzz_one(spec, trace, nullptr, w, workload_seed, options,
+      fuzz_one(spec, trace, nullptr, nullptr, w, workload_seed, options,
                /*stream=*/false, "materialized", report);
       if (options.outage_runs) {
-        fuzz_one(spec, trace, &outages, w, workload_seed, options,
+        fuzz_one(spec, trace, &outages, nullptr, w, workload_seed, options,
                  /*stream=*/false, "outages", report);
       }
       if (options.stream_runs) {
-        fuzz_one(spec, trace, nullptr, w, workload_seed, options,
+        fuzz_one(spec, trace, nullptr, nullptr, w, workload_seed, options,
                  /*stream=*/true, "stream", report);
+      }
+      if (options.fault_runs) {
+        fuzz_one(spec, trace, nullptr, &fault_plan, w, workload_seed,
+                 options, /*stream=*/false, "faults", report);
       }
     }
   }

@@ -10,11 +10,14 @@
 //
 //   swf_tool fuzz <seed>
 //
-// Three variants per (spec, workload): a materialized replay with the
+// Four variants per (spec, workload): a materialized replay with the
 // policy-promise checks on, an outage replay (random failures, promise
-// checks off — capacity loss legitimately slips reservations), and a
+// checks off — capacity loss legitimately slips reservations), a
 // bounded-lookahead streaming replay with slot recycling (exercising
-// job conservation under constant-memory mode).
+// job conservation under constant-memory mode), and a faults replay
+// (a random seeded crash schedule plus a randomized recovery config —
+// checkpointing, retry limits, backoff, walltime-overrun policies —
+// exercising the recovery contracts).
 #pragma once
 
 #include <cstdint>
@@ -39,13 +42,16 @@ struct FuzzOptions {
   bool outage_runs = true;
   /// Run the streaming (recycle_slots) variant of each workload.
   bool stream_runs = true;
+  /// Run the fault-injection variant of each workload (random crash
+  /// schedule + randomized recovery config).
+  bool fault_runs = true;
   /// Failures stored verbatim; the count stays exact.
   std::size_t max_failures = 16;
 };
 
 struct FuzzFailure {
   std::string scheduler;  ///< registry spec string
-  std::string variant;    ///< "materialized", "outages", "stream"
+  std::string variant;    ///< "materialized", "outages", "stream", "faults"
   /// The master seed of the run: `swf_tool fuzz <seed>` (with the same
   /// workloads/jobs budget) reproduces this failure.
   std::uint64_t seed = 0;

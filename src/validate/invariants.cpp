@@ -178,6 +178,9 @@ void InvariantChecker::on_job_complete(const sim::CompletedJob& c) {
   if (options_.expect_all_complete && !completed_.insert(c.id).second) {
     report("conservation", c.end, c.id, "completed twice");
   }
+  if (dropped_.count(c.id)) {
+    report("recovery", c.end, c.id, "completed after being dropped");
+  }
   const auto it = jobs_.find(c.id);
   if (it == jobs_.end() || !it->second.running) {
     report("lifecycle", c.end, c.id, "completed while not running");
@@ -203,16 +206,34 @@ void InvariantChecker::on_job_complete(const sim::CompletedJob& c) {
     profile_.remove_usage(c.end, sched::kForever, c.procs);
   }
   jobs_.erase(it);
+  saved_work_.erase(c.id);
 }
 
 void InvariantChecker::on_job_kill(std::int64_t time,
-                                   const sim::SimJob& job) {
+                                   const sim::SimJob& job,
+                                   const sim::KillInfo& info) {
   ++kills_;
   const auto it = jobs_.find(job.id);
   if (it == jobs_.end() || !it->second.running) {
     report("lifecycle", time, job.id, "killed while not running");
     return;
   }
+  // Checkpoint work accounting: the engine cannot salvage more work
+  // than the wall-clock the job actually held, and the lost
+  // node-seconds it reports must be non-negative.
+  const std::int64_t elapsed = time - it->second.start;
+  if (info.saved_work < 0 || info.saved_work > elapsed) {
+    report("recovery", time, job.id,
+           "kill salvaged " + std::to_string(info.saved_work) +
+               "s of checkpointed work from only " +
+               std::to_string(elapsed) + "s of execution");
+  }
+  if (info.lost_node_seconds < 0) {
+    report("recovery", time, job.id,
+           "kill reports negative lost node-seconds " +
+               std::to_string(info.lost_node_seconds));
+  }
+  if (info.saved_work > 0) saved_work_[job.id] += info.saved_work;
   if (it->second.virtual_start) {
     virtual_procs_ -= it->second.procs;
   } else {
@@ -220,6 +241,32 @@ void InvariantChecker::on_job_kill(std::int64_t time,
     profile_.remove_usage(time, sched::kForever, it->second.procs);
   }
   jobs_.erase(it);
+}
+
+void InvariantChecker::on_job_restore(std::int64_t time,
+                                      const sim::SimJob& job,
+                                      std::int64_t resumed_work) {
+  // A restore can only resume work some earlier kill checkpointed.
+  const auto it = saved_work_.find(job.id);
+  const std::int64_t saved = it == saved_work_.end() ? 0 : it->second;
+  if (resumed_work <= 0 || resumed_work > saved) {
+    report("recovery", time, job.id,
+           "restore resumes " + std::to_string(resumed_work) +
+               "s of work but kills only checkpointed " +
+               std::to_string(saved) + "s");
+  }
+}
+
+void InvariantChecker::on_job_drop(std::int64_t time, const sim::SimJob& job,
+                                   sim::DropReason /*reason*/) {
+  ++drops_;
+  saved_work_.erase(job.id);
+  if (options_.expect_all_complete && !dropped_.insert(job.id).second) {
+    report("recovery", time, job.id, "dropped twice");
+  }
+  if (completed_.count(job.id)) {
+    report("recovery", time, job.id, "dropped after completing");
+  }
 }
 
 void InvariantChecker::record_promises(std::int64_t now) {
@@ -330,11 +377,18 @@ void InvariantChecker::on_end(const sim::EngineStats& stats) {
            "engine counted " + std::to_string(stats.jobs_killed) +
                " kills, observer saw " + std::to_string(kills_));
   }
+  if (std::size_t(stats.jobs_dropped) != drops_) {
+    report("conservation", last_step_time_, -1,
+           "engine counted " + std::to_string(stats.jobs_dropped) +
+               " drops, observer saw " + std::to_string(drops_));
+  }
   if (options_.expect_all_complete) {
+    // Resubmitted-job conservation: every submission terminates —
+    // completed exactly once (checked above) or dropped.
     for (const std::int64_t id : submitted_) {
-      if (!completed_.count(id)) {
+      if (!completed_.count(id) && !dropped_.count(id)) {
         report("conservation", last_step_time_, id,
-               "submitted but never completed");
+               "submitted but never completed or dropped");
       }
     }
   }

@@ -17,7 +17,12 @@
 //     exceeds its Ousterhout-matrix slot budget (and never allocates
 //     machine nodes);
 //   * conservation — every submitted job completes exactly once, even
-//     when the engine recycles slots for constant-memory streaming.
+//     when the engine recycles slots for constant-memory streaming;
+//   * recovery — under faults, no job is both completed and dropped,
+//     every submission terminates (completed once or dropped at the
+//     retry limit), checkpoint salvage never exceeds the node-seconds a
+//     job actually held, and a restore never resumes more work than its
+//     kills saved.
 //
 // A checker records violations instead of throwing, so one run reports
 // every broken rule; harnesses (fuzzer, campaign `validate=1` cells,
@@ -103,7 +108,12 @@ class InvariantChecker final : public sim::SimObserver {
   void on_job_submit(std::int64_t time, const sim::SimJob& job) override;
   void on_decision(const sim::Decision& decision) override;
   void on_job_complete(const sim::CompletedJob& job) override;
-  void on_job_kill(std::int64_t time, const sim::SimJob& job) override;
+  void on_job_kill(std::int64_t time, const sim::SimJob& job,
+                   const sim::KillInfo& info) override;
+  void on_job_restore(std::int64_t time, const sim::SimJob& job,
+                      std::int64_t resumed_work) override;
+  void on_job_drop(std::int64_t time, const sim::SimJob& job,
+                   sim::DropReason reason) override;
   void on_step(const sim::StepSnapshot& snapshot) override;
   void on_end(const sim::EngineStats& stats) override;
 
@@ -156,6 +166,10 @@ class InvariantChecker final : public sim::SimObserver {
   std::size_t queued_tracked_ = 0;  ///< currently queued jobs
   std::unordered_set<std::int64_t> submitted_;
   std::unordered_set<std::int64_t> completed_;
+  std::unordered_set<std::int64_t> dropped_;  ///< abandoned under faults
+  /// Cumulative checkpoint-saved work per job, accumulated across its
+  /// kills; the restore contract checks resumed work against it.
+  std::unordered_map<std::int64_t, std::int64_t> saved_work_;
   std::vector<std::int64_t> promise_candidates_;  ///< submitted this step
 
   // Two independent capacity accountings (counter vs. profile).
@@ -168,6 +182,7 @@ class InvariantChecker final : public sim::SimObserver {
 
   std::size_t completions_ = 0;
   std::size_t kills_ = 0;
+  std::size_t drops_ = 0;
   std::size_t violation_count_ = 0;
   std::vector<Violation> violations_;
 };

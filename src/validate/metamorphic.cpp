@@ -4,6 +4,7 @@
 
 #include "core/swf/job_source.hpp"
 #include "sched/registry.hpp"
+#include "sim/fault/fault.hpp"
 #include "sim/replay.hpp"
 #include "validate/decisions.hpp"
 
@@ -123,6 +124,43 @@ std::vector<MetamorphicResult> check_metamorphic(
     spec.lookahead = options.stream_lookahead;
     sim::replay(source, spec, sim::ReplayHooks{}.observe(recorder));
     results.push_back(compare("stream", base, recorder.decisions()));
+  }
+
+  {
+    // Stretch the MTBF until this seed draws no crash before the
+    // horizon (the exponential first-arrival scales with its mean, so
+    // doubling converges); the full fault machinery must then be inert.
+    const std::int64_t nodes =
+        std::max<std::int64_t>(1, trace.header.max_nodes.value_or(128));
+    sim::fault::FaultModel model;
+    model.seed = options.faultfree_seed != 0 ? options.faultfree_seed : 1;
+    model.mtbf_seconds = 30 * std::int64_t(86400);
+    const std::int64_t horizon = trace.horizon();
+    for (int i = 0; i < 64; ++i) {
+      if (sim::fault::generate_crashes(model, horizon, nodes)
+              .records.empty()) {
+        break;
+      }
+      model.mtbf_seconds *= 2;
+    }
+    DecisionRecorder recorder;
+    sim::SimulationSpec spec;
+    spec.scheduler = scheduler_spec;
+    spec.faults = model.seed;
+    spec.mtbf = model.mtbf_seconds;
+    sim::replay(trace, spec, sim::ReplayHooks{}.observe(recorder));
+    results.push_back(compare("faultfree", base, recorder.decisions()));
+  }
+
+  {
+    // Checkpoint bookkeeping with zero overhead and no crashes must
+    // not move a single decision.
+    DecisionRecorder recorder;
+    sim::SimulationSpec spec;
+    spec.scheduler = scheduler_spec;
+    spec.checkpoint = options.zerodump_interval;
+    sim::replay(trace, spec, sim::ReplayHooks{}.observe(recorder));
+    results.push_back(compare("zerodump", base, recorder.decisions()));
   }
 
   return results;

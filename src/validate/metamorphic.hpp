@@ -19,7 +19,14 @@
 //   * stream    — feeding the identical workload through a bounded-
 //                 lookahead JobSource instead of a materialized trace
 //                 replays byte-identically (ingestion mechanics must
-//                 not leak into policy).
+//                 not leak into policy);
+//   * faultfree — enabling fault injection with an MTBF long enough
+//                 that the seeded crash schedule is empty replays
+//                 byte-identically to the faults-disabled run (the
+//                 recovery machinery must be inert without crashes);
+//   * zerodump  — checkpointing with zero dump/read overhead and no
+//                 faults replays byte-identically (checkpoint
+//                 bookkeeping must not perturb burst walls).
 //
 // Each relation replays twice and diffs the (suitably mapped) decision
 // traces; a violation names the first divergent decision.
@@ -49,7 +56,8 @@ swf::Trace relabel_job_ids(const swf::Trace& trace, std::int64_t offset);
 // -- the harness ------------------------------------------------------
 
 struct MetamorphicResult {
-  std::string relation;  ///< "shift", "scale", "relabel", "stream"
+  std::string relation;  ///< "shift", "scale", "relabel", "stream",
+                         ///< "faultfree", "zerodump"
   bool holds = true;
   std::string message;   ///< first divergence when !holds
 };
@@ -59,6 +67,11 @@ struct MetamorphicOptions {
   std::int64_t scale_factor = 3;
   std::int64_t relabel_offset = 1000;
   std::size_t stream_lookahead = 16;
+  /// Fault seed for the faultfree relation (the harness stretches the
+  /// MTBF until this seed's crash schedule over the horizon is empty).
+  std::uint64_t faultfree_seed = 17;
+  /// Checkpoint interval for the zerodump relation.
+  std::int64_t zerodump_interval = 3600;
 };
 
 /// Check every relation that applies to `scheduler_spec` over `trace`.

@@ -858,5 +858,127 @@ TEST(Runner, ValidateWithOutagesStaysClean) {
   EXPECT_NO_THROW(run_campaign(spec, {.threads = 1}));
 }
 
+// -- fault / recovery configuration ----------------------------------
+
+TEST(SpecParser, ParsesFaultConfigTokens) {
+  const auto spec = parse_campaign_spec_string(
+      "workload = lublin99 jobs=40\n"
+      "scheduler = fcfs\n"
+      "config = open+faults+mtbf:9000+repair:600+checkpoint:300"
+      "+dump:20+read:40+retry:3+backoff:60\n"
+      "config = open+faults+overrun:kill\n"
+      "config = open+faults+grace:120\n");
+  ASSERT_EQ(spec.configs.size(), 3u);
+  const auto& c = spec.configs[0];
+  EXPECT_TRUE(c.faults);
+  EXPECT_EQ(c.mtbf, 9000);
+  EXPECT_EQ(c.repair, 600);
+  EXPECT_EQ(c.checkpoint, 300);
+  EXPECT_EQ(c.dump, 20);
+  EXPECT_EQ(c.read, 40);
+  EXPECT_EQ(c.retry_limit, 3);
+  EXPECT_EQ(c.backoff, 60);
+  EXPECT_EQ(c.overrun, sim::fault::OverrunPolicy::kExtend);
+  EXPECT_EQ(spec.configs[1].overrun, sim::fault::OverrunPolicy::kKill);
+  // grace:N implies overrun:grace.
+  EXPECT_EQ(spec.configs[2].overrun, sim::fault::OverrunPolicy::kGrace);
+  EXPECT_EQ(spec.configs[2].grace, 120);
+}
+
+TEST(SpecParser, RejectsFaultNonsense) {
+  const std::string head = "workload = lublin99 jobs=40\nscheduler = fcfs\n";
+  // Crash schedules need the trace horizon: streaming is incompatible.
+  EXPECT_THROW(parse_campaign_spec_string(
+                   "workload = lublin99 jobs=40 stream=1\n"
+                   "scheduler = fcfs\nconfig = open+faults\n"),
+               std::invalid_argument);
+  // mtbf/repair only act with +faults.
+  EXPECT_THROW(parse_campaign_spec_string(head + "config = open+mtbf:9000\n"),
+               std::invalid_argument);
+  // dump/read without a checkpoint interval are dead knobs.
+  EXPECT_THROW(parse_campaign_spec_string(head + "config = open+dump:20\n"),
+               std::invalid_argument);
+  // overrun:grace without a grace allowance (and vice versa).
+  EXPECT_THROW(
+      parse_campaign_spec_string(head + "config = open+overrun:grace\n"),
+      std::invalid_argument);
+  // Unknown overrun policy.
+  EXPECT_THROW(
+      parse_campaign_spec_string(head + "config = open+overrun:forgiving\n"),
+      std::invalid_argument);
+  // Malformed values.
+  EXPECT_THROW(parse_campaign_spec_string(head + "config = open+mtbf:zero\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_campaign_spec_string(head + "config = open+faults+mtbf:0\n"),
+      std::invalid_argument);
+}
+
+TEST(CampaignSpec, FaultFlagsDeduplicateOnSemantics) {
+  auto spec = small_spec();
+  ConfigSpec a;
+  a.label = "open+faults+checkpoint:300";
+  a.faults = true;
+  a.checkpoint = 300;
+  ConfigSpec b;  // same engine configuration, different label spelling
+  b.label = "faults+open+checkpoint:300";
+  b.faults = true;
+  b.checkpoint = 300;
+  spec.configs = {a, b};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  // Different checkpoint intervals are a legitimate sweep axis.
+  b.label = "open+faults+checkpoint:600";
+  b.checkpoint = 600;
+  spec.configs = {a, b};
+  EXPECT_NO_THROW(spec.validate());
+  // Two default configs under different labels are still one cell.
+  ConfigSpec plain;
+  ConfigSpec relabeled;
+  relabeled.label = "open2";
+  spec.configs = {plain, relabeled};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+// The fault-injection acceptance criterion: same seed + fault spec,
+// byte-identical reports at 1 and 8 campaign threads.
+TEST(Runner, FaultCampaignDeterministicAcrossThreadCounts) {
+  CampaignSpec spec;
+  WorkloadSpec w;
+  w.label = "lublin99";
+  w.model = workload::ModelKind::kLublin99;
+  w.jobs = 100;
+  spec.workloads = {w};
+  spec.schedulers = {"fcfs", "easy", "conservative"};
+  ConfigSpec faulty;
+  faulty.label = "open+faults+mtbf:30000+repair:900+checkpoint:600"
+                 "+dump:10+read:20+retry:4";
+  faulty.faults = true;
+  faulty.mtbf = 30000;
+  faulty.repair = 900;
+  faulty.checkpoint = 600;
+  faulty.dump = 10;
+  faulty.read = 20;
+  faulty.retry_limit = 4;
+  ConfigSpec validated = faulty;
+  validated.label = faulty.label + "+validate";
+  validated.validate = true;
+  spec.configs = {faulty, validated};
+  spec.replications = 2;
+  spec.master_seed = 29;
+  spec.nodes = 64;
+
+  const auto run1 = run_campaign(spec, {.threads = 1});
+  const auto run8 = run_campaign(spec, {.threads = 8});
+  std::int64_t kills = 0;
+  for (const auto& cell : run1.cells) kills += cell.metrics.jobs_killed;
+  EXPECT_GT(kills, 0) << "fault configs injected no crashes";
+
+  const auto report1 = aggregate(run1);
+  const auto report8 = aggregate(run8);
+  EXPECT_EQ(cells_csv(run1), cells_csv(run8));
+  EXPECT_EQ(summary_csv(run1, report1), summary_csv(run8, report8));
+  EXPECT_EQ(to_json(run1, report1), to_json(run8, report8));
+}
+
 }  // namespace
 }  // namespace pjsb::exp

@@ -49,7 +49,8 @@ class QueueTracker final : public sim::SimObserver {
     queued_[job.id] = Entry{time, next_seq_++};
   }
 
-  void on_job_kill(std::int64_t /*time*/, const sim::SimJob& job) override {
+  void on_job_kill(std::int64_t /*time*/, const sim::SimJob& job,
+                   const sim::KillInfo& /*info*/) override {
     // Killed jobs requeue; the engine re-announces them via
     // on_job_submit, so just forget the old entry here.
     queued_.erase(job.id);

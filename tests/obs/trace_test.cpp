@@ -127,6 +127,119 @@ TEST(JsonlTrace, WaitStampsMatchSubmitToStartGap) {
   EXPECT_GT(starts_checked, 0u);
 }
 
+/// traced_replay with a fault/recovery spec attached.
+std::string faulty_traced_replay(const swf::Trace& trace,
+                                 sim::SimulationSpec spec) {
+  std::ostringstream os;
+  TraceWriterOptions options;
+  options.scheduler = spec.scheduler;
+  options.nodes = 64;
+  JsonlTraceWriter writer(os, options);
+  auto scheduler = sched::make_scheduler(spec.scheduler);
+  writer.watch(*scheduler);
+  spec.nodes = 64;
+  sim::ReplayHooks hooks;
+  hooks.observe(writer);
+  sim::replay(trace, std::move(scheduler), spec, hooks);
+  return os.str();
+}
+
+TEST(JsonlTrace, SchemaV2EmitsRecoveryRecords) {
+  auto spec = sim::SimulationSpec{}.with_scheduler("easy");
+  spec.faults = 9;
+  spec.mtbf = 40000;
+  spec.repair = 900;
+  spec.checkpoint = 1000;
+  spec.dump = 10;
+  spec.read = 20;
+  spec.retry_limit = 2;
+  const auto text = faulty_traced_replay(small_trace(), spec);
+
+  std::size_t crashes = 0, resubmits = 0, restores = 0, drops = 0;
+  std::int64_t run_end_kills = -1, run_end_drops = -1;
+  for (const auto& line : lines_of(text)) {
+    const auto type = *trace_field_string(line, "type");
+    if (type == "crash") {
+      ++crashes;
+      EXPECT_GE(*trace_field_int(line, "lost"), 0) << line;
+      EXPECT_GE(*trace_field_int(line, "saved"), 0) << line;
+      EXPECT_GE(*trace_field_int(line, "attempt"), 1) << line;
+    } else if (type == "resubmit") {
+      ++resubmits;
+      EXPECT_GE(*trace_field_int(line, "attempt"), 1) << line;
+      EXPECT_GT(*trace_field_int(line, "procs"), 0) << line;
+    } else if (type == "restore") {
+      ++restores;
+      EXPECT_GE(*trace_field_int(line, "resumed"), 1) << line;
+      EXPECT_EQ(*trace_field_int(line, "read"), 20) << line;
+    } else if (type == "drop") {
+      ++drops;
+      EXPECT_EQ(*trace_field_string(line, "reason"), "retry_limit") << line;
+      EXPECT_EQ(*trace_field_int(line, "attempt"), 2) << line;
+    } else if (type == "kill") {
+      // Crash deaths are spelled "crash"; a plain v2 kill record names
+      // a non-outage reason.
+      EXPECT_NE(*trace_field_string(line, "reason"), "outage") << line;
+    } else if (type == "run_end") {
+      run_end_kills = *trace_field_int(line, "kills");
+      run_end_drops = *trace_field_int(line, "drops");
+    }
+  }
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(restores, 0u);
+  EXPECT_GT(drops, 0u);
+  // Every requeued crash resubmits; retry-limit victims do not.
+  EXPECT_EQ(resubmits + drops, crashes);
+  EXPECT_EQ(run_end_kills, std::int64_t(crashes));
+  EXPECT_EQ(run_end_drops, std::int64_t(drops));
+}
+
+TEST(JsonlTrace, WalltimeOverrunEmitsKillWithReasonAndDrop) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  swf::JobRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 100;
+  r.allocated_procs = 2;
+  r.requested_time = 40;  // under-estimated: overrun=kill fires at 40
+  r.status = swf::Status::kCompleted;
+  r.user_id = 1;
+  t.records.push_back(r);
+
+  auto spec = sim::SimulationSpec{}.with_scheduler("fcfs");
+  spec.overrun = sim::fault::OverrunPolicy::kKill;
+  const auto text = faulty_traced_replay(t, spec);
+
+  bool saw_kill = false, saw_drop = false;
+  for (const auto& line : lines_of(text)) {
+    const auto type = *trace_field_string(line, "type");
+    if (type == "kill") {
+      saw_kill = true;
+      EXPECT_EQ(*trace_field_string(line, "reason"), "walltime") << line;
+      EXPECT_EQ(*trace_field_int(line, "t"), 40) << line;
+    } else if (type == "drop") {
+      saw_drop = true;
+      EXPECT_EQ(*trace_field_string(line, "reason"), "walltime_overrun")
+          << line;
+    }
+  }
+  EXPECT_TRUE(saw_kill);
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST(JsonlTrace, FaultyReplaysAreByteIdenticalToo) {
+  const auto trace = small_trace();
+  auto spec = sim::SimulationSpec{}.with_scheduler("easy");
+  spec.faults = 9;
+  spec.mtbf = 40000;
+  spec.repair = 900;
+  spec.checkpoint = 1000;
+  const auto a = faulty_traced_replay(trace, spec);
+  const auto b = faulty_traced_replay(trace, spec);
+  EXPECT_EQ(a, b);
+}
+
 TEST(JsonlTrace, IdenticalReplaysProduceByteIdenticalTraces) {
   const auto trace = small_trace();
   EXPECT_EQ(traced_replay(trace, "easy"), traced_replay(trace, "easy"));

@@ -1,0 +1,122 @@
+// FaultModel crash-schedule generation: determinism, per-node stream
+// independence, repair-window spacing, and the OverrunPolicy name
+// round-trip.
+#include "sim/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace pjsb::sim::fault {
+namespace {
+
+constexpr std::int64_t kHorizon = 30 * std::int64_t(86400);
+
+FaultModel crashy_model(std::uint64_t seed = 42) {
+  FaultModel model;
+  model.seed = seed;
+  model.mtbf_seconds = 3 * 86400;
+  model.repair_mean_seconds = 2 * 3600;
+  return model;
+}
+
+TEST(FaultModel, SeedZeroMeansDisabled) {
+  FaultModel model;
+  EXPECT_FALSE(model.enabled());
+  EXPECT_TRUE(generate_crashes(model, kHorizon, 64).records.empty());
+  EXPECT_TRUE(crashy_model().enabled());
+}
+
+TEST(FaultModel, GenerationIsDeterministic) {
+  const auto a = generate_crashes(crashy_model(), kHorizon, 64);
+  const auto b = generate_crashes(crashy_model(), kHorizon, 64);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_FALSE(a.records.empty());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i], b.records[i]) << "record " << i;
+  }
+}
+
+TEST(FaultModel, DifferentSeedsDiverge) {
+  const auto a = generate_crashes(crashy_model(1), kHorizon, 64);
+  const auto b = generate_crashes(crashy_model(2), kHorizon, 64);
+  EXPECT_NE(a.records, b.records);
+}
+
+TEST(FaultModel, PerNodeStreamsIndependentOfMachineSize) {
+  // Node k's crash history must not change when the machine grows:
+  // each node draws from derive_seed(seed, node), so campaigns that
+  // sweep machine sizes keep a shared-node prefix comparable.
+  const auto small = generate_crashes(crashy_model(), kHorizon, 8);
+  const auto big = generate_crashes(crashy_model(), kHorizon, 16);
+  std::map<std::int64_t, std::vector<outage::OutageRecord>> by_node;
+  for (const auto& r : big.records) {
+    ASSERT_EQ(r.components.size(), 1u);
+    if (r.components[0] < 8) by_node[r.components[0]].push_back(r);
+  }
+  std::map<std::int64_t, std::vector<outage::OutageRecord>> small_by_node;
+  for (const auto& r : small.records) {
+    small_by_node[r.components[0]].push_back(r);
+  }
+  EXPECT_EQ(by_node, small_by_node);
+}
+
+TEST(FaultModel, RecordsAreSurpriseSingleNodeFailuresInOrder) {
+  const auto log = generate_crashes(crashy_model(), kHorizon, 32);
+  ASSERT_FALSE(log.records.empty());
+  std::int64_t prev_start = -1;
+  for (const auto& r : log.records) {
+    // Surprise failures: no advance notice, single node, CPU failure.
+    EXPECT_FALSE(r.announced());
+    EXPECT_EQ(r.type, outage::OutageType::kCpuFailure);
+    EXPECT_EQ(r.nodes_affected, 1);
+    ASSERT_EQ(r.components.size(), 1u);
+    EXPECT_GE(r.components[0], 0);
+    EXPECT_LT(r.components[0], 32);
+    // Within the horizon, with a positive repair window.
+    EXPECT_GE(r.start_time, 0);
+    EXPECT_LT(r.start_time, kHorizon);
+    EXPECT_GT(r.end_time, r.start_time);
+    // Sorted by start time.
+    EXPECT_GE(r.start_time, prev_start);
+    prev_start = r.start_time;
+  }
+}
+
+TEST(FaultModel, DownNodeDoesNotFailAgainUntilRepaired) {
+  const auto log = generate_crashes(crashy_model(), kHorizon, 32);
+  std::map<std::int64_t, std::int64_t> last_end;  // node -> repair end
+  for (const auto& r : log.records) {
+    const std::int64_t node = r.components[0];
+    const auto it = last_end.find(node);
+    if (it != last_end.end()) {
+      EXPECT_GE(r.start_time, it->second)
+          << "node " << node << " failed again while down";
+    }
+    last_end[node] = r.end_time;
+  }
+}
+
+TEST(FaultModel, LongerMtbfMeansFewerCrashes) {
+  auto frequent = crashy_model();
+  frequent.mtbf_seconds = 86400;
+  auto rare = crashy_model();
+  rare.mtbf_seconds = 30 * std::int64_t(86400);
+  const auto many = generate_crashes(frequent, kHorizon, 64);
+  const auto few = generate_crashes(rare, kHorizon, 64);
+  EXPECT_GT(many.records.size(), few.records.size());
+}
+
+TEST(OverrunPolicy, NamesRoundTrip) {
+  for (const auto policy : {OverrunPolicy::kExtend, OverrunPolicy::kKill,
+                            OverrunPolicy::kGrace}) {
+    const auto parsed = overrun_policy_from_name(overrun_policy_name(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(overrun_policy_from_name("forgiving").has_value());
+  EXPECT_FALSE(overrun_policy_from_name("").has_value());
+}
+
+}  // namespace
+}  // namespace pjsb::sim::fault

@@ -1,0 +1,189 @@
+// Engine recovery policies: checkpoint/restart math, retry-limit
+// drops, resubmit backoff, and the walltime-overrun policies.
+#include <gtest/gtest.h>
+
+#include "core/outage/record.hpp"
+#include "sim/replay.hpp"
+#include "sim/spec.hpp"
+
+namespace pjsb::sim {
+namespace {
+
+/// One 4-wide, 100s job on a 4-node machine, submitted at t=0.
+swf::Trace one_job_trace(std::int64_t walltime = 100) {
+  swf::Trace t;
+  t.header.max_nodes = 4;
+  swf::JobRecord r;
+  r.job_number = 1;
+  r.submit_time = 0;
+  r.run_time = 100;
+  r.allocated_procs = 4;
+  r.requested_time = walltime;
+  r.status = swf::Status::kCompleted;
+  r.user_id = 1;
+  t.records.push_back(r);
+  return t;
+}
+
+/// Node 0 fails (surprise) at t=50, repaired at t=80 — the job holds
+/// all 4 nodes, so the crash kills it.
+outage::OutageLog crash_at_50() {
+  outage::OutageLog log;
+  outage::OutageRecord o;
+  o.announce_time = 50;
+  o.start_time = 50;
+  o.end_time = 80;
+  o.type = outage::OutageType::kCpuFailure;
+  o.nodes_affected = 1;
+  o.components = {0};
+  log.records.push_back(o);
+  return log;
+}
+
+TEST(Recovery, CheckpointResumeShortensRerun) {
+  SimulationSpec spec;
+  spec.scheduler = "fcfs";
+  spec.checkpoint = 30;
+  spec.dump = 5;
+  spec.read = 10;
+  const auto log = crash_at_50();
+  const auto result =
+      replay(one_job_trace(), spec, ReplayHooks{}.with_outages(log));
+
+  ASSERT_EQ(result.completed.size(), 1u);
+  const auto& c = result.completed[0];
+  EXPECT_EQ(c.restarts, 1);
+  // Burst 1 (start 0): killed at 50. One full checkpoint cycle of
+  // 30 work + 5 dump fits in the 50s elapsed, so 30s of work is
+  // banked; 4 procs * 50s elapsed - 4 * 30 saved = 80 node-seconds
+  // actually wasted.
+  EXPECT_EQ(result.stats.recovered_node_seconds, 4 * 30);
+  EXPECT_EQ(result.stats.wasted_node_seconds, 4 * 50 - 4 * 30);
+  // Burst 2 (start 80, when node 0 returns): 10s restore + 70s
+  // remaining + 2 dumps * 5s ((70-1)/30 = 2; the final stretch never
+  // dumps) = 90s wall, ending at 170 — vs 180 when restarting from
+  // scratch (Engine.OutageKillsAndRequeuesJob).
+  EXPECT_EQ(c.end, 170);
+  EXPECT_EQ(result.stats.jobs_killed, 1);
+  EXPECT_EQ(result.stats.jobs_dropped, 0);
+}
+
+TEST(Recovery, NoCheckpointRestartsFromScratch) {
+  SimulationSpec spec;
+  spec.scheduler = "fcfs";
+  const auto log = crash_at_50();
+  const auto result =
+      replay(one_job_trace(), spec, ReplayHooks{}.with_outages(log));
+  ASSERT_EQ(result.completed.size(), 1u);
+  EXPECT_EQ(result.completed[0].end, 180);  // 80 + full 100s rerun
+  EXPECT_EQ(result.stats.recovered_node_seconds, 0);
+  EXPECT_EQ(result.stats.wasted_node_seconds, 4 * 50);
+}
+
+TEST(Recovery, RetryLimitDropsJob) {
+  SimulationSpec spec;
+  spec.scheduler = "fcfs";
+  spec.retry_limit = 1;
+  const auto log = crash_at_50();
+  const auto result =
+      replay(one_job_trace(), spec, ReplayHooks{}.with_outages(log));
+  // One kill exhausts the single permitted attempt: the job is dropped,
+  // never completes, and the run still terminates.
+  EXPECT_TRUE(result.completed.empty());
+  EXPECT_EQ(result.stats.jobs_killed, 1);
+  EXPECT_EQ(result.stats.jobs_dropped, 1);
+  EXPECT_EQ(result.stats.jobs_completed, 0);
+}
+
+TEST(Recovery, BackoffDelaysResubmission) {
+  SimulationSpec spec;
+  spec.scheduler = "fcfs";
+  spec.backoff = 100;
+  const auto log = crash_at_50();
+  const auto result =
+      replay(one_job_trace(), spec, ReplayHooks{}.with_outages(log));
+  ASSERT_EQ(result.completed.size(), 1u);
+  // Killed at 50, resubmitted at 150 (past the repair at 80), full
+  // 100s rerun -> 250. Without backoff the rerun ends at 180.
+  EXPECT_EQ(result.completed[0].end, 250);
+  EXPECT_EQ(result.completed[0].restarts, 1);
+}
+
+TEST(Recovery, OverrunKillDropsAtWalltime) {
+  SimulationSpec spec;
+  spec.scheduler = "fcfs";
+  spec.overrun = fault::OverrunPolicy::kKill;
+  // True runtime 100s but only 60s requested: the deadline fires at 60
+  // and the job is dropped (walltime overrun is not retried).
+  const auto result = replay(one_job_trace(/*walltime=*/60), spec);
+  EXPECT_TRUE(result.completed.empty());
+  EXPECT_EQ(result.stats.jobs_killed, 1);
+  EXPECT_EQ(result.stats.jobs_dropped, 1);
+  EXPECT_EQ(result.stats.wasted_node_seconds, 4 * 60);
+}
+
+TEST(Recovery, OverrunGraceExtendsTheDeadline) {
+  SimulationSpec spec;
+  spec.scheduler = "fcfs";
+  spec.overrun = fault::OverrunPolicy::kGrace;
+  spec.grace = 50;
+  // 60s walltime + 50s grace covers the true 100s runtime: completes.
+  const auto lenient = replay(one_job_trace(/*walltime=*/60), spec);
+  ASSERT_EQ(lenient.completed.size(), 1u);
+  EXPECT_EQ(lenient.completed[0].end, 100);
+
+  spec.grace = 20;
+  // 60 + 20 < 100: killed at the grace deadline instead.
+  const auto strict = replay(one_job_trace(/*walltime=*/60), spec);
+  EXPECT_TRUE(strict.completed.empty());
+  EXPECT_EQ(strict.stats.jobs_dropped, 1);
+  EXPECT_EQ(strict.stats.wasted_node_seconds, 4 * 80);
+}
+
+TEST(Recovery, OverrunExtendKeepsHistoricalBehavior) {
+  // The default policy lets the under-estimated job run to its true
+  // runtime — exactly the pre-recovery engine.
+  const auto result =
+      replay(one_job_trace(/*walltime=*/60), SimulationSpec{});
+  ASSERT_EQ(result.completed.size(), 1u);
+  EXPECT_EQ(result.completed[0].end, 100);
+  EXPECT_EQ(result.stats.jobs_killed, 0);
+}
+
+TEST(Recovery, FaultSpecGeneratesCrashesDeterministically) {
+  // End-to-end through SimulationSpec's faults= path: same spec, same
+  // decisions; different seed, (almost surely) different decisions.
+  swf::Trace t;
+  t.header.max_nodes = 8;
+  for (int i = 0; i < 40; ++i) {
+    swf::JobRecord r;
+    r.job_number = i + 1;
+    r.submit_time = i * 400;
+    r.run_time = 2000 + (i % 5) * 1300;
+    r.allocated_procs = 1 + (i % 8);
+    r.requested_time = r.run_time + 600;
+    r.status = swf::Status::kCompleted;
+    r.user_id = 1;
+    t.records.push_back(r);
+  }
+  SimulationSpec spec;
+  spec.scheduler = "easy";
+  spec.faults = 11;
+  spec.mtbf = 5000;
+  spec.repair = 300;
+  spec.checkpoint = 500;
+
+  const auto a = replay(t, spec);
+  const auto b = replay(t, spec);
+  EXPECT_GT(a.stats.jobs_killed, 0) << "fault spec injected no crashes";
+  EXPECT_EQ(a.stats.jobs_killed, b.stats.jobs_killed);
+  EXPECT_EQ(a.stats.wasted_node_seconds, b.stats.wasted_node_seconds);
+  EXPECT_EQ(a.stats.makespan, b.stats.makespan);
+
+  spec.faults = 12;
+  const auto c = replay(t, spec);
+  EXPECT_NE(a.stats.makespan, c.stats.makespan);
+}
+
+}  // namespace
+}  // namespace pjsb::sim

@@ -62,6 +62,80 @@ TEST(SimulationSpec, EveryFieldRoundTrips) {
   EXPECT_EQ(parsed.to_string(), text);
 }
 
+TEST(SimulationSpec, FaultAndRecoveryKeysRoundTrip) {
+  SimulationSpec spec;
+  spec.scheduler = "easy";
+  spec.faults = 42;
+  spec.mtbf = 86400;
+  spec.repair = 1800;
+  spec.checkpoint = 3600;
+  spec.dump = 30;
+  spec.read = 60;
+  spec.retry_limit = 3;
+  spec.backoff = 120;
+  spec.overrun = fault::OverrunPolicy::kGrace;
+  spec.grace = 600;
+
+  const std::string text = spec.to_string();
+  EXPECT_EQ(text,
+            "scheduler=easy faults=42 mtbf=86400 repair=1800 "
+            "checkpoint=3600 dump=30 read=60 retry_limit=3 backoff=120 "
+            "overrun=grace grace=600");
+  const auto parsed = SimulationSpec::parse(text);
+  EXPECT_EQ(parsed.faults, spec.faults);
+  EXPECT_EQ(parsed.mtbf, spec.mtbf);
+  EXPECT_EQ(parsed.repair, spec.repair);
+  EXPECT_EQ(parsed.checkpoint, spec.checkpoint);
+  EXPECT_EQ(parsed.dump, spec.dump);
+  EXPECT_EQ(parsed.read, spec.read);
+  EXPECT_EQ(parsed.retry_limit, spec.retry_limit);
+  EXPECT_EQ(parsed.backoff, spec.backoff);
+  EXPECT_EQ(parsed.overrun, spec.overrun);
+  EXPECT_EQ(parsed.grace, spec.grace);
+  EXPECT_EQ(parsed.to_string(), text);
+
+  // The structured views agree with the fields.
+  const auto model = parsed.fault_model();
+  EXPECT_TRUE(model.enabled());
+  EXPECT_EQ(model.seed, 42u);
+  EXPECT_EQ(model.mtbf_seconds, 86400);
+  EXPECT_EQ(model.repair_mean_seconds, 1800);
+  const auto recovery = parsed.recovery_config();
+  EXPECT_EQ(recovery.checkpoint_interval, 3600);
+  EXPECT_EQ(recovery.dump_time, 30);
+  EXPECT_EQ(recovery.read_time, 60);
+  EXPECT_EQ(recovery.retry_limit, 3);
+  EXPECT_EQ(recovery.backoff_seconds, 120);
+  EXPECT_EQ(recovery.overrun, fault::OverrunPolicy::kGrace);
+  EXPECT_EQ(recovery.grace_seconds, 600);
+}
+
+TEST(SimulationSpec, ValidateRejectsFaultNonsense) {
+  // Crash-schedule distributions without the seed that enables them.
+  EXPECT_THROW(SimulationSpec::parse("scheduler=easy mtbf=1000").validate(),
+               std::invalid_argument);
+  EXPECT_THROW(SimulationSpec::parse("scheduler=easy repair=60").validate(),
+               std::invalid_argument);
+  // Checkpoint costs without a checkpoint interval.
+  EXPECT_THROW(SimulationSpec::parse("scheduler=easy dump=5").validate(),
+               std::invalid_argument);
+  // overrun=grace needs a positive grace, and grace needs overrun=grace.
+  EXPECT_THROW(
+      SimulationSpec::parse("scheduler=easy overrun=grace").validate(),
+      std::invalid_argument);
+  EXPECT_THROW(SimulationSpec::parse("scheduler=easy grace=60").validate(),
+               std::invalid_argument);
+  // Malformed values die in parse with the key named.
+  EXPECT_THROW(SimulationSpec::parse("scheduler=easy faults=lots"),
+               std::invalid_argument);
+  EXPECT_THROW(SimulationSpec::parse("scheduler=easy overrun=forgiving"),
+               std::invalid_argument);
+  EXPECT_THROW(SimulationSpec::parse("scheduler=easy retry_limit=-1"),
+               std::invalid_argument);
+  // faults=0 is the documented "disabled" spelling, not an error.
+  EXPECT_NO_THROW(SimulationSpec::parse("scheduler=easy faults=0").validate());
+}
+
 TEST(SimulationSpec, AutoNodesSpelledAuto) {
   const auto parsed = SimulationSpec::parse("scheduler=easy nodes=auto");
   EXPECT_FALSE(parsed.nodes.has_value());

@@ -107,11 +107,29 @@ TEST(Fuzzer, ReportCountsRunsPerVariant) {
   options.jobs = 30;
   options.outage_runs = false;
   options.stream_runs = false;
+  options.fault_runs = false;
   const auto report = validate::run_fuzzer(options);
   EXPECT_EQ(report.specs,
             validate::enumerate_scheduler_specs(sched::Registry::global())
                 .size());
   EXPECT_EQ(report.runs, report.specs);  // one materialized run per spec
+  EXPECT_TRUE(report.clean()) << report.summary();
+}
+
+// The faults variant alone must also run clean over every spec: random
+// crash schedules plus randomized recovery configs (checkpointing,
+// retry limits, backoff, overrun policies) against the recovery
+// contracts in the invariant checker.
+TEST(Fuzzer, FaultVariantAloneIsClean) {
+  validate::FuzzOptions options;
+  options.seed = 11;
+  options.workloads = 2;
+  options.jobs = 60;
+  options.outage_runs = false;
+  options.stream_runs = false;
+  const auto report = validate::run_fuzzer(options);
+  // materialized + faults, per workload
+  EXPECT_EQ(report.runs, 2u * 2u * report.specs);
   EXPECT_TRUE(report.clean()) << report.summary();
 }
 

@@ -5,6 +5,7 @@
 
 #include "sched/registry.hpp"
 #include "sim/replay.hpp"
+#include "util/rng.hpp"
 #include "validate/fuzzer.hpp"
 
 namespace pjsb {
@@ -202,6 +203,163 @@ TEST(InvariantChecker, KeptPromiseStaysClean) {
   checker.on_step({50, 32, 0, 0, 1, 0});
   checker.on_decision({80, 1, 4, false});  // earlier than promised: fine
   EXPECT_TRUE(checker.clean()) << checker.summary();
+}
+
+// -- recovery contracts -----------------------------------------------
+
+sim::CompletedJob completed_job(std::int64_t id, std::int64_t start,
+                                std::int64_t end, std::int64_t procs) {
+  sim::CompletedJob c;
+  c.id = id;
+  c.submit = start;
+  c.start = start;
+  c.end = end;
+  c.procs = procs;
+  return c;
+}
+
+TEST(InvariantChecker, CatchesSalvageExceedingElapsedWallClock) {
+  InvariantChecker checker(options_for("fcfs", /*outages=*/true));
+  checker.on_job_submit(0, queued_job(1, 0, 4, 100));
+  checker.on_decision({0, 1, 4, false});
+  sim::KillInfo info;
+  info.saved_work = 90;  // only 50s elapsed: cannot have banked 90s
+  checker.on_job_kill(50, queued_job(1, 0, 4, 100), info);
+  ASSERT_FALSE(checker.clean());
+  EXPECT_EQ(checker.violations().front().invariant, "recovery");
+}
+
+TEST(InvariantChecker, CatchesNegativeLostNodeSeconds) {
+  InvariantChecker checker(options_for("fcfs", /*outages=*/true));
+  checker.on_job_submit(0, queued_job(1, 0, 4, 100));
+  checker.on_decision({0, 1, 4, false});
+  sim::KillInfo info;
+  info.lost_node_seconds = -1;
+  checker.on_job_kill(50, queued_job(1, 0, 4, 100), info);
+  ASSERT_FALSE(checker.clean());
+  EXPECT_EQ(checker.violations().front().invariant, "recovery");
+}
+
+TEST(InvariantChecker, CatchesRestoreBeyondCheckpointedWork) {
+  InvariantChecker checker(options_for("fcfs", /*outages=*/true));
+  checker.on_job_submit(0, queued_job(1, 0, 4, 100));
+  checker.on_decision({0, 1, 4, false});
+  sim::KillInfo info;
+  info.saved_work = 30;
+  checker.on_job_kill(50, queued_job(1, 0, 4, 100), info);
+  checker.on_job_submit(50, queued_job(1, 0, 4, 100));
+  checker.on_decision({60, 1, 4, false});
+  // The kill banked 30s; resuming 40s claims work no checkpoint held.
+  checker.on_job_restore(60, queued_job(1, 0, 4, 100), 40);
+  ASSERT_FALSE(checker.clean());
+  EXPECT_EQ(checker.violations().front().invariant, "recovery");
+}
+
+TEST(InvariantChecker, RestoreWithinCheckpointedWorkIsClean) {
+  InvariantChecker checker(options_for("fcfs", /*outages=*/true));
+  checker.on_job_submit(0, queued_job(1, 0, 4, 100));
+  checker.on_decision({0, 1, 4, false});
+  sim::KillInfo info;
+  info.saved_work = 30;
+  checker.on_job_kill(50, queued_job(1, 0, 4, 100), info);
+  checker.on_job_submit(50, queued_job(1, 0, 4, 100));
+  checker.on_decision({60, 1, 4, false});
+  checker.on_job_restore(60, queued_job(1, 0, 4, 100), 30);
+  EXPECT_TRUE(checker.clean()) << checker.summary();
+}
+
+TEST(InvariantChecker, CatchesCompletionAfterDrop) {
+  InvariantChecker checker(options_for("fcfs", /*outages=*/true));
+  checker.on_job_submit(0, queued_job(1, 0, 4, 100));
+  checker.on_job_drop(10, queued_job(1, 0, 4, 100),
+                      sim::DropReason::kRetryLimit);
+  checker.on_job_complete(completed_job(1, 20, 120, 4));
+  ASSERT_FALSE(checker.clean());
+  bool saw_recovery = false;
+  for (const auto& v : checker.violations()) {
+    saw_recovery |= v.invariant == "recovery";
+  }
+  EXPECT_TRUE(saw_recovery) << checker.summary();
+}
+
+TEST(InvariantChecker, CatchesDoubleDrop) {
+  InvariantChecker checker(options_for("fcfs", /*outages=*/true));
+  checker.on_job_submit(0, queued_job(1, 0, 4, 100));
+  checker.on_job_drop(10, queued_job(1, 0, 4, 100),
+                      sim::DropReason::kRetryLimit);
+  checker.on_job_drop(12, queued_job(1, 0, 4, 100),
+                      sim::DropReason::kRetryLimit);
+  ASSERT_FALSE(checker.clean());
+  EXPECT_EQ(checker.violations().front().invariant, "recovery");
+}
+
+TEST(InvariantChecker, CrossChecksEngineDropCount) {
+  InvariantChecker checker(options_for("fcfs", /*outages=*/true));
+  checker.on_job_submit(0, queued_job(1, 0, 4, 100));
+  checker.on_job_drop(10, queued_job(1, 0, 4, 100),
+                      sim::DropReason::kRetryLimit);
+  sim::EngineStats stats;
+  stats.jobs_dropped = 2;  // observer saw only one drop
+  checker.on_end(stats);
+  ASSERT_FALSE(checker.clean());
+  bool saw_conservation = false;
+  for (const auto& v : checker.violations()) {
+    saw_conservation |= v.invariant == "conservation";
+  }
+  EXPECT_TRUE(saw_conservation) << checker.summary();
+}
+
+TEST(InvariantChecker, CleanUnderInjectedFaultsWithRecovery) {
+  // A real faulty run with checkpoints, retries and drops must pass the
+  // full recovery contract suite.
+  const auto trace = small_workload(17);
+  auto spec = sim::SimulationSpec{}.with_scheduler("easy");
+  spec.nodes = 32;
+  spec.faults = 5;
+  spec.mtbf = 20000;
+  spec.repair = 600;
+  spec.checkpoint = 800;
+  spec.dump = 10;
+  spec.read = 15;
+  spec.retry_limit = 2;
+  auto scheduler = sched::make_scheduler(spec.scheduler);
+  InvariantChecker checker(options_for(spec.scheduler, /*outages=*/true));
+  checker.watch(*scheduler);
+  const auto result = sim::replay(trace, std::move(scheduler), spec,
+                                  sim::ReplayHooks{}.observe(checker));
+  EXPECT_GT(result.stats.jobs_killed, 0) << "fault spec injected nothing";
+  EXPECT_TRUE(checker.clean()) << checker.summary();
+}
+
+TEST(InvariantChecker, ConservativeRequeueNeverStrandsJobs) {
+  // Regression (found by `swf_tool fuzz 1 1 60`): under fault injection,
+  // conservative's improvement-only compression could leave several
+  // full-machine jobs holding mutually-blocking reservations whose
+  // slots had slipped into the past (no event ever landed on them once
+  // an overrunning job became the only event source). The run then
+  // drained its events with the machine idle and the jobs still queued.
+  // Void claims are now dropped from the standing profile, so the
+  // earliest-claim job always compresses to `now` on an idle machine.
+  const auto trace = validate::fuzz_workload(util::derive_seed(1, 0), 60, 32);
+  auto spec = sim::SimulationSpec{}.with_scheduler("conservative");
+  spec.nodes = 32;
+  spec.faults = 9930521494089734424ull;
+  spec.mtbf = 496699;
+  spec.repair = 9956;
+  spec.checkpoint = 512;
+  spec.dump = 59;
+  spec.read = 31;
+  spec.retry_limit = 2;
+  auto scheduler = sched::make_scheduler(spec.scheduler);
+  InvariantChecker checker(options_for("conservative", /*outages=*/true));
+  checker.watch(*scheduler);
+  const auto result = sim::replay(trace, std::move(scheduler), spec,
+                                  sim::ReplayHooks{}.observe(checker));
+  EXPECT_TRUE(checker.clean()) << checker.summary();
+  EXPECT_GT(result.stats.jobs_killed, 0);
+  // Conservation: every job completes or is dropped, none stranded.
+  EXPECT_EQ(result.completed.size() + std::size_t(result.stats.jobs_dropped),
+            trace.records.size());
 }
 
 TEST(InvariantChecker, ViolationStorageBoundedButCountExact) {

@@ -76,7 +76,8 @@ TEST(Metamorphic, AllRelationsHoldForParameterizedVariants) {
 TEST(Metamorphic, GangSkipsScaleButRunsTheRest) {
   const auto results = validate::check_metamorphic(workload(5), "gang");
   for (const auto& r : results) EXPECT_NE(r.relation, "scale");
-  ASSERT_EQ(results.size(), 3u);  // shift, relabel, stream
+  // shift, relabel, stream, faultfree, zerodump
+  ASSERT_EQ(results.size(), 5u);
 }
 
 TEST(Metamorphic, BrokenRelationIsDetected) {
