@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
     std::int64_t events = 0;
     std::int64_t completed = 0;
     for (int r = 0; r < reps; ++r) {
-      const auto result = sim::replay(trace, sched::make_scheduler(name));
+      const auto result =
+          sim::replay(trace, sim::SimulationSpec{}.with_scheduler(name));
       events += result.stats.events_processed;
       completed += result.stats.jobs_completed;
     }

@@ -26,7 +26,7 @@ int main() {
   // Derive a plausible observed schedule to infer dependencies from.
   {
     const auto base =
-        sim::replay(trace, sched::make_scheduler("easy"));
+        sim::replay(trace, sim::SimulationSpec{}.with_scheduler("easy"));
     std::map<std::int64_t, std::int64_t> waits;
     for (const auto& c : base.completed) waits[c.id] = c.wait();
     for (auto& r : trace.records) {
@@ -44,10 +44,10 @@ int main() {
                      "makespan_h"});
   for (const std::string scheduler : {"easy", "fcfs"}) {
     for (const bool closed : {false, true}) {
-      sim::ReplayOptions opt;
-      opt.closed_loop = closed;
-      const auto result =
-          sim::replay(trace, sched::make_scheduler(scheduler), opt);
+      sim::SimulationSpec spec;
+      spec.scheduler = scheduler;
+      spec.closed_loop = closed;
+      const auto result = sim::replay(trace, spec);
       const auto report =
           metrics::compute_report(result.completed, result.stats);
       table.row()

@@ -45,11 +45,12 @@ int main() {
                      "util", "restarts/job", "wasted_frac"});
   for (const std::string scheduler : {"easy", "conservative"}) {
     for (const std::string mode : {"none", "blind", "aware"}) {
-      sim::ReplayOptions opt;
-      if (mode != "none") opt.outages = &merged;
-      opt.deliver_announcements = (mode == "aware");
-      const auto result =
-          sim::replay(trace, sched::make_scheduler(scheduler), opt);
+      sim::SimulationSpec spec;
+      spec.scheduler = scheduler;
+      spec.deliver_announcements = (mode == "aware");
+      sim::ReplayHooks hooks;
+      if (mode != "none") hooks.with_outages(merged);
+      const auto result = sim::replay(trace, spec, hooks);
       const auto report =
           metrics::compute_report(result.completed, result.stats);
       table.row()

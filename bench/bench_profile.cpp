@@ -110,7 +110,8 @@ void replay_bench(util::Table& table, bench::JsonReporter& json,
   double conservative_wall = 0.0;
   for (const char* name : {"conservative", "easy"}) {
     bench::WallTimer timer;
-    const auto result = sim::replay(trace, sched::make_scheduler(name));
+    const auto result =
+        sim::replay(trace, sim::SimulationSpec{}.with_scheduler(name));
     const double secs = timer.seconds();
     if (std::string(name) == "conservative") conservative_wall = secs;
     const double jobs_per_s = double(result.stats.jobs_completed) / secs;

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "metrics/aggregate.hpp"
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -156,9 +156,10 @@ inline swf::Trace make_workload(workload::ModelKind kind, std::size_t jobs,
 /// Replay a trace under a named scheduler and aggregate metrics.
 inline metrics::MetricsReport run_and_report(
     const swf::Trace& trace, const std::string& scheduler,
-    const sim::ReplayOptions& options = {}) {
-  const auto result =
-      sim::replay(trace, sched::make_scheduler(scheduler), options);
+    const sim::SimulationSpec& spec = {}, const sim::ReplayHooks& hooks = {}) {
+  sim::SimulationSpec resolved = spec;
+  resolved.scheduler = scheduler;
+  const auto result = sim::replay(trace, resolved, hooks);
   return metrics::compute_report(result.completed, result.stats);
 }
 

@@ -25,6 +25,21 @@
 //                                    stream a synthetic trace to disk
 //   trace-summary <trace.jsonl> [top-k]
 //                                    summarize a JSONL event trace
+//   snapshot <file.swf> <scheduler-spec> <time> <out.snap> [fault-flags]
+//                                    run to sim-time <time>, freeze the
+//                                    complete engine state into a
+//                                    versioned binary snapshot; the
+//                                    decisions made so far land in
+//                                    <out.snap>.decisions
+//   resume <file.snap> [--golden <file>]
+//                                    restore a snapshot and run it to
+//                                    completion; with --golden, diff the
+//                                    combined (prefix + resumed)
+//                                    decision trace against a golden
+//   whatif <file.snap> <procs> <estimate> [--offset <s>] [--simulate]
+//                                    answer "when would this job start?"
+//                                    against the frozen state, without
+//                                    perturbing it
 //   schedulers                       print the policy registry catalogue
 //
 // simulate, stream-simulate and golden-mode validate accept trailing
@@ -48,9 +63,11 @@
 // Malformed record lines are fatal: every offending line is reported
 // with its physical line number and the tool exits nonzero, so a broken
 // archive file cannot silently shrink an experiment's workload.
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <optional>
 #include <string>
 
@@ -66,6 +83,8 @@
 #include "sched/registry.hpp"
 #include "sim/fault/fault.hpp"
 #include "sim/replay.hpp"
+#include "sim/snapshot/snapshot.hpp"
+#include "sim/snapshot/whatif.hpp"
 #include "util/resource.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -101,6 +120,11 @@ int usage() {
       "  stream-simulate <file.swf> <scheduler-spec> [lookahead] "
       "[sink-flags]\n"
       "  trace-summary <trace.jsonl> [top-k]\n"
+      "  snapshot <file.swf> <scheduler-spec> <time> <out.snap> "
+      "[fault-flags]\n"
+      "  resume <file.snap> [--golden <golden-file>]\n"
+      "  whatif <file.snap> <procs> <estimate-s> [--offset <s>] "
+      "[--simulate]\n"
       "  schedulers\n"
       "scheduler-spec is a registry spec string, e.g. \"easy\" or\n"
       "\"easy reserve_depth=2\" (run `swf_tool schedulers` for the "
@@ -538,6 +562,129 @@ int cmd_simulate(const std::string& path, const std::string& scheduler,
   return 0;
 }
 
+/// Run `path` under `scheduler` up to sim-time `at_time`, then freeze
+/// the engine into `out` (snapshot format v1). The decision prefix —
+/// every decision made before the freeze — is written to
+/// `<out>.decisions` so `resume --golden` can reconstruct the full
+/// trace for comparison against an uninterrupted golden.
+int cmd_snapshot(const std::string& path, const std::string& scheduler,
+                 std::int64_t at_time, const std::string& out,
+                 const RunFlags& flags) {
+  const auto trace = load_or_die(path);
+  auto spec = sim::SimulationSpec{}.with_scheduler(scheduler);
+  flags.apply(spec);
+  spec.validate();
+  const auto config = sim::spec_engine_config(
+      spec, trace.header.max_nodes.value_or(sim::kDefaultNodes));
+
+  sim::Engine engine(config, sched::make_scheduler(scheduler));
+  validate::DecisionRecorder recorder;
+  engine.add_observer(recorder);
+  // Same seeded crash schedule replay() would generate, so a resumed
+  // crashy run matches the uninterrupted crashy golden.
+  outage::OutageLog crashes;
+  if (spec.faults != 0) {
+    crashes = sim::fault::generate_crashes(spec.fault_model(),
+                                           trace.horizon(), config.nodes);
+    engine.add_outages(crashes);
+  }
+  engine.load_trace(trace);
+  // Snapshots are legal only between steps: process whole event
+  // timestamps until the next one would pass the snapshot point.
+  while (true) {
+    const auto t = engine.next_event_time();
+    if (!t || *t > at_time) break;
+    engine.step();
+  }
+  sim::snapshot::write_file(out, engine.snapshot());
+  std::ofstream decisions(out + ".decisions");
+  decisions << validate::decisions_to_csv(recorder.decisions());
+  if (!decisions) {
+    std::cerr << "cannot write " << out << ".decisions\n";
+    return 1;
+  }
+  std::cout << "snapshot at t=" << engine.now() << " ("
+            << recorder.decisions().size() << " decisions so far) -> "
+            << out << "\n";
+  return 0;
+}
+
+/// Concatenate the snapshot's decision prefix with the resumed run's
+/// decisions: the prefix keeps its header line, the resumed CSV drops
+/// its own. A missing prefix file means the snapshot was taken before
+/// any decisions (or by another driver); the resumed CSV stands alone.
+std::string combine_decision_csv(const std::string& prefix_path,
+                                 const std::string& resumed_csv) {
+  std::ifstream prefix(prefix_path);
+  if (!prefix) return resumed_csv;
+  std::string head((std::istreambuf_iterator<char>(prefix)),
+                   std::istreambuf_iterator<char>());
+  const auto nl = resumed_csv.find('\n');
+  return head + resumed_csv.substr(nl == std::string::npos ? resumed_csv.size()
+                                                           : nl + 1);
+}
+
+int cmd_resume(const std::string& snap_path,
+               const std::string& golden_path) {
+  auto engine = sim::Engine::restore(sim::snapshot::read_file(snap_path));
+  if (engine->needs_job_source()) {
+    std::cerr << "resume: snapshot has an active streaming job source; "
+                 "the CLI can only resume self-contained (materialized-"
+                 "trace) snapshots\n";
+    return 2;
+  }
+  validate::DecisionRecorder recorder;
+  engine->add_observer(recorder);
+  engine->run();
+  engine->notify_run_end();
+  const auto stats = engine->stats();
+
+  if (!golden_path.empty()) {
+    const auto combined = combine_decision_csv(
+        snap_path + ".decisions",
+        validate::decisions_to_csv(recorder.decisions()));
+    const auto result = validate::check_golden_csv(
+        combined, golden_path, "resume " + snap_path);
+    std::cout << result.message << "\n";
+    if (!result.ok) return 1;
+  }
+  util::Table table({"metric", "value"});
+  table.row().cell("resumed decisions")
+      .cell(std::int64_t(recorder.decisions().size()));
+  table.row().cell("jobs completed").cell(stats.jobs_completed);
+  table.row().cell("utilization").cell(stats.utilization(), 3);
+  table.row().cell("makespan (s)").cell(stats.makespan);
+  std::cout << table.to_string();
+  return 0;
+}
+
+int cmd_whatif(const std::string& snap_path, std::int64_t procs,
+               std::int64_t estimate, std::int64_t offset, bool simulate) {
+  sim::WhatIfService service(sim::snapshot::read_file(snap_path));
+  sim::WhatIfQuery query;
+  query.procs = procs;
+  query.estimate = estimate;
+  query.submit_offset = offset;
+  query.simulate = simulate;
+  const auto answer = service.query(query);
+
+  util::Table table({"metric", "value"});
+  table.row().cell("snapshot time").cell(service.snapshot_time());
+  table.row().cell("submit time")
+      .cell(service.snapshot_time() + std::max<std::int64_t>(0, offset));
+  table.row().cell("mode").cell(answer.simulated ? "simulate" : "predict");
+  if (answer.start) {
+    table.row().cell("start time").cell(*answer.start);
+    table.row().cell("wait (s)").cell(*answer.wait);
+  } else {
+    table.row().cell("start time")
+        .cell(simulate ? "never (run drained)" : "unknown (policy cannot "
+                                                 "predict; try --simulate)");
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -633,6 +780,54 @@ int main(int argc, char** argv) {
         top_k = *n;
       }
       return cmd_trace_summary(argv[2], std::size_t(top_k));
+    }
+    if (cmd == "snapshot" && argc >= 6) {
+      const auto at_time = util::parse_i64(argv[4]);
+      if (!at_time || *at_time < 0) {
+        std::cerr << "snapshot: time must be a non-negative integer "
+                     "(sim-seconds)\n";
+        return 2;
+      }
+      RunFlags flags;
+      if (!parse_run_flags(argc, argv, 6, flags)) return 2;
+      if (flags.bless) return usage();  // --bless is validate-only
+      return cmd_snapshot(argv[2], argv[3], *at_time, argv[5], flags);
+    }
+    if (cmd == "resume" && (argc == 3 || argc == 5)) {
+      std::string golden;
+      if (argc == 5) {
+        if (std::string(argv[3]) != "--golden") return usage();
+        golden = argv[4];
+      }
+      return cmd_resume(argv[2], golden);
+    }
+    if (cmd == "whatif" && argc >= 5) {
+      const auto procs = util::parse_i64(argv[3]);
+      const auto estimate = util::parse_i64(argv[4]);
+      if (!procs || *procs < 1 || !estimate || *estimate < 1) {
+        std::cerr << "whatif: procs and estimate must be positive "
+                     "integers\n";
+        return 2;
+      }
+      std::int64_t offset = 0;
+      bool simulate = false;
+      for (int i = 5; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--simulate") {
+          simulate = true;
+        } else if (flag == "--offset" && i + 1 < argc) {
+          const auto n = util::parse_i64(argv[++i]);
+          if (!n) {
+            std::cerr << "--offset must be an integer (sim-seconds)\n";
+            return 2;
+          }
+          offset = *n;
+        } else {
+          std::cerr << "whatif: unknown flag " << flag << "\n";
+          return 2;
+        }
+      }
+      return cmd_whatif(argv[2], *procs, *estimate, offset, simulate);
     }
     if (cmd == "schedulers" && argc == 2) {
       std::cout << sched::Registry::global().help();

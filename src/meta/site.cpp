@@ -1,6 +1,6 @@
 #include "meta/site.hpp"
 
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "workload/scale.hpp"
 
 namespace pjsb::meta {

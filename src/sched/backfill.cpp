@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/snapshot/codec.hpp"
+
 namespace pjsb::sched {
 
 void BackfillBase::on_attach(SchedulerContext& ctx) {
@@ -175,6 +177,159 @@ bool BackfillBase::try_reserve(SchedulerContext& ctx,
   profile_.add_usage(from, end, reservation.procs);
   base_changed_ = true;
   return true;
+}
+
+void BackfillBase::write_profile(sim::snapshot::Writer& w,
+                                 const CapacityProfile& profile) {
+  w.i64(profile.base_capacity());
+  w.u64(profile.step_count());
+  for (std::size_t i = 0; i < profile.step_count(); ++i) {
+    const auto [time, avail] = profile.step_at(i);
+    w.i64(time);
+    w.i64(avail);
+  }
+}
+
+CapacityProfile BackfillBase::read_profile(sim::snapshot::Reader& r) {
+  const std::int64_t base = r.i64();
+  const std::uint64_t n = r.u64();
+  std::vector<std::pair<std::int64_t, std::int64_t>> steps;
+  steps.reserve(std::size_t(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t time = r.i64();
+    const std::int64_t avail = r.i64();
+    steps.emplace_back(time, avail);
+  }
+  return CapacityProfile::from_steps(base, steps);
+}
+
+void BackfillBase::save_state(sim::snapshot::Writer& w) const {
+  w.u64(queue_.size());
+  for (std::int64_t id : queue_) w.i64(id);
+
+  // Hash maps are serialized in sorted-key order so the byte stream is
+  // independent of hashing/insertion history; lookups don't care.
+  std::vector<std::int64_t> ids;
+  ids.reserve(queued_info_.size());
+  for (const auto& [id, info] : queued_info_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u64(ids.size());
+  for (std::int64_t id : ids) {
+    const auto& info = queued_info_.at(id);
+    w.i64(id);
+    w.i64(info.procs);
+    w.i64(info.estimate);
+  }
+
+  ids.clear();
+  for (const auto& [id, rj] : running_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u64(ids.size());
+  for (std::int64_t id : ids) {
+    const auto& rj = running_.at(id);
+    w.i64(rj.id);
+    w.i64(rj.expected_end);
+    w.i64(rj.procs);
+    w.i64(rj.profile_end);
+  }
+
+  w.u64(reservations_.size());
+  for (const auto& res : reservations_) {
+    w.i64(res.id);
+    w.i64(res.start);
+    w.i64(res.duration);
+    w.i64(res.procs);
+    w.boolean(res.job_id.has_value());
+    if (res.job_id) w.i64(*res.job_id);
+  }
+
+  w.u64(outages_.size());
+  for (const auto& o : outages_) {
+    w.i64(o.start);
+    w.i64(o.end);
+    w.i64(o.nodes);
+  }
+
+  w.i64(total_nodes_);
+  write_profile(w, profile_);
+
+  // Drain a copy of the overrun heap in pop order; equal entries are
+  // identical pairs, so re-pushing in this order rebuilds a heap with
+  // the same pop sequence.
+  auto heap = expiry_heap_;
+  w.u64(heap.size());
+  while (!heap.empty()) {
+    const auto [end, id] = heap.top();
+    heap.pop();
+    w.i64(end);
+    w.i64(id);
+  }
+
+  w.boolean(base_changed_);
+  // cross_check_ is a build/debug setting of the restoring process,
+  // not simulation state; it is deliberately not serialized.
+}
+
+void BackfillBase::load_state(sim::snapshot::Reader& r) {
+  queue_.clear();
+  std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(r.i64());
+
+  queued_info_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t id = r.i64();
+    QueuedInfo info;
+    info.procs = r.i64();
+    info.estimate = r.i64();
+    queued_info_.emplace(id, info);
+  }
+
+  running_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RunningJob rj;
+    rj.id = r.i64();
+    rj.expected_end = r.i64();
+    rj.procs = r.i64();
+    rj.profile_end = r.i64();
+    running_.emplace(rj.id, rj);
+  }
+
+  reservations_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    AdvanceReservation res;
+    res.id = r.i64();
+    res.start = r.i64();
+    res.duration = r.i64();
+    res.procs = r.i64();
+    if (r.boolean()) res.job_id = r.i64();
+    reservations_.push_back(res);
+  }
+
+  outages_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    OutageWindow o;
+    o.start = r.i64();
+    o.end = r.i64();
+    o.nodes = r.i64();
+    outages_.push_back(o);
+  }
+
+  total_nodes_ = r.i64();
+  profile_ = read_profile(r);
+
+  expiry_heap_ = {};
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t end = r.i64();
+    const std::int64_t id = r.i64();
+    expiry_heap_.push({end, id});
+  }
+
+  base_changed_ = r.boolean();
 }
 
 }  // namespace pjsb::sched

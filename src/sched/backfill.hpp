@@ -43,6 +43,13 @@ class BackfillBase : public Scheduler {
   bool try_reserve(SchedulerContext& ctx,
                    const AdvanceReservation& reservation) override;
 
+  /// Serialize / restore the shared backfilling state (queue, running
+  /// set, reservations, outage windows, incremental profile, overrun
+  /// heap). Subclasses with extra state override, call the base, then
+  /// append their own fields.
+  void save_state(sim::snapshot::Writer& w) const override;
+  void load_state(sim::snapshot::Reader& r) override;
+
   /// Earliest feasible window start for an external reservation of
   /// (procs, duration) not before `from`, against running jobs +
   /// existing reservations + outages (queued jobs are not protected —
@@ -114,6 +121,11 @@ class BackfillBase : public Scheduler {
   /// Record a job started now: running-set entry + profile usage.
   void note_started(std::int64_t id, std::int64_t now,
                     std::int64_t estimate, std::int64_t procs);
+
+  /// Profile (de)serialization helpers shared with subclasses.
+  static void write_profile(sim::snapshot::Writer& w,
+                            const CapacityProfile& profile);
+  static CapacityProfile read_profile(sim::snapshot::Reader& r);
 
   std::deque<std::int64_t> queue_;
   std::unordered_map<std::int64_t, QueuedInfo> queued_info_;

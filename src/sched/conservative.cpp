@@ -1,6 +1,10 @@
 #include "sched/conservative.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "sched/registry.hpp"
+#include "sim/snapshot/codec.hpp"
 
 namespace pjsb::sched {
 
@@ -260,6 +264,33 @@ std::optional<std::int64_t> ConservativeScheduler::predict_start(
   const std::int64_t t = full_profile_.earliest_start(now, estimate, procs);
   if (t >= kForever) return std::nullopt;
   return t;
+}
+
+void ConservativeScheduler::save_state(sim::snapshot::Writer& w) const {
+  BackfillBase::save_state(w);
+  std::vector<std::int64_t> ids;
+  ids.reserve(placed_.size());
+  for (const auto& [id, slot] : placed_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u64(ids.size());
+  for (std::int64_t id : ids) {
+    w.i64(id);
+    w.i64(placed_.at(id));
+  }
+  write_profile(w, full_profile_);
+  w.boolean(full_profile_stale_);
+}
+
+void ConservativeScheduler::load_state(sim::snapshot::Reader& r) {
+  BackfillBase::load_state(r);
+  placed_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t id = r.i64();
+    placed_.emplace(id, r.i64());
+  }
+  full_profile_ = read_profile(r);
+  full_profile_stale_ = r.boolean();
 }
 
 }  // namespace pjsb::sched

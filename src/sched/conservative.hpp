@@ -43,6 +43,8 @@ class ConservativeScheduler final : public BackfillBase {
                    const AdvanceReservation& reservation) override;
   std::optional<std::int64_t> predict_start(
       std::int64_t now, std::int64_t procs, std::int64_t estimate) const override;
+  void save_state(sim::snapshot::Writer& w) const override;
+  void load_state(sim::snapshot::Reader& r) override;
 
   int reserve_depth() const { return reserve_depth_; }
 

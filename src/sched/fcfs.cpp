@@ -1,6 +1,7 @@
 #include "sched/fcfs.hpp"
 
 #include "sched/registry.hpp"
+#include "sim/snapshot/codec.hpp"
 
 namespace pjsb::sched {
 
@@ -37,6 +38,17 @@ void FcfsScheduler::schedule(SchedulerContext& ctx) {
     if (!ctx.start_job(id)) break;
     queue_.pop_front();
   }
+}
+
+void FcfsScheduler::save_state(sim::snapshot::Writer& w) const {
+  w.u64(queue_.size());
+  for (std::int64_t id : queue_) w.i64(id);
+}
+
+void FcfsScheduler::load_state(sim::snapshot::Reader& r) {
+  queue_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(r.i64());
 }
 
 }  // namespace pjsb::sched

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sched/registry.hpp"
+#include "sim/snapshot/codec.hpp"
 
 namespace pjsb::sched {
 
@@ -195,6 +196,62 @@ void GangScheduler::schedule(SchedulerContext& ctx) {
     }
   }
   if (placed_any) push_ends(ctx);
+}
+
+void GangScheduler::save_state(sim::snapshot::Writer& w) const {
+  // slots_ is a constructor parameter; it rides in name() ("gangN").
+  w.i64(last_sync_);
+  w.u64(queue_.size());
+  for (std::int64_t id : queue_) w.i64(id);
+  w.u64(jobs_.size());
+  for (const auto& [id, gj] : jobs_) {
+    w.i64(gj.id);
+    w.i64(gj.row);
+    w.u64(gj.columns.size());
+    for (std::int64_t n : gj.columns) w.i64(n);
+    w.f64(gj.remaining);
+  }
+  // columns_ is rebuilt from jobs_ on load; only its dimensions (and
+  // whether the matrix was materialized at all) need recording.
+  w.boolean(!columns_.empty());
+  w.u64(node_down_.size());
+  for (std::size_t i = 0; i < node_down_.size(); ++i) {
+    w.boolean(node_down_[i]);
+  }
+}
+
+void GangScheduler::load_state(sim::snapshot::Reader& r) {
+  last_sync_ = r.i64();
+  queue_.clear();
+  std::uint64_t n = r.u64();
+  queue_.reserve(std::size_t(n));
+  for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(r.i64());
+  jobs_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    GangJob gj;
+    gj.id = r.i64();
+    gj.row = int(r.i64());
+    const std::uint64_t cols = r.u64();
+    gj.columns.reserve(std::size_t(cols));
+    for (std::uint64_t c = 0; c < cols; ++c) gj.columns.push_back(r.i64());
+    gj.remaining = r.f64();
+    jobs_.emplace(gj.id, std::move(gj));
+  }
+  const bool materialized = r.boolean();
+  const std::uint64_t total = r.u64();
+  node_down_.assign(std::size_t(total), false);
+  for (std::uint64_t i = 0; i < total; ++i) node_down_[std::size_t(i)] = r.boolean();
+  columns_.clear();
+  if (materialized) {
+    columns_.assign(std::size_t(slots_),
+                    std::vector<std::int64_t>(std::size_t(total), sim::kFree));
+    for (const auto& [id, gj] : jobs_) {
+      for (std::int64_t node : gj.columns) {
+        columns_[std::size_t(gj.row)][std::size_t(node)] = id;
+      }
+    }
+  }
 }
 
 }  // namespace pjsb::sched

@@ -13,7 +13,7 @@
 // completion times as the multiprogramming level changes.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sched/scheduler.hpp"
@@ -34,6 +34,8 @@ class GangScheduler final : public Scheduler {
   void on_outage_end(SchedulerContext& ctx,
                      const outage::OutageRecord& rec) override;
   void schedule(SchedulerContext& ctx) override;
+  void save_state(sim::snapshot::Writer& w) const override;
+  void load_state(sim::snapshot::Reader& r) override;
 
   int active_rows() const;
   std::size_t queue_length() const { return queue_.size(); }
@@ -55,7 +57,11 @@ class GangScheduler final : public Scheduler {
 
   int slots_;
   std::vector<std::int64_t> queue_;
-  std::unordered_map<std::int64_t, GangJob> jobs_;
+  /// Ordered map, not a hash map: sync()/push_ends() iterate jobs_ and
+  /// re-issue end events, so iteration order feeds the engine's event
+  /// sequence numbers — it must be deterministic and serializable for
+  /// snapshot/resume byte-identity.
+  std::map<std::int64_t, GangJob> jobs_;
   /// columns_[row][node] = job id or sim::kFree.
   std::vector<std::vector<std::int64_t>> columns_;
   std::vector<bool> node_down_;

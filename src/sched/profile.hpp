@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pjsb::sched {
@@ -75,6 +76,25 @@ class CapacityProfile {
   /// for all t >= from (history before `from` may differ, e.g. one side
   /// compacted). Used by the schedulers' debug cross-check.
   bool same_from(const CapacityProfile& other, std::int64_t from) const;
+
+  /// Snapshot access: step `i` as (time, available), 0 <= i <
+  /// step_count(). Iterating 0..step_count() yields the canonical
+  /// sorted timeline, so from_steps(base, those pairs) reproduces the
+  /// profile exactly.
+  std::pair<std::int64_t, std::int64_t> step_at(std::size_t i) const {
+    return {steps_[i].time, steps_[i].avail};
+  }
+
+  /// Rebuild a profile from its serialized step timeline (must be the
+  /// sorted canonical form produced by step_at iteration).
+  static CapacityProfile from_steps(
+      std::int64_t base,
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& steps) {
+    CapacityProfile p(base);
+    p.steps_.reserve(steps.size());
+    for (const auto& [time, avail] : steps) p.steps_.push_back({time, avail});
+    return p;
+  }
 
   /// Debug rendering of the step function.
   std::string to_string() const;

@@ -1,0 +1,43 @@
+// The scheduler query interface: read-only questions a live policy can
+// answer about hypothetical work.
+//
+// Chapin et al. frame "when would my job start?" as the canonical
+// query a production scheduler must answer without disturbing the
+// schedule (section 1.2's evaluation triad treats the policy as a
+// queryable black box). This interface formalizes that contract so
+// consumers — the what-if service (sim/snapshot/whatif.hpp), the
+// promise-invariant checkers (validate/invariants.hpp), the
+// scheduler-assisted predictor — depend on the query surface alone,
+// not on any concrete scheduler type.
+//
+// Contract:
+//   * const and non-perturbing: a query MUST NOT change any observable
+//     scheduling behaviour. Implementations may maintain `mutable`
+//     caches, but the decision trace of a run with interleaved queries
+//     must be byte-identical to the same run without them.
+//   * best effort: a policy that cannot see the future (FCFS, SJF —
+//     no capacity profile) returns nullopt rather than guessing.
+//   * the answer is the policy's *promise* under current knowledge:
+//     the earliest start a (procs, estimate) job submitted at `now`
+//     would be granted, assuming no further arrivals. Later events
+//     (early completions, outages) may move the real start — earlier
+//     for compressing policies, later only through capacity loss.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace pjsb::sched {
+
+class QueryInterface {
+ public:
+  virtual ~QueryInterface() = default;
+
+  /// Predicted start time for a hypothetical (procs, estimate) job
+  /// submitted at `now`, or nullopt when this policy cannot compute
+  /// one from its internal state. See the contract above.
+  virtual std::optional<std::int64_t> predict_start(
+      std::int64_t now, std::int64_t procs, std::int64_t estimate) const = 0;
+};
+
+}  // namespace pjsb::sched

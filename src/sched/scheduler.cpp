@@ -1,5 +1,7 @@
 #include "sched/scheduler.hpp"
 
+#include <stdexcept>
+
 namespace pjsb::sched {
 
 void Scheduler::on_attach(SchedulerContext& /*ctx*/) {}
@@ -25,6 +27,16 @@ std::optional<std::int64_t> Scheduler::predict_start(
     std::int64_t /*now*/, std::int64_t /*procs*/,
     std::int64_t /*estimate*/) const {
   return std::nullopt;
+}
+
+void Scheduler::save_state(sim::snapshot::Writer& /*w*/) const {
+  throw std::logic_error("scheduler '" + name() +
+                         "' does not implement save_state");
+}
+
+void Scheduler::load_state(sim::snapshot::Reader& /*r*/) {
+  throw std::logic_error("scheduler '" + name() +
+                         "' does not implement load_state");
 }
 
 }  // namespace pjsb::sched

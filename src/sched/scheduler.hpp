@@ -15,9 +15,15 @@
 #include <string>
 
 #include "core/outage/record.hpp"
+#include "sched/query.hpp"
 #include "sim/job.hpp"
 #include "sim/machine.hpp"
 #include "sim/provenance.hpp"
+
+namespace pjsb::sim::snapshot {
+class Writer;
+class Reader;
+}  // namespace pjsb::sim::snapshot
 
 namespace pjsb::sched {
 
@@ -80,10 +86,16 @@ class SchedulerContext {
 /// Abstract machine scheduler. Handlers default to no-ops so simple
 /// policies implement only what they need. After every event the engine
 /// calls schedule() exactly once per timestamp.
-class Scheduler {
+///
+/// Derives from QueryInterface (query.hpp): every scheduler is a
+/// queryable policy, and predict_start carries that interface's
+/// const/non-perturbing contract.
+class Scheduler : public QueryInterface {
  public:
-  virtual ~Scheduler() = default;
-
+  /// name() must be a registry spec string that round-trips through
+  /// sched::make_scheduler back to an identically configured instance
+  /// ("easy reserve_depth=2", "gang8", ...); snapshots rebuild the
+  /// scheduler from it before load_state restores runtime state.
   virtual std::string name() const = 0;
 
   /// Called once when the scheduler is bound to an engine, before any
@@ -116,14 +128,25 @@ class Scheduler {
   virtual bool try_reserve(SchedulerContext& ctx,
                            const AdvanceReservation& reservation);
 
-  /// Predicted start time for a hypothetical (procs, estimate) job
-  /// submitted now, if this scheduler can compute one from its internal
-  /// state (profile-based schedulers can; FCFS/SJF cannot).
-  virtual std::optional<std::int64_t> predict_start(
-      std::int64_t now, std::int64_t procs, std::int64_t estimate) const;
+  /// QueryInterface: predicted start for a hypothetical (procs,
+  /// estimate) job submitted now. Profile-based schedulers answer;
+  /// the default returns nullopt (FCFS/SJF cannot see the future).
+  std::optional<std::int64_t> predict_start(
+      std::int64_t now, std::int64_t procs,
+      std::int64_t estimate) const override;
 
   /// Make scheduling decisions (start any jobs that should start now).
   virtual void schedule(SchedulerContext& ctx) = 0;
+
+  /// Snapshot support (sim/snapshot/): serialize all runtime state
+  /// into `w` / restore it from `r`. load_state is called on a freshly
+  /// constructed instance (same name()/parameters, on_attach already
+  /// run) and must leave it byte-for-byte behaviourally identical to
+  /// the saved one. The defaults throw std::logic_error — a custom
+  /// policy without snapshot support fails loudly at snapshot time,
+  /// not with silently wrong resumes.
+  virtual void save_state(sim::snapshot::Writer& w) const;
+  virtual void load_state(sim::snapshot::Reader& r);
 };
 
 }  // namespace pjsb::sched

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sched/registry.hpp"
+#include "sim/snapshot/codec.hpp"
 
 namespace pjsb::sched {
 
@@ -111,6 +112,19 @@ void SjfScheduler::schedule(SchedulerContext& ctx) {
       ++it;
     }
   }
+}
+
+void SjfScheduler::save_state(sim::snapshot::Writer& w) const {
+  // allow_fit_ / tie_ are constructor parameters; they ride in name().
+  w.u64(queue_.size());
+  for (std::int64_t id : queue_) w.i64(id);
+}
+
+void SjfScheduler::load_state(sim::snapshot::Reader& r) {
+  queue_.clear();
+  const std::uint64_t n = r.u64();
+  queue_.reserve(std::size_t(n));
+  for (std::uint64_t i = 0; i < n; ++i) queue_.push_back(r.i64());
 }
 
 }  // namespace pjsb::sched

@@ -29,6 +29,8 @@ class SjfScheduler final : public Scheduler {
   void on_submit(SchedulerContext& ctx, std::int64_t job_id) override;
   void on_job_end(SchedulerContext& ctx, std::int64_t job_id) override;
   void schedule(SchedulerContext& ctx) override;
+  void save_state(sim::snapshot::Writer& w) const override;
+  void load_state(sim::snapshot::Reader& r) override;
 
   std::size_t queue_length() const { return queue_.size(); }
   SjfTieBreak tie_break() const { return tie_; }

@@ -29,6 +29,10 @@
 
 namespace pjsb::sim {
 
+namespace snapshot {
+class Reader;
+}  // namespace snapshot
+
 struct EngineConfig {
   std::int64_t nodes = 128;
   /// Deliver outage announcements to the scheduler (outage-aware mode).
@@ -178,6 +182,39 @@ class Engine final : public sched::SchedulerContext {
     completion_observer_ = std::move(fn);
   }
 
+  // -- snapshot / restore (src/sim/snapshot/snapshot.cpp) --
+
+  /// Serialize the complete simulation state — clock, event queue,
+  /// job slots, machine ownership, scheduler state (via
+  /// Scheduler::save_state), outages, reservations, source cursor and
+  /// all accounting — into the versioned binary snapshot format.
+  /// Legal between steps (never from inside an event handler or
+  /// observer callback). Runtime attachments (observers, phase
+  /// listener, completion callback) are not serialized; re-attach them
+  /// after restore().
+  std::string snapshot() const;
+
+  /// Reconstruct an engine from snapshot() bytes: the scheduler is
+  /// rebuilt from its registry spec (name()), then every state section
+  /// is restored, so stepping the result is byte-identical to stepping
+  /// the donor — including event sequence numbers and decision traces.
+  /// Throws std::runtime_error on a bad magic/version or truncated
+  /// payload. If the donor had an active pull source, re-attach it via
+  /// resume_job_source before running.
+  static std::unique_ptr<Engine> restore(const std::string& bytes);
+
+  /// Re-attach the job source of a snapshotted streaming run: skips
+  /// the records the donor already pulled, then continues pulling on
+  /// the same schedule (no eager fill — the donor refills only inside
+  /// submit handling, and resume must match it event for event).
+  /// No-op (after the skip) when the donor had exhausted the source.
+  void resume_job_source(swf::JobSource& source);
+
+  /// True when the snapshot this engine was restored from had an
+  /// active (unexhausted) job source: running without
+  /// resume_job_source would silently truncate the workload.
+  bool needs_job_source() const { return source_pending_resume_; }
+
   // -- SchedulerContext interface --
   std::int64_t now() const override { return now_; }
   Machine& machine() override { return machine_; }
@@ -285,6 +322,9 @@ class Engine final : public sched::SchedulerContext {
   /// carries none of its own.
   void apply_recovery_defaults(SimJob& j) const;
   void account_capacity_to(std::int64_t t);
+  /// Restore every state section from a positioned snapshot reader
+  /// (the header was already consumed by restore()).
+  void load_snapshot(snapshot::Reader& r);
 
   EngineConfig config_;
   std::unique_ptr<sched::Scheduler> scheduler_;
@@ -319,6 +359,9 @@ class Engine final : public sched::SchedulerContext {
 
   // Attached pull source (nullptr once exhausted or max_jobs reached).
   swf::JobSource* source_ = nullptr;
+  /// Restored from a snapshot whose donor still had an active source;
+  /// cleared by resume_job_source. See needs_job_source().
+  bool source_pending_resume_ = false;
   JobSourceOptions source_opts_;
   std::uint64_t source_pulled_ = 0;
   std::uint64_t source_clamped_ = 0;

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "sim/snapshot/codec.hpp"
+
 namespace pjsb::sim {
 
 Machine::Machine(std::int64_t total_nodes)
@@ -89,6 +91,33 @@ void Machine::bring_up(std::int64_t node) {
 
 std::int64_t Machine::owner(std::int64_t node) const {
   return owner_.at(std::size_t(node));
+}
+
+void Machine::save_state(snapshot::Writer& w) const {
+  w.u64(owner_.size());
+  for (std::int64_t o : owner_) w.i64(o);
+}
+
+void Machine::load_state(snapshot::Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != owner_.size()) {
+    throw std::runtime_error("Machine::load_state: node count mismatch");
+  }
+  free_ = 0;
+  down_ = 0;
+  free_heap_.clear();
+  in_free_heap_.assign(owner_.size(), 0);
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    owner_[i] = r.i64();
+    if (owner_[i] == kFree) {
+      ++free_;
+      free_heap_.push_back(std::int64_t(i));
+      in_free_heap_[i] = 1;
+    } else if (owner_[i] == kDown) {
+      ++down_;
+    }
+  }
+  // Ascending node ids are already a valid min-heap.
 }
 
 }  // namespace pjsb::sim

@@ -16,6 +16,11 @@
 #include <span>
 #include <vector>
 
+namespace pjsb::sim::snapshot {
+class Writer;
+class Reader;
+}  // namespace pjsb::sim::snapshot
+
 namespace pjsb::sim {
 
 /// Owner id stored per node; kFree / kDown are sentinels.
@@ -58,6 +63,13 @@ class Machine {
 
   /// Owner of a node (job id, kFree, or kDown).
   std::int64_t owner(std::int64_t node) const;
+
+  /// Serialize per-node ownership. Only owner_ is written: the free
+  /// list is rebuilt canonically on load, which is allocation-
+  /// equivalent — pop_free always returns the lowest-numbered free
+  /// node regardless of stale heap entries.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   /// Add `node` to the free-list heap unless it already has an entry.

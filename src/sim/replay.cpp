@@ -7,10 +7,8 @@
 
 namespace pjsb::sim {
 
-namespace {
-
-EngineConfig engine_config(const SimulationSpec& spec,
-                           std::int64_t header_nodes) {
+EngineConfig spec_engine_config(const SimulationSpec& spec,
+                                std::int64_t header_nodes) {
   EngineConfig config;
   config.nodes = spec.nodes.value_or(header_nodes);
   config.closed_loop = spec.closed_loop;
@@ -20,6 +18,8 @@ EngineConfig engine_config(const SimulationSpec& spec,
   config.recovery = spec.recovery_config();
   return config;
 }
+
+namespace {
 
 void attach_hooks(Engine& engine, const ReplayHooks& hooks) {
   if (hooks.outages) engine.add_outages(*hooks.outages);
@@ -43,7 +43,7 @@ ReplayResult replay(const swf::Trace& trace,
         "trace replays whole");
   }
   const auto config =
-      engine_config(spec, trace.header.max_nodes.value_or(kDefaultNodes));
+      spec_engine_config(spec, trace.header.max_nodes.value_or(kDefaultNodes));
 
   // Observability sinks named in the spec (no-op bundle when none):
   // open files before the run so a bad path fails fast.
@@ -83,8 +83,8 @@ ReplayResult replay(swf::JobSource& source,
         "replay: fault injection needs the workload horizon up front; "
         "faults= is not available on streaming sources");
   }
-  const auto config =
-      engine_config(spec, source.header().max_nodes.value_or(kDefaultNodes));
+  const auto config = spec_engine_config(
+      spec, source.header().max_nodes.value_or(kDefaultNodes));
 
   obs::SinkSet sinks;
   sinks.open(spec);
@@ -118,48 +118,6 @@ ReplayResult replay(const swf::Trace& trace, const SimulationSpec& spec,
 ReplayResult replay(swf::JobSource& source, const SimulationSpec& spec,
                     const ReplayHooks& hooks) {
   return replay(source, sched::make_scheduler(spec.scheduler), spec, hooks);
-}
-
-// -- deprecated shims -------------------------------------------------
-
-ReplayResult replay(const swf::Trace& trace,
-                    std::unique_ptr<sched::Scheduler> scheduler,
-                    const ReplayOptions& options) {
-  SimulationSpec spec;
-  spec.nodes = options.nodes;
-  spec.closed_loop = options.closed_loop;
-  spec.deliver_announcements = options.deliver_announcements;
-
-  ReplayHooks hooks;
-  if (options.outages) hooks.outages = options.outages;
-  FunctionObserver completion;
-  if (options.completion_observer) {
-    completion.job_complete = options.completion_observer;
-    hooks.observe(completion);
-  }
-  return replay(trace, std::move(scheduler), spec, hooks);
-}
-
-ReplayResult replay(swf::JobSource& source,
-                    std::unique_ptr<sched::Scheduler> scheduler,
-                    const StreamReplayOptions& options) {
-  SimulationSpec spec;
-  spec.nodes = options.nodes;
-  spec.closed_loop = options.closed_loop;
-  spec.deliver_announcements = options.deliver_announcements;
-  spec.lookahead = options.lookahead;
-  spec.max_jobs = options.max_jobs;
-  spec.retain_completed = options.retain_completed;
-  spec.recycle_slots = options.recycle_slots;
-
-  ReplayHooks hooks;
-  if (options.outages) hooks.outages = options.outages;
-  FunctionObserver completion;
-  if (options.completion_observer) {
-    completion.job_complete = options.completion_observer;
-    hooks.observe(completion);
-  }
-  return replay(source, std::move(scheduler), spec, hooks);
 }
 
 }  // namespace pjsb::sim

@@ -8,14 +8,10 @@
 //
 // Configuration is one sim::SimulationSpec (spec.hpp) for both the
 // materialized-trace and the streaming JobSource paths; runtime-only
-// attachments (an outage log, observers) ride in ReplayHooks. The old
-// ReplayOptions / StreamReplayOptions structs survive below as
-// deprecated shims over that pair.
+// attachments (an outage log, observers) ride in ReplayHooks.
 #pragma once
 
-#include <functional>
 #include <memory>
-#include <optional>
 
 #include "core/outage/record.hpp"
 #include "core/swf/trace.hpp"
@@ -29,6 +25,14 @@ namespace pjsb::sim {
 /// Machine size used when neither the caller nor the trace's MaxNodes
 /// header specifies one.
 inline constexpr std::int64_t kDefaultNodes = 128;
+
+/// The EngineConfig a spec resolves to for a workload whose header
+/// advertises `header_nodes` — the exact mapping replay() itself uses,
+/// exposed for drivers that construct an Engine by hand (snapshot
+/// tooling, incremental meta-layer runs) and must match replay
+/// semantics.
+EngineConfig spec_engine_config(const SimulationSpec& spec,
+                                std::int64_t header_nodes);
 
 /// Runtime attachments for one replay that cannot round-trip through a
 /// spec string: an outage stream and the observers receiving events.
@@ -77,37 +81,5 @@ ReplayResult replay(swf::JobSource& source,
                     std::unique_ptr<sched::Scheduler> scheduler,
                     const SimulationSpec& spec,
                     const ReplayHooks& hooks = {});
-
-// ---------------------------------------------------------------------
-// DEPRECATED compatibility shims: the pre-SimulationSpec option structs
-// and overloads. They forward to the spec-based API and will be removed
-// once callers migrate.
-
-struct ReplayOptions {
-  std::optional<std::int64_t> nodes;
-  bool closed_loop = false;
-  const outage::OutageLog* outages = nullptr;
-  bool deliver_announcements = true;
-  std::function<void(const CompletedJob&)> completion_observer;
-};
-
-struct StreamReplayOptions {
-  std::optional<std::int64_t> nodes;
-  bool closed_loop = false;
-  const outage::OutageLog* outages = nullptr;
-  bool deliver_announcements = true;
-  std::function<void(const CompletedJob&)> completion_observer;
-  std::size_t lookahead = 4096;
-  std::uint64_t max_jobs = 0;
-  bool retain_completed = true;
-  bool recycle_slots = false;
-};
-
-ReplayResult replay(const swf::Trace& trace,
-                    std::unique_ptr<sched::Scheduler> scheduler,
-                    const ReplayOptions& options = {});
-ReplayResult replay(swf::JobSource& source,
-                    std::unique_ptr<sched::Scheduler> scheduler,
-                    const StreamReplayOptions& options = {});
 
 }  // namespace pjsb::sim

@@ -1,0 +1,521 @@
+// Engine snapshot/restore: the full simulation state round-trip.
+//
+// Implemented as Engine member functions (the state being serialized is
+// almost entirely private), kept in this file so the engine's hot path
+// stays free of serialization code. Field order is the format; see
+// snapshot.hpp for the layout contract and what is deliberately left
+// out (runtime attachments).
+#include "sim/snapshot/snapshot.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/snapshot/codec.hpp"
+
+namespace pjsb::sim {
+
+namespace {
+
+using snapshot::Reader;
+using snapshot::Writer;
+
+void write_config(Writer& w, const EngineConfig& c) {
+  w.i64(c.nodes);
+  w.boolean(c.deliver_announcements);
+  w.boolean(c.closed_loop);
+  w.boolean(c.requeue_killed_jobs);
+  w.boolean(c.retain_completed);
+  w.boolean(c.recycle_slots);
+  w.i64(c.recovery.checkpoint_interval);
+  w.i64(c.recovery.dump_time);
+  w.i64(c.recovery.read_time);
+  w.i64(c.recovery.retry_limit);
+  w.i64(c.recovery.backoff_seconds);
+  w.u8(std::uint8_t(c.recovery.overrun));
+  w.i64(c.recovery.grace_seconds);
+}
+
+EngineConfig read_config(Reader& r) {
+  EngineConfig c;
+  c.nodes = r.i64();
+  c.deliver_announcements = r.boolean();
+  c.closed_loop = r.boolean();
+  c.requeue_killed_jobs = r.boolean();
+  c.retain_completed = r.boolean();
+  c.recycle_slots = r.boolean();
+  c.recovery.checkpoint_interval = r.i64();
+  c.recovery.dump_time = r.i64();
+  c.recovery.read_time = r.i64();
+  c.recovery.retry_limit = int(r.i64());
+  c.recovery.backoff_seconds = r.i64();
+  const std::uint8_t overrun = r.u8();
+  if (overrun > std::uint8_t(fault::OverrunPolicy::kGrace)) {
+    throw std::runtime_error("snapshot: bad overrun policy code");
+  }
+  c.recovery.overrun = fault::OverrunPolicy(overrun);
+  c.recovery.grace_seconds = r.i64();
+  return c;
+}
+
+void write_job(Writer& w, const SimJob& j) {
+  w.i64(j.id);
+  w.i64(j.submit);
+  w.i64(j.runtime);
+  w.i64(j.estimate);
+  w.i64(j.procs);
+  w.i64(j.user_id);
+  w.i64(j.executable_id);
+  w.i64(j.queue_id);
+  w.i64(j.walltime);
+  w.i64(j.checkpoint_interval);
+  w.i64(j.dump_time);
+  w.i64(j.read_time);
+  w.u8(std::uint8_t(j.state));
+  w.i64(j.start);
+  w.i64(j.end);
+  w.i64(j.restarts);
+  w.i64(j.completed_work);
+  w.u64(j.nodes.size());
+  for (std::int64_t n : j.nodes) w.i64(n);
+}
+
+SimJob read_job(Reader& r) {
+  SimJob j;
+  j.id = r.i64();
+  j.submit = r.i64();
+  j.runtime = r.i64();
+  j.estimate = r.i64();
+  j.procs = r.i64();
+  j.user_id = r.i64();
+  j.executable_id = r.i64();
+  j.queue_id = r.i64();
+  j.walltime = r.i64();
+  j.checkpoint_interval = r.i64();
+  j.dump_time = r.i64();
+  j.read_time = r.i64();
+  const std::uint8_t state = r.u8();
+  if (state > std::uint8_t(JobState::kFinished)) {
+    throw std::runtime_error("snapshot: bad job state code");
+  }
+  j.state = JobState(state);
+  j.start = r.i64();
+  j.end = r.i64();
+  j.restarts = int(r.i64());
+  j.completed_work = r.i64();
+  const std::uint64_t n = r.u64();
+  j.nodes.reserve(std::size_t(n));
+  for (std::uint64_t i = 0; i < n; ++i) j.nodes.push_back(r.i64());
+  return j;
+}
+
+void write_header(Writer& w) {
+  for (char c : snapshot::kMagic) w.u8(std::uint8_t(c));
+  w.u32(snapshot::kFormatVersion);
+}
+
+void read_header(Reader& r) {
+  for (char c : snapshot::kMagic) {
+    if (r.u8() != std::uint8_t(c)) {
+      throw std::runtime_error("snapshot: bad magic (not a snapshot file)");
+    }
+  }
+  const std::uint32_t version = r.u32();
+  if (version != snapshot::kFormatVersion) {
+    throw std::runtime_error("snapshot: unsupported format version " +
+                             std::to_string(version));
+  }
+}
+
+}  // namespace
+
+std::string Engine::snapshot() const {
+  Writer w;
+  write_header(w);
+  write_config(w, config_);
+  w.str(scheduler_->name());
+
+  // Scalars.
+  w.i64(now_);
+  w.i64(seq_);
+  w.i64(next_job_id_);
+  w.i64(next_reservation_id_);
+  w.u64(queued_count_);
+  w.u64(running_count_);
+  w.i64(capacity_accounted_until_);
+  w.i64(capacity_node_seconds_);
+  w.i64(work_node_seconds_);
+  w.i64(wasted_node_seconds_);
+  w.i64(recovered_node_seconds_);
+  w.i64(makespan_);
+  w.i64(jobs_completed_);
+  w.i64(jobs_killed_);
+  w.i64(jobs_dropped_);
+  w.i64(events_processed_);
+  w.boolean(scheduler_dirty_);
+
+  // Event queue, drained from a copy in pop order with sequence numbers
+  // preserved — the (time, type, seq) order is total, so re-pushing the
+  // same set reproduces the donor's pop order exactly.
+  {
+    auto events = events_;
+    w.u64(events.size());
+    while (!events.empty()) {
+      const Event& ev = events.top();
+      w.i64(ev.time);
+      w.u8(std::uint8_t(int(ev.type)));
+      w.i64(ev.seq);
+      w.i64(ev.id);
+      w.i64(ev.version);
+      events.pop();
+    }
+  }
+
+  const auto write_slot = [&w](const JobSlot& slot) {
+    write_job(w, slot.job);
+    w.i64(slot.end_version);
+    w.boolean(slot.overrun_end);
+  };
+
+  // Dense job storage: the vector's size (growth history feeds the
+  // dense-vs-overflow placement rule) plus only the occupied slots.
+  {
+    w.u64(jobs_dense_.size());
+    std::uint64_t occupied = 0;
+    for (const JobSlot& slot : jobs_dense_) {
+      if (slot.job.id != 0) ++occupied;
+    }
+    w.u64(occupied);
+    for (std::size_t i = 0; i < jobs_dense_.size(); ++i) {
+      if (jobs_dense_[i].job.id == 0) continue;
+      w.u64(i);
+      write_slot(jobs_dense_[i]);
+    }
+  }
+
+  // Overflow map, sorted by id (hash order is not deterministic).
+  {
+    std::vector<std::int64_t> ids;
+    ids.reserve(jobs_overflow_.size());
+    for (const auto& [id, slot] : jobs_overflow_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    w.u64(ids.size());
+    for (std::int64_t id : ids) {
+      w.i64(id);
+      write_slot(jobs_overflow_.at(id));
+    }
+  }
+
+  // Closed-loop dependency edges, sorted by predecessor.
+  {
+    std::vector<std::int64_t> preds;
+    preds.reserve(dependents_.size());
+    for (const auto& [pred, deps] : dependents_) preds.push_back(pred);
+    std::sort(preds.begin(), preds.end());
+    w.u64(preds.size());
+    for (std::int64_t pred : preds) {
+      const auto& deps = dependents_.at(pred);
+      w.i64(pred);
+      w.u64(deps.size());
+      for (const auto& [dep, think] : deps) {
+        w.i64(dep);
+        w.i64(think);
+      }
+    }
+  }
+
+  // Outage book (events referencing these indices are already in the
+  // queue above).
+  w.u64(outages_.size());
+  for (const auto& rec : outages_) {
+    w.i64(rec.announce_time);
+    w.i64(rec.start_time);
+    w.i64(rec.end_time);
+    w.i64(std::int64_t(rec.type));
+    w.i64(rec.nodes_affected);
+    w.u64(rec.components.size());
+    for (std::int64_t n : rec.components) w.i64(n);
+  }
+
+  // Reservation book (std::map — already in id order).
+  w.u64(reservations_.size());
+  for (const auto& [id, res] : reservations_) {
+    w.i64(res.id);
+    w.i64(res.start);
+    w.i64(res.duration);
+    w.i64(res.procs);
+    w.boolean(res.job_id.has_value());
+    if (res.job_id) w.i64(*res.job_id);
+  }
+
+  // Completed-job archive.
+  w.u64(completed_.size());
+  for (const auto& c : completed_) {
+    w.i64(c.id);
+    w.i64(c.submit);
+    w.i64(c.start);
+    w.i64(c.end);
+    w.i64(c.runtime);
+    w.i64(c.estimate);
+    w.i64(c.procs);
+    w.i64(c.user_id);
+    w.i64(c.executable_id);
+    w.i64(c.queue_id);
+    w.i64(c.restarts);
+  }
+
+  // Pull-source cursor. "Active" means the donor would still pull
+  // (source attached, or itself restored and awaiting resume).
+  w.boolean(source_ != nullptr || source_pending_resume_);
+  w.u64(source_opts_.lookahead);
+  w.u64(source_opts_.max_jobs);
+  w.u64(source_opts_.closed_loop_history);
+  w.u64(source_pulled_);
+  w.u64(source_clamped_);
+  w.u64(pending_submits_);
+
+  // Terminated-job history (closed-loop recycle mode), in termination
+  // order so FIFO eviction resumes identically.
+  w.u64(finished_order_.size());
+  for (std::int64_t id : finished_order_) {
+    w.i64(id);
+    w.i64(finished_end_.at(id));
+  }
+
+  machine_.save_state(w);
+  scheduler_->save_state(w);
+  return w.take();
+}
+
+void Engine::load_snapshot(snapshot::Reader& r) {
+  now_ = r.i64();
+  seq_ = r.i64();
+  next_job_id_ = r.i64();
+  next_reservation_id_ = r.i64();
+  queued_count_ = std::size_t(r.u64());
+  running_count_ = std::size_t(r.u64());
+  capacity_accounted_until_ = r.i64();
+  capacity_node_seconds_ = r.i64();
+  work_node_seconds_ = r.i64();
+  wasted_node_seconds_ = r.i64();
+  recovered_node_seconds_ = r.i64();
+  makespan_ = r.i64();
+  jobs_completed_ = r.i64();
+  jobs_killed_ = r.i64();
+  jobs_dropped_ = r.i64();
+  events_processed_ = r.i64();
+  scheduler_dirty_ = r.boolean();
+
+  {
+    std::vector<Event> events;
+    const std::uint64_t n = r.u64();
+    events.reserve(std::size_t(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Event ev;
+      ev.time = r.i64();
+      const std::uint8_t type = r.u8();
+      if (type > std::uint8_t(int(EventType::kReservationStart))) {
+        throw std::runtime_error("snapshot: bad event type code");
+      }
+      ev.type = EventType(int(type));
+      ev.seq = r.i64();
+      ev.id = r.i64();
+      ev.version = r.i64();
+      events.push_back(ev);
+    }
+    events_ = std::priority_queue<Event, std::vector<Event>, EventOrder>(
+        EventOrder{}, std::move(events));
+  }
+
+  const auto read_slot = [&r]() {
+    JobSlot slot;
+    slot.job = read_job(r);
+    slot.end_version = r.i64();
+    slot.overrun_end = r.boolean();
+    return slot;
+  };
+
+  {
+    const std::uint64_t dense_size = r.u64();
+    jobs_dense_.assign(std::size_t(dense_size), JobSlot{});
+    const std::uint64_t occupied = r.u64();
+    for (std::uint64_t i = 0; i < occupied; ++i) {
+      const std::uint64_t idx = r.u64();
+      if (idx >= dense_size) {
+        throw std::runtime_error("snapshot: dense slot index out of range");
+      }
+      jobs_dense_[std::size_t(idx)] = read_slot();
+    }
+  }
+
+  jobs_overflow_.clear();
+  {
+    const std::uint64_t n = r.u64();
+    jobs_overflow_.reserve(std::size_t(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int64_t id = r.i64();
+      jobs_overflow_.emplace(id, read_slot());
+    }
+  }
+
+  dependents_.clear();
+  {
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int64_t pred = r.i64();
+      const std::uint64_t deps = r.u64();
+      auto& edges = dependents_[pred];
+      edges.reserve(std::size_t(deps));
+      for (std::uint64_t d = 0; d < deps; ++d) {
+        const std::int64_t dep = r.i64();
+        const std::int64_t think = r.i64();
+        edges.push_back({dep, think});
+      }
+    }
+  }
+
+  outages_.clear();
+  {
+    const std::uint64_t n = r.u64();
+    outages_.reserve(std::size_t(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      outage::OutageRecord rec;
+      rec.announce_time = r.i64();
+      rec.start_time = r.i64();
+      rec.end_time = r.i64();
+      rec.type = outage::OutageType(r.i64());
+      rec.nodes_affected = r.i64();
+      const std::uint64_t comps = r.u64();
+      rec.components.reserve(std::size_t(comps));
+      for (std::uint64_t c = 0; c < comps; ++c) {
+        rec.components.push_back(r.i64());
+      }
+      outages_.push_back(std::move(rec));
+    }
+  }
+
+  reservations_.clear();
+  {
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sched::AdvanceReservation res;
+      res.id = r.i64();
+      res.start = r.i64();
+      res.duration = r.i64();
+      res.procs = r.i64();
+      if (r.boolean()) res.job_id = r.i64();
+      reservations_.emplace(res.id, res);
+    }
+  }
+
+  completed_.clear();
+  {
+    const std::uint64_t n = r.u64();
+    completed_.reserve(std::size_t(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      CompletedJob c;
+      c.id = r.i64();
+      c.submit = r.i64();
+      c.start = r.i64();
+      c.end = r.i64();
+      c.runtime = r.i64();
+      c.estimate = r.i64();
+      c.procs = r.i64();
+      c.user_id = r.i64();
+      c.executable_id = r.i64();
+      c.queue_id = r.i64();
+      c.restarts = int(r.i64());
+      completed_.push_back(c);
+    }
+  }
+
+  source_ = nullptr;
+  source_pending_resume_ = r.boolean();
+  source_opts_.lookahead = std::size_t(r.u64());
+  source_opts_.max_jobs = r.u64();
+  source_opts_.closed_loop_history = std::size_t(r.u64());
+  source_pulled_ = r.u64();
+  source_clamped_ = r.u64();
+  pending_submits_ = std::size_t(r.u64());
+
+  finished_end_.clear();
+  finished_order_.clear();
+  {
+    const std::uint64_t n = r.u64();
+    finished_end_.reserve(std::size_t(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int64_t id = r.i64();
+      finished_end_.emplace(id, r.i64());
+      finished_order_.push_back(id);
+    }
+  }
+
+  machine_.load_state(r);
+  scheduler_->load_state(r);
+}
+
+std::unique_ptr<Engine> Engine::restore(const std::string& bytes) {
+  snapshot::Reader r(bytes);
+  read_header(r);
+  const EngineConfig config = read_config(r);
+  const std::string spec = r.str();
+  // Same policy, same parameters (name() round-trips by contract);
+  // on_attach runs in the constructor, load_snapshot then overwrites
+  // every piece of runtime state.
+  auto engine =
+      std::make_unique<Engine>(config, sched::make_scheduler(spec));
+  engine->load_snapshot(r);
+  r.expect_done();
+  return engine;
+}
+
+void Engine::resume_job_source(swf::JobSource& source) {
+  if (!source_pending_resume_) {
+    throw std::logic_error(
+        "resume_job_source: this engine has no pending source to resume");
+  }
+  // Skip everything the donor already pulled; the source then stands at
+  // exactly the donor's cursor.
+  for (std::uint64_t i = 0; i < source_pulled_; ++i) {
+    if (!source.next()) {
+      throw std::runtime_error(
+          "resume_job_source: source exhausted before the donor's cursor (" +
+          std::to_string(source_pulled_) + " records) — wrong source?");
+    }
+  }
+  source_ = &source;
+  source_pending_resume_ = false;
+  // Deliberately no eager fill: the donor tops the window back up only
+  // inside submit handling (or a step() that finds the queue empty),
+  // and a resumed run must assign event sequence numbers at exactly the
+  // same points.
+}
+
+}  // namespace pjsb::sim
+
+namespace pjsb::sim::snapshot {
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("snapshot: cannot open for writing: " + path);
+  }
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("snapshot: write failed: " + path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("snapshot: cannot open: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("snapshot: read failed: " + path);
+  return bytes;
+}
+
+}  // namespace pjsb::sim::snapshot

@@ -1,0 +1,78 @@
+#include "sim/snapshot/whatif.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/observer.hpp"
+
+namespace pjsb::sim {
+
+WhatIfService::WhatIfService(std::string snapshot_bytes)
+    : bytes_(std::move(snapshot_bytes)), warm_(Engine::restore(bytes_)) {
+  if (warm_->needs_job_source()) {
+    throw std::invalid_argument(
+        "WhatIfService: snapshot has an unresumed job source; what-if "
+        "queries need a self-contained snapshot");
+  }
+}
+
+WhatIfService WhatIfService::from_engine(const Engine& engine) {
+  return WhatIfService(engine.snapshot());
+}
+
+std::int64_t WhatIfService::snapshot_time() const { return warm_->now(); }
+
+WhatIfAnswer WhatIfService::query(const WhatIfQuery& q) {
+  return q.simulate ? simulate(q) : predict(q);
+}
+
+std::vector<WhatIfAnswer> WhatIfService::batch(
+    const std::vector<WhatIfQuery>& queries) {
+  std::vector<WhatIfAnswer> answers;
+  answers.reserve(queries.size());
+  for (const auto& q : queries) answers.push_back(query(q));
+  return answers;
+}
+
+WhatIfAnswer WhatIfService::predict(const WhatIfQuery& q) {
+  const std::int64_t submit =
+      warm_->now() + std::max<std::int64_t>(0, q.submit_offset);
+  WhatIfAnswer a;
+  a.simulated = false;
+  a.start = warm_->scheduler().predict_start(submit, q.procs,
+                                             std::max<std::int64_t>(1,
+                                                                    q.estimate));
+  if (a.start) a.wait = *a.start - submit;
+  return a;
+}
+
+WhatIfAnswer WhatIfService::simulate(const WhatIfQuery& q) {
+  auto clone = Engine::restore(bytes_);
+  const std::int64_t submit =
+      clone->now() + std::max<std::int64_t>(0, q.submit_offset);
+  SimJob job;
+  job.submit = submit;
+  job.runtime = std::max<std::int64_t>(1, q.estimate);
+  job.estimate = job.runtime;
+  job.procs = std::max<std::int64_t>(1, q.procs);
+  const std::int64_t id = clone->submit_job(job);  // engine picks the id
+
+  std::optional<std::int64_t> started;
+  FunctionObserver watcher;
+  watcher.decision = [&](const Decision& d) {
+    if (d.job_id == id) started = d.time;
+  };
+  clone->add_observer(watcher);
+  while (!started && clone->step()) {
+  }
+
+  WhatIfAnswer a;
+  a.simulated = true;
+  a.start = started;
+  if (a.start) a.wait = *a.start - submit;
+  return a;
+}
+
+}  // namespace pjsb::sim

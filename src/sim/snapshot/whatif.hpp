@@ -1,0 +1,87 @@
+// What-if query service over a frozen simulation state.
+//
+// A WhatIfService owns one snapshot (snapshot.hpp bytes) and answers
+// batched hypothetical questions — "if a job of `procs` nodes and
+// `estimate` seconds were submitted now (or at now + offset), when
+// would it start?" — without perturbing the donor run. Two answer
+// modes:
+//
+//   predict  — ask the scheduler's QueryInterface (predict_start)
+//              against one warm restored clone, reused across queries.
+//              The interface contract makes the call const and
+//              non-perturbing, so the clone never needs re-restoring;
+//              each query is one profile sweep.
+//   simulate — restore a fresh clone, inject the hypothetical job for
+//              real, and step the simulation until it starts. Exact
+//              under any policy (including ones that cannot predict),
+//              at the cost of replaying the future.
+//
+// Both modes leave the donor engine and the snapshot bytes untouched.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pjsb::sim {
+
+class Engine;
+
+/// One hypothetical submission.
+struct WhatIfQuery {
+  std::int64_t procs = 1;
+  std::int64_t estimate = 3600;  ///< requested runtime, seconds
+  /// Submit at snapshot_time() + submit_offset (offsets < 0 are
+  /// clamped to 0 — a snapshot cannot answer about its own past).
+  std::int64_t submit_offset = 0;
+  /// True: run the simulation forward instead of asking predict_start.
+  bool simulate = false;
+};
+
+struct WhatIfAnswer {
+  /// Predicted (or observed) start time; nullopt when the policy
+  /// cannot answer (predict mode on a non-predicting scheduler) or the
+  /// simulation drained without the job ever starting.
+  std::optional<std::int64_t> start;
+  /// start - submit time, when start is known.
+  std::optional<std::int64_t> wait;
+  /// Which mode produced the answer (echoes the query's `simulate`).
+  bool simulated = false;
+};
+
+class WhatIfService {
+ public:
+  /// Take ownership of snapshot bytes (Engine::snapshot() output).
+  /// Restores the warm clone eagerly so a bad snapshot fails here, not
+  /// on the first query. Throws std::invalid_argument if the snapshot
+  /// needs a resumed job source — a what-if clone cannot re-attach one,
+  /// so only self-contained (materialized-workload) snapshots qualify.
+  explicit WhatIfService(std::string snapshot_bytes);
+
+  /// Convenience: snapshot `engine` (which it does not perturb) and
+  /// build a service over the result.
+  static WhatIfService from_engine(const Engine& engine);
+
+  /// The frozen simulation clock all submit_offsets are relative to.
+  std::int64_t snapshot_time() const;
+  /// The underlying snapshot bytes (e.g. to persist alongside answers).
+  const std::string& bytes() const { return bytes_; }
+
+  WhatIfAnswer query(const WhatIfQuery& q);
+  /// Answer a batch in order. Predict queries share the warm clone;
+  /// each simulate query restores its own.
+  std::vector<WhatIfAnswer> batch(const std::vector<WhatIfQuery>& queries);
+
+ private:
+  WhatIfAnswer predict(const WhatIfQuery& q);
+  WhatIfAnswer simulate(const WhatIfQuery& q);
+
+  std::string bytes_;
+  /// Restored once, reused for every predict query (predict_start is
+  /// const and non-perturbing by the QueryInterface contract).
+  std::unique_ptr<Engine> warm_;
+};
+
+}  // namespace pjsb::sim

@@ -1,7 +1,7 @@
 // SimulationSpec: the one configuration record a replay needs.
 //
-// Replaces the divergent ReplayOptions / StreamReplayOptions pair with
-// a single declarative spec — machine size, loop mode, scheduler spec
+// One declarative spec for both replay paths — machine size, loop
+// mode, scheduler spec
 // string, ingestion-window and memory knobs — that round-trips through
 // a key=value string (util/keyval.hpp grammar):
 //

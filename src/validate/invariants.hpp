@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "sched/profile.hpp"
+#include "sched/query.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/observer.hpp"
 
@@ -74,9 +75,10 @@ struct CheckerOptions {
   bool expect_all_complete = true;
   /// Violations stored verbatim; the total count stays exact.
   std::size_t max_violations = 64;
-  /// The scheduler instance driving the run (non-owning; optional).
-  /// Needed only by the promise checks, which poll predict_start.
-  const sched::Scheduler* scheduler_instance = nullptr;
+  /// The query surface of the scheduler driving the run (non-owning;
+  /// optional). Needed only by the promise checks, which poll
+  /// predict_start through the read-only sched::QueryInterface.
+  const sched::QueryInterface* scheduler_instance = nullptr;
 };
 
 /// The composite invariant checker. Attach to a replay via
@@ -94,7 +96,7 @@ class InvariantChecker final : public sim::SimObserver {
 
   /// Set the watched scheduler instance after construction (the usual
   /// flow: options are built before the instance exists).
-  void watch(const sched::Scheduler& scheduler) {
+  void watch(const sched::QueryInterface& scheduler) {
     scheduler_instance_ = &scheduler;
   }
 
@@ -148,7 +150,7 @@ class InvariantChecker final : public sim::SimObserver {
   bool promise_checks_enabled() const;
 
   CheckerOptions options_;
-  const sched::Scheduler* scheduler_instance_ = nullptr;
+  const sched::QueryInterface* scheduler_instance_ = nullptr;
 
   // Policy identity, resolved from options_.scheduler via the registry.
   std::string base_;        ///< canonical scheduler name ("" if none)

@@ -13,7 +13,7 @@
 #include "core/swf/validator.hpp"
 #include "core/swf/writer.hpp"
 #include "metrics/aggregate.hpp"
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "sim/estimate.hpp"
 #include "sim/replay.hpp"
 #include "workload/model.hpp"
@@ -41,10 +41,10 @@ TEST(EndToEnd, ModelToSwfToSimulationToMetrics) {
 
   // 3. Simulate under two schedulers; backfilling must not lose jobs
   //    and should beat FCFS on slowdown at this load.
-  const auto fcfs = sim::replay(reread.trace,
-                                sched::make_scheduler("fcfs"));
-  const auto easy = sim::replay(reread.trace,
-                                sched::make_scheduler("easy"));
+  const auto fcfs = sim::replay(
+      reread.trace, sim::SimulationSpec{}.with_scheduler("fcfs"));
+  const auto easy = sim::replay(
+      reread.trace, sim::SimulationSpec{}.with_scheduler("easy"));
   ASSERT_EQ(fcfs.completed.size(), 600u);
   ASSERT_EQ(easy.completed.size(), 600u);
 
@@ -75,7 +75,7 @@ TEST(EndToEnd, RawLogConversionPipeline) {
   ASSERT_TRUE(swf::validate(converted.trace).clean());
 
   const auto result =
-      sim::replay(converted.trace, sched::make_scheduler("easy"));
+      sim::replay(converted.trace, sim::SimulationSpec{}.with_scheduler("easy"));
   EXPECT_EQ(result.completed.size(), 50u);
 }
 
@@ -93,7 +93,7 @@ TEST(EndToEnd, FeedbackAnnotatedReplayChangesBehaviour) {
                                   config, rng);
 
   // Give the trace a plausible schedule to infer dependencies from.
-  const auto base = sim::replay(trace, sched::make_scheduler("easy"));
+  const auto base = sim::replay(trace, sim::SimulationSpec{}.with_scheduler("easy"));
   swf::Trace observed = trace;
   for (auto& r : observed.records) {
     for (const auto& c : base.completed) {
@@ -113,12 +113,10 @@ TEST(EndToEnd, FeedbackAnnotatedReplayChangesBehaviour) {
   ASSERT_GE(n, 5u);
   ASSERT_TRUE(swf::validate(observed).clean());
 
-  sim::ReplayOptions closed;
-  closed.closed_loop = true;
   const auto open_run =
-      sim::replay(observed, sched::make_scheduler("fcfs"));
-  const auto closed_run =
-      sim::replay(observed, sched::make_scheduler("fcfs"), closed);
+      sim::replay(observed, sim::SimulationSpec{}.with_scheduler("fcfs"));
+  const auto closed_run = sim::replay(
+      observed, sim::SimulationSpec{}.with_scheduler("fcfs").closed());
   ASSERT_EQ(open_run.completed.size(), closed_run.completed.size());
   // Closed loop re-times dependent submissions off their predecessor's
   // *simulated* completion, so annotated jobs' arrival times must
@@ -151,10 +149,9 @@ TEST(EndToEnd, OutageStreamRoundTripAndSimulation) {
       outage::MaintenanceParams{}, horizon, 32);
   const auto merged = outage::merge(failures, maint);
 
-  sim::ReplayOptions opt;
-  opt.outages = &merged;
   const auto aware =
-      sim::replay(trace, sched::make_scheduler("conservative"), opt);
+      sim::replay(trace, sim::SimulationSpec{}.with_scheduler("conservative"),
+                  sim::ReplayHooks{}.with_outages(merged));
   EXPECT_EQ(aware.completed.size(), 300u);
   // Outages must have consumed capacity.
   EXPECT_LT(aware.stats.capacity_node_seconds,
@@ -176,8 +173,8 @@ TEST(EndToEnd, EstimateQualityAffectsBackfilling) {
   auto loose = trace;
   sim::set_factor_estimates(loose, 10.0);
 
-  const auto exact_run = sim::replay(exact, sched::make_scheduler("easy"));
-  const auto loose_run = sim::replay(loose, sched::make_scheduler("easy"));
+  const auto exact_run = sim::replay(exact, sim::SimulationSpec{}.with_scheduler("easy"));
+  const auto loose_run = sim::replay(loose, sim::SimulationSpec{}.with_scheduler("easy"));
   const auto re = metrics::compute_report(exact_run.completed,
                                           exact_run.stats);
   const auto rl = metrics::compute_report(loose_run.completed,

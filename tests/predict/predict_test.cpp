@@ -4,7 +4,7 @@
 #include "predict/scheduler_assisted.hpp"
 #include "predict/template_pred.hpp"
 #include "predict/trainer.hpp"
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"

@@ -3,7 +3,7 @@
 #include "core/outage/record.hpp"
 #include "sched/conservative.hpp"
 #include "sched/easy.hpp"
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "sim/replay.hpp"
 
 namespace pjsb::sched {
@@ -28,6 +28,11 @@ sim::CompletedJob find(const sim::ReplayResult& result, std::int64_t id) {
   throw std::runtime_error("job not found");
 }
 
+/// Spec-based replay configuration for a named scheduler.
+sim::SimulationSpec spec_for(const std::string& scheduler) {
+  return sim::SimulationSpec{}.with_scheduler(scheduler);
+}
+
 TEST(Easy, BackfillDoesNotDelayHeadReservation) {
   swf::Trace t;
   t.header.max_nodes = 4;
@@ -35,7 +40,7 @@ TEST(Easy, BackfillDoesNotDelayHeadReservation) {
   t.records.push_back(job(2, 1, 4, 50));       // head, shadow at 100
   t.records.push_back(job(3, 2, 2, 200, 200)); // would delay shadow
   t.records.push_back(job(4, 3, 2, 50, 50));   // fits before shadow
-  const auto result = sim::replay(t, make_scheduler("easy"));
+  const auto result = sim::replay(t, spec_for("easy"));
   EXPECT_EQ(find(result, 4).start, 3);    // backfilled
   EXPECT_EQ(find(result, 2).start, 100);  // guarantee intact
   EXPECT_GE(find(result, 3).start, 150);  // had to wait its turn
@@ -49,7 +54,7 @@ TEST(Easy, LooseEstimatesBlockBackfill) {
   // Same runtime as the backfill-able job above, but estimate 300 > 100
   // so it *appears* to delay the shadow and is not backfilled.
   t.records.push_back(job(3, 2, 2, 50, 300));
-  const auto result = sim::replay(t, make_scheduler("easy"));
+  const auto result = sim::replay(t, spec_for("easy"));
   EXPECT_GE(find(result, 3).start, 100);
 }
 
@@ -59,7 +64,7 @@ TEST(Easy, EarlyCompletionCompressesSchedule) {
   // Job 1 estimates 1000 but really runs 10.
   t.records.push_back(job(1, 0, 4, 10, 1000));
   t.records.push_back(job(2, 1, 4, 10, 10));
-  const auto result = sim::replay(t, make_scheduler("easy"));
+  const auto result = sim::replay(t, spec_for("easy"));
   EXPECT_EQ(find(result, 2).start, 10);  // not 1000
 }
 
@@ -70,7 +75,7 @@ TEST(Conservative, NoQueuedJobDelayedByBackfill) {
   t.records.push_back(job(2, 1, 4, 50));
   t.records.push_back(job(3, 2, 2, 200, 200));
   t.records.push_back(job(4, 3, 2, 50, 50));
-  const auto result = sim::replay(t, make_scheduler("conservative"));
+  const auto result = sim::replay(t, spec_for("conservative"));
   // Job 4 backfills (its 50s <= job1's remaining window), job 2 keeps
   // its reservation at 100, job 3 starts after 2 as reserved.
   EXPECT_EQ(find(result, 4).start, 3);
@@ -88,7 +93,7 @@ TEST(Conservative, DeepQueueJobsGetReservations) {
   t.records.push_back(job(2, 1, 3, 100, 100));
   t.records.push_back(job(3, 2, 3, 100, 100));
   t.records.push_back(job(4, 3, 1, 500, 500));
-  const auto cons = sim::replay(t, make_scheduler("conservative"));
+  const auto cons = sim::replay(t, spec_for("conservative"));
   // Reservations in order: j2 at 100, j3 at 200; j4 (1 proc) backfills
   // beside j2 at 100 only if it doesn't delay j3 — it would (runs to
   // 600 using the 4th node while j3 needs 3 of 4 from 200: 3 free -> ok
@@ -115,18 +120,16 @@ TEST(Backfill, AnnouncedOutageDrainsSchedule) {
   o.components = {0, 1, 2, 3};
   log.records.push_back(o);
 
-  sim::ReplayOptions aware;
-  aware.outages = &log;
-  aware.deliver_announcements = true;
-  const auto result = sim::replay(t, make_scheduler("easy"), aware);
+  const auto result =
+      sim::replay(t, spec_for("easy").announce_outages(true),
+                  sim::ReplayHooks{}.with_outages(log));
   const auto& c = find(result, 1);
   EXPECT_EQ(c.start, 200);  // drained around the window
   EXPECT_EQ(c.restarts, 0);
 
-  sim::ReplayOptions blind;
-  blind.outages = &log;
-  blind.deliver_announcements = false;
-  const auto blind_result = sim::replay(t, make_scheduler("easy"), blind);
+  const auto blind_result =
+      sim::replay(t, spec_for("easy").announce_outages(false),
+                  sim::ReplayHooks{}.with_outages(log));
   const auto& cb = find(blind_result, 1);
   EXPECT_GE(cb.restarts, 1);  // started into the outage and was killed
 }

@@ -1,6 +1,5 @@
 #include <gtest/gtest.h>
 
-#include "sched/factory.hpp"
 #include "sim/replay.hpp"
 
 namespace pjsb::sched {
@@ -25,13 +24,18 @@ sim::CompletedJob find(const sim::ReplayResult& result, std::int64_t id) {
   throw std::runtime_error("job not found");
 }
 
+/// Spec-based replay configuration for a named scheduler.
+sim::SimulationSpec spec_for(const std::string& scheduler) {
+  return sim::SimulationSpec{}.with_scheduler(scheduler);
+}
+
 TEST(Fcfs, StrictArrivalOrderEvenWhenLaterJobFits) {
   swf::Trace t;
   t.header.max_nodes = 4;
   t.records.push_back(job(1, 0, 4, 100));
   t.records.push_back(job(2, 10, 4, 10));
   t.records.push_back(job(3, 20, 1, 5));  // would fit, FCFS won't start it
-  const auto result = sim::replay(t, make_scheduler("fcfs"));
+  const auto result = sim::replay(t, spec_for("fcfs"));
   EXPECT_EQ(find(result, 2).start, 100);
   EXPECT_EQ(find(result, 3).start, 110);
 }
@@ -40,7 +44,7 @@ TEST(Fcfs, StartsImmediatelyWhenIdle) {
   swf::Trace t;
   t.header.max_nodes = 8;
   t.records.push_back(job(1, 5, 2, 10));
-  const auto result = sim::replay(t, make_scheduler("fcfs"));
+  const auto result = sim::replay(t, spec_for("fcfs"));
   EXPECT_EQ(find(result, 1).start, 5);
   EXPECT_EQ(find(result, 1).wait(), 0);
 }
@@ -50,7 +54,7 @@ TEST(Fcfs, ParallelStartWhenCapacityAllows) {
   t.header.max_nodes = 8;
   t.records.push_back(job(1, 0, 4, 100));
   t.records.push_back(job(2, 0, 4, 100));
-  const auto result = sim::replay(t, make_scheduler("fcfs"));
+  const auto result = sim::replay(t, spec_for("fcfs"));
   EXPECT_EQ(find(result, 1).start, 0);
   EXPECT_EQ(find(result, 2).start, 0);
 }
@@ -62,7 +66,7 @@ TEST(Sjf, ShortestEstimateFirst) {
   // Both queued while job 1 runs; SJF picks the shorter estimate.
   t.records.push_back(job(2, 1, 4, 500, 500));
   t.records.push_back(job(3, 2, 4, 10, 10));
-  const auto result = sim::replay(t, make_scheduler("sjf"));
+  const auto result = sim::replay(t, spec_for("sjf"));
   EXPECT_EQ(find(result, 3).start, 100);
   EXPECT_EQ(find(result, 2).start, 110);
 }
@@ -74,14 +78,14 @@ TEST(Sjf, StrictVariantBlocksOnShortestJob) {
   // Shortest job needs 4 procs (blocked); 2-proc job behind it could fit.
   t.records.push_back(job(2, 1, 4, 10, 10));
   t.records.push_back(job(3, 2, 2, 50, 50));
-  const auto strict = sim::replay(t, make_scheduler("sjf"));
+  const auto strict = sim::replay(t, spec_for("sjf"));
   EXPECT_EQ(find(strict, 3).start, 110);  // waits for job 2
 
-  const auto fit = sim::replay(t, make_scheduler("sjf-fit"));
+  const auto fit = sim::replay(t, spec_for("sjf-fit"));
   EXPECT_EQ(find(fit, 3).start, 2);  // non-blocking variant starts it
 }
 
-// Factory name/round-trip coverage lives in tests/sched/factory_test.cpp.
+// Spec-string name/round-trip coverage lives in tests/sched/registry_test.cpp.
 
 }  // namespace
 }  // namespace pjsb::sched

@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include "core/outage/record.hpp"
-#include "sched/factory.hpp"
 #include "sim/replay.hpp"
 
 namespace pjsb::sched {
@@ -28,11 +27,16 @@ sim::CompletedJob find(const sim::ReplayResult& result, std::int64_t id) {
   throw std::runtime_error("job not found");
 }
 
+/// Spec-based replay configuration for a named scheduler.
+sim::SimulationSpec spec_for(const std::string& scheduler) {
+  return sim::SimulationSpec{}.with_scheduler(scheduler);
+}
+
 TEST(Gang, SingleJobRunsAtFullSpeed) {
   swf::Trace t;
   t.header.max_nodes = 4;
   t.records.push_back(job(1, 0, 4, 100));
-  const auto result = sim::replay(t, make_scheduler("gang4"));
+  const auto result = sim::replay(t, spec_for("gang4"));
   EXPECT_EQ(find(result, 1).start, 0);
   EXPECT_EQ(find(result, 1).end, 100);
 }
@@ -42,7 +46,7 @@ TEST(Gang, TwoFullMachineJobsShareAndStretch) {
   t.header.max_nodes = 4;
   t.records.push_back(job(1, 0, 4, 100));
   t.records.push_back(job(2, 0, 4, 100));
-  const auto result = sim::replay(t, make_scheduler("gang4"));
+  const auto result = sim::replay(t, spec_for("gang4"));
   // Both start immediately (different rows) and time-share: each runs
   // at half speed until one ends. Job completion near 200, then the
   // remaining work of the other finishes at full speed.
@@ -59,7 +63,7 @@ TEST(Gang, UnequalJobsReleaseRate) {
   t.header.max_nodes = 4;
   t.records.push_back(job(1, 0, 4, 100));
   t.records.push_back(job(2, 0, 4, 20));
-  const auto result = sim::replay(t, make_scheduler("gang4"));
+  const auto result = sim::replay(t, spec_for("gang4"));
   // Shared at half speed until job 2 finishes its 20s of work at t=40;
   // job 1 then has 80s left at full speed: ends ~120.
   EXPECT_NEAR(double(find(result, 2).end), 40.0, 2.0);
@@ -71,7 +75,7 @@ TEST(Gang, SameRowJobsRunConcurrentlyWithoutStretch) {
   t.header.max_nodes = 4;
   t.records.push_back(job(1, 0, 2, 100));
   t.records.push_back(job(2, 0, 2, 100));
-  const auto result = sim::replay(t, make_scheduler("gang4"));
+  const auto result = sim::replay(t, spec_for("gang4"));
   // Both fit in row 0 side by side: no time sharing, both end at 100.
   EXPECT_NEAR(double(find(result, 1).end), 100.0, 2.0);
   EXPECT_NEAR(double(find(result, 2).end), 100.0, 2.0);
@@ -83,7 +87,7 @@ TEST(Gang, SlotLimitQueuesExcessJobs) {
   t.records.push_back(job(1, 0, 2, 50));
   t.records.push_back(job(2, 0, 2, 50));
   t.records.push_back(job(3, 0, 2, 50));  // only 2 slots
-  const auto result = sim::replay(t, make_scheduler("gang2"));
+  const auto result = sim::replay(t, spec_for("gang2"));
   ASSERT_EQ(result.completed.size(), 3u);
   // Job 3 must wait for a row to free.
   EXPECT_GT(find(result, 3).start, 0);
@@ -96,8 +100,8 @@ TEST(Gang, MoreSlotsIncreaseResponsivenessForShortJobs) {
   t.header.max_nodes = 4;
   t.records.push_back(job(1, 0, 4, 1000));
   t.records.push_back(job(2, 10, 4, 10));
-  const auto gang = sim::replay(t, make_scheduler("gang4"));
-  const auto fcfs = sim::replay(t, make_scheduler("fcfs"));
+  const auto gang = sim::replay(t, spec_for("gang4"));
+  const auto fcfs = sim::replay(t, spec_for("fcfs"));
   EXPECT_EQ(find(gang, 2).start, 10);       // immediate, time-shared
   EXPECT_EQ(find(fcfs, 2).start, 1000);     // waits for the long job
   EXPECT_LT(find(gang, 2).end, find(fcfs, 2).end);
@@ -116,9 +120,8 @@ TEST(Gang, OutageKillsJobsOnFailedColumns) {
   o.components = {0};
   log.records.push_back(o);
 
-  sim::ReplayOptions opt;
-  opt.outages = &log;
-  const auto result = sim::replay(t, make_scheduler("gang4"), opt);
+  const auto result =
+      sim::replay(t, spec_for("gang4"), sim::ReplayHooks{}.with_outages(log));
   ASSERT_EQ(result.completed.size(), 1u);
   EXPECT_GE(result.completed[0].restarts, 1);
   // Restarted after the node returns: full 100s from t=40.
@@ -131,7 +134,7 @@ TEST(Gang, AllJobsEventuallyComplete) {
   for (int i = 0; i < 40; ++i) {
     t.records.push_back(job(i + 1, i * 5, 1 + (i % 8), 20 + (i % 50)));
   }
-  const auto result = sim::replay(t, make_scheduler("gang3"));
+  const auto result = sim::replay(t, spec_for("gang3"));
   EXPECT_EQ(result.completed.size(), 40u);
   for (const auto& c : result.completed) {
     EXPECT_GE(c.end, c.start);

@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "sched/backfill.hpp"
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "sim/engine.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"

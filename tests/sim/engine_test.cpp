@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/outage/record.hpp"
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "sim/replay.hpp"
 
 namespace pjsb::sim {
@@ -32,7 +32,7 @@ swf::Trace tiny_trace() {
 
 TEST(Engine, FcfsOrderAndTimes) {
   const auto result =
-      replay(tiny_trace(), sched::make_scheduler("fcfs"));
+      replay(tiny_trace(), SimulationSpec{}.with_scheduler("fcfs"));
   ASSERT_EQ(result.completed.size(), 3u);
   // Job 1: starts at 0, ends 100. Job 2 needs 4 procs -> starts 100.
   // Job 3 (FCFS, no backfill) waits behind job 2 -> starts 150.
@@ -52,7 +52,7 @@ TEST(Engine, FcfsOrderAndTimes) {
 
 TEST(Engine, EasyBackfillsShortJob) {
   const auto result =
-      replay(tiny_trace(), sched::make_scheduler("easy"));
+      replay(tiny_trace(), SimulationSpec{}.with_scheduler("easy"));
   auto find = [&](std::int64_t id) {
     for (const auto& c : result.completed) {
       if (c.id == id) return c;
@@ -66,7 +66,7 @@ TEST(Engine, EasyBackfillsShortJob) {
 }
 
 TEST(Engine, StatsAccounting) {
-  const auto result = replay(tiny_trace(), sched::make_scheduler("fcfs"));
+  const auto result = replay(tiny_trace(), SimulationSpec{}.with_scheduler("fcfs"));
   // work = 2*100 + 4*50 + 2*30 = 460 node-seconds; makespan 180.
   EXPECT_EQ(result.stats.work_node_seconds, 460);
   EXPECT_EQ(result.stats.makespan, 180);
@@ -81,9 +81,8 @@ TEST(Engine, ClosedLoopDefersDependentJobs) {
   t.records[2].preceding_job = 1;
   t.records[2].think_time = 60;
 
-  ReplayOptions opt;
-  opt.closed_loop = true;
-  const auto result = replay(t, sched::make_scheduler("fcfs"), opt);
+  const auto result =
+      replay(t, SimulationSpec{}.with_scheduler("fcfs").closed());
   ASSERT_EQ(result.completed.size(), 3u);
   for (const auto& c : result.completed) {
     if (c.id == 3) {
@@ -96,7 +95,7 @@ TEST(Engine, OpenLoopIgnoresDependencies) {
   auto t = tiny_trace();
   t.records[2].preceding_job = 1;
   t.records[2].think_time = 60;
-  const auto result = replay(t, sched::make_scheduler("fcfs"));
+  const auto result = replay(t, SimulationSpec{}.with_scheduler("fcfs"));
   for (const auto& c : result.completed) {
     if (c.id == 3) {
       EXPECT_EQ(c.submit, 20);
@@ -126,9 +125,8 @@ TEST(Engine, OutageKillsAndRequeuesJob) {
   o.components = {0};
   log.records.push_back(o);
 
-  ReplayOptions opt;
-  opt.outages = &log;
-  const auto result = replay(t, sched::make_scheduler("fcfs"), opt);
+  const auto result = replay(t, SimulationSpec{}.with_scheduler("fcfs"),
+                             ReplayHooks{}.with_outages(log));
   ASSERT_EQ(result.completed.size(), 1u);
   const auto& c = result.completed[0];
   EXPECT_EQ(c.restarts, 1);
@@ -158,9 +156,8 @@ TEST(Engine, OutageOnFreeNodesKillsNothing) {
   o.components = {6, 7};  // job holds nodes 0,1
   log.records.push_back(o);
 
-  ReplayOptions opt;
-  opt.outages = &log;
-  const auto result = replay(t, sched::make_scheduler("fcfs"), opt);
+  const auto result = replay(t, SimulationSpec{}.with_scheduler("fcfs"),
+                             ReplayHooks{}.with_outages(log));
   EXPECT_EQ(result.completed[0].restarts, 0);
   EXPECT_EQ(result.completed[0].end, 100);
   // Capacity integral reflects the downtime: 8*100 - 2*50.
@@ -330,7 +327,7 @@ TEST(Engine, OversizedJobClampedToMachine) {
   r.allocated_procs = 64;  // bigger than machine
   r.status = swf::Status::kCompleted;
   t.records.push_back(r);
-  const auto result = replay(t, sched::make_scheduler("fcfs"));
+  const auto result = replay(t, SimulationSpec{}.with_scheduler("fcfs"));
   ASSERT_EQ(result.completed.size(), 1u);
   EXPECT_EQ(result.completed[0].procs, 4);
 }

@@ -233,58 +233,6 @@ std::string decisions_csv(const ReplayResult& result) {
   return os.str();
 }
 
-// -- deprecated-shim conformance: the pre-SimulationSpec option structs
-// must keep forwarding faithfully until their callers migrate ---------
-
-TEST(ReplayOptionsShim, MatchesSpecPathIncludingObserver) {
-  const auto trace = small_trace();
-  SimulationSpec spec;
-  spec.nodes = 64;
-  spec.closed_loop = true;
-  const auto via_spec = replay(trace, sched::make_scheduler("easy"), spec);
-
-  ReplayOptions options;
-  options.nodes = 64;
-  options.closed_loop = true;
-  std::size_t observed = 0;
-  options.completion_observer = [&](const CompletedJob&) { ++observed; };
-  const auto via_shim =
-      replay(trace, sched::make_scheduler("easy"), options);
-
-  EXPECT_EQ(decisions_csv(via_spec), decisions_csv(via_shim));
-  EXPECT_EQ(observed, via_shim.completed.size());
-  EXPECT_EQ(via_spec.stats.makespan, via_shim.stats.makespan);
-}
-
-TEST(StreamReplayOptionsShim, MatchesSpecPathWithStreamingKnobs) {
-  const auto trace = small_trace();
-  SimulationSpec spec;
-  spec.nodes = 64;
-  spec.lookahead = 32;
-  spec.retain_completed = false;
-  spec.recycle_slots = true;
-  swf::TraceSource spec_source(trace);
-  const auto via_spec =
-      replay(spec_source, sched::make_scheduler("conservative"), spec);
-
-  StreamReplayOptions options;
-  options.nodes = 64;
-  options.lookahead = 32;
-  options.retain_completed = false;
-  options.recycle_slots = true;
-  std::size_t observed = 0;
-  options.completion_observer = [&](const CompletedJob&) { ++observed; };
-  swf::TraceSource shim_source(trace);
-  const auto via_shim =
-      replay(shim_source, sched::make_scheduler("conservative"), options);
-
-  EXPECT_TRUE(via_shim.completed.empty());  // retain off forwards
-  EXPECT_EQ(observed, std::size_t(via_shim.stats.jobs_completed));
-  EXPECT_EQ(via_spec.stats.makespan, via_shim.stats.makespan);
-  EXPECT_EQ(via_spec.stats.jobs_completed, via_shim.stats.jobs_completed);
-  EXPECT_EQ(via_spec.source_pulled, via_shim.source_pulled);
-}
-
 TEST(SimulationSpec, ParsedSpecReproducesByteIdenticalDecisions) {
   // The determinism contract behind logging a cell's spec string: a
   // spec parsed from its own to_string() drives an identical replay.

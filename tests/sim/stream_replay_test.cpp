@@ -9,7 +9,7 @@
 
 #include "core/swf/stream_reader.hpp"
 #include "core/swf/writer.hpp"
-#include "sched/factory.hpp"
+#include "sched/registry.hpp"
 #include "sim/replay.hpp"
 #include "util/rng.hpp"
 #include "workload/model.hpp"
@@ -28,15 +28,17 @@ swf::Trace model_trace(std::size_t jobs, std::uint64_t seed = 4242) {
 }
 
 /// Decision dump in completion order — "same string" means the
-/// scheduler made the same choices in the same sequence. Kept for the
-/// deprecated completion_observer shim tests below; the primary path
-/// uses sim::CompletionCsvObserver.
-std::function<void(const CompletedJob&)> csv_into(std::string& out) {
-  return [&out](const CompletedJob& c) {
+/// scheduler made the same choices in the same sequence. A lambda-based
+/// FunctionObserver keeps bounded-memory tests free of retained
+/// records; the primary path uses sim::CompletionCsvObserver.
+FunctionObserver csv_into(std::string& out) {
+  FunctionObserver observer;
+  observer.job_complete = [&out](const CompletedJob& c) {
     out += std::to_string(c.id) + ',' + std::to_string(c.submit) + ',' +
            std::to_string(c.start) + ',' + std::to_string(c.end) + ',' +
            std::to_string(c.procs) + ',' + std::to_string(c.restarts) + '\n';
   };
+  return observer;
 }
 
 std::string replay_inmem_csv(const swf::Trace& trace,
@@ -86,12 +88,12 @@ TEST(StreamReplay, BoundedMemoryModeKeepsDecisionsAndStats) {
   auto in = std::make_unique<std::istringstream>(text);
   swf::StreamReader source(std::move(in), "test");
   std::string csv;
-  StreamReplayOptions options;
-  options.lookahead = 64;
-  options.retain_completed = false;
-  options.recycle_slots = true;
-  options.completion_observer = csv_into(csv);
-  const auto result = replay(source, sched::make_scheduler("easy"), options);
+  auto observer = csv_into(csv);
+  const auto result = replay(
+      source,
+      SimulationSpec{}.with_scheduler("easy").with_lookahead(64)
+          .streaming_memory(),
+      ReplayHooks{}.observe(observer));
 
   EXPECT_EQ(csv, expected);
   EXPECT_TRUE(result.completed.empty());  // not retained...
@@ -108,11 +110,11 @@ TEST(StreamReplay, MaxJobsBoundsAnUnboundedGeneratorSource) {
   spec.max_jobs = 0;  // never exhausts on its own
   workload::ModelJobSource source(spec);
 
-  StreamReplayOptions options;
-  options.max_jobs = 300;
-  options.lookahead = 32;
-  options.recycle_slots = true;
-  const auto result = replay(source, sched::make_scheduler("easy"), options);
+  SimulationSpec replay_spec;
+  replay_spec.with_scheduler("easy").with_max_jobs(300).with_lookahead(32);
+  replay_spec.recycle_slots = true;
+  replay_spec.retain_completed = false;
+  const auto result = replay(source, replay_spec);
   EXPECT_EQ(result.source_pulled, 300u);
   EXPECT_EQ(result.stats.jobs_completed, 300);
 }
@@ -131,13 +133,12 @@ TEST(StreamReplay, GeneratorSourceReplayIsDeterministic) {
   const auto run = [&spec](bool bounded) {
     workload::ModelJobSource source(spec);
     std::string csv;
-    StreamReplayOptions options;
-    options.nodes = 64;
-    options.lookahead = 64;
-    options.recycle_slots = bounded;
-    options.retain_completed = !bounded;
-    options.completion_observer = csv_into(csv);
-    replay(source, sched::make_scheduler("easy"), options);
+    auto observer = csv_into(csv);
+    auto replay_spec = SimulationSpec{}.with_scheduler("easy")
+                           .with_nodes(64)
+                           .with_lookahead(64);
+    if (bounded) replay_spec.streaming_memory();
+    replay(source, replay_spec, ReplayHooks{}.observe(observer));
     return csv;
   };
 
@@ -176,18 +177,16 @@ swf::Trace dependency_trace() {
 TEST(StreamReplay, ClosedLoopMatchesBatchWhenWindowCoversDependency) {
   const auto trace = dependency_trace();
 
-  ReplayOptions batch_options;
-  batch_options.closed_loop = true;
   const auto batch =
-      replay(trace, sched::make_scheduler("fcfs"), batch_options);
+      replay(trace, SimulationSpec{}.with_scheduler("fcfs").closed());
 
   const auto text = swf::write_swf_string(trace);
   auto in = std::make_unique<std::istringstream>(text);
   swf::StreamReader source(std::move(in), "test");
-  StreamReplayOptions options;
-  options.closed_loop = true;
-  options.lookahead = 10;  // window covers the whole trace
-  const auto stream = replay(source, sched::make_scheduler("fcfs"), options);
+  // Window covers the whole trace.
+  const auto stream = replay(
+      source,
+      SimulationSpec{}.with_scheduler("fcfs").closed().with_lookahead(10));
 
   ASSERT_EQ(stream.completed.size(), batch.completed.size());
   for (std::size_t i = 0; i < stream.completed.size(); ++i) {
@@ -234,10 +233,9 @@ TEST(StreamReplay, ClosedLoopLatePullResolvesViaResidentPredecessor) {
   const auto text = swf::write_swf_string(trace);
   auto in = std::make_unique<std::istringstream>(text);
   swf::StreamReader source(std::move(in), "test");
-  StreamReplayOptions options;
-  options.closed_loop = true;
-  options.lookahead = 1;
-  const auto result = replay(source, sched::make_scheduler("fcfs"), options);
+  const auto result = replay(
+      source,
+      SimulationSpec{}.with_scheduler("fcfs").closed().with_lookahead(1));
 
   ASSERT_EQ(result.stats.jobs_completed, 7);
   for (const auto& c : result.completed) {
@@ -275,10 +273,8 @@ TEST(StreamReplay, EagerLoadDefersForwardReferencedDependents) {
   pred.think_time = -1;
   trace.records = {dep, pred};
 
-  ReplayOptions batch_options;
-  batch_options.closed_loop = true;
   const auto batch =
-      replay(trace, sched::make_scheduler("fcfs"), batch_options);
+      replay(trace, SimulationSpec{}.with_scheduler("fcfs").closed());
   ASSERT_EQ(batch.completed.size(), 2u);
   for (const auto& c : batch.completed) {
     if (c.id == 2) {
@@ -289,11 +285,9 @@ TEST(StreamReplay, EagerLoadDefersForwardReferencedDependents) {
   const auto text = swf::write_swf_string(trace);
   auto in = std::make_unique<std::istringstream>(text);
   swf::StreamReader source(std::move(in), "test");
-  StreamReplayOptions stream_options;
-  stream_options.closed_loop = true;
-  stream_options.lookahead = 1;
-  const auto stream =
-      replay(source, sched::make_scheduler("fcfs"), stream_options);
+  const auto stream = replay(
+      source,
+      SimulationSpec{}.with_scheduler("fcfs").closed().with_lookahead(1));
   ASSERT_EQ(stream.stats.jobs_completed, 2);
   for (const auto& c : stream.completed) {
     if (c.id == 2) {
@@ -363,9 +357,9 @@ TEST(StreamReplay, OutOfOrderRecordsAreClampedNotLost) {
   const auto text = swf::write_swf_string(trace);
   auto in = std::make_unique<std::istringstream>(text);
   swf::StreamReader source(std::move(in), "test");
-  StreamReplayOptions options;
-  options.lookahead = 1;  // force the straggler to be pulled late
-  const auto result = replay(source, sched::make_scheduler("fcfs"), options);
+  // Lookahead 1 forces the straggler to be pulled late.
+  const auto result = replay(
+      source, SimulationSpec{}.with_scheduler("fcfs").with_lookahead(1));
   EXPECT_EQ(result.stats.jobs_completed, 3);
   EXPECT_GE(result.source_clamped, 1u);
 }
@@ -375,7 +369,8 @@ TEST(StreamReplay, TraceReplayStatsUnchangedByRefactor) {
   // machinery; spot-check an end-to-end invariant against first
   // principles (all jobs complete, accounting is self-consistent).
   const auto trace = model_trace(400);
-  const auto result = replay(trace, sched::make_scheduler("easy"));
+  const auto result =
+      replay(trace, SimulationSpec{}.with_scheduler("easy"));
   EXPECT_EQ(result.stats.jobs_completed, 400);
   EXPECT_EQ(result.completed.size(), 400u);
   EXPECT_GT(result.stats.work_node_seconds, 0);
