@@ -1,0 +1,239 @@
+// serve_client — command-line client for the scheduling daemon.
+//
+// Modes (endpoint first, then the mode):
+//   serve_client (--socket <path> | --port <n>) [--token <t>] <mode> ...
+//
+//   replay <file.swf> [--whatif-every <n>] [--query-every <n>] [--drain]
+//       live-submit every record of the trace in file order, mirroring
+//       the field normalization sim::SimJob::from_record applies, so
+//       the daemon's decision stream is byte-identical to an offline
+//       sim::replay of the same trace (the CI smoke test relies on
+//       this). --whatif-every / --query-every interleave read-tier
+//       queries between submissions to prove they do not perturb the
+//       schedule; --drain runs the backlog dry afterwards.
+//   cmd <raw request line ...>
+//       send one raw protocol line and print the raw response.
+//   barrage <threads> <queries-per-thread>
+//       concurrent WHATIF load from independent connections; prints
+//       aggregate queries/s.
+//   status | drain | shutdown
+//       one-shot lifecycle verbs.
+//
+// SWF traces list records in nondecreasing submit order; replay mode
+// preserves file order, which is what makes the live stream reproduce
+// the offline event ordering exactly.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/swf/reader.hpp"
+#include "serve/client.hpp"
+#include "sim/job.hpp"
+
+namespace {
+
+using namespace pjsb;
+
+int usage() {
+  std::cerr <<
+      "usage: serve_client (--socket <path> | --port <n>) [--token <t>] "
+      "<mode>\n"
+      "  replay <file.swf> [--whatif-every <n>] [--query-every <n>] "
+      "[--drain]\n"
+      "  cmd <raw request line ...>\n"
+      "  barrage <threads> <queries-per-thread>\n"
+      "  status | drain | shutdown\n";
+  return 2;
+}
+
+struct Endpoint {
+  std::string socket_path;
+  int port = 0;
+  std::string token;
+};
+
+serve::Client connect(const Endpoint& endpoint) {
+  auto client = endpoint.socket_path.empty()
+                    ? serve::Client::connect_tcp(endpoint.port)
+                    : serve::Client::connect_unix(endpoint.socket_path);
+  client.handshake(endpoint.token, "serve_client");
+  return client;
+}
+
+int fail(const serve::Response& response, const char* what) {
+  std::cerr << what << ": ERR " << response.code << " "
+            << response.message << "\n";
+  return 1;
+}
+
+int cmd_replay(const Endpoint& endpoint, const std::string& path,
+               std::int64_t whatif_every, std::int64_t query_every,
+               bool drain) {
+  auto result = swf::read_swf_file(path);
+  if (!result.errors.empty()) {
+    std::cerr << "replay: " << result.errors.size()
+              << " malformed line(s) in " << path << "\n";
+    return 1;
+  }
+  auto client = connect(endpoint);
+  std::int64_t submitted = 0;
+  std::int64_t last_id = 0;
+  for (const auto& record : result.trace.records) {
+    // Mirror SimJob::from_record so the daemon admits exactly the job
+    // an offline replay would.
+    const auto job = sim::SimJob::from_record(record);
+    const auto response = client.submit(job.procs, job.estimate, job.submit,
+                                        job.runtime, job.id, job.user_id);
+    if (!response.ok) return fail(response, "SUBMIT");
+    ++submitted;
+    last_id = response.field_i64("id").value_or(job.id);
+    if (whatif_every > 0 && submitted % whatif_every == 0) {
+      const auto answer = client.whatif(job.procs, job.estimate);
+      if (!answer.ok) return fail(answer, "WHATIF");
+    }
+    if (query_every > 0 && submitted % query_every == 0) {
+      const auto answer = client.query(last_id);
+      if (!answer.ok) return fail(answer, "QUERY");
+    }
+  }
+  if (drain) {
+    const auto response = client.drain();
+    if (!response.ok) return fail(response, "DRAIN");
+    std::cout << "drained: time="
+              << response.field("time").value_or("?") << " decisions="
+              << response.field("decisions").value_or("?") << "\n";
+  }
+  std::cout << "submitted " << submitted << " job(s) from " << path
+            << "\n";
+  return 0;
+}
+
+int cmd_raw(const Endpoint& endpoint, const std::string& line) {
+  auto client = connect(endpoint);
+  const auto response = client.request_line(line);
+  std::cout << serve::serialize_response(response) << "\n";
+  return response.ok ? 0 : 1;
+}
+
+int cmd_barrage(const Endpoint& endpoint, int threads,
+                std::int64_t queries) {
+  std::atomic<std::int64_t> answered{0};
+  std::atomic<bool> failed{false};
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        auto client = connect(endpoint);
+        for (std::int64_t q = 0; q < queries; ++q) {
+          // Deterministic shape variety, distinct per thread.
+          const std::int64_t procs = 1 + (t * 7 + q) % 16;
+          const std::int64_t estimate = 60 * (1 + (q % 32));
+          if (!client.whatif(procs, estimate).ok) {
+            failed = true;
+            return;
+          }
+          ++answered;
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "barrage thread " << t << ": " << e.what() << "\n";
+        failed = true;
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    begin)
+          .count();
+  std::cout << "answered " << answered.load() << " what-if queries in "
+            << seconds << "s ("
+            << (seconds > 0 ? double(answered.load()) / seconds : 0.0)
+            << " qps)\n";
+  return failed ? 1 : 0;
+}
+
+int one_shot(const Endpoint& endpoint, const std::string& verb) {
+  auto client = connect(endpoint);
+  const auto response = verb == "status"   ? client.status()
+                        : verb == "drain"  ? client.drain()
+                                           : client.shutdown();
+  std::cout << serve::serialize_response(response) << "\n";
+  return response.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Endpoint endpoint;
+  int next = 1;
+  while (next < argc && argv[next][0] == '-') {
+    const std::string flag = argv[next];
+    if (flag == "--socket" && next + 1 < argc) {
+      endpoint.socket_path = argv[next + 1];
+      next += 2;
+    } else if (flag == "--port" && next + 1 < argc) {
+      endpoint.port = std::atoi(argv[next + 1]);
+      next += 2;
+    } else if (flag == "--token" && next + 1 < argc) {
+      endpoint.token = argv[next + 1];
+      next += 2;
+    } else {
+      return usage();
+    }
+  }
+  if (endpoint.socket_path.empty() && endpoint.port <= 0) return usage();
+  if (next >= argc) return usage();
+  const std::string mode = argv[next++];
+
+  try {
+    if (mode == "replay" && next < argc) {
+      const std::string path = argv[next++];
+      std::int64_t whatif_every = 0;
+      std::int64_t query_every = 0;
+      bool drain = false;
+      while (next < argc) {
+        const std::string flag = argv[next++];
+        if (flag == "--drain") {
+          drain = true;
+        } else if (flag == "--whatif-every" && next < argc) {
+          whatif_every = std::atoll(argv[next++]);
+        } else if (flag == "--query-every" && next < argc) {
+          query_every = std::atoll(argv[next++]);
+        } else {
+          return usage();
+        }
+      }
+      return cmd_replay(endpoint, path, whatif_every, query_every, drain);
+    }
+    if (mode == "cmd" && next < argc) {
+      std::string line;
+      for (; next < argc; ++next) {
+        if (!line.empty()) line += ' ';
+        line += argv[next];
+      }
+      return cmd_raw(endpoint, line);
+    }
+    if (mode == "barrage" && next + 2 == argc) {
+      const int threads = std::atoi(argv[next]);
+      const std::int64_t queries = std::atoll(argv[next + 1]);
+      if (threads < 1 || queries < 1) {
+        std::cerr << "barrage: threads and queries must be positive\n";
+        return 2;
+      }
+      return cmd_barrage(endpoint, threads, queries);
+    }
+    if ((mode == "status" || mode == "drain" || mode == "shutdown") &&
+        next == argc) {
+      return one_shot(endpoint, mode);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -40,6 +40,11 @@
 //                                    answer "when would this job start?"
 //                                    against the frozen state, without
 //                                    perturbing it
+//   serve <sim-spec> [--socket <path> | --port <n>] [serve-flags]
+//                                    run the scheduling daemon: live
+//                                    SUBMIT/KILL/QUERY/WHATIF sessions
+//                                    over a Unix or loopback TCP socket
+//                                    (README "Scheduling daemon")
 //   schedulers                       print the policy registry catalogue
 //
 // simulate, stream-simulate and golden-mode validate accept trailing
@@ -81,6 +86,7 @@
 #include "metrics/online.hpp"
 #include "obs/trace_read.hpp"
 #include "sched/registry.hpp"
+#include "serve/server.hpp"
 #include "sim/fault/fault.hpp"
 #include "sim/replay.hpp"
 #include "sim/snapshot/snapshot.hpp"
@@ -125,6 +131,9 @@ int usage() {
       "  resume <file.snap> [--golden <golden-file>]\n"
       "  whatif <file.snap> <procs> <estimate-s> [--offset <s>] "
       "[--simulate]\n"
+      "  serve <sim-spec> [--socket <path> | --port <n>] [--token <t>]\n"
+      "        [--time-scale <x>] [--decisions <csv>]\n"
+      "        [--snapshot-on-shutdown <snap>] [--resume <snap>]\n"
       "  schedulers\n"
       "scheduler-spec is a registry spec string, e.g. \"easy\" or\n"
       "\"easy reserve_depth=2\" (run `swf_tool schedulers` for the "
@@ -685,6 +694,77 @@ int cmd_whatif(const std::string& snap_path, std::int64_t procs,
   return 0;
 }
 
+/// The scheduling daemon (README "Scheduling daemon"): build an engine
+/// from a SimulationSpec string (or restore one from a snapshot), bind
+/// the endpoint, and serve sessions until SHUTDOWN / SIGTERM / SIGINT.
+int cmd_serve(const std::string& spec_text, int argc, char** argv,
+              int first) {
+  serve::ServerConfig config;
+  config.handle_signals = true;
+  std::string resume_path;
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::cerr << "serve: " << flag << " needs a value\n";
+      return 2;
+    }
+    const std::string value = argv[++i];
+    if (flag == "--socket") {
+      config.socket_path = value;
+    } else if (flag == "--port") {
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 0 || *n > 65535) {
+        std::cerr << "serve: --port must be in [0, 65535] "
+                     "(0 = ephemeral)\n";
+        return 2;
+      }
+      config.tcp_port = int(*n);
+    } else if (flag == "--token") {
+      config.auth_token = value;
+    } else if (flag == "--time-scale") {
+      config.time_scale = std::atof(value.c_str());
+      if (config.time_scale < 0) {
+        std::cerr << "serve: --time-scale must be >= 0 "
+                     "(0 = logical time)\n";
+        return 2;
+      }
+    } else if (flag == "--decisions") {
+      config.decisions_path = value;
+    } else if (flag == "--snapshot-on-shutdown") {
+      config.snapshot_on_shutdown = value;
+    } else if (flag == "--resume") {
+      resume_path = value;
+    } else {
+      std::cerr << "serve: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
+  std::unique_ptr<sim::Engine> engine;
+  if (!resume_path.empty()) {
+    engine = sim::Engine::restore(sim::snapshot::read_file(resume_path));
+  } else if (spec_text.empty()) {
+    std::cerr << "serve: need a sim-spec (e.g. \"scheduler=conservative "
+                 "nodes=32\") or --resume <snap>\n";
+    return 2;
+  } else {
+    auto spec = sim::SimulationSpec::parse(spec_text);
+    spec.validate();
+    engine = std::make_unique<sim::Engine>(
+        sim::spec_engine_config(spec,
+                                spec.nodes.value_or(sim::kDefaultNodes)),
+        sched::make_scheduler(spec.scheduler));
+  }
+
+  serve::Server server(std::move(config), std::move(engine));
+  server.start();
+  if (server.port() > 0) {
+    std::cout << "serving on 127.0.0.1:" << server.port() << "\n";
+  }
+  server.wait();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -829,6 +909,13 @@ int main(int argc, char** argv) {
       }
       return cmd_whatif(argv[2], *procs, *estimate, offset, simulate);
     }
+    if (cmd == "serve" && argc >= 3) {
+      // The spec is positional, but `serve --resume x.snap` has no
+      // spec: the snapshot carries the full engine configuration.
+      const bool has_spec = argv[2][0] != '-';
+      return cmd_serve(has_spec ? argv[2] : "", argc, argv,
+                       has_spec ? 3 : 2);
+    }
     if (cmd == "schedulers" && argc == 2) {
       std::cout << sched::Registry::global().help();
       return 0;
@@ -837,5 +924,9 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
+  // Unknown subcommand or a known one with a malformed argument list:
+  // name the offender, then print the full catalogue (exit 2 either
+  // way, same as every other usage error).
+  std::cerr << "swf_tool: unknown or malformed command '" << cmd << "'\n";
   return usage();
 }

@@ -42,7 +42,8 @@ PROVENANCES = {"unspecified", "queue_head", "backfill", "reservation",
                "timeshare"}
 OUTAGE_PHASES = {"announced", "started", "ended"}
 KILL_REASONS = {"outage", "preempt", "walltime"}
-DROP_REASONS = {"retry_limit", "walltime_overrun", "requeue_disabled"}
+DROP_REASONS = {"retry_limit", "walltime_overrun", "requeue_disabled",
+                "cancelled"}
 
 # type -> {field: required JSON type}
 REQUIRED = {

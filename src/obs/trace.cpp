@@ -30,6 +30,8 @@ const char* drop_reason_name(sim::DropReason reason) {
       return "walltime_overrun";
     case sim::DropReason::kRequeueDisabled:
       return "requeue_disabled";
+    case sim::DropReason::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

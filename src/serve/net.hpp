@@ -1,0 +1,53 @@
+// Minimal blocking POSIX socket helpers shared by the daemon and the
+// client library: Unix-domain and loopback-TCP listeners/connectors,
+// full-buffer sends, and a buffered line reader. Everything returns
+// -1 / false / nullopt with *error set instead of throwing — the
+// callers decide whether a failed connection is fatal.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pjsb::serve::net {
+
+/// Bind + listen on a Unix-domain socket. An existing socket file at
+/// `path` is unlinked first (the daemon owns its endpoint). Returns
+/// the listening fd, or -1 with *error set.
+int listen_unix(const std::string& path, std::string* error);
+
+/// Bind + listen on loopback TCP. `port` 0 picks an ephemeral port;
+/// *actual_port receives the bound port either way. Returns the
+/// listening fd, or -1 with *error set.
+int listen_tcp(int port, int* actual_port, std::string* error);
+
+int connect_unix(const std::string& path, std::string* error);
+int connect_tcp(int port, std::string* error);
+
+/// Write the whole buffer (retrying short writes). False on error.
+bool send_all(int fd, std::string_view data);
+
+void close_fd(int fd);
+/// shutdown(SHUT_RDWR): unblocks a reader in another thread.
+void shutdown_fd(int fd);
+/// shutdown(SHUT_RD): unblocks a reader but lets an in-flight reply
+/// in another thread finish sending (used during server teardown so
+/// the session that requested SHUTDOWN still receives its OK).
+void shutdown_read(int fd);
+
+/// Buffered newline-delimited reader over a blocking fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next line without its '\n' (a trailing '\r' is stripped too).
+  /// Nullopt on EOF or error with no complete line buffered.
+  std::optional<std::string> read_line();
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace pjsb::serve::net

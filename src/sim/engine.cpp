@@ -199,6 +199,52 @@ std::int64_t Engine::submit_job(SimJob job) {
   return id;
 }
 
+const SimJob* Engine::find_job(std::int64_t id) const {
+  const JobSlot* slot = find_slot(id);
+  return slot ? &slot->job : nullptr;
+}
+
+bool Engine::cancel_job(std::int64_t id, std::string* why) {
+  const auto fail = [&](const char* message) {
+    if (why) *why = message;
+    return false;
+  };
+  JobSlot* slot = find_slot(id);
+  if (!slot) return fail("unknown job id");
+  bool release_after_pass = false;
+  switch (slot->job.state) {
+    case JobState::kPending:
+      // The submit event (initial, backoff resubmission, or deferred
+      // closed-loop release) is still in flight; cancelling would leave
+      // it to fire on a terminated job.
+      return fail("job not submitted yet (pending)");
+    case JobState::kFinished:
+      return fail("job already terminated");
+    case JobState::kQueued:
+      --queued_count_;
+      release_after_pass = config_.recycle_slots;
+      drop_job(*slot, DropReason::kCancelled,
+               /*defer_release=*/release_after_pass);
+      break;
+    case JobState::kRunning:
+      kill_job(*slot, KillReason::kPreempt, /*force_drop=*/true);
+      break;
+  }
+  // The cancel lands between event timestamps, so the scheduler pass
+  // that normally follows a timestamp's events runs here explicitly:
+  // the schedulers drop the cancelled entry from their queues and put
+  // freed capacity (or an unblocked FCFS head) to use immediately.
+  scheduler_->schedule(*this);
+  scheduler_dirty_ = false;
+  if (release_after_pass) release_slot(id);
+  if (!observers_.empty()) {
+    observers_.on_step({now_, machine_.free_nodes(), machine_.busy_nodes(),
+                        machine_.down_nodes(), queued_count_,
+                        running_count_});
+  }
+  return true;
+}
+
 bool Engine::request_reservation(
     const sched::AdvanceReservation& reservation) {
   sched::AdvanceReservation res = reservation;
@@ -551,7 +597,7 @@ void Engine::finish_job(SimJob& j) {
   }
 }
 
-void Engine::kill_job(JobSlot& slot, KillReason reason) {
+void Engine::kill_job(JobSlot& slot, KillReason reason, bool force_drop) {
   // Work performed so far is lost ("any job running on that node would
   // have to be restarted") — except the checkpointed portion, which the
   // next burst resumes from.
@@ -590,7 +636,10 @@ void Engine::kill_job(JobSlot& slot, KillReason reason) {
   const auto& rec = config_.recovery;
   bool drop = false;
   DropReason drop_reason = DropReason::kRetryLimit;
-  if (reason == KillReason::kWalltime) {
+  if (force_drop) {
+    drop = true;
+    drop_reason = DropReason::kCancelled;
+  } else if (reason == KillReason::kWalltime) {
     drop = true;
     drop_reason = DropReason::kWalltimeOverrun;
   } else if (!config_.requeue_killed_jobs) {
@@ -630,7 +679,8 @@ void Engine::kill_job(JobSlot& slot, KillReason reason) {
   scheduler_dirty_ = true;
 }
 
-void Engine::drop_job(JobSlot& slot, DropReason reason) {
+void Engine::drop_job(JobSlot& slot, DropReason reason,
+                      bool defer_release) {
   auto& j = slot.job;
   j.state = JobState::kFinished;
   j.end = now_;
@@ -648,7 +698,7 @@ void Engine::drop_job(JobSlot& slot, DropReason reason) {
   // forever; they are not recorded in the closed-loop history:
   // dropped, not released.
   std::vector<std::int64_t> doomed = {id};
-  if (config_.recycle_slots) release_slot(id);
+  if (config_.recycle_slots && !defer_release) release_slot(id);
   while (!doomed.empty()) {
     const std::int64_t doomed_id = doomed.back();
     doomed.pop_back();

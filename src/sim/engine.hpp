@@ -132,9 +132,26 @@ class Engine final : public sched::SchedulerContext {
   /// Register an outage stream (call before run()).
   void add_outages(const outage::OutageLog& log);
 
-  /// Submit a single external job (used by the meta layer). The job's
-  /// submit time must be >= now(); returns its id.
+  /// Submit a single external job (used by the meta layer and the
+  /// serve daemon). The job's submit time must be >= now(); returns
+  /// its id.
   std::int64_t submit_job(SimJob job);
+
+  /// Read-only job lookup by id. Nullptr when the id was never
+  /// submitted (or its slot was recycled in recycle_slots mode).
+  const SimJob* find_job(std::int64_t id) const;
+
+  /// Cancel a job at now(), on explicit external request (the daemon's
+  /// KILL verb). A queued job is dropped (DropReason::kCancelled); a
+  /// running job is killed (KillReason::kPreempt) and force-dropped
+  /// instead of requeued. Every policy prunes queue entries whose
+  /// engine-side state left kQueued, so the cancel is followed by an
+  /// immediate scheduler pass — freed capacity or an unblocked queue
+  /// head is used right away, exactly as after an event timestamp.
+  /// Returns false (with *why set) for unknown ids, jobs whose submit
+  /// event has not fired yet (pending), and already-terminated jobs.
+  /// Like step(), only legal between steps.
+  bool cancel_job(std::int64_t id, std::string* why = nullptr);
 
   /// Request an advance reservation (forwards to the scheduler).
   /// Returns true if the scheduler accepted and the engine committed it.
@@ -314,10 +331,16 @@ class Engine final : public sched::SchedulerContext {
   void handle_outage_end(std::size_t idx);
   void handle_reservation_start(std::int64_t res_id);
   void finish_job(SimJob& j);
-  void kill_job(JobSlot& slot, KillReason reason);
+  /// `force_drop` (cancel path): skip the requeue policy entirely and
+  /// drop with DropReason::kCancelled.
+  void kill_job(JobSlot& slot, KillReason reason, bool force_drop = false);
   /// Terminate a job without completion: mark finished, notify
   /// on_job_drop, and doom its closed-loop dependents transitively.
-  void drop_job(JobSlot& slot, DropReason reason);
+  /// `defer_release` keeps the slot alive in recycle_slots mode so the
+  /// caller can run a scheduler pass (which reads the slot while
+  /// pruning) before releasing it.
+  void drop_job(JobSlot& slot, DropReason reason,
+                bool defer_release = false);
   /// Copy EngineConfig::recovery checkpoint defaults onto a job that
   /// carries none of its own.
   void apply_recovery_defaults(SimJob& j) const;

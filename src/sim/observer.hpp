@@ -75,6 +75,7 @@ enum class DropReason {
   kRetryLimit,       ///< killed retry_limit times, gave up
   kWalltimeOverrun,  ///< overrun=kill/grace deadline expired
   kRequeueDisabled,  ///< engine runs with requeue_killed_jobs off
+  kCancelled,        ///< explicit Engine::cancel_job (user request)
 };
 
 /// Machine/queue accounting at the end of one event timestamp, after

@@ -1,0 +1,308 @@
+// Daemon integration: a real Server on a real socket, driven through
+// the client library. The headline property is the ISSUE 9 acceptance
+// criterion — live-submitting data/contention.swf in arrival order
+// yields a decision stream byte-identical to the committed offline
+// golden — plus kill/query, snapshot/resume, auth, and concurrent
+// query sessions that must not perturb the schedule.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/swf/reader.hpp"
+#include "sched/registry.hpp"
+#include "serve/client.hpp"
+#include "sim/job.hpp"
+#include "sim/replay.hpp"
+#include "sim/snapshot/snapshot.hpp"
+#include "sim/spec.hpp"
+
+namespace pjsb::serve {
+namespace {
+
+std::string fixture(const std::string& relative) {
+  return std::string(PJSB_SOURCE_DIR) + "/" + relative;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+swf::Trace contention() {
+  auto result = swf::read_swf_file(fixture("data/contention.swf"));
+  EXPECT_TRUE(result.ok());
+  return std::move(result.trace);
+}
+
+std::unique_ptr<sim::Engine> make_engine(const std::string& scheduler,
+                                         std::int64_t nodes) {
+  const auto spec =
+      sim::SimulationSpec{}.with_scheduler(scheduler).with_nodes(nodes);
+  return std::make_unique<sim::Engine>(
+      sim::spec_engine_config(spec, nodes),
+      sched::make_scheduler(scheduler));
+}
+
+/// Submit one trace record the way serve_client replay does: mirror
+/// SimJob::from_record so the daemon admits exactly the job an offline
+/// replay would.
+Response submit_record(Client& client, const swf::JobRecord& record) {
+  const auto job = sim::SimJob::from_record(record);
+  return client.submit(job.procs, job.estimate, job.submit, job.runtime,
+                       job.id, job.user_id);
+}
+
+TEST(ServeServer, LiveReplayMatchesCommittedGolden) {
+  const std::string decisions_path =
+      testing::TempDir() + "/serve_live.decisions";
+  ServerConfig config;
+  config.decisions_path = decisions_path;
+  Server server(config, make_engine("conservative", 32));
+  server.start();
+
+  auto client = Client::connect_tcp(server.port());
+  client.handshake();
+  const auto trace = contention();
+  for (const auto& record : trace.records) {
+    const auto response = submit_record(client, record);
+    ASSERT_TRUE(response.ok) << response.message;
+  }
+  const auto drained = client.drain();
+  ASSERT_TRUE(drained.ok) << drained.message;
+  EXPECT_EQ(drained.field_i64("decisions"), 40);
+
+  EXPECT_EQ(slurp(decisions_path),
+            slurp(fixture("data/golden/contention_conservative.decisions")));
+
+  ASSERT_TRUE(client.shutdown().ok);
+  server.wait();
+}
+
+TEST(ServeServer, WhatIfMatchesOfflinePredictAndDoesNotPerturb) {
+  const std::string decisions_path =
+      testing::TempDir() + "/serve_whatif.decisions";
+  ServerConfig config;
+  config.decisions_path = decisions_path;
+  Server server(config, make_engine("conservative", 32));
+  server.start();
+
+  auto client = Client::connect_tcp(server.port());
+  client.handshake();
+  const auto trace = contention();
+  const std::size_t cut = trace.records.size() / 2;
+
+  // A twin engine fed the same half of the trace, advanced to the same
+  // horizon the daemon reached (latest submit - 1), answers
+  // predict_start serially; the socket answers must match it exactly.
+  auto twin = make_engine("conservative", 32);
+  for (std::size_t i = 0; i < cut; ++i) {
+    const auto response = submit_record(client, trace.records[i]);
+    ASSERT_TRUE(response.ok) << response.message;
+    twin->submit_job(sim::SimJob::from_record(trace.records[i]));
+  }
+  const auto last_at = sim::SimJob::from_record(trace.records[cut - 1]).submit;
+  twin->run_until(last_at - 1);
+
+  for (std::int64_t procs = 1; procs <= 32; procs += 7) {
+    for (std::int64_t estimate : {60, 600, 6000}) {
+      const auto answer = client.whatif(procs, estimate);
+      ASSERT_TRUE(answer.ok) << answer.message;
+      const auto expected =
+          twin->scheduler().predict_start(twin->now(), procs, estimate);
+      ASSERT_TRUE(expected.has_value());
+      EXPECT_EQ(answer.field_i64("start"), *expected)
+          << "procs=" << procs << " estimate=" << estimate;
+      EXPECT_EQ(answer.field_i64("at"), twin->now());
+    }
+  }
+  // Simulate mode places the hypothetical job too.
+  const auto simulated = client.whatif(4, 600, /*offset=*/0, true);
+  ASSERT_TRUE(simulated.ok) << simulated.message;
+  EXPECT_EQ(simulated.field("mode"), "simulate");
+  EXPECT_TRUE(simulated.field_i64("start").has_value());
+
+  // The barrage above must not have perturbed the live schedule: the
+  // remainder of the trace still completes onto the committed golden.
+  for (std::size_t i = cut; i < trace.records.size(); ++i) {
+    const auto response = submit_record(client, trace.records[i]);
+    ASSERT_TRUE(response.ok) << response.message;
+  }
+  ASSERT_TRUE(client.drain().ok);
+  EXPECT_EQ(slurp(decisions_path),
+            slurp(fixture("data/golden/contention_conservative.decisions")));
+
+  ASSERT_TRUE(client.shutdown().ok);
+  server.wait();
+}
+
+TEST(ServeServer, KillAndQueryLifecycle) {
+  Server server(ServerConfig{}, make_engine("fcfs", 8));
+  server.start();
+  auto client = Client::connect_tcp(server.port());
+  client.handshake();
+
+  // First job fills the machine; the second queues behind it.
+  const auto running = client.submit(8, 10000, /*at=*/0, 10000);
+  ASSERT_TRUE(running.ok) << running.message;
+  const auto queued = client.submit(8, 10000, /*at=*/1, 10000);
+  ASSERT_TRUE(queued.ok) << queued.message;
+  // A later submission moves the clock past both: job 1 runs, job 2
+  // waits.
+  ASSERT_TRUE(client.submit(1, 60, /*at=*/100, 60).ok);
+
+  const auto running_id = *running.field_i64("id");
+  const auto queued_id = *queued.field_i64("id");
+  auto state = client.query(running_id);
+  ASSERT_TRUE(state.ok);
+  EXPECT_EQ(state.field("state"), "running");
+  state = client.query(queued_id);
+  ASSERT_TRUE(state.ok);
+  EXPECT_EQ(state.field("state"), "queued");
+  // The queued job's predicted start comes from the read tier.
+  EXPECT_TRUE(state.field_i64("predicted_start").has_value());
+
+  // Kill the queued job: it terminates without ever starting.
+  const auto killed = client.kill(queued_id);
+  ASSERT_TRUE(killed.ok) << killed.message;
+  state = client.query(queued_id);
+  ASSERT_TRUE(state.ok);
+  EXPECT_EQ(state.field("state"), "finished");
+
+  // Unknown ids are a stable error, not a crash.
+  const auto missing = client.kill(424242);
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.code, kErrNotFound);
+  const auto missing_query = client.query(424242);
+  EXPECT_FALSE(missing_query.ok);
+  EXPECT_EQ(missing_query.code, kErrNotFound);
+
+  ASSERT_TRUE(client.shutdown().ok);
+  server.wait();
+}
+
+TEST(ServeServer, SnapshotAndResumeVerbs) {
+  const std::string snap_path = testing::TempDir() + "/serve_state.snap";
+  std::int64_t frozen_time = 0;
+  {
+    Server server(ServerConfig{}, make_engine("conservative", 32));
+    server.start();
+    auto client = Client::connect_tcp(server.port());
+    client.handshake();
+    const auto trace = contention();
+    for (std::size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(submit_record(client, trace.records[i]).ok);
+    }
+    const auto status = client.status();
+    ASSERT_TRUE(status.ok);
+    frozen_time = *status.field_i64("time");
+    const auto snap = client.snapshot(snap_path);
+    ASSERT_TRUE(snap.ok) << snap.message;
+    EXPECT_GT(*snap.field_i64("bytes"), 0);
+    ASSERT_TRUE(client.shutdown().ok);
+    server.wait();
+  }
+  // The snapshot restores offline...
+  const auto restored = sim::Engine::restore(
+      sim::snapshot::read_file(snap_path));
+  EXPECT_EQ(restored->now(), frozen_time);
+
+  // ...and seeds a fresh daemon through the RESUME verb.
+  Server server(ServerConfig{}, make_engine("conservative", 32));
+  server.start();
+  auto client = Client::connect_tcp(server.port());
+  client.handshake();
+  const auto resumed = client.resume(snap_path);
+  ASSERT_TRUE(resumed.ok) << resumed.message;
+  EXPECT_EQ(resumed.field_i64("time"), frozen_time);
+  const auto status = client.status();
+  ASSERT_TRUE(status.ok);
+  EXPECT_EQ(status.field_i64("time"), frozen_time);
+  ASSERT_TRUE(client.shutdown().ok);
+  server.wait();
+}
+
+TEST(ServeServer, AuthTokenGatesSessions) {
+  ServerConfig config;
+  config.auth_token = "sesame";
+  Server server(config, make_engine("fcfs", 8));
+  server.start();
+
+  auto denied = Client::connect_tcp(server.port());
+  EXPECT_THROW(denied.handshake("wrong"), std::runtime_error);
+
+  auto client = Client::connect_tcp(server.port());
+  client.handshake("sesame");
+  EXPECT_TRUE(client.status().ok);
+  ASSERT_TRUE(client.shutdown().ok);
+  server.wait();
+}
+
+TEST(ServeServer, UnixSocketEndpoint) {
+  ServerConfig config;
+  config.socket_path = testing::TempDir() + "/serve_test.sock";
+  Server server(config, make_engine("easy", 16));
+  server.start();
+  auto client = Client::connect_unix(config.socket_path);
+  client.handshake();
+  const auto status = client.status();
+  ASSERT_TRUE(status.ok);
+  EXPECT_EQ(status.field_i64("queued"), 0);
+  ASSERT_TRUE(client.shutdown().ok);
+  server.wait();
+}
+
+TEST(ServeServer, ConcurrentQuerySessionsDoNotPerturbTheSchedule) {
+  const std::string decisions_path =
+      testing::TempDir() + "/serve_concurrent.decisions";
+  ServerConfig config;
+  config.decisions_path = decisions_path;
+  Server server(config, make_engine("conservative", 32));
+  server.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> answered{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      auto reader = Client::connect_tcp(server.port());
+      reader.handshake();
+      std::int64_t q = 0;
+      while (!done.load()) {
+        const auto answer =
+            reader.whatif(1 + (t * 5 + q) % 16, 60 * (1 + q % 16));
+        ASSERT_TRUE(answer.ok) << answer.message;
+        ASSERT_TRUE(reader.status().ok);
+        ++q;
+        ++answered;
+      }
+    });
+  }
+
+  auto writer = Client::connect_tcp(server.port());
+  writer.handshake();
+  const auto trace = contention();
+  for (const auto& record : trace.records) {
+    ASSERT_TRUE(submit_record(writer, record).ok);
+  }
+  ASSERT_TRUE(writer.drain().ok);
+  done.store(true);
+  for (auto& thread : readers) thread.join();
+  EXPECT_GT(answered.load(), 0);
+
+  EXPECT_EQ(slurp(decisions_path),
+            slurp(fixture("data/golden/contention_conservative.decisions")));
+  ASSERT_TRUE(writer.shutdown().ok);
+  server.wait();
+}
+
+}  // namespace
+}  // namespace pjsb::serve

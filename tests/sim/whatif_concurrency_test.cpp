@@ -1,0 +1,153 @@
+// WhatIfService thread-safety contract (whatif.hpp): N threads firing
+// what-if queries concurrently must produce, query for query, exactly
+// the answers a serial predict_start pass produces — and must leave
+// the donor run's decision stream untouched. Run under
+// -DPJSB_SANITIZE=thread in CI to catch data races, not just wrong
+// answers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/replay.hpp"
+#include "sim/snapshot/whatif.hpp"
+#include "validate/decisions.hpp"
+#include "validate/fuzzer.hpp"
+
+namespace pjsb::sim {
+namespace {
+
+constexpr std::uint64_t kSeed = 171717;
+constexpr std::int64_t kNodes = 32;
+constexpr int kThreads = 8;
+constexpr int kQueriesPerThread = 64;
+
+struct Donor {
+  swf::Trace trace;
+  std::unique_ptr<Engine> engine;
+  validate::DecisionRecorder recorder;
+};
+
+Donor make_donor(const std::string& scheduler, std::uint64_t seed) {
+  Donor d;
+  d.trace = validate::fuzz_workload(seed, 120, kNodes);
+  const auto config = spec_engine_config(
+      SimulationSpec{}.with_scheduler(scheduler),
+      d.trace.header.max_nodes.value_or(kDefaultNodes));
+  d.engine =
+      std::make_unique<Engine>(config, sched::make_scheduler(scheduler));
+  d.engine->add_observer(d.recorder);
+  d.engine->load_trace(d.trace);
+  d.engine->run_until(d.trace.horizon() / 2);
+  return d;
+}
+
+/// Deterministic query shapes, distinct per (thread, index) so every
+/// thread walks a different sequence.
+WhatIfQuery nth_query(int thread, int i) {
+  WhatIfQuery q;
+  q.procs = 1 + (thread * 7 + i * 3) % kNodes;
+  q.estimate = 60 * (1 + (thread + i * 11) % 97);
+  q.submit_offset = (i % 4) * 30;
+  return q;
+}
+
+TEST(WhatIfConcurrency, ParallelAnswersMatchSerialByteForByte) {
+  auto donor = make_donor("conservative", kSeed);
+  WhatIfService service(donor.engine->snapshot());
+
+  // Serial reference pass, straight off the donor's scheduler.
+  std::vector<std::vector<WhatIfAnswer>> expected(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kQueriesPerThread; ++i) {
+      const auto q = nth_query(t, i);
+      WhatIfAnswer a;
+      a.simulated = false;
+      const std::int64_t submit =
+          donor.engine->now() + q.submit_offset;
+      a.start = donor.engine->scheduler().predict_start(
+          submit, q.procs, q.estimate);
+      if (a.start) a.wait = *a.start - submit;
+      expected[t].push_back(a);
+    }
+  }
+
+  // Concurrent pass through the service.
+  std::vector<std::vector<WhatIfAnswer>> actual(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        actual[t].push_back(service.query(nth_query(t, i)));
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kQueriesPerThread; ++i) {
+      const auto& want = expected[t][i];
+      const auto& got = actual[t][i];
+      ASSERT_EQ(got.start, want.start) << "thread " << t << " query " << i;
+      ASSERT_EQ(got.wait, want.wait) << "thread " << t << " query " << i;
+      EXPECT_FALSE(got.simulated);
+    }
+  }
+  // The pool grew to at most the peak concurrency.
+  EXPECT_GE(service.warm_clones(), 1u);
+  EXPECT_LE(service.warm_clones(), std::size_t(kThreads));
+}
+
+TEST(WhatIfConcurrency, SimulateAndStatusQueriesAreSafeToo) {
+  auto donor = make_donor("easy", kSeed + 1);
+  WhatIfService service(donor.engine->snapshot());
+
+  // Mixed barrage: predictions, exact simulations, and job-status
+  // lookups racing each other.
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 16; ++i) {
+        auto q = nth_query(t, i);
+        q.simulate = (i % 3 == 0);
+        const auto answer = service.query(q);
+        if (q.simulate) {
+          EXPECT_TRUE(answer.simulated);
+        }
+        service.query_job(1 + (t + i) % 32);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+}
+
+TEST(WhatIfConcurrency, ConcurrentBarrageLeavesTheDonorUntouched) {
+  // Control: the donor finishes uninterrupted.
+  auto control = make_donor("conservative", kSeed + 2);
+  control.engine->run();
+  const auto untouched =
+      validate::decisions_to_csv(control.recorder.decisions());
+
+  // Probe: identical donor, but a concurrent barrage runs against its
+  // snapshot mid-run before it continues.
+  auto probed = make_donor("conservative", kSeed + 2);
+  WhatIfService service(probed.engine->snapshot());
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < 32; ++i) service.query(nth_query(t, i));
+    });
+  }
+  for (auto& thread : pool) thread.join();
+
+  probed.engine->run();
+  EXPECT_EQ(validate::decisions_to_csv(probed.recorder.decisions()),
+            untouched);
+}
+
+}  // namespace
+}  // namespace pjsb::sim
