@@ -11,6 +11,10 @@
 //                                    spec through seeded random
 //                                    workloads + outages with all
 //                                    invariant checkers attached
+//   fuzz parse [seed] [cases]        differential parser fuzzing:
+//                                    seeded byte-level mutations through
+//                                    the legacy and fast SWF parsers,
+//                                    asserting identical verdicts
 //   stats <file.swf>                 print aggregate statistics
 //   anonymize <in.swf> <out.swf>     renumber identities incrementally
 //   generate <model> <jobs> <nodes> <load> <out.swf>
@@ -53,6 +57,9 @@
 //   --timeseries <path>   sim-time machine/queue time-series CSV
 //   --sample-every <s>    time-series cadence in sim-seconds
 //   --profile <path>      Chrome trace-event JSON (opens in Perfetto)
+// plus ingest flags (README "Ingest pipeline"):
+//   --parser stream|fast  trace parser backend (default stream)
+//   --threads <n>         fast-parser worker threads (needs --parser fast)
 // plus fault-injection & recovery flags (README "Failure & recovery"):
 //   --faults <seed>       seeded per-node crash schedule (0 disables)
 //   --mtbf <s> --repair <s>          crash-schedule distributions
@@ -113,6 +120,7 @@ int usage() {
       "  validate <file.swf> <scheduler-spec> <golden-file> [--bless] "
       "[fault-flags]\n"
       "  fuzz [seed] [workloads] [jobs-per-workload]\n"
+      "  fuzz parse [seed] [cases]\n"
       "  stats <file.swf>\n"
       "  anonymize <in.swf> <out.swf>\n"
       "  generate <feitelson96|jann97|lublin99|downey97> <jobs> <nodes> "
@@ -140,6 +148,7 @@ int usage() {
       "catalogue)\n"
       "sink-flags (all opt-in): --trace <path> --timeseries <path>\n"
       "  --sample-every <sim-seconds> --profile <path>\n"
+      "ingest-flags: --parser stream|fast --threads <n>\n"
       "fault-flags (simulate/validate; see README \"Failure & "
       "recovery\"):\n"
       "  --faults <seed> --mtbf <s> --repair <s> --checkpoint <s>\n"
@@ -150,9 +159,11 @@ int usage() {
 
 /// Load a trace or exit. Malformed records are fatal — each is reported
 /// as `path:line: message` and the tool exits 1, rather than silently
-/// running the experiment on a shrunken workload.
-swf::Trace load_or_die(const std::string& path) {
-  auto result = swf::read_swf_file(path);
+/// running the experiment on a shrunken workload. The spec's parser=/
+/// threads= keys select the backend (identical records either way).
+swf::Trace load_or_die(const std::string& path,
+                       const sim::SimulationSpec& spec = {}) {
+  auto result = sim::load_trace(path, spec);
   if (!result.errors.empty()) {
     for (const auto& e : result.errors) {
       std::cerr << path << ":" << e.line << ": " << e.message << "\n";
@@ -195,12 +206,18 @@ struct RunFlags {
   std::optional<sim::fault::OverrunPolicy> overrun;
   std::int64_t grace = 0;
 
+  // Ingest knobs (README "Ingest pipeline").
+  std::string parser = "stream";
+  int threads = 1;
+
   /// --bless (golden-mode validate only; valueless).
   bool bless = false;
 
   bool any_faults() const { return faults != 0; }
 
   void apply(sim::SimulationSpec& spec) const {
+    spec.parser = parser;
+    spec.threads = threads;
     if (!trace.empty()) spec.with_trace(trace);
     if (!timeseries.empty()) spec.with_timeseries(timeseries, sample_every);
     if (!profile.empty()) spec.with_profile(profile);
@@ -249,7 +266,20 @@ bool parse_run_flags(int argc, char** argv, int first, RunFlags& out) {
       return false;
     }
     const std::string value = argv[++i];
-    if (flag == "--trace") {
+    if (flag == "--parser") {
+      if (value != "stream" && value != "fast") {
+        std::cerr << "--parser must be stream or fast\n";
+        return false;
+      }
+      out.parser = value;
+    } else if (flag == "--threads") {
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 1 || *n > 256) {
+        std::cerr << "--threads must be in [1, 256]\n";
+        return false;
+      }
+      out.threads = int(*n);
+    } else if (flag == "--trace") {
       out.trace = value;
     } else if (flag == "--timeseries") {
       out.timeseries = value;
@@ -318,7 +348,10 @@ int cmd_validate_golden(const std::string& path,
                         const std::string& scheduler,
                         const std::string& golden_path,
                         const RunFlags& flags) {
-  const auto trace = load_or_die(path);
+  sim::SimulationSpec spec;
+  spec.scheduler = scheduler;
+  flags.apply(spec);
+  const auto trace = load_or_die(path, spec);
   const std::int64_t nodes =
       trace.header.max_nodes.value_or(sim::kDefaultNodes);
 
@@ -331,9 +364,6 @@ int cmd_validate_golden(const std::string& path,
   validate::InvariantChecker checker(checker_options);
   checker.watch(*instance);
   validate::DecisionRecorder recorder;
-  sim::SimulationSpec spec;
-  spec.scheduler = scheduler;
-  flags.apply(spec);
   const bool bless = flags.bless;
   sim::replay(trace, std::move(instance), spec,
               sim::ReplayHooks{}.observe(checker).observe(recorder));
@@ -368,6 +398,15 @@ int cmd_fuzz(std::uint64_t seed, int workloads, std::size_t jobs) {
   options.workloads = workloads;
   options.jobs = jobs;
   const auto report = validate::run_fuzzer(options);
+  std::cout << report.summary() << "\n";
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_fuzz_parse(std::uint64_t seed, int cases) {
+  validate::ParserFuzzOptions options;
+  options.seed = seed;
+  options.cases = cases;
+  const auto report = validate::run_parser_fuzzer(options);
   std::cout << report.summary() << "\n";
   return report.clean() ? 0 : 1;
 }
@@ -492,29 +531,30 @@ int cmd_stream_simulate(const std::string& path, const std::string& scheduler,
                  "up front; use simulate for fault injection\n";
     return 2;
   }
-  swf::StreamReader source(path);
-  if (source.open_failed()) {
-    std::cerr << "cannot open " << path << "\n";
-    return 1;
-  }
-
-  // Constant memory: per-job records are not retained; the metrics the
-  // report needs are accumulated online by an attached observer.
+  // Constant memory (with --parser fast: O(file), GB/s): per-job
+  // records are not retained; the metrics the report needs are
+  // accumulated online by an attached observer.
   auto spec = sim::SimulationSpec{}
                   .with_scheduler(scheduler)
                   .with_lookahead(lookahead)
                   .streaming_memory();
   flags.apply(spec);
+  const auto source = sim::open_trace_source(path, spec);
+  if (source->open_failed()) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+
   metrics::OnlineMetricsObserver online;
   const auto result =
-      sim::replay(source, spec, sim::ReplayHooks{}.observe(online));
+      sim::replay(*source, spec, sim::ReplayHooks{}.observe(online));
 
   // Malformed lines surface after the replay, exactly like load_or_die.
-  if (source.error_count() > 0) {
-    for (const auto& e : source.errors()) {
+  if (source->error_count() > 0) {
+    for (const auto& e : source->errors()) {
       std::cerr << path << ":" << e.line << ": " << e.message << "\n";
     }
-    std::cerr << "error: " << source.error_count()
+    std::cerr << "error: " << source->error_count()
               << " malformed line(s) in " << path << "\n";
     return 1;
   }
@@ -543,9 +583,9 @@ int cmd_simulate(const std::string& path, const std::string& scheduler,
   if (!rank_metric.empty()) {
     rank = metrics::metric_from_name(rank_metric);
   }
-  const auto trace = load_or_die(path);
   auto spec = sim::SimulationSpec{}.with_scheduler(scheduler);
   flags.apply(spec);
+  const auto trace = load_or_die(path, spec);
   const auto result = sim::replay(trace, spec);
   const auto report = metrics::compute_report(result.completed,
                                               result.stats);
@@ -776,6 +816,18 @@ int main(int argc, char** argv) {
       RunFlags flags;
       if (!parse_run_flags(argc, argv, 5, flags)) return 2;
       return cmd_validate_golden(argv[2], argv[3], argv[4], flags);
+    }
+    if (cmd == "fuzz" && argc >= 3 && std::string(argv[2]) == "parse" &&
+        argc <= 5) {
+      using OptI64 = std::optional<std::int64_t>;
+      const OptI64 seed = argc > 3 ? util::parse_i64(argv[3]) : OptI64(1);
+      const OptI64 cases = argc > 4 ? util::parse_i64(argv[4]) : OptI64(200);
+      if (!seed || !cases || *seed < 0 || *cases <= 0) {
+        std::cerr << "fuzz parse: seed must be a non-negative integer, "
+                     "cases a positive integer\n";
+        return 2;
+      }
+      return cmd_fuzz_parse(std::uint64_t(*seed), int(*cases));
     }
     if (cmd == "fuzz" && argc >= 2 && argc <= 5) {
       // atoll would map a mangled seed ("1e5", truncated paste) to 0

@@ -1,0 +1,537 @@
+#include "core/swf/fast_reader.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
+#include "core/swf/stream_reader.hpp"
+#include "util/chunk.hpp"
+#include "util/mmap_file.hpp"
+#include "util/string_util.hpp"
+
+namespace pjsb::swf {
+
+namespace {
+
+/// Post-header comments kept before counting only (same bound as
+/// StreamReader's).
+constexpr std::size_t kMaxStoredComments = 256;
+/// Auto-chunking floor: below this, per-chunk overhead dominates.
+constexpr std::size_t kMinAutoChunk = std::size_t(256) << 10;
+/// Rough bytes-per-record guess for the reserve() ahead of a chunk.
+constexpr std::size_t kBytesPerRecordGuess = 48;
+
+/// Prepare a freshly reserved record buffer for bulk writes. A 1M-job
+/// parse materializes ~144 MB of records; demand-faulted 4 KB pages
+/// put ~35k page-fault traps on the critical path — a third of the
+/// parse time. MADV_HUGEPAGE asks for 2 MB pages where THP is
+/// available; MADV_POPULATE_WRITE (Linux 5.14+) prefaults the whole
+/// range in one syscall either way. Both are advisory — on kernels
+/// without them the parse is merely demand-faulted, not wrong.
+void prefault_buffer(void* data, std::size_t bytes) {
+#ifdef __linux__
+  constexpr std::size_t kPage = 4096;
+  constexpr std::size_t kMinBytes = std::size_t(8) << 20;
+  const auto addr = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t aligned = (addr + kPage - 1) & ~(kPage - 1);
+  const std::size_t skipped = std::size_t(aligned - addr);
+  if (bytes < kMinBytes + skipped) return;
+  void* base = reinterpret_cast<void*>(aligned);
+  const std::size_t len = bytes - skipped;
+#ifdef MADV_HUGEPAGE
+  ::madvise(base, len, MADV_HUGEPAGE);
+#endif
+#ifdef MADV_POPULATE_WRITE
+  ::madvise(base, len, MADV_POPULATE_WRITE);
+#endif
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
+
+/// Newline count, memchr-paced — sizes the record reserve exactly
+/// instead of over-reserving from a bytes-per-record guess.
+std::size_t count_newlines(std::string_view text) {
+  std::size_t n = 0;
+  const char* q = text.data();
+  const char* const qe = q + text.size();
+  while (q < qe) {
+    const void* hit = std::memchr(q, '\n', std::size_t(qe - q));
+    if (!hit) break;
+    ++n;
+    q = static_cast<const char*>(hit) + 1;
+  }
+  return n;
+}
+
+/// The fused scanner parses a line into int64 values[18] in SWF field
+/// order and commits them to a JobRecord with ONE memcpy. That is only
+/// sound because JobRecord lays its 18 fields out contiguously in
+/// exactly that order (Status is int64-backed and values[10] is
+/// range-checked to the enum's domain before the copy); these asserts
+/// pin the layout so a reordered field breaks the build, not the data.
+static_assert(sizeof(JobRecord) == kFieldCount * sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<JobRecord>);
+static_assert(offsetof(JobRecord, job_number) == 0 * 8 &&
+              offsetof(JobRecord, submit_time) == 1 * 8 &&
+              offsetof(JobRecord, wait_time) == 2 * 8 &&
+              offsetof(JobRecord, run_time) == 3 * 8 &&
+              offsetof(JobRecord, allocated_procs) == 4 * 8 &&
+              offsetof(JobRecord, avg_cpu_time) == 5 * 8 &&
+              offsetof(JobRecord, used_memory_kb) == 6 * 8 &&
+              offsetof(JobRecord, requested_procs) == 7 * 8 &&
+              offsetof(JobRecord, requested_time) == 8 * 8 &&
+              offsetof(JobRecord, requested_memory_kb) == 9 * 8 &&
+              offsetof(JobRecord, status) == 10 * 8 &&
+              offsetof(JobRecord, user_id) == 11 * 8 &&
+              offsetof(JobRecord, group_id) == 12 * 8 &&
+              offsetof(JobRecord, executable_id) == 13 * 8 &&
+              offsetof(JobRecord, queue_id) == 14 * 8 &&
+              offsetof(JobRecord, partition_id) == 15 * 8 &&
+              offsetof(JobRecord, preceding_job) == 16 * 8 &&
+              offsetof(JobRecord, think_time) == 17 * 8);
+static_assert(std::is_same_v<std::underlying_type_t<Status>, std::int64_t>);
+
+/// Everything one chunk produced, with chunk-local 1-based line
+/// numbers; reassembly adds the prefix-summed offset.
+struct ChunkResult {
+  std::vector<JobRecord> records;  ///< all records, partials included
+  std::vector<ParseError> errors;  ///< first max_errors, local lines
+  std::size_t error_count = 0;     ///< exact
+  std::vector<std::pair<std::size_t, std::string_view>> comments;
+  std::size_t lines = 0;
+  /// Local line of the first record-or-error line; 0 = none. The
+  /// global header block ends at the first such line in any chunk.
+  std::size_t first_data_line = 0;
+  bool stopped = false;  ///< strict mode tripped on this chunk
+};
+
+ChunkResult parse_chunk(std::string_view chunk, bool strict,
+                        bool allow_extra, std::size_t max_errors) {
+  ChunkResult out;
+  // Exact-size the reserve: one record per line is the ceiling (+1
+  // for an unterminated tail). Counting newlines costs one streaming
+  // memchr pass; growing or over-reserving costs far more in faults.
+  const std::size_t guess =
+      chunk.size() > kMinAutoChunk
+          ? count_newlines(chunk) + 1
+          : chunk.size() / kBytesPerRecordGuess + 1;
+  out.records.reserve(guess);
+  prefault_buffer(out.records.data(), guess * sizeof(JobRecord));
+  const char* p = chunk.data();
+  const char* const end = p + chunk.size();
+  // Split the chunk at its last '\n': every line in [p, scan_end) is
+  // newline-terminated, so the fused loop below can use '\n' as a
+  // sentinel and skip per-character bounds checks entirely. The
+  // unterminated tail (at most one line, usually empty) replays
+  // through the shared scanner.
+  const char* scan_end = end;
+  while (scan_end > p && scan_end[-1] != '\n') --scan_end;
+  // Any line the fast path rejects — comment, CR, junk byte, overlong
+  // token, field-count or status problem — replays wholesale through
+  // scan_swf_line, whose legacy fallback owns every verdict and every
+  // diagnostic byte.
+  const auto slow_line = [&](std::string_view line) {
+    out.records.emplace_back();
+    LineScan scan = scan_swf_line(line, allow_extra, out.records.back());
+    switch (scan.kind) {
+      case LineKind::kBlank:
+        out.records.pop_back();
+        break;
+      case LineKind::kComment:
+        out.records.pop_back();
+        out.comments.emplace_back(out.lines, scan.comment);
+        break;
+      case LineKind::kRecord:
+        if (out.first_data_line == 0) out.first_data_line = out.lines;
+        break;
+      case LineKind::kError:
+        out.records.pop_back();
+        if (out.first_data_line == 0) out.first_data_line = out.lines;
+        ++out.error_count;
+        if (out.errors.size() < max_errors) {
+          out.errors.push_back({out.lines, std::move(scan.error)});
+        }
+        if (strict) out.stopped = true;
+        break;
+    }
+    return out.stopped;
+  };
+  while (p < scan_end) {
+    const char* const line_start = p;
+    ++out.lines;
+    // Fused fast path: split fields and find the line end in ONE pass
+    // — no memchr-then-rescan, no trim, no bounds checks (the line's
+    // own '\n' is the sentinel). Accepts exactly the lines made of 18
+    // space/tab-separated optionally-negative <=18-digit decimal
+    // fields; anything else rewinds to line_start for the slow path.
+    // The field loop is fully unrolled so every field gets its own
+    // branch sites: SWF columns have near-constant shapes (field 2 is
+    // a 7-8 digit submit time, field 3 is usually "-1", ...), and
+    // per-field branch history predicts those shapes far better than
+    // one shared token loop aggregating all 18 patterns.
+    std::int64_t values[kFieldCount];
+    const char* q = p;
+    bool deviated = false;
+    bool blank = false;
+#pragma GCC unroll 18
+    for (int f = 0; f < kFieldCount; ++f) {
+      char c = *q;
+      while (c == ' ' || c == '\t') c = *++q;
+      const bool neg = c == '-';
+      if (neg) c = *++q;
+      if (c < '0' || c > '9') {
+        // '\n' before the first token is a blank (whitespace-only)
+        // line; anything else is the slow path's call.
+        blank = f == 0 && !neg && c == '\n';
+        deviated = !blank;
+        break;
+      }
+      std::uint64_t v = 0;
+      int digits = 0;
+      do {
+        v = v * 10 + std::uint64_t(c - '0');
+        ++digits;
+        c = *++q;
+      } while (c >= '0' && c <= '9');
+      if (digits > 18 || (c != ' ' && c != '\t' && c != '\n')) {
+        deviated = true;
+        break;
+      }
+      values[f] = neg ? -std::int64_t(v) : std::int64_t(v);
+    }
+    if (blank) {
+      p = q + 1;  // consume the '\n'
+      continue;
+    }
+    if (!deviated) {
+      char c = *q;
+      while (c == ' ' || c == '\t') c = *++q;
+      if (c == '\n' && values[10] >= -1 && values[10] <= 4) {
+        // Layout-checked above: values[] IS the record, status
+        // included (values[10] is range-checked, so the
+        // representation is a valid Status). One 144-byte copy
+        // instead of 18 field stores.
+        out.records.emplace_back();
+        std::memcpy(&out.records.back(), values, sizeof(JobRecord));
+        if (out.first_data_line == 0) out.first_data_line = out.lines;
+        p = q + 1;  // consume the '\n'
+        continue;
+      }
+      // Extra fields (legal only with allow_extra), a junk
+      // terminator, or an out-of-range status: slow path either way.
+    }
+    p = q;  // q never passes the line's '\n'
+    const void* nl = std::memchr(p, '\n', std::size_t(scan_end - p));
+    const char* const line_end = static_cast<const char*>(nl);
+    p = line_end + 1;
+    if (slow_line({line_start, std::size_t(line_end - line_start)})) {
+      return out;
+    }
+  }
+  if (p < end) {
+    // Unterminated final line.
+    ++out.lines;
+    slow_line({p, std::size_t(end - p)});
+  }
+  return out;
+}
+
+struct ParsedFile {
+  TraceHeader header;
+  std::vector<JobRecord> records;
+  std::vector<ParseError> errors;
+  std::size_t error_count = 0;
+  std::size_t lines = 0;
+};
+
+/// Stitch chunk results back together in file order: globalize error
+/// line numbers, split comments into header block vs extras (the
+/// header block ends at the first data line anywhere in the file,
+/// exactly as the sequential readers see it), and honor strict mode by
+/// dropping everything after the first stopped chunk.
+ParsedFile assemble(std::vector<ChunkResult>& chunks, std::size_t max_errors,
+                    std::size_t max_extra_comments) {
+  ParsedFile out;
+  // Single-chunk parses (threads=1, the common case) hand their record
+  // vector over wholesale; only a parallel parse pays for stitching.
+  if (chunks.size() == 1) {
+    out.records = std::move(chunks.front().records);
+  } else {
+    std::size_t total = 0;
+    for (const auto& c : chunks) total += c.records.size();
+    out.records.reserve(total);
+    prefault_buffer(out.records.data(), total * sizeof(JobRecord));
+  }
+  std::size_t line_offset = 0;
+  std::size_t extra_stored = 0;
+  bool in_header = true;
+  for (auto& c : chunks) {
+    for (auto& [line, body] : c.comments) {
+      const bool header_comment =
+          in_header && (c.first_data_line == 0 || line < c.first_data_line);
+      if (header_comment) {
+        absorb_header_line(out.header, std::string(body));
+      } else if (extra_stored < max_extra_comments) {
+        out.header.extra_comments.emplace_back(body);
+        ++extra_stored;
+      }
+    }
+    if (c.first_data_line != 0) in_header = false;
+    for (auto& e : c.errors) {
+      if (out.errors.size() < max_errors) {
+        out.errors.push_back({line_offset + e.line, std::move(e.message)});
+      }
+    }
+    out.error_count += c.error_count;
+    if (chunks.size() > 1) {
+      out.records.insert(out.records.end(), c.records.begin(),
+                         c.records.end());
+    }
+    out.lines += c.lines;
+    line_offset += c.lines;
+    if (c.stopped) break;
+  }
+  return out;
+}
+
+ParsedFile parse_swf_buffer(std::string_view buffer,
+                            const FastReaderOptions& options,
+                            std::size_t max_errors,
+                            std::size_t max_extra_comments) {
+  const int threads = options.threads > 1 ? options.threads : 1;
+  std::size_t target = options.chunk_bytes;
+  if (target == 0) {
+    target = threads == 1
+                 ? buffer.size()
+                 : std::max(buffer.size() / (std::size_t(threads) * 4),
+                            kMinAutoChunk);
+  }
+  if (target == 0) target = 1;
+  auto chunks = util::split_line_chunks(buffer, target);
+  std::vector<ChunkResult> results(chunks.size());
+  const std::size_t workers =
+      std::min(std::size_t(threads), chunks.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      results[i] = parse_chunk(chunks[i], options.strict,
+                               options.allow_extra_fields, max_errors);
+      // In strict mode nothing after the first bad chunk is used.
+      if (options.strict && results[i].stopped) break;
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= chunks.size()) return;
+        results[i] = parse_chunk(chunks[i], options.strict,
+                                 options.allow_extra_fields, max_errors);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t i = 0; i + 1 < workers; ++i) pool.emplace_back(work);
+    work();
+    for (auto& t : pool) t.join();
+  }
+  return assemble(results, max_errors, max_extra_comments);
+}
+
+}  // namespace
+
+LineScan scan_swf_line(std::string_view raw, bool allow_extra,
+                       JobRecord& out) {
+  const std::string_view trimmed = util::trim(raw);
+  LineScan scan;
+  if (trimmed.empty()) {
+    scan.kind = LineKind::kBlank;
+    return scan;
+  }
+  if (trimmed.front() == ';') {
+    scan.kind = LineKind::kComment;
+    scan.comment = trimmed.substr(1);
+    return scan;
+  }
+  // Fast path: space/tab-separated decimal fields, optionally negative,
+  // at most 18 digits each (always within int64). One pass, no
+  // allocation; the first deviation defers to the legacy grammar.
+  const char* p = trimmed.data();
+  const char* const e = p + trimmed.size();
+  std::int64_t values[kFieldCount];
+  int field = 0;
+  bool fallback = false;
+  while (p < e) {
+    while (p < e && (*p == ' ' || *p == '\t')) ++p;
+    if (p >= e) break;
+    bool neg = false;
+    if (*p == '-') {
+      neg = true;
+      ++p;
+    }
+    if (p >= e || *p < '0' || *p > '9') {
+      fallback = true;
+      break;
+    }
+    std::uint64_t v = 0;
+    int digits = 0;
+    do {
+      v = v * 10 + std::uint64_t(*p - '0');
+      ++digits;
+      ++p;
+    } while (p < e && *p >= '0' && *p <= '9');
+    if (digits > 18 || (p < e && *p != ' ' && *p != '\t')) {
+      fallback = true;
+      break;
+    }
+    if (field < kFieldCount) {
+      values[field] = neg ? -std::int64_t(v) : std::int64_t(v);
+    } else if (!allow_extra) {
+      fallback = true;
+      break;
+    }
+    ++field;
+  }
+  if (!fallback && field >= kFieldCount && values[10] >= -1 &&
+      values[10] <= 4) {
+    out.job_number = values[0];
+    out.submit_time = values[1];
+    out.wait_time = values[2];
+    out.run_time = values[3];
+    out.allocated_procs = values[4];
+    out.avg_cpu_time = values[5];
+    out.used_memory_kb = values[6];
+    out.requested_procs = values[7];
+    out.requested_time = values[8];
+    out.requested_memory_kb = values[9];
+    // values[10] is already range-checked to [-1, 4]; the cast is
+    // status_from_code's in-range mapping without the call.
+    out.status = static_cast<Status>(values[10]);
+    out.user_id = values[11];
+    out.group_id = values[12];
+    out.executable_id = values[13];
+    out.queue_id = values[14];
+    out.partition_id = values[15];
+    out.preceding_job = values[16];
+    out.think_time = values[17];
+    scan.kind = LineKind::kRecord;
+    return scan;
+  }
+  // Slow path: the legacy grammar is the authority for every verdict
+  // and every diagnostic message.
+  std::string err = parse_record_line(trimmed, allow_extra, out);
+  if (err.empty()) {
+    scan.kind = LineKind::kRecord;
+  } else {
+    scan.kind = LineKind::kError;
+    scan.error = std::move(err);
+  }
+  return scan;
+}
+
+FastReader::FastReader(const std::string& path,
+                       const FastReaderOptions& options)
+    : options_(options), label_("trace:" + path) {
+  util::MmapFile file(path);
+  if (!file.ok()) {
+    open_failed_ = true;
+    errors_.push_back({0, "cannot open file: " + path});
+    error_count_ = 1;
+    return;
+  }
+  parse(file.view());
+}
+
+FastReader::FastReader(std::string content, std::string label,
+                       const FastReaderOptions& options)
+    : options_(options), label_(std::move(label)) {
+  parse(content);
+}
+
+void FastReader::parse(std::string_view buffer) {
+  ParsedFile parsed = parse_swf_buffer(buffer, options_,
+                                       options_.max_stored_errors,
+                                       kMaxStoredComments);
+  header_ = std::move(parsed.header);
+  errors_ = std::move(parsed.errors);
+  error_count_ = parsed.error_count;
+  lines_ = parsed.lines;
+  records_ = std::move(parsed.records);
+  // The JobSource contract yields whole-job summaries only. Scan for
+  // the first partial before compacting: the common all-summaries case
+  // then costs one read pass and zero copies.
+  std::size_t w = 0;
+  while (w < records_.size() && records_[w].is_summary()) ++w;
+  if (w < records_.size()) {
+    for (std::size_t i = w; i < records_.size(); ++i) {
+      if (records_[i].is_summary()) {
+        records_[w++] = records_[i];
+      } else {
+        ++partials_skipped_;
+      }
+    }
+    records_.resize(w);
+  }
+}
+
+std::optional<JobRecord> FastReader::next() {
+  if (next_pos_ >= records_.size()) return std::nullopt;
+  ++records_returned_;
+  return records_[next_pos_++];
+}
+
+ReadResult fast_read_swf_string(const std::string& text,
+                                const FastReaderOptions& options) {
+  constexpr auto kUnbounded = std::size_t(-1);
+  ParsedFile parsed = parse_swf_buffer(text, options, kUnbounded, kUnbounded);
+  ReadResult result;
+  result.trace.header = std::move(parsed.header);
+  result.trace.records = std::move(parsed.records);
+  result.errors = std::move(parsed.errors);
+  return result;
+}
+
+ReadResult fast_read_swf_file(const std::string& path,
+                              const FastReaderOptions& options) {
+  util::MmapFile file(path);
+  if (!file.ok()) {
+    ReadResult result;
+    result.errors.push_back({0, "cannot open file: " + path});
+    return result;
+  }
+  constexpr auto kUnbounded = std::size_t(-1);
+  ParsedFile parsed =
+      parse_swf_buffer(file.view(), options, kUnbounded, kUnbounded);
+  ReadResult result;
+  result.trace.header = std::move(parsed.header);
+  result.trace.records = std::move(parsed.records);
+  result.errors = std::move(parsed.errors);
+  return result;
+}
+
+std::unique_ptr<TraceReader> open_trace_source(const std::string& path,
+                                               const IngestOptions& options) {
+  if (options.fast) {
+    FastReaderOptions fast;
+    fast.strict = options.strict;
+    fast.allow_extra_fields = options.allow_extra_fields;
+    fast.threads = options.threads;
+    return std::make_unique<FastReader>(path, fast);
+  }
+  StreamReaderOptions stream;
+  stream.strict = options.strict;
+  stream.allow_extra_fields = options.allow_extra_fields;
+  return std::make_unique<StreamReader>(path, stream);
+}
+
+}  // namespace pjsb::swf

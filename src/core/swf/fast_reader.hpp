@@ -1,0 +1,136 @@
+// FastReader: mmap-backed, chunk-parallel SWF ingestion.
+//
+// The trace file is mapped read-only (util::MmapFile; pipes fall back
+// to a read() slurp), carved by memchr into newline-aligned chunks
+// (util::split_line_chunks), and each chunk is parsed independently on
+// a small thread pool with a branch-light in-place field scanner — no
+// per-line string copy, no per-line token vector, no istringstream.
+// Chunk results are reassembled in file order with prefix-summed line
+// numbers, so diagnostics carry the same 1-based physical line numbers
+// the sequential readers report.
+//
+// Conformance is by construction: the fast scanner only accepts lines
+// made of plain decimal fields, and hands anything unusual (stray
+// bytes, field-count or range problems, 19+ digit tokens) to the
+// legacy parse_record_line, so accept/reject verdicts and error
+// messages are byte-identical to Reader/StreamReader at every thread
+// count and chunk size. The same scanner is the StreamReader backend,
+// keeping the two paths one grammar.
+//
+// Trade-off vs StreamReader: parsing is eager (the whole file is
+// parsed at construction and records are materialized), so memory is
+// O(file) — use StreamReader when O(1) memory matters more than
+// throughput.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/swf/job_source.hpp"
+#include "core/swf/reader.hpp"
+#include "core/swf/trace_reader.hpp"
+
+namespace pjsb::swf {
+
+/// What one physical line turned out to be.
+enum class LineKind { kBlank, kComment, kRecord, kError };
+
+struct LineScan {
+  LineKind kind = LineKind::kBlank;
+  /// kComment: body after the ';' (view into the input line).
+  std::string_view comment;
+  /// kError: diagnostic, byte-identical to parse_record_line's.
+  std::string error;
+};
+
+/// Classify and parse one physical line (newline already stripped, not
+/// yet trimmed). The common all-digits case is a single pass over the
+/// bytes; anything else falls back to parse_record_line so the verdict
+/// and message match the legacy readers exactly.
+LineScan scan_swf_line(std::string_view raw, bool allow_extra,
+                       JobRecord& out);
+
+struct FastReaderOptions {
+  /// Stop at the first malformed line instead of skipping it.
+  bool strict = false;
+  /// Accept lines with more than 18 fields by ignoring the excess.
+  bool allow_extra_fields = false;
+  /// Worker threads for chunk parsing; 1 parses inline (no pool).
+  int threads = 1;
+  /// Keep at most this many ParseErrors (the total count stays exact).
+  std::size_t max_stored_errors = 64;
+  /// Chunk-size override for boundary tests; 0 picks a size from the
+  /// file size and thread count.
+  std::size_t chunk_bytes = 0;
+};
+
+class FastReader final : public TraceReader {
+ public:
+  /// Map and parse a file. Failure to open is not a throw: the source
+  /// is empty, ok() is false and errors() holds a line-0 diagnostic,
+  /// mirroring StreamReader.
+  explicit FastReader(const std::string& path,
+                      const FastReaderOptions& options = {});
+  /// Parse an owned buffer (tests, pipes already slurped).
+  FastReader(std::string content, std::string label,
+             const FastReaderOptions& options = {});
+
+  std::optional<JobRecord> next() override;
+  const TraceHeader& header() const override { return header_; }
+  std::string label() const override { return label_; }
+
+  // Diagnostics are complete at construction (parsing is eager), so
+  // unlike StreamReader they do not grow as records are consumed; the
+  // two agree once a StreamReader is drained.
+  bool ok() const override { return !open_failed_ && error_count_ == 0; }
+  bool open_failed() const override { return open_failed_; }
+  const std::vector<ParseError>& errors() const override { return errors_; }
+  std::size_t error_count() const override { return error_count_; }
+  std::size_t records_returned() const override { return records_returned_; }
+  std::size_t partials_skipped() const override { return partials_skipped_; }
+  std::size_t lines_read() const override { return lines_; }
+
+ private:
+  void parse(std::string_view buffer);
+
+  FastReaderOptions options_;
+  std::string label_;
+  TraceHeader header_;
+  bool open_failed_ = false;
+  std::vector<JobRecord> records_;  ///< summaries only, file order
+  std::size_t next_pos_ = 0;
+  std::vector<ParseError> errors_;
+  std::size_t error_count_ = 0;
+  std::size_t records_returned_ = 0;
+  std::size_t partials_skipped_ = 0;
+  std::size_t lines_ = 0;
+};
+
+/// Batch facades, drop-in equivalents of read_swf_string/read_swf_file:
+/// all records (partials included), unbounded error storage.
+ReadResult fast_read_swf_string(const std::string& text,
+                                const FastReaderOptions& options = {});
+ReadResult fast_read_swf_file(const std::string& path,
+                              const FastReaderOptions& options = {});
+
+/// Which ingestion backend a trace consumer should use; built from a
+/// SimulationSpec's parser=/threads= keys by sim::ingest_options.
+struct IngestOptions {
+  /// false: constant-memory StreamReader; true: mmap'd FastReader.
+  bool fast = false;
+  /// FastReader worker threads (ignored for the streaming backend).
+  int threads = 1;
+  bool strict = false;
+  bool allow_extra_fields = false;
+};
+
+/// Open `path` with the selected backend behind the common reader
+/// surface. Never throws; check open_failed()/error_count().
+std::unique_ptr<TraceReader> open_trace_source(
+    const std::string& path, const IngestOptions& options = {});
+
+}  // namespace pjsb::swf

@@ -17,6 +17,8 @@ namespace pjsb::swf {
 struct ParseError {
   std::size_t line = 0;       ///< 1-based physical line number
   std::string message;
+
+  bool operator==(const ParseError&) const = default;
 };
 
 /// Result of reading a stream: the trace, plus any lines that could not

@@ -1,8 +1,18 @@
 #include "core/swf/record.hpp"
 
-#include <sstream>
+#include <charconv>
 
 namespace pjsb::swf {
+
+namespace {
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[20];  // int64 min is 20 chars ("-9223372036854775808")
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
 
 bool is_summary_status(Status s) {
   return s == Status::kUnknown || s == Status::kKilled ||
@@ -39,16 +49,26 @@ std::int64_t JobRecord::end_time() const {
   return start + run_time;
 }
 
+void JobRecord::append_line(std::string& out) const {
+  const std::int64_t fields[kFieldCount] = {
+      job_number,     submit_time,        wait_time,
+      run_time,       allocated_procs,    avg_cpu_time,
+      used_memory_kb, requested_procs,    requested_time,
+      requested_memory_kb, status_code(status), user_id,
+      group_id,       executable_id,      queue_id,
+      partition_id,   preceding_job,      think_time};
+  append_i64(out, fields[0]);
+  for (int i = 1; i < kFieldCount; ++i) {
+    out.push_back(' ');
+    append_i64(out, fields[i]);
+  }
+}
+
 std::string JobRecord::to_line() const {
-  std::ostringstream os;
-  os << job_number << ' ' << submit_time << ' ' << wait_time << ' '
-     << run_time << ' ' << allocated_procs << ' ' << avg_cpu_time << ' '
-     << used_memory_kb << ' ' << requested_procs << ' ' << requested_time
-     << ' ' << requested_memory_kb << ' ' << status_code(status) << ' '
-     << user_id << ' ' << group_id << ' ' << executable_id << ' '
-     << queue_id << ' ' << partition_id << ' ' << preceding_job << ' '
-     << think_time;
-  return os.str();
+  std::string out;
+  out.reserve(64);
+  append_line(out);
+  return out;
 }
 
 }  // namespace pjsb::swf

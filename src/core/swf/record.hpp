@@ -80,7 +80,11 @@ struct JobRecord {
   /// Whether this line is a whole-job summary (status -1, 0 or 1).
   bool is_summary() const { return is_summary_status(status); }
 
-  /// Serialize as one SWF line (18 space-separated integers).
+  /// Append one SWF line (18 space-separated integers, no newline) to
+  /// `out`. std::to_chars into the caller's buffer — the allocation-
+  /// free emitter write_swf streams through.
+  void append_line(std::string& out) const;
+  /// Serialize as one SWF line (convenience over append_line).
   std::string to_line() const;
 };
 

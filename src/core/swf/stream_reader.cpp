@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "core/swf/fast_reader.hpp"
 #include "util/string_util.hpp"
 
 namespace pjsb::swf {
@@ -59,8 +60,8 @@ StreamReader::~StreamReader() {
   }
 }
 
-bool StreamReader::next_line(std::string& line) {
-  line.clear();
+bool StreamReader::next_line(std::string_view& line) {
+  carry_.clear();
   for (;;) {
     if (chunk_pos_ < chunk_.size()) {
       const char* base = chunk_.data();
@@ -68,21 +69,32 @@ bool StreamReader::next_line(std::string& line) {
                                    chunk_.size() - chunk_pos_);
       if (nl) {
         const auto end = std::size_t(static_cast<const char*>(nl) - base);
-        line.append(base + chunk_pos_, end - chunk_pos_);
+        if (carry_.empty()) {
+          // Common case: the whole line sits in the current chunk —
+          // hand out a view, no copy.
+          line = std::string_view(base + chunk_pos_, end - chunk_pos_);
+        } else {
+          carry_.append(base + chunk_pos_, end - chunk_pos_);
+          line = carry_;
+        }
         chunk_pos_ = end + 1;
         return true;
       }
-      line.append(base + chunk_pos_, chunk_.size() - chunk_pos_);
+      carry_.append(base + chunk_pos_, chunk_.size() - chunk_pos_);
       chunk_pos_ = chunk_.size();
     }
-    if (input_done_) return !line.empty();  // truncated final line
+    if (input_done_) {  // truncated final line
+      line = carry_;
+      return !carry_.empty();
+    }
     chunk_.resize(options_.chunk_bytes);
     in_->read(chunk_.data(), std::streamsize(options_.chunk_bytes));
     chunk_.resize(std::size_t(in_->gcount()));
     chunk_pos_ = 0;
     if (chunk_.empty()) {
       input_done_ = true;
-      return !line.empty();
+      line = carry_;
+      return !carry_.empty();
     }
   }
 }
@@ -91,7 +103,7 @@ void StreamReader::read_header() {
   // The header block is every `;` comment before the first non-comment
   // line ("the beginning of every file contains several such lines").
   // The first data line is stashed for parse_next to re-consume.
-  std::string line;
+  std::string_view line;
   while (next_line(line)) {
     ++producer_line_no_;
     const auto trimmed = util::trim(line);
@@ -101,7 +113,7 @@ void StreamReader::read_header() {
       continue;
     }
     --producer_line_no_;  // parse_next re-counts the stashed line
-    pending_first_line_ = std::move(line);
+    pending_first_line_.assign(line);
     has_pending_first_line_ = true;
     break;
   }
@@ -110,41 +122,39 @@ void StreamReader::read_header() {
 
 std::optional<JobRecord> StreamReader::parse_next(Batch& sink) {
   if (stop_parsing_) return std::nullopt;
-  std::string line;
   for (;;) {
-    bool had;
+    std::string_view line;
     if (has_pending_first_line_) {
-      line = std::move(pending_first_line_);
+      line = pending_first_line_;
       has_pending_first_line_ = false;
-      had = true;
-    } else {
-      had = next_line(line);
+    } else if (!next_line(line)) {
+      return std::nullopt;
     }
-    if (!had) return std::nullopt;
     ++producer_line_no_;
     ++sink.lines;
-    const auto trimmed = util::trim(line);
-    if (trimmed.empty()) continue;
-    if (trimmed.front() == ';') {
-      sink.comments.emplace_back(trimmed.substr(1));
-      continue;
-    }
     JobRecord record;
-    const std::string err =
-        parse_record_line(trimmed, options_.allow_extra_fields, record);
-    if (!err.empty()) {
-      sink.errors.push_back({producer_line_no_, err});
-      if (options_.strict) {
-        stop_parsing_ = true;
-        return std::nullopt;
-      }
-      continue;
+    LineScan scan =
+        scan_swf_line(line, options_.allow_extra_fields, record);
+    switch (scan.kind) {
+      case LineKind::kBlank:
+        continue;
+      case LineKind::kComment:
+        sink.comments.emplace_back(scan.comment);
+        continue;
+      case LineKind::kError:
+        sink.errors.push_back({producer_line_no_, std::move(scan.error)});
+        if (options_.strict) {
+          stop_parsing_ = true;
+          return std::nullopt;
+        }
+        continue;
+      case LineKind::kRecord:
+        if (!record.is_summary()) {
+          ++sink.partials;
+          continue;
+        }
+        return record;
     }
-    if (!record.is_summary()) {
-      ++sink.partials;
-      continue;
-    }
-    return record;
   }
 }
 

@@ -36,6 +36,7 @@
 
 #include "core/swf/job_source.hpp"
 #include "core/swf/reader.hpp"
+#include "core/swf/trace_reader.hpp"
 
 namespace pjsb::swf {
 
@@ -56,7 +57,7 @@ struct StreamReaderOptions {
   std::size_t prefetch_depth = 4;
 };
 
-class StreamReader final : public JobSource {
+class StreamReader final : public TraceReader {
  public:
   /// Open a file. Failure to open is not a throw: the source is empty,
   /// ok() is false and errors() holds a line-0 diagnostic, mirroring
@@ -76,17 +77,17 @@ class StreamReader final : public JobSource {
   std::string label() const override { return label_; }
 
   /// True while the stream opened and no parse error has surfaced.
-  bool ok() const { return !open_failed_ && error_count_ == 0; }
-  bool open_failed() const { return open_failed_; }
+  bool ok() const override { return !open_failed_ && error_count_ == 0; }
+  bool open_failed() const override { return open_failed_; }
   /// First max_stored_errors diagnostics, in line order.
-  const std::vector<ParseError>& errors() const { return errors_; }
+  const std::vector<ParseError>& errors() const override { return errors_; }
   /// Exact total, including diagnostics beyond the storage bound.
-  std::size_t error_count() const { return error_count_; }
-  std::size_t records_returned() const { return records_returned_; }
+  std::size_t error_count() const override { return error_count_; }
+  std::size_t records_returned() const override { return records_returned_; }
   /// Checkpoint/partial (status 2-4) lines skipped.
-  std::size_t partials_skipped() const { return partials_skipped_; }
+  std::size_t partials_skipped() const override { return partials_skipped_; }
   /// Physical lines consumed so far.
-  std::size_t lines_read() const { return line_no_; }
+  std::size_t lines_read() const override { return line_no_; }
 
  private:
   /// One parsed unit handed from the producer side to the consumer.
@@ -100,8 +101,10 @@ class StreamReader final : public JobSource {
   };
 
   /// Read one physical line (without its newline) from the chunked
-  /// stream. Returns false at end of input.
-  bool next_line(std::string& line);
+  /// stream. The view points into chunk_ (or carry_ when the line
+  /// spans a chunk refill) and is valid until the next call. Returns
+  /// false at end of input.
+  bool next_line(std::string_view& line);
   /// Synchronously parse until one summary record is found; accounting
   /// goes into `sink`. Returns nullopt at end of input (or after an
   /// error in strict mode).
@@ -119,6 +122,7 @@ class StreamReader final : public JobSource {
 
   // Chunked line scanning (producer side once prefetching).
   std::string chunk_;
+  std::string carry_;  ///< spill for lines that span a chunk refill
   std::size_t chunk_pos_ = 0;
   bool input_done_ = false;
   std::size_t producer_line_no_ = 0;

@@ -1,0 +1,32 @@
+// Common surface of the trace-file readers: a JobSource that also
+// reports parse diagnostics. StreamReader (constant-memory, lazy) and
+// FastReader (mmap'd, chunk-parallel, eager) both implement it, so
+// callers can pick a backend at runtime (`parser=` spec key) and keep
+// one error-handling path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/swf/job_source.hpp"
+#include "core/swf/reader.hpp"
+
+namespace pjsb::swf {
+
+class TraceReader : public JobSource {
+ public:
+  /// True while the input opened and no parse error has surfaced.
+  virtual bool ok() const = 0;
+  virtual bool open_failed() const = 0;
+  /// Stored diagnostics, in line order (storage may be bounded).
+  virtual const std::vector<ParseError>& errors() const = 0;
+  /// Exact total, including diagnostics beyond the storage bound.
+  virtual std::size_t error_count() const = 0;
+  virtual std::size_t records_returned() const = 0;
+  /// Checkpoint/partial (status 2-4) lines skipped.
+  virtual std::size_t partials_skipped() const = 0;
+  /// Physical lines consumed.
+  virtual std::size_t lines_read() const = 0;
+};
+
+}  // namespace pjsb::swf

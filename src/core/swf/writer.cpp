@@ -2,26 +2,52 @@
 
 #include <fstream>
 #include <ostream>
-#include <sstream>
 
 namespace pjsb::swf {
 
-void write_swf(std::ostream& out, const Trace& trace,
-               const WriterOptions& options) {
-  if (options.include_header) {
-    for (const auto& line : trace.header.to_comment_lines()) {
-      out << line << '\n';
-    }
-  }
-  for (const auto& record : trace.records) {
-    out << record.to_line() << '\n';
+namespace {
+
+/// Records are rendered into this staging buffer and flushed to the
+/// stream in ~1 MB slabs — one write() per slab instead of a dozen
+/// formatted inserters per record.
+constexpr std::size_t kFlushBytes = std::size_t(1) << 20;
+
+void flush(std::ostream& out, std::string& buf) {
+  out.write(buf.data(), std::streamsize(buf.size()));
+  buf.clear();
+}
+
+void append_header(std::string& buf, const TraceHeader& header) {
+  for (const auto& line : header.to_comment_lines()) {
+    buf += line;
+    buf += '\n';
   }
 }
 
+}  // namespace
+
+void write_swf(std::ostream& out, const Trace& trace,
+               const WriterOptions& options) {
+  std::string buf;
+  buf.reserve(kFlushBytes + 256);
+  if (options.include_header) append_header(buf, trace.header);
+  for (const auto& record : trace.records) {
+    record.append_line(buf);
+    buf += '\n';
+    if (buf.size() >= kFlushBytes) flush(out, buf);
+  }
+  if (!buf.empty()) flush(out, buf);
+}
+
 std::string write_swf_string(const Trace& trace, const WriterOptions& options) {
-  std::ostringstream os;
-  write_swf(os, trace, options);
-  return os.str();
+  std::string buf;
+  buf.reserve(trace.records.size() * 64 + 256);
+  if (options.include_header) append_header(buf, trace.header);
+  for (const auto& record : trace.records) {
+    record.append_line(buf);
+    buf += '\n';
+  }
+  return buf;
 }
 
 bool write_swf_file(const std::string& path, const Trace& trace,
@@ -35,18 +61,19 @@ bool write_swf_file(const std::string& path, const Trace& trace,
 std::uint64_t write_swf_stream(std::ostream& out, JobSource& source,
                                std::uint64_t max_records,
                                const WriterOptions& options) {
-  if (options.include_header) {
-    for (const auto& line : source.header().to_comment_lines()) {
-      out << line << '\n';
-    }
-  }
+  std::string buf;
+  buf.reserve(kFlushBytes + 256);
+  if (options.include_header) append_header(buf, source.header());
   std::uint64_t written = 0;
   while (max_records == 0 || written < max_records) {
     const auto record = source.next();
     if (!record) break;
-    out << record->to_line() << '\n';
+    record->append_line(buf);
+    buf += '\n';
     ++written;
+    if (buf.size() >= kFlushBytes) flush(out, buf);
   }
+  if (!buf.empty()) flush(out, buf);
   return written;
 }
 

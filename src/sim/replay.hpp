@@ -12,8 +12,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/outage/record.hpp"
+#include "core/swf/fast_reader.hpp"
 #include "core/swf/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
@@ -33,6 +35,21 @@ inline constexpr std::int64_t kDefaultNodes = 128;
 /// semantics.
 EngineConfig spec_engine_config(const SimulationSpec& spec,
                                 std::int64_t header_nodes);
+
+/// The ingestion backend a spec's parser=/threads= keys select.
+swf::IngestOptions ingest_options(const SimulationSpec& spec);
+
+/// Open a trace file with the spec-selected parser (StreamReader for
+/// parser=stream, FastReader for parser=fast) behind the common
+/// diagnostic surface. Never throws; check open_failed()/error_count().
+std::unique_ptr<swf::TraceReader> open_trace_source(
+    const std::string& path, const SimulationSpec& spec);
+
+/// Load a whole trace file with the spec-selected parser —
+/// read_swf_file for parser=stream, fast_read_swf_file (threads=N) for
+/// parser=fast; results are identical, only speed differs.
+swf::ReadResult load_trace(const std::string& path,
+                           const SimulationSpec& spec);
 
 /// Runtime attachments for one replay that cannot round-trip through a
 /// spec string: an outage stream and the observers receiving events.

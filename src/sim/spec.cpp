@@ -13,6 +13,7 @@ namespace {
 constexpr const char* kValidKeys =
     "scheduler=<registry spec string>, nodes=<int|auto>, closed_loop=<bool>, "
     "announce=<bool>, lookahead=<int>, max_jobs=<int>, "
+    "parser=<stream|fast>, threads=<int>, "
     "retain_completed=<bool>, recycle_slots=<bool>, trace=<path>, "
     "timeseries=<path>, sample_every=<int>, profile=<path>, "
     "faults=<seed>, mtbf=<seconds>, repair=<seconds>, "
@@ -67,6 +68,13 @@ SimulationSpec& SimulationSpec::with_lookahead(std::size_t n) {
 
 SimulationSpec& SimulationSpec::with_max_jobs(std::uint64_t n) {
   max_jobs = n;
+  return *this;
+}
+
+SimulationSpec& SimulationSpec::with_parser(std::string backend,
+                                            int n_threads) {
+  parser = std::move(backend);
+  threads = n_threads;
   return *this;
 }
 
@@ -155,6 +163,14 @@ void SimulationSpec::validate(bool resolve_scheduler) const {
          "], or auto");
   }
   if (lookahead == 0) fail("lookahead must be >= 1");
+  if (parser != "stream" && parser != "fast") {
+    fail("parser must be 'stream' or 'fast'");
+  }
+  if (threads < 1 || threads > 256) fail("threads must be in [1, 256]");
+  if (threads > 1 && parser != "fast") {
+    fail("threads=" + std::to_string(threads) +
+         " needs parser=fast (the stream parser is single-threaded)");
+  }
   if (sample_every < 0) fail("sample_every must be >= 0");
   if (sample_every > 0 && timeseries.empty()) {
     fail("sample_every without timeseries=<path> samples into nowhere; "
@@ -206,6 +222,8 @@ std::string SimulationSpec::to_string() const {
   if (max_jobs != defaults.max_jobs) {
     s += " max_jobs=" + std::to_string(max_jobs);
   }
+  if (parser != defaults.parser) s += " parser=" + parser;
+  if (threads != defaults.threads) s += " threads=" + std::to_string(threads);
   if (retain_completed != defaults.retain_completed) {
     s += std::string(" retain_completed=") + (retain_completed ? "1" : "0");
   }
@@ -242,7 +260,7 @@ std::string SimulationSpec::to_string() const {
 SimulationSpec SimulationSpec::parse(const std::string& text) {
   SimulationSpec spec;
   const auto tokens = util::parse_spec(text, /*allow_head=*/false);
-  bool seen[22] = {};
+  bool seen[24] = {};
   auto once = [&](int idx, const std::string& key) {
     if (seen[idx]) fail(key + " set twice");
     seen[idx] = true;
@@ -278,6 +296,14 @@ SimulationSpec SimulationSpec::parse(const std::string& text) {
       const auto n = util::parse_i64(value);
       if (!n || *n < 0) fail("max_jobs must be a non-negative integer");
       spec.max_jobs = std::uint64_t(*n);
+    } else if (key == "parser") {
+      once(22, key);
+      spec.parser = value;
+    } else if (key == "threads") {
+      once(23, key);
+      const auto n = util::parse_i64(value);
+      if (!n || *n < 1) fail("threads must be a positive integer");
+      spec.threads = int(*n);
     } else if (key == "retain_completed") {
       once(6, key);
       spec.retain_completed = parse_bool_or_fail(key, value);

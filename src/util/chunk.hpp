@@ -1,0 +1,45 @@
+// Newline-aligned chunking for parallel text parsing. A chunk boundary
+// always falls immediately after a '\n', so no line is ever split
+// between two chunks and each chunk can be parsed independently; the
+// concatenation of the returned views reproduces the input exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace pjsb::util {
+
+/// Split `buffer` into pieces of at least `target_bytes` bytes, each
+/// extended to the next '\n' (the final piece may lack one — a
+/// truncated tail). No empty pieces; an empty buffer yields {}. With
+/// `max_chunks`, the last piece absorbs the remainder.
+inline std::vector<std::string_view> split_line_chunks(
+    std::string_view buffer, std::size_t target_bytes,
+    std::size_t max_chunks = std::size_t(-1)) {
+  std::vector<std::string_view> chunks;
+  if (target_bytes == 0) target_bytes = 1;
+  std::size_t pos = 0;
+  while (pos < buffer.size()) {
+    if (chunks.size() + 1 == max_chunks ||
+        buffer.size() - pos <= target_bytes) {
+      chunks.push_back(buffer.substr(pos));
+      break;
+    }
+    const std::size_t probe = pos + target_bytes;
+    const void* nl = std::memchr(buffer.data() + probe, '\n',
+                                 buffer.size() - probe);
+    if (!nl) {
+      chunks.push_back(buffer.substr(pos));
+      break;
+    }
+    const auto end =
+        std::size_t(static_cast<const char*>(nl) - buffer.data()) + 1;
+    chunks.push_back(buffer.substr(pos, end - pos));
+    pos = end;
+  }
+  return chunks;
+}
+
+}  // namespace pjsb::util

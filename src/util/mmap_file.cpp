@@ -1,0 +1,117 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pjsb::util {
+
+namespace {
+
+std::string errno_string() {
+  return std::strerror(errno);
+}
+
+}  // namespace
+
+MmapFile::MmapFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    error_ = "open: " + errno_string();
+    return;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    error_ = "fstat: " + errno_string();
+    ::close(fd);
+    return;
+  }
+  if (S_ISREG(st.st_mode) && st.st_size > 0) {
+    // MAP_POPULATE prefaults the whole mapping: a full-file parse pays
+    // one batched fault instead of one minor fault per page mid-scan.
+    int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+    flags |= MAP_POPULATE;
+#endif
+    void* map = ::mmap(nullptr, std::size_t(st.st_size), PROT_READ, flags,
+                       fd, 0);
+    if (map == MAP_FAILED && flags != MAP_PRIVATE) {
+      // Some filesystems reject MAP_POPULATE; retry plain.
+      map = ::mmap(nullptr, std::size_t(st.st_size), PROT_READ, MAP_PRIVATE,
+                   fd, 0);
+    }
+    if (map != MAP_FAILED) {
+      ::close(fd);
+      ::madvise(map, std::size_t(st.st_size), MADV_SEQUENTIAL);
+      map_ = map;
+      map_size_ = std::size_t(st.st_size);
+      view_ = std::string_view(static_cast<const char*>(map_), map_size_);
+      ok_ = true;
+      return;
+    }
+    // mmap can fail on exotic filesystems; fall through to read().
+  }
+  // Pipes, FIFOs, zero-size and unmappable files: slurp with read().
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      fallback_.append(buf, std::size_t(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    error_ = "read: " + errno_string();
+    ::close(fd);
+    fallback_.clear();
+    return;
+  }
+  ::close(fd);
+  view_ = fallback_;
+  ok_ = true;
+}
+
+MmapFile::~MmapFile() { reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      fallback_(std::move(other.fallback_)),
+      ok_(other.ok_),
+      error_(std::move(other.error_)) {
+  view_ = map_ ? std::string_view(static_cast<const char*>(map_), map_size_)
+               : std::string_view(fallback_);
+  other.view_ = {};
+  other.ok_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    fallback_ = std::move(other.fallback_);
+    ok_ = other.ok_;
+    error_ = std::move(other.error_);
+    view_ = map_ ? std::string_view(static_cast<const char*>(map_), map_size_)
+                 : std::string_view(fallback_);
+    other.view_ = {};
+    other.ok_ = false;
+  }
+  return *this;
+}
+
+void MmapFile::reset() {
+  if (map_) {
+    ::munmap(map_, map_size_);
+    map_ = nullptr;
+    map_size_ = 0;
+  }
+}
+
+}  // namespace pjsb::util

@@ -98,4 +98,35 @@ outage::OutageLog fuzz_outages(std::uint64_t seed, std::int64_t nodes,
 /// failures too.
 FuzzReport run_fuzzer(const FuzzOptions& options = {});
 
+// ---------------------------------------------------------------------
+// Differential parser fuzzing (`swf_tool fuzz parse`): seeded byte-
+// level mutations of generated traces — bit flips, field splices, huge
+// tokens, NUL/UTF-8 junk, CRLF conversion, truncation, empty and
+// comment-only files — fed through the legacy readers and the fast
+// parser at several thread counts and adversarial chunk sizes. Every
+// case asserts identical records, header fields, accept/reject
+// verdicts, error lines/messages and bounded error storage; any
+// divergence or exception is a failure carrying its case seed.
+
+struct ParserFuzzOptions {
+  std::uint64_t seed = 1;
+  /// Mutated inputs to generate and cross-check.
+  int cases = 200;
+  /// FastReader thread counts exercised per case.
+  std::vector<int> thread_counts = {1, 2, 8};
+  /// Failures stored verbatim; the count stays exact.
+  std::size_t max_failures = 16;
+};
+
+struct ParserFuzzReport {
+  int cases = 0;
+  std::size_t failure_count = 0;
+  std::vector<std::string> failures;  ///< first max_failures
+
+  bool clean() const { return failure_count == 0; }
+  std::string summary() const;
+};
+
+ParserFuzzReport run_parser_fuzzer(const ParserFuzzOptions& options = {});
+
 }  // namespace pjsb::validate

@@ -1,0 +1,306 @@
+// Differential parser fuzzer: the legacy SWF readers are the oracle,
+// the fast parser must agree byte-for-byte on records, header fields,
+// verdicts and diagnostics — for every mutation, thread count and
+// chunk size.
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/swf/fast_reader.hpp"
+#include "core/swf/reader.hpp"
+#include "core/swf/stream_reader.hpp"
+#include "core/swf/writer.hpp"
+#include "util/rng.hpp"
+#include "validate/fuzzer.hpp"
+
+namespace pjsb::validate {
+
+namespace {
+
+/// Junk spliced into record lines: non-integers, overflow shapes,
+/// signs, floats, NUL and UTF-8 bytes — each must produce the same
+/// verdict from both parsers.
+const char* const kSpliceTokens[] = {
+    "-",       "--3",       "abc",  "1e5",
+    "0x10",    "99999999999999999999",
+    "+7",      "3.5",       "\xc3\xa9junk",
+    "nan",     "9223372036854775807", "-9223372036854775808",
+    "9223372036854775808",  // one past int64 max: overflow reject
+};
+
+std::string huge_token(util::Rng& rng) {
+  std::string t(std::size_t(rng.uniform_int(64, 2048)), '9');
+  if (rng.bernoulli(0.3)) t.insert(t.begin(), '-');
+  return t;
+}
+
+/// One seeded base input: usually a generated workload rendered to SWF
+/// text, sometimes the degenerate shapes (empty, comment-only,
+/// header-only, garbage-only) that exercise the header/EOF paths.
+std::string base_input(util::Rng& rng, std::uint64_t case_seed) {
+  switch (rng.uniform_int(0, 9)) {
+    case 0:
+      return "";
+    case 1:
+      return ";Computer: fuzz\n;Note: comment-only file\n";
+    case 2:
+      return "; stray comment\n\n\n;another\n";
+    case 3:
+      return "not an swf line at all\n";
+    default: {
+      const auto trace = fuzz_workload(case_seed,
+                                       std::size_t(rng.uniform_int(3, 40)),
+                                       32);
+      swf::WriterOptions w;
+      w.include_header = rng.bernoulli(0.8);
+      return swf::write_swf_string(trace, w);
+    }
+  }
+}
+
+void mutate(std::string& text, util::Rng& rng) {
+  if (text.empty() && !rng.bernoulli(0.3)) return;
+  const int rounds = int(rng.uniform_int(0, 4));
+  for (int r = 0; r < rounds; ++r) {
+    switch (rng.uniform_int(0, 8)) {
+      case 0: {  // bit flip
+        if (text.empty()) break;
+        const auto pos = std::size_t(
+            rng.uniform_int(0, std::int64_t(text.size()) - 1));
+        text[pos] = char(text[pos] ^ (1 << rng.uniform_int(0, 7)));
+        break;
+      }
+      case 1: {  // byte splice (NUL and high bytes included)
+        if (text.empty()) break;
+        const auto pos = std::size_t(
+            rng.uniform_int(0, std::int64_t(text.size()) - 1));
+        text[pos] = char(rng.uniform_int(0, 255));
+        break;
+      }
+      case 2: {  // token splice
+        const auto pos =
+            std::size_t(rng.uniform_int(0, std::int64_t(text.size())));
+        const auto& tok = kSpliceTokens[std::size_t(rng.uniform_int(
+            0, std::int64_t(std::size(kSpliceTokens)) - 1))];
+        text.insert(pos, tok);
+        break;
+      }
+      case 3: {  // huge token
+        const auto pos =
+            std::size_t(rng.uniform_int(0, std::int64_t(text.size())));
+        text.insert(pos, huge_token(rng));
+        break;
+      }
+      case 4: {  // truncated tail
+        if (text.empty()) break;
+        text.resize(std::size_t(rng.uniform_int(0,
+                                                std::int64_t(text.size()))));
+        break;
+      }
+      case 5: {  // CRLF: convert some or all newlines
+        std::string out;
+        out.reserve(text.size() + 16);
+        const bool all = rng.bernoulli(0.5);
+        for (char c : text) {
+          if (c == '\n' && (all || rng.bernoulli(0.3))) out += '\r';
+          out += c;
+        }
+        text = std::move(out);
+        break;
+      }
+      case 6: {  // insert a comment / blank / junk line mid-file
+        const char* lines[] = {";mid comment\n", "\n", "   \t  \n",
+                               "1 2 3\n", "; \n", "\v\f\n"};
+        const auto pos =
+            std::size_t(rng.uniform_int(0, std::int64_t(text.size())));
+        text.insert(pos, lines[std::size_t(rng.uniform_int(
+                             0, std::int64_t(std::size(lines)) - 1))]);
+        break;
+      }
+      case 7: {  // duplicate a random span
+        if (text.empty()) break;
+        const auto a = std::size_t(
+            rng.uniform_int(0, std::int64_t(text.size()) - 1));
+        const auto len = std::size_t(rng.uniform_int(
+            1, std::min<std::int64_t>(200, std::int64_t(text.size() - a))));
+        const auto pos =
+            std::size_t(rng.uniform_int(0, std::int64_t(text.size())));
+        text.insert(pos, text.substr(a, len));
+        break;
+      }
+      case 8: {  // delete a random span
+        if (text.empty()) break;
+        const auto a = std::size_t(
+            rng.uniform_int(0, std::int64_t(text.size()) - 1));
+        const auto len = std::size_t(rng.uniform_int(
+            1, std::min<std::int64_t>(200, std::int64_t(text.size() - a))));
+        text.erase(a, len);
+        break;
+      }
+    }
+  }
+}
+
+std::string describe(const swf::ParseError& e) {
+  return std::to_string(e.line) + ": " + e.message;
+}
+
+/// Drain a reader; returns the records in order.
+std::vector<swf::JobRecord> drain(swf::TraceReader& reader) {
+  std::vector<swf::JobRecord> records;
+  while (auto r = reader.next()) records.push_back(*r);
+  return records;
+}
+
+struct CaseFailure {
+  bool failed = false;
+  std::string detail;
+};
+
+/// Run one mutated input through every parser and cross-check.
+CaseFailure check_case(const std::string& text, bool strict,
+                       bool allow_extra, std::size_t chunk_bytes,
+                       const std::vector<int>& thread_counts) {
+  auto fail = [](std::string detail) {
+    return CaseFailure{true, std::move(detail)};
+  };
+
+  // Oracle 1: the in-memory Reader (all records, unbounded errors).
+  swf::ReaderOptions legacy_options;
+  legacy_options.strict = strict;
+  legacy_options.allow_extra_fields = allow_extra;
+  const auto legacy = swf::read_swf_string(text, legacy_options);
+
+  // Oracle 2: the StreamReader (summaries, bounded errors), drained.
+  swf::StreamReaderOptions stream_options;
+  stream_options.strict = strict;
+  stream_options.allow_extra_fields = allow_extra;
+  auto stream = std::make_unique<swf::StreamReader>(
+      std::make_unique<std::istringstream>(text), "fuzz", stream_options);
+  const auto stream_records = drain(*stream);
+
+  for (const int threads : thread_counts) {
+    swf::FastReaderOptions fast_options;
+    fast_options.strict = strict;
+    fast_options.allow_extra_fields = allow_extra;
+    fast_options.threads = threads;
+    fast_options.chunk_bytes = chunk_bytes;
+    const std::string tag =
+        " [threads=" + std::to_string(threads) +
+        " chunk=" + std::to_string(chunk_bytes) +
+        (strict ? " strict" : "") + (allow_extra ? " allow_extra" : "") +
+        "]";
+
+    // Batch facade vs Reader: everything must match, including
+    // partial-execution records and the unbounded error list.
+    const auto fast = swf::fast_read_swf_string(text, fast_options);
+    if (fast.trace.records != legacy.trace.records) {
+      return fail("batch records diverge from Reader" + tag);
+    }
+    if (!(fast.trace.header == legacy.trace.header)) {
+      return fail("batch header diverges from Reader" + tag);
+    }
+    if (fast.errors.size() != legacy.errors.size()) {
+      return fail("batch error count " + std::to_string(fast.errors.size()) +
+                  " != Reader " + std::to_string(legacy.errors.size()) + tag);
+    }
+    for (std::size_t i = 0; i < fast.errors.size(); ++i) {
+      if (!(fast.errors[i] == legacy.errors[i])) {
+        return fail("batch error " + describe(fast.errors[i]) +
+                    " != Reader " + describe(legacy.errors[i]) + tag);
+      }
+    }
+
+    // JobSource facade vs StreamReader: summaries, counters and the
+    // bounded error storage must agree after a full drain.
+    swf::FastReader reader(text, "fuzz", fast_options);
+    const auto fast_records = drain(reader);
+    if (fast_records != stream_records) {
+      return fail("streamed records diverge from StreamReader" + tag);
+    }
+    if (!(reader.header() == stream->header())) {
+      return fail("header diverges from StreamReader" + tag);
+    }
+    if (reader.ok() != stream->ok()) {
+      return fail("verdict diverges: fast ok()=" +
+                  std::to_string(reader.ok()) + " stream ok()=" +
+                  std::to_string(stream->ok()) + tag);
+    }
+    if (reader.error_count() != stream->error_count()) {
+      return fail("error_count " + std::to_string(reader.error_count()) +
+                  " != stream " + std::to_string(stream->error_count()) +
+                  tag);
+    }
+    if (reader.errors() != stream->errors()) {
+      return fail("bounded error list diverges from StreamReader" + tag);
+    }
+    if (reader.errors().size() > fast_options.max_stored_errors) {
+      return fail("error storage exceeds bound: " +
+                  std::to_string(reader.errors().size()) + tag);
+    }
+    if (reader.partials_skipped() != stream->partials_skipped()) {
+      return fail("partials_skipped " +
+                  std::to_string(reader.partials_skipped()) + " != stream " +
+                  std::to_string(stream->partials_skipped()) + tag);
+    }
+    if (reader.lines_read() != stream->lines_read()) {
+      return fail("lines_read " + std::to_string(reader.lines_read()) +
+                  " != stream " + std::to_string(stream->lines_read()) + tag);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string ParserFuzzReport::summary() const {
+  std::string s = "parser fuzzer: " + std::to_string(cases) + " cases, " +
+                  std::to_string(failure_count) + " failure(s)";
+  if (failure_count > failures.size()) {
+    s += " (first " + std::to_string(failures.size()) + " shown)";
+  }
+  for (const auto& f : failures) s += "\n  " + f;
+  return s;
+}
+
+ParserFuzzReport run_parser_fuzzer(const ParserFuzzOptions& options) {
+  ParserFuzzReport report;
+  for (int c = 0; c < options.cases; ++c) {
+    const std::uint64_t case_seed =
+        util::derive_seed(options.seed, std::uint64_t(c));
+    util::Rng rng(case_seed);
+    std::string text = base_input(rng, case_seed);
+    mutate(text, rng);
+    const bool strict = rng.bernoulli(0.25);
+    const bool allow_extra = rng.bernoulli(0.25);
+    // Tiny random chunks move the boundaries through every line; 0
+    // leaves auto-chunking in play.
+    const std::size_t chunk_bytes =
+        rng.bernoulli(0.75) ? std::size_t(rng.uniform_int(1, 257)) : 0;
+    ++report.cases;
+    CaseFailure failure;
+    try {
+      failure = check_case(text, strict, allow_extra, chunk_bytes,
+                           options.thread_counts);
+    } catch (const std::exception& e) {
+      failure = {true, std::string("exception: ") + e.what()};
+    }
+    if (failure.failed) {
+      ++report.failure_count;
+      if (report.failures.size() < options.max_failures) {
+        report.failures.push_back(
+            "[case=" + std::to_string(c) +
+            " seed=" + std::to_string(options.seed) +
+            " (derived " + std::to_string(case_seed) + ")] " +
+            failure.detail);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace pjsb::validate

@@ -1,0 +1,198 @@
+// Chunk-boundary properties: split_line_chunks invariants, and the
+// FastReader's output must be invariant to chunk size and thread count
+// — every boundary position over adversarial content (CRLF pairs,
+// comments, malformed fields, truncated tails) yields the same
+// records, errors and line numbers as the unchunked parse.
+#include "core/swf/fast_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/swf/reader.hpp"
+#include "core/swf/writer.hpp"
+#include "util/chunk.hpp"
+#include "util/rng.hpp"
+#include "workload/model.hpp"
+
+namespace pjsb::swf {
+namespace {
+
+TEST(SplitLineChunks, Invariants) {
+  const std::string texts[] = {
+      "",
+      "\n",
+      "no newline at all",
+      "a\nb\nc\n",
+      "a\nb\nc",  // truncated tail
+      std::string(100, 'x') + "\n" + std::string(5, 'y'),
+      "\n\n\n\n",
+  };
+  for (const auto& text : texts) {
+    for (std::size_t target = 1; target <= text.size() + 2; ++target) {
+      const auto chunks = util::split_line_chunks(text, target);
+      // Concatenation reproduces the input exactly.
+      std::string joined;
+      for (const auto c : chunks) joined.append(c);
+      ASSERT_EQ(joined, text) << "target=" << target;
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        // No empty pieces, and every boundary is newline-aligned: each
+        // chunk but the last ends exactly at a '\n'.
+        ASSERT_FALSE(chunks[i].empty()) << "target=" << target;
+        if (i + 1 < chunks.size()) {
+          ASSERT_EQ(chunks[i].back(), '\n') << "target=" << target;
+        }
+      }
+      if (text.empty()) {
+        ASSERT_TRUE(chunks.empty());
+      }
+    }
+  }
+}
+
+TEST(SplitLineChunks, MaxChunksCap) {
+  std::string text;
+  for (int i = 0; i < 50; ++i) text += "line " + std::to_string(i) + "\n";
+  for (std::size_t cap = 1; cap <= 8; ++cap) {
+    const auto chunks = util::split_line_chunks(text, 10, cap);
+    ASSERT_LE(chunks.size(), cap);
+    std::string joined;
+    for (const auto c : chunks) joined.append(c);
+    ASSERT_EQ(joined, text);
+  }
+}
+
+/// Adversarial input: header block, CRLF endings, interleaved
+/// comments and blanks, malformed fields of every flavor, partial
+/// (status 2-4) records and a truncated final line.
+std::string adversarial_text() {
+  workload::ModelConfig config;
+  config.jobs = 40;
+  config.machine_nodes = 32;
+  util::Rng rng(12345);
+  const auto trace =
+      workload::generate(workload::ModelKind::kLublin99, config, rng);
+  std::string text = write_swf_string(trace);
+  // CRLF a third of the endings.
+  std::string crlf;
+  int n = 0;
+  for (char c : text) {
+    if (c == '\n' && (++n % 3 == 0)) crlf += '\r';
+    crlf += c;
+  }
+  text = std::move(crlf);
+  text += ";interleaved comment\n";
+  text += "\n   \t \n";
+  text += "1 2 3\n";                               // too few fields
+  text += "1 2 3 4 5 6 7 8 9 x 1 2 3 4 5 6 7 8\n"; // non-integer field
+  text += "1 2 3 4 5 6 7 8 9 10 99 12 13 14 15 16 17 18\n";  // bad status
+  JobRecord partial;
+  partial.job_number = 777;
+  partial.status = Status::kPartial;
+  text += partial.to_line() + "\n";
+  text += ";trailing comment\n";
+  text += trace.records.front().to_line();  // truncated: no newline
+  return text;
+}
+
+void expect_equal_parse(const ReadResult& got, const ReadResult& want,
+                        const std::string& tag) {
+  ASSERT_EQ(got.trace.records.size(), want.trace.records.size()) << tag;
+  for (std::size_t i = 0; i < got.trace.records.size(); ++i) {
+    ASSERT_EQ(got.trace.records[i], want.trace.records[i])
+        << tag << " record " << i;
+  }
+  ASSERT_EQ(got.trace.header, want.trace.header) << tag;
+  ASSERT_EQ(got.errors.size(), want.errors.size()) << tag;
+  for (std::size_t i = 0; i < got.errors.size(); ++i) {
+    ASSERT_EQ(got.errors[i].line, want.errors[i].line) << tag << " err " << i;
+    ASSERT_EQ(got.errors[i].message, want.errors[i].message)
+        << tag << " err " << i;
+  }
+}
+
+TEST(FastReaderChunks, OutputInvariantToChunkSize) {
+  const auto text = adversarial_text();
+  FastReaderOptions base;
+  const auto want = fast_read_swf_string(text, base);
+  // Baseline sanity: the unchunked fast parse equals the legacy parse.
+  expect_equal_parse(want, read_swf_string(text), "baseline");
+
+  // Every chunk size from 1 byte up walks the boundary through every
+  // offset of every line; then a spread of larger sizes.
+  for (std::size_t chunk = 1; chunk <= 300; ++chunk) {
+    FastReaderOptions options;
+    options.chunk_bytes = chunk;
+    options.threads = (chunk % 3 == 0) ? 4 : 1;
+    expect_equal_parse(fast_read_swf_string(text, options), want,
+                       "chunk=" + std::to_string(chunk));
+  }
+  for (const std::size_t chunk : {512u, 1024u, 2048u, 4096u}) {
+    FastReaderOptions options;
+    options.chunk_bytes = chunk;
+    options.threads = 8;
+    expect_equal_parse(fast_read_swf_string(text, options), want,
+                       "chunk=" + std::to_string(chunk));
+  }
+}
+
+TEST(FastReaderChunks, OutputInvariantToThreadCount) {
+  const auto text = adversarial_text();
+  const auto want = fast_read_swf_string(text, {});
+  for (const int threads : {1, 2, 3, 4, 8, 16}) {
+    FastReaderOptions options;
+    options.threads = threads;
+    expect_equal_parse(fast_read_swf_string(text, options), want,
+                       "threads=" + std::to_string(threads));
+    FastReaderOptions tiny = options;
+    tiny.chunk_bytes = 37;  // prime: boundaries land mid-line everywhere
+    expect_equal_parse(fast_read_swf_string(text, tiny), want,
+                       "threads=" + std::to_string(threads) + " chunk=37");
+  }
+}
+
+TEST(FastReaderChunks, StrictStopsAtSameLineForEveryChunking) {
+  const auto text = adversarial_text();
+  FastReaderOptions strict;
+  strict.strict = true;
+  const auto want = fast_read_swf_string(text, strict);
+  ASSERT_FALSE(want.ok());
+  ASSERT_EQ(want.errors.size(), 1u);
+  for (std::size_t chunk = 1; chunk <= 200; chunk += 7) {
+    for (const int threads : {1, 2, 8}) {
+      FastReaderOptions options = strict;
+      options.chunk_bytes = chunk;
+      options.threads = threads;
+      expect_equal_parse(fast_read_swf_string(text, options), want,
+                         "strict chunk=" + std::to_string(chunk) +
+                             " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(FastReaderChunks, CrlfOnlyAtBoundaries) {
+  // A pathological file whose every line ends \r\n: a 1-byte chunk
+  // sweep puts the split between '\r' and '\n' repeatedly.
+  std::string text = ";H: v\r\n\r\n";
+  JobRecord r;
+  r.job_number = 1;
+  r.status = Status::kCompleted;
+  text += r.to_line() + "\r\n";
+  text += "bad\r\n";
+  text += r.to_line() + "\r";  // trailing bare CR folds into the token
+  const auto want = fast_read_swf_string(text, {});
+  expect_equal_parse(want, read_swf_string(text), "crlf baseline");
+  for (std::size_t chunk = 1; chunk <= text.size(); ++chunk) {
+    FastReaderOptions options;
+    options.chunk_bytes = chunk;
+    options.threads = 2;
+    expect_equal_parse(fast_read_swf_string(text, options), want,
+                       "crlf chunk=" + std::to_string(chunk));
+  }
+}
+
+}  // namespace
+}  // namespace pjsb::swf

@@ -1,0 +1,285 @@
+// Differential conformance: the FastReader must be byte-identical to
+// Reader (batch facade: records, header, error lines/messages) and to
+// StreamReader (JobSource facade: records, bounded errors, counters)
+// on every checked-in trace, generated Lublin'99/Jann'97 corpora and
+// their corrupted variants — at 1, 2 and 8 threads.
+#include "core/swf/fast_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/swf/reader.hpp"
+#include "core/swf/stream_reader.hpp"
+#include "core/swf/writer.hpp"
+#include "util/rng.hpp"
+#include "workload/model.hpp"
+
+namespace pjsb::swf {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+std::string repo_path(const std::string& relative) {
+  return std::string(PJSB_SOURCE_DIR) + "/" + relative;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<JobRecord> drain(TraceReader& reader) {
+  std::vector<JobRecord> records;
+  while (auto r = reader.next()) records.push_back(*r);
+  return records;
+}
+
+void expect_same_errors(const std::vector<ParseError>& fast,
+                        const std::vector<ParseError>& legacy,
+                        const std::string& what) {
+  ASSERT_EQ(fast.size(), legacy.size()) << what;
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].line, legacy[i].line) << what << " error " << i;
+    EXPECT_EQ(fast[i].message, legacy[i].message) << what << " error " << i;
+  }
+}
+
+/// The full differential battery over one input text.
+void expect_conformant(const std::string& text, const std::string& what,
+                       bool strict = false, bool allow_extra = false) {
+  ReaderOptions legacy_options;
+  legacy_options.strict = strict;
+  legacy_options.allow_extra_fields = allow_extra;
+  const auto legacy = read_swf_string(text, legacy_options);
+
+  StreamReaderOptions stream_options;
+  stream_options.strict = strict;
+  stream_options.allow_extra_fields = allow_extra;
+  StreamReader stream(std::make_unique<std::istringstream>(text), "diff",
+                      stream_options);
+  const auto stream_records = drain(stream);
+
+  for (const int threads : kThreadCounts) {
+    const std::string tag = what + " [threads=" + std::to_string(threads) +
+                            (strict ? " strict" : "") +
+                            (allow_extra ? " allow_extra" : "") + "]";
+    FastReaderOptions fast_options;
+    fast_options.strict = strict;
+    fast_options.allow_extra_fields = allow_extra;
+    fast_options.threads = threads;
+
+    // Batch facade vs the in-memory Reader: full record list (partials
+    // included), header fields, every error line and message.
+    const auto fast = fast_read_swf_string(text, fast_options);
+    ASSERT_EQ(fast.trace.records.size(), legacy.trace.records.size()) << tag;
+    for (std::size_t i = 0; i < fast.trace.records.size(); ++i) {
+      EXPECT_EQ(fast.trace.records[i], legacy.trace.records[i])
+          << tag << " record " << i;
+    }
+    EXPECT_EQ(fast.trace.header, legacy.trace.header) << tag;
+    expect_same_errors(fast.errors, legacy.errors, tag + " batch");
+
+    // JobSource facade vs a drained StreamReader: summary records,
+    // bounded error storage, exact counters.
+    FastReader reader(text, "diff", fast_options);
+    const auto records = drain(reader);
+    ASSERT_EQ(records.size(), stream_records.size()) << tag;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(records[i], stream_records[i]) << tag << " record " << i;
+    }
+    EXPECT_EQ(reader.header(), stream.header()) << tag;
+    EXPECT_EQ(reader.ok(), stream.ok()) << tag;
+    EXPECT_EQ(reader.error_count(), stream.error_count()) << tag;
+    expect_same_errors(reader.errors(), stream.errors(), tag + " stored");
+    EXPECT_EQ(reader.partials_skipped(), stream.partials_skipped()) << tag;
+    EXPECT_EQ(reader.lines_read(), stream.lines_read()) << tag;
+    EXPECT_EQ(reader.records_returned(), stream.records_returned()) << tag;
+  }
+}
+
+swf::Trace generate(workload::ModelKind kind, std::size_t jobs,
+                    std::uint64_t seed) {
+  workload::ModelConfig config;
+  config.jobs = jobs;
+  config.machine_nodes = 64;
+  util::Rng rng(seed);
+  return workload::generate(kind, config, rng);
+}
+
+/// Deterministic corruption: enough damage to hit every diagnostic
+/// path, reproducible so a failure names its variant.
+std::string corrupt(std::string text, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const char* const splices[] = {"abc",  "-",  "1e5", "0x10",
+                                 "99999999999999999999", "+7", "3.5"};
+  for (int i = 0; i < 12 && !text.empty(); ++i) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {
+        const auto pos = std::size_t(
+            rng.uniform_int(0, std::int64_t(text.size()) - 1));
+        text[pos] = char(rng.uniform_int(0, 255));
+        break;
+      }
+      case 1: {
+        const auto pos =
+            std::size_t(rng.uniform_int(0, std::int64_t(text.size())));
+        text.insert(pos, splices[std::size_t(rng.uniform_int(
+                             0, std::int64_t(std::size(splices)) - 1))]);
+        break;
+      }
+      case 2: {  // drop a span: mangles field counts across a line
+        const auto pos = std::size_t(
+            rng.uniform_int(0, std::int64_t(text.size()) - 1));
+        text.erase(pos, std::size_t(rng.uniform_int(1, 30)));
+        break;
+      }
+      case 3: {  // CRLF some line endings
+        const auto nl = text.find('\n', std::size_t(rng.uniform_int(
+                                            0, std::int64_t(text.size()))));
+        if (nl != std::string::npos) text.insert(nl, 1, '\r');
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+TEST(FastReaderDiff, CheckedInTraces) {
+  for (const char* name : {"data/tiny.swf", "data/contention.swf",
+                           "data/crashy.swf"}) {
+    const auto text = slurp(repo_path(name));
+    ASSERT_FALSE(text.empty()) << name;
+    expect_conformant(text, name);
+    expect_conformant(text, name, /*strict=*/true);
+    expect_conformant(text, name, /*strict=*/false, /*allow_extra=*/true);
+  }
+}
+
+TEST(FastReaderDiff, GeneratedLublin99Corpus) {
+  const auto trace = generate(workload::ModelKind::kLublin99, 400, 99);
+  const auto text = write_swf_string(trace);
+  expect_conformant(text, "lublin99");
+  expect_conformant(text, "lublin99", /*strict=*/true);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    expect_conformant(corrupt(text, seed),
+                      "lublin99 corrupted seed=" + std::to_string(seed));
+    expect_conformant(corrupt(text, seed),
+                      "lublin99 corrupted strict seed=" +
+                          std::to_string(seed),
+                      /*strict=*/true);
+  }
+}
+
+TEST(FastReaderDiff, GeneratedJann97Corpus) {
+  const auto trace = generate(workload::ModelKind::kJann97, 400, 97);
+  const auto text = write_swf_string(trace);
+  expect_conformant(text, "jann97");
+  for (std::uint64_t seed = 5; seed <= 8; ++seed) {
+    expect_conformant(corrupt(text, seed),
+                      "jann97 corrupted seed=" + std::to_string(seed));
+    expect_conformant(corrupt(text, seed),
+                      "jann97 corrupted allow_extra seed=" +
+                          std::to_string(seed),
+                      /*strict=*/false, /*allow_extra=*/true);
+  }
+}
+
+TEST(FastReaderDiff, EdgeShapes) {
+  expect_conformant("", "empty");
+  expect_conformant("\n\n\n", "blank lines");
+  expect_conformant(";only: comments\n;more\n", "comment-only");
+  expect_conformant("garbage\n", "garbage line");
+  expect_conformant("1 2 3\n", "short record");
+  // Truncated final line (no trailing newline) still parses.
+  const auto trace = generate(workload::ModelKind::kLublin99, 5, 3);
+  auto text = write_swf_string(trace);
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  expect_conformant(text, "truncated tail");
+  // Comments and blanks interleaved after the header block.
+  expect_conformant(write_swf_string(trace) + ";late comment\n\n" +
+                        trace.records.front().to_line() + "\n",
+                    "late comment");
+}
+
+TEST(FastReaderDiff, FileBackedMmapPathMatchesLegacy) {
+  const auto trace = generate(workload::ModelKind::kLublin99, 200, 7);
+  const std::string path = ::testing::TempDir() + "/fast_diff_mmap.swf";
+  ASSERT_TRUE(write_swf_file(path, trace));
+
+  const auto legacy = read_swf_file(path);
+  for (const int threads : kThreadCounts) {
+    FastReaderOptions options;
+    options.threads = threads;
+    const auto fast = fast_read_swf_file(path, options);
+    EXPECT_EQ(fast.trace.records, legacy.trace.records);
+    EXPECT_EQ(fast.trace.header, legacy.trace.header);
+    ASSERT_TRUE(fast.ok());
+
+    StreamReader stream(path);
+    FastReader reader(path, options);
+    EXPECT_EQ(drain(reader), drain(stream));
+    EXPECT_EQ(reader.header(), stream.header());
+    EXPECT_EQ(reader.lines_read(), stream.lines_read());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FastReaderDiff, MissingFileMirrorsStreamReader) {
+  const std::string path = "/nonexistent/definitely_missing.swf";
+  StreamReader stream(path);
+  FastReader fast(path);
+  EXPECT_TRUE(fast.open_failed());
+  EXPECT_FALSE(fast.ok());
+  EXPECT_EQ(fast.next(), std::nullopt);
+  ASSERT_EQ(fast.errors().size(), stream.errors().size());
+  EXPECT_EQ(fast.errors().front().line, stream.errors().front().line);
+  EXPECT_EQ(fast.errors().front().message, stream.errors().front().message);
+
+  const auto batch = fast_read_swf_file(path);
+  const auto legacy = read_swf_file(path);
+  ASSERT_EQ(batch.errors.size(), legacy.errors.size());
+  EXPECT_EQ(batch.errors.front().message, legacy.errors.front().message);
+}
+
+TEST(FastReaderDiff, BoundedErrorStorageMatchesStreamReader) {
+  // 200 malformed lines: storage stays at the bound, the count exact.
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += "bad line " + std::to_string(i) + "\n";
+  expect_conformant(text, "200 bad lines");
+
+  FastReader reader(text, "bound", {});
+  EXPECT_EQ(reader.errors().size(), FastReaderOptions{}.max_stored_errors);
+  EXPECT_EQ(reader.error_count(), 200u);
+}
+
+TEST(FastReaderDiff, OpenTraceSourceSelectsBackend) {
+  const auto trace = generate(workload::ModelKind::kJann97, 50, 11);
+  const std::string path = ::testing::TempDir() + "/fast_diff_backend.swf";
+  ASSERT_TRUE(write_swf_file(path, trace));
+
+  IngestOptions stream_backend;
+  auto a = open_trace_source(path, stream_backend);
+  IngestOptions fast_backend;
+  fast_backend.fast = true;
+  fast_backend.threads = 2;
+  auto b = open_trace_source(path, fast_backend);
+  ASSERT_NE(dynamic_cast<StreamReader*>(a.get()), nullptr);
+  ASSERT_NE(dynamic_cast<FastReader*>(b.get()), nullptr);
+  EXPECT_EQ(drain(*a), drain(*b));
+  EXPECT_EQ(a->header(), b->header());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pjsb::swf

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
 #include "core/swf/reader.hpp"
 #include "core/swf/writer.hpp"
 
@@ -122,6 +126,44 @@ TEST(Writer, FileRoundTrip) {
   const auto back = read_swf_file(path);
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back.trace.records, result.trace.records);
+}
+
+TEST(Writer, AppendLineMatchesToLine) {
+  // The buffered writer renders via append_line; it must produce the
+  // exact bytes to_line always did, including every field and the
+  // unknown sentinels.
+  const auto result = read_swf_string(kSample);
+  ASSERT_TRUE(result.ok());
+  for (const auto& record : result.trace.records) {
+    std::string appended;
+    record.append_line(appended);
+    EXPECT_EQ(appended, record.to_line());
+  }
+  // Extreme values render through std::to_chars without truncation.
+  JobRecord extreme;
+  extreme.job_number = std::numeric_limits<std::int64_t>::max();
+  extreme.submit_time = std::numeric_limits<std::int64_t>::min();
+  std::string line;
+  extreme.append_line(line);
+  EXPECT_EQ(line, extreme.to_line());
+  EXPECT_NE(line.find("9223372036854775807"), std::string::npos);
+  EXPECT_NE(line.find("-9223372036854775808"), std::string::npos);
+}
+
+TEST(Writer, WriteThenReparseIsByteStable) {
+  // write -> parse -> write must reach a fixed point: the second
+  // rendering is byte-identical to the first, and both parsers agree
+  // on the reparse.
+  const auto first = read_swf_string(kSample);
+  ASSERT_TRUE(first.ok());
+  const std::string rendered = write_swf_string(first.trace);
+  const auto reparsed = read_swf_string(rendered);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(write_swf_string(reparsed.trace), rendered);
+
+  std::ostringstream streamed;
+  write_swf(streamed, first.trace);
+  EXPECT_EQ(streamed.str(), rendered);
 }
 
 }  // namespace

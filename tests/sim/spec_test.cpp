@@ -143,6 +143,47 @@ TEST(SimulationSpec, AutoNodesSpelledAuto) {
   EXPECT_EQ(pinned.nodes, 64);
 }
 
+TEST(SimulationSpec, ParserKeysRoundTrip) {
+  // Defaults stay silent in the canonical form.
+  EXPECT_EQ(SimulationSpec{}.to_string().find("parser="), std::string::npos);
+  EXPECT_EQ(SimulationSpec{}.to_string().find("threads="), std::string::npos);
+
+  const auto spec = SimulationSpec{}.with_parser("fast", 8);
+  EXPECT_EQ(spec.parser, "fast");
+  EXPECT_EQ(spec.threads, 8);
+  EXPECT_NO_THROW(spec.validate());
+  const std::string text = spec.to_string();
+  EXPECT_NE(text.find("parser=fast"), std::string::npos) << text;
+  EXPECT_NE(text.find("threads=8"), std::string::npos) << text;
+  const auto parsed = SimulationSpec::parse(text);
+  EXPECT_EQ(parsed.parser, "fast");
+  EXPECT_EQ(parsed.threads, 8);
+  EXPECT_EQ(parsed.to_string(), text);
+
+  // The bare fast parser (threads=1 implied) round-trips too.
+  const auto single = SimulationSpec::parse("scheduler=easy parser=fast");
+  EXPECT_EQ(single.parser, "fast");
+  EXPECT_EQ(single.threads, 1);
+}
+
+TEST(SimulationSpec, ValidateRejectsParserNonsense) {
+  SimulationSpec bad_parser;
+  bad_parser.parser = "turbo";
+  EXPECT_THROW(bad_parser.validate(), std::invalid_argument);
+  SimulationSpec bad_threads;
+  bad_threads.threads = 0;
+  EXPECT_THROW(bad_threads.validate(), std::invalid_argument);
+  // threads > 1 needs the parallel backend; the stream parser is
+  // single-threaded.
+  SimulationSpec stream_threads;
+  stream_threads.threads = 4;
+  EXPECT_THROW(stream_threads.validate(), std::invalid_argument);
+  EXPECT_THROW(SimulationSpec::parse("scheduler=easy parser=turbo"),
+               std::invalid_argument);
+  EXPECT_THROW(SimulationSpec::parse("scheduler=easy threads=0"),
+               std::invalid_argument);
+}
+
 TEST(SimulationSpec, BuilderChains) {
   const auto spec = SimulationSpec{}
                         .with_scheduler("conservative")
